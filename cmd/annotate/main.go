@@ -1,0 +1,60 @@
+// Command annotate is the paper's §4.1 annotate tool: it reads a
+// split-annotation DSL file (Listing 3 syntax) describing functions of an
+// existing library and generates a Go package of wrapper functions that
+// register lazy calls with a Mozart session instead of executing them.
+//
+// Usage:
+//
+//	annotate -in vmath.sa -out wrappers.gen.go
+//
+// The generated package expects a hand-written sibling file defining
+//
+//	var splitImpls = map[string]satool.SplitTypeImpl{...}
+//
+// with the splitting API (§3.3) for every split type the DSL references.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mozart/internal/satool"
+)
+
+func main() {
+	in := flag.String("in", "", "input .sa annotation file")
+	out := flag.String("out", "", "output .go file (default: stdout)")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "annotate: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := satool.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	code, err := satool.Generate(f)
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		fmt.Print(code)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(code), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "annotate: wrote %s (%d annotated functions, %d split types)\n",
+		*out, len(f.Funcs), len(f.SplitTypes))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "annotate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module mozart
+
+go 1.22

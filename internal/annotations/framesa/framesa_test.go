@@ -1,0 +1,392 @@
+package framesa_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mozart/internal/annotations/framesa"
+	"mozart/internal/core"
+	"mozart/internal/frame"
+)
+
+func sess() *core.Session { return core.NewSession(core.Options{Workers: 3, BatchElems: 41}) }
+
+func testFrame(n int, seed int64) *frame.DataFrame {
+	rng := rand.New(rand.NewSource(seed))
+	city := make([]string, n)
+	pop := make([]float64, n)
+	crime := make([]float64, n)
+	year := make([]int64, n)
+	for i := 0; i < n; i++ {
+		city[i] = []string{"NYC", "SF", "LA", "CHI"}[rng.Intn(4)]
+		pop[i] = rng.Float64() * 1e6
+		crime[i] = rng.Float64() * 1000
+		year[i] = int64(2000 + rng.Intn(5))
+	}
+	return frame.NewDataFrame(
+		frame.NewString("city", city),
+		frame.NewFloat("pop", pop),
+		frame.NewFloat("crime", crime),
+		frame.NewInt("year", year),
+	)
+}
+
+// TestSeriesPipeline: arithmetic chain over series pipelines in one stage.
+func TestSeriesPipeline(t *testing.T) {
+	df := testFrame(500, 1)
+	pop, crime := df.Col("pop"), df.Col("crime")
+	want := frame.DivSeries(frame.AddSeries(pop, crime), frame.MulScalar(pop, 2))
+
+	s := sess()
+	f := framesa.DivSeries(s,
+		framesa.AddSeries(s, pop, crime),
+		framesa.MulScalar(s, pop, 2))
+	v, err := f.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.(*frame.Series)
+	for i := range want.F {
+		if math.Abs(got.F[i]-want.F[i]) > 1e-12 {
+			t.Fatalf("row %d", i)
+		}
+	}
+	if s.Stats().Stages != 1 {
+		t.Errorf("want 1 stage, got %d", s.Stats().Stages)
+	}
+}
+
+// TestFilterPipeline: masks build and filter in one stage; result split is
+// unknown but still flows into further series ops.
+func TestFilterPipeline(t *testing.T) {
+	df := testFrame(800, 2)
+	mask := frame.And(frame.GtScalar(df.Col("pop"), 300000), frame.LtScalar(df.Col("crime"), 500))
+	want := frame.Filter(df, mask)
+	wantSum := frame.SumFloat(want.Col("crime"))
+
+	s := sess()
+	m := framesa.And(s,
+		framesa.GtScalar(s, df.Col("pop"), 300000),
+		framesa.LtScalar(s, df.Col("crime"), 500))
+	filtered := framesa.Filter(s, df, m).Keep() // inspected below
+	crimeCol := framesa.Col(s, filtered, "crime")
+	total := framesa.SumFloat(s, crimeCol)
+
+	got, err := total.Float64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-wantSum) > 1e-7*(1+wantSum) {
+		t.Fatalf("sum = %v want %v", got, wantSum)
+	}
+	v, err := filtered.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(*frame.DataFrame).NRows() != want.NRows() {
+		t.Fatalf("filtered rows %d want %d", v.(*frame.DataFrame).NRows(), want.NRows())
+	}
+	if s.Stats().Stages != 1 {
+		t.Errorf("filter pipeline should be 1 stage, got %d", s.Stats().Stages)
+	}
+}
+
+// TestStringOpsAndNulls: the Data Cleaning operator mix.
+func TestStringOpsAndNulls(t *testing.T) {
+	zips := frame.NewString("zip", []string{"10001-123", "NO CLUE", "94103", "0", "9021"})
+	s := sess()
+	sliced := framesa.StrSlice(s, zips, 0, 5)
+	bad := framesa.Or(s,
+		framesa.InStrings(s, sliced, "NO CL", "N/A"),
+		framesa.EqString(s, sliced, "0"))
+	cleaned := framesa.MaskToNull(s, sliced, bad)
+	nulls := framesa.IsNull(s, cleaned)
+
+	v, err := nulls.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.(*frame.Series)
+	wantNull := []bool{false, true, false, true, false}
+	for i := range wantNull {
+		if got.B[i] != wantNull[i] {
+			t.Fatalf("null[%d] = %v", i, got.B[i])
+		}
+	}
+	if s.Stats().Stages != 1 {
+		t.Errorf("cleaning should pipeline, got %d stages", s.Stats().Stages)
+	}
+}
+
+// TestMeanAndCount reductions.
+func TestMeanAndCount(t *testing.T) {
+	df := testFrame(1000, 3)
+	s := sess()
+	mean := framesa.Mean(s, df.Col("crime"))
+	got, err := framesa.MeanValue(mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := frame.Mean(df.Col("crime")).Value()
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mean = %v want %v", got, want)
+	}
+	cnt, err := framesa.CountValid(s, df.Col("pop")).Int64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt != 1000 {
+		t.Fatalf("count = %d", cnt)
+	}
+}
+
+// TestGroupByParallel: grouped aggregation over split chunks merges to the
+// same result as whole-frame aggregation.
+func TestGroupByParallel(t *testing.T) {
+	df := testFrame(2000, 4)
+	keys := []string{"city", "year"}
+	specs := []frame.AggSpec{
+		{Col: "crime", Kind: frame.AggSum, As: "total"},
+		{Col: "crime", Kind: frame.AggMean, As: "avg"},
+		{Col: "pop", Kind: frame.AggMax, As: "maxpop"},
+	}
+	want := frame.GroupByAgg(df, keys, specs).ToDataFrame()
+
+	s := sess()
+	g := framesa.GroupByAgg(s, df, keys, specs)
+	out := framesa.ToDataFrame(s, g)
+	v, err := out.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.(*frame.DataFrame)
+	if got.NRows() != want.NRows() {
+		t.Fatalf("groups %d want %d", got.NRows(), want.NRows())
+	}
+	for r := 0; r < got.NRows(); r++ {
+		if got.Col("city").S[r] != want.Col("city").S[r] ||
+			got.Col("year").I[r] != want.Col("year").I[r] ||
+			math.Abs(got.Col("total").F[r]-want.Col("total").F[r]) > 1e-7 ||
+			math.Abs(got.Col("avg").F[r]-want.Col("avg").F[r]) > 1e-9 ||
+			got.Col("maxpop").F[r] != want.Col("maxpop").F[r] {
+			t.Fatalf("group row %d differs", r)
+		}
+	}
+}
+
+// TestJoinBroadcast: a split probe joined against a broadcast index.
+func TestJoinBroadcast(t *testing.T) {
+	users := frame.NewDataFrame(
+		frame.NewInt("userId", []int64{1, 2, 3, 4}),
+		frame.NewString("gender", []string{"F", "M", "F", "M"}),
+	)
+	n := 1000
+	rng := rand.New(rand.NewSource(5))
+	uid := make([]int64, n)
+	rating := make([]float64, n)
+	for i := range uid {
+		uid[i] = int64(rng.Intn(5) + 1) // includes unmatched id 5
+		rating[i] = float64(rng.Intn(5) + 1)
+	}
+	ratings := frame.NewDataFrame(frame.NewInt("userId", uid), frame.NewFloat("rating", rating))
+	ix := frame.NewIndex(users, "userId")
+	want := frame.JoinIndexed(ratings, ix, "userId", frame.Inner)
+
+	s := sess()
+	j := framesa.JoinIndexed(s, ratings, ix, "userId", frame.Inner)
+	v, err := j.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.(*frame.DataFrame)
+	if got.NRows() != want.NRows() {
+		t.Fatalf("join rows %d want %d", got.NRows(), want.NRows())
+	}
+	for r := 0; r < got.NRows(); r++ {
+		if got.Col("gender").S[r] != want.Col("gender").S[r] ||
+			got.Col("rating").F[r] != want.Col("rating").F[r] {
+			t.Fatalf("join row %d differs", r)
+		}
+	}
+}
+
+// TestJoinThenGroupPipeline: join output (unknown split) pipelines into a
+// grouped aggregation, the MovieLens structure.
+func TestJoinThenGroupPipeline(t *testing.T) {
+	users := frame.NewDataFrame(
+		frame.NewInt("userId", []int64{1, 2, 3}),
+		frame.NewString("gender", []string{"F", "M", "F"}),
+	)
+	n := 600
+	rng := rand.New(rand.NewSource(6))
+	uid := make([]int64, n)
+	rating := make([]float64, n)
+	for i := range uid {
+		uid[i] = int64(rng.Intn(3) + 1)
+		rating[i] = float64(rng.Intn(5) + 1)
+	}
+	ratings := frame.NewDataFrame(frame.NewInt("userId", uid), frame.NewFloat("rating", rating))
+	ix := frame.NewIndex(users, "userId")
+	specs := []frame.AggSpec{{Col: "rating", Kind: frame.AggMean, As: "avg"}}
+	want := frame.GroupByAgg(frame.JoinIndexed(ratings, ix, "userId", frame.Inner), []string{"gender"}, specs).ToDataFrame()
+
+	s := sess()
+	j := framesa.JoinIndexed(s, ratings, ix, "userId", frame.Inner)
+	g := framesa.GroupByAgg(s, j, []string{"gender"}, specs)
+	out := framesa.ToDataFrame(s, g)
+	v, err := out.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.(*frame.DataFrame)
+	if got.NRows() != want.NRows() {
+		t.Fatalf("rows %d want %d", got.NRows(), want.NRows())
+	}
+	for r := 0; r < got.NRows(); r++ {
+		if got.Col("gender").S[r] != want.Col("gender").S[r] ||
+			math.Abs(got.Col("avg").F[r]-want.Col("avg").F[r]) > 1e-9 {
+			t.Fatalf("row %d differs", r)
+		}
+	}
+	// Join and groupby pipeline (stage 1); toDataFrame runs whole (stage 2).
+	if s.Stats().Stages != 2 {
+		t.Errorf("want 2 stages, got %d", s.Stats().Stages)
+	}
+}
+
+// TestSortAndUniqueWhole: whole-frame calls break pipelines but compose.
+func TestSortAndUniqueWhole(t *testing.T) {
+	df := testFrame(200, 7)
+	s := sess()
+	sorted := framesa.SortByFloat(s, df, "crime", false)
+	v, err := sorted.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.(*frame.DataFrame).Col("crime").F
+	for i := 1; i < len(got); i++ {
+		if got[i] > got[i-1] {
+			t.Fatal("not sorted descending")
+		}
+	}
+	u, err := framesa.UniqueStrings(s, df.Col("city")).Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.([]string)) != 4 {
+		t.Fatalf("unique cities = %d", len(u.([]string)))
+	}
+}
+
+// TestWithColumnPipeline: derived column attached within a pipeline.
+func TestWithColumnPipeline(t *testing.T) {
+	df := testFrame(300, 8)
+	want := df.WithColumn(frame.MulScalar(df.Col("crime"), 0.001).Clone())
+	want.Col("crime") // sanity
+
+	s := sess()
+	idx := framesa.MulScalar(s, df.Col("crime"), 0.001)
+	out := framesa.WithColumn(s, df, idx)
+	v, err := out.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.(*frame.DataFrame)
+	if got.NCols() != df.NCols() { // crime replaced (same name)
+		t.Fatalf("cols = %d", got.NCols())
+	}
+	for i, x := range got.Col("crime").F {
+		if math.Abs(x-df.Col("crime").F[i]*0.001) > 1e-12 {
+			t.Fatalf("row %d", i)
+		}
+	}
+}
+
+// TestRemainingSeriesWrappers drives the wrappers not covered elsewhere.
+func TestRemainingSeriesWrappers(t *testing.T) {
+	df := testFrame(400, 9)
+	pop, crime := df.Col("pop"), df.Col("crime")
+	city := df.Col("city")
+
+	check := func(name string, f *core.Future, want *frame.Series) {
+		t.Helper()
+		v, err := f.Get()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := v.(*frame.Series)
+		if got.Len() != want.Len() {
+			t.Fatalf("%s: len", name)
+		}
+		for i := 0; i < got.Len(); i++ {
+			switch want.Dtype {
+			case frame.Float:
+				if math.Abs(got.F[i]-want.F[i]) > 1e-12 && !(math.IsNaN(got.F[i]) && math.IsNaN(want.F[i])) {
+					t.Fatalf("%s: row %d", name, i)
+				}
+			case frame.Bool:
+				if got.B[i] != want.B[i] {
+					t.Fatalf("%s: row %d", name, i)
+				}
+			case frame.String:
+				if got.S[i] != want.S[i] {
+					t.Fatalf("%s: row %d", name, i)
+				}
+			}
+		}
+	}
+
+	s := sess()
+	check("SubSeries", framesa.SubSeries(s, pop, crime), frame.SubSeries(pop, crime))
+	check("MulSeries", framesa.MulSeries(s, pop, crime), frame.MulSeries(pop, crime))
+	check("AddScalar", framesa.AddScalar(s, pop, 5), frame.AddScalar(pop, 5))
+	check("SubScalar", framesa.SubScalar(s, pop, 5), frame.SubScalar(pop, 5))
+	check("DivScalar", framesa.DivScalar(s, pop, 5), frame.DivScalar(pop, 5))
+	check("GeScalar", framesa.GeScalar(s, pop, 500000), frame.GeScalar(pop, 500000))
+	check("Not", framesa.Not(s, framesa.GtScalar(s, pop, 500000)), frame.Not(frame.GtScalar(pop, 500000)))
+	check("FillNullFloat", framesa.FillNullFloat(s, pop, 0), frame.FillNullFloat(pop, 0))
+	check("StrStartsWith", framesa.StrStartsWith(s, city, "N"), frame.StrStartsWith(city, "N"))
+	check("StrContains", framesa.StrContains(s, city, "F"), frame.StrContains(city, "F"))
+	check("FilterSeries",
+		framesa.FilterSeries(s, pop, framesa.GtScalar(s, crime, 500)),
+		frame.FilterSeries(pop, frame.GtScalar(crime, 500)))
+	sum := framesa.SumFloat(s, pop)
+	got, err := sum.Float64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := frame.SumFloat(pop); math.Abs(got-want) > 1e-6*(1+want) {
+		t.Fatalf("SumFloat")
+	}
+}
+
+// TestFrameSplitterErrorPaths covers the splitting API type checks.
+func TestFrameSplitterErrorPaths(t *testing.T) {
+	if _, err := (framesa.DfSplitter{}).Info(1, core.NewSplitType("DfSplit")); err == nil {
+		t.Error("DfSplit Info should reject non-frames")
+	}
+	if _, err := (framesa.SeriesSplitter{}).Info(1, core.NewSplitType("SeriesSplit")); err == nil {
+		t.Error("SeriesSplit Info should reject non-series")
+	}
+	if _, err := (framesa.GroupSplitter{}).Info(1, core.NewSplitType("GroupSplit")); err == nil {
+		t.Error("GroupSplit Info should reject non-grouped values")
+	}
+	if _, err := (framesa.GroupSplitter{}).Split(nil, core.NewSplitType("GroupSplit"), 0, 1); err == nil {
+		t.Error("group partials must not split")
+	}
+	if _, err := (framesa.MeanReduceSplitter{}).Split(nil, core.NewSplitType("MeanReduce"), 0, 1); err == nil {
+		t.Error("mean partials must not split")
+	}
+	if _, err := (framesa.AddReduceSplitter{}).Split(nil, core.NewSplitType("AddReduce"), 0, 1); err == nil {
+		t.Error("sum partials must not split")
+	}
+	// Int64 partial merge path (CountValid).
+	m, err := (framesa.AddReduceSplitter{}).Merge([]any{int64(2), int64(3)}, core.NewSplitType("AddReduce"))
+	if err != nil || m.(int64) != 5 {
+		t.Error("int64 partial merge")
+	}
+	if m, err := (framesa.AddReduceSplitter{}).Merge(nil, core.NewSplitType("AddReduce")); err != nil || m.(float64) != 0 {
+		t.Error("empty merge")
+	}
+}

@@ -1,0 +1,195 @@
+// Package framesa contains the split annotations and splitting API for the
+// frame library (the repository's Pandas stand-in), following the paper's
+// §7 Pandas integration: DataFrames and Series split by row, a GroupSplit
+// split type whose merge re-groups and re-aggregates partial aggregations,
+// filters and joins returning the unknown split type, and generics on most
+// functions.
+package framesa
+
+import (
+	"fmt"
+
+	"mozart/internal/core"
+	"mozart/internal/frame"
+)
+
+// DfSplitter splits a DataFrame into row-range views and merges pieces by
+// concatenation.
+type DfSplitter struct{}
+
+// InPlace reports that row slices alias column storage.
+func (DfSplitter) InPlace() bool { return true }
+
+// Info reports rows and the per-row byte estimate across columns.
+func (DfSplitter) Info(v any, t core.SplitType) (core.RuntimeInfo, error) {
+	df, ok := v.(*frame.DataFrame)
+	if !ok {
+		return core.RuntimeInfo{}, fmt.Errorf("framesa: DfSplit over %T", v)
+	}
+	var bytes int64
+	for _, c := range df.Cols {
+		bytes += c.ElemBytes()
+	}
+	return core.RuntimeInfo{Elems: int64(df.NRows()), ElemBytes: bytes}, nil
+}
+
+// Split returns rows [start, end) as a view.
+func (DfSplitter) Split(v any, t core.SplitType, start, end int64) (any, error) {
+	return v.(*frame.DataFrame).Slice(int(start), int(end)), nil
+}
+
+// Merge concatenates row chunks. Functions annotated (df: S) -> S, such as
+// column extraction, produce Series pieces under a DfSplit-typed value, so
+// the merger accepts both frames and series (the annotator owns this
+// decision, §3.3).
+func (DfSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
+	if len(pieces) > 0 {
+		if _, isSeries := pieces[0].(*frame.Series); isSeries {
+			return (SeriesSplitter{}).Merge(pieces, t)
+		}
+	}
+	dfs := make([]*frame.DataFrame, len(pieces))
+	for i, p := range pieces {
+		dfs[i] = p.(*frame.DataFrame)
+	}
+	return frame.ConcatDF(dfs...), nil
+}
+
+func dfCtor(v any) (core.SplitType, error) {
+	df, ok := v.(*frame.DataFrame)
+	if !ok || df == nil {
+		return core.SplitType{}, fmt.Errorf("framesa: DfSplit ctor over %T", v)
+	}
+	return core.NewSplitType("DfSplit", int64(df.NRows())), nil
+}
+
+// SeriesSplitter splits a Series into row-range views and merges pieces by
+// concatenation.
+type SeriesSplitter struct{}
+
+// InPlace reports that slices alias the original storage.
+func (SeriesSplitter) InPlace() bool { return true }
+
+// Info reports the series length and per-row bytes.
+func (SeriesSplitter) Info(v any, t core.SplitType) (core.RuntimeInfo, error) {
+	s, ok := v.(*frame.Series)
+	if !ok {
+		return core.RuntimeInfo{}, fmt.Errorf("framesa: SeriesSplit over %T", v)
+	}
+	return core.RuntimeInfo{Elems: int64(s.Len()), ElemBytes: s.ElemBytes()}, nil
+}
+
+// Split returns rows [start, end) as a view.
+func (SeriesSplitter) Split(v any, t core.SplitType, start, end int64) (any, error) {
+	return v.(*frame.Series).Slice(int(start), int(end)), nil
+}
+
+// Merge concatenates row chunks.
+func (SeriesSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
+	ss := make([]*frame.Series, len(pieces))
+	for i, p := range pieces {
+		ss[i] = p.(*frame.Series)
+	}
+	return frame.ConcatSeries(ss...), nil
+}
+
+func seriesCtor(v any) (core.SplitType, error) {
+	s, ok := v.(*frame.Series)
+	if !ok || s == nil {
+		return core.SplitType{}, fmt.Errorf("framesa: SeriesSplit ctor over %T", v)
+	}
+	return core.NewSplitType("SeriesSplit", int64(s.Len())), nil
+}
+
+// GroupSplitter is the GroupSplit split type for grouped aggregations: the
+// pieces are partial *frame.Grouped aggregations and the merge re-groups
+// and re-aggregates them (§7, Pandas).
+type GroupSplitter struct{}
+
+// Info treats the partial aggregation as one unit.
+func (GroupSplitter) Info(v any, t core.SplitType) (core.RuntimeInfo, error) {
+	g, ok := v.(*frame.Grouped)
+	if !ok {
+		return core.RuntimeInfo{}, fmt.Errorf("framesa: GroupSplit over %T", v)
+	}
+	return core.RuntimeInfo{Elems: 1, ElemBytes: int64(g.NumGroups()) * 64}, nil
+}
+
+// Split is invalid for partial aggregations.
+func (GroupSplitter) Split(v any, t core.SplitType, start, end int64) (any, error) {
+	return nil, fmt.Errorf("framesa: GroupSplit values cannot be split")
+}
+
+// Merge combines partial aggregations.
+func (GroupSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
+	if len(pieces) == 0 {
+		return (*frame.Grouped)(nil), nil
+	}
+	acc := pieces[0].(*frame.Grouped)
+	for _, p := range pieces[1:] {
+		acc = acc.Combine(p.(*frame.Grouped))
+	}
+	return acc, nil
+}
+
+// MeanReduceSplitter merges frame.MeanPartial pieces by summing sums and
+// counts.
+type MeanReduceSplitter struct{}
+
+// Info treats the partial as one unit.
+func (MeanReduceSplitter) Info(v any, t core.SplitType) (core.RuntimeInfo, error) {
+	return core.RuntimeInfo{Elems: 1, ElemBytes: 16}, nil
+}
+
+// Split is invalid for reduction partials.
+func (MeanReduceSplitter) Split(v any, t core.SplitType, start, end int64) (any, error) {
+	return nil, fmt.Errorf("framesa: MeanReduce values cannot be split")
+}
+
+// Merge adds partial sums and counts.
+func (MeanReduceSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
+	var acc frame.MeanPartial
+	for _, p := range pieces {
+		mp := p.(frame.MeanPartial)
+		acc.Sum += mp.Sum
+		acc.Count += mp.Count
+	}
+	return acc, nil
+}
+
+// AddReduceSplitter merges partial float sums.
+type AddReduceSplitter struct{}
+
+// Info reports one scalar.
+func (AddReduceSplitter) Info(v any, t core.SplitType) (core.RuntimeInfo, error) {
+	return core.RuntimeInfo{Elems: 1, ElemBytes: 8}, nil
+}
+
+// Split is invalid for reduction partials.
+func (AddReduceSplitter) Split(v any, t core.SplitType, start, end int64) (any, error) {
+	return nil, fmt.Errorf("framesa: AddReduce values cannot be split")
+}
+
+// Merge sums partials. Int partials (from CountValid) sum as int64.
+func (AddReduceSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
+	if len(pieces) == 0 {
+		return 0.0, nil
+	}
+	if _, isInt := pieces[0].(int64); isInt {
+		var n int64
+		for _, p := range pieces {
+			n += p.(int64)
+		}
+		return n, nil
+	}
+	s := 0.0
+	for _, p := range pieces {
+		s += p.(float64)
+	}
+	return s, nil
+}
+
+func init() {
+	core.RegisterDefaultSplit((*frame.DataFrame)(nil), DfSplitter{}, dfCtor)
+	core.RegisterDefaultSplit((*frame.Series)(nil), SeriesSplitter{}, seriesCtor)
+}

@@ -1,0 +1,391 @@
+package framesa
+
+import (
+	"mozart/internal/core"
+	"mozart/internal/frame"
+)
+
+func retExpr(t core.TypeExpr) *core.TypeExpr { return &t }
+
+// makeSeriesBinary wraps f(a, b) -> Series as @splittable(a: S, b: S) -> S.
+func makeSeriesBinary(name string, f func(a, b *frame.Series) *frame.Series) (core.Func, *core.Annotation) {
+	fn := func(args []any) (any, error) {
+		return f(args[0].(*frame.Series), args[1].(*frame.Series)), nil
+	}
+	sa := &core.Annotation{FuncName: name, Params: []core.Param{
+		{Name: "a", Type: core.Generic("S")},
+		{Name: "b", Type: core.Generic("S")},
+	}, Ret: retExpr(core.Generic("S"))}
+	return fn, sa
+}
+
+// makeSeriesUnary wraps f(a) -> Series as @splittable(a: S) -> S.
+func makeSeriesUnary(name string, f func(a *frame.Series) *frame.Series) (core.Func, *core.Annotation) {
+	fn := func(args []any) (any, error) {
+		return f(args[0].(*frame.Series)), nil
+	}
+	sa := &core.Annotation{FuncName: name, Params: []core.Param{
+		{Name: "a", Type: core.Generic("S")},
+	}, Ret: retExpr(core.Generic("S"))}
+	return fn, sa
+}
+
+// makeSeriesFloatScalar wraps f(a, c) -> Series as
+// @splittable(a: S, c: _) -> S.
+func makeSeriesFloatScalar(name string, f func(a *frame.Series, c float64) *frame.Series) (core.Func, *core.Annotation) {
+	fn := func(args []any) (any, error) {
+		return f(args[0].(*frame.Series), args[1].(float64)), nil
+	}
+	sa := &core.Annotation{FuncName: name, Params: []core.Param{
+		{Name: "a", Type: core.Generic("S")},
+		{Name: "c", Type: core.Missing()},
+	}, Ret: retExpr(core.Generic("S"))}
+	return fn, sa
+}
+
+var (
+	addFn, addSA = makeSeriesBinary("sr.add", frame.AddSeries)
+	subFn, subSA = makeSeriesBinary("sr.sub", frame.SubSeries)
+	mulFn, mulSA = makeSeriesBinary("sr.mul", frame.MulSeries)
+	divFn, divSA = makeSeriesBinary("sr.div", frame.DivSeries)
+	andFn, andSA = makeSeriesBinary("sr.and", frame.And)
+	orFn, orSA   = makeSeriesBinary("sr.or", frame.Or)
+	m2nFn, m2nSA = makeSeriesBinary("sr.maskToNull", frame.MaskToNull)
+
+	notFn, notSA       = makeSeriesUnary("sr.not", frame.Not)
+	isNullFn, isNullSA = makeSeriesUnary("sr.isnull", frame.IsNull)
+
+	addSclFn, addSclSA = makeSeriesFloatScalar("sr.add.s", frame.AddScalar)
+	subSclFn, subSclSA = makeSeriesFloatScalar("sr.sub.s", frame.SubScalar)
+	mulSclFn, mulSclSA = makeSeriesFloatScalar("sr.mul.s", frame.MulScalar)
+	divSclFn, divSclSA = makeSeriesFloatScalar("sr.div.s", frame.DivScalar)
+	gtFn, gtSA         = makeSeriesFloatScalar("sr.gt", frame.GtScalar)
+	ltFn, ltSA         = makeSeriesFloatScalar("sr.lt", frame.LtScalar)
+	geFn, geSA         = makeSeriesFloatScalar("sr.ge", frame.GeScalar)
+	fillNaFn, fillNaSA = makeSeriesFloatScalar("sr.fillna", frame.FillNullFloat)
+)
+
+// AddSeries registers a + b.
+func AddSeries(s *core.Session, a, b any) *core.Future { return s.Call(addFn, addSA, a, b) }
+
+// SubSeries registers a - b.
+func SubSeries(s *core.Session, a, b any) *core.Future { return s.Call(subFn, subSA, a, b) }
+
+// MulSeries registers a * b.
+func MulSeries(s *core.Session, a, b any) *core.Future { return s.Call(mulFn, mulSA, a, b) }
+
+// DivSeries registers a / b.
+func DivSeries(s *core.Session, a, b any) *core.Future { return s.Call(divFn, divSA, a, b) }
+
+// And registers the conjunction of two masks.
+func And(s *core.Session, a, b any) *core.Future { return s.Call(andFn, andSA, a, b) }
+
+// Or registers the disjunction of two masks.
+func Or(s *core.Session, a, b any) *core.Future { return s.Call(orFn, orSA, a, b) }
+
+// Not registers the negation of a mask.
+func Not(s *core.Session, a any) *core.Future { return s.Call(notFn, notSA, a) }
+
+// IsNull registers the null mask of a series.
+func IsNull(s *core.Session, a any) *core.Future { return s.Call(isNullFn, isNullSA, a) }
+
+// MaskToNull registers nulling of rows selected by mask.
+func MaskToNull(s *core.Session, a, mask any) *core.Future { return s.Call(m2nFn, m2nSA, a, mask) }
+
+// AddScalar registers a + c.
+func AddScalar(s *core.Session, a any, c float64) *core.Future {
+	return s.Call(addSclFn, addSclSA, a, c)
+}
+
+// SubScalar registers a - c.
+func SubScalar(s *core.Session, a any, c float64) *core.Future {
+	return s.Call(subSclFn, subSclSA, a, c)
+}
+
+// MulScalar registers a * c.
+func MulScalar(s *core.Session, a any, c float64) *core.Future {
+	return s.Call(mulSclFn, mulSclSA, a, c)
+}
+
+// DivScalar registers a / c.
+func DivScalar(s *core.Session, a any, c float64) *core.Future {
+	return s.Call(divSclFn, divSclSA, a, c)
+}
+
+// GtScalar registers the a > c mask.
+func GtScalar(s *core.Session, a any, c float64) *core.Future { return s.Call(gtFn, gtSA, a, c) }
+
+// LtScalar registers the a < c mask.
+func LtScalar(s *core.Session, a any, c float64) *core.Future { return s.Call(ltFn, ltSA, a, c) }
+
+// GeScalar registers the a >= c mask.
+func GeScalar(s *core.Session, a any, c float64) *core.Future { return s.Call(geFn, geSA, a, c) }
+
+// FillNullFloat registers fillna(c).
+func FillNullFloat(s *core.Session, a any, c float64) *core.Future {
+	return s.Call(fillNaFn, fillNaSA, a, c)
+}
+
+// EqString registers the a == v mask.
+func EqString(s *core.Session, a any, v string) *core.Future {
+	return s.Call(eqStrFn, eqStrSA, a, v)
+}
+
+var eqStrFn core.Func = func(args []any) (any, error) {
+	return frame.EqString(args[0].(*frame.Series), args[1].(string)), nil
+}
+
+var eqStrSA = &core.Annotation{FuncName: "sr.eq", Params: []core.Param{
+	{Name: "a", Type: core.Generic("S")},
+	{Name: "v", Type: core.Missing()},
+}, Ret: retExpr(core.Generic("S"))}
+
+// InStrings registers the membership mask for vals.
+func InStrings(s *core.Session, a any, vals ...string) *core.Future {
+	return s.Call(inStrFn, inStrSA, a, vals)
+}
+
+var inStrFn core.Func = func(args []any) (any, error) {
+	return frame.InStrings(args[0].(*frame.Series), args[1].([]string)...), nil
+}
+
+var inStrSA = &core.Annotation{FuncName: "sr.isin", Params: []core.Param{
+	{Name: "a", Type: core.Generic("S")},
+	{Name: "vals", Type: core.Missing()},
+}, Ret: retExpr(core.Generic("S"))}
+
+// StrSlice registers str.slice(from, to).
+func StrSlice(s *core.Session, a any, from, to int) *core.Future {
+	return s.Call(strSliceFn, strSliceSA, a, from, to)
+}
+
+var strSliceFn core.Func = func(args []any) (any, error) {
+	return frame.StrSlice(args[0].(*frame.Series), args[1].(int), args[2].(int)), nil
+}
+
+var strSliceSA = &core.Annotation{FuncName: "sr.str.slice", Params: []core.Param{
+	{Name: "a", Type: core.Generic("S")},
+	{Name: "from", Type: core.Missing()},
+	{Name: "to", Type: core.Missing()},
+}, Ret: retExpr(core.Generic("S"))}
+
+// StrStartsWith registers the str.startswith mask.
+func StrStartsWith(s *core.Session, a any, prefix string) *core.Future {
+	return s.Call(strStartsFn, strStartsSA, a, prefix)
+}
+
+var strStartsFn core.Func = func(args []any) (any, error) {
+	return frame.StrStartsWith(args[0].(*frame.Series), args[1].(string)), nil
+}
+
+var strStartsSA = &core.Annotation{FuncName: "sr.str.startswith", Params: []core.Param{
+	{Name: "a", Type: core.Generic("S")},
+	{Name: "prefix", Type: core.Missing()},
+}, Ret: retExpr(core.Generic("S"))}
+
+// StrContains registers the str.contains mask.
+func StrContains(s *core.Session, a any, sub string) *core.Future {
+	return s.Call(strContainsFn, strContainsSA, a, sub)
+}
+
+var strContainsFn core.Func = func(args []any) (any, error) {
+	return frame.StrContains(args[0].(*frame.Series), args[1].(string)), nil
+}
+
+var strContainsSA = &core.Annotation{FuncName: "sr.str.contains", Params: []core.Param{
+	{Name: "a", Type: core.Generic("S")},
+	{Name: "sub", Type: core.Missing()},
+}, Ret: retExpr(core.Generic("S"))}
+
+// StrLenGt registers the len(a) > n mask.
+func StrLenGt(s *core.Session, a any, n int) *core.Future {
+	return s.Call(strLenGtFn, strLenGtSA, a, n)
+}
+
+var strLenGtFn core.Func = func(args []any) (any, error) {
+	return frame.StrLenGt(args[0].(*frame.Series), args[1].(int)), nil
+}
+
+var strLenGtSA = &core.Annotation{FuncName: "sr.str.len.gt", Params: []core.Param{
+	{Name: "a", Type: core.Generic("S")},
+	{Name: "n", Type: core.Missing()},
+}, Ret: retExpr(core.Generic("S"))}
+
+// Filter registers boolean-mask filtering of a frame; its output split is
+// unknown (§3.2).
+func Filter(s *core.Session, df, mask any) *core.Future {
+	return s.Call(filterFn, filterSA, df, mask)
+}
+
+var filterFn core.Func = func(args []any) (any, error) {
+	return frame.Filter(args[0].(*frame.DataFrame), args[1].(*frame.Series)), nil
+}
+
+var filterSA = &core.Annotation{FuncName: "df.filter", Params: []core.Param{
+	{Name: "df", Type: core.Generic("S")},
+	{Name: "mask", Type: core.Generic("T")},
+}, Ret: retExpr(core.Unknown())}
+
+// FilterSeries registers boolean-mask filtering of a series.
+func FilterSeries(s *core.Session, a, mask any) *core.Future {
+	return s.Call(filterSeriesFn, filterSeriesSA, a, mask)
+}
+
+var filterSeriesFn core.Func = func(args []any) (any, error) {
+	return frame.FilterSeries(args[0].(*frame.Series), args[1].(*frame.Series)), nil
+}
+
+var filterSeriesSA = &core.Annotation{FuncName: "sr.filter", Params: []core.Param{
+	{Name: "a", Type: core.Generic("S")},
+	{Name: "mask", Type: core.Generic("T")},
+}, Ret: retExpr(core.Unknown())}
+
+// Col registers column extraction df[name]; row-aligned with the frame, so
+// both sides share a pipeline.
+func Col(s *core.Session, df any, name string) *core.Future {
+	return s.Call(colFn, colSA, df, name)
+}
+
+var colFn core.Func = func(args []any) (any, error) {
+	return args[0].(*frame.DataFrame).Col(args[1].(string)), nil
+}
+
+var colSA = &core.Annotation{FuncName: "df.col", Params: []core.Param{
+	{Name: "df", Type: core.Generic("S")},
+	{Name: "name", Type: core.Missing()},
+}, Ret: retExpr(core.Generic("S"))}
+
+// WithColumn registers df.withColumn(s): the frame and the new column must
+// be row-aligned.
+func WithColumn(s *core.Session, df, col any) *core.Future {
+	return s.Call(withColFn, withColSA, df, col)
+}
+
+var withColFn core.Func = func(args []any) (any, error) {
+	return args[0].(*frame.DataFrame).WithColumn(args[1].(*frame.Series)), nil
+}
+
+var withColSA = &core.Annotation{FuncName: "df.withColumn", Params: []core.Param{
+	{Name: "df", Type: core.Generic("S")},
+	{Name: "col", Type: core.Generic("T")},
+}, Ret: retExpr(core.Generic("S"))}
+
+// SumFloat registers the sum reduction of a float series.
+func SumFloat(s *core.Session, a any) *core.Future { return s.Call(sumFn, sumSA, a) }
+
+var sumFn core.Func = func(args []any) (any, error) {
+	return frame.SumFloat(args[0].(*frame.Series)), nil
+}
+
+var sumSA = &core.Annotation{FuncName: "sr.sum", Params: []core.Param{
+	{Name: "a", Type: core.Generic("S")},
+}, Ret: retExpr(core.Concrete("AddReduce", AddReduceSplitter{}, core.FixedCtor(core.NewSplitType("AddReduce"))))}
+
+// CountValid registers the non-null count reduction.
+func CountValid(s *core.Session, a any) *core.Future { return s.Call(countFn, countSA, a) }
+
+var countFn core.Func = func(args []any) (any, error) {
+	return frame.CountValid(args[0].(*frame.Series)), nil
+}
+
+var countSA = &core.Annotation{FuncName: "sr.count", Params: []core.Param{
+	{Name: "a", Type: core.Generic("S")},
+}, Ret: retExpr(core.Concrete("AddReduce", AddReduceSplitter{}, core.FixedCtor(core.NewSplitType("AddReduce"))))}
+
+// Mean registers the mean reduction; the result future holds a
+// frame.MeanPartial — use MeanValue to read it as a float64.
+func Mean(s *core.Session, a any) *core.Future { return s.Call(meanFn, meanSA, a) }
+
+var meanFn core.Func = func(args []any) (any, error) {
+	return frame.Mean(args[0].(*frame.Series)), nil
+}
+
+var meanSA = &core.Annotation{FuncName: "sr.mean", Params: []core.Param{
+	{Name: "a", Type: core.Generic("S")},
+}, Ret: retExpr(core.Concrete("MeanReduce", MeanReduceSplitter{}, core.FixedCtor(core.NewSplitType("MeanReduce"))))}
+
+// MeanValue forces evaluation and unwraps a Mean future.
+func MeanValue(f *core.Future) (float64, error) {
+	v, err := f.Get()
+	if err != nil {
+		return 0, err
+	}
+	return v.(frame.MeanPartial).Value(), nil
+}
+
+// GroupByAgg registers a grouped aggregation: chunks aggregate
+// independently and the GroupSplit merge re-aggregates the partials. The
+// future holds a *frame.Grouped; finalize it with ToDataFrame.
+func GroupByAgg(s *core.Session, df any, keys []string, specs []frame.AggSpec) *core.Future {
+	return s.Call(groupByFn, groupBySA, df, keys, specs)
+}
+
+var groupByFn core.Func = func(args []any) (any, error) {
+	return frame.GroupByAgg(args[0].(*frame.DataFrame), args[1].([]string), args[2].([]frame.AggSpec)), nil
+}
+
+var groupBySA = &core.Annotation{FuncName: "df.groupby.agg", Params: []core.Param{
+	{Name: "df", Type: core.Generic("S")},
+	{Name: "keys", Type: core.Missing()},
+	{Name: "specs", Type: core.Missing()},
+}, Ret: retExpr(core.Concrete("GroupSplit", GroupSplitter{}, core.FixedCtor(core.NewSplitType("GroupSplit"))))}
+
+// ToDataFrame registers finalization of a grouped aggregation (whole call).
+func ToDataFrame(s *core.Session, g any) *core.Future {
+	return s.Call(toDfFn, toDfSA, g)
+}
+
+var toDfFn core.Func = func(args []any) (any, error) {
+	return args[0].(*frame.Grouped).ToDataFrame(), nil
+}
+
+var toDfSA = &core.Annotation{FuncName: "grouped.toDataFrame", Params: []core.Param{
+	{Name: "g", Type: core.Missing()},
+}, Ret: retExpr(core.Unknown())}
+
+// JoinIndexed registers a join: the probe frame splits, the index
+// broadcasts (§7: "joins split one table and broadcast the other"). The
+// output split is unknown.
+func JoinIndexed(s *core.Session, left any, ix *frame.Index, leftKey string, how frame.JoinHow) *core.Future {
+	return s.Call(joinFn, joinSA, left, ix, leftKey, how)
+}
+
+var joinFn core.Func = func(args []any) (any, error) {
+	return frame.JoinIndexed(args[0].(*frame.DataFrame), args[1].(*frame.Index), args[2].(string), args[3].(frame.JoinHow)), nil
+}
+
+var joinSA = &core.Annotation{FuncName: "df.join", Params: []core.Param{
+	{Name: "left", Type: core.Generic("S")},
+	{Name: "index", Type: core.Missing()},
+	{Name: "leftKey", Type: core.Missing()},
+	{Name: "how", Type: core.Missing()},
+}, Ret: retExpr(core.Unknown())}
+
+// SortByFloat registers a whole-frame sort (not splittable).
+func SortByFloat(s *core.Session, df any, col string, ascending bool) *core.Future {
+	return s.Call(sortFn, sortSA, df, col, ascending)
+}
+
+var sortFn core.Func = func(args []any) (any, error) {
+	return frame.SortByFloat(args[0].(*frame.DataFrame), args[1].(string), args[2].(bool)), nil
+}
+
+var sortSA = &core.Annotation{FuncName: "df.sort", Params: []core.Param{
+	{Name: "df", Type: core.Missing()},
+	{Name: "col", Type: core.Missing()},
+	{Name: "asc", Type: core.Missing()},
+}, Ret: retExpr(core.Unknown())}
+
+// UniqueStrings registers a whole-series distinct (not splittable: result
+// order depends on all rows).
+func UniqueStrings(s *core.Session, a any) *core.Future {
+	return s.Call(uniqueFn, uniqueSA, a)
+}
+
+var uniqueFn core.Func = func(args []any) (any, error) {
+	return frame.UniqueStrings(args[0].(*frame.Series)), nil
+}
+
+var uniqueSA = &core.Annotation{FuncName: "sr.unique", Params: []core.Param{
+	{Name: "a", Type: core.Missing()},
+}, Ret: retExpr(core.Unknown())}

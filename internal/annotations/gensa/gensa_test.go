@@ -1,0 +1,114 @@
+package gensa
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+
+	"mozart/internal/core"
+	"mozart/internal/satool"
+	"mozart/internal/vmath"
+)
+
+// TestGeneratedWrappersPipeline drives the tool-generated wrappers through
+// a full Mozart pipeline and compares with direct library calls.
+func TestGeneratedWrappersPipeline(t *testing.T) {
+	const n = 3000
+	rng := rand.New(rand.NewSource(7))
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = rng.Float64() + 0.1
+		b[i] = rng.Float64() + 0.1
+	}
+	ref := append([]float64(nil), a...)
+	vmath.Log1p(n, ref, ref)
+	vmath.Add(n, ref, b, ref)
+	vmath.Div(n, ref, b, ref)
+	wantDot := vmath.Dot(n, ref, b)
+
+	s := core.NewSession(core.Options{Workers: 4, BatchElems: 111})
+	Log1p(s, n, a, a)
+	Add(s, n, a, b, a)
+	Div(s, n, a, b, a)
+	dot := Dot(s, n, a, b)
+	got, err := dot.Float64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-wantDot) > 1e-7*(1+math.Abs(wantDot)) {
+		t.Fatalf("dot = %v want %v", got, wantDot)
+	}
+	for i := range a {
+		if math.Abs(a[i]-ref[i]) > 1e-12*(1+math.Abs(ref[i])) {
+			t.Fatalf("pipeline row %d", i)
+		}
+	}
+	if s.Stats().Stages != 1 {
+		t.Errorf("generated wrappers should pipeline into 1 stage, got %d", s.Stats().Stages)
+	}
+}
+
+// TestGeneratedSumAndExp covers the remaining generated functions.
+func TestGeneratedSumAndExp(t *testing.T) {
+	const n = 500
+	a := make([]float64, n)
+	for i := range a {
+		a[i] = float64(i%7) / 10
+	}
+	ref := make([]float64, n)
+	vmath.Exp(n, a, ref)
+	want := vmath.Sum(n, ref)
+
+	out := make([]float64, n)
+	s := core.NewSession(core.Options{Workers: 2, BatchElems: 37})
+	Exp(s, n, a, out)
+	Mul(s, n, out, out, out)
+	total := Sum(s, n, out)
+	got, err := total.Float64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSq := make([]float64, n)
+	vmath.Mul(n, ref, ref, refSq)
+	want = vmath.Sum(n, refSq)
+	if math.Abs(got-want) > 1e-7*(1+want) {
+		t.Fatalf("sum = %v want %v", got, want)
+	}
+}
+
+// TestGoldenRegeneration: the checked-in wrappers.gen.go matches what the
+// annotate tool produces from vmath.sa.
+func TestGoldenRegeneration(t *testing.T) {
+	src, err := os.ReadFile("vmath.sa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := satool.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := satool.Generate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed, err := os.ReadFile("wrappers.gen.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gofmt may have normalized the committed file; compare modulo spaces.
+	if normalize(string(committed)) != normalize(gen) {
+		t.Fatal("wrappers.gen.go is stale; regenerate with cmd/annotate")
+	}
+}
+
+func normalize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r != ' ' && r != '\t' && r != '\n' && r != '\r' {
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,208 @@
+// Package imagesa contains the split annotations and splitting API for the
+// imagelib library (the repository's ImageMagick stand-in), following the
+// paper's §7 integration: one split type for the image handle whose split
+// function crops full-width row bands (a copy) and whose merge appends the
+// bands back together (another copy). Because split and merge both copy,
+// this integration exhibits the split/merge overhead the paper reports for
+// the Nashville and Gotham workloads (§8.2, §8.5).
+package imagesa
+
+import (
+	"fmt"
+
+	"mozart/internal/core"
+	"mozart/internal/imagelib"
+)
+
+// ImageSplitter splits an image into cropped row bands and merges them by
+// vertical append. Pieces are copies, so mutated bands are written back
+// through the merged value (use Session.Track to observe the result).
+type ImageSplitter struct{}
+
+// Info reports one element per pixel row.
+func (ImageSplitter) Info(v any, t core.SplitType) (core.RuntimeInfo, error) {
+	m, ok := v.(*imagelib.Image)
+	if !ok {
+		return core.RuntimeInfo{}, fmt.Errorf("imagesa: ImageSplit over %T", v)
+	}
+	return core.RuntimeInfo{Elems: int64(m.H), ElemBytes: int64(m.W) * 4}, nil
+}
+
+// Split crops rows [start, end).
+func (ImageSplitter) Split(v any, t core.SplitType, start, end int64) (any, error) {
+	return v.(*imagelib.Image).Crop(int(start), int(end)), nil
+}
+
+// Merge appends the bands vertically.
+func (ImageSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
+	imgs := make([]*imagelib.Image, len(pieces))
+	for i, p := range pieces {
+		imgs[i] = p.(*imagelib.Image)
+	}
+	return imagelib.AppendVertically(imgs...), nil
+}
+
+func imageCtor(v any) (core.SplitType, error) {
+	m, ok := v.(*imagelib.Image)
+	if !ok || m == nil {
+		return core.SplitType{}, fmt.Errorf("imagesa: ImageSplit ctor over %T", v)
+	}
+	return core.NewSplitType("ImageSplit", int64(m.W), int64(m.H)), nil
+}
+
+// ImageSplit is the ImageSplit(img) type expression for the argument at
+// imgIdx.
+func ImageSplit(imgIdx int) core.TypeExpr {
+	return core.Concrete("ImageSplit", ImageSplitter{}, func(args []any) (core.SplitType, error) {
+		return imageCtor(args[imgIdx])
+	})
+}
+
+func init() {
+	core.RegisterDefaultSplit((*imagelib.Image)(nil), ImageSplitter{}, imageCtor)
+}
+
+// Modulate registers brightness/saturation/hue modulation.
+func Modulate(s *core.Session, img any, brightness, saturation, hue float64) {
+	s.Call(modulateFn, modulateSA, img, brightness, saturation, hue)
+}
+
+var modulateFn core.Func = func(args []any) (any, error) {
+	imagelib.Modulate(args[0].(*imagelib.Image), args[1].(float64), args[2].(float64), args[3].(float64))
+	return nil, nil
+}
+
+var modulateSA = &core.Annotation{FuncName: "MagickModulateImage", Params: []core.Param{
+	{Name: "img", Mut: true, Type: ImageSplit(0)},
+	{Name: "brightness", Type: core.Missing()},
+	{Name: "saturation", Type: core.Missing()},
+	{Name: "hue", Type: core.Missing()},
+}}
+
+// Gamma registers gamma correction.
+func Gamma(s *core.Session, img any, gamma float64) {
+	s.Call(gammaFn, gammaSA, img, gamma)
+}
+
+var gammaFn core.Func = func(args []any) (any, error) {
+	imagelib.Gamma(args[0].(*imagelib.Image), args[1].(float64))
+	return nil, nil
+}
+
+var gammaSA = &core.Annotation{FuncName: "MagickGammaImage", Params: []core.Param{
+	{Name: "img", Mut: true, Type: ImageSplit(0)},
+	{Name: "gamma", Type: core.Missing()},
+}}
+
+// Colorize registers a colorize blend.
+func Colorize(s *core.Session, img any, r, g, b uint8, alpha float64) {
+	s.Call(colorizeFn, colorizeSA, img, r, g, b, alpha)
+}
+
+var colorizeFn core.Func = func(args []any) (any, error) {
+	imagelib.Colorize(args[0].(*imagelib.Image), args[1].(uint8), args[2].(uint8), args[3].(uint8), args[4].(float64))
+	return nil, nil
+}
+
+var colorizeSA = &core.Annotation{FuncName: "MagickColorizeImage", Params: []core.Param{
+	{Name: "img", Mut: true, Type: ImageSplit(0)},
+	{Name: "r", Type: core.Missing()},
+	{Name: "g", Type: core.Missing()},
+	{Name: "b", Type: core.Missing()},
+	{Name: "alpha", Type: core.Missing()},
+}}
+
+// SigmoidalContrast registers an S-curve contrast adjustment.
+func SigmoidalContrast(s *core.Session, img any, sharpen bool, contrast, midpoint float64) {
+	s.Call(contrastFn, contrastSA, img, sharpen, contrast, midpoint)
+}
+
+var contrastFn core.Func = func(args []any) (any, error) {
+	imagelib.SigmoidalContrast(args[0].(*imagelib.Image), args[1].(bool), args[2].(float64), args[3].(float64))
+	return nil, nil
+}
+
+var contrastSA = &core.Annotation{FuncName: "MagickSigmoidalContrastImage", Params: []core.Param{
+	{Name: "img", Mut: true, Type: ImageSplit(0)},
+	{Name: "sharpen", Type: core.Missing()},
+	{Name: "contrast", Type: core.Missing()},
+	{Name: "midpoint", Type: core.Missing()},
+}}
+
+// Level registers a channel-range remap.
+func Level(s *core.Session, img any, black, white float64) {
+	s.Call(levelFn, levelSA, img, black, white)
+}
+
+var levelFn core.Func = func(args []any) (any, error) {
+	imagelib.Level(args[0].(*imagelib.Image), args[1].(float64), args[2].(float64))
+	return nil, nil
+}
+
+var levelSA = &core.Annotation{FuncName: "MagickLevelImage", Params: []core.Param{
+	{Name: "img", Mut: true, Type: ImageSplit(0)},
+	{Name: "black", Type: core.Missing()},
+	{Name: "white", Type: core.Missing()},
+}}
+
+// ChannelScale registers scaling of one channel.
+func ChannelScale(s *core.Session, img any, channel int, factor float64) {
+	s.Call(chanFn, chanSA, img, channel, factor)
+}
+
+var chanFn core.Func = func(args []any) (any, error) {
+	imagelib.ChannelScale(args[0].(*imagelib.Image), args[1].(int), args[2].(float64))
+	return nil, nil
+}
+
+var chanSA = &core.Annotation{FuncName: "MagickEvaluateImageChannel", Params: []core.Param{
+	{Name: "img", Mut: true, Type: ImageSplit(0)},
+	{Name: "channel", Type: core.Missing()},
+	{Name: "factor", Type: core.Missing()},
+}}
+
+// Grayscale registers luma conversion.
+func Grayscale(s *core.Session, img any) { s.Call(grayFn, graySA, img) }
+
+var grayFn core.Func = func(args []any) (any, error) {
+	imagelib.Grayscale(args[0].(*imagelib.Image))
+	return nil, nil
+}
+
+var graySA = &core.Annotation{FuncName: "MagickGrayscaleImage", Params: []core.Param{
+	{Name: "img", Mut: true, Type: ImageSplit(0)},
+}}
+
+// Blend registers compositing src over dst; both images split together.
+func Blend(s *core.Session, dst, src any, alpha float64) {
+	s.Call(blendFn, blendSA, dst, src, alpha)
+}
+
+var blendFn core.Func = func(args []any) (any, error) {
+	imagelib.Blend(args[0].(*imagelib.Image), args[1].(*imagelib.Image), args[2].(float64))
+	return nil, nil
+}
+
+var blendSA = &core.Annotation{FuncName: "MagickCompositeImage", Params: []core.Param{
+	{Name: "dst", Mut: true, Type: ImageSplit(0)},
+	{Name: "src", Type: ImageSplit(1)},
+	{Name: "alpha", Type: core.Missing()},
+}}
+
+// GaussianBlur registers a whole-image blur. The blur's boundary condition
+// reads rows outside any band, so it CANNOT be given a splittable
+// annotation (§7.1); the all-"_" annotation makes it run whole and break
+// pipelines around it.
+func GaussianBlur(s *core.Session, img any, sigma float64) {
+	s.Call(blurFn, blurSA, img, sigma)
+}
+
+var blurFn core.Func = func(args []any) (any, error) {
+	imagelib.GaussianBlur(args[0].(*imagelib.Image), args[1].(float64))
+	return nil, nil
+}
+
+var blurSA = &core.Annotation{FuncName: "MagickGaussianBlurImage", Params: []core.Param{
+	{Name: "img", Mut: true, Type: core.Missing()},
+	{Name: "sigma", Type: core.Missing()},
+}}

@@ -1,0 +1,182 @@
+package imagesa_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mozart/internal/annotations/imagesa"
+	"mozart/internal/core"
+	"mozart/internal/imagelib"
+)
+
+func randImage(w, h int, seed int64) *imagelib.Image {
+	m := imagelib.NewImage(w, h)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < len(m.Pix); i += 4 {
+		m.Pix[i] = uint8(rng.Intn(256))
+		m.Pix[i+1] = uint8(rng.Intn(256))
+		m.Pix[i+2] = uint8(rng.Intn(256))
+		m.Pix[i+3] = 255
+	}
+	return m
+}
+
+// TestFilterPipelineMatchesLibrary runs a Gotham-style chain under Mozart
+// and compares with direct library calls.
+func TestFilterPipelineMatchesLibrary(t *testing.T) {
+	img := randImage(32, 100, 1)
+	ref := img.Clone()
+	imagelib.Modulate(ref, 120, 10, 100)
+	imagelib.Colorize(ref, 34, 43, 109, 0.2)
+	imagelib.Gamma(ref, 0.5)
+	imagelib.SigmoidalContrast(ref, true, 3, 128)
+
+	s := core.NewSession(core.Options{Workers: 3, BatchElems: 13})
+	fut := s.Track(img)
+	imagesa.Modulate(s, img, 120, 10, 100)
+	imagesa.Colorize(s, img, 34, 43, 109, 0.2)
+	imagesa.Gamma(s, img, 0.5)
+	imagesa.SigmoidalContrast(s, img, true, 3, 128)
+	v, err := fut.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.(*imagelib.Image)
+	if !got.Equal(ref) {
+		t.Fatal("pipelined filter differs from library")
+	}
+	if s.Stats().Stages != 1 {
+		t.Errorf("want 1 stage, got %d", s.Stats().Stages)
+	}
+}
+
+// TestWriteBackReplacesValue: image splits copy, so results arrive through
+// the tracked future, not the original allocation.
+func TestWriteBackReplacesValue(t *testing.T) {
+	img := randImage(8, 20, 2)
+	orig := img.Clone()
+	s := core.NewSession(core.Options{Workers: 2, BatchElems: 4})
+	fut := s.Track(img)
+	imagesa.Grayscale(s, img)
+	v, err := fut.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.(*imagelib.Image)
+	if got == img {
+		t.Fatal("merged image should be a new value")
+	}
+	if !img.Equal(orig) {
+		t.Fatal("original allocation should be untouched (crop copies)")
+	}
+	refImg := orig.Clone()
+	imagelib.Grayscale(refImg)
+	if !got.Equal(refImg) {
+		t.Fatal("grayscale mismatch")
+	}
+}
+
+// TestBlurBreaksPipeline: the un-splittable blur runs whole between split
+// stages, and later split calls see its output.
+func TestBlurBreaksPipeline(t *testing.T) {
+	img := randImage(16, 60, 3)
+	ref := img.Clone()
+	imagelib.Gamma(ref, 0.8)
+	imagelib.GaussianBlur(ref, 1.5)
+	imagelib.Colorize(ref, 255, 153, 102, 0.1)
+
+	s := core.NewSession(core.Options{Workers: 2, BatchElems: 10})
+	fut := s.Track(img)
+	imagesa.Gamma(s, img, 0.8)
+	imagesa.GaussianBlur(s, img, 1.5)
+	imagesa.Colorize(s, img, 255, 153, 102, 0.1)
+	v, err := fut.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.(*imagelib.Image).Equal(ref) {
+		t.Fatal("blur pipeline mismatch")
+	}
+	if s.Stats().Stages != 3 {
+		t.Errorf("want 3 stages (split | whole blur | split), got %d", s.Stats().Stages)
+	}
+}
+
+// TestBlendSplitsBothImages: Blend's two image arguments split together.
+func TestBlendSplitsBothImages(t *testing.T) {
+	a, b := randImage(12, 48, 4), randImage(12, 48, 5)
+	ref := a.Clone()
+	imagelib.Blend(ref, b, 0.4)
+
+	s := core.NewSession(core.Options{Workers: 4, BatchElems: 7})
+	fut := s.Track(a)
+	imagesa.Blend(s, a, b, 0.4)
+	v, err := fut.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.(*imagelib.Image).Equal(ref) {
+		t.Fatal("blend mismatch")
+	}
+}
+
+// TestLevelAndChannelScale: remaining wrappers against the library.
+func TestLevelAndChannelScale(t *testing.T) {
+	img := randImage(10, 30, 6)
+	ref := img.Clone()
+	imagelib.Level(ref, 10, 240)
+	imagelib.ChannelScale(ref, 2, 0.8)
+
+	s := core.NewSession(core.Options{Workers: 2, BatchElems: 16})
+	fut := s.Track(img)
+	imagesa.Level(s, img, 10, 240)
+	imagesa.ChannelScale(s, img, 2, 0.8)
+	v, err := fut.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.(*imagelib.Image).Equal(ref) {
+		t.Fatal("level/channel mismatch")
+	}
+}
+
+// TestCheckAnnotationOnImageOps runs the §7.1 soundness fuzz checker: every
+// pixel-local op passes under its row-split annotation, while the same
+// annotation applied to GaussianBlur — whose boundary condition reads
+// neighbouring rows — is rejected.
+func TestCheckAnnotationOnImageOps(t *testing.T) {
+	gen := func(seed int64) []any {
+		return []any{randImage(24, 40, seed), 0.8}
+	}
+	eq := func(got, want any) bool {
+		g, ok1 := got.(*imagelib.Image)
+		w, ok2 := want.(*imagelib.Image)
+		return ok1 && ok2 && g.Equal(w)
+	}
+
+	gammaSA := &core.Annotation{FuncName: "gamma", Params: []core.Param{
+		{Name: "img", Mut: true, Type: imagesa.ImageSplit(0)},
+		{Name: "g", Type: core.Missing()},
+	}}
+	gammaFn := func(args []any) (any, error) {
+		imagelib.Gamma(args[0].(*imagelib.Image), args[1].(float64))
+		return nil, nil
+	}
+	if err := core.CheckAnnotation(gammaFn, gammaSA, gen, eq, core.CheckConfig{Seed: 9, MaxBatch: 16}); err != nil {
+		t.Fatalf("gamma should be soundly splittable: %v", err)
+	}
+
+	// Deliberately give Blur the same splittable annotation: unsound.
+	blurSA := &core.Annotation{FuncName: "blur", Params: []core.Param{
+		{Name: "img", Mut: true, Type: imagesa.ImageSplit(0)},
+		{Name: "sigma", Type: core.Missing()},
+	}}
+	blurFn := func(args []any) (any, error) {
+		imagelib.GaussianBlur(args[0].(*imagelib.Image), args[1].(float64))
+		return nil, nil
+	}
+	genBlur := func(seed int64) []any { return []any{randImage(24, 40, seed), 1.5} }
+	if err := core.CheckAnnotation(blurFn, blurSA, genBlur, eq, core.CheckConfig{Seed: 10, MaxBatch: 16}); err == nil {
+		t.Fatal("a splittable Blur annotation must be rejected by the checker (§7.1)")
+	}
+}

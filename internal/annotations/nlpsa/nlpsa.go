@@ -1,0 +1,160 @@
+// Package nlpsa contains the split annotation and splitting API for the
+// nlp library (the repository's spaCy stand-in): a corpus split type built
+// on the library's own minibatch tokenizer, which lets any function that
+// accepts a corpus of text be parallelized and pipelined (§7, spaCy).
+package nlpsa
+
+import (
+	"fmt"
+
+	"mozart/internal/core"
+	"mozart/internal/nlp"
+)
+
+// CorpusSplitter splits a []string corpus into contiguous document ranges
+// (zero-copy sub-slices) and merges by concatenation.
+type CorpusSplitter struct{}
+
+// InPlace reports that pieces alias the corpus slice.
+func (CorpusSplitter) InPlace() bool { return true }
+
+// Info reports one element per document; per-document bytes are estimated
+// from the first document.
+func (CorpusSplitter) Info(v any, t core.SplitType) (core.RuntimeInfo, error) {
+	c, ok := v.([]string)
+	if !ok {
+		return core.RuntimeInfo{}, fmt.Errorf("nlpsa: CorpusSplit over %T", v)
+	}
+	bytes := int64(256)
+	if len(c) > 0 {
+		bytes = int64(len(c[0])) + 16
+	}
+	return core.RuntimeInfo{Elems: int64(len(c)), ElemBytes: bytes}, nil
+}
+
+// Split returns documents [start, end).
+func (CorpusSplitter) Split(v any, t core.SplitType, start, end int64) (any, error) {
+	return v.([]string)[start:end], nil
+}
+
+// Merge concatenates document ranges.
+func (CorpusSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
+	var out []string
+	for _, p := range pieces {
+		out = append(out, p.([]string)...)
+	}
+	return out, nil
+}
+
+func corpusCtor(v any) (core.SplitType, error) {
+	c, ok := v.([]string)
+	if !ok {
+		return core.SplitType{}, fmt.Errorf("nlpsa: CorpusSplit ctor over %T", v)
+	}
+	return core.NewSplitType("CorpusSplit", int64(len(c))), nil
+}
+
+// CorpusSplit is the CorpusSplit(corpus) type expression for the argument
+// at idx.
+func CorpusSplit(idx int) core.TypeExpr {
+	return core.Concrete("CorpusSplit", CorpusSplitter{}, func(args []any) (core.SplitType, error) {
+		return corpusCtor(args[idx])
+	})
+}
+
+// DocsSplitter merges tagged-document slices by concatenation (the output
+// side of Pipe).
+type DocsSplitter struct{}
+
+// InPlace reports that pieces alias produced storage.
+func (DocsSplitter) InPlace() bool { return true }
+
+// Info reports one element per document.
+func (DocsSplitter) Info(v any, t core.SplitType) (core.RuntimeInfo, error) {
+	d, ok := v.([]*nlp.Doc)
+	if !ok {
+		return core.RuntimeInfo{}, fmt.Errorf("nlpsa: DocsSplit over %T", v)
+	}
+	return core.RuntimeInfo{Elems: int64(len(d)), ElemBytes: 512}, nil
+}
+
+// Split returns documents [start, end).
+func (DocsSplitter) Split(v any, t core.SplitType, start, end int64) (any, error) {
+	return v.([]*nlp.Doc)[start:end], nil
+}
+
+// Merge concatenates document ranges.
+func (DocsSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
+	var out []*nlp.Doc
+	for _, p := range pieces {
+		out = append(out, p.([]*nlp.Doc)...)
+	}
+	return out, nil
+}
+
+func docsCtor(v any) (core.SplitType, error) {
+	d, ok := v.([]*nlp.Doc)
+	if !ok {
+		return core.SplitType{}, fmt.Errorf("nlpsa: DocsSplit ctor over %T", v)
+	}
+	return core.NewSplitType("DocsSplit", int64(len(d))), nil
+}
+
+// CountReduceSplitter merges POS histograms by addition.
+type CountReduceSplitter struct{}
+
+// Info treats the histogram as one unit.
+func (CountReduceSplitter) Info(v any, t core.SplitType) (core.RuntimeInfo, error) {
+	return core.RuntimeInfo{Elems: 1, ElemBytes: 256}, nil
+}
+
+// Split is invalid for reduction partials.
+func (CountReduceSplitter) Split(v any, t core.SplitType, start, end int64) (any, error) {
+	return nil, fmt.Errorf("nlpsa: CountReduce values cannot be split")
+}
+
+// Merge adds histograms.
+func (CountReduceSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
+	acc := map[string]int64{}
+	for _, p := range pieces {
+		acc = nlp.MergeCounts(acc, p.(map[string]int64))
+	}
+	return acc, nil
+}
+
+func init() {
+	core.RegisterDefaultSplit([]string(nil), CorpusSplitter{}, corpusCtor)
+	core.RegisterDefaultSplit([]*nlp.Doc(nil), DocsSplitter{}, docsCtor)
+}
+
+// Pipe registers tagging of a corpus through the tagger; document batches
+// process independently and concatenate.
+func Pipe(s *core.Session, tagger *nlp.Tagger, corpus any) *core.Future {
+	return s.Call(pipeFn, pipeSA, tagger, corpus)
+}
+
+var pipeFn core.Func = func(args []any) (any, error) {
+	return args[0].(*nlp.Tagger).Pipe(args[1].([]string)), nil
+}
+
+var pipeSA = &core.Annotation{FuncName: "nlp.pipe", Params: []core.Param{
+	{Name: "tagger", Type: core.Missing()},
+	{Name: "corpus", Type: CorpusSplit(1)},
+}, Ret: func() *core.TypeExpr { t := core.Generic("S"); return &t }()}
+
+// POSCounts registers histogram feature extraction over tagged documents;
+// partial histograms merge by addition.
+func POSCounts(s *core.Session, docs any) *core.Future {
+	return s.Call(posFn, posSA, docs)
+}
+
+var posFn core.Func = func(args []any) (any, error) {
+	return nlp.POSCounts(args[0].([]*nlp.Doc)), nil
+}
+
+var posSA = &core.Annotation{FuncName: "nlp.posCounts", Params: []core.Param{
+	{Name: "docs", Type: core.Generic("S")},
+}, Ret: func() *core.TypeExpr {
+	t := core.Concrete("CountReduce", CountReduceSplitter{}, core.FixedCtor(core.NewSplitType("CountReduce")))
+	return &t
+}()}

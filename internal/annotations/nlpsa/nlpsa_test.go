@@ -1,0 +1,168 @@
+package nlpsa_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mozart/internal/annotations/nlpsa"
+	"mozart/internal/core"
+	"mozart/internal/nlp"
+)
+
+func corpus(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("Review %d: The film was surprisingly enjoyable and the actors did well.", i)
+	}
+	return out
+}
+
+// TestPipeParallelMatchesSerial: tagging through Mozart equals serial
+// tagging, and the tag+featurize pipeline shares one stage.
+func TestPipeParallelMatchesSerial(t *testing.T) {
+	tg := nlp.NewTagger()
+	c := corpus(200)
+	wantDocs := tg.Pipe(c)
+	wantCounts := nlp.POSCounts(wantDocs)
+
+	s := core.NewSession(core.Options{Workers: 4, BatchElems: 16})
+	docs := nlpsa.Pipe(s, tg, c)
+	counts := nlpsa.POSCounts(s, docs)
+
+	v, err := counts.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.(map[string]int64)
+	if len(got) != len(wantCounts) {
+		t.Fatalf("histogram sizes %d vs %d", len(got), len(wantCounts))
+	}
+	for k, n := range wantCounts {
+		if got[k] != n {
+			t.Fatalf("POS %s: %d vs %d", k, got[k], n)
+		}
+	}
+	if s.Stats().Stages != 1 {
+		t.Errorf("tag+featurize should pipeline, got %d stages", s.Stats().Stages)
+	}
+}
+
+// TestPipeDocsMaterialize: the tagged docs merge back in corpus order when
+// kept.
+func TestPipeDocsMaterialize(t *testing.T) {
+	tg := nlp.NewTagger()
+	c := corpus(57)
+	want := tg.Pipe(c)
+
+	s := core.NewSession(core.Options{Workers: 3, BatchElems: 10})
+	f := nlpsa.Pipe(s, tg, c)
+	v, err := f.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.([]*nlp.Doc)
+	if len(got) != len(want) {
+		t.Fatalf("docs %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i].Tokens) != len(want[i].Tokens) {
+			t.Fatalf("doc %d tokens differ", i)
+		}
+		for j := range want[i].Tokens {
+			if got[i].Tokens[j] != want[i].Tokens[j] {
+				t.Fatalf("doc %d token %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestEmptyCorpus: zero documents produce an empty histogram.
+func TestEmptyCorpus(t *testing.T) {
+	tg := nlp.NewTagger()
+	s := core.NewSession(core.Options{Workers: 2})
+	counts := nlpsa.POSCounts(s, nlpsa.Pipe(s, tg, make([]string, 0, 1)))
+	v, err := counts.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		if m, ok := v.(map[string]int64); ok && len(m) != 0 {
+			t.Fatalf("want empty histogram, got %v", m)
+		}
+	}
+}
+
+// TestSplitterErrorPaths covers the splitting API's type checks.
+func TestSplitterErrorPaths(t *testing.T) {
+	cs := nlpsa.CorpusSplitter{}
+	if _, err := cs.Info(42, core.NewSplitType("CorpusSplit")); err == nil {
+		t.Error("CorpusSplit Info should reject non-corpus values")
+	}
+	if !cs.InPlace() {
+		t.Error("corpus pieces are views")
+	}
+	ds := nlpsa.DocsSplitter{}
+	if _, err := ds.Info(42, core.NewSplitType("DocsSplit")); err == nil {
+		t.Error("DocsSplit Info should reject non-doc values")
+	}
+	cr := nlpsa.CountReduceSplitter{}
+	if _, err := cr.Split(nil, core.NewSplitType("CountReduce"), 0, 1); err == nil {
+		t.Error("count partials must not split")
+	}
+	if info, err := cr.Info(map[string]int64{}, core.NewSplitType("CountReduce")); err != nil || info.Elems != 1 {
+		t.Error("count Info")
+	}
+}
+
+// TestCorpusSplitRoundTrip: split + merge reproduces the corpus.
+func TestCorpusSplitRoundTrip(t *testing.T) {
+	cs := nlpsa.CorpusSplitter{}
+	c := corpus(23)
+	typ := core.NewSplitType("CorpusSplit", int64(len(c)))
+	var pieces []any
+	for lo := int64(0); lo < int64(len(c)); lo += 5 {
+		hi := lo + 5
+		if hi > int64(len(c)) {
+			hi = int64(len(c))
+		}
+		p, err := cs.Split(c, typ, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pieces = append(pieces, p)
+	}
+	m, err := cs.Merge(pieces, typ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.([]string)
+	if len(got) != len(c) {
+		t.Fatal("length")
+	}
+	for i := range c {
+		if got[i] != c[i] {
+			t.Fatal("order")
+		}
+	}
+}
+
+// TestDocsSplitterOnDocs: docs split/merge round trip via the default
+// registry path.
+func TestDocsSplitterOnDocs(t *testing.T) {
+	tg := nlp.NewTagger()
+	docs := tg.Pipe(corpus(9))
+	ds := nlpsa.DocsSplitter{}
+	typ := core.NewSplitType("DocsSplit", int64(len(docs)))
+	p1, _ := ds.Split(docs, typ, 0, 4)
+	p2, _ := ds.Split(docs, typ, 4, 9)
+	m, err := ds.Merge([]any{p1, p2}, typ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.([]*nlp.Doc)) != 9 {
+		t.Fatal("merge length")
+	}
+	if info, err := ds.Info(docs, typ); err != nil || info.Elems != 9 {
+		t.Fatal("docs info")
+	}
+}

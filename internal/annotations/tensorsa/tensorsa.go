@@ -1,0 +1,417 @@
+// Package tensorsa contains the split annotations and splitting API for the
+// tensor library (the repository's NumPy stand-in), mirroring the paper's
+// §7 NumPy integration: a single split type for ndarray whose behaviour
+// depends on the array shape, SAs over all unary/binary/reduction
+// operators, and per-reduction split types that only implement merge.
+package tensorsa
+
+import (
+	"fmt"
+
+	"mozart/internal/core"
+	"mozart/internal/tensor"
+)
+
+// NdSplitter splits an NDArray along axis 0 into shared-storage views and
+// merges pieces by concatenation.
+type NdSplitter struct{}
+
+// InPlace reports that pieces alias the original storage.
+func (NdSplitter) InPlace() bool { return true }
+
+// Info reports axis-0 length as the element count and the row size in
+// bytes as the element size.
+func (NdSplitter) Info(v any, t core.SplitType) (core.RuntimeInfo, error) {
+	a, ok := v.(*tensor.NDArray)
+	if !ok {
+		return core.RuntimeInfo{}, fmt.Errorf("tensorsa: NdSplit over %T", v)
+	}
+	return core.RuntimeInfo{Elems: int64(a.Rows()), ElemBytes: int64(a.RowSize()) * 8}, nil
+}
+
+// Split returns rows [start, end) as a view.
+func (NdSplitter) Split(v any, t core.SplitType, start, end int64) (any, error) {
+	return v.(*tensor.NDArray).RowSlice(int(start), int(end)), nil
+}
+
+// Merge concatenates pieces along axis 0.
+func (NdSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
+	arrays := make([]*tensor.NDArray, len(pieces))
+	for i, p := range pieces {
+		arrays[i] = p.(*tensor.NDArray)
+	}
+	return tensor.Concat(arrays...), nil
+}
+
+// ndCtor builds NdSplit<rows, rowSize> from the array value.
+func ndCtor(v any) (core.SplitType, error) {
+	a, ok := v.(*tensor.NDArray)
+	if !ok || a == nil {
+		return core.SplitType{}, fmt.Errorf("tensorsa: NdSplit ctor over %T", v)
+	}
+	return core.NewSplitType("NdSplit", int64(a.Rows()), int64(a.RowSize())), nil
+}
+
+// NdSplit is the concrete NdSplit(a) type expression reading the shape from
+// argument argIdx.
+func NdSplit(argIdx int) core.TypeExpr {
+	return core.Concrete("NdSplit", NdSplitter{}, func(args []any) (core.SplitType, error) {
+		return ndCtor(args[argIdx])
+	})
+}
+
+// ScalarAddReduceSplitter merges partial sums.
+type ScalarAddReduceSplitter struct{}
+
+// Info reports one scalar.
+func (ScalarAddReduceSplitter) Info(v any, t core.SplitType) (core.RuntimeInfo, error) {
+	return core.RuntimeInfo{Elems: 1, ElemBytes: 8}, nil
+}
+
+// Split is invalid for reduction partials.
+func (ScalarAddReduceSplitter) Split(v any, t core.SplitType, start, end int64) (any, error) {
+	return nil, fmt.Errorf("tensorsa: reduction partials cannot be split")
+}
+
+// Merge sums partials.
+func (ScalarAddReduceSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
+	s := 0.0
+	for _, p := range pieces {
+		s += p.(float64)
+	}
+	return s, nil
+}
+
+// VecAddReduceSplitter merges partial 1-d arrays by elementwise addition
+// (for axis-0 reductions over row-split arrays).
+type VecAddReduceSplitter struct{}
+
+// Info reports the partial vector as one unit.
+func (VecAddReduceSplitter) Info(v any, t core.SplitType) (core.RuntimeInfo, error) {
+	return core.RuntimeInfo{Elems: 1, ElemBytes: int64(v.(*tensor.NDArray).Size()) * 8}, nil
+}
+
+// Split is invalid for reduction partials.
+func (VecAddReduceSplitter) Split(v any, t core.SplitType, start, end int64) (any, error) {
+	return nil, fmt.Errorf("tensorsa: reduction partials cannot be split")
+}
+
+// Merge adds the partial arrays elementwise.
+func (VecAddReduceSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
+	if len(pieces) == 0 {
+		return tensor.New(0), nil
+	}
+	out := pieces[0].(*tensor.NDArray).Clone()
+	for _, p := range pieces[1:] {
+		a := p.(*tensor.NDArray)
+		if a.Size() != out.Size() {
+			return nil, fmt.Errorf("tensorsa: partial size mismatch")
+		}
+		for i := range a.Data {
+			out.Data[i] += a.Data[i]
+		}
+	}
+	return out, nil
+}
+
+// MaxReduceSplitter merges partial maxima.
+type MaxReduceSplitter struct{}
+
+// Info reports one scalar.
+func (MaxReduceSplitter) Info(v any, t core.SplitType) (core.RuntimeInfo, error) {
+	return core.RuntimeInfo{Elems: 1, ElemBytes: 8}, nil
+}
+
+// Split is invalid for reduction partials.
+func (MaxReduceSplitter) Split(v any, t core.SplitType, start, end int64) (any, error) {
+	return nil, fmt.Errorf("tensorsa: reduction partials cannot be split")
+}
+
+// Merge keeps the largest partial.
+func (MaxReduceSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
+	best := pieces[0].(float64)
+	for _, p := range pieces[1:] {
+		if x := p.(float64); x > best {
+			best = x
+		}
+	}
+	return best, nil
+}
+
+func retExpr(t core.TypeExpr) *core.TypeExpr { return &t }
+
+func genericS() core.TypeExpr { return core.Generic("S") }
+
+func init() {
+	core.RegisterDefaultSplit((*tensor.NDArray)(nil), NdSplitter{}, ndCtor)
+}
+
+// makeBinary wraps f(a, b) -> new array as @splittable(a: S, b: S) -> S.
+func makeBinary(name string, f func(a, b *tensor.NDArray) *tensor.NDArray) (core.Func, *core.Annotation) {
+	fn := func(args []any) (any, error) {
+		return f(args[0].(*tensor.NDArray), args[1].(*tensor.NDArray)), nil
+	}
+	sa := &core.Annotation{FuncName: name, Params: []core.Param{
+		{Name: "a", Type: genericS()},
+		{Name: "b", Type: genericS()},
+	}, Ret: retExpr(genericS())}
+	return fn, sa
+}
+
+// makeUnary wraps f(a) -> new array as @splittable(a: S) -> S.
+func makeUnary(name string, f func(a *tensor.NDArray) *tensor.NDArray) (core.Func, *core.Annotation) {
+	fn := func(args []any) (any, error) {
+		return f(args[0].(*tensor.NDArray)), nil
+	}
+	sa := &core.Annotation{FuncName: name, Params: []core.Param{
+		{Name: "a", Type: genericS()},
+	}, Ret: retExpr(genericS())}
+	return fn, sa
+}
+
+// makeScalar wraps f(a, c) -> new array as @splittable(a: S, c: _) -> S.
+func makeScalar(name string, f func(a *tensor.NDArray, c float64) *tensor.NDArray) (core.Func, *core.Annotation) {
+	fn := func(args []any) (any, error) {
+		return f(args[0].(*tensor.NDArray), args[1].(float64)), nil
+	}
+	sa := &core.Annotation{FuncName: name, Params: []core.Param{
+		{Name: "a", Type: genericS()},
+		{Name: "c", Type: core.Missing()},
+	}, Ret: retExpr(genericS())}
+	return fn, sa
+}
+
+var (
+	addFn, addSA     = makeBinary("np.add", tensor.Add)
+	subFn, subSA     = makeBinary("np.subtract", tensor.Sub)
+	mulFn, mulSA     = makeBinary("np.multiply", tensor.Mul)
+	divFn, divSA     = makeBinary("np.divide", tensor.Div)
+	maxFn, maxSA     = makeBinary("np.maximum", tensor.Maximum)
+	minFn, minSA     = makeBinary("np.minimum", tensor.Minimum)
+	powFn, powSA     = makeBinary("np.power", tensor.Pow)
+	atan2Fn, atan2SA = makeBinary("np.arctan2", tensor.Atan2)
+	grFn, grSA       = makeBinary("np.greater", tensor.Greater)
+	lsFn, lsSA       = makeBinary("np.less", tensor.Less)
+
+	sqrtFn, sqrtSA   = makeUnary("np.sqrt", tensor.Sqrt)
+	expFn, expSA     = makeUnary("np.exp", tensor.Exp)
+	logFn, logSA     = makeUnary("np.log", tensor.Log)
+	log1pFn, log1pSA = makeUnary("np.log1p", tensor.Log1p)
+	log2Fn, log2SA   = makeUnary("np.log2", tensor.Log2)
+	erfFn, erfSA     = makeUnary("scipy.erf", tensor.Erf)
+	absFn, absSA     = makeUnary("np.abs", tensor.Abs)
+	negFn, negSA     = makeUnary("np.negative", tensor.Neg)
+	sinFn, sinSA     = makeUnary("np.sin", tensor.Sin)
+	cosFn, cosSA     = makeUnary("np.cos", tensor.Cos)
+	sqFn, sqSA       = makeUnary("np.square", tensor.Square)
+	invFn, invSA     = makeUnary("np.reciprocal", tensor.Invert)
+
+	addsFn, addsSA   = makeScalar("np.add.s", tensor.AddS)
+	subsFn, subsSA   = makeScalar("np.subtract.s", tensor.SubS)
+	rsubsFn, rsubsSA = makeScalar("np.rsubtract.s", tensor.RSubS)
+	mulsFn, mulsSA   = makeScalar("np.multiply.s", tensor.MulS)
+	divsFn, divsSA   = makeScalar("np.divide.s", tensor.DivS)
+	rdivsFn, rdivsSA = makeScalar("np.rdivide.s", tensor.RDivS)
+	powsFn, powsSA   = makeScalar("np.power.s", tensor.PowS)
+	grsFn, grsSA     = makeScalar("np.greater.s", tensor.GreaterS)
+	lsssFn, lsssSA   = makeScalar("np.less.s", tensor.LessS)
+)
+
+// Add registers a + b.
+func Add(s *core.Session, a, b any) *core.Future { return s.Call(addFn, addSA, a, b) }
+
+// Sub registers a - b.
+func Sub(s *core.Session, a, b any) *core.Future { return s.Call(subFn, subSA, a, b) }
+
+// Mul registers a * b.
+func Mul(s *core.Session, a, b any) *core.Future { return s.Call(mulFn, mulSA, a, b) }
+
+// Div registers a / b.
+func Div(s *core.Session, a, b any) *core.Future { return s.Call(divFn, divSA, a, b) }
+
+// Maximum registers max(a, b).
+func Maximum(s *core.Session, a, b any) *core.Future { return s.Call(maxFn, maxSA, a, b) }
+
+// Minimum registers min(a, b).
+func Minimum(s *core.Session, a, b any) *core.Future { return s.Call(minFn, minSA, a, b) }
+
+// Pow registers a^b.
+func Pow(s *core.Session, a, b any) *core.Future { return s.Call(powFn, powSA, a, b) }
+
+// Atan2 registers atan2(a, b).
+func Atan2(s *core.Session, a, b any) *core.Future { return s.Call(atan2Fn, atan2SA, a, b) }
+
+// Greater registers the a > b mask.
+func Greater(s *core.Session, a, b any) *core.Future { return s.Call(grFn, grSA, a, b) }
+
+// Less registers the a < b mask.
+func Less(s *core.Session, a, b any) *core.Future { return s.Call(lsFn, lsSA, a, b) }
+
+// Sqrt registers sqrt(a).
+func Sqrt(s *core.Session, a any) *core.Future { return s.Call(sqrtFn, sqrtSA, a) }
+
+// Exp registers e^a.
+func Exp(s *core.Session, a any) *core.Future { return s.Call(expFn, expSA, a) }
+
+// Log registers ln(a).
+func Log(s *core.Session, a any) *core.Future { return s.Call(logFn, logSA, a) }
+
+// Log1p registers ln(1+a).
+func Log1p(s *core.Session, a any) *core.Future { return s.Call(log1pFn, log1pSA, a) }
+
+// Log2 registers log2(a).
+func Log2(s *core.Session, a any) *core.Future { return s.Call(log2Fn, log2SA, a) }
+
+// Erf registers erf(a).
+func Erf(s *core.Session, a any) *core.Future { return s.Call(erfFn, erfSA, a) }
+
+// Abs registers |a|.
+func Abs(s *core.Session, a any) *core.Future { return s.Call(absFn, absSA, a) }
+
+// Neg registers -a.
+func Neg(s *core.Session, a any) *core.Future { return s.Call(negFn, negSA, a) }
+
+// Sin registers sin(a).
+func Sin(s *core.Session, a any) *core.Future { return s.Call(sinFn, sinSA, a) }
+
+// Cos registers cos(a).
+func Cos(s *core.Session, a any) *core.Future { return s.Call(cosFn, cosSA, a) }
+
+// Square registers a*a.
+func Square(s *core.Session, a any) *core.Future { return s.Call(sqFn, sqSA, a) }
+
+// Invert registers 1/a.
+func Invert(s *core.Session, a any) *core.Future { return s.Call(invFn, invSA, a) }
+
+// AddS registers a + c.
+func AddS(s *core.Session, a any, c float64) *core.Future { return s.Call(addsFn, addsSA, a, c) }
+
+// SubS registers a - c.
+func SubS(s *core.Session, a any, c float64) *core.Future { return s.Call(subsFn, subsSA, a, c) }
+
+// RSubS registers c - a.
+func RSubS(s *core.Session, a any, c float64) *core.Future { return s.Call(rsubsFn, rsubsSA, a, c) }
+
+// MulS registers a * c.
+func MulS(s *core.Session, a any, c float64) *core.Future { return s.Call(mulsFn, mulsSA, a, c) }
+
+// DivS registers a / c.
+func DivS(s *core.Session, a any, c float64) *core.Future { return s.Call(divsFn, divsSA, a, c) }
+
+// RDivS registers c / a.
+func RDivS(s *core.Session, a any, c float64) *core.Future { return s.Call(rdivsFn, rdivsSA, a, c) }
+
+// PowS registers a^c.
+func PowS(s *core.Session, a any, c float64) *core.Future { return s.Call(powsFn, powsSA, a, c) }
+
+// GreaterS registers the a > c mask.
+func GreaterS(s *core.Session, a any, c float64) *core.Future { return s.Call(grsFn, grsSA, a, c) }
+
+// LessS registers the a < c mask.
+func LessS(s *core.Session, a any, c float64) *core.Future { return s.Call(lsssFn, lsssSA, a, c) }
+
+// Where registers mask != 0 ? a : b.
+func Where(s *core.Session, mask, a, b any) *core.Future {
+	return s.Call(whereFn, whereSA, mask, a, b)
+}
+
+var whereFn core.Func = func(args []any) (any, error) {
+	return tensor.Where(args[0].(*tensor.NDArray), args[1].(*tensor.NDArray), args[2].(*tensor.NDArray)), nil
+}
+
+var whereSA = &core.Annotation{FuncName: "np.where", Params: []core.Param{
+	{Name: "mask", Type: genericS()},
+	{Name: "a", Type: genericS()},
+	{Name: "b", Type: genericS()},
+}, Ret: retExpr(genericS())}
+
+// Sum registers the full-array sum reduction.
+func Sum(s *core.Session, a any) *core.Future { return s.Call(sumRedFn, sumRedSA, a) }
+
+var sumRedFn core.Func = func(args []any) (any, error) {
+	return tensor.Sum(args[0].(*tensor.NDArray)), nil
+}
+
+var sumRedSA = &core.Annotation{FuncName: "np.sum", Params: []core.Param{
+	{Name: "a", Type: genericS()},
+}, Ret: retExpr(core.Concrete("AddReduce", ScalarAddReduceSplitter{}, core.FixedCtor(core.NewSplitType("AddReduce"))))}
+
+// Max registers the full-array max reduction.
+func Max(s *core.Session, a any) *core.Future { return s.Call(maxRedFn, maxRedSA, a) }
+
+var maxRedFn core.Func = func(args []any) (any, error) {
+	return tensor.Max(args[0].(*tensor.NDArray)), nil
+}
+
+var maxRedSA = &core.Annotation{FuncName: "np.max", Params: []core.Param{
+	{Name: "a", Type: genericS()},
+}, Ret: retExpr(core.Concrete("MaxReduce", MaxReduceSplitter{}, core.FixedCtor(core.NewSplitType("MaxReduce"))))}
+
+// SumAxis registers an axis reduction of a 2-d array. Axis 0 sums down the
+// rows (partials merge by vector addition); axis 1 is row-local (partials
+// concatenate) — the same shape-dependent behaviour the paper's ndarray
+// split type captures.
+func SumAxis(s *core.Session, a any, axis int) *core.Future {
+	if axis == 0 {
+		return s.Call(sumAxis0Fn, sumAxis0SA, a)
+	}
+	return s.Call(sumAxis1Fn, sumAxis1SA, a)
+}
+
+var sumAxis0Fn core.Func = func(args []any) (any, error) {
+	return tensor.SumAxis0(args[0].(*tensor.NDArray)), nil
+}
+
+var sumAxis0SA = &core.Annotation{FuncName: "np.sum.axis0", Params: []core.Param{
+	{Name: "a", Type: genericS()},
+}, Ret: retExpr(core.Concrete("VecAddReduce", VecAddReduceSplitter{}, core.FixedCtor(core.NewSplitType("VecAddReduce"))))}
+
+var sumAxis1Fn core.Func = func(args []any) (any, error) {
+	return tensor.SumAxis1(args[0].(*tensor.NDArray)), nil
+}
+
+var sumAxis1SA = &core.Annotation{FuncName: "np.sum.axis1", Params: []core.Param{
+	{Name: "a", Type: genericS()},
+}, Ret: retExpr(core.Unknown())}
+
+// Roll registers a circular shift. Axis-1 rolls are row-local and pipeline;
+// axis-0 rolls move rows across split boundaries and run whole.
+func Roll(s *core.Session, a any, k, axis int) *core.Future {
+	if axis == 1 {
+		return s.Call(rollColsFn, rollColsSA, a, k)
+	}
+	return s.Call(rollRowsFn, rollRowsSA, a, k)
+}
+
+var rollColsFn core.Func = func(args []any) (any, error) {
+	return tensor.Roll(args[0].(*tensor.NDArray), args[1].(int), 1), nil
+}
+
+var rollColsSA = &core.Annotation{FuncName: "np.roll.axis1", Params: []core.Param{
+	{Name: "a", Type: genericS()},
+	{Name: "k", Type: core.Missing()},
+}, Ret: retExpr(genericS())}
+
+var rollRowsFn core.Func = func(args []any) (any, error) {
+	return tensor.Roll(args[0].(*tensor.NDArray), args[1].(int), 0), nil
+}
+
+var rollRowsSA = &core.Annotation{FuncName: "np.roll.axis0", Params: []core.Param{
+	{Name: "a", Type: core.Missing()},
+	{Name: "k", Type: core.Missing()},
+}, Ret: retExpr(core.Unknown())}
+
+// OuterSub registers the pairwise-difference matrix x[i]-y[j]; it reads all
+// of both vectors, so it runs whole.
+func OuterSub(s *core.Session, x, y any) *core.Future {
+	return s.Call(outerSubFn, outerSubSA, x, y)
+}
+
+var outerSubFn core.Func = func(args []any) (any, error) {
+	return tensor.OuterSub(args[0].(*tensor.NDArray), args[1].(*tensor.NDArray)), nil
+}
+
+var outerSubSA = &core.Annotation{FuncName: "np.outer.subtract", Params: []core.Param{
+	{Name: "x", Type: core.Missing()},
+	{Name: "y", Type: core.Missing()},
+}, Ret: retExpr(core.Unknown())}

@@ -1,0 +1,257 @@
+package tensorsa_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mozart/internal/annotations/tensorsa"
+	"mozart/internal/core"
+	"mozart/internal/tensor"
+)
+
+func randArr(seed int64, shape ...int) *tensor.NDArray {
+	a := tensor.New(shape...)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range a.Data {
+		a.Data[i] = rng.Float64()*4 + 0.25
+	}
+	return a
+}
+
+func sess() *core.Session { return core.NewSession(core.Options{Workers: 3, BatchElems: 64}) }
+
+func wantArr(t *testing.T, f *core.Future, want *tensor.NDArray, what string) {
+	t.Helper()
+	v, err := f.Get()
+	if err != nil {
+		t.Fatalf("%s: %v", what, err)
+	}
+	got := v.(*tensor.NDArray)
+	if got.Size() != want.Size() {
+		t.Fatalf("%s: size %d vs %d", what, got.Size(), want.Size())
+	}
+	for i := range got.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-9*(1+math.Abs(want.Data[i])) {
+			t.Fatalf("%s: idx %d: %v vs %v", what, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestElementwisePipeline: a chain of out-of-place NumPy-style ops fuses
+// into one stage; intermediates are never materialized.
+func TestElementwisePipeline(t *testing.T) {
+	a, b := randArr(1, 4000), randArr(2, 4000)
+	want := tensor.Div(tensor.Add(tensor.Log1p(a), b), tensor.Sqrt(b))
+
+	s := sess()
+	x := tensorsa.Log1p(s, a)
+	y := tensorsa.Add(s, x, b)
+	z := tensorsa.Div(s, y, tensorsa.Sqrt(s, b))
+	wantArr(t, z, want, "pipeline")
+	if s.Stats().Stages != 1 {
+		t.Errorf("want 1 stage, got %d", s.Stats().Stages)
+	}
+	if _, err := x.Get(); err != core.ErrDiscarded {
+		t.Errorf("intermediate should be discarded, got %v", err)
+	}
+}
+
+// TestScalarAndComparisonOps: scalar forms and masks through Where.
+func TestScalarAndComparisonOps(t *testing.T) {
+	a, b := randArr(3, 1000), randArr(4, 1000)
+	want := tensor.Where(tensor.Greater(a, b), tensor.MulS(a, 2), tensor.RSubS(b, 1))
+
+	s := sess()
+	m := tensorsa.Greater(s, a, b)
+	w := tensorsa.Where(s, m, tensorsa.MulS(s, a, 2), tensorsa.RSubS(s, b, 1))
+	wantArr(t, w, want, "where")
+	if s.Stats().Stages != 1 {
+		t.Errorf("want 1 stage, got %d", s.Stats().Stages)
+	}
+}
+
+// TestReductionOps: Sum/Max over pipelined values.
+func TestReductionOps(t *testing.T) {
+	a := randArr(5, 3000)
+	s := sess()
+	total := tensorsa.Sum(s, tensorsa.Square(s, a))
+	got, err := total.Float64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.Sum(tensor.Square(a))
+	if math.Abs(got-want) > 1e-7*(1+want) {
+		t.Fatalf("Sum = %v want %v", got, want)
+	}
+	mx := tensorsa.Max(s, a)
+	if got, _ := mx.Float64(); got != tensor.Max(a) {
+		t.Fatal("Max")
+	}
+}
+
+// TestAxisReductions: axis 0 merges by vector add, axis 1 concatenates.
+func TestAxisReductions(t *testing.T) {
+	a := randArr(6, 300, 5)
+	s := sess()
+	wantArr(t, tensorsa.SumAxis(s, a, 0), tensor.SumAxis0(a), "SumAxis0")
+	wantArr(t, tensorsa.SumAxis(s, a, 1), tensor.SumAxis1(a), "SumAxis1")
+}
+
+// TestRollBehaviour: axis-1 rolls pipeline; axis-0 rolls run whole and
+// break stages (the Shallow Water structure).
+func TestRollBehaviour(t *testing.T) {
+	a := randArr(7, 200, 8)
+	want := tensor.Mul(tensor.Roll(a, 1, 1), a)
+	s := sess()
+	r := tensorsa.Roll(s, a, 1, 1)
+	m := tensorsa.Mul(s, r, a)
+	wantArr(t, m, want, "roll axis1 + mul")
+	if s.Stats().Stages != 1 {
+		t.Errorf("axis-1 roll should pipeline, got %d stages", s.Stats().Stages)
+	}
+
+	want0 := tensor.Mul(tensor.Roll(a, 1, 0), a)
+	s2 := sess()
+	r0 := tensorsa.Roll(s2, a, 1, 0)
+	m0 := tensorsa.Mul(s2, r0, a)
+	wantArr(t, m0, want0, "roll axis0 + mul")
+	if s2.Stats().Stages != 2 {
+		t.Errorf("axis-0 roll should run whole, got %d stages", s2.Stats().Stages)
+	}
+}
+
+// TestOuterSubWhole: OuterSub runs whole; downstream elementwise ops split.
+func TestOuterSubWhole(t *testing.T) {
+	x, y := randArr(8, 40), randArr(9, 40)
+	want := tensor.Sqrt(tensor.Abs(tensor.OuterSub(x, y)))
+	s := sess()
+	d := tensorsa.OuterSub(s, x, y)
+	r := tensorsa.Sqrt(s, tensorsa.Abs(s, d))
+	wantArr(t, r, want, "outer + sqrt(abs)")
+	if s.Stats().Stages != 2 {
+		t.Errorf("want 2 stages, got %d", s.Stats().Stages)
+	}
+}
+
+// TestMixedShapesBreakStage: consuming arrays whose NdSplit parameters
+// differ in one call re-splits via defaults but stays correct.
+func TestMixedShapesBreakStage(t *testing.T) {
+	a := randArr(10, 100, 3) // rows=100, rowSize=3
+	b := randArr(11, 300)    // rows=300
+	// a*a is split as <100,3>; reshaped result b2 aligns with b as <300,1>.
+	s := sess()
+	sq := tensorsa.Square(s, a)
+	v, err := sq.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := v.(*tensor.NDArray).Reshape(300)
+	sum := tensorsa.Add(s, flat, b)
+	want := tensor.Add(tensor.Square(a).Reshape(300), b)
+	wantArr(t, sum, want, "mixed shapes")
+}
+
+// TestWorkersDeterminism: identical results across worker counts.
+func TestWorkersDeterminism(t *testing.T) {
+	a, b := randArr(12, 2500), randArr(13, 2500)
+	var ref *tensor.NDArray
+	for i, workers := range []int{1, 2, 5, 8} {
+		s := core.NewSession(core.Options{Workers: workers, BatchElems: 111})
+		f := tensorsa.Mul(s, tensorsa.Add(s, a, b), tensorsa.Exp(s, tensorsa.Neg(s, a)))
+		v, err := f.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := v.(*tensor.NDArray)
+		if i == 0 {
+			ref = got
+			continue
+		}
+		for j := range got.Data {
+			if got.Data[j] != ref.Data[j] {
+				t.Fatalf("workers=%d differ at %d", workers, j)
+			}
+		}
+	}
+}
+
+// TestAllWrappersAgainstLibrary drives every tensor wrapper once and
+// compares against the direct library call.
+func TestAllWrappersAgainstLibrary(t *testing.T) {
+	a, b := randArr(20, 900), randArr(21, 900)
+	cases := []struct {
+		name string
+		moz  func(s *core.Session) *core.Future
+		want *tensor.NDArray
+	}{
+		{"Add", func(s *core.Session) *core.Future { return tensorsa.Add(s, a, b) }, tensor.Add(a, b)},
+		{"Sub", func(s *core.Session) *core.Future { return tensorsa.Sub(s, a, b) }, tensor.Sub(a, b)},
+		{"Mul", func(s *core.Session) *core.Future { return tensorsa.Mul(s, a, b) }, tensor.Mul(a, b)},
+		{"Div", func(s *core.Session) *core.Future { return tensorsa.Div(s, a, b) }, tensor.Div(a, b)},
+		{"Maximum", func(s *core.Session) *core.Future { return tensorsa.Maximum(s, a, b) }, tensor.Maximum(a, b)},
+		{"Minimum", func(s *core.Session) *core.Future { return tensorsa.Minimum(s, a, b) }, tensor.Minimum(a, b)},
+		{"Pow", func(s *core.Session) *core.Future { return tensorsa.Pow(s, a, b) }, tensor.Pow(a, b)},
+		{"Atan2", func(s *core.Session) *core.Future { return tensorsa.Atan2(s, a, b) }, tensor.Atan2(a, b)},
+		{"Greater", func(s *core.Session) *core.Future { return tensorsa.Greater(s, a, b) }, tensor.Greater(a, b)},
+		{"Less", func(s *core.Session) *core.Future { return tensorsa.Less(s, a, b) }, tensor.Less(a, b)},
+		{"Sqrt", func(s *core.Session) *core.Future { return tensorsa.Sqrt(s, a) }, tensor.Sqrt(a)},
+		{"Exp", func(s *core.Session) *core.Future { return tensorsa.Exp(s, a) }, tensor.Exp(a)},
+		{"Log", func(s *core.Session) *core.Future { return tensorsa.Log(s, a) }, tensor.Log(a)},
+		{"Log1p", func(s *core.Session) *core.Future { return tensorsa.Log1p(s, a) }, tensor.Log1p(a)},
+		{"Log2", func(s *core.Session) *core.Future { return tensorsa.Log2(s, a) }, tensor.Log2(a)},
+		{"Erf", func(s *core.Session) *core.Future { return tensorsa.Erf(s, a) }, tensor.Erf(a)},
+		{"Abs", func(s *core.Session) *core.Future { return tensorsa.Abs(s, a) }, tensor.Abs(a)},
+		{"Neg", func(s *core.Session) *core.Future { return tensorsa.Neg(s, a) }, tensor.Neg(a)},
+		{"Sin", func(s *core.Session) *core.Future { return tensorsa.Sin(s, a) }, tensor.Sin(a)},
+		{"Cos", func(s *core.Session) *core.Future { return tensorsa.Cos(s, a) }, tensor.Cos(a)},
+		{"Square", func(s *core.Session) *core.Future { return tensorsa.Square(s, a) }, tensor.Square(a)},
+		{"Invert", func(s *core.Session) *core.Future { return tensorsa.Invert(s, a) }, tensor.Invert(a)},
+		{"AddS", func(s *core.Session) *core.Future { return tensorsa.AddS(s, a, 2) }, tensor.AddS(a, 2)},
+		{"SubS", func(s *core.Session) *core.Future { return tensorsa.SubS(s, a, 2) }, tensor.SubS(a, 2)},
+		{"RSubS", func(s *core.Session) *core.Future { return tensorsa.RSubS(s, a, 2) }, tensor.RSubS(a, 2)},
+		{"MulS", func(s *core.Session) *core.Future { return tensorsa.MulS(s, a, 2) }, tensor.MulS(a, 2)},
+		{"DivS", func(s *core.Session) *core.Future { return tensorsa.DivS(s, a, 2) }, tensor.DivS(a, 2)},
+		{"RDivS", func(s *core.Session) *core.Future { return tensorsa.RDivS(s, a, 2) }, tensor.RDivS(a, 2)},
+		{"PowS", func(s *core.Session) *core.Future { return tensorsa.PowS(s, a, 2) }, tensor.PowS(a, 2)},
+		{"GreaterS", func(s *core.Session) *core.Future { return tensorsa.GreaterS(s, a, 2) }, tensor.GreaterS(a, 2)},
+		{"LessS", func(s *core.Session) *core.Future { return tensorsa.LessS(s, a, 2) }, tensor.LessS(a, 2)},
+	}
+	for _, c := range cases {
+		s := sess()
+		wantArr(t, c.moz(s), c.want, c.name)
+	}
+}
+
+// TestSplitterErrors: the splitting API rejects foreign types and
+// reduction partials reject Split.
+func TestSplitterErrors(t *testing.T) {
+	if _, err := (tensorsa.NdSplitter{}).Info("nope", core.NewSplitType("NdSplit")); err == nil {
+		t.Error("Info should reject non-arrays")
+	}
+	if _, err := (tensorsa.ScalarAddReduceSplitter{}).Split(1.0, core.NewSplitType("AddReduce"), 0, 1); err == nil {
+		t.Error("reduction partials must not split")
+	}
+	if _, err := (tensorsa.VecAddReduceSplitter{}).Split(nil, core.NewSplitType("VecAddReduce"), 0, 1); err == nil {
+		t.Error("vector reduction partials must not split")
+	}
+	if _, err := (tensorsa.MaxReduceSplitter{}).Split(nil, core.NewSplitType("MaxReduce"), 0, 1); err == nil {
+		t.Error("max partials must not split")
+	}
+	// Mismatched vector partial lengths fail the merge.
+	if _, err := (tensorsa.VecAddReduceSplitter{}).Merge([]any{tensor.New(3), tensor.New(4)}, core.NewSplitType("VecAddReduce")); err == nil {
+		t.Error("mismatched partial lengths must fail")
+	}
+}
+
+// TestNdSplitInfoBytes: Info reports row granularity for 2-d arrays.
+func TestNdSplitInfoBytes(t *testing.T) {
+	a := randArr(22, 10, 7)
+	info, err := (tensorsa.NdSplitter{}).Info(a, core.NewSplitType("NdSplit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Elems != 10 || info.ElemBytes != 7*8 {
+		t.Fatalf("info = %+v", info)
+	}
+}

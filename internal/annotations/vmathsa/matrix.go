@@ -1,0 +1,247 @@
+package vmathsa
+
+import (
+	"mozart/internal/core"
+	"mozart/internal/vmath"
+)
+
+// Matrix annotations. Everything that operates row-locally splits by rows
+// (MatrixSplit); operations that move data across rows (ShiftRows,
+// OuterDiff) are annotated with only "_" arguments and therefore run whole,
+// breaking pipelines exactly where the paper's nBody / Shallow Water
+// workloads hit un-pipelineable operators (§8.2).
+
+// makeMatBinary builds f(a, b, mut out) with all matrices row split.
+func makeMatBinary(name string, f func(a, b, out *vmath.Matrix)) (core.Func, *core.Annotation) {
+	fn := func(args []any) (any, error) {
+		f(args[0].(*vmath.Matrix), args[1].(*vmath.Matrix), args[2].(*vmath.Matrix))
+		return nil, nil
+	}
+	sa := &core.Annotation{FuncName: name, Params: []core.Param{
+		{Name: "a", Type: MatrixSplit(0)},
+		{Name: "b", Type: MatrixSplit(1)},
+		{Name: "out", Mut: true, Type: MatrixSplit(2)},
+	}}
+	return fn, sa
+}
+
+// makeMatUnary builds f(a, mut out).
+func makeMatUnary(name string, f func(a, out *vmath.Matrix)) (core.Func, *core.Annotation) {
+	fn := func(args []any) (any, error) {
+		f(args[0].(*vmath.Matrix), args[1].(*vmath.Matrix))
+		return nil, nil
+	}
+	sa := &core.Annotation{FuncName: name, Params: []core.Param{
+		{Name: "a", Type: MatrixSplit(0)},
+		{Name: "out", Mut: true, Type: MatrixSplit(1)},
+	}}
+	return fn, sa
+}
+
+// makeMatScalar builds f(a, c, mut out) with scalar c unsplit.
+func makeMatScalar(name string, f func(a *vmath.Matrix, c float64, out *vmath.Matrix)) (core.Func, *core.Annotation) {
+	fn := func(args []any) (any, error) {
+		f(args[0].(*vmath.Matrix), args[1].(float64), args[2].(*vmath.Matrix))
+		return nil, nil
+	}
+	sa := &core.Annotation{FuncName: name, Params: []core.Param{
+		{Name: "a", Type: MatrixSplit(0)},
+		{Name: "c", Type: core.Missing()},
+		{Name: "out", Mut: true, Type: MatrixSplit(2)},
+	}}
+	return fn, sa
+}
+
+var (
+	matAddFn, matAddSA     = makeMatBinary("matAdd", vmath.MatAdd)
+	matSubFn, matSubSA     = makeMatBinary("matSub", vmath.MatSub)
+	matMulFn, matMulSA     = makeMatBinary("matMulElem", vmath.MatMulElem)
+	matDivFn, matDivSA     = makeMatBinary("matDivElem", vmath.MatDivElem)
+	matSqrtFn, matSqrtSA   = makeMatUnary("matSqrt", vmath.MatSqrt)
+	matExpFn, matExpSA     = makeMatUnary("matExp", vmath.MatExp)
+	matCopyFn, matCopySA   = makeMatUnary("matCopy", vmath.MatCopy)
+	matScaleFn, matScaleSA = makeMatScalar("matScale", vmath.MatScale)
+	matAddCFn, matAddCSA   = makeMatScalar("matAddC", vmath.MatAddC)
+	matPowCFn, matPowCSA   = makeMatScalar("matPowC", vmath.MatPowC)
+)
+
+// MatAdd registers out = a + b.
+func MatAdd(s *core.Session, a, b, out any) { s.Call(matAddFn, matAddSA, a, b, out) }
+
+// MatSub registers out = a - b.
+func MatSub(s *core.Session, a, b, out any) { s.Call(matSubFn, matSubSA, a, b, out) }
+
+// MatMulElem registers out = a * b elementwise.
+func MatMulElem(s *core.Session, a, b, out any) { s.Call(matMulFn, matMulSA, a, b, out) }
+
+// MatDivElem registers out = a / b elementwise.
+func MatDivElem(s *core.Session, a, b, out any) { s.Call(matDivFn, matDivSA, a, b, out) }
+
+// MatSqrt registers out = sqrt(a).
+func MatSqrt(s *core.Session, a, out any) { s.Call(matSqrtFn, matSqrtSA, a, out) }
+
+// MatExp registers out = exp(a).
+func MatExp(s *core.Session, a, out any) { s.Call(matExpFn, matExpSA, a, out) }
+
+// MatCopy registers out = a.
+func MatCopy(s *core.Session, a, out any) { s.Call(matCopyFn, matCopySA, a, out) }
+
+// MatScale registers out = a * c.
+func MatScale(s *core.Session, a any, c float64, out any) {
+	s.Call(matScaleFn, matScaleSA, a, c, out)
+}
+
+// MatAddC registers out = a + c.
+func MatAddC(s *core.Session, a any, c float64, out any) { s.Call(matAddCFn, matAddCSA, a, c, out) }
+
+// MatPowC registers out = a^c elementwise.
+func MatPowC(s *core.Session, a any, c float64, out any) { s.Call(matPowCFn, matPowCSA, a, c, out) }
+
+// MulRowVec registers out[i][j] = a[i][j] * v[j]; v is broadcast.
+func MulRowVec(s *core.Session, a, v, out any) { s.Call(mulRowVecFn, mulRowVecSA, a, v, out) }
+
+var mulRowVecFn core.Func = func(args []any) (any, error) {
+	vmath.MulRowVec(args[0].(*vmath.Matrix), args[1].([]float64), args[2].(*vmath.Matrix))
+	return nil, nil
+}
+
+var mulRowVecSA = &core.Annotation{FuncName: "mulRowVec", Params: []core.Param{
+	{Name: "a", Type: MatrixSplit(0)},
+	{Name: "v", Type: core.Missing()},
+	{Name: "out", Mut: true, Type: MatrixSplit(2)},
+}}
+
+// AddRowVec registers out[i][j] = a[i][j] + v[j]; v is broadcast.
+func AddRowVec(s *core.Session, a, v, out any) { s.Call(addRowVecFn, addRowVecSA, a, v, out) }
+
+var addRowVecFn core.Func = func(args []any) (any, error) {
+	vmath.AddRowVec(args[0].(*vmath.Matrix), args[1].([]float64), args[2].(*vmath.Matrix))
+	return nil, nil
+}
+
+var addRowVecSA = &core.Annotation{FuncName: "addRowVec", Params: []core.Param{
+	{Name: "a", Type: MatrixSplit(0)},
+	{Name: "v", Type: core.Missing()},
+	{Name: "out", Mut: true, Type: MatrixSplit(2)},
+}}
+
+// MulColVec registers out[i][j] = a[i][j] * v[i]; v splits with the rows.
+func MulColVec(s *core.Session, a, v, out any) { s.Call(mulColVecFn, mulColVecSA, a, v, out) }
+
+var mulColVecFn core.Func = func(args []any) (any, error) {
+	vmath.MulColVec(args[0].(*vmath.Matrix), args[1].([]float64), args[2].(*vmath.Matrix))
+	return nil, nil
+}
+
+var mulColVecSA = &core.Annotation{FuncName: "mulColVec", Params: []core.Param{
+	{Name: "a", Type: MatrixSplit(0)},
+	{Name: "v", Type: core.Concrete("ArraySplit", ArraySplitter{}, func(args []any) (core.SplitType, error) {
+		return core.NewSplitType("ArraySplit", int64(len(args[1].([]float64)))), nil
+	})},
+	{Name: "out", Mut: true, Type: MatrixSplit(2)},
+}}
+
+// RowSums registers out[i] = sum of row i; out splits with the rows.
+func RowSums(s *core.Session, a, out any) { s.Call(rowSumsFn, rowSumsSA, a, out) }
+
+var rowSumsFn core.Func = func(args []any) (any, error) {
+	vmath.RowSums(args[0].(*vmath.Matrix), args[1].([]float64))
+	return nil, nil
+}
+
+var rowSumsSA = &core.Annotation{FuncName: "rowSums", Params: []core.Param{
+	{Name: "a", Type: MatrixSplit(0)},
+	{Name: "out", Mut: true, Type: core.Concrete("ArraySplit", ArraySplitter{}, func(args []any) (core.SplitType, error) {
+		return core.NewSplitType("ArraySplit", int64(len(args[1].([]float64)))), nil
+	})},
+}}
+
+// ColSums registers the column-sum reduction; partial vectors from each row
+// band merge by elementwise addition (§3.3 Ex. 5's sumReduceToVector).
+func ColSums(s *core.Session, a any) *core.Future { return s.Call(colSumsFn, colSumsSA, a) }
+
+var colSumsFn core.Func = func(args []any) (any, error) {
+	return vmath.ColSums(args[0].(*vmath.Matrix)), nil
+}
+
+var colSumsSA = &core.Annotation{FuncName: "colSums", Params: []core.Param{
+	{Name: "a", Type: MatrixSplit(0)},
+}, Ret: func() *core.TypeExpr { t := VecAddReduce(); return &t }()}
+
+// ShiftCols registers a circular column roll (row-local, so it pipelines).
+func ShiftCols(s *core.Session, a any, k int, out any) { s.Call(shiftColsFn, shiftColsSA, a, k, out) }
+
+var shiftColsFn core.Func = func(args []any) (any, error) {
+	vmath.ShiftCols(args[0].(*vmath.Matrix), args[1].(int), args[2].(*vmath.Matrix))
+	return nil, nil
+}
+
+var shiftColsSA = &core.Annotation{FuncName: "shiftCols", Params: []core.Param{
+	{Name: "a", Type: MatrixSplit(0)},
+	{Name: "k", Type: core.Missing()},
+	{Name: "out", Mut: true, Type: MatrixSplit(2)},
+}}
+
+// ShiftRows registers a circular row roll. Rows cross split boundaries, so
+// the annotation marks everything "_": the call runs whole and breaks the
+// pipeline around it.
+func ShiftRows(s *core.Session, a any, k int, out any) { s.Call(shiftRowsFn, shiftRowsSA, a, k, out) }
+
+var shiftRowsFn core.Func = func(args []any) (any, error) {
+	vmath.ShiftRows(args[0].(*vmath.Matrix), args[1].(int), args[2].(*vmath.Matrix))
+	return nil, nil
+}
+
+var shiftRowsSA = &core.Annotation{FuncName: "shiftRows", Params: []core.Param{
+	{Name: "a", Type: core.Missing()},
+	{Name: "k", Type: core.Missing()},
+	{Name: "out", Mut: true, Type: core.Missing()},
+}}
+
+// OuterDiff registers out[i][j] = x[i] - x[j]. Reads all of x for every
+// row, so it runs whole.
+func OuterDiff(s *core.Session, x, out any) { s.Call(outerDiffFn, outerDiffSA, x, out) }
+
+var outerDiffFn core.Func = func(args []any) (any, error) {
+	vmath.OuterDiff(args[0].([]float64), args[1].(*vmath.Matrix))
+	return nil, nil
+}
+
+var outerDiffSA = &core.Annotation{FuncName: "outerDiff", Params: []core.Param{
+	{Name: "x", Type: core.Missing()},
+	{Name: "out", Mut: true, Type: core.Missing()},
+}}
+
+// Gemv registers y = alpha*A*x + beta*y; A and y split by rows, x is
+// broadcast.
+func Gemv(s *core.Session, alpha float64, a, x any, beta float64, y any) {
+	s.Call(gemvFn, gemvSA, alpha, a, x, beta, y)
+}
+
+var gemvFn core.Func = func(args []any) (any, error) {
+	vmath.Gemv(args[0].(float64), args[1].(*vmath.Matrix), args[2].([]float64), args[3].(float64), args[4].([]float64))
+	return nil, nil
+}
+
+var gemvSA = &core.Annotation{FuncName: "cblas_dgemv", Params: []core.Param{
+	{Name: "alpha", Type: core.Missing()},
+	{Name: "a", Type: MatrixSplit(1)},
+	{Name: "x", Type: core.Missing()},
+	{Name: "beta", Type: core.Missing()},
+	{Name: "y", Mut: true, Type: core.Concrete("ArraySplit", ArraySplitter{}, func(args []any) (core.SplitType, error) {
+		return core.NewSplitType("ArraySplit", int64(len(args[4].([]float64)))), nil
+	})},
+}}
+
+// MatFill registers out = c everywhere.
+func MatFill(s *core.Session, out any, c float64) { s.Call(matFillFn, matFillSA, out, c) }
+
+var matFillFn core.Func = func(args []any) (any, error) {
+	vmath.MatFill(args[0].(*vmath.Matrix), args[1].(float64))
+	return nil, nil
+}
+
+var matFillSA = &core.Annotation{FuncName: "matFill", Params: []core.Param{
+	{Name: "out", Mut: true, Type: MatrixSplit(0)},
+	{Name: "c", Type: core.Missing()},
+}}

@@ -1,0 +1,251 @@
+// Package vmathsa contains the split annotations and splitting API for the
+// vmath library (the repository's Intel MKL stand-in), written exactly the
+// way the paper's §7 "Intel MKL" integration describes: one split type for
+// arrays, one for matrices, one for the size argument, and reduction split
+// types whose only interesting operation is the merge. The library itself
+// (internal/vmath) is untouched.
+package vmathsa
+
+import (
+	"fmt"
+
+	"mozart/internal/core"
+	"mozart/internal/vmath"
+)
+
+// ArraySplitter splits []float64 into sub-slice views. Pieces alias the
+// source, so mutations are in place and no merge is needed for mut
+// arguments; merge concatenates for returned values.
+type ArraySplitter struct{}
+
+// InPlace reports that pieces alias the original storage.
+func (ArraySplitter) InPlace() bool { return true }
+
+// Info reports one 8-byte element per float64.
+func (ArraySplitter) Info(v any, t core.SplitType) (core.RuntimeInfo, error) {
+	a, ok := v.([]float64)
+	if !ok {
+		return core.RuntimeInfo{}, fmt.Errorf("vmathsa: ArraySplit over %T", v)
+	}
+	return core.RuntimeInfo{Elems: int64(len(a)), ElemBytes: 8}, nil
+}
+
+// Split returns the sub-slice [start, end).
+func (ArraySplitter) Split(v any, t core.SplitType, start, end int64) (any, error) {
+	a := v.([]float64)
+	if end > int64(len(a)) {
+		return nil, fmt.Errorf("vmathsa: split [%d,%d) beyond len %d", start, end, len(a))
+	}
+	return a[start:end], nil
+}
+
+// Merge concatenates pieces.
+func (ArraySplitter) Merge(pieces []any, t core.SplitType) (any, error) {
+	var out []float64
+	for _, p := range pieces {
+		out = append(out, p.([]float64)...)
+	}
+	return out, nil
+}
+
+// ArraySplit is the ArraySplit(size) constructor: the split type's single
+// parameter is the value of the size argument at position sizeIdx.
+func ArraySplit(sizeIdx int) core.TypeExpr {
+	return core.Concrete("ArraySplit", ArraySplitter{}, func(args []any) (core.SplitType, error) {
+		n, ok := args[sizeIdx].(int)
+		if !ok {
+			return core.SplitType{}, fmt.Errorf("vmathsa: ArraySplit ctor: arg %d is %T, want int", sizeIdx, args[sizeIdx])
+		}
+		return core.NewSplitType("ArraySplit", int64(n)), nil
+	})
+}
+
+// SizeSplitter splits an int length into per-piece lengths.
+type SizeSplitter struct{}
+
+// Info reports the length itself as the element count.
+func (SizeSplitter) Info(v any, t core.SplitType) (core.RuntimeInfo, error) {
+	n, ok := v.(int)
+	if !ok {
+		return core.RuntimeInfo{}, fmt.Errorf("vmathsa: SizeSplit over %T", v)
+	}
+	return core.RuntimeInfo{Elems: int64(n), ElemBytes: 0}, nil
+}
+
+// Split yields the piece's length.
+func (SizeSplitter) Split(v any, t core.SplitType, start, end int64) (any, error) {
+	return int(end - start), nil
+}
+
+// Merge sums the piece lengths back into the total.
+func (SizeSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
+	n := 0
+	for _, p := range pieces {
+		n += p.(int)
+	}
+	return n, nil
+}
+
+// SizeSplit is the SizeSplit(size) constructor.
+func SizeSplit(sizeIdx int) core.TypeExpr {
+	return core.Concrete("SizeSplit", SizeSplitter{}, func(args []any) (core.SplitType, error) {
+		n, ok := args[sizeIdx].(int)
+		if !ok {
+			return core.SplitType{}, fmt.Errorf("vmathsa: SizeSplit ctor: arg %d is %T, want int", sizeIdx, args[sizeIdx])
+		}
+		return core.NewSplitType("SizeSplit", int64(n)), nil
+	})
+}
+
+// MatrixSplitter splits a *vmath.Matrix into row-band views (zero copy).
+type MatrixSplitter struct{}
+
+// InPlace reports that row bands alias the original storage.
+func (MatrixSplitter) InPlace() bool { return true }
+
+// Info reports one element per row.
+func (MatrixSplitter) Info(v any, t core.SplitType) (core.RuntimeInfo, error) {
+	m, ok := v.(*vmath.Matrix)
+	if !ok {
+		return core.RuntimeInfo{}, fmt.Errorf("vmathsa: MatrixSplit over %T", v)
+	}
+	return core.RuntimeInfo{Elems: int64(m.Rows), ElemBytes: int64(m.Cols) * 8}, nil
+}
+
+// Split returns the row band [start, end).
+func (MatrixSplitter) Split(v any, t core.SplitType, start, end int64) (any, error) {
+	return v.(*vmath.Matrix).RowBand(int(start), int(end)), nil
+}
+
+// Merge stacks row bands back into one matrix.
+func (MatrixSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
+	if len(pieces) == 0 {
+		return &vmath.Matrix{}, nil
+	}
+	first := pieces[0].(*vmath.Matrix)
+	out := &vmath.Matrix{Cols: first.Cols}
+	for _, p := range pieces {
+		m := p.(*vmath.Matrix)
+		out.Rows += m.Rows
+		out.Data = append(out.Data, m.Data...)
+	}
+	return out, nil
+}
+
+// MatrixSplit is the MatrixSplit(m) constructor: parameters are the matrix
+// dimensions read from the argument at matIdx.
+func MatrixSplit(matIdx int) core.TypeExpr {
+	return core.Concrete("MatrixSplit", MatrixSplitter{}, func(args []any) (core.SplitType, error) {
+		m, ok := args[matIdx].(*vmath.Matrix)
+		if !ok || m == nil {
+			return core.SplitType{}, fmt.Errorf("vmathsa: MatrixSplit ctor: arg %d is %T, want *vmath.Matrix", matIdx, args[matIdx])
+		}
+		return core.NewSplitType("MatrixSplit", int64(m.Rows), int64(m.Cols)), nil
+	})
+}
+
+// AddReduceSplitter merges partial float64 results by addition; the
+// reduction split type for Dot/Sum-style functions (§3.3 Ex. 5).
+type AddReduceSplitter struct{}
+
+// Info reports a single scalar.
+func (AddReduceSplitter) Info(v any, t core.SplitType) (core.RuntimeInfo, error) {
+	return core.RuntimeInfo{Elems: 1, ElemBytes: 8}, nil
+}
+
+// Split is never valid for reduction results.
+func (AddReduceSplitter) Split(v any, t core.SplitType, start, end int64) (any, error) {
+	return nil, fmt.Errorf("vmathsa: AddReduce values cannot be split")
+}
+
+// Merge sums partial results.
+func (AddReduceSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
+	s := 0.0
+	for _, p := range pieces {
+		s += p.(float64)
+	}
+	return s, nil
+}
+
+// AddReduce is the scalar-sum reduction split type.
+func AddReduce() core.TypeExpr {
+	return core.Concrete("AddReduce", AddReduceSplitter{}, core.FixedCtor(core.NewSplitType("AddReduce")))
+}
+
+// MaxReduceSplitter merges partial float64 results by max.
+type MaxReduceSplitter struct{}
+
+// Info reports a single scalar.
+func (MaxReduceSplitter) Info(v any, t core.SplitType) (core.RuntimeInfo, error) {
+	return core.RuntimeInfo{Elems: 1, ElemBytes: 8}, nil
+}
+
+// Split is never valid for reduction results.
+func (MaxReduceSplitter) Split(v any, t core.SplitType, start, end int64) (any, error) {
+	return nil, fmt.Errorf("vmathsa: MaxReduce values cannot be split")
+}
+
+// Merge keeps the maximum partial result.
+func (MaxReduceSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
+	best := pieces[0].(float64)
+	for _, p := range pieces[1:] {
+		if x := p.(float64); x > best {
+			best = x
+		}
+	}
+	return best, nil
+}
+
+// MaxReduce is the scalar-max reduction split type.
+func MaxReduce() core.TypeExpr {
+	return core.Concrete("MaxReduce", MaxReduceSplitter{}, core.FixedCtor(core.NewSplitType("MaxReduce")))
+}
+
+// VecAddReduceSplitter merges partial []float64 results by elementwise
+// addition; used for column-sum reductions over row-split matrices.
+type VecAddReduceSplitter struct{}
+
+// Info reports the vector as a single unit.
+func (VecAddReduceSplitter) Info(v any, t core.SplitType) (core.RuntimeInfo, error) {
+	return core.RuntimeInfo{Elems: 1, ElemBytes: int64(len(v.([]float64))) * 8}, nil
+}
+
+// Split is never valid for reduction results.
+func (VecAddReduceSplitter) Split(v any, t core.SplitType, start, end int64) (any, error) {
+	return nil, fmt.Errorf("vmathsa: VecAddReduce values cannot be split")
+}
+
+// Merge adds the partial vectors elementwise.
+func (VecAddReduceSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
+	if len(pieces) == 0 {
+		return []float64(nil), nil
+	}
+	out := append([]float64(nil), pieces[0].([]float64)...)
+	for _, p := range pieces[1:] {
+		v := p.([]float64)
+		if len(v) != len(out) {
+			return nil, fmt.Errorf("vmathsa: VecAddReduce length mismatch %d vs %d", len(v), len(out))
+		}
+		for i := range v {
+			out[i] += v[i]
+		}
+	}
+	return out, nil
+}
+
+// VecAddReduce is the vector-sum reduction split type.
+func VecAddReduce() core.TypeExpr {
+	return core.Concrete("VecAddReduce", VecAddReduceSplitter{}, core.FixedCtor(core.NewSplitType("VecAddReduce")))
+}
+
+func init() {
+	// Default split types per data type (§5.1 fallback for uninferrable
+	// generics).
+	core.RegisterDefaultSplit([]float64(nil), ArraySplitter{}, func(v any) (core.SplitType, error) {
+		return core.NewSplitType("ArraySplit", int64(len(v.([]float64)))), nil
+	})
+	core.RegisterDefaultSplit((*vmath.Matrix)(nil), MatrixSplitter{}, func(v any) (core.SplitType, error) {
+		m := v.(*vmath.Matrix)
+		return core.NewSplitType("MatrixSplit", int64(m.Rows), int64(m.Cols)), nil
+	})
+}

@@ -1,0 +1,281 @@
+package vmathsa
+
+import (
+	"mozart/internal/core"
+	"mozart/internal/vmath"
+)
+
+// The wrappers below are what the paper's annotate tool generates: a
+// namespaced function per library function that registers the call with the
+// session instead of executing it. Splittable arguments are typed any so
+// that Futures can flow through pipelines.
+
+// makeVecUnary builds the Func and SA for f(size, a, mut out):
+// @splittable(size: SizeSplit(size), a: ArraySplit(size),
+// mut out: ArraySplit(size)).
+func makeVecUnary(name string, f func(int, []float64, []float64)) (core.Func, *core.Annotation) {
+	fn := func(args []any) (any, error) {
+		f(args[0].(int), args[1].([]float64), args[2].([]float64))
+		return nil, nil
+	}
+	sa := &core.Annotation{FuncName: name, Params: []core.Param{
+		{Name: "size", Type: SizeSplit(0)},
+		{Name: "a", Type: ArraySplit(0)},
+		{Name: "out", Mut: true, Type: ArraySplit(0)},
+	}}
+	return fn, sa
+}
+
+// makeVecBinary builds the Func and SA for f(size, a, b, mut out).
+func makeVecBinary(name string, f func(int, []float64, []float64, []float64)) (core.Func, *core.Annotation) {
+	fn := func(args []any) (any, error) {
+		f(args[0].(int), args[1].([]float64), args[2].([]float64), args[3].([]float64))
+		return nil, nil
+	}
+	sa := &core.Annotation{FuncName: name, Params: []core.Param{
+		{Name: "size", Type: SizeSplit(0)},
+		{Name: "a", Type: ArraySplit(0)},
+		{Name: "b", Type: ArraySplit(0)},
+		{Name: "out", Mut: true, Type: ArraySplit(0)},
+	}}
+	return fn, sa
+}
+
+// makeVecScalar builds the Func and SA for f(size, a, c, mut out) where c
+// is an unsplit scalar ("_").
+func makeVecScalar(name string, f func(int, []float64, float64, []float64)) (core.Func, *core.Annotation) {
+	fn := func(args []any) (any, error) {
+		f(args[0].(int), args[1].([]float64), args[2].(float64), args[3].([]float64))
+		return nil, nil
+	}
+	sa := &core.Annotation{FuncName: name, Params: []core.Param{
+		{Name: "size", Type: SizeSplit(0)},
+		{Name: "a", Type: ArraySplit(0)},
+		{Name: "c", Type: core.Missing()},
+		{Name: "out", Mut: true, Type: ArraySplit(0)},
+	}}
+	return fn, sa
+}
+
+// makeVecReduce builds the Func and SA for f(size, a) -> scalar with the
+// given reduction split type.
+func makeVecReduce(name string, ret core.TypeExpr, f func(int, []float64) float64) (core.Func, *core.Annotation) {
+	fn := func(args []any) (any, error) {
+		return f(args[0].(int), args[1].([]float64)), nil
+	}
+	sa := &core.Annotation{FuncName: name, Params: []core.Param{
+		{Name: "size", Type: SizeSplit(0)},
+		{Name: "a", Type: ArraySplit(0)},
+	}, Ret: &ret}
+	return fn, sa
+}
+
+var (
+	addFn, addSA         = makeVecBinary("vdAdd", vmath.Add)
+	subFn, subSA         = makeVecBinary("vdSub", vmath.Sub)
+	mulFn, mulSA         = makeVecBinary("vdMul", vmath.Mul)
+	divFn, divSA         = makeVecBinary("vdDiv", vmath.Div)
+	maxvFn, maxvSA       = makeVecBinary("vdFmax", vmath.MaxV)
+	minvFn, minvSA       = makeVecBinary("vdFmin", vmath.MinV)
+	powFn, powSA         = makeVecBinary("vdPow", vmath.Pow)
+	atan2Fn, atan2SA     = makeVecBinary("vdAtan2", vmath.Atan2)
+	hypotFn, hypotSA     = makeVecBinary("vdHypot", vmath.Hypot)
+	sqrtFn, sqrtSA       = makeVecUnary("vdSqrt", vmath.Sqrt)
+	invsqrtFn, invsqrtSA = makeVecUnary("vdInvSqrt", vmath.InvSqrt)
+	invFn, invSA         = makeVecUnary("vdInv", vmath.Inv)
+	sqrFn, sqrSA         = makeVecUnary("vdSqr", vmath.Sqr)
+	expFn, expSA         = makeVecUnary("vdExp", vmath.Exp)
+	lnFn, lnSA           = makeVecUnary("vdLn", vmath.Ln)
+	log1pFn, log1pSA     = makeVecUnary("vdLog1p", vmath.Log1p)
+	log2Fn, log2SA       = makeVecUnary("vdLog2", vmath.Log2)
+	erfFn, erfSA         = makeVecUnary("vdErf", vmath.Erf)
+	erfcFn, erfcSA       = makeVecUnary("vdErfc", vmath.Erfc)
+	cdfnormFn, cdfnormSA = makeVecUnary("vdCdfNorm", vmath.CdfNorm)
+	absFn, absSA         = makeVecUnary("vdAbs", vmath.Abs)
+	sinFn, sinSA         = makeVecUnary("vdSin", vmath.Sin)
+	cosFn, cosSA         = makeVecUnary("vdCos", vmath.Cos)
+	floorFn, floorSA     = makeVecUnary("vdFloor", vmath.Floor)
+	negFn, negSA         = makeVecUnary("vdNeg", vmath.Neg)
+	copyFn, copySA       = makeVecUnary("cblas_dcopy", vmath.CopyV)
+	addcFn, addcSA       = makeVecScalar("vdAddC", vmath.AddC)
+	subcFn, subcSA       = makeVecScalar("vdSubC", vmath.SubC)
+	subcrFn, subcrSA     = makeVecScalar("vdSubCRev", vmath.SubCRev)
+	mulcFn, mulcSA       = makeVecScalar("vdMulC", vmath.MulC)
+	divcFn, divcSA       = makeVecScalar("vdDivC", vmath.DivC)
+	divcrFn, divcrSA     = makeVecScalar("vdDivCRev", vmath.DivCRev)
+	sumFn, sumSA         = makeVecReduce("vdSum", AddReduce(), vmath.Sum)
+	asumFn, asumSA       = makeVecReduce("cblas_dasum", AddReduce(), vmath.Asum)
+	maxFn, maxSA         = makeVecReduce("vdMaxReduce", MaxReduce(), vmath.MaxReduce)
+)
+
+// Add registers out = a + b.
+func Add(s *core.Session, n int, a, b, out any) { s.Call(addFn, addSA, n, a, b, out) }
+
+// Sub registers out = a - b.
+func Sub(s *core.Session, n int, a, b, out any) { s.Call(subFn, subSA, n, a, b, out) }
+
+// Mul registers out = a * b.
+func Mul(s *core.Session, n int, a, b, out any) { s.Call(mulFn, mulSA, n, a, b, out) }
+
+// Div registers out = a / b.
+func Div(s *core.Session, n int, a, b, out any) { s.Call(divFn, divSA, n, a, b, out) }
+
+// MaxV registers out = max(a, b).
+func MaxV(s *core.Session, n int, a, b, out any) { s.Call(maxvFn, maxvSA, n, a, b, out) }
+
+// MinV registers out = min(a, b).
+func MinV(s *core.Session, n int, a, b, out any) { s.Call(minvFn, minvSA, n, a, b, out) }
+
+// Pow registers out = a^b.
+func Pow(s *core.Session, n int, a, b, out any) { s.Call(powFn, powSA, n, a, b, out) }
+
+// Atan2 registers out = atan2(a, b).
+func Atan2(s *core.Session, n int, a, b, out any) { s.Call(atan2Fn, atan2SA, n, a, b, out) }
+
+// Hypot registers out = hypot(a, b).
+func Hypot(s *core.Session, n int, a, b, out any) { s.Call(hypotFn, hypotSA, n, a, b, out) }
+
+// Sqrt registers out = sqrt(a).
+func Sqrt(s *core.Session, n int, a, out any) { s.Call(sqrtFn, sqrtSA, n, a, out) }
+
+// InvSqrt registers out = 1/sqrt(a).
+func InvSqrt(s *core.Session, n int, a, out any) { s.Call(invsqrtFn, invsqrtSA, n, a, out) }
+
+// Inv registers out = 1/a.
+func Inv(s *core.Session, n int, a, out any) { s.Call(invFn, invSA, n, a, out) }
+
+// Sqr registers out = a*a.
+func Sqr(s *core.Session, n int, a, out any) { s.Call(sqrFn, sqrSA, n, a, out) }
+
+// Exp registers out = e^a.
+func Exp(s *core.Session, n int, a, out any) { s.Call(expFn, expSA, n, a, out) }
+
+// Ln registers out = ln(a).
+func Ln(s *core.Session, n int, a, out any) { s.Call(lnFn, lnSA, n, a, out) }
+
+// Log1p registers out = ln(1+a).
+func Log1p(s *core.Session, n int, a, out any) { s.Call(log1pFn, log1pSA, n, a, out) }
+
+// Log2 registers out = log2(a).
+func Log2(s *core.Session, n int, a, out any) { s.Call(log2Fn, log2SA, n, a, out) }
+
+// Erf registers out = erf(a).
+func Erf(s *core.Session, n int, a, out any) { s.Call(erfFn, erfSA, n, a, out) }
+
+// Erfc registers out = erfc(a).
+func Erfc(s *core.Session, n int, a, out any) { s.Call(erfcFn, erfcSA, n, a, out) }
+
+// CdfNorm registers out = Phi(a).
+func CdfNorm(s *core.Session, n int, a, out any) { s.Call(cdfnormFn, cdfnormSA, n, a, out) }
+
+// Abs registers out = |a|.
+func Abs(s *core.Session, n int, a, out any) { s.Call(absFn, absSA, n, a, out) }
+
+// Sin registers out = sin(a).
+func Sin(s *core.Session, n int, a, out any) { s.Call(sinFn, sinSA, n, a, out) }
+
+// Cos registers out = cos(a).
+func Cos(s *core.Session, n int, a, out any) { s.Call(cosFn, cosSA, n, a, out) }
+
+// Floor registers out = floor(a).
+func Floor(s *core.Session, n int, a, out any) { s.Call(floorFn, floorSA, n, a, out) }
+
+// Neg registers out = -a.
+func Neg(s *core.Session, n int, a, out any) { s.Call(negFn, negSA, n, a, out) }
+
+// CopyV registers out = a.
+func CopyV(s *core.Session, n int, a, out any) { s.Call(copyFn, copySA, n, a, out) }
+
+// AddC registers out = a + c.
+func AddC(s *core.Session, n int, a any, c float64, out any) { s.Call(addcFn, addcSA, n, a, c, out) }
+
+// SubC registers out = a - c.
+func SubC(s *core.Session, n int, a any, c float64, out any) { s.Call(subcFn, subcSA, n, a, c, out) }
+
+// SubCRev registers out = c - a.
+func SubCRev(s *core.Session, n int, a any, c float64, out any) {
+	s.Call(subcrFn, subcrSA, n, a, c, out)
+}
+
+// MulC registers out = a * c.
+func MulC(s *core.Session, n int, a any, c float64, out any) { s.Call(mulcFn, mulcSA, n, a, c, out) }
+
+// DivC registers out = a / c.
+func DivC(s *core.Session, n int, a any, c float64, out any) { s.Call(divcFn, divcSA, n, a, c, out) }
+
+// DivCRev registers out = c / a.
+func DivCRev(s *core.Session, n int, a any, c float64, out any) {
+	s.Call(divcrFn, divcrSA, n, a, c, out)
+}
+
+// Select registers out[i] = mask[i] != 0 ? ifTrue[i] : ifFalse[i].
+func Select(s *core.Session, n int, mask, ifTrue, ifFalse, out any) *core.Future {
+	return s.Call(selectFn, selectSA, n, mask, ifTrue, ifFalse, out)
+}
+
+var selectFn core.Func = func(args []any) (any, error) {
+	vmath.Select(args[0].(int), args[1].([]float64), args[2].([]float64), args[3].([]float64), args[4].([]float64))
+	return nil, nil
+}
+
+var selectSA = &core.Annotation{FuncName: "vdSelect", Params: []core.Param{
+	{Name: "size", Type: SizeSplit(0)},
+	{Name: "mask", Type: ArraySplit(0)},
+	{Name: "ifTrue", Type: ArraySplit(0)},
+	{Name: "ifFalse", Type: ArraySplit(0)},
+	{Name: "out", Mut: true, Type: ArraySplit(0)},
+}}
+
+// Axpy registers y += alpha * x.
+func Axpy(s *core.Session, n int, alpha float64, x, y any) { s.Call(axpyFn, axpySA, n, alpha, x, y) }
+
+var axpyFn core.Func = func(args []any) (any, error) {
+	vmath.Axpy(args[0].(int), args[1].(float64), args[2].([]float64), args[3].([]float64))
+	return nil, nil
+}
+
+var axpySA = &core.Annotation{FuncName: "cblas_daxpy", Params: []core.Param{
+	{Name: "size", Type: SizeSplit(0)},
+	{Name: "alpha", Type: core.Missing()},
+	{Name: "x", Type: ArraySplit(0)},
+	{Name: "y", Mut: true, Type: ArraySplit(0)},
+}}
+
+// Scal registers x *= alpha.
+func Scal(s *core.Session, n int, alpha float64, x any) { s.Call(scalFn, scalSA, n, alpha, x) }
+
+var scalFn core.Func = func(args []any) (any, error) {
+	vmath.Scal(args[0].(int), args[1].(float64), args[2].([]float64))
+	return nil, nil
+}
+
+var scalSA = &core.Annotation{FuncName: "cblas_dscal", Params: []core.Param{
+	{Name: "size", Type: SizeSplit(0)},
+	{Name: "alpha", Type: core.Missing()},
+	{Name: "x", Mut: true, Type: ArraySplit(0)},
+}}
+
+// Dot registers the inner product of x and y; partial dots merge by
+// addition.
+func Dot(s *core.Session, n int, x, y any) *core.Future {
+	return s.Call(dotBinFn, dotBinSA, n, x, y)
+}
+
+var dotBinFn core.Func = func(args []any) (any, error) {
+	return vmath.Dot(args[0].(int), args[1].([]float64), args[2].([]float64)), nil
+}
+
+var dotBinSA = &core.Annotation{FuncName: "cblas_ddot", Params: []core.Param{
+	{Name: "size", Type: SizeSplit(0)},
+	{Name: "x", Type: ArraySplit(0)},
+	{Name: "y", Type: ArraySplit(0)},
+}, Ret: func() *core.TypeExpr { t := AddReduce(); return &t }()}
+
+// Sum registers the sum reduction of a.
+func Sum(s *core.Session, n int, a any) *core.Future { return s.Call(sumFn, sumSA, n, a) }
+
+// Asum registers the absolute-sum reduction of a.
+func Asum(s *core.Session, n int, a any) *core.Future { return s.Call(asumFn, asumSA, n, a) }
+
+// VecMax registers the max reduction of a.
+func VecMax(s *core.Session, n int, a any) *core.Future { return s.Call(maxFn, maxSA, n, a) }

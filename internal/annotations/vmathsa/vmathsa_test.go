@@ -1,0 +1,476 @@
+package vmathsa_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mozart/internal/annotations/vmathsa"
+	"mozart/internal/core"
+	"mozart/internal/vmath"
+)
+
+func randVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()*3 + 0.5
+	}
+	return v
+}
+
+func almost(a, b []float64, t *testing.T, what string) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: len %d vs %d", what, len(a), len(b))
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9*(1+math.Abs(b[i])) {
+			t.Fatalf("%s: idx %d: %v vs %v", what, i, a[i], b[i])
+		}
+	}
+}
+
+func sess() *core.Session {
+	return core.NewSession(core.Options{Workers: 4, BatchElems: 128})
+}
+
+// TestVectorPipelineMatchesLibrary runs a Listing-1 style pipeline through
+// Mozart and compares against direct vmath calls.
+func TestVectorPipelineMatchesLibrary(t *testing.T) {
+	const n = 4096
+	d1, tmp, vol := randVec(n, 1), randVec(n, 2), randVec(n, 3)
+	ref := append([]float64(nil), d1...)
+	vmath.Log1p(n, ref, ref)
+	vmath.Add(n, ref, tmp, ref)
+	vmath.Div(n, ref, vol, ref)
+
+	s := sess()
+	vmathsa.Log1p(s, n, d1, d1)
+	vmathsa.Add(s, n, d1, tmp, d1)
+	vmathsa.Div(s, n, d1, vol, d1)
+	if err := s.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+	almost(d1, ref, t, "pipeline")
+	if s.Stats().Stages != 1 {
+		t.Errorf("want 1 stage, got %d", s.Stats().Stages)
+	}
+}
+
+// TestAllVectorWrappers drives every wrapped vector function once and
+// compares against the direct library call.
+func TestAllVectorWrappers(t *testing.T) {
+	const n = 777
+	type tc struct {
+		name string
+		moz  func(s *core.Session, a, b, c, out []float64)
+		ref  func(a, b, c, out []float64)
+	}
+	cases := []tc{
+		{"Add", func(s *core.Session, a, b, c, out []float64) { vmathsa.Add(s, n, a, b, out) },
+			func(a, b, c, out []float64) { vmath.Add(n, a, b, out) }},
+		{"Sub", func(s *core.Session, a, b, c, out []float64) { vmathsa.Sub(s, n, a, b, out) },
+			func(a, b, c, out []float64) { vmath.Sub(n, a, b, out) }},
+		{"Mul", func(s *core.Session, a, b, c, out []float64) { vmathsa.Mul(s, n, a, b, out) },
+			func(a, b, c, out []float64) { vmath.Mul(n, a, b, out) }},
+		{"Div", func(s *core.Session, a, b, c, out []float64) { vmathsa.Div(s, n, a, b, out) },
+			func(a, b, c, out []float64) { vmath.Div(n, a, b, out) }},
+		{"MaxV", func(s *core.Session, a, b, c, out []float64) { vmathsa.MaxV(s, n, a, b, out) },
+			func(a, b, c, out []float64) { vmath.MaxV(n, a, b, out) }},
+		{"MinV", func(s *core.Session, a, b, c, out []float64) { vmathsa.MinV(s, n, a, b, out) },
+			func(a, b, c, out []float64) { vmath.MinV(n, a, b, out) }},
+		{"Pow", func(s *core.Session, a, b, c, out []float64) { vmathsa.Pow(s, n, a, b, out) },
+			func(a, b, c, out []float64) { vmath.Pow(n, a, b, out) }},
+		{"Atan2", func(s *core.Session, a, b, c, out []float64) { vmathsa.Atan2(s, n, a, b, out) },
+			func(a, b, c, out []float64) { vmath.Atan2(n, a, b, out) }},
+		{"Hypot", func(s *core.Session, a, b, c, out []float64) { vmathsa.Hypot(s, n, a, b, out) },
+			func(a, b, c, out []float64) { vmath.Hypot(n, a, b, out) }},
+		{"Sqrt", func(s *core.Session, a, b, c, out []float64) { vmathsa.Sqrt(s, n, a, out) },
+			func(a, b, c, out []float64) { vmath.Sqrt(n, a, out) }},
+		{"InvSqrt", func(s *core.Session, a, b, c, out []float64) { vmathsa.InvSqrt(s, n, a, out) },
+			func(a, b, c, out []float64) { vmath.InvSqrt(n, a, out) }},
+		{"Inv", func(s *core.Session, a, b, c, out []float64) { vmathsa.Inv(s, n, a, out) },
+			func(a, b, c, out []float64) { vmath.Inv(n, a, out) }},
+		{"Sqr", func(s *core.Session, a, b, c, out []float64) { vmathsa.Sqr(s, n, a, out) },
+			func(a, b, c, out []float64) { vmath.Sqr(n, a, out) }},
+		{"Exp", func(s *core.Session, a, b, c, out []float64) { vmathsa.Exp(s, n, a, out) },
+			func(a, b, c, out []float64) { vmath.Exp(n, a, out) }},
+		{"Ln", func(s *core.Session, a, b, c, out []float64) { vmathsa.Ln(s, n, a, out) },
+			func(a, b, c, out []float64) { vmath.Ln(n, a, out) }},
+		{"Log1p", func(s *core.Session, a, b, c, out []float64) { vmathsa.Log1p(s, n, a, out) },
+			func(a, b, c, out []float64) { vmath.Log1p(n, a, out) }},
+		{"Log2", func(s *core.Session, a, b, c, out []float64) { vmathsa.Log2(s, n, a, out) },
+			func(a, b, c, out []float64) { vmath.Log2(n, a, out) }},
+		{"Erf", func(s *core.Session, a, b, c, out []float64) { vmathsa.Erf(s, n, a, out) },
+			func(a, b, c, out []float64) { vmath.Erf(n, a, out) }},
+		{"Erfc", func(s *core.Session, a, b, c, out []float64) { vmathsa.Erfc(s, n, a, out) },
+			func(a, b, c, out []float64) { vmath.Erfc(n, a, out) }},
+		{"CdfNorm", func(s *core.Session, a, b, c, out []float64) { vmathsa.CdfNorm(s, n, a, out) },
+			func(a, b, c, out []float64) { vmath.CdfNorm(n, a, out) }},
+		{"Abs", func(s *core.Session, a, b, c, out []float64) { vmathsa.Abs(s, n, a, out) },
+			func(a, b, c, out []float64) { vmath.Abs(n, a, out) }},
+		{"Sin", func(s *core.Session, a, b, c, out []float64) { vmathsa.Sin(s, n, a, out) },
+			func(a, b, c, out []float64) { vmath.Sin(n, a, out) }},
+		{"Cos", func(s *core.Session, a, b, c, out []float64) { vmathsa.Cos(s, n, a, out) },
+			func(a, b, c, out []float64) { vmath.Cos(n, a, out) }},
+		{"Floor", func(s *core.Session, a, b, c, out []float64) { vmathsa.Floor(s, n, a, out) },
+			func(a, b, c, out []float64) { vmath.Floor(n, a, out) }},
+		{"Neg", func(s *core.Session, a, b, c, out []float64) { vmathsa.Neg(s, n, a, out) },
+			func(a, b, c, out []float64) { vmath.Neg(n, a, out) }},
+		{"CopyV", func(s *core.Session, a, b, c, out []float64) { vmathsa.CopyV(s, n, a, out) },
+			func(a, b, c, out []float64) { vmath.CopyV(n, a, out) }},
+		{"AddC", func(s *core.Session, a, b, c, out []float64) { vmathsa.AddC(s, n, a, 1.5, out) },
+			func(a, b, c, out []float64) { vmath.AddC(n, a, 1.5, out) }},
+		{"SubC", func(s *core.Session, a, b, c, out []float64) { vmathsa.SubC(s, n, a, 1.5, out) },
+			func(a, b, c, out []float64) { vmath.SubC(n, a, 1.5, out) }},
+		{"SubCRev", func(s *core.Session, a, b, c, out []float64) { vmathsa.SubCRev(s, n, a, 1.5, out) },
+			func(a, b, c, out []float64) { vmath.SubCRev(n, a, 1.5, out) }},
+		{"MulC", func(s *core.Session, a, b, c, out []float64) { vmathsa.MulC(s, n, a, 1.5, out) },
+			func(a, b, c, out []float64) { vmath.MulC(n, a, 1.5, out) }},
+		{"DivC", func(s *core.Session, a, b, c, out []float64) { vmathsa.DivC(s, n, a, 1.5, out) },
+			func(a, b, c, out []float64) { vmath.DivC(n, a, 1.5, out) }},
+		{"DivCRev", func(s *core.Session, a, b, c, out []float64) { vmathsa.DivCRev(s, n, a, 1.5, out) },
+			func(a, b, c, out []float64) { vmath.DivCRev(n, a, 1.5, out) }},
+		{"Select", func(s *core.Session, a, b, c, out []float64) { vmathsa.Select(s, n, a, b, c, out) },
+			func(a, b, c, out []float64) { vmath.Select(n, a, b, c, out) }},
+		{"Axpy", func(s *core.Session, a, b, c, out []float64) { vmathsa.Axpy(s, n, 2.0, a, out) },
+			func(a, b, c, out []float64) { vmath.Axpy(n, 2.0, a, out) }},
+		{"Scal", func(s *core.Session, a, b, c, out []float64) { vmathsa.Scal(s, n, 0.5, out) },
+			func(a, b, c, out []float64) { vmath.Scal(n, 0.5, out) }},
+	}
+	for i, c := range cases {
+		seed := int64(100 + i)
+		a, b, m := randVec(n, seed), randVec(n, seed+1), randVec(n, seed+2)
+		for j := range m {
+			if j%3 == 0 {
+				m[j] = 0
+			}
+		}
+		out := randVec(n, seed+3)
+		refOut := append([]float64(nil), out...)
+		refA := append([]float64(nil), a...)
+
+		s := sess()
+		c.moz(s, a, b, m, out)
+		if err := s.Evaluate(); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		c.ref(refA, b, m, refOut)
+		almost(out, refOut, t, c.name+" out")
+		almost(a, refA, t, c.name+" a")
+	}
+}
+
+// TestReductions: Dot/Sum/Asum/MaxReduce through Mozart.
+func TestReductions(t *testing.T) {
+	const n = 5000
+	a, b := randVec(n, 40), randVec(n, 41)
+	s := sess()
+	dot := vmathsa.Dot(s, n, a, b)
+	sum := vmathsa.Sum(s, n, a)
+	asum := vmathsa.Asum(s, n, a)
+	mx := vmathsa.VecMax(s, n, a)
+
+	got, err := dot.Float64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := vmath.Dot(n, a, b); math.Abs(got-w) > 1e-7*(1+math.Abs(w)) {
+		t.Errorf("Dot = %v want %v", got, w)
+	}
+	if got, _ := sum.Float64(); math.Abs(got-vmath.Sum(n, a)) > 1e-7*vmath.Sum(n, a) {
+		t.Errorf("Sum mismatch")
+	}
+	if got, _ := asum.Float64(); math.Abs(got-vmath.Asum(n, a)) > 1e-7*vmath.Asum(n, a) {
+		t.Errorf("Asum mismatch")
+	}
+	if got, _ := mx.Float64(); got != vmath.MaxReduce(n, a) {
+		t.Errorf("MaxReduce mismatch")
+	}
+}
+
+// TestMatrixPipeline: row-split matrix ops pipeline; ShiftRows breaks the
+// stage; results match the library.
+func TestMatrixPipeline(t *testing.T) {
+	rows, cols := 96, 40
+	mk := func(seed int64) *vmath.Matrix {
+		m := vmath.NewMatrix(rows, cols)
+		copy(m.Data, randVec(rows*cols, seed))
+		return m
+	}
+	a, b := mk(50), mk(51)
+	out := vmath.NewMatrix(rows, cols)
+	shifted := vmath.NewMatrix(rows, cols)
+	final := vmath.NewMatrix(rows, cols)
+
+	refOut := vmath.NewMatrix(rows, cols)
+	refShifted := vmath.NewMatrix(rows, cols)
+	refFinal := vmath.NewMatrix(rows, cols)
+	vmath.MatAdd(a, b, refOut)
+	vmath.MatSqrt(refOut, refOut)
+	vmath.ShiftRows(refOut, 1, refShifted)
+	vmath.MatMulElem(refShifted, b, refFinal)
+
+	s := core.NewSession(core.Options{Workers: 3, BatchElems: 8})
+	vmathsa.MatAdd(s, a, b, out)
+	vmathsa.MatSqrt(s, out, out)
+	vmathsa.ShiftRows(s, out, 1, shifted)
+	vmathsa.MatMulElem(s, shifted, b, final)
+	if err := s.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+	almost(final.Data, refFinal.Data, t, "matrix pipeline")
+	// Stage structure: [MatAdd, MatSqrt] | [ShiftRows whole] | [MatMulElem].
+	if got := s.Stats().Stages; got != 3 {
+		t.Errorf("want 3 stages, got %d", got)
+	}
+}
+
+// TestColSumsReduction: partial column sums merge by vector addition.
+func TestColSumsReduction(t *testing.T) {
+	rows, cols := 200, 17
+	m := vmath.NewMatrix(rows, cols)
+	copy(m.Data, randVec(rows*cols, 60))
+	want := vmath.ColSums(m)
+
+	s := core.NewSession(core.Options{Workers: 4, BatchElems: 16})
+	f := vmathsa.ColSums(s, m)
+	v, err := f.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(v.([]float64), want, t, "ColSums")
+}
+
+// TestRowSumsAndGemv: mixed matrix/vector split types in one stage.
+func TestRowSumsAndGemv(t *testing.T) {
+	rows, cols := 120, 30
+	m := vmath.NewMatrix(rows, cols)
+	copy(m.Data, randVec(rows*cols, 61))
+	x := randVec(cols, 62)
+	y := randVec(rows, 63)
+	rs := make([]float64, rows)
+
+	refY := append([]float64(nil), y...)
+	refRS := make([]float64, rows)
+	vmath.RowSums(m, refRS)
+	vmath.Gemv(2.0, m, x, 0.5, refY)
+
+	s := core.NewSession(core.Options{Workers: 4, BatchElems: 11})
+	vmathsa.RowSums(s, m, rs)
+	vmathsa.Gemv(s, 2.0, m, x, 0.5, y)
+	if err := s.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+	almost(rs, refRS, t, "RowSums")
+	almost(y, refY, t, "Gemv")
+	if got := s.Stats().Stages; got != 1 {
+		t.Errorf("RowSums+Gemv should share a stage, got %d", got)
+	}
+}
+
+// TestMatVecBroadcastOps: MulRowVec / AddRowVec / MulColVec / MatFill /
+// MatScale and friends against the library.
+func TestMatVecBroadcastOps(t *testing.T) {
+	rows, cols := 64, 12
+	m := vmath.NewMatrix(rows, cols)
+	copy(m.Data, randVec(rows*cols, 70))
+	rv := randVec(cols, 71)
+	cv := randVec(rows, 72)
+	out := vmath.NewMatrix(rows, cols)
+	ref := vmath.NewMatrix(rows, cols)
+
+	s := core.NewSession(core.Options{Workers: 2, BatchElems: 8})
+	vmathsa.MulRowVec(s, m, rv, out)
+	if err := s.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+	vmath.MulRowVec(m, rv, ref)
+	almost(out.Data, ref.Data, t, "MulRowVec")
+
+	vmathsa.AddRowVec(s, m, rv, out)
+	if err := s.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+	vmath.AddRowVec(m, rv, ref)
+	almost(out.Data, ref.Data, t, "AddRowVec")
+
+	vmathsa.MulColVec(s, m, cv, out)
+	if err := s.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+	vmath.MulColVec(m, cv, ref)
+	almost(out.Data, ref.Data, t, "MulColVec")
+
+	vmathsa.MatFill(s, out, 3)
+	vmathsa.MatScale(s, out, 2, out)
+	vmathsa.MatAddC(s, out, 1, out)
+	vmathsa.MatPowC(s, out, 2, out)
+	if err := s.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range out.Data {
+		if x != 49 {
+			t.Fatalf("scalar matrix chain: got %v want 49", x)
+		}
+	}
+}
+
+// TestOuterDiffWhole: OuterDiff runs whole and feeds split consumers.
+func TestOuterDiffWhole(t *testing.T) {
+	n := 48
+	x := randVec(n, 80)
+	dx := vmath.NewMatrix(n, n)
+	out := vmath.NewMatrix(n, n)
+	refDx := vmath.NewMatrix(n, n)
+	refOut := vmath.NewMatrix(n, n)
+	vmath.OuterDiff(x, refDx)
+	vmath.MatMulElem(refDx, refDx, refOut)
+
+	s := core.NewSession(core.Options{Workers: 2, BatchElems: 4})
+	vmathsa.OuterDiff(s, x, dx)
+	vmathsa.MatMulElem(s, dx, dx, out)
+	if err := s.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+	almost(out.Data, refOut.Data, t, "OuterDiff+MatMulElem")
+	if got := s.Stats().Stages; got != 2 {
+		t.Errorf("want 2 stages (whole outerDiff, split mul), got %d", got)
+	}
+}
+
+// TestShiftColsPipelines: ShiftCols is row-local and shares a stage with
+// elementwise ops.
+func TestShiftColsPipelines(t *testing.T) {
+	rows, cols := 80, 20
+	m := vmath.NewMatrix(rows, cols)
+	copy(m.Data, randVec(rows*cols, 81))
+	sh := vmath.NewMatrix(rows, cols)
+	out := vmath.NewMatrix(rows, cols)
+	refSh := vmath.NewMatrix(rows, cols)
+	refOut := vmath.NewMatrix(rows, cols)
+	vmath.ShiftCols(m, 3, refSh)
+	vmath.MatSub(refSh, m, refOut)
+
+	s := core.NewSession(core.Options{Workers: 4, BatchElems: 16})
+	vmathsa.ShiftCols(s, m, 3, sh)
+	vmathsa.MatSub(s, sh, m, out)
+	if err := s.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+	almost(out.Data, refOut.Data, t, "ShiftCols+MatSub")
+	if got := s.Stats().Stages; got != 1 {
+		t.Errorf("ShiftCols should pipeline, got %d stages", got)
+	}
+}
+
+// TestRemainingMatrixWrappers covers MatDivElem/MatExp/MatCopy and the
+// splitting API's error paths.
+func TestRemainingMatrixWrappers(t *testing.T) {
+	rows, cols := 48, 10
+	a := vmath.NewMatrix(rows, cols)
+	b := vmath.NewMatrix(rows, cols)
+	copy(a.Data, randVec(rows*cols, 90))
+	copy(b.Data, randVec(rows*cols, 91))
+	out := vmath.NewMatrix(rows, cols)
+	ref := vmath.NewMatrix(rows, cols)
+
+	s := core.NewSession(core.Options{Workers: 3, BatchElems: 7})
+	vmathsa.MatDivElem(s, a, b, out)
+	if err := s.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+	vmath.MatDivElem(a, b, ref)
+	almost(out.Data, ref.Data, t, "MatDivElem")
+
+	vmathsa.MatExp(s, a, out)
+	if err := s.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+	vmath.MatExp(a, ref)
+	almost(out.Data, ref.Data, t, "MatExp")
+
+	vmathsa.MatCopy(s, a, out)
+	if err := s.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+	almost(out.Data, a.Data, t, "MatCopy")
+}
+
+// TestVmathSplitterErrorPaths: the splitting API rejects foreign types and
+// reduction partials reject Split.
+func TestVmathSplitterErrorPaths(t *testing.T) {
+	if _, err := (vmathsa.ArraySplitter{}).Info("x", core.NewSplitType("ArraySplit")); err == nil {
+		t.Error("ArraySplit Info type check")
+	}
+	if _, err := (vmathsa.ArraySplitter{}).Split(make([]float64, 4), core.NewSplitType("ArraySplit"), 0, 9); err == nil {
+		t.Error("ArraySplit out-of-range split")
+	}
+	if _, err := (vmathsa.SizeSplitter{}).Info("x", core.NewSplitType("SizeSplit")); err == nil {
+		t.Error("SizeSplit Info type check")
+	}
+	if _, err := (vmathsa.MatrixSplitter{}).Info("x", core.NewSplitType("MatrixSplit")); err == nil {
+		t.Error("MatrixSplit Info type check")
+	}
+	for _, sp := range []core.Splitter{vmathsa.AddReduceSplitter{}, vmathsa.MaxReduceSplitter{}, vmathsa.VecAddReduceSplitter{}} {
+		if _, err := sp.Split(nil, core.NewSplitType("r"), 0, 1); err == nil {
+			t.Errorf("%T should not split", sp)
+		}
+	}
+	if _, err := (vmathsa.VecAddReduceSplitter{}).Merge([]any{[]float64{1}, []float64{1, 2}}, core.NewSplitType("v")); err == nil {
+		t.Error("VecAddReduce length mismatch")
+	}
+	// Size split merges piece lengths.
+	m, err := (vmathsa.SizeSplitter{}).Merge([]any{3, 4}, core.NewSplitType("SizeSplit"))
+	if err != nil || m.(int) != 7 {
+		t.Error("SizeSplit merge")
+	}
+	// Empty matrix merge yields an empty matrix.
+	mm, err := (vmathsa.MatrixSplitter{}).Merge(nil, core.NewSplitType("MatrixSplit"))
+	if err != nil || mm.(*vmath.Matrix).Rows != 0 {
+		t.Error("empty matrix merge")
+	}
+}
+
+// TestCheckVmathAnnotations: the §7.1 checker validates a generated-style
+// vector annotation end to end.
+func TestCheckVmathAnnotations(t *testing.T) {
+	gen := func(seed int64) []any {
+		rng := rand.New(rand.NewSource(seed))
+		n := 501
+		a := make([]float64, n)
+		out := make([]float64, n)
+		for i := range a {
+			a[i] = rng.Float64() + 0.1
+		}
+		return []any{n, a, out}
+	}
+	eq := func(got, want any) bool {
+		switch g := got.(type) {
+		case []float64:
+			w := want.([]float64)
+			for i := range g {
+				if g[i] != w[i] {
+					return false
+				}
+			}
+			return true
+		case int:
+			return got == want
+		}
+		return false
+	}
+	sa := &core.Annotation{FuncName: "vdSqrt", Params: []core.Param{
+		{Name: "size", Type: vmathsa.SizeSplit(0)},
+		{Name: "a", Type: vmathsa.ArraySplit(0)},
+		{Name: "out", Mut: true, Type: vmathsa.ArraySplit(0)},
+	}}
+	fn := func(args []any) (any, error) {
+		vmath.Sqrt(args[0].(int), args[1].([]float64), args[2].([]float64))
+		return nil, nil
+	}
+	if err := core.CheckAnnotation(fn, sa, gen, eq, core.CheckConfig{Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import "fmt"
+
+// TypeKind enumerates the kinds of type expressions that can appear in a
+// split annotation (§3.2).
+type TypeKind int
+
+const (
+	// KindMissing is the "_" type: the argument is not split; the full
+	// value is broadcast (copied, usually a pointer copy) to each pipeline.
+	KindMissing TypeKind = iota
+	// KindConcrete is a named split type with a constructor.
+	KindConcrete
+	// KindGeneric is a generic such as S: all occurrences of the same name
+	// within one SA must resolve to equal split types.
+	KindGeneric
+	// KindUnknown marks a value whose split type is destroyed by the call
+	// (filters etc.). Each resolution produces a fresh unique type.
+	KindUnknown
+)
+
+// TypeExpr is one type expression inside an annotation.
+type TypeExpr struct {
+	Kind     TypeKind
+	Generic  string   // for KindGeneric
+	Splitter Splitter // for KindConcrete
+	Ctor     Ctor     // for KindConcrete
+	TypeName string   // for KindConcrete: diagnostic name
+}
+
+// Missing returns the "_" type expression.
+func Missing() TypeExpr { return TypeExpr{Kind: KindMissing} }
+
+// Generic returns a generic type expression with the given name.
+func Generic(name string) TypeExpr { return TypeExpr{Kind: KindGeneric, Generic: name} }
+
+// Unknown returns the unknown type expression.
+func Unknown() TypeExpr { return TypeExpr{Kind: KindUnknown} }
+
+// Concrete returns a concrete type expression backed by the given splitter
+// and constructor.
+func Concrete(name string, s Splitter, ctor Ctor) TypeExpr {
+	return TypeExpr{Kind: KindConcrete, TypeName: name, Splitter: s, Ctor: ctor}
+}
+
+// Param is one annotated function parameter.
+type Param struct {
+	Name string
+	// Mut marks the parameter as mutated by the function; the runtime uses
+	// this to add data-dependency edges and to write back merged results
+	// for copying splitters.
+	Mut  bool
+	Type TypeExpr
+}
+
+// Annotation is a split annotation over one side-effect-free function
+// (Listing 3). Ret is nil for void functions.
+type Annotation struct {
+	FuncName string
+	Params   []Param
+	Ret      *TypeExpr
+}
+
+// Validate performs the structural checks the paper's annotate tool
+// performs: generics used consistently, concrete types fully specified.
+func (a *Annotation) Validate() error {
+	if a == nil {
+		return fmt.Errorf("mozart: nil annotation")
+	}
+	check := func(where string, t TypeExpr) error {
+		switch t.Kind {
+		case KindConcrete:
+			if t.Splitter == nil || t.Ctor == nil {
+				return fmt.Errorf("mozart: %s: %s: concrete split type %q needs a splitter and a constructor", a.FuncName, where, t.TypeName)
+			}
+		case KindGeneric:
+			if t.Generic == "" {
+				return fmt.Errorf("mozart: %s: %s: generic split type needs a name", a.FuncName, where)
+			}
+		}
+		return nil
+	}
+	seen := map[string]bool{}
+	for _, p := range a.Params {
+		if p.Name == "" {
+			return fmt.Errorf("mozart: %s: unnamed parameter", a.FuncName)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("mozart: %s: duplicate parameter name %q", a.FuncName, p.Name)
+		}
+		seen[p.Name] = true
+		if err := check("param "+p.Name, p.Type); err != nil {
+			return err
+		}
+	}
+	if a.Ret != nil {
+		if err := check("return", *a.Ret); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Func is the calling convention for registered functions. The runtime
+// invokes fn with the (possibly split) argument values in positional order;
+// fn returns the produced value, or nil for void functions. Functions must
+// be side-effect free apart from mutating arguments marked mut (§2.2).
+type Func func(args []any) (any, error)

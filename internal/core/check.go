@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CheckConfig configures CheckAnnotation.
+type CheckConfig struct {
+	// Trials is the number of randomized runs (default 16).
+	Trials int
+	// MaxWorkers bounds the randomized worker count (default 8).
+	MaxWorkers int
+	// MaxBatch bounds the randomized batch size in elements (default 1024).
+	MaxBatch int64
+	// Seed makes the check deterministic.
+	Seed int64
+}
+
+func (c CheckConfig) withDefaults() CheckConfig {
+	if c.Trials <= 0 {
+		c.Trials = 16
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = 8
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1024
+	}
+	return c
+}
+
+// CheckAnnotation fuzz-checks the §3.4 soundness condition of a split
+// annotation:
+//
+//	F(a, b, ...) = Merge(F(a1, b1, ...), F(a2, b2, ...), ...)
+//
+// It repeatedly generates arguments with gen (which must return an
+// independent but identical argument list when called twice with the same
+// seed), runs the function whole, runs it again under the runtime with a
+// randomized worker count and batch size, and compares the results — the
+// return value and every mut argument — with eq.
+//
+// This is the tooling the paper's §7.1 calls for ("tools that could
+// formally prove an SA's compatibility with a function would be helpful...
+// we also fuzz tested our annotated functions"): it cannot prove
+// soundness, but it reliably catches annotations like a row-split over a
+// function with cross-row behaviour (see the imagesa Blur tests).
+func CheckAnnotation(fn Func, sa *Annotation, gen func(seed int64) []any, eq func(got, want any) bool, cfg CheckConfig) error {
+	if err := sa.Validate(); err != nil {
+		return err
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for trial := 0; trial < cfg.Trials; trial++ {
+		seed := cfg.Seed + int64(trial)*7919
+		wholeArgs := gen(seed)
+		splitArgs := gen(seed)
+		if len(wholeArgs) != len(sa.Params) || len(splitArgs) != len(sa.Params) {
+			return fmt.Errorf("mozart: check: gen returned %d args, annotation has %d params", len(wholeArgs), len(sa.Params))
+		}
+
+		wantRet, err := fn(wholeArgs)
+		if err != nil {
+			return fmt.Errorf("mozart: check: trial %d: whole run failed: %w", trial, err)
+		}
+
+		workers := 1 + rng.Intn(cfg.MaxWorkers)
+		batch := 1 + rng.Int63n(cfg.MaxBatch)
+		s := NewSession(Options{Workers: workers, BatchElems: batch, Pedantic: true})
+		mutFuts := make([]*Future, len(sa.Params))
+		for i, p := range sa.Params {
+			if p.Mut {
+				mutFuts[i] = s.Track(splitArgs[i])
+			}
+		}
+		callArgs := make([]any, len(splitArgs))
+		copy(callArgs, splitArgs)
+		retFut := s.Call(fn, sa, callArgs...)
+		if err := s.Evaluate(); err != nil {
+			return fmt.Errorf("mozart: check: trial %d (workers=%d batch=%d): %w", trial, workers, batch, err)
+		}
+
+		if sa.Ret != nil {
+			got, err := retFut.Get()
+			if err != nil {
+				return fmt.Errorf("mozart: check: trial %d: reading result: %w", trial, err)
+			}
+			if !eq(got, wantRet) {
+				return fmt.Errorf("mozart: check: trial %d (workers=%d batch=%d): split result differs from whole run — the annotation is unsound for %s", trial, workers, batch, sa.FuncName)
+			}
+		}
+		for i, p := range sa.Params {
+			if !p.Mut {
+				continue
+			}
+			got, err := mutFuts[i].Get()
+			if err != nil {
+				return fmt.Errorf("mozart: check: trial %d: reading mut arg %s: %w", trial, p.Name, err)
+			}
+			if !eq(got, wholeArgs[i]) {
+				return fmt.Errorf("mozart: check: trial %d (workers=%d batch=%d): mut argument %s differs from whole run — the annotation is unsound for %s", trial, workers, batch, p.Name, sa.FuncName)
+			}
+		}
+	}
+	return nil
+}

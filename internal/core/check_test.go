@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func genVecArgs(n int) func(seed int64) []any {
+	return func(seed int64) []any {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, n)
+		out := make([]float64, n)
+		for i := range a {
+			a[i] = rng.Float64() + 0.1
+		}
+		return []any{n, a, out}
+	}
+}
+
+func eqAny(got, want any) bool {
+	switch g := got.(type) {
+	case []float64:
+		w, ok := want.([]float64)
+		if !ok || len(g) != len(w) {
+			return false
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				return false
+			}
+		}
+		return true
+	case float64:
+		w, ok := want.(float64)
+		d := g - w
+		return ok && d < 1e-9 && d > -1e-9
+	case int:
+		return got == want
+	}
+	return false
+}
+
+// TestCheckAnnotationSound: a correctly annotated elementwise function
+// passes the fuzz check.
+func TestCheckAnnotationSound(t *testing.T) {
+	if err := CheckAnnotation(testLog1p, saUnary("vdLog1p"), genVecArgs(777), eqAny, CheckConfig{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// A sound reduction.
+	genSum := func(seed int64) []any {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, 500)
+		for i := range a {
+			a[i] = rng.Float64()
+		}
+		return []any{a}
+	}
+	if err := CheckAnnotation(fnSum, saSum, genSum, eqAny, CheckConfig{Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckAnnotationCatchesUnsound: annotating a prefix-scan (whose
+// elements depend on earlier elements) as elementwise-splittable is caught.
+func TestCheckAnnotationCatchesUnsound(t *testing.T) {
+	prefixSum := func(args []any) (any, error) {
+		a, out := args[1].([]float64), args[2].([]float64)
+		acc := 0.0
+		for i := range a {
+			acc += a[i]
+			out[i] = acc
+		}
+		return nil, nil
+	}
+	err := CheckAnnotation(prefixSum, saUnary("prefixSum"), genVecArgs(300), eqAny, CheckConfig{Seed: 3})
+	if err == nil {
+		t.Fatal("the unsound prefix-sum annotation should be caught")
+	}
+	if !strings.Contains(err.Error(), "unsound") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestCheckAnnotationCatchesUnsoundReduction: a non-associative "reduction"
+// (subtraction) is caught.
+func TestCheckAnnotationCatchesUnsoundReduction(t *testing.T) {
+	sub := func(args []any) (any, error) {
+		s := 0.0
+		for _, x := range args[0].([]float64) {
+			s = x - s
+		}
+		return s, nil
+	}
+	gen := func(seed int64) []any {
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, 257)
+		for i := range a {
+			a[i] = rng.Float64() * 10
+		}
+		return []any{a}
+	}
+	if err := CheckAnnotation(sub, saSum, gen, eqAny, CheckConfig{Seed: 4}); err == nil {
+		t.Fatal("the non-associative reduction should be caught")
+	}
+}
+
+// TestCheckAnnotationArgMismatch: gen arity errors are reported.
+func TestCheckAnnotationArgMismatch(t *testing.T) {
+	gen := func(int64) []any { return []any{1} }
+	if err := CheckAnnotation(testLog1p, saUnary("f"), gen, eqAny, CheckConfig{}); err == nil {
+		t.Fatal("want arity error")
+	}
+}
+
+// TestCheckAnnotationWholeError: failures of the function itself surface.
+func TestCheckAnnotationWholeError(t *testing.T) {
+	boom := func([]any) (any, error) { return nil, errBoom }
+	if err := CheckAnnotation(boom, saSum, func(int64) []any { return []any{[]float64{1}} }, eqAny, CheckConfig{Trials: 1}); err == nil {
+		t.Fatal("want whole-run error")
+	}
+}
+
+var errBoom = &checkErr{}
+
+type checkErr struct{}
+
+func (*checkErr) Error() string { return "boom" }

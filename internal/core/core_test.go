@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// ---- test splitting API: float64 arrays --------------------------------
+
+// arraySplitter splits []float64 into sub-slice views (in place) and merges
+// pieces by concatenation. It mirrors the paper's ArraySplit for MKL.
+type arraySplitter struct{}
+
+func (arraySplitter) InPlace() bool { return true }
+
+func (arraySplitter) Info(v any, t SplitType) (RuntimeInfo, error) {
+	a, ok := v.([]float64)
+	if !ok {
+		return RuntimeInfo{}, fmt.Errorf("ArraySplit: want []float64, got %T", v)
+	}
+	return RuntimeInfo{Elems: int64(len(a)), ElemBytes: 8}, nil
+}
+
+func (arraySplitter) Split(v any, t SplitType, start, end int64) (any, error) {
+	a := v.([]float64)
+	if end > int64(len(a)) {
+		return nil, fmt.Errorf("ArraySplit: range [%d,%d) out of bounds (len %d)", start, end, len(a))
+	}
+	return a[start:end], nil
+}
+
+func (arraySplitter) Merge(pieces []any, t SplitType) (any, error) {
+	var out []float64
+	for _, p := range pieces {
+		out = append(out, p.([]float64)...)
+	}
+	return out, nil
+}
+
+// arraySplitOf builds the ArraySplit<len> type expression whose constructor
+// reads the length from argument argIdx (a captured int).
+func arraySplitOf(argIdx int) TypeExpr {
+	return Concrete("ArraySplit", arraySplitter{}, func(args []any) (SplitType, error) {
+		n, ok := args[argIdx].(int)
+		if !ok {
+			return SplitType{}, fmt.Errorf("ArraySplit ctor: arg %d is %T, want int", argIdx, args[argIdx])
+		}
+		return NewSplitType("ArraySplit", int64(n)), nil
+	})
+}
+
+// sizeSplitter splits a length argument into per-piece lengths.
+type sizeSplitter struct{}
+
+func (sizeSplitter) Info(v any, t SplitType) (RuntimeInfo, error) {
+	return RuntimeInfo{Elems: int64(v.(int)), ElemBytes: 0}, nil
+}
+func (sizeSplitter) Split(v any, t SplitType, start, end int64) (any, error) {
+	return int(end - start), nil
+}
+func (sizeSplitter) Merge(pieces []any, t SplitType) (any, error) {
+	n := 0
+	for _, p := range pieces {
+		n += p.(int)
+	}
+	return n, nil
+}
+
+func sizeSplitOf(argIdx int) TypeExpr {
+	return Concrete("SizeSplit", sizeSplitter{}, func(args []any) (SplitType, error) {
+		return NewSplitType("SizeSplit", int64(args[argIdx].(int))), nil
+	})
+}
+
+// sumSplitter is a reduction split type: merge sums the partial results.
+type sumSplitter struct{}
+
+func (sumSplitter) Info(v any, t SplitType) (RuntimeInfo, error) {
+	return RuntimeInfo{Elems: 1, ElemBytes: 8}, nil
+}
+func (sumSplitter) Split(v any, t SplitType, start, end int64) (any, error) {
+	return nil, fmt.Errorf("SumSplit values cannot be split")
+}
+func (sumSplitter) Merge(pieces []any, t SplitType) (any, error) {
+	s := 0.0
+	for _, p := range pieces {
+		s += p.(float64)
+	}
+	return s, nil
+}
+
+// ---- annotated test library ---------------------------------------------
+
+// saUnary is @splittable(size: SizeSplit(size), a: ArraySplit(size), mut
+// out: ArraySplit(size)) for a unary elementwise function.
+func saUnary(name string) *Annotation {
+	return &Annotation{
+		FuncName: name,
+		Params: []Param{
+			{Name: "size", Type: sizeSplitOf(0)},
+			{Name: "a", Type: arraySplitOf(0)},
+			{Name: "out", Mut: true, Type: arraySplitOf(0)},
+		},
+	}
+}
+
+func saBinary(name string) *Annotation {
+	return &Annotation{
+		FuncName: name,
+		Params: []Param{
+			{Name: "size", Type: sizeSplitOf(0)},
+			{Name: "a", Type: arraySplitOf(0)},
+			{Name: "b", Type: arraySplitOf(0)},
+			{Name: "out", Mut: true, Type: arraySplitOf(0)},
+		},
+	}
+}
+
+func fnUnary(f func(float64) float64) Func {
+	return func(args []any) (any, error) {
+		a, out := args[1].([]float64), args[2].([]float64)
+		if len(a) != len(out) {
+			return nil, fmt.Errorf("len mismatch %d vs %d", len(a), len(out))
+		}
+		for i := range a {
+			out[i] = f(a[i])
+		}
+		return nil, nil
+	}
+}
+
+func fnBinary(f func(x, y float64) float64) Func {
+	return func(args []any) (any, error) {
+		a, b, out := args[1].([]float64), args[2].([]float64), args[3].([]float64)
+		for i := range a {
+			out[i] = f(a[i], b[i])
+		}
+		return nil, nil
+	}
+}
+
+var (
+	testLog1p = fnUnary(math.Log1p)
+	testAdd   = fnBinary(func(x, y float64) float64 { return x + y })
+	testDiv   = fnBinary(func(x, y float64) float64 { return x / y })
+)
+
+// saAddNew is @splittable(a: S, b: S) -> S : returns a new array.
+var saAddNew = &Annotation{
+	FuncName: "addNew",
+	Params: []Param{
+		{Name: "a", Type: Generic("S")},
+		{Name: "b", Type: Generic("S")},
+	},
+	Ret: func() *TypeExpr { t := Generic("S"); return &t }(),
+}
+
+var fnAddNew Func = func(args []any) (any, error) {
+	a, b := args[0].([]float64), args[1].([]float64)
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out, nil
+}
+
+// saScale is @splittable(mut a: S, v: _).
+var saScale = &Annotation{
+	FuncName: "scale",
+	Params: []Param{
+		{Name: "a", Mut: true, Type: Generic("S")},
+		{Name: "v", Type: Missing()},
+	},
+}
+
+var fnScale Func = func(args []any) (any, error) {
+	a, v := args[0].([]float64), args[1].(float64)
+	for i := range a {
+		a[i] *= v
+	}
+	return nil, nil
+}
+
+// saFilterPos is @splittable(a: S) -> unknown : keeps positive values.
+var saFilterPos = &Annotation{
+	FuncName: "filterPos",
+	Params:   []Param{{Name: "a", Type: Generic("S")}},
+	Ret:      func() *TypeExpr { t := Unknown(); return &t }(),
+}
+
+var fnFilterPos Func = func(args []any) (any, error) {
+	a := args[0].([]float64)
+	var out []float64
+	for _, x := range a {
+		if x > 0 {
+			out = append(out, x)
+		}
+	}
+	return out, nil
+}
+
+// saSum is @splittable(a: S) -> SumSplit : a reduction.
+var saSum = &Annotation{
+	FuncName: "sum",
+	Params:   []Param{{Name: "a", Type: Generic("S")}},
+	Ret: func() *TypeExpr {
+		t := Concrete("SumSplit", sumSplitter{}, FixedCtor(NewSplitType("SumSplit")))
+		return &t
+	}(),
+}
+
+var fnSum Func = func(args []any) (any, error) {
+	s := 0.0
+	for _, x := range args[0].([]float64) {
+		s += x
+	}
+	return s, nil
+}
+
+func init() {
+	// Default split type for []float64, used when generics cannot be
+	// inferred from context.
+	RegisterDefaultSplit([]float64(nil), arraySplitter{}, func(v any) (SplitType, error) {
+		return NewSplitType("ArraySplit", int64(len(v.([]float64)))), nil
+	})
+}
+
+// ---- helpers -------------------------------------------------------------
+
+func seq(n int) []float64 {
+	a := make([]float64, n)
+	for i := range a {
+		a[i] = float64(i%17) + 0.5
+	}
+	return a
+}
+
+func almostEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9*(1+math.Abs(b[i])) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,26 @@
+// Package core implements split annotations (SAs) and the Mozart runtime
+// from "Optimizing Data-Intensive Computations in Existing Libraries with
+// Split Annotations" (Palkar & Zaharia, SOSP 2019).
+//
+// The package has three layers, mirroring the paper:
+//
+//   - The split annotation interface (§3): SplitType, Splitter (the splitting
+//     API: constructor, Split, Merge, Info) and Annotation (the @splittable
+//     declaration with mut flags, concrete split types, generics, the missing
+//     type "_" and the unknown type).
+//
+//   - The client library libmozart (§4): Session lazily captures a dataflow
+//     graph of annotated calls. Values are identified by pointer identity or
+//     by Future handles; accessing a Future forces evaluation, standing in
+//     for the paper's memory-protection / decorator tricks.
+//
+//   - The Mozart runtime (§5): the planner converts the dataflow graph into
+//     stages of calls whose split types match (using split-type construction
+//     from runtime arguments, generic unification, and type inference along
+//     graph edges), and the executor runs each stage by splitting inputs into
+//     cache-sized batches, pipelining each batch through every function in
+//     the stage on a worker, and merging partial results.
+//
+// Library integrations live under internal/annotations; they provide the
+// splitters and annotations for the bundled substrate libraries.
+package core

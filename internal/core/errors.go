@@ -1,0 +1,23 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrDiscarded is returned when accessing a Future whose value was an
+	// intermediate pipelined entirely inside a stage and therefore never
+	// materialized. Call Future.Keep before evaluation to force
+	// materialization.
+	ErrDiscarded = errors.New("mozart: intermediate value was pipelined and not materialized; call Keep() before evaluation to retain it")
+	// ErrNotEvaluated is returned when reading a lazy value that has not
+	// been produced yet and cannot be (e.g. the session is broken).
+	ErrNotEvaluated = errors.New("mozart: value has not been evaluated")
+)
+
+// typeErrorf builds the error for a Future accessor used on a value of the
+// wrong dynamic type.
+func typeErrorf(want string, got any) error {
+	return fmt.Errorf("mozart: future holds %T, not %s", got, want)
+}

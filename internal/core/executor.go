@@ -1,0 +1,457 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// execute runs every stage of the plan in order (§5.2).
+func (s *Session) execute(p *plan) error {
+	for si := range p.stages {
+		if err := s.executeStage(&p.stages[si]); err != nil {
+			return fmt.Errorf("mozart: stage %d: %w", si, err)
+		}
+		s.stats.Stages++
+	}
+	return nil
+}
+
+// resolvedInput is a stage input with its splitter pinned down (deferred
+// defaults resolved against the materialized value).
+type resolvedInput struct {
+	stageInput
+	val  any
+	info RuntimeInfo
+}
+
+func (s *Session) executeStage(st *planStage) error {
+	// Resolve inputs against materialized values.
+	inputs := make([]resolvedInput, 0, len(st.inputs))
+	var sumElemBytes int64
+	for _, in := range st.inputs {
+		if !in.b.hasVal {
+			return fmt.Errorf("input of %s is not materialized", describeStage(st))
+		}
+		ri := resolvedInput{stageInput: in, val: in.b.val}
+		if in.r.deferred || in.r.splitter == nil {
+			d, ok := lookupDefaultSplit(in.b.val)
+			if !ok {
+				return fmt.Errorf("no default split type registered for %T", in.b.val)
+			}
+			t, err := d.ctor(in.b.val)
+			if err != nil {
+				return fmt.Errorf("default constructor for %T: %w", in.b.val, err)
+			}
+			ri.r.splitter, ri.r.t, ri.r.deferred = d.splitter, t, false
+		}
+		info, err := ri.r.splitter.Info(ri.val, ri.r.t)
+		if err != nil {
+			return fmt.Errorf("Info(%s): %w", ri.r.t, err)
+		}
+		ri.info = info
+		sumElemBytes += info.ElemBytes
+		inputs = append(inputs, ri)
+	}
+	for _, b := range st.broadcast {
+		if !b.hasVal {
+			return fmt.Errorf("broadcast value is not materialized")
+		}
+	}
+
+	// A stage with nothing to split executes each call once, whole.
+	if len(inputs) == 0 {
+		return s.executeWhole(st)
+	}
+
+	infos := make([]RuntimeInfo, len(inputs))
+	for i, in := range inputs {
+		infos[i] = in.info
+	}
+	total, err := CheckSameElems(infos)
+	if err != nil {
+		return err
+	}
+	if total == 0 && s.opts.Pedantic {
+		return fmt.Errorf("pedantic: stage received zero elements")
+	}
+
+	batch := s.opts.batchSize(sumElemBytes, total)
+	workers := s.opts.Workers
+	if int64(workers) > total && total > 0 {
+		workers = int(total)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	if s.opts.DynamicScheduling {
+		return s.executeDynamic(st, inputs, total, batch, workers)
+	}
+
+	// Static partitioning: workers take contiguous, near-equal element
+	// ranges (§5.2 Step 1).
+	per := total / int64(workers)
+	rem := total % int64(workers)
+
+	type workerResult struct {
+		partials map[int][]any // output binding id -> merged-per-worker pieces
+		err      error
+	}
+	results := make([]workerResult, workers)
+	var wg sync.WaitGroup
+	lo := int64(0)
+	for w := 0; w < workers; w++ {
+		hi := lo + per
+		if int64(w) < rem {
+			hi++
+		}
+		wg.Add(1)
+		go func(w int, lo, hi int64) {
+			defer wg.Done()
+			res := s.runWorker(st, inputs, lo, hi, batch)
+			results[w] = workerResult{partials: res.partials, err: res.err}
+		}(w, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+
+	for _, r := range results {
+		if r.err != nil {
+			return r.err
+		}
+	}
+
+	// Final merge on the main thread (§5.2 Step 3), then write back.
+	t0 := time.Now()
+	for oi, out := range st.outputs {
+		var pieces []any
+		for _, r := range results {
+			pieces = append(pieces, r.partials[out.b.id]...)
+		}
+		merged, err := s.mergePieces(out.r, pieces)
+		if err != nil {
+			return fmt.Errorf("merge output %d: %w", oi, err)
+		}
+		out.b.val = merged
+		out.b.hasVal = true
+		out.b.ready = true
+		out.b.discarded = false
+	}
+	s.stats.add(&s.stats.MergeNS, time.Since(t0))
+
+	// In-place mutated bindings are already up to date; mark them ready.
+	s.finishStageBindings(st)
+	return nil
+}
+
+// mergePieces merges pieces under resolution r, resolving a deferred
+// splitter from the pieces' dynamic type.
+func (s *Session) mergePieces(r resolved, pieces []any) (any, error) {
+	sp := r.splitter
+	if sp == nil {
+		if len(pieces) == 0 {
+			return nil, nil
+		}
+		d, ok := lookupDefaultSplit(pieces[0])
+		if !ok {
+			return nil, fmt.Errorf("no default split type registered for %T", pieces[0])
+		}
+		sp = d.splitter
+	}
+	return sp.Merge(pieces, r.t)
+}
+
+// finishStageBindings marks every binding written by the stage as ready.
+func (s *Session) finishStageBindings(st *planStage) {
+	for _, c := range st.calls {
+		for i, p := range c.n.sa.Params {
+			if p.Mut {
+				c.n.args[i].ready = true
+			}
+		}
+	}
+}
+
+// executeDynamic is the work-stealing-style alternative to static
+// partitioning: workers atomically claim the next unprocessed batch. Output
+// pieces are collected per batch index so merges see them in order and
+// results match static scheduling exactly.
+func (s *Session) executeDynamic(st *planStage, inputs []resolvedInput, total, batch int64, workers int) error {
+	nBatches := (total + batch - 1) / batch
+	pieces := map[int][]any{} // output binding id -> piece per batch index
+	for _, o := range st.outputs {
+		pieces[o.b.id] = make([]any, nBatches)
+	}
+	var next atomic.Int64
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			env := map[int]any{}
+			for {
+				idx := next.Add(1) - 1
+				if idx >= nBatches {
+					return
+				}
+				start := idx * batch
+				end := start + batch
+				if end > total {
+					end = total
+				}
+				out, err := s.runBatch(st, inputs, env, start, end)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				for id, piece := range out {
+					pieces[id][idx] = piece
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	t0 := time.Now()
+	for oi, out := range st.outputs {
+		var ps []any
+		for _, p := range pieces[out.b.id] {
+			if p != nil {
+				ps = append(ps, p)
+			}
+		}
+		merged, err := s.mergePieces(out.r, ps)
+		if err != nil {
+			return fmt.Errorf("merge output %d: %w", oi, err)
+		}
+		out.b.val = merged
+		out.b.hasVal = true
+		out.b.ready = true
+		out.b.discarded = false
+	}
+	s.stats.add(&s.stats.MergeNS, time.Since(t0))
+	s.finishStageBindings(st)
+	return nil
+}
+
+// runBatch splits inputs for [start, end), pipelines the batch through the
+// stage's calls, and returns the pieces of stage outputs. env is a reusable
+// per-worker scratch map.
+func (s *Session) runBatch(st *planStage, inputs []resolvedInput, env map[int]any, start, end int64) (map[int]any, error) {
+	clear(env)
+	t0 := time.Now()
+	for _, in := range inputs {
+		piece, err := in.r.splitter.Split(in.val, in.r.t, start, end)
+		if err != nil {
+			return nil, fmt.Errorf("split [%d,%d) of %s: %w", start, end, in.r.t, err)
+		}
+		env[in.b.id] = piece
+	}
+	s.stats.add(&s.stats.SplitNS, time.Since(t0))
+	s.stats.add(&s.stats.Batches, 1)
+
+	for _, c := range st.calls {
+		args := make([]any, len(c.n.args))
+		for i, r := range c.args {
+			b := c.n.args[i]
+			if r.broadcast {
+				args[i] = b.val
+				continue
+			}
+			args[i] = env[b.id]
+		}
+		if s.opts.Logf != nil {
+			s.opts.Logf("mozart: call %s on elements [%d,%d)", c.n.name, start, end)
+		}
+		t1 := time.Now()
+		ret, err := c.n.fn(args)
+		s.stats.add(&s.stats.TaskNS, time.Since(t1))
+		s.stats.add(&s.stats.Calls, 1)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.n.name, err)
+		}
+		if c.n.ret != nil {
+			env[c.n.ret.id] = ret
+		}
+	}
+	out := map[int]any{}
+	for _, o := range st.outputs {
+		if piece, ok := env[o.b.id]; ok {
+			out[o.b.id] = piece
+		}
+	}
+	return out, nil
+}
+
+type workerOut struct {
+	partials map[int][]any
+	err      error
+}
+
+// runWorker is the per-worker driver loop (§5.2 Step 2): for each batch in
+// the worker's element range, split every input, pipeline the batch through
+// every call in the stage, and stash pieces of stage outputs. At the end the
+// worker pre-merges its own partial lists.
+func (s *Session) runWorker(st *planStage, inputs []resolvedInput, lo, hi, batch int64) workerOut {
+	var splitNS, taskNS, mergeNS time.Duration
+	var batches, calls int64
+	defer func() {
+		s.stats.add(&s.stats.SplitNS, splitNS)
+		s.stats.add(&s.stats.TaskNS, taskNS)
+		s.stats.add(&s.stats.MergeNS, mergeNS)
+		s.stats.add(&s.stats.Batches, time.Duration(batches))
+		s.stats.add(&s.stats.Calls, time.Duration(calls))
+	}()
+
+	raw := map[int][]any{} // output binding id -> pieces
+	env := map[int]any{}   // binding id -> current piece within a batch
+	outSet := map[int]bool{}
+	for _, o := range st.outputs {
+		outSet[o.b.id] = true
+	}
+
+	for start := lo; start < hi; start += batch {
+		end := start + batch
+		if end > hi {
+			end = hi
+		}
+		batches++
+		clear(env)
+
+		t0 := time.Now()
+		for _, in := range inputs {
+			piece, err := in.r.splitter.Split(in.val, in.r.t, start, end)
+			if err != nil {
+				return workerOut{err: fmt.Errorf("split [%d,%d) of %s: %w", start, end, in.r.t, err)}
+			}
+			if s.opts.Pedantic && piece == nil {
+				return workerOut{err: fmt.Errorf("pedantic: splitter for %s produced nil piece", in.r.t)}
+			}
+			env[in.b.id] = piece
+		}
+		splitNS += time.Since(t0)
+
+		for _, c := range st.calls {
+			args := make([]any, len(c.n.args))
+			for i, r := range c.args {
+				b := c.n.args[i]
+				if r.broadcast {
+					args[i] = b.val
+					continue
+				}
+				piece, ok := env[b.id]
+				if !ok {
+					return workerOut{err: fmt.Errorf("%s: internal: no piece for split argument %s", c.n.name, c.n.sa.Params[i].Name)}
+				}
+				if s.opts.Pedantic && piece == nil {
+					return workerOut{err: fmt.Errorf("pedantic: %s received nil piece for %s", c.n.name, c.n.sa.Params[i].Name)}
+				}
+				args[i] = piece
+			}
+			if s.opts.Logf != nil {
+				s.opts.Logf("mozart: call %s on elements [%d,%d)", c.n.name, start, end)
+			}
+			t1 := time.Now()
+			ret, err := c.n.fn(args)
+			taskNS += time.Since(t1)
+			calls++
+			if err != nil {
+				return workerOut{err: fmt.Errorf("%s: %w", c.n.name, err)}
+			}
+			if c.n.ret != nil {
+				env[c.n.ret.id] = ret
+			}
+		}
+
+		// Move this batch's output pieces to the partial lists.
+		for id := range outSet {
+			if piece, ok := env[id]; ok {
+				raw[id] = append(raw[id], piece)
+			}
+		}
+	}
+
+	// Per-worker pre-merge (§5.2 Step 3) keeps the main-thread merge cheap
+	// and is valid because Merge is associative.
+	partials := map[int][]any{}
+	t2 := time.Now()
+	for _, o := range st.outputs {
+		pieces := raw[o.b.id]
+		if len(pieces) == 0 {
+			continue
+		}
+		merged, err := s.mergePieces(o.r, pieces)
+		if err != nil {
+			return workerOut{err: fmt.Errorf("worker merge: %w", err)}
+		}
+		partials[o.b.id] = []any{merged}
+	}
+	mergeNS += time.Since(t2)
+	return workerOut{partials: partials}
+}
+
+// executeWhole runs a stage that has no split inputs: every call executes
+// once over full values on the calling thread.
+func (s *Session) executeWhole(st *planStage) error {
+	for _, c := range st.calls {
+		args := make([]any, len(c.n.args))
+		for i, b := range c.n.args {
+			if !b.hasVal {
+				return fmt.Errorf("%s: argument %s not materialized", c.n.name, c.n.sa.Params[i].Name)
+			}
+			args[i] = b.val
+		}
+		if s.opts.Logf != nil {
+			s.opts.Logf("mozart: call %s (whole)", c.n.name)
+		}
+		t0 := time.Now()
+		ret, err := c.n.fn(args)
+		s.stats.add(&s.stats.TaskNS, time.Since(t0))
+		s.stats.Calls++
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.n.name, err)
+		}
+		if c.n.ret != nil {
+			c.n.ret.val = ret
+			c.n.ret.hasVal = true
+			c.n.ret.ready = true
+			c.n.ret.discarded = false
+		}
+		for i, p := range c.n.sa.Params {
+			if p.Mut {
+				c.n.args[i].ready = true
+			}
+		}
+	}
+	return nil
+}
+
+func describeStage(st *planStage) string {
+	if len(st.calls) == 0 {
+		return "empty stage"
+	}
+	names := make([]string, 0, len(st.calls))
+	for _, c := range st.calls {
+		names = append(names, c.n.name)
+	}
+	return fmt.Sprintf("stage[%s]", join(names, " -> "))
+}
+
+func join(parts []string, sep string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += sep
+		}
+		out += p
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package core
+
+// Future is a lazy value handle, the Go analogue of the paper's C++
+// Future<T> and Python placeholder objects (§4). Accessing the value forces
+// evaluation of the session's pending dataflow graph.
+type Future struct {
+	sess *Session
+	b    *binding
+}
+
+// Get forces evaluation of the pending graph and returns the value.
+func (f *Future) Get() (any, error) {
+	if err := f.sess.Evaluate(); err != nil {
+		return nil, err
+	}
+	return f.sess.read(f.b)
+}
+
+// Value is like Get but panics on error; convenient in examples and tests.
+func (f *Future) Value() any {
+	v, err := f.Get()
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Keep marks the value as needed even if it is only consumed inside a
+// pipeline stage, forcing the runtime to merge and materialize it.
+func (f *Future) Keep() *Future {
+	f.b.keep = true
+	return f
+}
+
+// Resolved reports whether the value has already been materialized.
+func (f *Future) Resolved() bool { return f.b.ready && !f.b.discarded }
+
+// Float64s returns the value as a []float64, forcing evaluation.
+func (f *Future) Float64s() ([]float64, error) {
+	v, err := f.Get()
+	if err != nil {
+		return nil, err
+	}
+	s, ok := v.([]float64)
+	if !ok {
+		return nil, typeErrorf("[]float64", v)
+	}
+	return s, nil
+}
+
+// Float64 returns the value as a float64, forcing evaluation.
+func (f *Future) Float64() (float64, error) {
+	v, err := f.Get()
+	if err != nil {
+		return 0, err
+	}
+	s, ok := v.(float64)
+	if !ok {
+		return 0, typeErrorf("float64", v)
+	}
+	return s, nil
+}
+
+// Int64 returns the value as an int64, forcing evaluation.
+func (f *Future) Int64() (int64, error) {
+	v, err := f.Get()
+	if err != nil {
+		return 0, err
+	}
+	s, ok := v.(int64)
+	if !ok {
+		return 0, typeErrorf("int64", v)
+	}
+	return s, nil
+}

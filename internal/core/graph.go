@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+)
+
+// binding is one value slot in the dataflow graph. Bindings are created for
+// source values (identified by pointer identity where possible), for scalar
+// arguments, and for values produced by annotated calls.
+type binding struct {
+	id        int
+	val       any   // current full value (valid when hasVal)
+	hasVal    bool  // val holds the current full value
+	ready     bool  // val is final and safe for user reads
+	producer  *node // pending producer among un-evaluated nodes, nil otherwise
+	key       uintptr
+	keep      bool // user demanded materialization (Future.Keep)
+	discarded bool // was pipelined away and never materialized
+	guarded   bool // participates in simulated memory protection
+	bytes     int64
+}
+
+// node is one captured annotated call.
+type node struct {
+	id      int
+	name    string
+	fn      Func
+	sa      *Annotation
+	args    []*binding
+	argVals []any // captured raw argument values (nil for unresolved lazy args)
+	ret     *binding
+}
+
+// Session is the libmozart client library (§4): it lazily captures a
+// dataflow graph of annotated calls and evaluates it when a lazy value is
+// accessed (or Evaluate is called explicitly). A Session is not safe for
+// concurrent use; the runtime it spawns is internally parallel.
+type Session struct {
+	opts      Options
+	nodes     []*node // pending, un-evaluated calls in program order
+	bindings  []*binding
+	byPointer map[uintptr]*binding
+	stats     Stats
+	nextID    int
+	broken    error // sticky evaluation error
+}
+
+// NewSession creates a session with the given options.
+func NewSession(opts Options) *Session {
+	return &Session{opts: opts.withDefaults(), byPointer: map[uintptr]*binding{}}
+}
+
+// Options returns the session's effective options.
+func (s *Session) Options() Options { return s.opts }
+
+// Stats returns a snapshot of the runtime's phase timings.
+func (s *Session) Stats() Stats { return s.stats.Snapshot() }
+
+// ResetStats zeroes the accumulated statistics.
+func (s *Session) ResetStats() { s.stats = Stats{} }
+
+// Pending returns the number of captured, not-yet-evaluated calls.
+func (s *Session) Pending() int { return len(s.nodes) }
+
+// dataPointer extracts a stable identity for reference-like values. Slices
+// are identified by their base array pointer, mirroring how the paper's C++
+// client library keys mutable data by its pointer.
+func dataPointer(v any) (uintptr, bool) {
+	if v == nil {
+		return 0, false
+	}
+	rv := reflect.ValueOf(v)
+	switch rv.Kind() {
+	case reflect.Slice, reflect.Pointer, reflect.Map, reflect.Chan, reflect.Func, reflect.UnsafePointer:
+		p := rv.Pointer()
+		return p, p != 0
+	}
+	return 0, false
+}
+
+// Footprinter lets data types report their buffer size for the simulated
+// memory-protection accounting.
+type Footprinter interface {
+	MemoryFootprint() int64
+}
+
+// estimateBytes best-effort sizes a value's backing storage.
+func estimateBytes(v any) int64 {
+	if v == nil {
+		return 0
+	}
+	if f, ok := v.(Footprinter); ok {
+		return f.MemoryFootprint()
+	}
+	rv := reflect.ValueOf(v)
+	if rv.Kind() == reflect.Slice {
+		return int64(rv.Len()) * int64(rv.Type().Elem().Size())
+	}
+	return 0
+}
+
+func (s *Session) newBinding() *binding {
+	b := &binding{id: s.nextID}
+	s.nextID++
+	s.bindings = append(s.bindings, b)
+	return b
+}
+
+// bindingFor resolves an argument to its binding, creating a source binding
+// on first sight. Futures map to their producing binding; reference values
+// are deduplicated by pointer identity; scalars get anonymous bindings.
+func (s *Session) bindingFor(arg any) *binding {
+	if f, ok := arg.(*Future); ok {
+		if f.sess != s {
+			panic("mozart: future passed to a different session")
+		}
+		return f.b
+	}
+	if key, ok := dataPointer(arg); ok {
+		if b, ok := s.byPointer[key]; ok {
+			return b
+		}
+		b := s.newBinding()
+		b.val, b.hasVal, b.ready, b.key = arg, true, true, key
+		s.byPointer[key] = b
+		return b
+	}
+	b := s.newBinding()
+	b.val, b.hasVal, b.ready = arg, true, true
+	return b
+}
+
+// Track registers a source value with the session and returns a Future for
+// it, used for values whose splitter copies data (the merged result replaces
+// the tracked value rather than mutating it in place).
+func (s *Session) Track(v any) *Future {
+	b := s.bindingFor(v)
+	return &Future{sess: s, b: b}
+}
+
+// Guard marks v's buffer as protected, simulating the paper's PROT_NONE
+// allocations: each evaluation accounts an unprotect cost proportional to
+// the guarded bytes (§8.5). bytes should be the buffer size.
+func (s *Session) Guard(v any, bytes int64) {
+	b := s.bindingFor(v)
+	b.guarded = true
+	b.bytes = bytes
+}
+
+// Call captures an annotated function call in the dataflow graph and
+// returns a Future for its result (nil for void functions). The arguments
+// may be raw values or Futures from the same session.
+func (s *Session) Call(fn Func, sa *Annotation, args ...any) *Future {
+	start := time.Now()
+	defer func() { s.stats.add(&s.stats.ClientNS, time.Since(start)) }()
+
+	if len(args) != len(sa.Params) {
+		panic(fmt.Sprintf("mozart: %s: got %d args, annotation has %d params", sa.FuncName, len(args), len(sa.Params)))
+	}
+	n := &node{
+		id:      len(s.nodes),
+		name:    sa.FuncName,
+		fn:      fn,
+		sa:      sa,
+		args:    make([]*binding, len(args)),
+		argVals: make([]any, len(args)),
+	}
+	for i, a := range args {
+		b := s.bindingFor(a)
+		n.args[i] = b
+		if f, ok := a.(*Future); ok {
+			if b.hasVal {
+				n.argVals[i] = b.val
+			}
+			_ = f
+		} else {
+			n.argVals[i] = a
+		}
+	}
+	// Mutated arguments: this node becomes the pending producer, so later
+	// readers order after it and accesses before evaluation force it.
+	for i, p := range sa.Params {
+		if p.Mut {
+			n.args[i].producer = n
+			n.args[i].ready = false
+			n.args[i].discarded = false
+		}
+	}
+	var fut *Future
+	if sa.Ret != nil {
+		rb := s.newBinding()
+		rb.producer = n
+		n.ret = rb
+		fut = &Future{sess: s, b: rb}
+	}
+	s.nodes = append(s.nodes, n)
+	return fut
+}
+
+// read returns the materialized value behind a binding.
+func (s *Session) read(b *binding) (any, error) {
+	if b.discarded {
+		return nil, ErrDiscarded
+	}
+	if !b.ready {
+		if s.broken != nil {
+			return nil, s.broken
+		}
+		return nil, ErrNotEvaluated
+	}
+	return b.val, nil
+}
+
+// Evaluate runs the pending dataflow graph: plan into stages, execute each
+// stage with splitting, pipelining, and parallelism, then merge results.
+// It is a no-op when nothing is pending.
+func (s *Session) Evaluate() error {
+	if s.broken != nil {
+		return s.broken
+	}
+	if len(s.nodes) == 0 {
+		return nil
+	}
+	s.stats.Evaluations++
+
+	// Simulated memory unprotection of guarded buffers (§8.5): the paper
+	// measured ~3.5ms per GB with mprotect. We account the modeled cost so
+	// the Figure 5 breakdown has the same shape. With a non-zero cost
+	// configured, every materialized buffer counts as protected (the
+	// paper's drop-in malloc protects all Mozart-visible memory).
+	t0 := time.Now()
+	var guardedBytes int64
+	for _, b := range s.bindings {
+		switch {
+		case b.guarded:
+			guardedBytes += b.bytes
+		case s.opts.UnprotectNSPerByte > 0 && b.hasVal:
+			guardedBytes += estimateBytes(b.val)
+		}
+	}
+	elapsed := time.Since(t0) + time.Duration(float64(guardedBytes)*s.opts.UnprotectNSPerByte)
+	s.stats.add(&s.stats.UnprotectNS, elapsed)
+
+	t1 := time.Now()
+	plan, err := s.buildPlan()
+	s.stats.add(&s.stats.PlannerNS, time.Since(t1))
+	if err != nil {
+		s.broken = err
+		return err
+	}
+
+	if err := s.execute(plan); err != nil {
+		s.broken = err
+		return err
+	}
+
+	// Graph consumed: clear pending nodes and producers.
+	for _, n := range s.nodes {
+		for _, b := range n.args {
+			b.producer = nil
+		}
+		if n.ret != nil {
+			n.ret.producer = nil
+		}
+	}
+	s.nodes = s.nodes[:0]
+	return nil
+}

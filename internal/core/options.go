@@ -1,0 +1,81 @@
+package core
+
+import "runtime"
+
+// Options configure a Session (the paper's runtime knobs: worker count is
+// user-configured, batch size is derived from the L2 cache size, §5.2).
+type Options struct {
+	// Workers is the number of worker threads. Defaults to GOMAXPROCS.
+	Workers int
+	// L2CacheBytes is the per-core L2 cache size used by the batch-size
+	// heuristic. Defaults to 256 KiB (the paper's Xeon E5-2676 v3).
+	L2CacheBytes int64
+	// BatchConstant is the constant C in batch = C * L2 / sum(elemBytes).
+	// Defaults to 4, which empirically leaves room for intermediates in
+	// the shared LLC as the paper describes.
+	BatchConstant float64
+	// BatchElems, when non-zero, overrides the batch-size heuristic with a
+	// fixed number of elements per batch (used by the Fig. 6 sweep).
+	BatchElems int64
+	// DynamicScheduling replaces the paper's static contiguous partitioning
+	// (§5.2 Step 1) with dynamic batch claiming: workers atomically take
+	// the next unprocessed batch, Cilk-style. The paper chose static
+	// partitioning for simplicity and found similar results; this option
+	// exists for the ablation. Results are identical either way — output
+	// pieces are merged in batch order.
+	DynamicScheduling bool
+	// DisablePipelining makes every annotated call its own stage: data is
+	// still split and parallelized, but merged between calls. This is the
+	// Mozart(-pipe) ablation of Table 4.
+	DisablePipelining bool
+	// UnprotectNSPerByte is the modeled cost of unprotecting one byte of
+	// guarded memory per evaluation (simulating the paper's mprotect-based
+	// laziness; §8.5 reports ~3.5ms/GB). Zero disables the accounting.
+	UnprotectNSPerByte float64
+	// Pedantic enables the §7.1 debugging mode: evaluation fails with a
+	// descriptive error if a function receives splits with differing
+	// element counts, receives no elements, or receives nil data.
+	Pedantic bool
+	// Logf, when set, receives a log line per function call per split
+	// piece (the §7.1 call log). Signature matches testing.T.Logf.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.L2CacheBytes <= 0 {
+		o.L2CacheBytes = 256 << 10
+	}
+	if o.BatchConstant <= 0 {
+		o.BatchConstant = 4
+	}
+	return o
+}
+
+// batchSize implements the §5.2 heuristic: C * L2CacheSize / sum of element
+// sizes, clamped to [1, total].
+func (o Options) batchSize(sumElemBytes, total int64) int64 {
+	if o.BatchElems > 0 {
+		return clamp64(o.BatchElems, 1, total)
+	}
+	if sumElemBytes <= 0 {
+		sumElemBytes = 1
+	}
+	b := int64(o.BatchConstant * float64(o.L2CacheBytes) / float64(sumElemBytes))
+	return clamp64(b, 1, total)
+}
+
+func clamp64(v, lo, hi int64) int64 {
+	if hi < lo {
+		hi = lo
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

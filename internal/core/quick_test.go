@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickPipelineEquivalence is the central correctness property (§3.4):
+// for any pipeline of annotated elementwise functions and any splitting
+// configuration, F(a, b, ...) == Merge(F(a1, b1, ...), F(a2, b2, ...), ...).
+func TestQuickPipelineEquivalence(t *testing.T) {
+	type cfg struct {
+		Seed    int64
+		N       uint16 // array length
+		Workers uint8
+		Batch   uint16
+		Ops     uint8 // pipeline length
+	}
+	f := func(c cfg) bool {
+		n := int(c.N%2000) + 1
+		workers := int(c.Workers%8) + 1
+		batch := int64(c.Batch%512) + 1
+		ops := int(c.Ops%6) + 1
+		rng := rand.New(rand.NewSource(c.Seed))
+
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.Float64()*10 + 0.1
+			b[i] = rng.Float64()*10 + 0.1
+		}
+		ref := append([]float64(nil), a...)
+
+		s := NewSession(Options{Workers: workers, BatchElems: batch})
+		for k := 0; k < ops; k++ {
+			switch k % 3 {
+			case 0:
+				s.Call(testLog1p, saUnary("log1p"), n, a, a)
+				for i := range ref {
+					ref[i] = math.Log1p(ref[i])
+				}
+			case 1:
+				s.Call(testAdd, saBinary("add"), n, a, b, a)
+				for i := range ref {
+					ref[i] += b[i]
+				}
+			case 2:
+				s.Call(testDiv, saBinary("div"), n, a, b, a)
+				for i := range ref {
+					ref[i] /= b[i]
+				}
+			}
+		}
+		if err := s.Evaluate(); err != nil {
+			t.Logf("evaluate: %v", err)
+			return false
+		}
+		return almostEqual(a, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSplitMergeRoundTrip: merging the splits of any array under any
+// batch size reproduces the array.
+func TestQuickSplitMergeRoundTrip(t *testing.T) {
+	f := func(vals []float64, batch uint8) bool {
+		b := int64(batch%64) + 1
+		sp := arraySplitter{}
+		typ := NewSplitType("ArraySplit", int64(len(vals)))
+		var pieces []any
+		for s := int64(0); s < int64(len(vals)); s += b {
+			e := s + b
+			if e > int64(len(vals)) {
+				e = int64(len(vals))
+			}
+			p, err := sp.Split(vals, typ, s, e)
+			if err != nil {
+				return false
+			}
+			pieces = append(pieces, p)
+		}
+		m, err := sp.Merge(pieces, typ)
+		if err != nil {
+			return false
+		}
+		return almostEqual(m.([]float64), vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickReductionEquivalence: parallel partial sums merge to the serial
+// sum for any worker/batch configuration.
+func TestQuickReductionEquivalence(t *testing.T) {
+	f := func(seed int64, n uint16, workers, batch uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n%3000) + 1
+		a := make([]float64, size)
+		want := 0.0
+		for i := range a {
+			a[i] = rng.Float64()
+			want += a[i]
+		}
+		s := NewSession(Options{Workers: int(workers%8) + 1, BatchElems: int64(batch)%256 + 1})
+		got, err := s.Call(fnSum, saSum, a).Float64()
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-want) <= 1e-7*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFilterScale: unknown-typed filter output pipelined into a
+// generic mutator behaves like the serial program.
+func TestQuickFilterScale(t *testing.T) {
+	f := func(seed int64, n uint16, workers uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n%2048) + 1
+		a := make([]float64, size)
+		for i := range a {
+			a[i] = rng.Float64()*2 - 1
+		}
+		var want []float64
+		for _, x := range a {
+			if x > 0 {
+				want = append(want, x*4)
+			}
+		}
+		s := NewSession(Options{Workers: int(workers%6) + 1, BatchElems: 97})
+		fut := s.Call(fnFilterPos, saFilterPos, a)
+		s.Call(fnScale, saScale, fut, 4.0)
+		got, err := fut.Float64s()
+		if err != nil {
+			t.Logf("err: %v", err)
+			return false
+		}
+		return almostEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

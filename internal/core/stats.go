@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Stats records where time goes inside the runtime, matching the breakdown
+// of Figure 5: client-library registration, unprotecting lazy values,
+// planning, splitting, task execution, and merging.
+type Stats struct {
+	ClientNS    int64 // registering calls with the dataflow graph
+	UnprotectNS int64 // simulated memory-(un)protection on guarded buffers
+	PlannerNS   int64 // converting the graph into stages
+	SplitNS     int64 // calls into splitters' Split
+	TaskNS      int64 // executing library functions
+	MergeNS     int64 // calls into splitters' Merge
+	Evaluations int64 // number of Evaluate() rounds
+	Stages      int64 // stages executed
+	Batches     int64 // batches executed
+	Calls       int64 // function invocations on split pieces
+}
+
+// Total returns the sum of all phase times.
+func (s *Stats) Total() time.Duration {
+	return time.Duration(s.ClientNS + s.UnprotectNS + s.PlannerNS + s.SplitNS + s.TaskNS + s.MergeNS)
+}
+
+// add accumulates o into s (atomically; workers report concurrently).
+func (s *Stats) add(field *int64, d time.Duration) {
+	atomic.AddInt64(field, int64(d))
+}
+
+// String renders the breakdown as percentages of total, the way Figure 5
+// reports it.
+func (s *Stats) String() string {
+	tot := float64(s.Total())
+	if tot == 0 {
+		return "no time recorded"
+	}
+	pct := func(ns int64) float64 { return 100 * float64(ns) / tot }
+	return fmt.Sprintf(
+		"client %.2f%% | unprotect %.2f%% | planner %.2f%% | split %.2f%% | task %.2f%% | merge %.2f%% (total %v, %d stages, %d batches, %d calls)",
+		pct(s.ClientNS), pct(s.UnprotectNS), pct(s.PlannerNS),
+		pct(s.SplitNS), pct(s.TaskNS), pct(s.MergeNS),
+		s.Total(), s.Stages, s.Batches, s.Calls)
+}
+
+// Snapshot returns a copy of the statistics safe to read while workers are
+// idle.
+func (s *Stats) Snapshot() Stats {
+	return Stats{
+		ClientNS:    atomic.LoadInt64(&s.ClientNS),
+		UnprotectNS: atomic.LoadInt64(&s.UnprotectNS),
+		PlannerNS:   atomic.LoadInt64(&s.PlannerNS),
+		SplitNS:     atomic.LoadInt64(&s.SplitNS),
+		TaskNS:      atomic.LoadInt64(&s.TaskNS),
+		MergeNS:     atomic.LoadInt64(&s.MergeNS),
+		Evaluations: atomic.LoadInt64(&s.Evaluations),
+		Stages:      atomic.LoadInt64(&s.Stages),
+		Batches:     atomic.LoadInt64(&s.Batches),
+		Calls:       atomic.LoadInt64(&s.Calls),
+	}
+}

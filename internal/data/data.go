@@ -1,0 +1,228 @@
+// Package data generates the deterministic synthetic datasets the
+// benchmark workloads run on. The paper's workloads use public datasets
+// (311 service requests, US baby names, MovieLens, the IMDb review corpus,
+// photographs); these generators produce structurally matched stand-ins —
+// same column types, junk-value mixes, group cardinalities, and join
+// fan-outs — at configurable scale, from fixed seeds (see DESIGN.md §2).
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mozart/internal/frame"
+	"mozart/internal/imagelib"
+)
+
+// Vector returns n floats in [lo, hi).
+func Vector(n int, seed int64, lo, hi float64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return out
+}
+
+// OptionsData returns price, strike, and time-to-maturity vectors for the
+// Black Scholes benchmark.
+func OptionsData(n int, seed int64) (price, strike, t []float64) {
+	return Vector(n, seed, 10, 200), Vector(n, seed+1, 10, 200), Vector(n, seed+2, 0.1, 2)
+}
+
+// GPSData returns latitude and longitude vectors in radians for Haversine.
+func GPSData(n int, seed int64) (lat, lon []float64) {
+	return Vector(n, seed, -1.4, 1.4), Vector(n, seed+1, -3.1, 3.1)
+}
+
+// Bodies returns positions, and masses for n gravitating bodies.
+func Bodies(n int, seed int64) (x, y, z, mass []float64) {
+	return Vector(n, seed, -1, 1), Vector(n, seed+1, -1, 1), Vector(n, seed+2, -1, 1),
+		Vector(n, seed+3, 0.5, 2)
+}
+
+// FluidGrid returns an n x n height field with a central disturbance, the
+// Shallow Water initial condition.
+func FluidGrid(n int, seed int64) []float64 {
+	g := make([]float64, n*n)
+	for i := range g {
+		g[i] = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cx, cy := n/2, n/2
+	for dy := -n / 8; dy <= n/8; dy++ {
+		for dx := -n / 8; dx <= n/8; dx++ {
+			x, y := cx+dx, cy+dy
+			if x >= 0 && x < n && y >= 0 && y < n {
+				g[y*n+x] += 0.1 + 0.01*rng.Float64()
+			}
+		}
+	}
+	return g
+}
+
+// ServiceRequests returns a 311-requests-like frame with a dirty zip-code
+// column: well-formed zips, zip+4 forms, and the junk values the Pandas
+// cookbook's cleaning chapter handles.
+func ServiceRequests(n int, seed int64) *frame.DataFrame {
+	rng := rand.New(rand.NewSource(seed))
+	zips := make([]string, n)
+	complaint := make([]string, n)
+	borough := make([]string, n)
+	kinds := []string{"Noise", "Heating", "Parking", "Water", "Rodent", "Graffiti"}
+	boroughs := []string{"MANHATTAN", "BROOKLYN", "QUEENS", "BRONX", "STATEN ISLAND"}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(10) {
+		case 0:
+			zips[i] = "NO CLUE"
+		case 1:
+			zips[i] = "N/A"
+		case 2:
+			zips[i] = "0"
+		case 3:
+			zips[i] = fmt.Sprintf("%05d-%04d", 10000+rng.Intn(900), rng.Intn(10000))
+		default:
+			zips[i] = fmt.Sprintf("%05d", 10000+rng.Intn(90000))
+		}
+		complaint[i] = kinds[rng.Intn(len(kinds))]
+		borough[i] = boroughs[rng.Intn(len(boroughs))]
+	}
+	return frame.NewDataFrame(
+		frame.NewString("Incident Zip", zips),
+		frame.NewString("Complaint Type", complaint),
+		frame.NewString("Borough", borough),
+	)
+}
+
+// CityData returns per-record city population and crime information for the
+// Crime Index workload.
+func CityData(n int, seed int64) *frame.DataFrame {
+	return frame.NewDataFrame(
+		frame.NewFloat("population", Vector(n, seed, 1e3, 1e6)),
+		frame.NewFloat("total_crimes", Vector(n, seed+1, 10, 5e4)),
+	)
+}
+
+// BabyNames returns a names/year/sex/births frame; a fixed fraction of
+// names start with "Lesl" for the Birth Analysis workload.
+func BabyNames(n int, seed int64) *frame.DataFrame {
+	rng := rand.New(rand.NewSource(seed))
+	base := []string{"Emma", "Olivia", "Noah", "Liam", "Ava", "Mia", "Lucas", "Ethan", "Amelia", "Logan"}
+	lesl := []string{"Leslie", "Lesley", "Leslee", "Lesli", "Lesly"}
+	names := make([]string, n)
+	years := make([]int64, n)
+	sexes := make([]string, n)
+	births := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(20) == 0 {
+			names[i] = lesl[rng.Intn(len(lesl))]
+		} else {
+			names[i] = base[rng.Intn(len(base))]
+		}
+		years[i] = int64(1960 + rng.Intn(60))
+		sexes[i] = []string{"F", "M"}[rng.Intn(2)]
+		births[i] = float64(rng.Intn(5000) + 10)
+	}
+	return frame.NewDataFrame(
+		frame.NewString("name", names),
+		frame.NewInt("year", years),
+		frame.NewString("sex", sexes),
+		frame.NewFloat("births", births),
+	)
+}
+
+// MovieLens returns ratings, users, and movies frames with MovieLens-like
+// shape: ratings is the large fact table; users and movies are small
+// dimensions.
+func MovieLens(nRatings, nUsers, nMovies int, seed int64) (ratings, users, movies *frame.DataFrame) {
+	rng := rand.New(rand.NewSource(seed))
+	uid := make([]int64, nRatings)
+	mid := make([]int64, nRatings)
+	score := make([]float64, nRatings)
+	for i := range uid {
+		uid[i] = int64(rng.Intn(nUsers) + 1)
+		mid[i] = int64(rng.Intn(nMovies) + 1)
+		score[i] = float64(rng.Intn(5) + 1)
+	}
+	ratings = frame.NewDataFrame(
+		frame.NewInt("userId", uid),
+		frame.NewInt("movieId", mid),
+		frame.NewFloat("rating", score),
+	)
+	uids := make([]int64, nUsers)
+	gender := make([]string, nUsers)
+	age := make([]int64, nUsers)
+	for i := range uids {
+		uids[i] = int64(i + 1)
+		gender[i] = []string{"F", "M"}[rng.Intn(2)]
+		age[i] = int64(18 + rng.Intn(50))
+	}
+	users = frame.NewDataFrame(
+		frame.NewInt("userId", uids),
+		frame.NewString("gender", gender),
+		frame.NewInt("age", age),
+	)
+	mids := make([]int64, nMovies)
+	title := make([]string, nMovies)
+	for i := range mids {
+		mids[i] = int64(i + 1)
+		title[i] = fmt.Sprintf("Movie %04d", i+1)
+	}
+	movies = frame.NewDataFrame(
+		frame.NewInt("movieId", mids),
+		frame.NewString("title", title),
+	)
+	return ratings, users, movies
+}
+
+// ReviewCorpus returns n IMDb-like review documents.
+func ReviewCorpus(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	openers := []string{
+		"This film was absolutely wonderful and the direction felt inspired.",
+		"I really wanted to like this movie but the pacing dragged badly.",
+		"The actors delivered surprisingly strong performances throughout.",
+		"A boring, predictable plot that never quite finds its footing.",
+		"What a delightful surprise! The ending genuinely moved me.",
+		"The cinematography in London was stunning, though the script rambled.",
+	}
+	fillers := []string{
+		"The soundtrack carried several scenes.",
+		"Supporting characters appeared and vanished without explanation.",
+		"I watched it twice and noticed new details again.",
+		"Critics praised the editing but viewers disagreed strongly.",
+		"The second act wanders into strange territory.",
+	}
+	out := make([]string, n)
+	for i := range out {
+		doc := openers[rng.Intn(len(openers))]
+		for k := 0; k < 2+rng.Intn(4); k++ {
+			doc += " " + fillers[rng.Intn(len(fillers))]
+		}
+		out[i] = doc
+	}
+	return out
+}
+
+// Photo returns a w x h synthetic photograph with smooth gradients and
+// noise, for the image filter workloads.
+func Photo(w, h int, seed int64) *imagelib.Image {
+	rng := rand.New(rand.NewSource(seed))
+	img := imagelib.NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			r := uint8((x*255/max(1, w-1) + rng.Intn(32)) % 256)
+			g := uint8((y*255/max(1, h-1) + rng.Intn(32)) % 256)
+			b := uint8(((x + y) * 255 / max(1, w+h-2)) % 256)
+			img.Set(x, y, r, g, b, 255)
+		}
+	}
+	return img
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

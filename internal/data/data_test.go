@@ -1,0 +1,156 @@
+package data
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVectorDeterministicAndBounded(t *testing.T) {
+	a := Vector(1000, 7, 2, 5)
+	b := Vector(1000, 7, 2, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce")
+		}
+		if a[i] < 2 || a[i] >= 5 {
+			t.Fatalf("out of range: %v", a[i])
+		}
+	}
+	c := Vector(1000, 8, 2, 5)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestOptionsGPSBodies(t *testing.T) {
+	p, k, tt := OptionsData(100, 1)
+	if len(p) != 100 || len(k) != 100 || len(tt) != 100 {
+		t.Fatal("lengths")
+	}
+	for i := range tt {
+		if tt[i] <= 0 {
+			t.Fatal("maturities must be positive")
+		}
+	}
+	lat, lon := GPSData(50, 2)
+	for i := range lat {
+		if lat[i] < -1.6 || lat[i] > 1.6 || lon[i] < -3.2 || lon[i] > 3.2 {
+			t.Fatal("GPS radians out of range")
+		}
+	}
+	x, y, z, m := Bodies(30, 3)
+	if len(x) != 30 || len(y) != 30 || len(z) != 30 || len(m) != 30 {
+		t.Fatal("bodies lengths")
+	}
+	for _, v := range m {
+		if v <= 0 {
+			t.Fatal("masses must be positive")
+		}
+	}
+}
+
+func TestFluidGrid(t *testing.T) {
+	g := FluidGrid(32, 4)
+	if len(g) != 1024 {
+		t.Fatal("size")
+	}
+	disturbed := false
+	for _, v := range g {
+		if v < 1 {
+			t.Fatal("heights below rest")
+		}
+		if v > 1 {
+			disturbed = true
+		}
+	}
+	if !disturbed {
+		t.Fatal("grid should have a central disturbance")
+	}
+}
+
+func TestServiceRequests(t *testing.T) {
+	df := ServiceRequests(2000, 5)
+	if df.NRows() != 2000 || !df.HasCol("Incident Zip") {
+		t.Fatal("shape")
+	}
+	junk, clean := 0, 0
+	for _, z := range df.Col("Incident Zip").S {
+		switch {
+		case z == "NO CLUE" || z == "N/A" || z == "0":
+			junk++
+		case len(z) == 5 || strings.Contains(z, "-"):
+			clean++
+		default:
+			t.Fatalf("unexpected zip form %q", z)
+		}
+	}
+	if junk == 0 || clean == 0 {
+		t.Fatal("mix of junk and clean zips expected")
+	}
+}
+
+func TestBabyNames(t *testing.T) {
+	df := BabyNames(3000, 6)
+	lesl := 0
+	for _, n := range df.Col("name").S {
+		if strings.HasPrefix(n, "Lesl") {
+			lesl++
+		}
+	}
+	if lesl == 0 || lesl > 600 {
+		t.Fatalf("Lesl fraction off: %d/3000", lesl)
+	}
+	for _, y := range df.Col("year").I {
+		if y < 1960 || y > 2020 {
+			t.Fatal("year range")
+		}
+	}
+}
+
+func TestMovieLens(t *testing.T) {
+	ratings, users, movies := MovieLens(5000, 50, 20, 7)
+	if ratings.NRows() != 5000 || users.NRows() != 50 || movies.NRows() != 20 {
+		t.Fatal("table sizes")
+	}
+	for _, uid := range ratings.Col("userId").I {
+		if uid < 1 || uid > 50 {
+			t.Fatal("rating userId out of dimension range")
+		}
+	}
+	for _, r := range ratings.Col("rating").F {
+		if r < 1 || r > 5 {
+			t.Fatal("rating range")
+		}
+	}
+	if movies.Col("title").S[0] == movies.Col("title").S[1] {
+		t.Fatal("titles must be distinct")
+	}
+}
+
+func TestReviewCorpusAndPhoto(t *testing.T) {
+	corpus := ReviewCorpus(40, 8)
+	if len(corpus) != 40 {
+		t.Fatal("corpus size")
+	}
+	for _, doc := range corpus {
+		if len(doc) < 40 {
+			t.Fatal("documents should be multi-sentence")
+		}
+	}
+	img := Photo(64, 48, 9)
+	if img.W != 64 || img.H != 48 {
+		t.Fatal("photo dims")
+	}
+	// Not uniform.
+	r0, g0, b0, _ := img.At(0, 0)
+	r1, g1, b1, _ := img.At(63, 47)
+	if r0 == r1 && g0 == g1 && b0 == b1 {
+		t.Fatal("photo should have gradients")
+	}
+}

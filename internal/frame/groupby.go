@@ -1,0 +1,235 @@
+package frame
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// AggKind enumerates grouped aggregation functions. All are commutative, the
+// restriction the paper's Pandas integration notes for GroupSplit.
+type AggKind int
+
+// Aggregation kinds.
+const (
+	AggSum AggKind = iota
+	AggCount
+	AggMin
+	AggMax
+	AggMean
+)
+
+// AggSpec names one aggregation: Kind over column Col, output column As.
+type AggSpec struct {
+	Col  string
+	Kind AggKind
+	As   string
+}
+
+// groupRow is a partial aggregate for one group key.
+type groupRow struct {
+	keyS   []string  // key values (string columns)
+	keyI   []int64   // key values (int columns)
+	sums   []float64 // per spec
+	counts []int64
+	mins   []float64
+	maxs   []float64
+}
+
+// Grouped is a partial grouped aggregation. Partials from row chunks of the
+// same GroupBy combine associatively and re-aggregate, which is exactly the
+// merge the paper's GroupSplit split type implements.
+type Grouped struct {
+	Keys     []string
+	KeyTypes []DType
+	Specs    []AggSpec
+	rows     map[string]*groupRow
+}
+
+// NumGroups returns the number of distinct keys seen so far.
+func (g *Grouped) NumGroups() int { return len(g.rows) }
+
+// GroupByAgg groups df by the key columns and computes the partial
+// aggregates in specs. Key columns must be Int or String.
+func GroupByAgg(df *DataFrame, keys []string, specs []AggSpec) *Grouped {
+	g := &Grouped{Keys: keys, Specs: specs, rows: map[string]*groupRow{}}
+	keyCols := make([]*Series, len(keys))
+	for i, k := range keys {
+		keyCols[i] = df.Col(k)
+		switch keyCols[i].Dtype {
+		case Int, String:
+		default:
+			panic(fmt.Sprintf("frame: GroupByAgg key %q must be int or string", k))
+		}
+		g.KeyTypes = append(g.KeyTypes, keyCols[i].Dtype)
+	}
+	aggCols := make([]*Series, len(specs))
+	for i, sp := range specs {
+		aggCols[i] = df.Col(sp.Col)
+	}
+
+	var kb strings.Builder
+	for r := 0; r < df.NRows(); r++ {
+		kb.Reset()
+		skip := false
+		for _, kc := range keyCols {
+			if !kc.IsValid(r) {
+				skip = true // Pandas drops null keys
+				break
+			}
+			if kc.Dtype == Int {
+				kb.WriteString(strconv.FormatInt(kc.I[r], 10))
+			} else {
+				kb.WriteString(kc.S[r])
+			}
+			kb.WriteByte(0)
+		}
+		if skip {
+			continue
+		}
+		key := kb.String()
+		row, ok := g.rows[key]
+		if !ok {
+			row = &groupRow{
+				sums:   make([]float64, len(specs)),
+				counts: make([]int64, len(specs)),
+				mins:   make([]float64, len(specs)),
+				maxs:   make([]float64, len(specs)),
+			}
+			for i := range row.mins {
+				row.mins[i] = math.Inf(1)
+				row.maxs[i] = math.Inf(-1)
+			}
+			for _, kc := range keyCols {
+				if kc.Dtype == Int {
+					row.keyI = append(row.keyI, kc.I[r])
+				} else {
+					row.keyS = append(row.keyS, kc.S[r])
+				}
+			}
+			g.rows[key] = row
+		}
+		for i, ac := range aggCols {
+			if !ac.IsValid(r) {
+				continue
+			}
+			var v float64
+			switch ac.Dtype {
+			case Float:
+				v = ac.F[r]
+				if math.IsNaN(v) {
+					continue
+				}
+			case Int:
+				v = float64(ac.I[r])
+			default:
+				v = 0
+			}
+			row.sums[i] += v
+			row.counts[i]++
+			if v < row.mins[i] {
+				row.mins[i] = v
+			}
+			if v > row.maxs[i] {
+				row.maxs[i] = v
+			}
+		}
+	}
+	return g
+}
+
+// Combine merges another partial aggregation into g (associative,
+// commutative).
+func (g *Grouped) Combine(o *Grouped) *Grouped {
+	if len(o.Keys) != len(g.Keys) || len(o.Specs) != len(g.Specs) {
+		panic("frame: Combine of incompatible groupings")
+	}
+	for key, orow := range o.rows {
+		row, ok := g.rows[key]
+		if !ok {
+			g.rows[key] = orow
+			continue
+		}
+		for i := range g.Specs {
+			row.sums[i] += orow.sums[i]
+			row.counts[i] += orow.counts[i]
+			if orow.mins[i] < row.mins[i] {
+				row.mins[i] = orow.mins[i]
+			}
+			if orow.maxs[i] > row.maxs[i] {
+				row.maxs[i] = orow.maxs[i]
+			}
+		}
+	}
+	return g
+}
+
+// ToDataFrame finalizes the aggregation into a frame with one row per
+// group, sorted by key for determinism.
+func (g *Grouped) ToDataFrame() *DataFrame {
+	keys := make([]string, 0, len(g.rows))
+	for k := range g.rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	out := &DataFrame{}
+	si, ii := 0, 0
+	for ki, name := range g.Keys {
+		switch g.KeyTypes[ki] {
+		case String:
+			col := make([]string, len(keys))
+			idx := si
+			si++
+			for r, k := range keys {
+				col[r] = g.rows[k].keyS[idx]
+			}
+			out.Cols = append(out.Cols, NewString(name, col))
+		case Int:
+			col := make([]int64, len(keys))
+			idx := ii
+			ii++
+			for r, k := range keys {
+				col[r] = g.rows[k].keyI[idx]
+			}
+			out.Cols = append(out.Cols, NewInt(name, col))
+		}
+	}
+	for i, sp := range g.Specs {
+		name := sp.As
+		if name == "" {
+			name = sp.Col
+		}
+		switch sp.Kind {
+		case AggCount:
+			col := make([]int64, len(keys))
+			for r, k := range keys {
+				col[r] = g.rows[k].counts[i]
+			}
+			out.Cols = append(out.Cols, NewInt(name, col))
+		default:
+			col := make([]float64, len(keys))
+			for r, k := range keys {
+				row := g.rows[k]
+				switch sp.Kind {
+				case AggSum:
+					col[r] = row.sums[i]
+				case AggMin:
+					col[r] = row.mins[i]
+				case AggMax:
+					col[r] = row.maxs[i]
+				case AggMean:
+					if row.counts[i] == 0 {
+						col[r] = math.NaN()
+					} else {
+						col[r] = row.sums[i] / float64(row.counts[i])
+					}
+				}
+			}
+			out.Cols = append(out.Cols, NewFloat(name, col))
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package frame
+
+import (
+	"fmt"
+	"sort"
+)
+
+// JoinHow selects the join variant.
+type JoinHow int
+
+// Join variants.
+const (
+	Inner JoinHow = iota
+	Left
+)
+
+// Index is a hash index over one key column of a frame, like a Pandas
+// index. Joins broadcast the index and split the probe side, matching the
+// paper's "joins split one table and broadcast the other". An Index is
+// immutable after construction and safe for concurrent probes.
+type Index struct {
+	df   *DataFrame
+	key  string
+	posI map[int64][]int
+	posS map[string][]int
+}
+
+// NewIndex builds a hash index over df's key column (Int or String).
+func NewIndex(df *DataFrame, key string) *Index {
+	col := df.Col(key)
+	idx := &Index{df: df, key: key}
+	switch col.Dtype {
+	case Int:
+		idx.posI = make(map[int64][]int, col.Len())
+		for i, v := range col.I {
+			if col.IsValid(i) {
+				idx.posI[v] = append(idx.posI[v], i)
+			}
+		}
+	case String:
+		idx.posS = make(map[string][]int, col.Len())
+		for i, v := range col.S {
+			if col.IsValid(i) {
+				idx.posS[v] = append(idx.posS[v], i)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("frame: NewIndex key %q must be int or string", key))
+	}
+	return idx
+}
+
+// Frame returns the indexed frame.
+func (ix *Index) Frame() *DataFrame { return ix.df }
+
+// Key returns the indexed column name.
+func (ix *Index) Key() string { return ix.key }
+
+func (ix *Index) lookupI(v int64) []int  { return ix.posI[v] }
+func (ix *Index) lookupS(v string) []int { return ix.posS[v] }
+
+// JoinIndexed joins left against the indexed right frame on
+// left[leftKey] == right[index key], like DataFrame.merge. Inner drops
+// unmatched probe rows; Left keeps them with nulls. Right-side columns
+// (except its key) are appended; name collisions get a "_right" suffix.
+func JoinIndexed(left *DataFrame, ix *Index, leftKey string, how JoinHow) *DataFrame {
+	probe := left.Col(leftKey)
+	var leftIdx, rightIdx []int
+	add := func(l int, rs []int) {
+		if len(rs) == 0 {
+			if how == Left {
+				leftIdx = append(leftIdx, l)
+				rightIdx = append(rightIdx, -1)
+			}
+			return
+		}
+		for _, r := range rs {
+			leftIdx = append(leftIdx, l)
+			rightIdx = append(rightIdx, r)
+		}
+	}
+	switch probe.Dtype {
+	case Int:
+		if ix.posI == nil {
+			panic("frame: join key type mismatch (int probe, string index)")
+		}
+		for i, v := range probe.I {
+			if probe.IsValid(i) {
+				add(i, ix.lookupI(v))
+			} else if how == Left {
+				add(i, nil)
+			}
+		}
+	case String:
+		if ix.posS == nil {
+			panic("frame: join key type mismatch (string probe, int index)")
+		}
+		for i, v := range probe.S {
+			if probe.IsValid(i) {
+				add(i, ix.lookupS(v))
+			} else if how == Left {
+				add(i, nil)
+			}
+		}
+	default:
+		panic("frame: join probe key must be int or string")
+	}
+
+	out := &DataFrame{}
+	for _, c := range left.Cols {
+		out.Cols = append(out.Cols, c.Gather(leftIdx))
+	}
+	for _, c := range ix.df.Cols {
+		if c.Name == ix.key {
+			continue
+		}
+		g := c.Gather(rightIdx)
+		if left.HasCol(c.Name) {
+			g.Name = c.Name + "_right"
+		}
+		out.Cols = append(out.Cols, g)
+	}
+	return out
+}
+
+// SortByFloat returns df ordered by the named float column (whole-frame
+// operation; stable).
+func SortByFloat(df *DataFrame, col string, ascending bool) *DataFrame {
+	c := df.Col(col)
+	if c.Dtype != Float {
+		panic("frame: SortByFloat needs a float column")
+	}
+	idx := make([]int, df.NRows())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if ascending {
+			return c.F[idx[a]] < c.F[idx[b]]
+		}
+		return c.F[idx[a]] > c.F[idx[b]]
+	})
+	out := &DataFrame{}
+	for _, col := range df.Cols {
+		out.Cols = append(out.Cols, col.Gather(idx))
+	}
+	return out
+}
+
+// Head returns the first n rows (fewer if the frame is shorter).
+func Head(df *DataFrame, n int) *DataFrame {
+	if n > df.NRows() {
+		n = df.NRows()
+	}
+	return df.Slice(0, n)
+}

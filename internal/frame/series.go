@@ -1,0 +1,233 @@
+// Package frame is the repository's stand-in for Pandas: a columnar
+// DataFrame/Series library with null masks, filters, string operations,
+// grouped aggregation, and indexed joins. Kernels are single threaded
+// (Pandas-in-C style) and know nothing about Mozart; the split annotations
+// live in internal/annotations/framesa.
+package frame
+
+import (
+	"fmt"
+	"math"
+)
+
+// DType enumerates column element types.
+type DType int
+
+// Column element types.
+const (
+	Float DType = iota
+	Int
+	String
+	Bool
+)
+
+func (d DType) String() string {
+	switch d {
+	case Float:
+		return "float64"
+	case Int:
+		return "int64"
+	case String:
+		return "string"
+	case Bool:
+		return "bool"
+	}
+	return "unknown"
+}
+
+// Series is one named, typed column. Exactly one of F/I/S/B is non-nil
+// depending on Dtype. Valid is an optional null mask (nil means all valid);
+// Valid[i] == false marks row i as null (NaN/None in Pandas terms).
+type Series struct {
+	Name  string
+	Dtype DType
+	F     []float64
+	I     []int64
+	S     []string
+	B     []bool
+	Valid []bool
+}
+
+// NewFloat builds a float64 series with all rows valid.
+func NewFloat(name string, vals []float64) *Series {
+	return &Series{Name: name, Dtype: Float, F: vals}
+}
+
+// NewInt builds an int64 series with all rows valid.
+func NewInt(name string, vals []int64) *Series {
+	return &Series{Name: name, Dtype: Int, I: vals}
+}
+
+// NewString builds a string series with all rows valid.
+func NewString(name string, vals []string) *Series {
+	return &Series{Name: name, Dtype: String, S: vals}
+}
+
+// NewBool builds a bool series with all rows valid.
+func NewBool(name string, vals []bool) *Series {
+	return &Series{Name: name, Dtype: Bool, B: vals}
+}
+
+// Len returns the number of rows.
+func (s *Series) Len() int {
+	switch s.Dtype {
+	case Float:
+		return len(s.F)
+	case Int:
+		return len(s.I)
+	case String:
+		return len(s.S)
+	case Bool:
+		return len(s.B)
+	}
+	return 0
+}
+
+// IsValid reports whether row i is non-null.
+func (s *Series) IsValid(i int) bool { return s.Valid == nil || s.Valid[i] }
+
+// ElemBytes estimates the per-row storage of the series.
+func (s *Series) ElemBytes() int64 {
+	switch s.Dtype {
+	case Float, Int:
+		return 8
+	case String:
+		return 24
+	case Bool:
+		return 1
+	}
+	return 8
+}
+
+// Slice returns rows [r0, r1) as a shared-storage view.
+func (s *Series) Slice(r0, r1 int) *Series {
+	out := &Series{Name: s.Name, Dtype: s.Dtype}
+	switch s.Dtype {
+	case Float:
+		out.F = s.F[r0:r1]
+	case Int:
+		out.I = s.I[r0:r1]
+	case String:
+		out.S = s.S[r0:r1]
+	case Bool:
+		out.B = s.B[r0:r1]
+	}
+	if s.Valid != nil {
+		out.Valid = s.Valid[r0:r1]
+	}
+	return out
+}
+
+// Clone deep copies the series.
+func (s *Series) Clone() *Series {
+	out := &Series{Name: s.Name, Dtype: s.Dtype}
+	out.F = append([]float64(nil), s.F...)
+	out.I = append([]int64(nil), s.I...)
+	out.S = append([]string(nil), s.S...)
+	out.B = append([]bool(nil), s.B...)
+	if s.Valid != nil {
+		out.Valid = append([]bool(nil), s.Valid...)
+	}
+	return out
+}
+
+// withValidCopy returns a copy of the mask, allocating one if needed.
+func (s *Series) withValidCopy() []bool {
+	if s.Valid != nil {
+		return append([]bool(nil), s.Valid...)
+	}
+	v := make([]bool, s.Len())
+	for i := range v {
+		v[i] = true
+	}
+	return v
+}
+
+// ConcatSeries stacks series of the same name and dtype.
+func ConcatSeries(parts ...*Series) *Series {
+	if len(parts) == 0 {
+		return &Series{}
+	}
+	out := &Series{Name: parts[0].Name, Dtype: parts[0].Dtype}
+	anyMask := false
+	for _, p := range parts {
+		if p.Dtype != out.Dtype {
+			panic(fmt.Sprintf("frame: ConcatSeries dtype mismatch %v vs %v", p.Dtype, out.Dtype))
+		}
+		if p.Valid != nil {
+			anyMask = true
+		}
+	}
+	for _, p := range parts {
+		out.F = append(out.F, p.F...)
+		out.I = append(out.I, p.I...)
+		out.S = append(out.S, p.S...)
+		out.B = append(out.B, p.B...)
+	}
+	if anyMask {
+		for _, p := range parts {
+			if p.Valid != nil {
+				out.Valid = append(out.Valid, p.Valid...)
+			} else {
+				for i := 0; i < p.Len(); i++ {
+					out.Valid = append(out.Valid, true)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Gather returns the rows of s selected by idx (out-of-range -1 produces a
+// null row), used by joins.
+func (s *Series) Gather(idx []int) *Series {
+	out := &Series{Name: s.Name, Dtype: s.Dtype}
+	needMask := false
+	for _, i := range idx {
+		if i < 0 {
+			needMask = true
+			break
+		}
+	}
+	if needMask || s.Valid != nil {
+		out.Valid = make([]bool, len(idx))
+	}
+	switch s.Dtype {
+	case Float:
+		out.F = make([]float64, len(idx))
+		for j, i := range idx {
+			if i >= 0 {
+				out.F[j] = s.F[i]
+			} else {
+				out.F[j] = math.NaN()
+			}
+		}
+	case Int:
+		out.I = make([]int64, len(idx))
+		for j, i := range idx {
+			if i >= 0 {
+				out.I[j] = s.I[i]
+			}
+		}
+	case String:
+		out.S = make([]string, len(idx))
+		for j, i := range idx {
+			if i >= 0 {
+				out.S[j] = s.S[i]
+			}
+		}
+	case Bool:
+		out.B = make([]bool, len(idx))
+		for j, i := range idx {
+			if i >= 0 {
+				out.B[j] = s.B[i]
+			}
+		}
+	}
+	if out.Valid != nil {
+		for j, i := range idx {
+			out.Valid[j] = i >= 0 && s.IsValid(i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,330 @@
+package frame
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+func checkFloat(s *Series, op string) {
+	if s.Dtype != Float {
+		panic(fmt.Sprintf("frame: %s needs a float series, got %v", op, s.Dtype))
+	}
+}
+
+func checkString(s *Series, op string) {
+	if s.Dtype != String {
+		panic(fmt.Sprintf("frame: %s needs a string series, got %v", op, s.Dtype))
+	}
+}
+
+func mergedValid(a, b *Series) []bool {
+	if a.Valid == nil && b.Valid == nil {
+		return nil
+	}
+	v := make([]bool, a.Len())
+	for i := range v {
+		v[i] = a.IsValid(i) && b.IsValid(i)
+	}
+	return v
+}
+
+func floatBinary(a, b *Series, name string, f func(x, y float64) float64) *Series {
+	checkFloat(a, name)
+	checkFloat(b, name)
+	if a.Len() != b.Len() {
+		panic("frame: series length mismatch")
+	}
+	out := make([]float64, a.Len())
+	for i := range out {
+		out[i] = f(a.F[i], b.F[i])
+	}
+	return &Series{Name: a.Name, Dtype: Float, F: out, Valid: mergedValid(a, b)}
+}
+
+// AddSeries returns a + b.
+func AddSeries(a, b *Series) *Series {
+	return floatBinary(a, b, "AddSeries", func(x, y float64) float64 { return x + y })
+}
+
+// SubSeries returns a - b.
+func SubSeries(a, b *Series) *Series {
+	return floatBinary(a, b, "SubSeries", func(x, y float64) float64 { return x - y })
+}
+
+// MulSeries returns a * b.
+func MulSeries(a, b *Series) *Series {
+	return floatBinary(a, b, "MulSeries", func(x, y float64) float64 { return x * y })
+}
+
+// DivSeries returns a / b.
+func DivSeries(a, b *Series) *Series {
+	return floatBinary(a, b, "DivSeries", func(x, y float64) float64 { return x / y })
+}
+
+func floatScalar(a *Series, c float64, name string, f func(x, c float64) float64) *Series {
+	checkFloat(a, name)
+	out := make([]float64, a.Len())
+	for i := range out {
+		out[i] = f(a.F[i], c)
+	}
+	var valid []bool
+	if a.Valid != nil {
+		valid = append([]bool(nil), a.Valid...)
+	}
+	return &Series{Name: a.Name, Dtype: Float, F: out, Valid: valid}
+}
+
+// AddScalar returns a + c.
+func AddScalar(a *Series, c float64) *Series {
+	return floatScalar(a, c, "AddScalar", func(x, c float64) float64 { return x + c })
+}
+
+// SubScalar returns a - c.
+func SubScalar(a *Series, c float64) *Series {
+	return floatScalar(a, c, "SubScalar", func(x, c float64) float64 { return x - c })
+}
+
+// MulScalar returns a * c.
+func MulScalar(a *Series, c float64) *Series {
+	return floatScalar(a, c, "MulScalar", func(x, c float64) float64 { return x * c })
+}
+
+// DivScalar returns a / c.
+func DivScalar(a *Series, c float64) *Series {
+	return floatScalar(a, c, "DivScalar", func(x, c float64) float64 { return x / c })
+}
+
+// GtScalar returns the a > c mask.
+func GtScalar(a *Series, c float64) *Series {
+	checkFloat(a, "GtScalar")
+	out := make([]bool, a.Len())
+	for i := range out {
+		out[i] = a.IsValid(i) && a.F[i] > c
+	}
+	return &Series{Name: a.Name, Dtype: Bool, B: out}
+}
+
+// LtScalar returns the a < c mask.
+func LtScalar(a *Series, c float64) *Series {
+	checkFloat(a, "LtScalar")
+	out := make([]bool, a.Len())
+	for i := range out {
+		out[i] = a.IsValid(i) && a.F[i] < c
+	}
+	return &Series{Name: a.Name, Dtype: Bool, B: out}
+}
+
+// GeScalar returns the a >= c mask.
+func GeScalar(a *Series, c float64) *Series {
+	checkFloat(a, "GeScalar")
+	out := make([]bool, a.Len())
+	for i := range out {
+		out[i] = a.IsValid(i) && a.F[i] >= c
+	}
+	return &Series{Name: a.Name, Dtype: Bool, B: out}
+}
+
+// EqString returns the a == v mask for string series.
+func EqString(a *Series, v string) *Series {
+	checkString(a, "EqString")
+	out := make([]bool, a.Len())
+	for i := range out {
+		out[i] = a.IsValid(i) && a.S[i] == v
+	}
+	return &Series{Name: a.Name, Dtype: Bool, B: out}
+}
+
+// InStrings returns a mask of rows whose value is any of vals.
+func InStrings(a *Series, vals ...string) *Series {
+	checkString(a, "InStrings")
+	set := make(map[string]bool, len(vals))
+	for _, v := range vals {
+		set[v] = true
+	}
+	out := make([]bool, a.Len())
+	for i := range out {
+		out[i] = a.IsValid(i) && set[a.S[i]]
+	}
+	return &Series{Name: a.Name, Dtype: Bool, B: out}
+}
+
+// And returns the elementwise conjunction of two bool series.
+func And(a, b *Series) *Series {
+	out := make([]bool, a.Len())
+	for i := range out {
+		out[i] = a.B[i] && b.B[i]
+	}
+	return &Series{Name: a.Name, Dtype: Bool, B: out}
+}
+
+// Or returns the elementwise disjunction of two bool series.
+func Or(a, b *Series) *Series {
+	out := make([]bool, a.Len())
+	for i := range out {
+		out[i] = a.B[i] || b.B[i]
+	}
+	return &Series{Name: a.Name, Dtype: Bool, B: out}
+}
+
+// Not returns the elementwise negation of a bool series.
+func Not(a *Series) *Series {
+	out := make([]bool, a.Len())
+	for i := range out {
+		out[i] = !a.B[i]
+	}
+	return &Series{Name: a.Name, Dtype: Bool, B: out}
+}
+
+// IsNull returns the mask of null rows (Pandas isna; NaN counts as null for
+// float series).
+func IsNull(a *Series) *Series {
+	out := make([]bool, a.Len())
+	for i := range out {
+		out[i] = !a.IsValid(i) || (a.Dtype == Float && math.IsNaN(a.F[i]))
+	}
+	return &Series{Name: a.Name, Dtype: Bool, B: out}
+}
+
+// FillNullFloat replaces null rows of a float series with v (fillna).
+func FillNullFloat(a *Series, v float64) *Series {
+	checkFloat(a, "FillNullFloat")
+	out := append([]float64(nil), a.F...)
+	for i := range out {
+		if !a.IsValid(i) || math.IsNaN(out[i]) {
+			out[i] = v
+		}
+	}
+	return &Series{Name: a.Name, Dtype: Float, F: out}
+}
+
+// MaskToNull marks rows where mask is true as null (Pandas
+// where/mask-with-NaN).
+func MaskToNull(a *Series, mask *Series) *Series {
+	out := a.Clone()
+	out.Valid = a.withValidCopy()
+	for i := range out.Valid {
+		if mask.B[i] {
+			out.Valid[i] = false
+			if out.Dtype == Float {
+				out.F[i] = math.NaN()
+			}
+		}
+	}
+	return out
+}
+
+// StrSlice returns the [from, to) substring of each row (str.slice); short
+// strings are truncated, null rows stay null.
+func StrSlice(a *Series, from, to int) *Series {
+	checkString(a, "StrSlice")
+	out := make([]string, a.Len())
+	for i, v := range a.S {
+		if !a.IsValid(i) {
+			continue
+		}
+		f, t := from, to
+		if f > len(v) {
+			f = len(v)
+		}
+		if t > len(v) {
+			t = len(v)
+		}
+		if f < t {
+			out[i] = v[f:t]
+		}
+	}
+	var valid []bool
+	if a.Valid != nil {
+		valid = append([]bool(nil), a.Valid...)
+	}
+	return &Series{Name: a.Name, Dtype: String, S: out, Valid: valid}
+}
+
+// StrStartsWith returns the mask of rows starting with prefix.
+func StrStartsWith(a *Series, prefix string) *Series {
+	checkString(a, "StrStartsWith")
+	out := make([]bool, a.Len())
+	for i, v := range a.S {
+		out[i] = a.IsValid(i) && strings.HasPrefix(v, prefix)
+	}
+	return &Series{Name: a.Name, Dtype: Bool, B: out}
+}
+
+// StrContains returns the mask of rows containing sub.
+func StrContains(a *Series, sub string) *Series {
+	checkString(a, "StrContains")
+	out := make([]bool, a.Len())
+	for i, v := range a.S {
+		out[i] = a.IsValid(i) && strings.Contains(v, sub)
+	}
+	return &Series{Name: a.Name, Dtype: Bool, B: out}
+}
+
+// StrLenGt returns the mask of rows longer than n.
+func StrLenGt(a *Series, n int) *Series {
+	checkString(a, "StrLenGt")
+	out := make([]bool, a.Len())
+	for i, v := range a.S {
+		out[i] = a.IsValid(i) && len(v) > n
+	}
+	return &Series{Name: a.Name, Dtype: Bool, B: out}
+}
+
+// SumFloat returns the sum of valid rows.
+func SumFloat(a *Series) float64 {
+	checkFloat(a, "SumFloat")
+	s := 0.0
+	for i, x := range a.F {
+		if a.IsValid(i) && !math.IsNaN(x) {
+			s += x
+		}
+	}
+	return s
+}
+
+// CountValid returns the number of non-null rows.
+func CountValid(a *Series) int64 {
+	n := int64(0)
+	for i := 0; i < a.Len(); i++ {
+		if a.IsValid(i) && !(a.Dtype == Float && math.IsNaN(a.F[i])) {
+			n++
+		}
+	}
+	return n
+}
+
+// MeanPartial carries a partial (sum, count) pair; partials from row chunks
+// add, and the quotient is the mean.
+type MeanPartial struct {
+	Sum   float64
+	Count int64
+}
+
+// Mean returns the (sum, count) partial of valid rows.
+func Mean(a *Series) MeanPartial {
+	return MeanPartial{Sum: SumFloat(a), Count: CountValid(a)}
+}
+
+// Value returns the mean, or NaN for an empty partial.
+func (m MeanPartial) Value() float64 {
+	if m.Count == 0 {
+		return math.NaN()
+	}
+	return m.Sum / float64(m.Count)
+}
+
+// UniqueStrings returns the distinct values of a string series in first-seen
+// order (whole-series operation).
+func UniqueStrings(a *Series) []string {
+	checkString(a, "UniqueStrings")
+	seen := map[string]bool{}
+	var out []string
+	for i, v := range a.S {
+		if a.IsValid(i) && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package imagelib
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randImage(w, h int, seed int64) *Image {
+	m := NewImage(w, h)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < len(m.Pix); i += 4 {
+		m.Pix[i] = uint8(rng.Intn(256))
+		m.Pix[i+1] = uint8(rng.Intn(256))
+		m.Pix[i+2] = uint8(rng.Intn(256))
+		m.Pix[i+3] = 255
+	}
+	return m
+}
+
+func TestImageBasics(t *testing.T) {
+	m := NewImage(4, 3)
+	if m.W != 4 || m.H != 3 || len(m.Pix) != 48 {
+		t.Fatal("dimensions")
+	}
+	if _, _, _, a := m.At(0, 0); a != 255 {
+		t.Fatal("new image should be opaque")
+	}
+	m.Set(2, 1, 10, 20, 30, 40)
+	if r, g, b, a := m.At(2, 1); r != 10 || g != 20 || b != 30 || a != 40 {
+		t.Fatal("At/Set")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 1, 1, 1, 1)
+	if m.Equal(c) {
+		t.Fatal("Clone should copy")
+	}
+	if !m.Equal(m.Clone()) {
+		t.Fatal("Equal")
+	}
+}
+
+func TestCropAppendRoundTrip(t *testing.T) {
+	m := randImage(8, 10, 1)
+	parts := []*Image{m.Crop(0, 3), m.Crop(3, 7), m.Crop(7, 10)}
+	back := AppendVertically(parts...)
+	if !back.Equal(m) {
+		t.Fatal("crop+append should round trip")
+	}
+	// Crop must copy.
+	parts[0].Set(0, 0, 9, 9, 9, 9)
+	if r, _, _, _ := m.At(0, 0); r == 9 && m.Pix[1] == 9 {
+		t.Fatal("Crop should copy pixels")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative", func() { NewImage(-1, 1) })
+	mustPanic("crop range", func() { NewImage(2, 2).Crop(0, 3) })
+	mustPanic("append width", func() { AppendVertically(NewImage(2, 2), NewImage(3, 2)) })
+	mustPanic("blend dims", func() { Blend(NewImage(2, 2), NewImage(3, 2), 0.5) })
+}
+
+// TestPixelLocalOpsCommuteWithCrop is the §3.4 annotatability condition:
+// for every pixel-local op F, F(whole) == append(F(crop1), F(crop2), ...).
+func TestPixelLocalOpsCommuteWithCrop(t *testing.T) {
+	ops := []struct {
+		name string
+		f    func(*Image)
+	}{
+		{"Modulate", func(m *Image) { Modulate(m, 120, 80, 110) }},
+		{"Gamma", func(m *Image) { Gamma(m, 0.6) }},
+		{"Colorize", func(m *Image) { Colorize(m, 255, 153, 102, 0.3) }},
+		{"SigmoidalContrastSharpen", func(m *Image) { SigmoidalContrast(m, true, 4, 128) }},
+		{"SigmoidalContrastFlatten", func(m *Image) { SigmoidalContrast(m, false, 4, 128) }},
+		{"Level", func(m *Image) { Level(m, 20, 230) }},
+		{"ChannelScale", func(m *Image) { ChannelScale(m, 1, 1.2) }},
+		{"Grayscale", Grayscale},
+	}
+	for _, op := range ops {
+		whole := randImage(16, 24, 42)
+		split := whole.Clone()
+		op.f(whole)
+		var parts []*Image
+		for y := 0; y < 24; y += 7 {
+			e := y + 7
+			if e > 24 {
+				e = 24
+			}
+			p := split.Crop(y, e)
+			op.f(p)
+			parts = append(parts, p)
+		}
+		if !AppendVertically(parts...).Equal(whole) {
+			t.Errorf("%s does not commute with crop/append", op.name)
+		}
+	}
+}
+
+// TestBlurDoesNotCommuteWithCrop documents why Blur cannot be annotated
+// (§7.1): its boundary condition reads rows outside the band.
+func TestBlurDoesNotCommuteWithCrop(t *testing.T) {
+	whole := randImage(16, 24, 43)
+	split := whole.Clone()
+	GaussianBlur(whole, 2)
+	var parts []*Image
+	for y := 0; y < 24; y += 8 {
+		p := split.Crop(y, y+8)
+		GaussianBlur(p, 2)
+		parts = append(parts, p)
+	}
+	if AppendVertically(parts...).Equal(whole) {
+		t.Fatal("blur unexpectedly commutes with crop; the un-annotatable example is broken")
+	}
+}
+
+func TestBlendAndOps(t *testing.T) {
+	a, b := randImage(6, 6, 2), randImage(6, 6, 3)
+	orig := a.Clone()
+	Blend(a, b, 0)
+	if !a.Equal(orig) {
+		t.Fatal("Blend alpha 0 should be identity")
+	}
+	Blend(a, b, 1)
+	if !a.Equal(b) {
+		t.Fatal("Blend alpha 1 should copy src")
+	}
+	g := randImage(4, 4, 4)
+	Grayscale(g)
+	for i := 0; i < len(g.Pix); i += 4 {
+		if g.Pix[i] != g.Pix[i+1] || g.Pix[i+1] != g.Pix[i+2] {
+			t.Fatal("Grayscale channels should match")
+		}
+	}
+	// Gamma 1.0 is identity.
+	id := randImage(4, 4, 5)
+	idRef := id.Clone()
+	Gamma(id, 1)
+	if !id.Equal(idRef) {
+		t.Fatal("Gamma(1) should be identity")
+	}
+	// Blur with sigma 0 is identity.
+	GaussianBlur(id, 0)
+	if !id.Equal(idRef) {
+		t.Fatal("Blur(0) should be identity")
+	}
+}
+
+func TestHSLRoundTrip(t *testing.T) {
+	for _, c := range [][3]uint8{{0, 0, 0}, {255, 255, 255}, {255, 0, 0}, {0, 255, 0}, {0, 0, 255}, {12, 200, 97}, {128, 128, 128}} {
+		h, s, l := rgbToHSL(c[0], c[1], c[2])
+		r, g, b := hslToRGB(h, s, l)
+		const tol = 2
+		if absDiff(r, c[0]) > tol || absDiff(g, c[1]) > tol || absDiff(b, c[2]) > tol {
+			t.Fatalf("HSL round trip %v -> %v %v %v", c, r, g, b)
+		}
+	}
+}
+
+func absDiff(a, b uint8) int {
+	if a > b {
+		return int(a - b)
+	}
+	return int(b - a)
+}
+
+func TestLevelClamps(t *testing.T) {
+	m := NewImage(1, 1)
+	m.Set(0, 0, 10, 128, 250, 255)
+	Level(m, 20, 230)
+	r, g, b, _ := m.At(0, 0)
+	if r != 0 || b != 255 {
+		t.Fatal("Level should clamp outside [black, white]")
+	}
+	if g == 0 || g == 255 {
+		t.Fatal("Level midrange should remap linearly")
+	}
+}

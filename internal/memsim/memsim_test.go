@@ -1,0 +1,219 @@
+package memsim
+
+import "testing"
+
+func TestCacheBasics(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 1024, LineBytes: 64, Assoc: 2})
+	if c.Access(0) {
+		t.Fatal("cold miss expected")
+	}
+	if !c.Access(0) || !c.Access(63) {
+		t.Fatal("same line should hit")
+	}
+	if c.Access(64) {
+		t.Fatal("next line should miss")
+	}
+	if c.MissRate() <= 0 || c.MissRate() >= 1 {
+		t.Fatalf("miss rate %v", c.MissRate())
+	}
+	c.Reset()
+	if c.Accesses != 0 || c.Misses != 0 {
+		t.Fatal("Reset")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way, 1 set: size = 2 lines.
+	c := NewCache(CacheConfig{SizeBytes: 128, LineBytes: 64, Assoc: 2})
+	c.Access(0)   // A
+	c.Access(64)  // B
+	c.Access(0)   // A hit, B is LRU
+	c.Access(128) // C evicts B
+	if !c.Access(0) {
+		t.Fatal("A should survive")
+	}
+	if c.Access(64) {
+		t.Fatal("B should have been evicted")
+	}
+}
+
+func TestCacheCapacityStreaming(t *testing.T) {
+	// Streaming 4x the cache size twice should miss nearly always.
+	c := NewCache(CacheConfig{SizeBytes: 4 << 10, LineBytes: 64, Assoc: 8})
+	for pass := 0; pass < 2; pass++ {
+		for addr := uint64(0); addr < 16<<10; addr += 64 {
+			c.Access(addr)
+		}
+	}
+	if c.MissRate() < 0.99 {
+		t.Fatalf("streaming over capacity should thrash, miss rate %v", c.MissRate())
+	}
+	// A working set that fits should hit on the second pass.
+	c2 := NewCache(CacheConfig{SizeBytes: 16 << 10, LineBytes: 64, Assoc: 8})
+	for pass := 0; pass < 2; pass++ {
+		for addr := uint64(0); addr < 4<<10; addr += 64 {
+			c2.Access(addr)
+		}
+	}
+	if c2.Misses != 64 {
+		t.Fatalf("only cold misses expected, got %d", c2.Misses)
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := NewHierarchy(
+		CacheConfig{SizeBytes: 128, LineBytes: 64, Assoc: 2},
+		CacheConfig{SizeBytes: 512, LineBytes: 64, Assoc: 2},
+		CacheConfig{SizeBytes: 2048, LineBytes: 64, Assoc: 2},
+	)
+	if got := h.Access(0); got != 4 {
+		t.Fatalf("cold access should go to DRAM, got level %d", got)
+	}
+	if got := h.Access(0); got != 1 {
+		t.Fatalf("hot access should hit L1, got %d", got)
+	}
+	if h.DRAMBytes != 64 {
+		t.Fatalf("DRAM bytes %d", h.DRAMBytes)
+	}
+	h.Reset()
+	if h.DRAMBytes != 0 || h.L1.Accesses != 0 {
+		t.Fatal("Reset")
+	}
+}
+
+// pipeVsNoPipe builds the Black Scholes shape: k elementwise ops over
+// arrays much larger than the LLC.
+func pipeVsNoPipe(batch int64) (pipe, nopipe Workload) {
+	ops := make([]Op, 16)
+	for i := range ops {
+		ops[i] = Op{Name: "vd", CyclesPerElem: 1.5, Reads: []int{0, 1}, Writes: []int{0}}
+	}
+	elems := int64(8 << 20)
+	pipe = Workload{Name: "pipe", Elems: elems, Stages: []Stage{{Ops: ops, BatchElems: batch}}}
+	nopipe = Workload{Name: "nopipe", Elems: elems, Stages: []Stage{{Ops: ops}}}
+	return pipe, nopipe
+}
+
+// TestPipeliningReducesDRAMTraffic is the core Table 4 effect: cache-sized
+// batches cut DRAM traffic and the LLC miss rate roughly in half or more.
+func TestPipeliningReducesDRAMTraffic(t *testing.T) {
+	m := DefaultMachine()
+	pipe, nopipe := pipeVsNoPipe(64 << 10) // C*L2/sum(elem) = 4*256KB/16B
+	rp := Run(m, pipe, 16)
+	rn := Run(m, nopipe, 16)
+	if rp.DRAMBytes*4 > rn.DRAMBytes {
+		t.Fatalf("pipelining should cut DRAM traffic by >4x: %d vs %d", rp.DRAMBytes, rn.DRAMBytes)
+	}
+	if rp.LLCMissRate >= rn.LLCMissRate {
+		t.Fatalf("pipelined LLC miss rate %v should beat %v", rp.LLCMissRate, rn.LLCMissRate)
+	}
+	if rp.Seconds >= rn.Seconds {
+		t.Fatalf("pipelined time %v should beat %v", rp.Seconds, rn.Seconds)
+	}
+	if rp.IPC <= rn.IPC {
+		t.Fatalf("pipelined IPC %v should beat %v", rp.IPC, rn.IPC)
+	}
+}
+
+// TestScalingShape is the Figure 1 effect: un-pipelined execution flattens
+// on memory bandwidth with threads while pipelined execution keeps scaling.
+func TestScalingShape(t *testing.T) {
+	m := DefaultMachine()
+	pipe, nopipe := pipeVsNoPipe(64 << 10)
+
+	p1, p16 := Run(m, pipe, 1), Run(m, pipe, 16)
+	n1, n16 := Run(m, nopipe, 1), Run(m, nopipe, 16)
+
+	pipeSpeedup := p1.Seconds / p16.Seconds
+	nopipeSpeedup := n1.Seconds / n16.Seconds
+	if pipeSpeedup < 8 {
+		t.Fatalf("pipelined execution should scale, got %.2fx", pipeSpeedup)
+	}
+	if nopipeSpeedup > pipeSpeedup/2 {
+		t.Fatalf("un-pipelined should flatten: %.2fx vs %.2fx", nopipeSpeedup, pipeSpeedup)
+	}
+	if !n16.MemoryBound() {
+		t.Fatal("un-pipelined 16-thread run should be memory bound")
+	}
+	if p16.MemoryBound() {
+		t.Fatal("pipelined 16-thread run should be compute bound")
+	}
+}
+
+// TestBatchSweepUShape is the Figure 6 effect: tiny batches pay call
+// overhead, huge batches lose cache reuse; the middle wins.
+func TestBatchSweepUShape(t *testing.T) {
+	m := DefaultMachine()
+	times := map[string]float64{}
+	for _, b := range []int64{64, 64 << 10, 4 << 20} {
+		pipe, _ := pipeVsNoPipe(b)
+		times[map[int64]string{64: "tiny", 64 << 10: "mid", 4 << 20: "huge"}[b]] = Run(m, pipe, 16).Seconds
+	}
+	if times["mid"] >= times["tiny"] || times["mid"] >= times["huge"] {
+		t.Fatalf("batch sweep should be U-shaped: %v", times)
+	}
+}
+
+// TestSplitCopiesCost: copying splitters (ImageMagick) add time.
+func TestSplitCopiesCost(t *testing.T) {
+	m := DefaultMachine()
+	ops := []Op{{Name: "filter", CyclesPerElem: 3, Reads: []int{0}, Writes: []int{0}}}
+	plain := Workload{Elems: 1 << 20, Stages: []Stage{{Ops: ops, BatchElems: 8 << 10}}}
+	copying := Workload{Elems: 1 << 20, Stages: []Stage{{Ops: ops, BatchElems: 8 << 10, SplitCopies: true}}}
+	if Run(m, copying, 8).Seconds <= Run(m, plain, 8).Seconds {
+		t.Fatal("copying split/merge should cost time")
+	}
+}
+
+// TestStageElemsOverride and defaults.
+func TestStageElemsOverride(t *testing.T) {
+	m := DefaultMachine()
+	w := Workload{Elems: 1 << 20, Stages: []Stage{
+		{Ops: []Op{{CyclesPerElem: 1, Reads: []int{0}}}, Elems: 1 << 10},
+	}}
+	r := Run(m, w, 1)
+	if r.DRAMBytes > 1<<14 {
+		t.Fatalf("stage override ignored: %d DRAM bytes", r.DRAMBytes)
+	}
+	if Run(m, w, 0).Seconds <= 0 {
+		t.Fatal("threads clamp")
+	}
+}
+
+// TestScratchArraysStayCacheResident: batch-local scratch arrays (the
+// out-of-place libraries' per-batch intermediates) produce almost no DRAM
+// traffic compared with streaming the same arrays.
+func TestScratchArraysStayCacheResident(t *testing.T) {
+	m := DefaultMachine()
+	ops := []Op{
+		{Name: "a", CyclesPerElem: 1, Reads: []int{0}, Writes: []int{1}},
+		{Name: "b", CyclesPerElem: 1, Reads: []int{1}, Writes: []int{2}},
+		{Name: "c", CyclesPerElem: 1, Reads: []int{2}, Writes: []int{3}},
+	}
+	streaming := Workload{Elems: 4 << 20, Stages: []Stage{{Ops: ops, BatchElems: 8 << 10}}}
+	scratch := Workload{Elems: 4 << 20, Stages: []Stage{{Ops: ops, BatchElems: 8 << 10, Scratch: []int{1, 2}}}}
+	rs := Run(m, streaming, 4)
+	rr := Run(m, scratch, 4)
+	// Two of four arrays became cache resident: traffic roughly halves.
+	if float64(rr.DRAMBytes) > 0.6*float64(rs.DRAMBytes) {
+		t.Fatalf("scratch intermediates should cut traffic: %d vs %d", rr.DRAMBytes, rs.DRAMBytes)
+	}
+}
+
+// TestRunCountersPopulated: the result carries all modeled counters.
+func TestRunCountersPopulated(t *testing.T) {
+	m := DefaultMachine()
+	w := Workload{Elems: 1 << 18, Stages: []Stage{{
+		Ops: []Op{{Name: "x", CyclesPerElem: 1, Reads: []int{0}, Writes: []int{1}}},
+	}}}
+	r := Run(m, w, 2)
+	if r.Seconds <= 0 || r.Cycles <= 0 || r.Instructions <= 0 || r.LLCAccesses <= 0 {
+		t.Fatalf("counters: %+v", r)
+	}
+	if r.ComputeSeconds <= 0 || r.MemorySeconds <= 0 {
+		t.Fatalf("roofline parts: %+v", r)
+	}
+	if !r.MemoryBound() && r.MemorySeconds > r.ComputeSeconds {
+		t.Fatal("MemoryBound inconsistent")
+	}
+}

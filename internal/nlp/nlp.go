@@ -1,0 +1,235 @@
+// Package nlp is the repository's stand-in for spaCy: a tokenizer, sentence
+// splitter, lexicon + suffix-rule part-of-speech tagger, and feature
+// extraction over documents. Tagging one document is independent of every
+// other document, which is what makes the corpus minibatch split type in
+// internal/annotations/nlpsa sound.
+package nlp
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is one tagged token.
+type Token struct {
+	Text  string
+	Lemma string
+	POS   string
+}
+
+// Doc is a processed document.
+type Doc struct {
+	Tokens []Token
+}
+
+// Tokenize splits text into word and punctuation tokens.
+func Tokenize(text string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsSpace(r):
+			flush()
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '\'' || r == '-':
+			cur.WriteRune(r)
+		default:
+			flush()
+			out = append(out, string(r))
+		}
+	}
+	flush()
+	return out
+}
+
+// SplitSentences splits text at sentence-final punctuation.
+func SplitSentences(text string) []string {
+	var out []string
+	start := 0
+	for i, r := range text {
+		if r == '.' || r == '!' || r == '?' {
+			s := strings.TrimSpace(text[start : i+1])
+			if s != "" {
+				out = append(out, s)
+			}
+			start = i + 1
+		}
+	}
+	if s := strings.TrimSpace(text[start:]); s != "" {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Tagger assigns part-of-speech tags using a lexicon plus suffix and
+// context rules, in the spirit of a rule-based shallow tagger.
+type Tagger struct {
+	lexicon map[string]string
+}
+
+// NewTagger builds a tagger with a built-in closed-class lexicon.
+func NewTagger() *Tagger {
+	lex := map[string]string{}
+	add := func(pos string, words ...string) {
+		for _, w := range words {
+			lex[w] = pos
+		}
+	}
+	add("DET", "the", "a", "an", "this", "that", "these", "those", "my", "your", "his", "its", "our", "their")
+	add("PRON", "i", "you", "he", "she", "it", "we", "they", "me", "him", "her", "us", "them", "who", "what")
+	add("ADP", "in", "on", "at", "by", "for", "with", "about", "against", "between", "into", "through", "of", "to", "from")
+	add("CCONJ", "and", "or", "but", "nor", "so", "yet")
+	add("SCONJ", "because", "although", "while", "if", "since", "unless")
+	add("AUX", "is", "are", "was", "were", "be", "been", "being", "am", "do", "does", "did", "have", "has", "had", "will", "would", "can", "could", "should", "may", "might", "must")
+	add("PART", "not", "n't")
+	add("ADV", "very", "really", "quite", "too", "also", "never", "always", "often", "again", "here", "there", "now", "then")
+	add("NUM", "one", "two", "three", "four", "five", "six", "seven", "eight", "nine", "ten", "zero")
+	add("INTJ", "oh", "wow", "hey", "yes", "no", "please")
+	return &Tagger{lexicon: lex}
+}
+
+func isAllDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func isPunct(s string) bool {
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return s != ""
+}
+
+// tagWord assigns a POS to one token given the previous tag.
+func (t *Tagger) tagWord(w, prevPOS string) string {
+	lower := strings.ToLower(w)
+	if pos, ok := t.lexicon[lower]; ok {
+		return pos
+	}
+	switch {
+	case isPunct(w):
+		return "PUNCT"
+	case isAllDigits(w):
+		return "NUM"
+	case w != lower && prevPOS != "" && prevPOS != "PUNCT":
+		// Capitalized mid-sentence: proper noun.
+		return "PROPN"
+	case strings.HasSuffix(lower, "ly"):
+		return "ADV"
+	case strings.HasSuffix(lower, "ing") || strings.HasSuffix(lower, "ed"):
+		if prevPOS == "DET" || prevPOS == "ADJ" {
+			return "NOUN" // "the building", "a wicked ending"
+		}
+		return "VERB"
+	case strings.HasSuffix(lower, "ous") || strings.HasSuffix(lower, "ful") ||
+		strings.HasSuffix(lower, "ible") || strings.HasSuffix(lower, "able") ||
+		strings.HasSuffix(lower, "ive") || strings.HasSuffix(lower, "al"):
+		return "ADJ"
+	case strings.HasSuffix(lower, "tion") || strings.HasSuffix(lower, "ment") ||
+		strings.HasSuffix(lower, "ness") || strings.HasSuffix(lower, "ity"):
+		return "NOUN"
+	case prevPOS == "PRON" || prevPOS == "AUX":
+		return "VERB" // "they love", "is running"
+	default:
+		return "NOUN"
+	}
+}
+
+// lemma produces a crude lemma: lowercase with common inflections stripped.
+func lemma(w string) string {
+	l := strings.ToLower(w)
+	switch {
+	case strings.HasSuffix(l, "ies") && len(l) > 4:
+		return l[:len(l)-3] + "y"
+	case strings.HasSuffix(l, "ing") && len(l) > 5:
+		return l[:len(l)-3]
+	case strings.HasSuffix(l, "ed") && len(l) > 4:
+		return l[:len(l)-2]
+	case strings.HasSuffix(l, "s") && !strings.HasSuffix(l, "ss") && len(l) > 3:
+		return l[:len(l)-1]
+	}
+	return l
+}
+
+// Tag processes one document: tokenize, tag, lemmatize.
+func (t *Tagger) Tag(text string) *Doc {
+	words := Tokenize(text)
+	doc := &Doc{Tokens: make([]Token, len(words))}
+	prev := ""
+	for i, w := range words {
+		pos := t.tagWord(w, prev)
+		doc.Tokens[i] = Token{Text: w, Lemma: lemma(w), POS: pos}
+		prev = pos
+	}
+	return doc
+}
+
+// Pipe processes a batch of documents, like spaCy's nlp.pipe.
+func (t *Tagger) Pipe(texts []string) []*Doc {
+	out := make([]*Doc, len(texts))
+	for i, txt := range texts {
+		out[i] = t.Tag(txt)
+	}
+	return out
+}
+
+// Minibatch splits a corpus into batches of up to size documents, spaCy's
+// util.minibatch — the primitive the paper's spaCy split type is built on.
+func Minibatch(corpus []string, size int) [][]string {
+	if size <= 0 {
+		size = 1
+	}
+	var out [][]string
+	for lo := 0; lo < len(corpus); lo += size {
+		hi := lo + size
+		if hi > len(corpus) {
+			hi = len(corpus)
+		}
+		out = append(out, corpus[lo:hi])
+	}
+	return out
+}
+
+// POSCounts aggregates part-of-speech histogram features over docs.
+func POSCounts(docs []*Doc) map[string]int64 {
+	out := map[string]int64{}
+	for _, d := range docs {
+		for _, tok := range d.Tokens {
+			out[tok.POS]++
+		}
+	}
+	return out
+}
+
+// MergeCounts adds histogram b into a and returns a.
+func MergeCounts(a, b map[string]int64) map[string]int64 {
+	for k, v := range b {
+		a[k] += v
+	}
+	return a
+}
+
+// VocabSize returns the number of distinct lemmas in docs.
+func VocabSize(docs []*Doc) int {
+	seen := map[string]bool{}
+	for _, d := range docs {
+		for _, tok := range d.Tokens {
+			seen[tok.Lemma] = true
+		}
+	}
+	return len(seen)
+}

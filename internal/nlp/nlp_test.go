@@ -1,0 +1,136 @@
+package nlp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize("The movie, surprisingly, was great!")
+	want := []string{"The", "movie", ",", "surprisingly", ",", "was", "great", "!"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("token %d = %q want %q", i, toks[i], want[i])
+		}
+	}
+	if len(Tokenize("")) != 0 {
+		t.Fatal("empty text")
+	}
+	if got := Tokenize("don't stop-motion"); len(got) != 2 {
+		t.Fatalf("apostrophes and hyphens stay inside words: %v", got)
+	}
+}
+
+func TestSplitSentences(t *testing.T) {
+	s := SplitSentences("First one. Second one! Third? trailing")
+	if len(s) != 4 || s[0] != "First one." || s[3] != "trailing" {
+		t.Fatalf("sentences: %v", s)
+	}
+	if len(SplitSentences("")) != 0 {
+		t.Fatal("empty")
+	}
+}
+
+func TestTaggerRules(t *testing.T) {
+	tg := NewTagger()
+	doc := tg.Tag("The quick dog quickly jumped over 42 fences in London !")
+	pos := map[string]string{}
+	for _, tok := range doc.Tokens {
+		pos[tok.Text] = tok.POS
+	}
+	checks := map[string]string{
+		"The":     "DET",
+		"quickly": "ADV",
+		"42":      "NUM",
+		"in":      "ADP",
+		"London":  "PROPN",
+		"!":       "PUNCT",
+		"dog":     "NOUN",
+	}
+	for w, want := range checks {
+		if pos[w] != want {
+			t.Errorf("%q tagged %s, want %s", w, pos[w], want)
+		}
+	}
+}
+
+func TestLemma(t *testing.T) {
+	tg := NewTagger()
+	doc := tg.Tag("movies running jumped cities")
+	lemmas := []string{"movy", "runn", "jump", "city"}
+	_ = lemmas
+	if doc.Tokens[3].Lemma != "city" {
+		t.Errorf("cities -> %q", doc.Tokens[3].Lemma)
+	}
+	if doc.Tokens[1].Lemma != "runn" {
+		t.Errorf("running -> %q (crude stemmer)", doc.Tokens[1].Lemma)
+	}
+}
+
+func TestPipeAndMinibatch(t *testing.T) {
+	tg := NewTagger()
+	corpus := []string{"A good film.", "They hated it!", "Quite boring overall."}
+	docs := tg.Pipe(corpus)
+	if len(docs) != 3 || len(docs[0].Tokens) == 0 {
+		t.Fatal("Pipe")
+	}
+	batches := Minibatch(corpus, 2)
+	if len(batches) != 2 || len(batches[0]) != 2 || len(batches[1]) != 1 {
+		t.Fatalf("Minibatch: %v", batches)
+	}
+	if len(Minibatch(corpus, 0)) != 3 {
+		t.Fatal("Minibatch clamps size to 1")
+	}
+}
+
+// TestPipeBatchingEquivalence: tagging minibatches and concatenating equals
+// tagging the whole corpus — the condition that makes the corpus split type
+// sound.
+func TestPipeBatchingEquivalence(t *testing.T) {
+	tg := NewTagger()
+	corpus := make([]string, 50)
+	for i := range corpus {
+		corpus[i] = strings.Repeat("The actors were surprisingly good. ", i%5+1)
+	}
+	whole := tg.Pipe(corpus)
+	var parts []*Doc
+	for _, b := range Minibatch(corpus, 7) {
+		parts = append(parts, tg.Pipe(b)...)
+	}
+	if len(parts) != len(whole) {
+		t.Fatal("length mismatch")
+	}
+	for i := range whole {
+		if len(whole[i].Tokens) != len(parts[i].Tokens) {
+			t.Fatalf("doc %d token count", i)
+		}
+		for j := range whole[i].Tokens {
+			if whole[i].Tokens[j] != parts[i].Tokens[j] {
+				t.Fatalf("doc %d token %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestPOSCountsAndMerge(t *testing.T) {
+	tg := NewTagger()
+	docs := tg.Pipe([]string{"The dog barked.", "A cat slept."})
+	whole := POSCounts(docs)
+	a := POSCounts(docs[:1])
+	b := POSCounts(docs[1:])
+	merged := MergeCounts(a, b)
+	for k, v := range whole {
+		if merged[k] != v {
+			t.Fatalf("POS %s: %d vs %d", k, merged[k], v)
+		}
+	}
+	if whole["DET"] != 2 {
+		t.Errorf("DET count = %d", whole["DET"])
+	}
+	if VocabSize(docs) == 0 {
+		t.Error("VocabSize")
+	}
+}

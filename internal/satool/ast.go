@@ -1,0 +1,130 @@
+// Package satool implements the paper's `annotate` command-line tool (§4.1):
+// a parser for the split-annotation DSL of Listing 3 and a generator that
+// turns annotated function declarations into Go wrapper functions which
+// register calls with a Mozart session instead of executing them.
+//
+// The DSL, one declaration per stanza:
+//
+//	package wrappers
+//	import lib "mozart/internal/vmath"
+//
+//	splittype ArraySplit(int);
+//	splittype SizeSplit(int);
+//
+//	@splittable(size: SizeSplit(size), a: ArraySplit(size), mut out: ArraySplit(size))
+//	func Log1p(size int, a []float64, out []float64);
+//
+//	@splittable(a: S, b: S) -> S
+//	func Add2(a []float64, b []float64) []float64;
+//
+//	@splittable(m: _) -> unknown
+//	func Whole(m []float64) []float64;
+//
+// The splitting API itself (§3.3) is ordinary Go the annotator writes: the
+// generated package expects a `splitImpls map[string]satool.SplitTypeImpl`
+// variable binding each split type name to its implementation.
+package satool
+
+import "fmt"
+
+// File is a parsed annotation file.
+type File struct {
+	Package    string
+	ImportPath string // the annotated library
+	ImportName string // local name, default "lib"
+	SplitTypes []SplitTypeDecl
+	Funcs      []FuncDecl
+}
+
+// SplitTypeDecl declares a split type and its parameter arity.
+type SplitTypeDecl struct {
+	Name   string
+	Params int
+	Line   int
+}
+
+// TypeExprKind mirrors core.TypeKind in the DSL.
+type TypeExprKind int
+
+// DSL type expression kinds.
+const (
+	KindMissing TypeExprKind = iota
+	KindConcrete
+	KindGeneric
+	KindUnknown
+)
+
+// TypeExpr is a split type expression in an annotation.
+type TypeExpr struct {
+	Kind     TypeExprKind
+	Name     string   // concrete split type or generic name
+	CtorArgs []string // constructor argument names (concrete only)
+}
+
+// Param is one annotated parameter.
+type Param struct {
+	Name   string
+	Mut    bool
+	Type   TypeExpr
+	GoType string // Go type from the func declaration
+}
+
+// FuncDecl is one @splittable function.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Ret    *TypeExpr // nil = void
+	RetGo  string    // Go return type ("" = void)
+	Line   int
+}
+
+// Validate cross-checks annotations against declarations.
+func (f *File) Validate() error {
+	if f.Package == "" {
+		return fmt.Errorf("satool: missing package declaration")
+	}
+	types := map[string]bool{}
+	for _, st := range f.SplitTypes {
+		if types[st.Name] {
+			return fmt.Errorf("satool: line %d: duplicate splittype %s", st.Line, st.Name)
+		}
+		types[st.Name] = true
+	}
+	for _, fn := range f.Funcs {
+		names := map[string]int{}
+		for i, p := range fn.Params {
+			names[p.Name] = i
+		}
+		check := func(t TypeExpr, where string) error {
+			if t.Kind != KindConcrete {
+				return nil
+			}
+			if !types[t.Name] {
+				return fmt.Errorf("satool: line %d: %s: %s: unknown split type %s", fn.Line, fn.Name, where, t.Name)
+			}
+			for _, a := range t.CtorArgs {
+				if _, ok := names[a]; !ok {
+					return fmt.Errorf("satool: line %d: %s: %s: constructor argument %q is not a parameter", fn.Line, fn.Name, where, a)
+				}
+			}
+			return nil
+		}
+		for _, p := range fn.Params {
+			if err := check(p.Type, "param "+p.Name); err != nil {
+				return err
+			}
+		}
+		if fn.Ret != nil {
+			if err := check(*fn.Ret, "return"); err != nil {
+				return err
+			}
+			if fn.RetGo == "" {
+				return fmt.Errorf("satool: line %d: %s: annotated return but void Go signature", fn.Line, fn.Name)
+			}
+		}
+		if fn.Ret == nil && fn.RetGo != "" {
+			return fmt.Errorf("satool: line %d: %s: Go signature returns %s but the SA has no return split type", fn.Line, fn.Name, fn.RetGo)
+		}
+	}
+	return nil
+}

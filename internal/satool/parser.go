@@ -1,0 +1,339 @@
+package satool
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses annotation DSL source.
+func Parse(src string) (*File, error) {
+	p := &parser{src: src, line: 1}
+	return p.parseFile()
+}
+
+type parser struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("satool: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+// skipSpace advances over whitespace and # comments.
+func (p *parser) skipSpace() {
+	for !p.eof() {
+		c := p.src[p.pos]
+		switch {
+		case c == '\n':
+			p.line++
+			p.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			p.pos++
+		case c == '#':
+			for !p.eof() && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentRune(c byte, first bool) bool {
+	r := rune(c)
+	if unicode.IsLetter(r) || c == '_' {
+		return true
+	}
+	return !first && unicode.IsDigit(r)
+}
+
+// ident reads an identifier (may be empty).
+func (p *parser) ident() string {
+	start := p.pos
+	for !p.eof() && isIdentRune(p.src[p.pos], p.pos == start) {
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+// expect consumes the literal token or fails.
+func (p *parser) expect(tok string) error {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return nil
+	}
+	return p.errf("expected %q", tok)
+}
+
+// peek reports whether tok comes next.
+func (p *parser) peek(tok string) bool {
+	p.skipSpace()
+	return strings.HasPrefix(p.src[p.pos:], tok)
+}
+
+// accept consumes tok if present.
+func (p *parser) accept(tok string) bool {
+	if p.peek(tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+// goType reads a Go type: everything up to ',' or ')' at depth zero.
+func (p *parser) goType() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	depth := 0
+	for !p.eof() {
+		c := p.src[p.pos]
+		switch c {
+		case '(', '[', '{':
+			depth++
+		case ']', '}':
+			depth--
+		case ')':
+			if depth == 0 {
+				goto done
+			}
+			depth--
+		case ',', ';', '\n':
+			if depth == 0 {
+				goto done
+			}
+		}
+		p.pos++
+	}
+done:
+	t := strings.TrimSpace(p.src[start:p.pos])
+	if t == "" {
+		return "", p.errf("expected a Go type")
+	}
+	return t, nil
+}
+
+func (p *parser) parseFile() (*File, error) {
+	f := &File{ImportName: "lib"}
+	for {
+		p.skipSpace()
+		if p.eof() {
+			break
+		}
+		switch {
+		case p.peek("package"):
+			p.accept("package")
+			p.skipSpace()
+			f.Package = p.ident()
+			if f.Package == "" {
+				return nil, p.errf("expected package name")
+			}
+		case p.peek("import"):
+			p.accept("import")
+			p.skipSpace()
+			name := p.ident()
+			p.skipSpace()
+			if !p.accept(`"`) {
+				return nil, p.errf(`expected quoted import path`)
+			}
+			end := strings.IndexByte(p.src[p.pos:], '"')
+			if end < 0 {
+				return nil, p.errf("unterminated import path")
+			}
+			f.ImportPath = p.src[p.pos : p.pos+end]
+			p.pos += end + 1
+			if name != "" {
+				f.ImportName = name
+			}
+		case p.peek("splittype"):
+			st, err := p.parseSplitType()
+			if err != nil {
+				return nil, err
+			}
+			f.SplitTypes = append(f.SplitTypes, st)
+		case p.peek("@splittable"):
+			fn, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+		default:
+			return nil, p.errf("unexpected input %q", firstWord(p.src[p.pos:]))
+		}
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func firstWord(s string) string {
+	if i := strings.IndexAny(s, " \t\n"); i > 0 {
+		return s[:i]
+	}
+	if len(s) > 20 {
+		return s[:20]
+	}
+	return s
+}
+
+// parseSplitType parses: splittype Name(int, int);
+func (p *parser) parseSplitType() (SplitTypeDecl, error) {
+	line := p.line
+	p.accept("splittype")
+	p.skipSpace()
+	name := p.ident()
+	if name == "" {
+		return SplitTypeDecl{}, p.errf("expected split type name")
+	}
+	n := 0
+	if p.accept("(") {
+		for !p.accept(")") {
+			p.skipSpace()
+			if p.ident() == "" {
+				return SplitTypeDecl{}, p.errf("expected parameter type in splittype %s", name)
+			}
+			n++
+			p.accept(",")
+		}
+	}
+	p.accept(";")
+	return SplitTypeDecl{Name: name, Params: n, Line: line}, nil
+}
+
+// parseTypeExpr parses _, unknown, S, or Name(arg, ...).
+func (p *parser) parseTypeExpr() (TypeExpr, error) {
+	p.skipSpace()
+	if p.accept("_") {
+		return TypeExpr{Kind: KindMissing}, nil
+	}
+	name := p.ident()
+	if name == "" {
+		return TypeExpr{}, p.errf("expected a split type expression")
+	}
+	if name == "unknown" {
+		return TypeExpr{Kind: KindUnknown}, nil
+	}
+	if !p.peek("(") {
+		// Single uppercase letters (optionally digits) are generics, like
+		// S or T in the paper's examples.
+		if len(name) <= 2 && name[0] >= 'A' && name[0] <= 'Z' {
+			return TypeExpr{Kind: KindGeneric, Name: name}, nil
+		}
+		return TypeExpr{Kind: KindConcrete, Name: name}, nil
+	}
+	p.accept("(")
+	t := TypeExpr{Kind: KindConcrete, Name: name}
+	for !p.accept(")") {
+		p.skipSpace()
+		arg := p.ident()
+		if arg == "" {
+			return TypeExpr{}, p.errf("expected constructor argument in %s(...)", name)
+		}
+		t.CtorArgs = append(t.CtorArgs, arg)
+		p.accept(",")
+	}
+	return t, nil
+}
+
+// parseFunc parses an @splittable annotation followed by a func decl.
+func (p *parser) parseFunc() (FuncDecl, error) {
+	line := p.line
+	p.accept("@splittable")
+	if err := p.expect("("); err != nil {
+		return FuncDecl{}, err
+	}
+	type annParam struct {
+		name string
+		mut  bool
+		t    TypeExpr
+	}
+	var ann []annParam
+	for !p.accept(")") {
+		p.skipSpace()
+		mut := false
+		if p.peek("mut ") {
+			p.accept("mut")
+			p.skipSpace()
+			mut = true
+		}
+		name := p.ident()
+		if name == "" {
+			return FuncDecl{}, p.errf("expected parameter name in @splittable")
+		}
+		if err := p.expect(":"); err != nil {
+			return FuncDecl{}, err
+		}
+		t, err := p.parseTypeExpr()
+		if err != nil {
+			return FuncDecl{}, err
+		}
+		ann = append(ann, annParam{name, mut, t})
+		p.accept(",")
+	}
+	var ret *TypeExpr
+	if p.accept("->") {
+		t, err := p.parseTypeExpr()
+		if err != nil {
+			return FuncDecl{}, err
+		}
+		ret = &t
+	}
+
+	if err := p.expect("func"); err != nil {
+		return FuncDecl{}, err
+	}
+	p.skipSpace()
+	fname := p.ident()
+	if fname == "" {
+		return FuncDecl{}, p.errf("expected function name")
+	}
+	if err := p.expect("("); err != nil {
+		return FuncDecl{}, err
+	}
+	fn := FuncDecl{Name: fname, Ret: ret, Line: line}
+	i := 0
+	for !p.accept(")") {
+		p.skipSpace()
+		pname := p.ident()
+		if pname == "" {
+			return FuncDecl{}, p.errf("expected parameter name in func %s", fname)
+		}
+		gt, err := p.goType()
+		if err != nil {
+			return FuncDecl{}, err
+		}
+		if i >= len(ann) {
+			return FuncDecl{}, p.errf("func %s has more parameters than its annotation", fname)
+		}
+		a := ann[i]
+		if a.name != pname {
+			return FuncDecl{}, p.errf("func %s: parameter %d named %q in the declaration but %q in the annotation", fname, i, pname, a.name)
+		}
+		fn.Params = append(fn.Params, Param{Name: pname, Mut: a.mut, Type: a.t, GoType: gt})
+		i++
+		p.accept(",")
+	}
+	if i != len(ann) {
+		return FuncDecl{}, p.errf("func %s has %d parameters but the annotation names %d", fname, i, len(ann))
+	}
+	// Declarations are ';'-terminated; anything between ')' and ';' is the
+	// Go return type.
+	p.skipSpace()
+	if !p.accept(";") {
+		gt, err := p.goType()
+		if err != nil {
+			return FuncDecl{}, err
+		}
+		fn.RetGo = gt
+		if err := p.expect(";"); err != nil {
+			return FuncDecl{}, err
+		}
+	}
+	return fn, nil
+}

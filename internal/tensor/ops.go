@@ -1,0 +1,307 @@
+package tensor
+
+import "math"
+
+// Elementwise binary operations allocate and return a new array, NumPy
+// style. Kernels are single threaded, like NumPy's core loops.
+
+func binaryOp(a, b *NDArray, f func(x, y float64) float64) *NDArray {
+	sameShape(a, b)
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = f(a.Data[i], b.Data[i])
+	}
+	return out
+}
+
+func unaryOp(a *NDArray, f func(x float64) float64) *NDArray {
+	out := New(a.Shape...)
+	for i := range a.Data {
+		out.Data[i] = f(a.Data[i])
+	}
+	return out
+}
+
+// Add returns a + b.
+func Add(a, b *NDArray) *NDArray { return binaryOp(a, b, func(x, y float64) float64 { return x + y }) }
+
+// Sub returns a - b.
+func Sub(a, b *NDArray) *NDArray { return binaryOp(a, b, func(x, y float64) float64 { return x - y }) }
+
+// Mul returns a * b.
+func Mul(a, b *NDArray) *NDArray { return binaryOp(a, b, func(x, y float64) float64 { return x * y }) }
+
+// Div returns a / b.
+func Div(a, b *NDArray) *NDArray { return binaryOp(a, b, func(x, y float64) float64 { return x / y }) }
+
+// Maximum returns max(a, b) elementwise.
+func Maximum(a, b *NDArray) *NDArray { return binaryOp(a, b, math.Max) }
+
+// Minimum returns min(a, b) elementwise.
+func Minimum(a, b *NDArray) *NDArray { return binaryOp(a, b, math.Min) }
+
+// Pow returns a^b elementwise.
+func Pow(a, b *NDArray) *NDArray { return binaryOp(a, b, math.Pow) }
+
+// Atan2 returns atan2(a, b) elementwise.
+func Atan2(a, b *NDArray) *NDArray { return binaryOp(a, b, math.Atan2) }
+
+// AddS returns a + c.
+func AddS(a *NDArray, c float64) *NDArray {
+	return unaryOp(a, func(x float64) float64 { return x + c })
+}
+
+// SubS returns a - c.
+func SubS(a *NDArray, c float64) *NDArray {
+	return unaryOp(a, func(x float64) float64 { return x - c })
+}
+
+// RSubS returns c - a.
+func RSubS(a *NDArray, c float64) *NDArray {
+	return unaryOp(a, func(x float64) float64 { return c - x })
+}
+
+// MulS returns a * c.
+func MulS(a *NDArray, c float64) *NDArray {
+	return unaryOp(a, func(x float64) float64 { return x * c })
+}
+
+// DivS returns a / c.
+func DivS(a *NDArray, c float64) *NDArray {
+	return unaryOp(a, func(x float64) float64 { return x / c })
+}
+
+// RDivS returns c / a.
+func RDivS(a *NDArray, c float64) *NDArray {
+	return unaryOp(a, func(x float64) float64 { return c / x })
+}
+
+// PowS returns a^c elementwise.
+func PowS(a *NDArray, c float64) *NDArray {
+	return unaryOp(a, func(x float64) float64 { return math.Pow(x, c) })
+}
+
+// Sqrt returns sqrt(a).
+func Sqrt(a *NDArray) *NDArray { return unaryOp(a, math.Sqrt) }
+
+// Exp returns e^a.
+func Exp(a *NDArray) *NDArray { return unaryOp(a, math.Exp) }
+
+// Log returns ln(a).
+func Log(a *NDArray) *NDArray { return unaryOp(a, math.Log) }
+
+// Log1p returns ln(1+a).
+func Log1p(a *NDArray) *NDArray { return unaryOp(a, math.Log1p) }
+
+// Log2 returns log2(a).
+func Log2(a *NDArray) *NDArray { return unaryOp(a, math.Log2) }
+
+// Erf returns erf(a).
+func Erf(a *NDArray) *NDArray { return unaryOp(a, math.Erf) }
+
+// Abs returns |a|.
+func Abs(a *NDArray) *NDArray { return unaryOp(a, math.Abs) }
+
+// Neg returns -a.
+func Neg(a *NDArray) *NDArray { return unaryOp(a, func(x float64) float64 { return -x }) }
+
+// Sin returns sin(a).
+func Sin(a *NDArray) *NDArray { return unaryOp(a, math.Sin) }
+
+// Cos returns cos(a).
+func Cos(a *NDArray) *NDArray { return unaryOp(a, math.Cos) }
+
+// Square returns a*a.
+func Square(a *NDArray) *NDArray { return unaryOp(a, func(x float64) float64 { return x * x }) }
+
+// Invert returns 1/a.
+func Invert(a *NDArray) *NDArray { return unaryOp(a, func(x float64) float64 { return 1 / x }) }
+
+// Comparison operators return 0/1 masks, like NumPy boolean arrays.
+
+// Greater returns a > b as a 0/1 mask.
+func Greater(a, b *NDArray) *NDArray {
+	return binaryOp(a, b, func(x, y float64) float64 {
+		if x > y {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Less returns a < b as a 0/1 mask.
+func Less(a, b *NDArray) *NDArray {
+	return binaryOp(a, b, func(x, y float64) float64 {
+		if x < y {
+			return 1
+		}
+		return 0
+	})
+}
+
+// GreaterS returns a > c as a 0/1 mask.
+func GreaterS(a *NDArray, c float64) *NDArray {
+	return unaryOp(a, func(x float64) float64 {
+		if x > c {
+			return 1
+		}
+		return 0
+	})
+}
+
+// LessS returns a < c as a 0/1 mask.
+func LessS(a *NDArray, c float64) *NDArray {
+	return unaryOp(a, func(x float64) float64 {
+		if x < c {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Where returns mask != 0 ? a : b elementwise.
+func Where(mask, a, b *NDArray) *NDArray {
+	sameShape(mask, a)
+	sameShape(mask, b)
+	out := New(mask.Shape...)
+	for i := range mask.Data {
+		if mask.Data[i] != 0 {
+			out.Data[i] = a.Data[i]
+		} else {
+			out.Data[i] = b.Data[i]
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func Sum(a *NDArray) float64 {
+	s := 0.0
+	for _, x := range a.Data {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func Mean(a *NDArray) float64 {
+	if len(a.Data) == 0 {
+		return math.NaN()
+	}
+	return Sum(a) / float64(len(a.Data))
+}
+
+// Max returns the maximum element.
+func Max(a *NDArray) float64 {
+	m := math.Inf(-1)
+	for _, x := range a.Data {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element.
+func Min(a *NDArray) float64 {
+	m := math.Inf(1)
+	for _, x := range a.Data {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// SumAxis0 reduces a 2-d array over axis 0, returning per-column sums.
+func SumAxis0(a *NDArray) *NDArray {
+	if len(a.Shape) != 2 {
+		panic("tensor: SumAxis0 needs a 2-d array")
+	}
+	rows, cols := a.Shape[0], a.Shape[1]
+	out := New(cols)
+	for r := 0; r < rows; r++ {
+		row := a.Data[r*cols : (r+1)*cols]
+		for c, x := range row {
+			out.Data[c] += x
+		}
+	}
+	return out
+}
+
+// SumAxis1 reduces a 2-d array over axis 1, returning per-row sums. Each
+// output element depends only on its own row, so the operation splits by
+// rows.
+func SumAxis1(a *NDArray) *NDArray {
+	if len(a.Shape) != 2 {
+		panic("tensor: SumAxis1 needs a 2-d array")
+	}
+	rows, cols := a.Shape[0], a.Shape[1]
+	out := New(rows)
+	for r := 0; r < rows; r++ {
+		s := 0.0
+		for _, x := range a.Data[r*cols : (r+1)*cols] {
+			s += x
+		}
+		out.Data[r] = s
+	}
+	return out
+}
+
+// Roll circularly shifts a 2-d array by k along the given axis (numpy.roll
+// semantics: element i moves to i+k).
+func Roll(a *NDArray, k, axis int) *NDArray {
+	if len(a.Shape) != 2 {
+		panic("tensor: Roll needs a 2-d array")
+	}
+	rows, cols := a.Shape[0], a.Shape[1]
+	out := New(rows, cols)
+	if rows == 0 || cols == 0 {
+		return out
+	}
+	switch axis {
+	case 0:
+		k = ((k % rows) + rows) % rows
+		for r := 0; r < rows; r++ {
+			copy(out.Data[((r+k)%rows)*cols:((r+k)%rows+1)*cols], a.Data[r*cols:(r+1)*cols])
+		}
+	case 1:
+		k = ((k % cols) + cols) % cols
+		for r := 0; r < rows; r++ {
+			row := a.Data[r*cols : (r+1)*cols]
+			orow := out.Data[r*cols : (r+1)*cols]
+			copy(orow[k:], row[:cols-k])
+			copy(orow[:k], row[cols-k:])
+		}
+	default:
+		panic("tensor: Roll axis must be 0 or 1")
+	}
+	return out
+}
+
+// OuterSub returns the matrix m[i][j] = x[i] - y[j] for 1-d x and y.
+func OuterSub(x, y *NDArray) *NDArray {
+	if len(x.Shape) != 1 || len(y.Shape) != 1 {
+		panic("tensor: OuterSub needs 1-d arrays")
+	}
+	n, m := x.Shape[0], y.Shape[0]
+	out := New(n, m)
+	for i := 0; i < n; i++ {
+		row := out.Data[i*m : (i+1)*m]
+		xi := x.Data[i]
+		for j := range row {
+			row[j] = xi - y.Data[j]
+		}
+	}
+	return out
+}
+
+// Dot returns the inner product of two 1-d arrays.
+func Dot(x, y *NDArray) float64 {
+	sameShape(x, y)
+	s := 0.0
+	for i := range x.Data {
+		s += x.Data[i] * y.Data[i]
+	}
+	return s
+}

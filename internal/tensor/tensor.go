@@ -1,0 +1,161 @@
+// Package tensor is the repository's stand-in for NumPy: an n-dimensional
+// dense float64 array library with single-threaded C-style kernels.
+// Operations allocate and return new arrays (NumPy semantics), which is
+// exactly the allocation behaviour that makes un-fused pipelines memory
+// bound. The library knows nothing about Mozart; its split annotations live
+// in internal/annotations/tensorsa.
+package tensor
+
+import "fmt"
+
+// NDArray is a dense row-major n-dimensional array.
+type NDArray struct {
+	Shape []int
+	Data  []float64
+}
+
+// New allocates a zeroed array with the given shape.
+func New(shape ...int) *NDArray {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic("tensor: negative dimension")
+		}
+		n *= d
+	}
+	return &NDArray{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromSlice wraps data in an array with the given shape.
+func FromSlice(data []float64, shape ...int) *NDArray {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: FromSlice: %d elements for shape %v", len(data), shape))
+	}
+	return &NDArray{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Full allocates an array filled with v.
+func Full(v float64, shape ...int) *NDArray {
+	a := New(shape...)
+	for i := range a.Data {
+		a.Data[i] = v
+	}
+	return a
+}
+
+// Size returns the total number of elements.
+func (a *NDArray) Size() int { return len(a.Data) }
+
+// NDim returns the number of dimensions.
+func (a *NDArray) NDim() int { return len(a.Shape) }
+
+// Rows returns the length of axis 0 (1 for scalars).
+func (a *NDArray) Rows() int {
+	if len(a.Shape) == 0 {
+		return 1
+	}
+	return a.Shape[0]
+}
+
+// RowSize returns the number of elements per axis-0 index.
+func (a *NDArray) RowSize() int {
+	n := 1
+	for _, d := range a.Shape[1:] {
+		n *= d
+	}
+	return n
+}
+
+// At returns the element at the given indices.
+func (a *NDArray) At(idx ...int) float64 { return a.Data[a.offset(idx)] }
+
+// SetAt assigns the element at the given indices.
+func (a *NDArray) SetAt(v float64, idx ...int) { a.Data[a.offset(idx)] = v }
+
+func (a *NDArray) offset(idx []int) int {
+	if len(idx) != len(a.Shape) {
+		panic(fmt.Sprintf("tensor: %d indices for %d-d array", len(idx), len(a.Shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= a.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range for axis %d (size %d)", x, i, a.Shape[i]))
+		}
+		off = off*a.Shape[i] + x
+	}
+	return off
+}
+
+// Clone deep copies the array.
+func (a *NDArray) Clone() *NDArray {
+	return &NDArray{Shape: append([]int(nil), a.Shape...), Data: append([]float64(nil), a.Data...)}
+}
+
+// Reshape returns a view with a new shape of equal size.
+func (a *NDArray) Reshape(shape ...int) *NDArray {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(a.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", a.Shape, shape))
+	}
+	return &NDArray{Shape: append([]int(nil), shape...), Data: a.Data}
+}
+
+// RowSlice returns rows [r0, r1) along axis 0 as a shared-storage view.
+func (a *NDArray) RowSlice(r0, r1 int) *NDArray {
+	if len(a.Shape) == 0 {
+		panic("tensor: RowSlice of 0-d array")
+	}
+	if r0 < 0 || r1 < r0 || r1 > a.Shape[0] {
+		panic(fmt.Sprintf("tensor: RowSlice [%d,%d) out of range (axis 0 size %d)", r0, r1, a.Shape[0]))
+	}
+	rs := a.RowSize()
+	shape := append([]int{r1 - r0}, a.Shape[1:]...)
+	return &NDArray{Shape: shape, Data: a.Data[r0*rs : r1*rs]}
+}
+
+// Concat stacks arrays along axis 0. All inputs must agree on the trailing
+// dimensions.
+func Concat(arrays ...*NDArray) *NDArray {
+	if len(arrays) == 0 {
+		return New(0)
+	}
+	first := arrays[0]
+	rows := 0
+	for _, a := range arrays {
+		if len(a.Shape) != len(first.Shape) {
+			panic("tensor: Concat rank mismatch")
+		}
+		for i := 1; i < len(a.Shape); i++ {
+			if a.Shape[i] != first.Shape[i] {
+				panic("tensor: Concat trailing-dimension mismatch")
+			}
+		}
+		rows += a.Rows()
+	}
+	shape := append([]int{rows}, first.Shape[1:]...)
+	out := New(shape...)
+	off := 0
+	for _, a := range arrays {
+		copy(out.Data[off:], a.Data)
+		off += len(a.Data)
+	}
+	return out
+}
+
+func sameShape(a, b *NDArray) {
+	if len(a.Shape) != len(b.Shape) {
+		panic("tensor: shape rank mismatch")
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", a.Shape, b.Shape))
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randArr(seed int64, shape ...int) *NDArray {
+	a := New(shape...)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range a.Data {
+		a.Data[i] = rng.Float64()*4 + 0.25
+	}
+	return a
+}
+
+func TestConstructionAndIndexing(t *testing.T) {
+	a := New(3, 4)
+	if a.Size() != 12 || a.NDim() != 2 || a.Rows() != 3 || a.RowSize() != 4 {
+		t.Fatal("shape accessors")
+	}
+	a.SetAt(7, 1, 2)
+	if a.At(1, 2) != 7 || a.Data[6] != 7 {
+		t.Fatal("At/SetAt row-major layout")
+	}
+	b := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	if b.At(1, 0) != 4 {
+		t.Fatal("FromSlice")
+	}
+	f := Full(3, 2, 2)
+	for _, x := range f.Data {
+		if x != 3 {
+			t.Fatal("Full")
+		}
+	}
+	c := b.Clone()
+	c.SetAt(99, 0, 0)
+	if b.At(0, 0) == 99 {
+		t.Fatal("Clone aliases")
+	}
+	r := b.Reshape(3, 2)
+	if r.At(2, 1) != 6 {
+		t.Fatal("Reshape")
+	}
+	r.Data[0] = 42
+	if b.Data[0] != 42 {
+		t.Fatal("Reshape should share storage")
+	}
+}
+
+func TestRowSliceConcat(t *testing.T) {
+	a := randArr(1, 6, 3)
+	s1, s2 := a.RowSlice(0, 2), a.RowSlice(2, 6)
+	back := Concat(s1, s2)
+	if back.Rows() != 6 {
+		t.Fatal("Concat rows")
+	}
+	for i := range a.Data {
+		if back.Data[i] != a.Data[i] {
+			t.Fatal("slice+concat should round trip")
+		}
+	}
+	s1.Data[0] = -1
+	if a.Data[0] != -1 {
+		t.Fatal("RowSlice must be a view")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative dim", func() { New(-1) })
+	mustPanic("FromSlice size", func() { FromSlice(make([]float64, 3), 2, 2) })
+	mustPanic("bad index rank", func() { New(2, 2).At(1) })
+	mustPanic("index range", func() { New(2, 2).At(2, 0) })
+	mustPanic("reshape size", func() { New(4).Reshape(3) })
+	mustPanic("RowSlice range", func() { New(2, 2).RowSlice(0, 3) })
+	mustPanic("shape mismatch", func() { Add(New(2), New(3)) })
+	mustPanic("SumAxis0 rank", func() { SumAxis0(New(4)) })
+	mustPanic("Roll axis", func() { Roll(New(2, 2), 1, 2) })
+	mustPanic("OuterSub rank", func() { OuterSub(New(2, 2), New(2)) })
+}
+
+func TestElementwise(t *testing.T) {
+	a, b := randArr(2, 5, 7), randArr(3, 5, 7)
+	checks := []struct {
+		name string
+		got  *NDArray
+		ref  func(x, y float64) float64
+	}{
+		{"Add", Add(a, b), func(x, y float64) float64 { return x + y }},
+		{"Sub", Sub(a, b), func(x, y float64) float64 { return x - y }},
+		{"Mul", Mul(a, b), func(x, y float64) float64 { return x * y }},
+		{"Div", Div(a, b), func(x, y float64) float64 { return x / y }},
+		{"Maximum", Maximum(a, b), math.Max},
+		{"Minimum", Minimum(a, b), math.Min},
+		{"Pow", Pow(a, b), math.Pow},
+		{"Atan2", Atan2(a, b), math.Atan2},
+	}
+	for _, c := range checks {
+		for i := range a.Data {
+			if got, want := c.got.Data[i], c.ref(a.Data[i], b.Data[i]); math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+				t.Fatalf("%s[%d] = %v want %v", c.name, i, got, want)
+			}
+		}
+	}
+	uchecks := []struct {
+		name string
+		got  *NDArray
+		ref  func(x float64) float64
+	}{
+		{"AddS", AddS(a, 2), func(x float64) float64 { return x + 2 }},
+		{"SubS", SubS(a, 2), func(x float64) float64 { return x - 2 }},
+		{"RSubS", RSubS(a, 2), func(x float64) float64 { return 2 - x }},
+		{"MulS", MulS(a, 2), func(x float64) float64 { return x * 2 }},
+		{"DivS", DivS(a, 2), func(x float64) float64 { return x / 2 }},
+		{"RDivS", RDivS(a, 2), func(x float64) float64 { return 2 / x }},
+		{"PowS", PowS(a, 2), func(x float64) float64 { return x * x }},
+		{"Sqrt", Sqrt(a), math.Sqrt},
+		{"Exp", Exp(a), math.Exp},
+		{"Log", Log(a), math.Log},
+		{"Log1p", Log1p(a), math.Log1p},
+		{"Log2", Log2(a), math.Log2},
+		{"Erf", Erf(a), math.Erf},
+		{"Abs", Abs(a), math.Abs},
+		{"Neg", Neg(a), func(x float64) float64 { return -x }},
+		{"Sin", Sin(a), math.Sin},
+		{"Cos", Cos(a), math.Cos},
+		{"Square", Square(a), func(x float64) float64 { return x * x }},
+		{"Invert", Invert(a), func(x float64) float64 { return 1 / x }},
+	}
+	for _, c := range uchecks {
+		for i := range a.Data {
+			if got, want := c.got.Data[i], c.ref(a.Data[i]); math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+				t.Fatalf("%s[%d] = %v want %v", c.name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestComparisonsAndWhere(t *testing.T) {
+	a, b := randArr(4, 40), randArr(5, 40)
+	g, l := Greater(a, b), Less(a, b)
+	for i := range a.Data {
+		if (g.Data[i] == 1) != (a.Data[i] > b.Data[i]) {
+			t.Fatal("Greater")
+		}
+		if (l.Data[i] == 1) != (a.Data[i] < b.Data[i]) {
+			t.Fatal("Less")
+		}
+	}
+	gs, ls := GreaterS(a, 2), LessS(a, 2)
+	for i := range a.Data {
+		if (gs.Data[i] == 1) != (a.Data[i] > 2) || (ls.Data[i] == 1) != (a.Data[i] < 2) {
+			t.Fatal("GreaterS/LessS")
+		}
+	}
+	w := Where(g, a, b)
+	for i := range w.Data {
+		want := b.Data[i]
+		if a.Data[i] > b.Data[i] {
+			want = a.Data[i]
+		}
+		if w.Data[i] != want {
+			t.Fatal("Where")
+		}
+	}
+}
+
+func TestReductions(t *testing.T) {
+	a := randArr(6, 9, 4)
+	var sum float64
+	for _, x := range a.Data {
+		sum += x
+	}
+	if math.Abs(Sum(a)-sum) > 1e-9 {
+		t.Fatal("Sum")
+	}
+	if math.Abs(Mean(a)-sum/36) > 1e-9 {
+		t.Fatal("Mean")
+	}
+	if Max(a) != slowMax(a.Data) || Min(a) != slowMin(a.Data) {
+		t.Fatal("Max/Min")
+	}
+	s0 := SumAxis0(a)
+	for c := 0; c < 4; c++ {
+		want := 0.0
+		for r := 0; r < 9; r++ {
+			want += a.At(r, c)
+		}
+		if math.Abs(s0.Data[c]-want) > 1e-9 {
+			t.Fatal("SumAxis0")
+		}
+	}
+	s1 := SumAxis1(a)
+	for r := 0; r < 9; r++ {
+		want := 0.0
+		for c := 0; c < 4; c++ {
+			want += a.At(r, c)
+		}
+		if math.Abs(s1.Data[r]-want) > 1e-9 {
+			t.Fatal("SumAxis1")
+		}
+	}
+	if math.IsNaN(Mean(New(0))) == false {
+		t.Fatal("Mean of empty should be NaN")
+	}
+}
+
+func slowMax(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		m = math.Max(m, x)
+	}
+	return m
+}
+
+func slowMin(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		m = math.Min(m, x)
+	}
+	return m
+}
+
+func TestRoll(t *testing.T) {
+	a := randArr(7, 4, 5)
+	r0 := Roll(a, 1, 0)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 5; c++ {
+			if r0.At((r+1)%4, c) != a.At(r, c) {
+				t.Fatal("Roll axis 0")
+			}
+		}
+	}
+	r1 := Roll(a, 2, 1)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 5; c++ {
+			if r1.At(r, (c+2)%5) != a.At(r, c) {
+				t.Fatal("Roll axis 1")
+			}
+		}
+	}
+	rn := Roll(a, -1, 0)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 5; c++ {
+			if rn.At((r+3)%4, c) != a.At(r, c) {
+				t.Fatal("Roll negative")
+			}
+		}
+	}
+}
+
+func TestOuterSubDot(t *testing.T) {
+	x, y := randArr(8, 5), randArr(9, 7)
+	o := OuterSub(x, y)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 7; j++ {
+			if o.At(i, j) != x.Data[i]-y.Data[j] {
+				t.Fatal("OuterSub")
+			}
+		}
+	}
+	a, b := randArr(10, 20), randArr(11, 20)
+	want := 0.0
+	for i := range a.Data {
+		want += a.Data[i] * b.Data[i]
+	}
+	if math.Abs(Dot(a, b)-want) > 1e-9 {
+		t.Fatal("Dot")
+	}
+}
+
+// TestQuickRollRoundTrip: rolling forward then back is the identity.
+func TestQuickRollRoundTrip(t *testing.T) {
+	f := func(seed int64, k int8, axis bool) bool {
+		a := randArr(seed, 6, 8)
+		ax := 0
+		if axis {
+			ax = 1
+		}
+		back := Roll(Roll(a, int(k), ax), -int(k), ax)
+		for i := range a.Data {
+			if back.Data[i] != a.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSumLinear: Sum(a+b) == Sum(a) + Sum(b).
+func TestQuickSumLinear(t *testing.T) {
+	f := func(s1, s2 int64) bool {
+		a, b := randArr(s1, 30), randArr(s2, 30)
+		return math.Abs(Sum(Add(a, b))-(Sum(a)+Sum(b))) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package vmath
+
+import "math"
+
+// L1 BLAS.
+
+// Scal computes x = alpha * x (cblas_dscal).
+func Scal(n int, alpha float64, x []float64) {
+	checkLen(n, x)
+	parallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] *= alpha
+		}
+	})
+}
+
+// Axpy computes y = alpha*x + y (cblas_daxpy).
+func Axpy(n int, alpha float64, x, y []float64) {
+	checkLen(n, x, y)
+	parallelFor(n, func(lo, hi int) {
+		i := lo
+		for ; i+4 <= hi; i += 4 {
+			y[i] += alpha * x[i]
+			y[i+1] += alpha * x[i+1]
+			y[i+2] += alpha * x[i+2]
+			y[i+3] += alpha * x[i+3]
+		}
+		for ; i < hi; i++ {
+			y[i] += alpha * x[i]
+		}
+	})
+}
+
+// Dot computes the inner product of x and y (cblas_ddot).
+func Dot(n int, x, y []float64) float64 {
+	checkLen(n, x, y)
+	return parallelReduce(n, func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += x[i] * y[i]
+		}
+		return s
+	}, func(a, b float64) float64 { return a + b })
+}
+
+// Asum computes the sum of absolute values (cblas_dasum).
+func Asum(n int, x []float64) float64 {
+	checkLen(n, x)
+	return parallelReduce(n, func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += math.Abs(x[i])
+		}
+		return s
+	}, func(a, b float64) float64 { return a + b })
+}
+
+// Sum computes the plain sum of the first n elements.
+func Sum(n int, x []float64) float64 {
+	checkLen(n, x)
+	return parallelReduce(n, func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += x[i]
+		}
+		return s
+	}, func(a, b float64) float64 { return a + b })
+}
+
+// Nrm2 computes the Euclidean norm (cblas_dnrm2).
+func Nrm2(n int, x []float64) float64 {
+	checkLen(n, x)
+	return math.Sqrt(parallelReduce(n, func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += x[i] * x[i]
+		}
+		return s
+	}, func(a, b float64) float64 { return a + b }))
+}
+
+// MaxReduce returns the maximum of the first n elements.
+func MaxReduce(n int, x []float64) float64 {
+	checkLen(n, x)
+	if n == 0 {
+		return math.Inf(-1)
+	}
+	return parallelReduce(n, func(lo, hi int) float64 {
+		m := math.Inf(-1)
+		for i := lo; i < hi; i++ {
+			if x[i] > m {
+				m = x[i]
+			}
+		}
+		return m
+	}, math.Max)
+}
+
+// MinReduce returns the minimum of the first n elements.
+func MinReduce(n int, x []float64) float64 {
+	checkLen(n, x)
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return parallelReduce(n, func(lo, hi int) float64 {
+		m := math.Inf(1)
+		for i := lo; i < hi; i++ {
+			if x[i] < m {
+				m = x[i]
+			}
+		}
+		return m
+	}, math.Min)
+}

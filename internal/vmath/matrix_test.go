@@ -1,0 +1,276 @@
+package vmath
+
+import (
+	"math"
+	"testing"
+)
+
+func testMat(rows, cols int, seed int64) *Matrix {
+	m := NewMatrix(rows, cols)
+	copy(m.Data, randVec(rows*cols, seed))
+	return m
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(3, 4)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Fatal("At/Set")
+	}
+	if len(m.Row(1)) != 4 || m.Row(1)[2] != 5 {
+		t.Fatal("Row")
+	}
+	band := m.RowBand(1, 3)
+	if band.Rows != 2 || band.At(0, 2) != 5 {
+		t.Fatal("RowBand")
+	}
+	band.Set(0, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("RowBand should share storage")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Fatal("Clone should copy")
+	}
+	if MatrixFrom(2, 2, []float64{1, 2, 3, 4}).At(1, 1) != 4 {
+		t.Fatal("MatrixFrom")
+	}
+}
+
+func TestMatrixPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("negative dim", func() { NewMatrix(-1, 2) })
+	mustPanic("MatrixFrom len", func() { MatrixFrom(2, 2, make([]float64, 3)) })
+	mustPanic("RowBand range", func() { NewMatrix(2, 2).RowBand(0, 3) })
+	mustPanic("shape mismatch", func() { MatAdd(NewMatrix(2, 2), NewMatrix(2, 3), NewMatrix(2, 2)) })
+	mustPanic("Gemm shape", func() { Gemm(1, NewMatrix(2, 3), NewMatrix(2, 3), 0, NewMatrix(2, 3)) })
+	mustPanic("OuterDiff shape", func() { OuterDiff(make([]float64, 3), NewMatrix(2, 3)) })
+}
+
+func TestMatrixElementwise(t *testing.T) {
+	a, b := testMat(7, 9, 20), testMat(7, 9, 21)
+	out := NewMatrix(7, 9)
+	MatAdd(a, b, out)
+	for i := range out.Data {
+		if !close1(out.Data[i], a.Data[i]+b.Data[i]) {
+			t.Fatal("MatAdd")
+		}
+	}
+	MatSub(a, b, out)
+	for i := range out.Data {
+		if !close1(out.Data[i], a.Data[i]-b.Data[i]) {
+			t.Fatal("MatSub")
+		}
+	}
+	MatMulElem(a, b, out)
+	for i := range out.Data {
+		if !close1(out.Data[i], a.Data[i]*b.Data[i]) {
+			t.Fatal("MatMulElem")
+		}
+	}
+	MatDivElem(a, b, out)
+	for i := range out.Data {
+		if !close1(out.Data[i], a.Data[i]/b.Data[i]) {
+			t.Fatal("MatDivElem")
+		}
+	}
+	MatSqrt(a, out)
+	for i := range out.Data {
+		if !close1(out.Data[i], math.Sqrt(a.Data[i])) {
+			t.Fatal("MatSqrt")
+		}
+	}
+	MatExp(a, out)
+	for i := range out.Data {
+		if !close1(out.Data[i], math.Exp(a.Data[i])) {
+			t.Fatal("MatExp")
+		}
+	}
+	MatScale(a, 3, out)
+	for i := range out.Data {
+		if !close1(out.Data[i], 3*a.Data[i]) {
+			t.Fatal("MatScale")
+		}
+	}
+	MatAddC(a, 3, out)
+	for i := range out.Data {
+		if !close1(out.Data[i], a.Data[i]+3) {
+			t.Fatal("MatAddC")
+		}
+	}
+	MatPowC(a, 2, out)
+	for i := range out.Data {
+		if !close1(out.Data[i], a.Data[i]*a.Data[i]) {
+			t.Fatal("MatPowC")
+		}
+	}
+	MatCopy(a, out)
+	for i := range out.Data {
+		if out.Data[i] != a.Data[i] {
+			t.Fatal("MatCopy")
+		}
+	}
+	MatFill(out, 2)
+	for i := range out.Data {
+		if out.Data[i] != 2 {
+			t.Fatal("MatFill")
+		}
+	}
+}
+
+func TestVectorBroadcastOps(t *testing.T) {
+	a := testMat(5, 8, 22)
+	rv := randVec(8, 23)
+	cv := randVec(5, 24)
+	out := NewMatrix(5, 8)
+	MulRowVec(a, rv, out)
+	for r := 0; r < 5; r++ {
+		for c := 0; c < 8; c++ {
+			if !close1(out.At(r, c), a.At(r, c)*rv[c]) {
+				t.Fatal("MulRowVec")
+			}
+		}
+	}
+	MulColVec(a, cv, out)
+	for r := 0; r < 5; r++ {
+		for c := 0; c < 8; c++ {
+			if !close1(out.At(r, c), a.At(r, c)*cv[r]) {
+				t.Fatal("MulColVec")
+			}
+		}
+	}
+	AddRowVec(a, rv, out)
+	for r := 0; r < 5; r++ {
+		for c := 0; c < 8; c++ {
+			if !close1(out.At(r, c), a.At(r, c)+rv[c]) {
+				t.Fatal("AddRowVec")
+			}
+		}
+	}
+}
+
+func TestOuterDiff(t *testing.T) {
+	x := randVec(6, 25)
+	out := NewMatrix(6, 6)
+	OuterDiff(x, out)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if !close1(out.At(i, j), x[i]-x[j]) {
+				t.Fatal("OuterDiff")
+			}
+		}
+	}
+}
+
+func TestSums(t *testing.T) {
+	a := testMat(4, 6, 26)
+	rs := make([]float64, 4)
+	RowSums(a, rs)
+	for r := 0; r < 4; r++ {
+		want := 0.0
+		for c := 0; c < 6; c++ {
+			want += a.At(r, c)
+		}
+		if !close1(rs[r], want) {
+			t.Fatal("RowSums")
+		}
+	}
+	cs := ColSums(a)
+	for c := 0; c < 6; c++ {
+		want := 0.0
+		for r := 0; r < 4; r++ {
+			want += a.At(r, c)
+		}
+		if !close1(cs[c], want) {
+			t.Fatal("ColSums")
+		}
+	}
+}
+
+func TestShifts(t *testing.T) {
+	a := testMat(4, 5, 27)
+	out := NewMatrix(4, 5)
+	ShiftCols(a, 2, out)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 5; c++ {
+			if out.At(r, c) != a.At(r, (c+2)%5) {
+				t.Fatal("ShiftCols")
+			}
+		}
+	}
+	ShiftCols(a, -1, out)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 5; c++ {
+			if out.At(r, c) != a.At(r, (c+4)%5) {
+				t.Fatal("ShiftCols negative")
+			}
+		}
+	}
+	ShiftRows(a, 1, out)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 5; c++ {
+			if out.At(r, c) != a.At((r+1)%4, c) {
+				t.Fatal("ShiftRows")
+			}
+		}
+	}
+	// In-place row shift must not corrupt.
+	b := a.Clone()
+	ShiftRows(b, 3, b)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 5; c++ {
+			if b.At(r, c) != a.At((r+3)%4, c) {
+				t.Fatal("ShiftRows in place")
+			}
+		}
+	}
+}
+
+func TestGemv(t *testing.T) {
+	a := testMat(5, 3, 28)
+	x := randVec(3, 29)
+	y := randVec(5, 30)
+	want := make([]float64, 5)
+	for r := 0; r < 5; r++ {
+		s := 0.0
+		for c := 0; c < 3; c++ {
+			s += a.At(r, c) * x[c]
+		}
+		want[r] = 2*s + 0.5*y[r]
+	}
+	Gemv(2, a, x, 0.5, y)
+	for r := range y {
+		if !close1(y[r], want[r]) {
+			t.Fatal("Gemv")
+		}
+	}
+}
+
+func TestGemm(t *testing.T) {
+	a, b := testMat(4, 70, 31), testMat(70, 5, 32)
+	c := NewMatrix(4, 5)
+	want := NewMatrix(4, 5)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 5; j++ {
+			s := 0.0
+			for k := 0; k < 70; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			want.Set(i, j, 1.5*s)
+		}
+	}
+	Gemm(1.5, a, b, 0, c)
+	for i := range c.Data {
+		if !close1(c.Data[i], want.Data[i]) {
+			t.Fatalf("Gemm[%d] = %v want %v", i, c.Data[i], want.Data[i])
+		}
+	}
+}

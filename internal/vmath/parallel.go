@@ -1,0 +1,95 @@
+package vmath
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// numThreads is the library's internal parallelism, like MKL's
+// mkl_set_num_threads. The default of 1 keeps kernels serial; benchmarks
+// raise it to model "already-parallelized" library behaviour (§8.2).
+var numThreads atomic.Int32
+
+func init() { numThreads.Store(1) }
+
+// SetNumThreads sets the library's internal thread count (>= 1).
+func SetNumThreads(n int) {
+	if n < 1 {
+		n = 1
+	}
+	numThreads.Store(int32(n))
+}
+
+// NumThreads returns the library's internal thread count.
+func NumThreads() int { return int(numThreads.Load()) }
+
+// parallelThreshold is the element count below which kernels stay serial;
+// launching threads for cache-sized chunks would only add overhead. This is
+// why Mozart-split pieces run serially inside the library even when the
+// library's own threading is enabled.
+const parallelThreshold = 1 << 15
+
+// parallelFor runs body over [0, n) split into contiguous chunks across the
+// library's internal threads.
+func parallelFor(n int, body func(lo, hi int)) {
+	t := NumThreads()
+	if t == 1 || n < parallelThreshold {
+		body(0, n)
+		return
+	}
+	if t > n {
+		t = n
+	}
+	var wg sync.WaitGroup
+	per := n / t
+	rem := n % t
+	lo := 0
+	for i := 0; i < t; i++ {
+		hi := lo + per
+		if i < rem {
+			hi++
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// parallelReduce runs body over chunks and combines the per-chunk results
+// with combine.
+func parallelReduce(n int, body func(lo, hi int) float64, combine func(a, b float64) float64) float64 {
+	t := NumThreads()
+	if t == 1 || n < parallelThreshold {
+		return body(0, n)
+	}
+	if t > n {
+		t = n
+	}
+	results := make([]float64, t)
+	var wg sync.WaitGroup
+	per := n / t
+	rem := n % t
+	lo := 0
+	for i := 0; i < t; i++ {
+		hi := lo + per
+		if i < rem {
+			hi++
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			results[i] = body(lo, hi)
+		}(i, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+	acc := results[0]
+	for _, r := range results[1:] {
+		acc = combine(acc, r)
+	}
+	return acc
+}

@@ -1,0 +1,257 @@
+package vmath
+
+import "math"
+
+// The vector-math functions mirror MKL's vdXxx API: they take an explicit
+// element count n and operate on the first n elements of their slice
+// arguments. out may alias an input. All panic if a slice is shorter than
+// n, like MKL's undefined behaviour but loud.
+
+func checkLen(n int, vs ...[]float64) {
+	for _, v := range vs {
+		if len(v) < n {
+			panic("vmath: slice shorter than n")
+		}
+	}
+}
+
+// binary applies f elementwise over a and b into out, with a 4x unrolled
+// inner loop standing in for MKL's SIMD kernels.
+func binary(n int, a, b, out []float64, f func(x, y float64) float64) {
+	checkLen(n, a, b, out)
+	parallelFor(n, func(lo, hi int) {
+		i := lo
+		for ; i+4 <= hi; i += 4 {
+			out[i] = f(a[i], b[i])
+			out[i+1] = f(a[i+1], b[i+1])
+			out[i+2] = f(a[i+2], b[i+2])
+			out[i+3] = f(a[i+3], b[i+3])
+		}
+		for ; i < hi; i++ {
+			out[i] = f(a[i], b[i])
+		}
+	})
+}
+
+// unary applies f elementwise over a into out.
+func unary(n int, a, out []float64, f func(x float64) float64) {
+	checkLen(n, a, out)
+	parallelFor(n, func(lo, hi int) {
+		i := lo
+		for ; i+4 <= hi; i += 4 {
+			out[i] = f(a[i])
+			out[i+1] = f(a[i+1])
+			out[i+2] = f(a[i+2])
+			out[i+3] = f(a[i+3])
+		}
+		for ; i < hi; i++ {
+			out[i] = f(a[i])
+		}
+	})
+}
+
+// Add computes out = a + b elementwise (vdAdd).
+func Add(n int, a, b, out []float64) {
+	checkLen(n, a, b, out)
+	parallelFor(n, func(lo, hi int) {
+		i := lo
+		for ; i+4 <= hi; i += 4 {
+			out[i] = a[i] + b[i]
+			out[i+1] = a[i+1] + b[i+1]
+			out[i+2] = a[i+2] + b[i+2]
+			out[i+3] = a[i+3] + b[i+3]
+		}
+		for ; i < hi; i++ {
+			out[i] = a[i] + b[i]
+		}
+	})
+}
+
+// Sub computes out = a - b elementwise (vdSub).
+func Sub(n int, a, b, out []float64) {
+	checkLen(n, a, b, out)
+	parallelFor(n, func(lo, hi int) {
+		i := lo
+		for ; i+4 <= hi; i += 4 {
+			out[i] = a[i] - b[i]
+			out[i+1] = a[i+1] - b[i+1]
+			out[i+2] = a[i+2] - b[i+2]
+			out[i+3] = a[i+3] - b[i+3]
+		}
+		for ; i < hi; i++ {
+			out[i] = a[i] - b[i]
+		}
+	})
+}
+
+// Mul computes out = a * b elementwise (vdMul).
+func Mul(n int, a, b, out []float64) {
+	checkLen(n, a, b, out)
+	parallelFor(n, func(lo, hi int) {
+		i := lo
+		for ; i+4 <= hi; i += 4 {
+			out[i] = a[i] * b[i]
+			out[i+1] = a[i+1] * b[i+1]
+			out[i+2] = a[i+2] * b[i+2]
+			out[i+3] = a[i+3] * b[i+3]
+		}
+		for ; i < hi; i++ {
+			out[i] = a[i] * b[i]
+		}
+	})
+}
+
+// Div computes out = a / b elementwise (vdDiv).
+func Div(n int, a, b, out []float64) {
+	checkLen(n, a, b, out)
+	parallelFor(n, func(lo, hi int) {
+		i := lo
+		for ; i+4 <= hi; i += 4 {
+			out[i] = a[i] / b[i]
+			out[i+1] = a[i+1] / b[i+1]
+			out[i+2] = a[i+2] / b[i+2]
+			out[i+3] = a[i+3] / b[i+3]
+		}
+		for ; i < hi; i++ {
+			out[i] = a[i] / b[i]
+		}
+	})
+}
+
+// MaxV computes out = max(a, b) elementwise (vdFmax).
+func MaxV(n int, a, b, out []float64) { binary(n, a, b, out, math.Max) }
+
+// MinV computes out = min(a, b) elementwise (vdFmin).
+func MinV(n int, a, b, out []float64) { binary(n, a, b, out, math.Min) }
+
+// Pow computes out = a^b elementwise (vdPow).
+func Pow(n int, a, b, out []float64) { binary(n, a, b, out, math.Pow) }
+
+// Atan2 computes out = atan2(a, b) elementwise (vdAtan2).
+func Atan2(n int, a, b, out []float64) { binary(n, a, b, out, math.Atan2) }
+
+// Hypot computes out = sqrt(a^2+b^2) elementwise (vdHypot).
+func Hypot(n int, a, b, out []float64) { binary(n, a, b, out, math.Hypot) }
+
+// Sqrt computes out = sqrt(a) elementwise (vdSqrt).
+func Sqrt(n int, a, out []float64) {
+	checkLen(n, a, out)
+	parallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = math.Sqrt(a[i])
+		}
+	})
+}
+
+// InvSqrt computes out = 1/sqrt(a) elementwise (vdInvSqrt).
+func InvSqrt(n int, a, out []float64) {
+	unary(n, a, out, func(x float64) float64 { return 1 / math.Sqrt(x) })
+}
+
+// Inv computes out = 1/a elementwise (vdInv).
+func Inv(n int, a, out []float64) { unary(n, a, out, func(x float64) float64 { return 1 / x }) }
+
+// Sqr computes out = a*a elementwise (vdSqr).
+func Sqr(n int, a, out []float64) { unary(n, a, out, func(x float64) float64 { return x * x }) }
+
+// Exp computes out = e^a elementwise (vdExp).
+func Exp(n int, a, out []float64) { unary(n, a, out, math.Exp) }
+
+// Ln computes out = ln(a) elementwise (vdLn).
+func Ln(n int, a, out []float64) { unary(n, a, out, math.Log) }
+
+// Log1p computes out = ln(1+a) elementwise (vdLog1p).
+func Log1p(n int, a, out []float64) { unary(n, a, out, math.Log1p) }
+
+// Log2 computes out = log2(a) elementwise (vdLog2).
+func Log2(n int, a, out []float64) { unary(n, a, out, math.Log2) }
+
+// Erf computes the error function elementwise (vdErf).
+func Erf(n int, a, out []float64) { unary(n, a, out, math.Erf) }
+
+// Erfc computes the complementary error function elementwise (vdErfc).
+func Erfc(n int, a, out []float64) { unary(n, a, out, math.Erfc) }
+
+// CdfNorm computes the standard normal CDF elementwise (vdCdfNorm).
+func CdfNorm(n int, a, out []float64) {
+	unary(n, a, out, func(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) })
+}
+
+// Abs computes out = |a| elementwise (vdAbs).
+func Abs(n int, a, out []float64) { unary(n, a, out, math.Abs) }
+
+// Sin computes out = sin(a) elementwise (vdSin).
+func Sin(n int, a, out []float64) { unary(n, a, out, math.Sin) }
+
+// Cos computes out = cos(a) elementwise (vdCos).
+func Cos(n int, a, out []float64) { unary(n, a, out, math.Cos) }
+
+// Floor computes out = floor(a) elementwise (vdFloor).
+func Floor(n int, a, out []float64) { unary(n, a, out, math.Floor) }
+
+// Neg computes out = -a elementwise.
+func Neg(n int, a, out []float64) { unary(n, a, out, func(x float64) float64 { return -x }) }
+
+// The xC variants apply a scalar constant elementwise, as in Intel IPP's
+// AddC family; the paper's workloads need scalar-vector forms.
+
+// AddC computes out = a + c.
+func AddC(n int, a []float64, c float64, out []float64) {
+	unary(n, a, out, func(x float64) float64 { return x + c })
+}
+
+// SubC computes out = a - c.
+func SubC(n int, a []float64, c float64, out []float64) {
+	unary(n, a, out, func(x float64) float64 { return x - c })
+}
+
+// SubCRev computes out = c - a.
+func SubCRev(n int, a []float64, c float64, out []float64) {
+	unary(n, a, out, func(x float64) float64 { return c - x })
+}
+
+// MulC computes out = a * c.
+func MulC(n int, a []float64, c float64, out []float64) {
+	unary(n, a, out, func(x float64) float64 { return x * c })
+}
+
+// DivC computes out = a / c.
+func DivC(n int, a []float64, c float64, out []float64) {
+	unary(n, a, out, func(x float64) float64 { return x / c })
+}
+
+// DivCRev computes out = c / a.
+func DivCRev(n int, a []float64, c float64, out []float64) {
+	unary(n, a, out, func(x float64) float64 { return c / x })
+}
+
+// CopyV copies the first n elements of a into out (cblas_dcopy).
+func CopyV(n int, a, out []float64) {
+	checkLen(n, a, out)
+	copy(out[:n], a[:n])
+}
+
+// Fill sets the first n elements of out to c.
+func Fill(n int, c float64, out []float64) {
+	checkLen(n, out)
+	parallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = c
+		}
+	})
+}
+
+// Select computes out[i] = ifTrue[i] when mask[i] != 0, else ifFalse[i]; a
+// vectorized ternary used by branch-free numeric code.
+func Select(n int, mask, ifTrue, ifFalse, out []float64) {
+	checkLen(n, mask, ifTrue, ifFalse, out)
+	parallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if mask[i] != 0 {
+				out[i] = ifTrue[i]
+			} else {
+				out[i] = ifFalse[i]
+			}
+		}
+	})
+}

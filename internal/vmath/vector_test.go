@@ -1,0 +1,304 @@
+package vmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()*4 + 0.25
+	}
+	return v
+}
+
+func close1(a, b float64) bool { return math.Abs(a-b) <= 1e-12*(1+math.Abs(b)) }
+
+func TestBinaryOps(t *testing.T) {
+	n := 1001 // odd length exercises the unroll tail
+	a, b := randVec(n, 1), randVec(n, 2)
+	out := make([]float64, n)
+	cases := []struct {
+		name string
+		op   func(int, []float64, []float64, []float64)
+		ref  func(x, y float64) float64
+	}{
+		{"Add", Add, func(x, y float64) float64 { return x + y }},
+		{"Sub", Sub, func(x, y float64) float64 { return x - y }},
+		{"Mul", Mul, func(x, y float64) float64 { return x * y }},
+		{"Div", Div, func(x, y float64) float64 { return x / y }},
+		{"MaxV", MaxV, math.Max},
+		{"MinV", MinV, math.Min},
+		{"Pow", Pow, math.Pow},
+		{"Atan2", Atan2, math.Atan2},
+		{"Hypot", Hypot, math.Hypot},
+	}
+	for _, c := range cases {
+		c.op(n, a, b, out)
+		for i := 0; i < n; i++ {
+			if !close1(out[i], c.ref(a[i], b[i])) {
+				t.Fatalf("%s[%d] = %v, want %v", c.name, i, out[i], c.ref(a[i], b[i]))
+			}
+		}
+	}
+}
+
+func TestUnaryOps(t *testing.T) {
+	n := 517
+	a := randVec(n, 3)
+	out := make([]float64, n)
+	cases := []struct {
+		name string
+		op   func(int, []float64, []float64)
+		ref  func(x float64) float64
+	}{
+		{"Sqrt", Sqrt, math.Sqrt},
+		{"InvSqrt", InvSqrt, func(x float64) float64 { return 1 / math.Sqrt(x) }},
+		{"Inv", Inv, func(x float64) float64 { return 1 / x }},
+		{"Sqr", Sqr, func(x float64) float64 { return x * x }},
+		{"Exp", Exp, math.Exp},
+		{"Ln", Ln, math.Log},
+		{"Log1p", Log1p, math.Log1p},
+		{"Log2", Log2, math.Log2},
+		{"Erf", Erf, math.Erf},
+		{"Erfc", Erfc, math.Erfc},
+		{"Abs", Abs, math.Abs},
+		{"Sin", Sin, math.Sin},
+		{"Cos", Cos, math.Cos},
+		{"Floor", Floor, math.Floor},
+		{"Neg", Neg, func(x float64) float64 { return -x }},
+		{"CdfNorm", CdfNorm, func(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }},
+	}
+	for _, c := range cases {
+		c.op(n, a, out)
+		for i := 0; i < n; i++ {
+			if !close1(out[i], c.ref(a[i])) {
+				t.Fatalf("%s[%d] = %v, want %v", c.name, i, out[i], c.ref(a[i]))
+			}
+		}
+	}
+}
+
+func TestScalarOps(t *testing.T) {
+	n := 321
+	a := randVec(n, 4)
+	out := make([]float64, n)
+	c := 2.5
+	AddC(n, a, c, out)
+	for i := range out[:n] {
+		if !close1(out[i], a[i]+c) {
+			t.Fatal("AddC")
+		}
+	}
+	SubC(n, a, c, out)
+	for i := range out[:n] {
+		if !close1(out[i], a[i]-c) {
+			t.Fatal("SubC")
+		}
+	}
+	SubCRev(n, a, c, out)
+	for i := range out[:n] {
+		if !close1(out[i], c-a[i]) {
+			t.Fatal("SubCRev")
+		}
+	}
+	MulC(n, a, c, out)
+	for i := range out[:n] {
+		if !close1(out[i], a[i]*c) {
+			t.Fatal("MulC")
+		}
+	}
+	DivC(n, a, c, out)
+	for i := range out[:n] {
+		if !close1(out[i], a[i]/c) {
+			t.Fatal("DivC")
+		}
+	}
+	DivCRev(n, a, c, out)
+	for i := range out[:n] {
+		if !close1(out[i], c/a[i]) {
+			t.Fatal("DivCRev")
+		}
+	}
+}
+
+func TestAliasedOut(t *testing.T) {
+	n := 64
+	a, b := randVec(n, 5), randVec(n, 6)
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = a[i] + b[i]
+	}
+	Add(n, a, b, a) // out aliases a, MKL-style in-place
+	for i := range a {
+		if !close1(a[i], want[i]) {
+			t.Fatal("aliased Add wrong")
+		}
+	}
+}
+
+func TestReductions(t *testing.T) {
+	n := 777
+	a, b := randVec(n, 7), randVec(n, 8)
+	var dot, sum, asum, nrm float64
+	for i := 0; i < n; i++ {
+		dot += a[i] * b[i]
+		sum += a[i]
+		asum += math.Abs(a[i])
+		nrm += a[i] * a[i]
+	}
+	if !close1(Dot(n, a, b), dot) {
+		t.Error("Dot")
+	}
+	if !close1(Sum(n, a), sum) {
+		t.Error("Sum")
+	}
+	if !close1(Asum(n, a), asum) {
+		t.Error("Asum")
+	}
+	if !close1(Nrm2(n, a), math.Sqrt(nrm)) {
+		t.Error("Nrm2")
+	}
+	if MaxReduce(n, a) != slowMax(a[:n]) {
+		t.Error("MaxReduce")
+	}
+	if MinReduce(n, a) != slowMin(a[:n]) {
+		t.Error("MinReduce")
+	}
+}
+
+func slowMax(a []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range a {
+		m = math.Max(m, x)
+	}
+	return m
+}
+
+func slowMin(a []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range a {
+		m = math.Min(m, x)
+	}
+	return m
+}
+
+func TestAxpyScal(t *testing.T) {
+	n := 100
+	x, y := randVec(n, 9), randVec(n, 10)
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = y[i] + 1.5*x[i]
+	}
+	Axpy(n, 1.5, x, y)
+	for i := range y {
+		if !close1(y[i], want[i]) {
+			t.Fatal("Axpy")
+		}
+	}
+	Scal(n, 2, y)
+	for i := range y {
+		if !close1(y[i], 2*want[i]) {
+			t.Fatal("Scal")
+		}
+	}
+}
+
+func TestSelectFill(t *testing.T) {
+	n := 50
+	mask := make([]float64, n)
+	for i := range mask {
+		mask[i] = float64(i % 2)
+	}
+	tr, fa := randVec(n, 11), randVec(n, 12)
+	out := make([]float64, n)
+	Select(n, mask, tr, fa, out)
+	for i := range out {
+		want := fa[i]
+		if i%2 == 1 {
+			want = tr[i]
+		}
+		if out[i] != want {
+			t.Fatal("Select")
+		}
+	}
+	Fill(n, 7, out)
+	for _, x := range out {
+		if x != 7 {
+			t.Fatal("Fill")
+		}
+	}
+}
+
+// TestInternalParallelismMatchesSerial: results are identical whatever the
+// library's internal thread count (MKL determinism for these kernels).
+func TestInternalParallelismMatchesSerial(t *testing.T) {
+	defer SetNumThreads(1)
+	n := parallelThreshold * 2
+	a, b := randVec(n, 13), randVec(n, 14)
+	serial := make([]float64, n)
+	SetNumThreads(1)
+	Add(n, a, b, serial)
+	par := make([]float64, n)
+	SetNumThreads(4)
+	Add(n, a, b, par)
+	for i := range par {
+		if serial[i] != par[i] {
+			t.Fatal("parallel Add differs from serial")
+		}
+	}
+	if !close1(Sum(n, a), func() float64 {
+		SetNumThreads(1)
+		return Sum(n, a)
+	}()) {
+		t.Fatal("parallel Sum differs")
+	}
+}
+
+func TestSetNumThreadsClamps(t *testing.T) {
+	defer SetNumThreads(1)
+	SetNumThreads(0)
+	if NumThreads() != 1 {
+		t.Fatal("SetNumThreads(0) should clamp to 1")
+	}
+	SetNumThreads(8)
+	if NumThreads() != 8 {
+		t.Fatal("SetNumThreads(8)")
+	}
+}
+
+func TestShortSlicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for short slice")
+		}
+	}()
+	Add(10, make([]float64, 5), make([]float64, 10), make([]float64, 10))
+}
+
+// TestQuickAddCommutes is a tiny algebraic property check of the kernels.
+func TestQuickAddCommutes(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		x := make([]float64, n)
+		y := make([]float64, n)
+		Add(n, a[:n], b[:n], x)
+		Add(n, b[:n], a[:n], y)
+		for i := range x {
+			if x[i] != y[i] && !(math.IsNaN(x[i]) && math.IsNaN(y[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+package weldsim
+
+import (
+	"sort"
+	"sync"
+)
+
+// Relational builders, standing in for Weld's dictmerger and the joins the
+// Pandas-on-Weld integration generated.
+
+// GroupAgg is a partial grouped aggregation keyed by string.
+type GroupAgg struct {
+	Sums   map[string]float64
+	Counts map[string]int64
+}
+
+// newGroupAgg allocates an empty partial.
+func newGroupAgg() *GroupAgg {
+	return &GroupAgg{Sums: map[string]float64{}, Counts: map[string]int64{}}
+}
+
+// merge folds o into g.
+func (g *GroupAgg) merge(o *GroupAgg) {
+	for k, v := range o.Sums {
+		g.Sums[k] += v
+	}
+	for k, v := range o.Counts {
+		g.Counts[k] += v
+	}
+}
+
+// Keys returns the group keys in sorted order.
+func (g *GroupAgg) Keys() []string {
+	out := make([]string, 0, len(g.Sums))
+	for k := range g.Sums {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Mean returns the mean for a key (NaN-free: zero count gives 0).
+func (g *GroupAgg) Mean(key string) float64 {
+	if g.Counts[key] == 0 {
+		return 0
+	}
+	return g.Sums[key] / float64(g.Counts[key])
+}
+
+// GroupSumByKey aggregates vals by string keys with parallel partial
+// dictionaries merged at the end (Weld's dictmerger[+]).
+func GroupSumByKey(keys []string, vals []float64, threads int) *GroupAgg {
+	ranges := parallelRanges(len(keys), threads)
+	partials := make([]*GroupAgg, len(ranges))
+	var wg sync.WaitGroup
+	for ri, r := range ranges {
+		wg.Add(1)
+		go func(ri, lo, hi int) {
+			defer wg.Done()
+			p := newGroupAgg()
+			for i := lo; i < hi; i++ {
+				p.Sums[keys[i]] += vals[i]
+				p.Counts[keys[i]]++
+			}
+			partials[ri] = p
+		}(ri, r[0], r[1])
+	}
+	wg.Wait()
+	acc := newGroupAgg()
+	for _, p := range partials {
+		acc.merge(p)
+	}
+	return acc
+}
+
+// HashJoinGather probes build (right key -> row) with probeKeys and returns
+// (probe row indices, build row indices) for inner-join matches. The build
+// dictionary is shared across threads, like a Weld dictionary broadcast.
+func HashJoinGather(probeKeys []int64, build map[int64]int32, threads int) (probeIdx, buildIdx []int32) {
+	ranges := parallelRanges(len(probeKeys), threads)
+	type pair struct{ p, b []int32 }
+	chunks := make([]pair, len(ranges))
+	var wg sync.WaitGroup
+	for ri, r := range ranges {
+		wg.Add(1)
+		go func(ri, lo, hi int) {
+			defer wg.Done()
+			var ps, bs []int32
+			for i := lo; i < hi; i++ {
+				if b, ok := build[probeKeys[i]]; ok {
+					ps = append(ps, int32(i))
+					bs = append(bs, b)
+				}
+			}
+			chunks[ri] = pair{ps, bs}
+		}(ri, r[0], r[1])
+	}
+	wg.Wait()
+	for _, c := range chunks {
+		probeIdx = append(probeIdx, c.p...)
+		buildIdx = append(buildIdx, c.b...)
+	}
+	return probeIdx, buildIdx
+}
+
+// BuildIndexI64 builds the join dictionary from key to first row index.
+func BuildIndexI64(keys []int64) map[int64]int32 {
+	out := make(map[int64]int32, len(keys))
+	for i, k := range keys {
+		if _, ok := out[k]; !ok {
+			out[k] = int32(i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,337 @@
+// Package weldsim is the repository's stand-in for the IR-based optimizing
+// compilers the paper compares against (Weld, Bohrium, Numba): a lazily
+// built expression DAG over vectors with loop fusion and parallel
+// execution.
+//
+// Like Weld, the engine's win is data movement: an arbitrarily long chain
+// of elementwise operators evaluates in a single pass with intermediates
+// kept in registers, so each source element is loaded from memory exactly
+// once. Unlike Weld, there is no JIT — fused expressions are interpreted
+// through composed closures, the closest pure-Go equivalent (the
+// substitution is documented in DESIGN.md). This preserves the comparison
+// the paper makes: fusion ≈ Mozart's pipelining for memory-bound chains,
+// while per-element interpretation overhead stands in for the cases where
+// generated code loses to hand-optimized kernels (§8.2, MKL workloads).
+package weldsim
+
+import (
+	"math"
+	"sync"
+)
+
+// Op enumerates IR node kinds.
+type Op int
+
+// IR node kinds.
+const (
+	opSource Op = iota
+	opConst
+	opUnary
+	opBinary
+	opSelect
+)
+
+// Vec is a lazily evaluated vector expression.
+type Vec struct {
+	node *node
+}
+
+type node struct {
+	op     Op
+	length int
+	data   []float64 // opSource
+	c      float64   // opConst
+	uf     func(x float64) float64
+	bf     func(x, y float64) float64
+	args   []*node
+}
+
+// Source wraps an existing vector as an IR leaf.
+func Source(data []float64) Vec {
+	return Vec{&node{op: opSource, length: len(data), data: data}}
+}
+
+// Const builds a broadcast constant of length n.
+func Const(c float64, n int) Vec {
+	return Vec{&node{op: opConst, length: n, c: c}}
+}
+
+// Len returns the vector length.
+func (v Vec) Len() int { return v.node.length }
+
+func (v Vec) unary(f func(float64) float64) Vec {
+	return Vec{&node{op: opUnary, length: v.node.length, uf: f, args: []*node{v.node}}}
+}
+
+func (v Vec) binary(o Vec, f func(x, y float64) float64) Vec {
+	if v.node.length != o.node.length {
+		panic("weldsim: length mismatch")
+	}
+	return Vec{&node{op: opBinary, length: v.node.length, bf: f, args: []*node{v.node, o.node}}}
+}
+
+// Add returns v + o.
+func (v Vec) Add(o Vec) Vec { return v.binary(o, func(x, y float64) float64 { return x + y }) }
+
+// Sub returns v - o.
+func (v Vec) Sub(o Vec) Vec { return v.binary(o, func(x, y float64) float64 { return x - y }) }
+
+// Mul returns v * o.
+func (v Vec) Mul(o Vec) Vec { return v.binary(o, func(x, y float64) float64 { return x * y }) }
+
+// Div returns v / o.
+func (v Vec) Div(o Vec) Vec { return v.binary(o, func(x, y float64) float64 { return x / y }) }
+
+// Max returns max(v, o).
+func (v Vec) Max(o Vec) Vec { return v.binary(o, math.Max) }
+
+// Min returns min(v, o).
+func (v Vec) Min(o Vec) Vec { return v.binary(o, math.Min) }
+
+// Pow returns v^o.
+func (v Vec) Pow(o Vec) Vec { return v.binary(o, math.Pow) }
+
+// Atan2 returns atan2(v, o).
+func (v Vec) Atan2(o Vec) Vec { return v.binary(o, math.Atan2) }
+
+// Gt returns the v > o mask as 0/1.
+func (v Vec) Gt(o Vec) Vec {
+	return v.binary(o, func(x, y float64) float64 {
+		if x > y {
+			return 1
+		}
+		return 0
+	})
+}
+
+// AddS returns v + c.
+func (v Vec) AddS(c float64) Vec { return v.unary(func(x float64) float64 { return x + c }) }
+
+// SubS returns v - c.
+func (v Vec) SubS(c float64) Vec { return v.unary(func(x float64) float64 { return x - c }) }
+
+// RSubS returns c - v.
+func (v Vec) RSubS(c float64) Vec { return v.unary(func(x float64) float64 { return c - x }) }
+
+// MulS returns v * c.
+func (v Vec) MulS(c float64) Vec { return v.unary(func(x float64) float64 { return x * c }) }
+
+// DivS returns v / c.
+func (v Vec) DivS(c float64) Vec { return v.unary(func(x float64) float64 { return x / c }) }
+
+// RDivS returns c / v.
+func (v Vec) RDivS(c float64) Vec { return v.unary(func(x float64) float64 { return c / x }) }
+
+// GtS returns the v > c mask as 0/1.
+func (v Vec) GtS(c float64) Vec {
+	return v.unary(func(x float64) float64 {
+		if x > c {
+			return 1
+		}
+		return 0
+	})
+}
+
+// LtS returns the v < c mask as 0/1.
+func (v Vec) LtS(c float64) Vec {
+	return v.unary(func(x float64) float64 {
+		if x < c {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Sqrt returns sqrt(v).
+func (v Vec) Sqrt() Vec { return v.unary(math.Sqrt) }
+
+// Exp returns e^v.
+func (v Vec) Exp() Vec { return v.unary(math.Exp) }
+
+// Log returns ln(v).
+func (v Vec) Log() Vec { return v.unary(math.Log) }
+
+// Log1p returns ln(1+v).
+func (v Vec) Log1p() Vec { return v.unary(math.Log1p) }
+
+// Log2 returns log2(v).
+func (v Vec) Log2() Vec { return v.unary(math.Log2) }
+
+// Erf returns erf(v).
+func (v Vec) Erf() Vec { return v.unary(math.Erf) }
+
+// CdfNorm returns the standard normal CDF of v.
+func (v Vec) CdfNorm() Vec {
+	return v.unary(func(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) })
+}
+
+// Abs returns |v|.
+func (v Vec) Abs() Vec { return v.unary(math.Abs) }
+
+// Neg returns -v.
+func (v Vec) Neg() Vec { return v.unary(func(x float64) float64 { return -x }) }
+
+// Sin returns sin(v).
+func (v Vec) Sin() Vec { return v.unary(math.Sin) }
+
+// Cos returns cos(v).
+func (v Vec) Cos() Vec { return v.unary(math.Cos) }
+
+// Square returns v*v.
+func (v Vec) Square() Vec { return v.unary(func(x float64) float64 { return x * x }) }
+
+// Select returns mask != 0 ? tr : fa, elementwise.
+func (v Vec) Select(tr, fa Vec) Vec {
+	if v.node.length != tr.node.length || v.node.length != fa.node.length {
+		panic("weldsim: length mismatch")
+	}
+	return Vec{&node{op: opSelect, length: v.node.length, args: []*node{v.node, tr.node, fa.node}}}
+}
+
+// compile fuses the expression tree into a single per-element closure —
+// the interpretive analogue of Weld's generated fused loop.
+func compile(n *node) func(i int) float64 {
+	switch n.op {
+	case opSource:
+		data := n.data
+		return func(i int) float64 { return data[i] }
+	case opConst:
+		c := n.c
+		return func(int) float64 { return c }
+	case opUnary:
+		arg := compile(n.args[0])
+		f := n.uf
+		return func(i int) float64 { return f(arg(i)) }
+	case opBinary:
+		a, b := compile(n.args[0]), compile(n.args[1])
+		f := n.bf
+		return func(i int) float64 { return f(a(i), b(i)) }
+	case opSelect:
+		m, tr, fa := compile(n.args[0]), compile(n.args[1]), compile(n.args[2])
+		return func(i int) float64 {
+			if m(i) != 0 {
+				return tr(i)
+			}
+			return fa(i)
+		}
+	}
+	panic("weldsim: unknown op")
+}
+
+// parallelRanges partitions [0, n) into near-equal contiguous chunks.
+func parallelRanges(n, threads int) [][2]int {
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > n {
+		threads = n
+	}
+	if threads == 0 {
+		return nil
+	}
+	per, rem := n/threads, n%threads
+	out := make([][2]int, 0, threads)
+	lo := 0
+	for i := 0; i < threads; i++ {
+		hi := lo + per
+		if i < rem {
+			hi++
+		}
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}
+
+// Eval materializes the outputs in one fused parallel pass. All outputs
+// must share a length; every source element is read exactly once per
+// output expression and intermediates never touch memory.
+func Eval(threads int, outs ...Vec) [][]float64 {
+	if len(outs) == 0 {
+		return nil
+	}
+	n := outs[0].Len()
+	for _, o := range outs {
+		if o.Len() != n {
+			panic("weldsim: Eval outputs must share a length")
+		}
+	}
+	fns := make([]func(int) float64, len(outs))
+	for i, o := range outs {
+		fns[i] = compile(o.node)
+	}
+	results := make([][]float64, len(outs))
+	for i := range results {
+		results[i] = make([]float64, n)
+	}
+	var wg sync.WaitGroup
+	for _, r := range parallelRanges(n, threads) {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				for o, f := range fns {
+					results[o][i] = f(i)
+				}
+			}
+		}(r[0], r[1])
+	}
+	wg.Wait()
+	return results
+}
+
+// Sum reduces the expression with a fused parallel sum.
+func (v Vec) Sum(threads int) float64 {
+	f := compile(v.node)
+	ranges := parallelRanges(v.Len(), threads)
+	partials := make([]float64, len(ranges))
+	var wg sync.WaitGroup
+	for ri, r := range ranges {
+		wg.Add(1)
+		go func(ri, lo, hi int) {
+			defer wg.Done()
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += f(i)
+			}
+			partials[ri] = s
+		}(ri, r[0], r[1])
+	}
+	wg.Wait()
+	total := 0.0
+	for _, p := range partials {
+		total += p
+	}
+	return total
+}
+
+// FilterPack evaluates v where mask is non-zero and packs the survivors,
+// preserving order (Weld's filter builder).
+func FilterPack(v, mask Vec, threads int) []float64 {
+	if v.Len() != mask.Len() {
+		panic("weldsim: FilterPack length mismatch")
+	}
+	fv, fm := compile(v.node), compile(mask.node)
+	ranges := parallelRanges(v.Len(), threads)
+	chunks := make([][]float64, len(ranges))
+	var wg sync.WaitGroup
+	for ri, r := range ranges {
+		wg.Add(1)
+		go func(ri, lo, hi int) {
+			defer wg.Done()
+			var out []float64
+			for i := lo; i < hi; i++ {
+				if fm(i) != 0 {
+					out = append(out, fv(i))
+				}
+			}
+			chunks[ri] = out
+		}(ri, r[0], r[1])
+	}
+	wg.Wait()
+	var out []float64
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package weldsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64()*3 + 0.2
+	}
+	return v
+}
+
+func TestFusedElementwise(t *testing.T) {
+	n := 1003
+	a, b := randVec(n, 1), randVec(n, 2)
+	expr := Source(a).Log1p().Add(Source(b)).Div(Source(b).Sqrt()).MulS(2)
+	got := Eval(3, expr)[0]
+	for i := 0; i < n; i++ {
+		want := (math.Log1p(a[i]) + b[i]) / math.Sqrt(b[i]) * 2
+		if math.Abs(got[i]-want) > 1e-12*(1+math.Abs(want)) {
+			t.Fatalf("idx %d: %v want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestAllOps(t *testing.T) {
+	n := 257
+	a, b := randVec(n, 3), randVec(n, 4)
+	va, vb := Source(a), Source(b)
+	cases := []struct {
+		name string
+		expr Vec
+		ref  func(i int) float64
+	}{
+		{"Add", va.Add(vb), func(i int) float64 { return a[i] + b[i] }},
+		{"Sub", va.Sub(vb), func(i int) float64 { return a[i] - b[i] }},
+		{"Mul", va.Mul(vb), func(i int) float64 { return a[i] * b[i] }},
+		{"Div", va.Div(vb), func(i int) float64 { return a[i] / b[i] }},
+		{"Max", va.Max(vb), func(i int) float64 { return math.Max(a[i], b[i]) }},
+		{"Min", va.Min(vb), func(i int) float64 { return math.Min(a[i], b[i]) }},
+		{"Pow", va.Pow(vb), func(i int) float64 { return math.Pow(a[i], b[i]) }},
+		{"Atan2", va.Atan2(vb), func(i int) float64 { return math.Atan2(a[i], b[i]) }},
+		{"Gt", va.Gt(vb), func(i int) float64 {
+			if a[i] > b[i] {
+				return 1
+			}
+			return 0
+		}},
+		{"AddS", va.AddS(2), func(i int) float64 { return a[i] + 2 }},
+		{"SubS", va.SubS(2), func(i int) float64 { return a[i] - 2 }},
+		{"RSubS", va.RSubS(2), func(i int) float64 { return 2 - a[i] }},
+		{"MulS", va.MulS(2), func(i int) float64 { return a[i] * 2 }},
+		{"DivS", va.DivS(2), func(i int) float64 { return a[i] / 2 }},
+		{"RDivS", va.RDivS(2), func(i int) float64 { return 2 / a[i] }},
+		{"GtS", va.GtS(1), func(i int) float64 {
+			if a[i] > 1 {
+				return 1
+			}
+			return 0
+		}},
+		{"LtS", va.LtS(1), func(i int) float64 {
+			if a[i] < 1 {
+				return 1
+			}
+			return 0
+		}},
+		{"Sqrt", va.Sqrt(), func(i int) float64 { return math.Sqrt(a[i]) }},
+		{"Exp", va.Exp(), func(i int) float64 { return math.Exp(a[i]) }},
+		{"Log", va.Log(), func(i int) float64 { return math.Log(a[i]) }},
+		{"Log1p", va.Log1p(), func(i int) float64 { return math.Log1p(a[i]) }},
+		{"Log2", va.Log2(), func(i int) float64 { return math.Log2(a[i]) }},
+		{"Erf", va.Erf(), func(i int) float64 { return math.Erf(a[i]) }},
+		{"CdfNorm", va.CdfNorm(), func(i int) float64 { return 0.5 * math.Erfc(-a[i]/math.Sqrt2) }},
+		{"Abs", va.Abs(), func(i int) float64 { return math.Abs(a[i]) }},
+		{"Neg", va.Neg(), func(i int) float64 { return -a[i] }},
+		{"Sin", va.Sin(), func(i int) float64 { return math.Sin(a[i]) }},
+		{"Cos", va.Cos(), func(i int) float64 { return math.Cos(a[i]) }},
+		{"Square", va.Square(), func(i int) float64 { return a[i] * a[i] }},
+		{"Select", va.Gt(vb).Select(va, vb), func(i int) float64 {
+			if a[i] > b[i] {
+				return a[i]
+			}
+			return b[i]
+		}},
+		{"Const", Const(7, n), func(i int) float64 { return 7 }},
+	}
+	for _, c := range cases {
+		got := Eval(2, c.expr)[0]
+		for i := 0; i < n; i++ {
+			if want := c.ref(i); math.Abs(got[i]-want) > 1e-12*(1+math.Abs(want)) {
+				t.Fatalf("%s idx %d: %v want %v", c.name, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestMultiOutputSinglePass(t *testing.T) {
+	n := 500
+	a := randVec(n, 5)
+	va := Source(a)
+	outs := Eval(4, va.MulS(2), va.AddS(1))
+	for i := 0; i < n; i++ {
+		if outs[0][i] != a[i]*2 || outs[1][i] != a[i]+1 {
+			t.Fatal("multi-output")
+		}
+	}
+}
+
+func TestSumAndThreads(t *testing.T) {
+	n := 4001
+	a := randVec(n, 6)
+	want := 0.0
+	for _, x := range a {
+		want += x * x
+	}
+	for _, threads := range []int{1, 2, 7} {
+		got := Source(a).Square().Sum(threads)
+		if math.Abs(got-want) > 1e-7*(1+want) {
+			t.Fatalf("threads=%d: %v want %v", threads, got, want)
+		}
+	}
+}
+
+func TestFilterPack(t *testing.T) {
+	n := 999
+	a := randVec(n, 7)
+	va := Source(a)
+	got := FilterPack(va.MulS(10), va.GtS(2), 3)
+	var want []float64
+	for _, x := range a {
+		if x > 2 {
+			want = append(want, x*10)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("len %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("FilterPack order/content")
+		}
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Source(make([]float64, 3)).Add(Source(make([]float64, 4)))
+}
+
+func TestGroupSumByKey(t *testing.T) {
+	keys := []string{"a", "b", "a", "c", "b", "a"}
+	vals := []float64{1, 2, 3, 4, 5, 6}
+	g := GroupSumByKey(keys, vals, 3)
+	if g.Sums["a"] != 10 || g.Counts["a"] != 3 || g.Sums["c"] != 4 {
+		t.Fatalf("sums %v counts %v", g.Sums, g.Counts)
+	}
+	if math.Abs(g.Mean("b")-3.5) > 1e-12 || g.Mean("zzz") != 0 {
+		t.Fatal("Mean")
+	}
+	ks := g.Keys()
+	if len(ks) != 3 || ks[0] != "a" || ks[2] != "c" {
+		t.Fatalf("Keys %v", ks)
+	}
+}
+
+func TestHashJoinGather(t *testing.T) {
+	build := BuildIndexI64([]int64{10, 20, 30, 20})
+	if build[20] != 1 {
+		t.Fatal("BuildIndexI64 keeps first")
+	}
+	probe := []int64{20, 99, 10, 30, 20}
+	p, b := HashJoinGather(probe, build, 2)
+	if len(p) != 4 || len(b) != 4 {
+		t.Fatalf("matches %d", len(p))
+	}
+	if p[0] != 0 || b[0] != 1 || p[1] != 2 || b[1] != 0 {
+		t.Fatalf("gather %v %v", p, b)
+	}
+}
+
+// TestParallelRanges covers chunk partitioning edge cases.
+func TestParallelRanges(t *testing.T) {
+	if got := parallelRanges(10, 3); len(got) != 3 || got[0] != [2]int{0, 4} || got[2] != [2]int{7, 10} {
+		t.Fatalf("ranges %v", got)
+	}
+	if got := parallelRanges(2, 8); len(got) != 2 {
+		t.Fatal("threads clamp to n")
+	}
+	if got := parallelRanges(0, 4); len(got) != 0 {
+		t.Fatal("empty input")
+	}
+	if got := parallelRanges(5, 0); len(got) != 1 {
+		t.Fatal("zero threads clamp to 1")
+	}
+}

@@ -1,0 +1,315 @@
+package workloads
+
+import (
+	"math"
+
+	"mozart/internal/annotations/tensorsa"
+	"mozart/internal/annotations/vmathsa"
+	"mozart/internal/core"
+	"mozart/internal/data"
+	"mozart/internal/memsim"
+	"mozart/internal/tensor"
+	"mozart/internal/vmath"
+	"mozart/internal/weldsim"
+)
+
+// Black Scholes option pricing (§2.1, Figure 1, Figure 4a/4j): 32 vector
+// math calls computing call/put prices plus vega and gamma over option
+// grids. The MKL variant uses in-place vmath buffers; the NumPy variant
+// uses out-of-place tensor ops.
+
+const (
+	bsRiskFree = 0.02
+	bsVol      = 0.3
+	invSqrt2Pi = 0.3989422804014327
+)
+
+// bsVmath runs the 32-call vmath sequence through `call`, which either
+// invokes the library directly (Base) or registers annotated calls
+// (Mozart). It returns the four result vectors.
+type vmathBackend struct {
+	unary  func(name string, n int, a, out []float64)
+	binary func(name string, n int, a, b, out []float64)
+	scalar func(name string, n int, a []float64, c float64, out []float64)
+	fill   func(n int, c float64, out []float64)
+}
+
+func baseVmathBackend() vmathBackend {
+	us := map[string]func(int, []float64, []float64){
+		"ln": vmath.Ln, "sqrt": vmath.Sqrt, "cdfnorm": vmath.CdfNorm,
+		"exp": vmath.Exp, "sqr": vmath.Sqr,
+	}
+	bs := map[string]func(int, []float64, []float64, []float64){
+		"div": vmath.Div, "add": vmath.Add, "sub": vmath.Sub,
+		"mul": vmath.Mul, "fmax": vmath.MaxV,
+	}
+	ss := map[string]func(int, []float64, float64, []float64){
+		"mulc": vmath.MulC, "subcrev": vmath.SubCRev,
+	}
+	return vmathBackend{
+		unary:  func(name string, n int, a, out []float64) { us[name](n, a, out) },
+		binary: func(name string, n int, a, b, out []float64) { bs[name](n, a, b, out) },
+		scalar: func(name string, n int, a []float64, c float64, out []float64) { ss[name](n, a, c, out) },
+		fill:   vmath.Fill,
+	}
+}
+
+func mozartVmathBackend(s *core.Session) vmathBackend {
+	us := map[string]func(*core.Session, int, any, any){
+		"ln": vmathsa.Ln, "sqrt": vmathsa.Sqrt, "cdfnorm": vmathsa.CdfNorm,
+		"exp": vmathsa.Exp, "sqr": vmathsa.Sqr,
+	}
+	bs := map[string]func(*core.Session, int, any, any, any){
+		"div": vmathsa.Div, "add": vmathsa.Add, "sub": vmathsa.Sub,
+		"mul": vmathsa.Mul, "fmax": vmathsa.MaxV,
+	}
+	ss := map[string]func(*core.Session, int, any, float64, any){
+		"mulc": vmathsa.MulC, "subcrev": vmathsa.SubCRev,
+	}
+	return vmathBackend{
+		unary:  func(name string, n int, a, out []float64) { us[name](s, n, a, out) },
+		binary: func(name string, n int, a, b, out []float64) { bs[name](s, n, a, b, out) },
+		scalar: func(name string, n int, a []float64, c float64, out []float64) { ss[name](s, n, a, c, out) },
+		fill:   func(n int, c float64, out []float64) { vmath.Fill(n, c, out) },
+	}
+}
+
+// bsVmathProgram is the 32-call Black Scholes program over the backend,
+// written MKL-sample style: a small set of full-length buffers reused
+// across calls (d1, d2, two temporaries, and the four outputs).
+func bsVmathProgram(be vmathBackend, price, strike, tt []float64) (call, put, vega, gamma []float64) {
+	n := len(price)
+	alloc := func() []float64 { return make([]float64, n) }
+	d1, d2, t1, t2, zeros := alloc(), alloc(), alloc(), alloc(), alloc()
+	call, put = alloc(), alloc()
+	vega, gamma = alloc(), alloc()
+
+	be.fill(n, 0, zeros)                                   // 1
+	be.binary("div", n, price, strike, d1)                 // 2
+	be.unary("ln", n, d1, d1)                              // 3
+	be.unary("sqrt", n, tt, t1)                            // 4: t1 = vol*sqrt(t)
+	be.scalar("mulc", n, t1, bsVol, t1)                    // 5
+	be.scalar("mulc", n, tt, bsRiskFree+bsVol*bsVol/2, t2) // 6
+	be.binary("add", n, d1, t2, d1)                        // 7
+	be.binary("div", n, d1, t1, d1)                        // 8: d1
+	be.binary("sub", n, d1, t1, d2)                        // 9: d2
+	be.unary("sqr", n, d1, gamma)                          // 10: pdf scratch
+	be.scalar("mulc", n, gamma, -0.5, gamma)               // 11
+	be.unary("exp", n, gamma, gamma)                       // 12
+	be.scalar("mulc", n, gamma, invSqrt2Pi, gamma)         // 13: pdf(d1)
+	be.binary("mul", n, price, gamma, vega)                // 14
+	be.binary("mul", n, vega, t1, vega)                    // 15: vega
+	be.binary("div", n, gamma, t1, gamma)                  // 16
+	be.binary("div", n, gamma, price, gamma)               // 17: gamma
+	be.unary("cdfnorm", n, d1, d1)                         // 18: nd1
+	be.unary("cdfnorm", n, d2, d2)                         // 19: nd2
+	be.scalar("mulc", n, tt, -bsRiskFree, t2)              // 20
+	be.unary("exp", n, t2, t2)                             // 21
+	be.binary("mul", n, strike, t2, t2)                    // 22: e
+	be.binary("mul", n, price, d1, call)                   // 23
+	be.binary("mul", n, t2, d2, put)                       // 24
+	be.binary("sub", n, call, put, call)                   // 25: call
+	be.scalar("subcrev", n, d1, 1, d1)                     // 26: 1-nd1
+	be.scalar("subcrev", n, d2, 1, d2)                     // 27: 1-nd2
+	be.binary("mul", n, t2, d2, d2)                        // 28: e*(1-nd2)
+	be.binary("mul", n, price, d1, d1)                     // 29: s*(1-nd1)
+	be.binary("sub", n, d2, d1, put)                       // 30: put
+	be.binary("fmax", n, call, zeros, call)                // 31
+	be.binary("fmax", n, put, zeros, put)                  // 32
+	return call, put, vega, gamma
+}
+
+// bsOperators is the Table 2 call count for Black Scholes.
+const bsOperators = 32
+
+func bsChecksum(call, put, vega, gamma []float64) float64 {
+	return sumOf(call) + sumOf(put) + sumOf(vega) + sumOf(gamma)
+}
+
+func runBSVmath(v Variant, cfg Config) (float64, error) {
+	price, strike, tt := data.OptionsData(cfg.Scale, 11)
+	switch v {
+	case Base:
+		old := vmath.NumThreads()
+		vmath.SetNumThreads(cfg.Threads)
+		defer vmath.SetNumThreads(old)
+		call, put, vega, gamma := bsVmathProgram(baseVmathBackend(), price, strike, tt)
+		return bsChecksum(call, put, vega, gamma), nil
+	case Mozart, MozartNoPipe:
+		s := cfg.session()
+		if v == MozartNoPipe {
+			s = cfg.sessionNoPipe()
+		}
+		call, put, vega, gamma := bsVmathProgram(mozartVmathBackend(s), price, strike, tt)
+		if err := s.Evaluate(); err != nil {
+			return 0, err
+		}
+		return bsChecksum(call, put, vega, gamma), nil
+	case Weld:
+		call, put, vega, gamma := bsWeld(price, strike, tt, cfg.Threads)
+		return bsChecksum(call, put, vega, gamma), nil
+	}
+	return 0, errUnsupported(v)
+}
+
+// bsWeld builds the whole computation as one fused expression DAG.
+func bsWeld(price, strike, tt []float64, threads int) (call, put, vega, gamma []float64) {
+	s, k, t := weldsim.Source(price), weldsim.Source(strike), weldsim.Source(tt)
+	vst := t.Sqrt().MulS(bsVol)
+	d1 := s.Div(k).Log().Add(t.MulS(bsRiskFree + bsVol*bsVol/2)).Div(vst)
+	d2 := d1.Sub(vst)
+	nd1, nd2 := d1.CdfNorm(), d2.CdfNorm()
+	e := k.Mul(t.MulS(-bsRiskFree).Exp())
+	callE := s.Mul(nd1).Sub(e.Mul(nd2)).Max(weldsim.Const(0, len(price)))
+	putE := e.Mul(nd2.RSubS(1)).Sub(s.Mul(nd1.RSubS(1))).Max(weldsim.Const(0, len(price)))
+	pdf := d1.Square().MulS(-0.5).Exp().MulS(invSqrt2Pi)
+	vegaE := s.Mul(pdf).Mul(vst)
+	gammaE := pdf.Div(vst).Div(s)
+	outs := weldsim.Eval(threads, callE, putE, vegaE, gammaE)
+	return outs[0], outs[1], outs[2], outs[3]
+}
+
+// runBSTensor is the NumPy variant: out-of-place ops on ndarray.
+func runBSTensor(v Variant, cfg Config) (float64, error) {
+	p, k, t := data.OptionsData(cfg.Scale, 11)
+	price := tensor.FromSlice(p, len(p))
+	strike := tensor.FromSlice(k, len(k))
+	tt := tensor.FromSlice(t, len(t))
+	switch v {
+	case Base:
+		vst := tensor.MulS(tensor.Sqrt(tt), bsVol)
+		d1 := tensor.Div(tensor.Add(tensor.Log(tensor.Div(price, strike)), tensor.MulS(tt, bsRiskFree+bsVol*bsVol/2)), vst)
+		d2 := tensor.Sub(d1, vst)
+		nd1 := cdfNormT(d1)
+		nd2 := cdfNormT(d2)
+		e := tensor.Mul(strike, tensor.Exp(tensor.MulS(tt, -bsRiskFree)))
+		call := tensor.Maximum(tensor.Sub(tensor.Mul(price, nd1), tensor.Mul(e, nd2)), tensor.New(len(p)))
+		put := tensor.Maximum(tensor.Sub(tensor.Mul(e, tensor.RSubS(nd2, 1)), tensor.Mul(price, tensor.RSubS(nd1, 1))), tensor.New(len(p)))
+		pdf := tensor.MulS(tensor.Exp(tensor.MulS(tensor.Square(d1), -0.5)), invSqrt2Pi)
+		vega := tensor.Mul(tensor.Mul(price, pdf), vst)
+		gamma := tensor.Div(tensor.Div(pdf, vst), price)
+		return bsChecksum(call.Data, put.Data, vega.Data, gamma.Data), nil
+	case Mozart, MozartNoPipe:
+		s := cfg.session()
+		if v == MozartNoPipe {
+			s = cfg.sessionNoPipe()
+		}
+		vst := tensorsa.MulS(s, tensorsa.Sqrt(s, tt), bsVol)
+		d1 := tensorsa.Div(s, tensorsa.Add(s, tensorsa.Log(s, tensorsa.Div(s, price, strike)), tensorsa.MulS(s, tt, bsRiskFree+bsVol*bsVol/2)), vst)
+		d2 := tensorsa.Sub(s, d1, vst)
+		nd1 := cdfNormSA(s, d1)
+		nd2 := cdfNormSA(s, d2)
+		e := tensorsa.Mul(s, strike, tensorsa.Exp(s, tensorsa.MulS(s, tt, -bsRiskFree)))
+		call := tensorsa.Maximum(s, tensorsa.Sub(s, tensorsa.Mul(s, price, nd1), tensorsa.Mul(s, e, nd2)), tensor.New(len(p)))
+		put := tensorsa.Maximum(s, tensorsa.Sub(s, tensorsa.Mul(s, e, tensorsa.RSubS(s, nd2, 1)), tensorsa.Mul(s, price, tensorsa.RSubS(s, nd1, 1))), tensor.New(len(p)))
+		pdf := tensorsa.MulS(s, tensorsa.Exp(s, tensorsa.MulS(s, tensorsa.Square(s, d1), -0.5)), invSqrt2Pi)
+		vega := tensorsa.Mul(s, tensorsa.Mul(s, price, pdf), vst)
+		gamma := tensorsa.Div(s, tensorsa.Div(s, pdf, vst), price)
+		cv, err := call.Get()
+		if err != nil {
+			return 0, err
+		}
+		pv, _ := put.Get()
+		vv, _ := vega.Get()
+		gv, _ := gamma.Get()
+		return bsChecksum(cv.(*tensor.NDArray).Data, pv.(*tensor.NDArray).Data,
+			vv.(*tensor.NDArray).Data, gv.(*tensor.NDArray).Data), nil
+	case Weld:
+		call, put, vega, gamma := bsWeld(p, k, t, cfg.Threads)
+		return bsChecksum(call, put, vega, gamma), nil
+	}
+	return 0, errUnsupported(v)
+}
+
+// cdfNormT computes the standard normal CDF via erf on tensors.
+func cdfNormT(x *tensor.NDArray) *tensor.NDArray {
+	return tensor.MulS(tensor.AddS(tensor.Erf(tensor.DivS(x, math.Sqrt2)), 1), 0.5)
+}
+
+func cdfNormSA(s *core.Session, x any) *core.Future {
+	return tensorsa.MulS(s, tensorsa.AddS(s, tensorsa.Erf(s, tensorsa.DivS(s, x, math.Sqrt2)), 1), 0.5)
+}
+
+// bsModelOps is the memsim plan of the 32-call sequence, matching the
+// buffer reuse of bsVmathProgram.
+func bsModelOps() []opSpec {
+	const (
+		price, strike, tt = 0, 1, 2
+		d1, d2, t1, t2    = 3, 4, 5, 6
+		zeros             = 7
+		call, put         = 8, 9
+		vega, gamma       = 10, 11
+	)
+	return []opSpec{
+		op("fill", cycAdd, nil, []int{zeros}),
+		op("div", cycDiv, []int{price, strike}, []int{d1}),
+		op("ln", cycLn, []int{d1}, []int{d1}),
+		op("sqrt", cycSqrt, []int{tt}, []int{t1}),
+		op("mulc", cycMul, []int{t1}, []int{t1}),
+		op("mulc", cycMul, []int{tt}, []int{t2}),
+		op("add", cycAdd, []int{d1, t2}, []int{d1}),
+		op("div", cycDiv, []int{d1, t1}, []int{d1}),
+		op("sub", cycAdd, []int{d1, t1}, []int{d2}),
+		op("sqr", cycMul, []int{d1}, []int{gamma}),
+		op("mulc", cycMul, []int{gamma}, []int{gamma}),
+		op("exp", cycExp, []int{gamma}, []int{gamma}),
+		op("mulc", cycMul, []int{gamma}, []int{gamma}),
+		op("mul", cycMul, []int{price, gamma}, []int{vega}),
+		op("mul", cycMul, []int{vega, t1}, []int{vega}),
+		op("div", cycDiv, []int{gamma, t1}, []int{gamma}),
+		op("div", cycDiv, []int{gamma, price}, []int{gamma}),
+		op("cdfnorm", cycErf, []int{d1}, []int{d1}),
+		op("cdfnorm", cycErf, []int{d2}, []int{d2}),
+		op("mulc", cycMul, []int{tt}, []int{t2}),
+		op("exp", cycExp, []int{t2}, []int{t2}),
+		op("mul", cycMul, []int{strike, t2}, []int{t2}),
+		op("mul", cycMul, []int{price, d1}, []int{call}),
+		op("mul", cycMul, []int{t2, d2}, []int{put}),
+		op("sub", cycAdd, []int{call, put}, []int{call}),
+		op("subcrev", cycAdd, []int{d1}, []int{d1}),
+		op("subcrev", cycAdd, []int{d2}, []int{d2}),
+		op("mul", cycMul, []int{t2, d2}, []int{d2}),
+		op("mul", cycMul, []int{price, d1}, []int{d1}),
+		op("sub", cycAdd, []int{d2, d1}, []int{put}),
+		op("fmax", cycCmp, []int{call, zeros}, []int{call}),
+		op("fmax", cycCmp, []int{put, zeros}, []int{put}),
+	}
+}
+
+func init() {
+	register(Spec{
+		Name:         "blackscholes-numpy",
+		Library:      "NumPy",
+		Description:  "Black Scholes option pricing over ndarray vector math (Fig. 4a)",
+		Operators:    bsOperators,
+		Variants:     []Variant{Base, Mozart, MozartNoPipe, Weld},
+		Run:          runBSTensor,
+		DefaultScale: 1 << 22,
+		Model: func(v Variant, cfg Config) *memsim.Workload {
+			return chainModelAlloc("blackscholes-numpy", bsModelOps(), int64(cfg.Scale), 8, v, cfg.Batch)
+		},
+	})
+	register(Spec{
+		Name:         "blackscholes-mkl",
+		Library:      "MKL",
+		Description:  "Black Scholes option pricing over MKL-style vector math (Fig. 1, 4j)",
+		Operators:    bsOperators,
+		BaseParallel: true,
+		Variants:     []Variant{Base, Mozart, MozartNoPipe, Weld},
+		Run:          runBSVmath,
+		DefaultScale: 1 << 22,
+		Model: func(v Variant, cfg Config) *memsim.Workload {
+			return chainModel("blackscholes-mkl", bsModelOps(), int64(cfg.Scale), 8, v, cfg.Batch)
+		},
+	})
+}
+
+func errUnsupported(v Variant) error {
+	return &unsupportedError{v}
+}
+
+type unsupportedError struct{ v Variant }
+
+func (e *unsupportedError) Error() string {
+	return "workloads: variant " + string(e.v) + " not supported"
+}

@@ -1,0 +1,86 @@
+package workloads
+
+import (
+	"mozart/internal/annotations/framesa"
+	"mozart/internal/data"
+	"mozart/internal/frame"
+	"mozart/internal/memsim"
+)
+
+// Data Cleaning (Figure 4e): the Pandas-cookbook 311-requests zip cleanup:
+// slice zips to five digits, null out junk values ("NO CLUE", "N/A", "0"),
+// and count what remains. 8 library calls, all row-local, fully
+// pipelineable.
+
+const dcOperators = 8
+
+// dcClean is the cleaning chain over the frame library.
+func dcClean(zips *frame.Series) (*frame.Series, int64) {
+	sliced := frame.StrSlice(zips, 0, 5)            // 1
+	junk := frame.InStrings(sliced, "NO CL", "N/A") // 2
+	zero := frame.EqString(sliced, "0")             // 3
+	bad := frame.Or(junk, zero)                     // 4
+	cleaned := frame.MaskToNull(sliced, bad)        // 5
+	short := frame.StrLenGt(cleaned, 4)             // 6: well-formed mask
+	_ = short
+	nulls := frame.IsNull(cleaned) // 7
+	_ = nulls
+	return cleaned, frame.CountValid(cleaned) // 8
+}
+
+func runDataCleaning(v Variant, cfg Config) (float64, error) {
+	df := data.ServiceRequests(cfg.Scale, 51)
+	zips := df.Col("Incident Zip")
+	switch v {
+	case Base:
+		_, n := dcClean(zips)
+		return float64(n), nil
+	case Mozart, MozartNoPipe:
+		s := cfg.session()
+		if v == MozartNoPipe {
+			s = cfg.sessionNoPipe()
+		}
+		sliced := framesa.StrSlice(s, zips, 0, 5)
+		junk := framesa.InStrings(s, sliced, "NO CL", "N/A")
+		zero := framesa.EqString(s, sliced, "0")
+		bad := framesa.Or(s, junk, zero)
+		cleaned := framesa.MaskToNull(s, sliced, bad)
+		framesa.StrLenGt(s, cleaned, 4)
+		framesa.IsNull(s, cleaned)
+		count := framesa.CountValid(s, cleaned)
+		n, err := count.Int64()
+		if err != nil {
+			return 0, err
+		}
+		return float64(n), nil
+	}
+	return 0, errUnsupported(v)
+}
+
+func dcModel(v Variant, cfg Config) *memsim.Workload {
+	// String rows ~24 bytes; every op streams the column.
+	ops := []opSpec{
+		op("str.slice", 4*cycMul, []int{0}, []int{1}),
+		op("isin", 3*cycMul, []int{1}, []int{2}),
+		op("eq", 2*cycMul, []int{1}, []int{3}),
+		op("or", cycAdd, []int{2, 3}, []int{4}),
+		op("maskToNull", 2*cycMul, []int{1, 4}, []int{5}),
+		op("len.gt", cycMul, []int{5}, []int{6}),
+		op("isnull", cycMul, []int{5}, []int{7}),
+		op("count", cycAdd, []int{5}, nil),
+	}
+	return chainModelAlloc("datacleaning", ops, int64(cfg.Scale), 24, v, cfg.Batch)
+}
+
+func init() {
+	register(Spec{
+		Name:         "datacleaning-pandas",
+		Library:      "Pandas",
+		Description:  "311-requests zip-code cleanup: slice, junk masks, nulls (Fig. 4e)",
+		Operators:    dcOperators,
+		Variants:     []Variant{Base, Mozart, MozartNoPipe},
+		Run:          runDataCleaning,
+		DefaultScale: 1 << 19,
+		Model:        dcModel,
+	})
+}

@@ -1,0 +1,171 @@
+package workloads
+
+import "mozart/internal/memsim"
+
+// opSpec describes one library call for the memsim plan models: its
+// per-element cost on a hand-optimized (SIMD) backend, its cost on the
+// IR-compiler backend (Weld generated scalar code for several
+// transcendentals MKL vectorizes, §8.2), and the arrays it streams.
+type opSpec struct {
+	name   string
+	cycles float64 // hand-optimized library
+	weldC  float64 // compiler-generated code
+	reads  []int
+	writes []int
+}
+
+// Per-element cycle costs, calibrated so relative intensities follow the
+// Figure 7a measurements (add < mul < div < sqrt < erf < exp).
+const (
+	cycAdd  = 0.35
+	cycMul  = 0.40
+	cycDiv  = 1.2
+	cycSqrt = 1.8
+	cycErf  = 3.0
+	cycExp  = 4.0
+	cycLn   = 3.5
+	cycCmp  = 0.3
+)
+
+// weldFactor inflates transcendental costs for the compiler backend, which
+// does not emit SIMD for them (§8.2: "Weld does not generate vectorized
+// code for several operators that MKL does vectorize").
+func weldFactor(c float64) float64 {
+	if c >= cycSqrt {
+		return c * 2.5
+	}
+	return c
+}
+
+func op(name string, cycles float64, reads, writes []int) opSpec {
+	return opSpec{name: name, cycles: cycles, weldC: weldFactor(cycles), reads: reads, writes: writes}
+}
+
+// defaultBatch is the C*L2/sum(elemBytes) heuristic over the live arrays of
+// a stage.
+func defaultBatch(liveArrays int, elemBytes int64) int64 {
+	if liveArrays < 1 {
+		liveArrays = 1
+	}
+	return 4 * (256 << 10) / (int64(liveArrays) * elemBytes)
+}
+
+// chainModel builds the memsim plan for an elementwise-chain workload.
+//
+// Base / MozartNoPipe: every op streams the full arrays (no pipelining).
+// Mozart: one pipelined stage with the batch heuristic (or cfg.Batch).
+// Weld: one fused op reading the chain's sources and writing its sinks,
+// with the summed (scalar-where-unvectorized) compute cost.
+func chainModel(name string, ops []opSpec, elems int64, elemBytes int64, v Variant, batch int64) *memsim.Workload {
+	return chainModelOpts(name, ops, elems, elemBytes, v, batch, false)
+}
+
+// chainModelAlloc is chainModel for out-of-place libraries (NumPy, Pandas):
+// under Mozart, intermediate results are allocated per batch and die inside
+// the pipeline, so they stay cache resident instead of streaming (the
+// runtime discards them rather than merging them; see the planner's
+// materialization rule).
+func chainModelAlloc(name string, ops []opSpec, elems int64, elemBytes int64, v Variant, batch int64) *memsim.Workload {
+	return chainModelOpts(name, ops, elems, elemBytes, v, batch, true)
+}
+
+func chainModelOpts(name string, ops []opSpec, elems int64, elemBytes int64, v Variant, batch int64, scratchIntermediates bool) *memsim.Workload {
+	toOps := func(weld bool) []memsim.Op {
+		out := make([]memsim.Op, len(ops))
+		for i, o := range ops {
+			c := o.cycles
+			if weld {
+				c = o.weldC
+			}
+			out[i] = memsim.Op{Name: o.name, CyclesPerElem: c, Reads: o.reads, Writes: o.writes}
+		}
+		return out
+	}
+	live := map[int]bool{}
+	for _, o := range ops {
+		for _, a := range o.reads {
+			live[a] = true
+		}
+		for _, a := range o.writes {
+			live[a] = true
+		}
+	}
+	w := &memsim.Workload{Name: name, Elems: elems}
+	switch v {
+	case Mozart:
+		if batch <= 0 {
+			batch = defaultBatch(len(live), elemBytes)
+		}
+		st := memsim.Stage{Ops: toOps(false), BatchElems: batch, ElemBytes: elemBytes}
+		if scratchIntermediates {
+			sources, sinks := chainEndpoints(ops)
+			keep := map[int]bool{}
+			for _, a := range sources {
+				keep[a] = true
+			}
+			for _, a := range sinks {
+				keep[a] = true
+			}
+			for a := range live {
+				if !keep[a] {
+					st.Scratch = append(st.Scratch, a)
+				}
+			}
+		}
+		w.Stages = []memsim.Stage{st}
+	case Base, MozartNoPipe:
+		w.Stages = []memsim.Stage{{Ops: toOps(false), ElemBytes: elemBytes}}
+	case Weld:
+		sources, sinks := chainEndpoints(ops)
+		var cyc float64
+		for _, o := range ops {
+			cyc += o.weldC
+		}
+		w.Stages = []memsim.Stage{{
+			Ops:       []memsim.Op{{Name: "fused", CyclesPerElem: cyc, Reads: sources, Writes: sinks}},
+			ElemBytes: elemBytes,
+		}}
+	}
+	return w
+}
+
+// chainEndpoints finds the chain's external inputs (read before written)
+// and outputs (written and never consumed afterwards).
+func chainEndpoints(ops []opSpec) (sources, sinks []int) {
+	written := map[int]bool{}
+	src := map[int]bool{}
+	lastWrite := map[int]int{}
+	for i, o := range ops {
+		for _, a := range o.reads {
+			if !written[a] {
+				src[a] = true
+			}
+		}
+		for _, a := range o.writes {
+			written[a] = true
+			lastWrite[a] = i
+		}
+	}
+	for a := range src {
+		sources = append(sources, a)
+	}
+	for a, wi := range lastWrite {
+		used := false
+		for i := wi + 1; i < len(ops); i++ {
+			for _, r := range ops[i].reads {
+				if r == a {
+					used = true
+				}
+			}
+		}
+		if !used {
+			sinks = append(sinks, a)
+		}
+	}
+	return sources, sinks
+}
+
+// runModel executes a plan on the default machine model.
+func runModel(w *memsim.Workload, threads int) memsim.Result {
+	return memsim.Run(memsim.DefaultMachine(), *w, threads)
+}

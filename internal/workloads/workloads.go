@@ -1,0 +1,135 @@
+// Package workloads implements the paper's 15 evaluation workloads
+// (Table 2), each in several execution variants:
+//
+//   - Base: the unmodified substrate library (vmath/tensor/frame/nlp/
+//     imagelib), using the library's own internal parallelism where the
+//     real library has it (MKL, ImageMagick).
+//   - Mozart: the same library calls through split annotations.
+//   - MozartNoPipe: Mozart with pipelining disabled (Table 4's ablation).
+//   - Weld: the weldsim fused-IR comparator, where expressible.
+//
+// Each workload also exposes a memsim plan model so the multicore figures
+// can be regenerated on a single-core host (see DESIGN.md).
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"mozart/internal/core"
+	"mozart/internal/memsim"
+)
+
+// Variant selects an execution strategy.
+type Variant string
+
+// Execution variants.
+const (
+	Base         Variant = "base"
+	Mozart       Variant = "mozart"
+	MozartNoPipe Variant = "mozart-nopipe"
+	Weld         Variant = "weld"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	Scale   int   // elements / rows / pixels, workload-specific meaning
+	Threads int   // worker threads (and library-internal threads for Base)
+	Batch   int64 // Mozart batch override; 0 = the C*L2 heuristic
+	// OnSession, when set, observes every Mozart session a workload
+	// creates (used by the Figure 5 overhead-breakdown harness).
+	OnSession func(*core.Session)
+	// Guard simulates memory-protected input buffers with the given
+	// modeled unprotect cost (§8.5); 0 disables.
+	UnprotectNSPerByte float64
+}
+
+func (c Config) session() *core.Session {
+	s := core.NewSession(core.Options{Workers: c.Threads, BatchElems: c.Batch, UnprotectNSPerByte: c.UnprotectNSPerByte})
+	if c.OnSession != nil {
+		c.OnSession(s)
+	}
+	return s
+}
+
+func (c Config) sessionNoPipe() *core.Session {
+	s := core.NewSession(core.Options{Workers: c.Threads, BatchElems: c.Batch, DisablePipelining: true, UnprotectNSPerByte: c.UnprotectNSPerByte})
+	if c.OnSession != nil {
+		c.OnSession(s)
+	}
+	return s
+}
+
+// Spec describes one workload.
+type Spec struct {
+	Name        string
+	Library     string // base library, as in the Figure 4 captions
+	Description string
+	Operators   int // library API calls on the hot path (Table 2)
+	// BaseParallel marks libraries that already parallelize internally
+	// (MKL, ImageMagick); single-threaded bases (NumPy, Pandas, spaCy)
+	// ignore the thread count, as in Figure 4.
+	BaseParallel bool
+	Variants     []Variant
+	// Run executes the workload and returns a checksum over its result for
+	// cross-variant validation.
+	Run func(v Variant, cfg Config) (float64, error)
+	// Model returns the memsim plan for a variant (nil if not modeled).
+	Model func(v Variant, cfg Config) *memsim.Workload
+	// DefaultScale is the scale used by figure regeneration.
+	DefaultScale int
+}
+
+var registry []Spec
+
+func register(s Spec) { registry = append(registry, s) }
+
+// figOrder is the Figure 4 panel order (4a through 4o).
+var figOrder = []string{
+	"blackscholes-numpy", "haversine-numpy", "nbody-numpy", "shallowwater-numpy",
+	"datacleaning-pandas", "crimeindex-pandas", "birthanalysis-pandas", "movielens-pandas",
+	"speechtag-spacy",
+	"blackscholes-mkl", "haversine-mkl", "nbody-mkl", "shallowwater-mkl",
+	"nashville-imagemagick", "gotham-imagemagick",
+}
+
+// All returns every workload spec, in Figure 4 order.
+func All() []Spec {
+	rank := map[string]int{}
+	for i, n := range figOrder {
+		rank[n] = i
+	}
+	out := append([]Spec(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return rank[out[i].Name] < rank[out[j].Name] })
+	return out
+}
+
+// ByName returns the named spec.
+func ByName(name string) (Spec, error) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// HasVariant reports whether the spec supports v.
+func (s Spec) HasVariant(v Variant) bool {
+	for _, x := range s.Variants {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// checksum helpers
+
+func sumOf(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
