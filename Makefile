@@ -1,0 +1,25 @@
+# Developer and CI entry points. `make ci` is what the GitHub Actions
+# workflow runs: vet, build, plain tests, then the race detector over the
+# runtime-heavy packages.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerate the paper's figures/tables (see cmd/sabench).
+bench:
+	$(GO) run ./cmd/sabench -experiment all

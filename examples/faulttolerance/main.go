@@ -1,0 +1,107 @@
+// Fault tolerance: what happens when an annotation misbehaves.
+//
+// An annotated call that panics on one batch is recovered into a structured
+// StageError instead of crashing the process; with a fallback policy set,
+// the runtime restores the in-place-mutated inputs and re-executes the
+// stage whole, exactly as the unannotated library would have run, and can
+// quarantine the faulty annotation for the rest of the session.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	"mozart"
+	"mozart/internal/annotations/vmathsa"
+)
+
+// flakyPlus1 is an annotated out[i] = a[i] + 1 whose second batch panics —
+// the kind of bug a faulty third-party annotation would introduce.
+func flakyPlus1() (mozart.Func, *mozart.Annotation) {
+	var calls atomic.Int64
+	fn := func(args []any) (any, error) {
+		if calls.Add(1) == 2 {
+			panic("annotation bug: batch 2 exploded")
+		}
+		a, out := args[1].([]float64), args[2].([]float64)
+		for i := range a {
+			out[i] = a[i] + 1
+		}
+		return nil, nil
+	}
+	sa := &mozart.Annotation{FuncName: "plus1", Params: []mozart.Param{
+		{Name: "size", Type: vmathsa.SizeSplit(0)},
+		{Name: "a", Type: vmathsa.ArraySplit(0)},
+		{Name: "out", Mut: true, Type: vmathsa.ArraySplit(0)},
+	}}
+	return fn, sa
+}
+
+func inputs(n int) ([]float64, []float64) {
+	a := make([]float64, n)
+	for i := range a {
+		a[i] = float64(i)
+	}
+	return a, make([]float64, n)
+}
+
+func main() {
+	const n = 1 << 16
+
+	// 1. Fallback off: the panic is isolated into a StageError that names
+	// the stage, the call, and the batch range, and poisons the session.
+	fn, sa := flakyPlus1()
+	a, out := inputs(n)
+	s := mozart.NewSession(mozart.Options{Workers: 4, BatchElems: 1 << 13})
+	s.Call(fn, sa, n, a, out)
+	err := s.Evaluate()
+	var serr *mozart.StageError
+	if !errors.As(err, &serr) {
+		log.Fatalf("expected a StageError, got %v", err)
+	}
+	fmt.Printf("fallback off:\n  error: %v\n", serr)
+	fmt.Printf("  origin=%s call=%s batch=[%d,%d) panic=%v annotationFault=%v\n",
+		serr.Origin, serr.Call, serr.Start, serr.End, serr.PanicValue, serr.AnnotationFault())
+	fmt.Printf("  session broken: %v\n\n", s.Err() != nil)
+
+	// 2. FallbackWholeCall: the same fault degrades to whole-call execution
+	// and the result is exactly what the plain library would produce.
+	fn, sa = flakyPlus1()
+	a, out = inputs(n)
+	s = mozart.NewSession(mozart.Options{Workers: 4, BatchElems: 1 << 13,
+		FallbackPolicy: mozart.FallbackWholeCall})
+	s.Call(fn, sa, n, a, out)
+	if err := s.Evaluate(); err != nil {
+		log.Fatalf("fallback run failed: %v", err)
+	}
+	ok := true
+	for i := range a {
+		if out[i] != a[i]+1 {
+			ok = false
+			break
+		}
+	}
+	st := s.Stats()
+	fmt.Printf("fallback whole-call:\n  result correct: %v\n  %s\n\n", ok, st.String())
+
+	// 3. FallbackQuarantine: the faulty annotation is planned whole for the
+	// rest of the session, so its splitters are never consulted again.
+	fn, sa = flakyPlus1()
+	a, out = inputs(n)
+	s = mozart.NewSession(mozart.Options{Workers: 4, BatchElems: 1 << 13,
+		FallbackPolicy: mozart.FallbackQuarantine})
+	s.Call(fn, sa, n, a, out)
+	if err := s.Evaluate(); err != nil {
+		log.Fatalf("quarantine run failed: %v", err)
+	}
+	fmt.Printf("fallback quarantine:\n  quarantined: %v\n", s.Quarantined())
+	out2 := make([]float64, n)
+	s.Call(fn, sa, n, a, out2)
+	if err := s.Evaluate(); err != nil {
+		log.Fatalf("second evaluation failed: %v", err)
+	}
+	fmt.Printf("  second evaluation (planned whole): out2[1]=%v, fallbacks still %d\n",
+		out2[1], s.Stats().FallbackStages)
+}

@@ -1,0 +1,65 @@
+package framesa_test
+
+import (
+	"math"
+	"testing"
+
+	"mozart/internal/annotations/framesa"
+	"mozart/internal/core"
+	"mozart/internal/faultinject"
+	"mozart/internal/frame"
+)
+
+// faultyAddSeries builds an annotated series addition whose function and
+// series splitter run through the injector.
+func faultyAddSeries(inj *faultinject.Injector, site string) (core.Func, *core.Annotation) {
+	fn := inj.WrapFunc(site, func(args []any) (any, error) {
+		return frame.AddSeries(args[0].(*frame.Series), args[1].(*frame.Series)), nil
+	})
+	sexpr := core.Concrete("SeriesSplit", inj.WrapSplitter(site, framesa.SeriesSplitter{}), func(args []any) (core.SplitType, error) {
+		s, ok := args[0].(*frame.Series)
+		if !ok || s == nil {
+			return core.SplitType{}, nil
+		}
+		return core.NewSplitType("SeriesSplit", int64(s.Len())), nil
+	})
+	ret := sexpr
+	sa := &core.Annotation{FuncName: site, Params: []core.Param{
+		{Name: "a", Type: sexpr},
+		{Name: "b", Type: sexpr},
+	}, Ret: &ret}
+	return fn, sa
+}
+
+// TestInjectedPanicFallbackSeries: a panic injected into one batch of a
+// series operation degrades to whole-call execution and matches the direct
+// frame result exactly.
+func TestInjectedPanicFallbackSeries(t *testing.T) {
+	df := testFrame(500, 11)
+	pop, crime := df.Col("pop"), df.Col("crime")
+	want := frame.AddSeries(pop, crime)
+
+	inj := faultinject.New(3)
+	fn, sa := faultyAddSeries(inj, "sr.add")
+	inj.PanicOnNthCall("sr.add", 2)
+
+	s := core.NewSession(core.Options{Workers: 3, BatchElems: 41, FallbackPolicy: core.FallbackWholeCall})
+	fut := s.Call(fn, sa, pop, crime)
+	v, err := fut.Get()
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	got := v.(*frame.Series)
+	if got.Len() != want.Len() {
+		t.Fatalf("len %d vs %d", got.Len(), want.Len())
+	}
+	for i := range want.F {
+		if math.Abs(got.F[i]-want.F[i]) > 1e-12 {
+			t.Fatalf("row %d: %v vs %v", i, got.F[i], want.F[i])
+		}
+	}
+	st := s.Stats()
+	if st.RecoveredPanics < 1 || st.FallbackStages != 1 {
+		t.Errorf("stats = %+v, want >=1 recovered panic and exactly 1 fallback stage", st)
+	}
+}

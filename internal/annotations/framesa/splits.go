@@ -189,7 +189,46 @@ func (AddReduceSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
 	return s, nil
 }
 
+// snapshotSeries copies every buffer of s and returns a closure restoring
+// them into the original storage (so row-range views stay aliased).
+func snapshotSeries(s *frame.Series) func() {
+	f := append([]float64(nil), s.F...)
+	i := append([]int64(nil), s.I...)
+	str := append([]string(nil), s.S...)
+	b := append([]bool(nil), s.B...)
+	valid := append([]bool(nil), s.Valid...)
+	return func() {
+		copy(s.F, f)
+		copy(s.I, i)
+		copy(s.S, str)
+		copy(s.B, b)
+		copy(s.Valid, valid)
+	}
+}
+
 func init() {
 	core.RegisterDefaultSplit((*frame.DataFrame)(nil), DfSplitter{}, dfCtor)
 	core.RegisterDefaultSplit((*frame.Series)(nil), SeriesSplitter{}, seriesCtor)
+
+	// Snapshot support for whole-call fallback: series and frames are
+	// mutated in place through row-range views, so the runtime needs to be
+	// able to restore their buffers before re-executing a faulted stage
+	// whole.
+	core.RegisterSnapshot((*frame.Series)(nil), func(v any) (func() error, error) {
+		restore := snapshotSeries(v.(*frame.Series))
+		return func() error { restore(); return nil }, nil
+	})
+	core.RegisterSnapshot((*frame.DataFrame)(nil), func(v any) (func() error, error) {
+		df := v.(*frame.DataFrame)
+		restores := make([]func(), len(df.Cols))
+		for i, c := range df.Cols {
+			restores[i] = snapshotSeries(c)
+		}
+		return func() error {
+			for _, r := range restores {
+				r()
+			}
+			return nil
+		}, nil
+	})
 }

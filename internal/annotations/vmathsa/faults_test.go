@@ -1,0 +1,131 @@
+package vmathsa_test
+
+import (
+	"errors"
+	"testing"
+
+	"mozart/internal/annotations/vmathsa"
+	"mozart/internal/core"
+	"mozart/internal/faultinject"
+	"mozart/internal/vmath"
+)
+
+// faultyLog1p builds an annotated vdLog1p whose library function and array
+// splitter both run through the injector under the given site name,
+// mirroring what the real wrappers register.
+func faultyLog1p(inj *faultinject.Injector, site string) (core.Func, *core.Annotation) {
+	fn := inj.WrapFunc(site, func(args []any) (any, error) {
+		vmath.Log1p(args[0].(int), args[1].([]float64), args[2].([]float64))
+		return nil, nil
+	})
+	arr := core.Concrete("ArraySplit", inj.WrapSplitter(site, vmathsa.ArraySplitter{}), func(args []any) (core.SplitType, error) {
+		return core.NewSplitType("ArraySplit", int64(args[0].(int))), nil
+	})
+	sa := &core.Annotation{FuncName: site, Params: []core.Param{
+		{Name: "size", Type: vmathsa.SizeSplit(0)},
+		{Name: "a", Type: arr},
+		{Name: "out", Mut: true, Type: arr},
+	}}
+	return fn, sa
+}
+
+// TestInjectedPanicFallback: a panic injected into a randomly chosen batch
+// of an annotated vmath call neither crashes the process nor changes the
+// result — with FallbackWholeCall the output is identical to calling the
+// unannotated library directly.
+func TestInjectedPanicFallback(t *testing.T) {
+	const n = 2048
+	inj := faultinject.New(42)
+	fn, sa := faultyLog1p(inj, "vdLog1p")
+	nth := inj.PanicOnRandomCall("vdLog1p", 10)
+	t.Logf("injecting panic on call %d", nth)
+
+	a := randVec(n, 7)
+	ref := make([]float64, n)
+	vmath.Log1p(n, a, ref)
+
+	out := make([]float64, n)
+	s := core.NewSession(core.Options{Workers: 4, BatchElems: 128, FallbackPolicy: core.FallbackWholeCall})
+	s.Call(fn, sa, n, a, out)
+	if err := s.Evaluate(); err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	almost(out, ref, t, "log1p under injected panic")
+	st := s.Stats()
+	if st.RecoveredPanics < 1 {
+		t.Errorf("RecoveredPanics = %d, want >= 1", st.RecoveredPanics)
+	}
+	if st.FallbackStages != 1 {
+		t.Errorf("FallbackStages = %d, want 1", st.FallbackStages)
+	}
+	if inj.Count("vdLog1p", faultinject.AspectCall) == 0 {
+		t.Error("injector saw no calls")
+	}
+}
+
+// TestInjectedSplitErrorQuarantine: a splitter error quarantines the
+// annotation under FallbackQuarantine; the second evaluation plans it whole
+// and never consults the faulty splitter again.
+func TestInjectedSplitErrorQuarantine(t *testing.T) {
+	const n = 1024
+	inj := faultinject.New(1)
+	fn, sa := faultyLog1p(inj, "vdLog1p")
+	inj.ErrorOnNthSplit("vdLog1p", 1)
+
+	a := randVec(n, 8)
+	ref := make([]float64, n)
+	vmath.Log1p(n, a, ref)
+
+	out := make([]float64, n)
+	s := core.NewSession(core.Options{Workers: 4, BatchElems: 128, FallbackPolicy: core.FallbackQuarantine})
+	s.Call(fn, sa, n, a, out)
+	if err := s.Evaluate(); err != nil {
+		t.Fatalf("first Evaluate: %v", err)
+	}
+	almost(out, ref, t, "log1p after split-error fallback")
+	if q := s.Quarantined(); len(q) != 1 || q[0] != "vdLog1p" {
+		t.Fatalf("Quarantined() = %v, want [vdLog1p]", q)
+	}
+
+	splitsBefore := inj.Count("vdLog1p", faultinject.AspectSplit)
+	out2 := make([]float64, n)
+	s.Call(fn, sa, n, a, out2)
+	if err := s.Evaluate(); err != nil {
+		t.Fatalf("second Evaluate: %v", err)
+	}
+	almost(out2, ref, t, "log1p while quarantined")
+	if got := inj.Count("vdLog1p", faultinject.AspectSplit); got != splitsBefore {
+		t.Errorf("quarantined annotation's splitter was consulted again (%d -> %d)", splitsBefore, got)
+	}
+	if got := s.Stats().FallbackStages; got != 1 {
+		t.Errorf("FallbackStages = %d, want 1 (second eval runs whole without faulting)", got)
+	}
+}
+
+// TestInjectedCallErrorNoFallback: an error returned by the library function
+// itself is not an annotation fault and must propagate even with fallback
+// enabled.
+func TestInjectedCallErrorNoFallback(t *testing.T) {
+	const n = 1024
+	inj := faultinject.New(2)
+	fn, sa := faultyLog1p(inj, "vdLog1p")
+	inj.ErrorOnNthCall("vdLog1p", 2)
+
+	a, out := randVec(n, 9), make([]float64, n)
+	s := core.NewSession(core.Options{Workers: 4, BatchElems: 128, FallbackPolicy: core.FallbackWholeCall})
+	s.Call(fn, sa, n, a, out)
+	err := s.Evaluate()
+	if err == nil {
+		t.Fatal("want injected library error to propagate")
+	}
+	var serr *core.StageError
+	if !errors.As(err, &serr) {
+		t.Fatalf("want *core.StageError, got %T: %v", err, err)
+	}
+	if serr.Origin != core.OriginCall || serr.AnnotationFault() {
+		t.Errorf("Origin = %v, AnnotationFault = %v; want call-origin non-annotation fault", serr.Origin, serr.AnnotationFault())
+	}
+	if got := s.Stats().FallbackStages; got != 0 {
+		t.Errorf("FallbackStages = %d, want 0", got)
+	}
+}

@@ -248,4 +248,17 @@ func init() {
 		m := v.(*vmath.Matrix)
 		return core.NewSplitType("MatrixSplit", int64(m.Rows), int64(m.Cols)), nil
 	})
+
+	// Snapshot support for whole-call fallback: matrices are mutated in
+	// place through row-band views, so the runtime must be able to restore
+	// their backing storage before re-executing a faulted stage whole.
+	// []float64 is covered by the runtime's built-in slice snapshot.
+	core.RegisterSnapshot((*vmath.Matrix)(nil), func(v any) (func() error, error) {
+		m := v.(*vmath.Matrix)
+		saved := append([]float64(nil), m.Data...)
+		return func() error {
+			copy(m.Data, saved)
+			return nil
+		}, nil
+	})
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 )
 
 var (
@@ -21,3 +22,129 @@ var (
 func typeErrorf(want string, got any) error {
 	return fmt.Errorf("mozart: future holds %T, not %s", got, want)
 }
+
+// notEvaluatedError is the poisoned-binding error: the binding has no final
+// value because evaluation failed. errors.Is(err, ErrNotEvaluated) holds and
+// Unwrap exposes the evaluation failure that broke the session.
+type notEvaluatedError struct{ cause error }
+
+func (e *notEvaluatedError) Error() string {
+	return fmt.Sprintf("%v (session broken by: %v)", ErrNotEvaluated, e.cause)
+}
+
+func (e *notEvaluatedError) Is(target error) bool { return target == ErrNotEvaluated }
+
+func (e *notEvaluatedError) Unwrap() error { return e.cause }
+
+// FaultOrigin classifies where inside stage execution a failure originated.
+// The origin decides whether whole-call fallback applies: faults in
+// annotator-supplied code (Info, Split, Merge) and panics are annotation
+// faults; an error returned by the library function itself is not.
+type FaultOrigin int
+
+const (
+	// OriginInfo: a splitter's Info, a split type constructor, the default
+	// split registry, or the cross-input element-count check failed.
+	OriginInfo FaultOrigin = iota
+	// OriginSplit: a splitter's Split failed or panicked.
+	OriginSplit
+	// OriginCall: the library function returned an error or panicked.
+	OriginCall
+	// OriginMerge: a splitter's Merge failed or panicked.
+	OriginMerge
+	// OriginPedantic: a Pedantic-mode check failed (§7.1 debugging mode).
+	// Pedantic errors never fall back: the mode exists to surface them.
+	OriginPedantic
+	// OriginTimeout: the stage exceeded Options.StageTimeout.
+	OriginTimeout
+	// OriginCanceled: the caller's context was canceled mid-evaluation.
+	OriginCanceled
+	// OriginInternal: a runtime invariant was violated (missing
+	// materialization, missing piece, ...).
+	OriginInternal
+)
+
+func (o FaultOrigin) String() string {
+	switch o {
+	case OriginInfo:
+		return "info"
+	case OriginSplit:
+		return "split"
+	case OriginCall:
+		return "call"
+	case OriginMerge:
+		return "merge"
+	case OriginPedantic:
+		return "pedantic"
+	case OriginTimeout:
+		return "timeout"
+	case OriginCanceled:
+		return "canceled"
+	default:
+		return "internal"
+	}
+}
+
+// StageError is the structured failure of one stage of an evaluation. It
+// identifies the stage, the call (when the fault is call-specific), the
+// element range of the failing batch (Start/End are -1 for faults outside a
+// batch, e.g. the final merge), and — for recovered panics — the panic value
+// and stack of the worker goroutine that recovered it.
+type StageError struct {
+	Stage      int      // stage index within the evaluation's plan
+	Calls      []string // names of every call in the stage, in pipeline order
+	Call       string   // the failing call, "" when not call-specific
+	Origin     FaultOrigin
+	Start, End int64  // element range of the failing batch; -1 when unknown
+	PanicValue any    // non-nil when the fault was a recovered panic
+	Stack      []byte // stack of the recovering goroutine, for panics
+	Err        error  // the underlying error
+}
+
+func (e *StageError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mozart: stage %d", e.Stage)
+	if len(e.Calls) > 0 {
+		fmt.Fprintf(&b, " [%s]", strings.Join(e.Calls, " -> "))
+	}
+	if e.Call != "" {
+		fmt.Fprintf(&b, ": call %s", e.Call)
+	}
+	if e.Start >= 0 {
+		fmt.Fprintf(&b, ": elements [%d,%d)", e.Start, e.End)
+	}
+	fmt.Fprintf(&b, ": %s fault", e.Origin)
+	if e.PanicValue != nil {
+		b.WriteString(" (recovered panic)")
+	}
+	fmt.Fprintf(&b, ": %v", e.Err)
+	return b.String()
+}
+
+func (e *StageError) Unwrap() error { return e.Err }
+
+// AnnotationFault reports whether the failure is attributable to the
+// annotation rather than the library: any error from annotator-supplied
+// splitting code (Info/Split/Merge), or any panic — a library function that
+// panics on a split piece it would accept whole is a faulty annotation's
+// doing. FallbackPolicy only re-executes stages whose failure is an
+// annotation fault; genuine library errors and timeouts propagate.
+func (e *StageError) AnnotationFault() bool {
+	if e.PanicValue != nil {
+		return true
+	}
+	switch e.Origin {
+	case OriginInfo, OriginSplit, OriginMerge:
+		return true
+	}
+	return false
+}
+
+// panicErr carries a recovered panic through the error path until it is
+// folded into a StageError.
+type panicErr struct {
+	val   any
+	stack []byte
+}
+
+func (p *panicErr) Error() string { return fmt.Sprintf("panic: %v", p.val) }

@@ -1,22 +1,144 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
 // execute runs every stage of the plan in order (§5.2).
-func (s *Session) execute(p *plan) error {
+func (s *Session) execute(ctx context.Context, p *plan) error {
 	for si := range p.stages {
-		if err := s.executeStage(&p.stages[si]); err != nil {
-			return fmt.Errorf("mozart: stage %d: %w", si, err)
+		if err := ctx.Err(); err != nil {
+			se := s.stageErr(&p.stages[si], originFromContext(err), err)
+			se.Stage = si
+			return se
+		}
+		if err := s.executeStage(ctx, si, &p.stages[si]); err != nil {
+			return err
 		}
 		s.stats.Stages++
 	}
 	return nil
 }
+
+// executeStage runs one stage with splitting and parallelism, applying the
+// stage timeout and — on annotation faults — the fallback policy: restore
+// any in-place-mutated inputs from a pre-stage snapshot and re-execute the
+// stage's calls whole, unsplit and unpipelined, the way the plain library
+// would run them.
+func (s *Session) executeStage(ctx context.Context, si int, st *planStage) error {
+	if s.opts.StageTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.StageTimeout)
+		defer cancel()
+	}
+
+	// Snapshot mutated inputs up front so a fallback can undo the partial
+	// in-place work of a failed split execution.
+	var snap *stageSnapshot
+	var snapErr error
+	if s.opts.FallbackPolicy != FallbackOff && len(st.inputs) > 0 {
+		snap, snapErr = s.snapshotStage(st)
+	}
+
+	err := s.executeStageSplit(ctx, st)
+	if err == nil {
+		return nil
+	}
+	err = s.stampStage(err, si, st)
+
+	var serr *StageError
+	if s.opts.FallbackPolicy == FallbackOff || len(st.inputs) == 0 ||
+		!errors.As(err, &serr) || !serr.AnnotationFault() {
+		return err
+	}
+	if snapErr != nil {
+		return fmt.Errorf("%w (whole-call fallback skipped: %v)", err, snapErr)
+	}
+	snap.restore()
+	if ferr := s.executeWhole(st); ferr != nil {
+		return fmt.Errorf("mozart: stage %d: whole-call fallback failed: %w (after %v)", si, ferr, err)
+	}
+	s.stats.FallbackStages++
+	if s.opts.FallbackPolicy == FallbackQuarantine {
+		s.quarantineStage(st, serr)
+	}
+	return nil
+}
+
+// stampStage fills in the stage index on StageErrors produced deep inside
+// the executor, or wraps other errors with the stage index.
+func (s *Session) stampStage(err error, si int, st *planStage) error {
+	var serr *StageError
+	if errors.As(err, &serr) {
+		if serr.Stage < 0 {
+			serr.Stage = si
+		}
+		return err
+	}
+	return fmt.Errorf("mozart: stage %d: %w", si, err)
+}
+
+// stageErr wraps err in a StageError for stage st. The stage index is
+// stamped by executeStage; batch range and call name are attached by the
+// caller when known.
+func (s *Session) stageErr(st *planStage, origin FaultOrigin, err error) *StageError {
+	se := &StageError{Stage: -1, Calls: callNames(st), Origin: origin, Start: -1, End: -1, Err: err}
+	var p *panicErr
+	if errors.As(err, &p) {
+		se.PanicValue, se.Stack = p.val, p.stack
+	}
+	return se
+}
+
+func originFromContext(err error) FaultOrigin {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return OriginTimeout
+	}
+	return OriginCanceled
+}
+
+// ---- panic isolation ------------------------------------------------------
+//
+// Every entry into annotator- or library-supplied code goes through one of
+// the safe* wrappers below: a panic in a worker goroutine becomes an error
+// instead of killing the host process (annotations are untrusted plugins).
+
+// recoverPanic converts a panic into a panicErr carrying the recovered
+// value and the stack of the recovering goroutine.
+func (s *Session) recoverPanic(err *error) {
+	if r := recover(); r != nil {
+		s.stats.add(&s.stats.RecoveredPanics, 1)
+		*err = &panicErr{val: r, stack: debug.Stack()}
+	}
+}
+
+func (s *Session) safeCall(fn Func, args []any) (ret any, err error) {
+	defer s.recoverPanic(&err)
+	return fn(args)
+}
+
+func (s *Session) safeInfo(sp Splitter, v any, t SplitType) (info RuntimeInfo, err error) {
+	defer s.recoverPanic(&err)
+	return sp.Info(v, t)
+}
+
+func (s *Session) safeSplit(sp Splitter, v any, t SplitType, start, end int64) (piece any, err error) {
+	defer s.recoverPanic(&err)
+	return sp.Split(v, t, start, end)
+}
+
+func (s *Session) safeMerge(sp Splitter, pieces []any, t SplitType) (v any, err error) {
+	defer s.recoverPanic(&err)
+	return sp.Merge(pieces, t)
+}
+
+// ---- split execution ------------------------------------------------------
 
 // resolvedInput is a stage input with its splitter pinned down (deferred
 // defaults resolved against the materialized value).
@@ -26,29 +148,29 @@ type resolvedInput struct {
 	info RuntimeInfo
 }
 
-func (s *Session) executeStage(st *planStage) error {
+func (s *Session) executeStageSplit(ctx context.Context, st *planStage) error {
 	// Resolve inputs against materialized values.
 	inputs := make([]resolvedInput, 0, len(st.inputs))
 	var sumElemBytes int64
 	for _, in := range st.inputs {
 		if !in.b.hasVal {
-			return fmt.Errorf("input of %s is not materialized", describeStage(st))
+			return s.stageErr(st, OriginInternal, fmt.Errorf("input of %s is not materialized", describeStage(st)))
 		}
 		ri := resolvedInput{stageInput: in, val: in.b.val}
 		if in.r.deferred || in.r.splitter == nil {
 			d, ok := lookupDefaultSplit(in.b.val)
 			if !ok {
-				return fmt.Errorf("no default split type registered for %T", in.b.val)
+				return s.stageErr(st, OriginInfo, fmt.Errorf("no default split type registered for %T", in.b.val))
 			}
 			t, err := d.ctor(in.b.val)
 			if err != nil {
-				return fmt.Errorf("default constructor for %T: %w", in.b.val, err)
+				return s.stageErr(st, OriginInfo, fmt.Errorf("default constructor for %T: %w", in.b.val, err))
 			}
 			ri.r.splitter, ri.r.t, ri.r.deferred = d.splitter, t, false
 		}
-		info, err := ri.r.splitter.Info(ri.val, ri.r.t)
+		info, err := s.safeInfo(ri.r.splitter, ri.val, ri.r.t)
 		if err != nil {
-			return fmt.Errorf("Info(%s): %w", ri.r.t, err)
+			return s.stageErr(st, OriginInfo, fmt.Errorf("Info(%s): %w", ri.r.t, err))
 		}
 		ri.info = info
 		sumElemBytes += info.ElemBytes
@@ -56,7 +178,7 @@ func (s *Session) executeStage(st *planStage) error {
 	}
 	for _, b := range st.broadcast {
 		if !b.hasVal {
-			return fmt.Errorf("broadcast value is not materialized")
+			return s.stageErr(st, OriginInternal, fmt.Errorf("broadcast value is not materialized"))
 		}
 	}
 
@@ -71,10 +193,10 @@ func (s *Session) executeStage(st *planStage) error {
 	}
 	total, err := CheckSameElems(infos)
 	if err != nil {
-		return err
+		return s.stageErr(st, OriginInfo, err)
 	}
 	if total == 0 && s.opts.Pedantic {
-		return fmt.Errorf("pedantic: stage received zero elements")
+		return s.stageErr(st, OriginPedantic, fmt.Errorf("pedantic: stage received zero elements"))
 	}
 
 	batch := s.opts.batchSize(sumElemBytes, total)
@@ -87,19 +209,18 @@ func (s *Session) executeStage(st *planStage) error {
 	}
 
 	if s.opts.DynamicScheduling {
-		return s.executeDynamic(st, inputs, total, batch, workers)
+		return s.executeDynamic(ctx, st, inputs, total, batch, workers)
 	}
 
 	// Static partitioning: workers take contiguous, near-equal element
-	// ranges (§5.2 Step 1).
+	// ranges (§5.2 Step 1). The first worker error cancels the stage
+	// context so siblings stop at their next batch boundary.
 	per := total / int64(workers)
 	rem := total % int64(workers)
 
-	type workerResult struct {
-		partials map[int][]any // output binding id -> merged-per-worker pieces
-		err      error
-	}
-	results := make([]workerResult, workers)
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]workerOut, workers)
 	var wg sync.WaitGroup
 	lo := int64(0)
 	for w := 0; w < workers; w++ {
@@ -110,17 +231,21 @@ func (s *Session) executeStage(st *planStage) error {
 		wg.Add(1)
 		go func(w int, lo, hi int64) {
 			defer wg.Done()
-			res := s.runWorker(st, inputs, lo, hi, batch)
-			results[w] = workerResult{partials: res.partials, err: res.err}
+			results[w] = s.runWorker(wctx, st, inputs, lo, hi, batch)
+			if results[w].err != nil {
+				cancel()
+			}
 		}(w, lo, hi)
 		lo = hi
 	}
 	wg.Wait()
 
-	for _, r := range results {
-		if r.err != nil {
-			return r.err
-		}
+	errs := make([]error, len(results))
+	for i, r := range results {
+		errs[i] = r.err
+	}
+	if err := s.firstWorkerError(st, errs); err != nil {
+		return err
 	}
 
 	// Final merge on the main thread (§5.2 Step 3), then write back.
@@ -132,7 +257,7 @@ func (s *Session) executeStage(st *planStage) error {
 		}
 		merged, err := s.mergePieces(out.r, pieces)
 		if err != nil {
-			return fmt.Errorf("merge output %d: %w", oi, err)
+			return s.stageErr(st, OriginMerge, fmt.Errorf("merge output %d: %w", oi, err))
 		}
 		out.b.val = merged
 		out.b.hasVal = true
@@ -146,13 +271,41 @@ func (s *Session) executeStage(st *planStage) error {
 	return nil
 }
 
+// firstWorkerError picks the stage's result from per-worker errors: a real
+// fault wins over cancellation noise from siblings that merely observed the
+// canceled context; if every error is a context error, the caller's context
+// expired and the stage reports a timeout/cancellation fault.
+func (s *Session) firstWorkerError(st *planStage, errs []error) error {
+	var cancelErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		var se *StageError
+		if errors.As(err, &se) {
+			return err
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if cancelErr == nil {
+				cancelErr = err
+			}
+			continue
+		}
+		return err
+	}
+	if cancelErr == nil {
+		return nil
+	}
+	return s.stageErr(st, originFromContext(cancelErr), cancelErr)
+}
+
 // mergePieces merges pieces under resolution r, resolving a deferred
 // splitter from the pieces' dynamic type.
 func (s *Session) mergePieces(r resolved, pieces []any) (any, error) {
 	sp := r.splitter
 	if sp == nil {
 		if len(pieces) == 0 {
-			return nil, nil
+			return nil, fmt.Errorf("cannot merge zero pieces: the split type is deferred and no piece reveals the data type (zero-element input to a type-destroying call?)")
 		}
 		d, ok := lookupDefaultSplit(pieces[0])
 		if !ok {
@@ -160,7 +313,7 @@ func (s *Session) mergePieces(r resolved, pieces []any) (any, error) {
 		}
 		sp = d.splitter
 	}
-	return sp.Merge(pieces, r.t)
+	return s.safeMerge(sp, pieces, r.t)
 }
 
 // finishStageBindings marks every binding written by the stage as ready.
@@ -175,15 +328,18 @@ func (s *Session) finishStageBindings(st *planStage) {
 }
 
 // executeDynamic is the work-stealing-style alternative to static
-// partitioning: workers atomically claim the next unprocessed batch. Output
-// pieces are collected per batch index so merges see them in order and
-// results match static scheduling exactly.
-func (s *Session) executeDynamic(st *planStage, inputs []resolvedInput, total, batch int64, workers int) error {
+// partitioning: workers atomically claim the next unprocessed batch, and
+// stop claiming as soon as any worker records an error (the stage context
+// is canceled). Output pieces are collected per batch index so merges see
+// them in order and results match static scheduling exactly.
+func (s *Session) executeDynamic(ctx context.Context, st *planStage, inputs []resolvedInput, total, batch int64, workers int) error {
 	nBatches := (total + batch - 1) / batch
 	pieces := map[int][]any{} // output binding id -> piece per batch index
 	for _, o := range st.outputs {
 		pieces[o.b.id] = make([]any, nBatches)
 	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var next atomic.Int64
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -193,6 +349,10 @@ func (s *Session) executeDynamic(st *planStage, inputs []resolvedInput, total, b
 			defer wg.Done()
 			env := map[int]any{}
 			for {
+				if err := wctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
 				idx := next.Add(1) - 1
 				if idx >= nBatches {
 					return
@@ -205,6 +365,7 @@ func (s *Session) executeDynamic(st *planStage, inputs []resolvedInput, total, b
 				out, err := s.runBatch(st, inputs, env, start, end)
 				if err != nil {
 					errs[w] = err
+					cancel()
 					return
 				}
 				for id, piece := range out {
@@ -214,10 +375,8 @@ func (s *Session) executeDynamic(st *planStage, inputs []resolvedInput, total, b
 		}(w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if err := s.firstWorkerError(st, errs); err != nil {
+		return err
 	}
 
 	t0 := time.Now()
@@ -230,7 +389,7 @@ func (s *Session) executeDynamic(st *planStage, inputs []resolvedInput, total, b
 		}
 		merged, err := s.mergePieces(out.r, ps)
 		if err != nil {
-			return fmt.Errorf("merge output %d: %w", oi, err)
+			return s.stageErr(st, OriginMerge, fmt.Errorf("merge output %d: %w", oi, err))
 		}
 		out.b.val = merged
 		out.b.hasVal = true
@@ -244,14 +403,26 @@ func (s *Session) executeDynamic(st *planStage, inputs []resolvedInput, total, b
 
 // runBatch splits inputs for [start, end), pipelines the batch through the
 // stage's calls, and returns the pieces of stage outputs. env is a reusable
-// per-worker scratch map.
+// per-worker scratch map. It is the single batch body for both static and
+// dynamic scheduling, so panic isolation and Pedantic checks behave
+// identically under either scheduler.
 func (s *Session) runBatch(st *planStage, inputs []resolvedInput, env map[int]any, start, end int64) (map[int]any, error) {
+	batchErr := func(origin FaultOrigin, call string, err error) *StageError {
+		se := s.stageErr(st, origin, err)
+		se.Call = call
+		se.Start, se.End = start, end
+		return se
+	}
+
 	clear(env)
 	t0 := time.Now()
 	for _, in := range inputs {
-		piece, err := in.r.splitter.Split(in.val, in.r.t, start, end)
+		piece, err := s.safeSplit(in.r.splitter, in.val, in.r.t, start, end)
 		if err != nil {
-			return nil, fmt.Errorf("split [%d,%d) of %s: %w", start, end, in.r.t, err)
+			return nil, batchErr(OriginSplit, "", fmt.Errorf("split of %s: %w", in.r.t, err))
+		}
+		if s.opts.Pedantic && piece == nil {
+			return nil, batchErr(OriginPedantic, "", fmt.Errorf("pedantic: splitter for %s produced nil piece", in.r.t))
 		}
 		env[in.b.id] = piece
 	}
@@ -266,17 +437,24 @@ func (s *Session) runBatch(st *planStage, inputs []resolvedInput, env map[int]an
 				args[i] = b.val
 				continue
 			}
-			args[i] = env[b.id]
+			piece, ok := env[b.id]
+			if !ok {
+				return nil, batchErr(OriginInternal, c.n.name, fmt.Errorf("%s: internal: no piece for split argument %s", c.n.name, c.n.sa.Params[i].Name))
+			}
+			if s.opts.Pedantic && piece == nil {
+				return nil, batchErr(OriginPedantic, c.n.name, fmt.Errorf("pedantic: %s received nil piece for %s", c.n.name, c.n.sa.Params[i].Name))
+			}
+			args[i] = piece
 		}
 		if s.opts.Logf != nil {
 			s.opts.Logf("mozart: call %s on elements [%d,%d)", c.n.name, start, end)
 		}
 		t1 := time.Now()
-		ret, err := c.n.fn(args)
+		ret, err := s.safeCall(c.n.fn, args)
 		s.stats.add(&s.stats.TaskNS, time.Since(t1))
 		s.stats.add(&s.stats.Calls, 1)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", c.n.name, err)
+			return nil, batchErr(OriginCall, c.n.name, fmt.Errorf("%s: %w", c.n.name, err))
 		}
 		if c.n.ret != nil {
 			env[c.n.ret.id] = ret
@@ -297,85 +475,28 @@ type workerOut struct {
 }
 
 // runWorker is the per-worker driver loop (§5.2 Step 2): for each batch in
-// the worker's element range, split every input, pipeline the batch through
-// every call in the stage, and stash pieces of stage outputs. At the end the
-// worker pre-merges its own partial lists.
-func (s *Session) runWorker(st *planStage, inputs []resolvedInput, lo, hi, batch int64) workerOut {
-	var splitNS, taskNS, mergeNS time.Duration
-	var batches, calls int64
-	defer func() {
-		s.stats.add(&s.stats.SplitNS, splitNS)
-		s.stats.add(&s.stats.TaskNS, taskNS)
-		s.stats.add(&s.stats.MergeNS, mergeNS)
-		s.stats.add(&s.stats.Batches, time.Duration(batches))
-		s.stats.add(&s.stats.Calls, time.Duration(calls))
-	}()
-
+// the worker's element range, run the batch through the stage and stash
+// pieces of stage outputs; at the end the worker pre-merges its own partial
+// lists. The worker checks the stage context between batches and aborts
+// promptly once a sibling has failed or the stage deadline passed.
+func (s *Session) runWorker(ctx context.Context, st *planStage, inputs []resolvedInput, lo, hi, batch int64) workerOut {
 	raw := map[int][]any{} // output binding id -> pieces
 	env := map[int]any{}   // binding id -> current piece within a batch
-	outSet := map[int]bool{}
-	for _, o := range st.outputs {
-		outSet[o.b.id] = true
-	}
 
 	for start := lo; start < hi; start += batch {
+		if err := ctx.Err(); err != nil {
+			return workerOut{err: err}
+		}
 		end := start + batch
 		if end > hi {
 			end = hi
 		}
-		batches++
-		clear(env)
-
-		t0 := time.Now()
-		for _, in := range inputs {
-			piece, err := in.r.splitter.Split(in.val, in.r.t, start, end)
-			if err != nil {
-				return workerOut{err: fmt.Errorf("split [%d,%d) of %s: %w", start, end, in.r.t, err)}
-			}
-			if s.opts.Pedantic && piece == nil {
-				return workerOut{err: fmt.Errorf("pedantic: splitter for %s produced nil piece", in.r.t)}
-			}
-			env[in.b.id] = piece
+		out, err := s.runBatch(st, inputs, env, start, end)
+		if err != nil {
+			return workerOut{err: err}
 		}
-		splitNS += time.Since(t0)
-
-		for _, c := range st.calls {
-			args := make([]any, len(c.n.args))
-			for i, r := range c.args {
-				b := c.n.args[i]
-				if r.broadcast {
-					args[i] = b.val
-					continue
-				}
-				piece, ok := env[b.id]
-				if !ok {
-					return workerOut{err: fmt.Errorf("%s: internal: no piece for split argument %s", c.n.name, c.n.sa.Params[i].Name)}
-				}
-				if s.opts.Pedantic && piece == nil {
-					return workerOut{err: fmt.Errorf("pedantic: %s received nil piece for %s", c.n.name, c.n.sa.Params[i].Name)}
-				}
-				args[i] = piece
-			}
-			if s.opts.Logf != nil {
-				s.opts.Logf("mozart: call %s on elements [%d,%d)", c.n.name, start, end)
-			}
-			t1 := time.Now()
-			ret, err := c.n.fn(args)
-			taskNS += time.Since(t1)
-			calls++
-			if err != nil {
-				return workerOut{err: fmt.Errorf("%s: %w", c.n.name, err)}
-			}
-			if c.n.ret != nil {
-				env[c.n.ret.id] = ret
-			}
-		}
-
-		// Move this batch's output pieces to the partial lists.
-		for id := range outSet {
-			if piece, ok := env[id]; ok {
-				raw[id] = append(raw[id], piece)
-			}
+		for id, piece := range out {
+			raw[id] = append(raw[id], piece)
 		}
 	}
 
@@ -390,22 +511,24 @@ func (s *Session) runWorker(st *planStage, inputs []resolvedInput, lo, hi, batch
 		}
 		merged, err := s.mergePieces(o.r, pieces)
 		if err != nil {
-			return workerOut{err: fmt.Errorf("worker merge: %w", err)}
+			return workerOut{err: s.stageErr(st, OriginMerge, fmt.Errorf("worker merge: %w", err))}
 		}
 		partials[o.b.id] = []any{merged}
 	}
-	mergeNS += time.Since(t2)
+	s.stats.add(&s.stats.MergeNS, time.Since(t2))
 	return workerOut{partials: partials}
 }
 
-// executeWhole runs a stage that has no split inputs: every call executes
-// once over full values on the calling thread.
+// executeWhole runs a stage that has no split inputs — or a stage being
+// re-executed under the fallback policy — by executing every call once over
+// full values on the calling thread, exactly as the unannotated library
+// would. Panics are still isolated into StageErrors.
 func (s *Session) executeWhole(st *planStage) error {
 	for _, c := range st.calls {
 		args := make([]any, len(c.n.args))
 		for i, b := range c.n.args {
 			if !b.hasVal {
-				return fmt.Errorf("%s: argument %s not materialized", c.n.name, c.n.sa.Params[i].Name)
+				return s.stageErr(st, OriginInternal, fmt.Errorf("%s: argument %s not materialized", c.n.name, c.n.sa.Params[i].Name))
 			}
 			args[i] = b.val
 		}
@@ -413,11 +536,13 @@ func (s *Session) executeWhole(st *planStage) error {
 			s.opts.Logf("mozart: call %s (whole)", c.n.name)
 		}
 		t0 := time.Now()
-		ret, err := c.n.fn(args)
+		ret, err := s.safeCall(c.n.fn, args)
 		s.stats.add(&s.stats.TaskNS, time.Since(t0))
 		s.stats.Calls++
 		if err != nil {
-			return fmt.Errorf("%s: %w", c.n.name, err)
+			se := s.stageErr(st, OriginCall, fmt.Errorf("%s: %w", c.n.name, err))
+			se.Call = c.n.name
+			return se
 		}
 		if c.n.ret != nil {
 			c.n.ret.val = ret
@@ -434,15 +559,19 @@ func (s *Session) executeWhole(st *planStage) error {
 	return nil
 }
 
-func describeStage(st *planStage) string {
-	if len(st.calls) == 0 {
-		return "empty stage"
-	}
+func callNames(st *planStage) []string {
 	names := make([]string, 0, len(st.calls))
 	for _, c := range st.calls {
 		names = append(names, c.n.name)
 	}
-	return fmt.Sprintf("stage[%s]", join(names, " -> "))
+	return names
+}
+
+func describeStage(st *planStage) string {
+	if len(st.calls) == 0 {
+		return "empty stage"
+	}
+	return fmt.Sprintf("stage[%s]", join(callNames(st), " -> "))
 }
 
 func join(parts []string, sep string) string {

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// Snapshotter lets a mutable data type participate in whole-call fallback.
+// Before a stage that mutates values in place runs split, the runtime
+// snapshots every mutated input; if the stage fails with an annotation
+// fault, the snapshots are restored (into the original storage, preserving
+// aliasing identity) before the stage re-executes whole. Slices of any
+// element type are snapshotted automatically via reflection; other data
+// types either implement Snapshotter or register a snapshot function with
+// RegisterSnapshot.
+type Snapshotter interface {
+	// SnapshotValue returns an independent copy of the receiver's state.
+	SnapshotValue() (any, error)
+	// RestoreValue writes a snapshot produced by SnapshotValue back into
+	// the receiver's storage.
+	RestoreValue(snapshot any) error
+}
+
+var (
+	snapshotsMu sync.RWMutex
+	snapshots   = map[reflect.Type]func(v any) (restore func() error, err error){}
+)
+
+// RegisterSnapshot registers a snapshot function for values of the same
+// dynamic type as sample, the way RegisterDefaultSplit registers default
+// splitters: the annotator supplies integration code and the library stays
+// unmodified. fn must copy v's current state and return a closure that
+// writes the copy back into v's original storage.
+func RegisterSnapshot(sample any, fn func(v any) (restore func() error, err error)) {
+	snapshotsMu.Lock()
+	defer snapshotsMu.Unlock()
+	snapshots[reflect.TypeOf(sample)] = fn
+}
+
+// snapshotValue captures v's state and returns a restore closure. Priority:
+// the Snapshotter interface, then the RegisterSnapshot registry, then the
+// built-in reflection path for slices.
+func snapshotValue(v any) (func() error, error) {
+	if sn, ok := v.(Snapshotter); ok {
+		saved, err := sn.SnapshotValue()
+		if err != nil {
+			return nil, err
+		}
+		return func() error { return sn.RestoreValue(saved) }, nil
+	}
+	snapshotsMu.RLock()
+	fn, ok := snapshots[reflect.TypeOf(v)]
+	snapshotsMu.RUnlock()
+	if ok {
+		return fn(v)
+	}
+	rv := reflect.ValueOf(v)
+	if rv.Kind() == reflect.Slice {
+		saved := reflect.MakeSlice(rv.Type(), rv.Len(), rv.Len())
+		reflect.Copy(saved, rv)
+		return func() error { reflect.Copy(rv, saved); return nil }, nil
+	}
+	return nil, fmt.Errorf("%T is neither a slice, a core.Snapshotter, nor registered via RegisterSnapshot", v)
+}
+
+// stageSnapshot holds the restore closures for every input a stage mutates.
+type stageSnapshot struct {
+	restores []func() error
+}
+
+func (ss *stageSnapshot) restore() {
+	for _, r := range ss.restores {
+		// Restore failures are unrecoverable only for the value involved;
+		// the whole-call re-execution will surface any residue as a wrong
+		// result, which the caller can compare. Snapshot functions in this
+		// repository never fail on restore.
+		_ = r()
+	}
+}
+
+// snapshotStage captures every materialized binding the stage's calls
+// mutate. Returns an error when some mutated input cannot be snapshotted —
+// the caller then skips fallback for this stage rather than risk
+// re-executing over partially mutated data.
+func (s *Session) snapshotStage(st *planStage) (*stageSnapshot, error) {
+	snap := &stageSnapshot{}
+	seen := map[int]bool{}
+	for _, c := range st.calls {
+		for i, p := range c.n.sa.Params {
+			if !p.Mut || c.args[i].broadcast {
+				continue
+			}
+			b := c.n.args[i]
+			// Intermediates produced within the stage have no materialized
+			// full value to protect; the whole-call path recomputes them.
+			if seen[b.id] || !b.hasVal {
+				continue
+			}
+			seen[b.id] = true
+			restore, err := snapshotValue(b.val)
+			if err != nil {
+				return nil, fmt.Errorf("cannot snapshot mutated input %s of %s: %w", p.Name, c.n.name, err)
+			}
+			snap.restores = append(snap.restores, restore)
+		}
+	}
+	return snap, nil
+}
+
+// quarantineStage marks the faulty annotation so the planner runs it whole
+// for the rest of the session. When the fault identifies a call, only that
+// call is quarantined; faults in shared splitting code (Info/Split/Merge)
+// quarantine every call in the stage, since any of their annotations may
+// have supplied the faulty splitter.
+func (s *Session) quarantineStage(st *planStage, serr *StageError) {
+	var names []string
+	if serr.Call != "" {
+		names = []string{serr.Call}
+	} else {
+		names = callNames(st)
+	}
+	for _, n := range names {
+		if !s.quarantined[n] {
+			s.quarantined[n] = true
+			s.stats.QuarantinedCalls++
+		}
+	}
+}
+
+// Quarantined returns the names of annotations quarantined by the
+// FallbackQuarantine policy in this session, sorted.
+func (s *Session) Quarantined() []string {
+	names := make([]string, 0, len(s.quarantined))
+	for n := range s.quarantined {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

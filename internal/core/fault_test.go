@@ -1,0 +1,625 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Fault-tolerance tests. These hand-roll their faults instead of using
+// internal/faultinject: that package imports core, so importing it here
+// would be an import cycle. The annotation packages' tests exercise the
+// injector against the same runtime paths.
+
+// panicOnNth wraps fn to panic with msg on its nth invocation (1-based).
+func panicOnNth(fn Func, n int64, msg string) Func {
+	var calls atomic.Int64
+	return func(args []any) (any, error) {
+		if calls.Add(1) == n {
+			panic(msg)
+		}
+		return fn(args)
+	}
+}
+
+// errorOnNth wraps fn to return an error on its nth invocation (1-based).
+func errorOnNth(fn Func, n int64, msg string) Func {
+	var calls atomic.Int64
+	return func(args []any) (any, error) {
+		if calls.Add(1) == n {
+			return nil, errors.New(msg)
+		}
+		return fn(args)
+	}
+}
+
+// flakySplitter delegates to arraySplitter but fails Split on chosen
+// invocations: every invocation when failN is 0, else only the failN-th.
+type flakySplitter struct {
+	calls *atomic.Int64
+	failN int64
+	mode  string // "error" or "panic"
+}
+
+func (flakySplitter) InPlace() bool { return true }
+
+func (f flakySplitter) Info(v any, t SplitType) (RuntimeInfo, error) {
+	return arraySplitter{}.Info(v, t)
+}
+
+func (f flakySplitter) Split(v any, t SplitType, start, end int64) (any, error) {
+	if n := f.calls.Add(1); f.failN == 0 || n == f.failN {
+		if f.mode == "panic" {
+			panic("flaky split panic")
+		}
+		return nil, fmt.Errorf("flaky split error")
+	}
+	return arraySplitter{}.Split(v, t, start, end)
+}
+
+func (f flakySplitter) Merge(pieces []any, t SplitType) (any, error) {
+	return arraySplitter{}.Merge(pieces, t)
+}
+
+// saFlakyUnary is saUnary with the array params bound to a flaky splitter.
+func saFlakyUnary(name string, sp Splitter) *Annotation {
+	arr := func() TypeExpr {
+		return Concrete("ArraySplit", sp, func(args []any) (SplitType, error) {
+			return NewSplitType("ArraySplit", int64(args[0].(int))), nil
+		})
+	}
+	return &Annotation{
+		FuncName: name,
+		Params: []Param{
+			{Name: "size", Type: sizeSplitOf(0)},
+			{Name: "a", Type: arr()},
+			{Name: "out", Mut: true, Type: arr()},
+		},
+	}
+}
+
+func schedulerVariants(t *testing.T, f func(t *testing.T, dynamic bool)) {
+	t.Run("static", func(t *testing.T) { f(t, false) })
+	t.Run("dynamic", func(t *testing.T) { f(t, true) })
+}
+
+// TestPanicIsolation: a panicking annotated function must not crash the
+// process; with fallback off, Evaluate returns a StageError identifying the
+// stage, the call, and the batch range, carrying the panic value and stack.
+func TestPanicIsolation(t *testing.T) {
+	schedulerVariants(t, func(t *testing.T, dynamic bool) {
+		s := NewSession(Options{Workers: 2, BatchElems: 16, DynamicScheduling: dynamic})
+		n := 64
+		a, out := seq(n), make([]float64, n)
+		s.Call(panicOnNth(testLog1p, 2, "boom in annotated call"), saUnary("log1p"), n, a, out)
+
+		err := s.Evaluate()
+		if err == nil {
+			t.Fatal("want error from panicking call")
+		}
+		var serr *StageError
+		if !errors.As(err, &serr) {
+			t.Fatalf("want *StageError, got %T: %v", err, err)
+		}
+		if serr.Stage != 0 {
+			t.Errorf("Stage = %d, want 0", serr.Stage)
+		}
+		if serr.Call != "log1p" {
+			t.Errorf("Call = %q, want log1p", serr.Call)
+		}
+		if serr.Origin != OriginCall {
+			t.Errorf("Origin = %v, want call", serr.Origin)
+		}
+		if serr.Start < 0 || serr.End <= serr.Start || serr.End > int64(n) {
+			t.Errorf("batch range [%d,%d) not a valid range within [0,%d)", serr.Start, serr.End, n)
+		}
+		if serr.PanicValue != "boom in annotated call" {
+			t.Errorf("PanicValue = %v", serr.PanicValue)
+		}
+		if len(serr.Stack) == 0 {
+			t.Error("want non-empty panic stack")
+		}
+		if !serr.AnnotationFault() {
+			t.Error("a panic must count as an annotation fault")
+		}
+		if got := s.Stats().RecoveredPanics; got < 1 {
+			t.Errorf("RecoveredPanics = %d, want >= 1", got)
+		}
+		msg := serr.Error()
+		for _, want := range []string{"mozart: stage 0", "call log1p", "recovered panic", "elements ["} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("error %q missing %q", msg, want)
+			}
+		}
+	})
+}
+
+// TestFallbackWholeCall: with FallbackWholeCall a panicking annotated
+// function degrades to whole-call execution and produces output identical
+// to the plain library, including undoing partial in-place mutation.
+func TestFallbackWholeCall(t *testing.T) {
+	schedulerVariants(t, func(t *testing.T, dynamic bool) {
+		n := 64
+		a, out := seq(n), make([]float64, n)
+		// Serial reference: scale in place, then out = a + 1.
+		wantA := make([]float64, n)
+		wantOut := make([]float64, n)
+		for i, x := range seq(n) {
+			wantA[i] = 2 * x
+			wantOut[i] = 2*x + 1
+		}
+
+		s := NewSession(Options{Workers: 2, BatchElems: 8, DynamicScheduling: dynamic, FallbackPolicy: FallbackWholeCall})
+		s.Call(fnScale, saScale, a, 2.0)
+		// Panic mid-stage, after some batches already scaled a in place.
+		s.Call(panicOnNth(fnUnary(func(x float64) float64 { return x + 1 }), 3, "late panic"), saUnary("plus1"), n, a, out)
+		if err := s.Evaluate(); err != nil {
+			t.Fatalf("Evaluate with fallback: %v", err)
+		}
+		if !almostEqual(a, wantA) {
+			t.Errorf("a after fallback != serial reference (snapshot/restore must undo partial scaling): a[0]=%v want %v", a[0], wantA[0])
+		}
+		if !almostEqual(out, wantOut) {
+			t.Errorf("out after fallback != serial reference: out[0]=%v want %v", out[0], wantOut[0])
+		}
+		st := s.Stats()
+		if st.FallbackStages != 1 {
+			t.Errorf("FallbackStages = %d, want 1", st.FallbackStages)
+		}
+		if st.RecoveredPanics < 1 {
+			t.Errorf("RecoveredPanics = %d, want >= 1", st.RecoveredPanics)
+		}
+	})
+}
+
+// TestFallbackOnSplitError: an error returned by annotator splitting code is
+// an annotation fault and triggers fallback.
+func TestFallbackOnSplitError(t *testing.T) {
+	schedulerVariants(t, func(t *testing.T, dynamic bool) {
+		n := 64
+		a, out := seq(n), make([]float64, n)
+		var calls atomic.Int64
+		sp := flakySplitter{calls: &calls, failN: 3, mode: "error"}
+
+		s := NewSession(Options{Workers: 2, BatchElems: 8, DynamicScheduling: dynamic, FallbackPolicy: FallbackWholeCall})
+		s.Call(fnUnary(func(x float64) float64 { return x * x }), saFlakyUnary("square", sp), n, a, out)
+		if err := s.Evaluate(); err != nil {
+			t.Fatalf("Evaluate with fallback: %v", err)
+		}
+		for i, x := range seq(n) {
+			if out[i] != x*x {
+				t.Fatalf("out[%d] = %v, want %v", i, out[i], x*x)
+			}
+		}
+		if got := s.Stats().FallbackStages; got != 1 {
+			t.Errorf("FallbackStages = %d, want 1", got)
+		}
+	})
+}
+
+// TestNoFallbackForLibraryError: an error returned by the library function
+// is not an annotation fault; the fallback policy must not mask it.
+func TestNoFallbackForLibraryError(t *testing.T) {
+	schedulerVariants(t, func(t *testing.T, dynamic bool) {
+		n := 64
+		a, out := seq(n), make([]float64, n)
+		s := NewSession(Options{Workers: 2, BatchElems: 8, DynamicScheduling: dynamic, FallbackPolicy: FallbackWholeCall})
+		s.Call(errorOnNth(testLog1p, 2, "library says no"), saUnary("log1p"), n, a, out)
+		err := s.Evaluate()
+		if err == nil {
+			t.Fatal("want library error to propagate despite fallback policy")
+		}
+		var serr *StageError
+		if !errors.As(err, &serr) {
+			t.Fatalf("want *StageError, got %T", err)
+		}
+		if serr.Origin != OriginCall {
+			t.Errorf("Origin = %v, want call", serr.Origin)
+		}
+		if serr.AnnotationFault() {
+			t.Error("a library-returned error must not be an annotation fault")
+		}
+		if got := s.Stats().FallbackStages; got != 0 {
+			t.Errorf("FallbackStages = %d, want 0", got)
+		}
+	})
+}
+
+// TestQuarantine: FallbackQuarantine re-executes the faulted stage whole and
+// plans the faulty annotation unsplit for the rest of the session, so a
+// splitter that always fails faults exactly once.
+func TestQuarantine(t *testing.T) {
+	n := 64
+	a, out := seq(n), make([]float64, n)
+	var calls atomic.Int64
+	sp := flakySplitter{calls: &calls, failN: 0, mode: "error"} // every Split fails
+
+	s := NewSession(Options{Workers: 2, BatchElems: 8, FallbackPolicy: FallbackQuarantine})
+	sa := saFlakyUnary("cursed", sp)
+	fn := fnUnary(func(x float64) float64 { return x + 10 })
+
+	s.Call(fn, sa, n, a, out)
+	if err := s.Evaluate(); err != nil {
+		t.Fatalf("first Evaluate: %v", err)
+	}
+	for i, x := range seq(n) {
+		if out[i] != x+10 {
+			t.Fatalf("out[%d] = %v, want %v", i, out[i], x+10)
+		}
+	}
+	st := s.Stats()
+	if st.FallbackStages != 1 {
+		t.Fatalf("FallbackStages = %d, want 1", st.FallbackStages)
+	}
+	if st.QuarantinedCalls != 1 {
+		t.Fatalf("QuarantinedCalls = %d, want 1", st.QuarantinedCalls)
+	}
+	if q := s.Quarantined(); len(q) != 1 || q[0] != "cursed" {
+		t.Fatalf("Quarantined() = %v, want [cursed]", q)
+	}
+
+	// Second evaluation: the quarantined annotation is planned whole, so its
+	// always-failing splitter is never consulted and no new fallback occurs.
+	before := calls.Load()
+	out2 := make([]float64, n)
+	s.Call(fn, sa, n, a, out2)
+	if err := s.Evaluate(); err != nil {
+		t.Fatalf("second Evaluate: %v", err)
+	}
+	if calls.Load() != before {
+		t.Errorf("quarantined annotation's splitter was consulted again (%d -> %d calls)", before, calls.Load())
+	}
+	for i, x := range seq(n) {
+		if out2[i] != x+10 {
+			t.Fatalf("out2[%d] = %v, want %v", i, out2[i], x+10)
+		}
+	}
+	if got := s.Stats().FallbackStages; got != 1 {
+		t.Errorf("FallbackStages after second eval = %d, want still 1", got)
+	}
+}
+
+// TestCancellationStopsSiblings: after one worker fails, the others observe
+// the canceled stage context and stop claiming/processing batches instead of
+// grinding through the whole input.
+func TestCancellationStopsSiblings(t *testing.T) {
+	schedulerVariants(t, func(t *testing.T, dynamic bool) {
+		n := 200
+		a, out := seq(n), make([]float64, n)
+		slowThenFail := func() Func {
+			var calls atomic.Int64
+			return func(args []any) (any, error) {
+				if calls.Add(1) == 2 {
+					return nil, errors.New("early failure")
+				}
+				time.Sleep(2 * time.Millisecond)
+				return testLog1p(args)
+			}
+		}
+		s := NewSession(Options{Workers: 4, BatchElems: 1, DynamicScheduling: dynamic})
+		s.Call(slowThenFail(), saUnary("slow"), n, a, out)
+		err := s.Evaluate()
+		if err == nil {
+			t.Fatal("want error")
+		}
+		var serr *StageError
+		if !errors.As(err, &serr) || serr.Origin != OriginCall {
+			t.Fatalf("want call-origin StageError, got %v", err)
+		}
+		if got := s.Stats().Calls; got >= int64(n)/2 {
+			t.Errorf("Calls = %d of %d batches: siblings did not stop after cancellation", got, n)
+		}
+	})
+}
+
+// TestStageTimeout: a stage exceeding Options.StageTimeout is canceled at
+// the next batch boundary and Evaluate reports a timeout-origin StageError
+// wrapping context.DeadlineExceeded.
+func TestStageTimeout(t *testing.T) {
+	n := 200
+	a, out := seq(n), make([]float64, n)
+	slow := func(args []any) (any, error) {
+		time.Sleep(2 * time.Millisecond)
+		return testLog1p(args)
+	}
+	s := NewSession(Options{Workers: 2, BatchElems: 1, StageTimeout: 20 * time.Millisecond})
+	s.Call(slow, saUnary("slow"), n, a, out)
+	err := s.Evaluate()
+	if err == nil {
+		t.Fatal("want timeout error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("errors.Is(err, DeadlineExceeded) = false: %v", err)
+	}
+	var serr *StageError
+	if !errors.As(err, &serr) {
+		t.Fatalf("want *StageError, got %T", err)
+	}
+	if serr.Origin != OriginTimeout {
+		t.Errorf("Origin = %v, want timeout", serr.Origin)
+	}
+	if serr.AnnotationFault() {
+		t.Error("a timeout must not be an annotation fault")
+	}
+	if got := s.Stats().Calls; got >= int64(n) {
+		t.Errorf("Calls = %d, want fewer than %d (timeout should stop workers)", got, n)
+	}
+}
+
+// TestPreCanceledContext: EvaluateContext with an already-canceled context
+// fails fast with a canceled-origin StageError before running any call.
+func TestPreCanceledContext(t *testing.T) {
+	n := 32
+	a, out := seq(n), make([]float64, n)
+	s := NewSession(Options{Workers: 2})
+	s.Call(testLog1p, saUnary("log1p"), n, a, out)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.EvaluateContext(ctx)
+	if err == nil {
+		t.Fatal("want error from pre-canceled context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, Canceled) = false: %v", err)
+	}
+	var serr *StageError
+	if !errors.As(err, &serr) {
+		t.Fatalf("want *StageError, got %T", err)
+	}
+	if serr.Origin != OriginCanceled {
+		t.Errorf("Origin = %v, want canceled", serr.Origin)
+	}
+	if got := s.Stats().Calls; got != 0 {
+		t.Errorf("Calls = %d, want 0", got)
+	}
+}
+
+// TestPoisonedFutures: after a failed evaluation the session is broken;
+// bindings the failed round should have produced are poisoned
+// (ErrNotEvaluated with the failure as cause), while values materialized by
+// earlier successful rounds stay readable.
+func TestPoisonedFutures(t *testing.T) {
+	n := 32
+	a, b := seq(n), seq(n)
+	s := NewSession(Options{Workers: 2})
+
+	okFut := s.Call(fnAddNew, saAddNew, a, b)
+	if err := s.Evaluate(); err != nil {
+		t.Fatalf("first Evaluate: %v", err)
+	}
+
+	badFut := s.Call(func(args []any) (any, error) {
+		return nil, errors.New("round two fails")
+	}, saAddNew, a, b)
+	err := s.Evaluate()
+	if err == nil {
+		t.Fatal("want second Evaluate to fail")
+	}
+	if s.Err() == nil {
+		t.Error("Session.Err() should report the sticky failure")
+	}
+
+	// The earlier result is still readable.
+	if v, gerr := okFut.Float64s(); gerr != nil || len(v) != n {
+		t.Errorf("earlier result unreadable after failure: %v, %v", v, gerr)
+	}
+	// The poisoned binding reports ErrNotEvaluated with the cause attached,
+	// never a stale or partial value.
+	_, gerr := badFut.Get()
+	if gerr == nil {
+		t.Fatal("poisoned future returned a value")
+	}
+	if !errors.Is(gerr, ErrNotEvaluated) {
+		t.Errorf("errors.Is(gerr, ErrNotEvaluated) = false: %v", gerr)
+	}
+	if !strings.Contains(gerr.Error(), "session broken by") {
+		t.Errorf("poisoned error %q should carry its cause", gerr)
+	}
+	var serr *StageError
+	if !errors.As(gerr, &serr) {
+		t.Errorf("poisoned error should unwrap to the StageError cause: %v", gerr)
+	}
+	// Further evaluation attempts keep failing with the sticky error.
+	if err2 := s.Evaluate(); err2 == nil {
+		t.Error("broken session accepted another Evaluate")
+	}
+}
+
+// TestMergeZeroPiecesDeferred: merging zero pieces under a deferred (unknown)
+// split type cannot resolve a splitter; the error must say so instead of
+// silently producing a nil result.
+func TestMergeZeroPiecesDeferred(t *testing.T) {
+	s := NewSession(Options{Workers: 2})
+	fut := s.Call(fnFilterPos, saFilterPos, []float64{})
+	_, err := fut.Get()
+	if err == nil {
+		t.Fatal("want error when merging zero pieces of unknown type")
+	}
+	if !strings.Contains(err.Error(), "cannot merge zero pieces") {
+		t.Errorf("error %q should explain the zero-piece deferred merge", err)
+	}
+}
+
+// saRetNil pipes a Generic return so a nil piece can flow to a downstream
+// call (exercising the pedantic nil-piece check on call arguments).
+var saRetNil = &Annotation{
+	FuncName: "retNil",
+	Params:   []Param{{Name: "a", Type: Generic("S")}},
+	Ret:      func() *TypeExpr { t := Generic("S"); return &t }(),
+}
+
+// TestPedantic: the §7.1 debugging mode must report exact, descriptive
+// errors for mismatched element counts, zero elements, and nil pieces —
+// identically under static and dynamic scheduling — and must never be
+// masked by the fallback policy.
+func TestPedantic(t *testing.T) {
+	schedulerVariants(t, func(t *testing.T, dynamic bool) {
+		t.Run("mismatched element counts", func(t *testing.T) {
+			// size says 32 but b only has 16 elements: ArraySplit infos
+			// disagree before any batch runs.
+			n := 32
+			a, b, out := seq(n), seq(n/2), make([]float64, n)
+			s := NewSession(Options{Workers: 2, Pedantic: true, DynamicScheduling: dynamic})
+			s.Call(testAdd, saBinary("add"), n, a, b, out)
+			err := s.Evaluate()
+			if err == nil {
+				t.Fatal("want element-count mismatch error")
+			}
+			want := fmt.Sprintf("mozart: split inputs disagree on element count: %d vs %d", n, n/2)
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("error %q missing %q", err, want)
+			}
+			var serr *StageError
+			if !errors.As(err, &serr) || serr.Origin != OriginInfo {
+				t.Errorf("want info-origin StageError, got %v", err)
+			}
+		})
+
+		t.Run("zero elements", func(t *testing.T) {
+			s := NewSession(Options{Workers: 2, Pedantic: true, DynamicScheduling: dynamic})
+			s.Call(testLog1p, saUnary("log1p"), 0, []float64{}, []float64{})
+			err := s.Evaluate()
+			if err == nil {
+				t.Fatal("want zero-elements error in pedantic mode")
+			}
+			if !strings.Contains(err.Error(), "pedantic: stage received zero elements") {
+				t.Errorf("error %q missing zero-elements text", err)
+			}
+			var serr *StageError
+			if !errors.As(err, &serr) || serr.Origin != OriginPedantic {
+				t.Errorf("want pedantic-origin StageError, got %v", err)
+			}
+		})
+
+		t.Run("nil piece from splitter", func(t *testing.T) {
+			nilSplit := nilPieceSplitter{}
+			sa := &Annotation{
+				FuncName: "nilsplit",
+				Params: []Param{
+					{Name: "size", Type: sizeSplitOf(0)},
+					{Name: "a", Type: Concrete("NilSplit", nilSplit, func(args []any) (SplitType, error) {
+						return NewSplitType("NilSplit", int64(args[0].(int))), nil
+					})},
+				},
+			}
+			s := NewSession(Options{Workers: 2, Pedantic: true, DynamicScheduling: dynamic})
+			s.Call(func(args []any) (any, error) { return nil, nil }, sa, 16, seq(16))
+			err := s.Evaluate()
+			if err == nil {
+				t.Fatal("want nil-piece error in pedantic mode")
+			}
+			if !strings.Contains(err.Error(), "pedantic: splitter for NilSplit<16> produced nil piece") {
+				t.Errorf("error %q missing nil-piece text", err)
+			}
+		})
+
+		t.Run("nil piece into downstream call", func(t *testing.T) {
+			n := 16
+			a := seq(n)
+			s := NewSession(Options{Workers: 2, Pedantic: true, DynamicScheduling: dynamic})
+			mid := s.Call(func(args []any) (any, error) { return nil, nil }, saRetNil, a)
+			s.Call(fnAddNew, saAddNew, mid, a).Keep()
+			err := s.Evaluate()
+			if err == nil {
+				t.Fatal("want nil-piece error for downstream call argument")
+			}
+			if !strings.Contains(err.Error(), "pedantic: addNew received nil piece for a") {
+				t.Errorf("error %q missing downstream nil-piece text", err)
+			}
+		})
+
+		t.Run("pedantic errors never fall back", func(t *testing.T) {
+			s := NewSession(Options{Workers: 2, Pedantic: true, DynamicScheduling: dynamic, FallbackPolicy: FallbackWholeCall})
+			s.Call(testLog1p, saUnary("log1p"), 0, []float64{}, []float64{})
+			if err := s.Evaluate(); err == nil {
+				t.Fatal("fallback policy masked a pedantic error")
+			}
+			if got := s.Stats().FallbackStages; got != 0 {
+				t.Errorf("FallbackStages = %d, want 0", got)
+			}
+		})
+	})
+}
+
+// nilPieceSplitter reports elements but yields nil pieces.
+type nilPieceSplitter struct{}
+
+func (nilPieceSplitter) Info(v any, t SplitType) (RuntimeInfo, error) {
+	return RuntimeInfo{Elems: int64(len(v.([]float64))), ElemBytes: 8}, nil
+}
+func (nilPieceSplitter) Split(v any, t SplitType, start, end int64) (any, error) {
+	return nil, nil
+}
+func (nilPieceSplitter) Merge(pieces []any, t SplitType) (any, error) { return nil, nil }
+
+// saWholePanic is an annotation with no splittable params: the call always
+// runs whole, so a panic there is isolated but not eligible for fallback
+// (there is no alternative execution strategy left).
+var saWholePanic = &Annotation{
+	FuncName: "wholePanic",
+	Params:   []Param{{Name: "a", Type: Missing()}},
+}
+
+func TestWholeCallPanicIsolatedNoFallback(t *testing.T) {
+	s := NewSession(Options{Workers: 2, FallbackPolicy: FallbackWholeCall})
+	s.Call(func(args []any) (any, error) { panic("whole-call panic") }, saWholePanic, seq(8))
+	err := s.Evaluate()
+	if err == nil {
+		t.Fatal("want error from whole-call panic")
+	}
+	var serr *StageError
+	if !errors.As(err, &serr) {
+		t.Fatalf("want *StageError, got %T: %v", err, err)
+	}
+	if serr.PanicValue != "whole-call panic" {
+		t.Errorf("PanicValue = %v", serr.PanicValue)
+	}
+	st := s.Stats()
+	if st.RecoveredPanics != 1 {
+		t.Errorf("RecoveredPanics = %d, want 1", st.RecoveredPanics)
+	}
+	if st.FallbackStages != 0 {
+		t.Errorf("FallbackStages = %d, want 0 (whole calls have no fallback)", st.FallbackStages)
+	}
+}
+
+// TestFallbackPanicInSplitter: a panicking splitter (not just an erroring
+// one) also degrades cleanly.
+func TestFallbackPanicInSplitter(t *testing.T) {
+	n := 64
+	a, out := seq(n), make([]float64, n)
+	var calls atomic.Int64
+	sp := flakySplitter{calls: &calls, failN: 2, mode: "panic"}
+	s := NewSession(Options{Workers: 2, BatchElems: 8, FallbackPolicy: FallbackWholeCall})
+	s.Call(fnUnary(func(x float64) float64 { return x - 1 }), saFlakyUnary("minus1", sp), n, a, out)
+	if err := s.Evaluate(); err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	for i, x := range seq(n) {
+		if out[i] != x-1 {
+			t.Fatalf("out[%d] = %v, want %v", i, out[i], x-1)
+		}
+	}
+	st := s.Stats()
+	if st.FallbackStages != 1 || st.RecoveredPanics < 1 {
+		t.Errorf("stats = %+v, want 1 fallback and >=1 recovered panic", st)
+	}
+}
+
+// TestFutureGetContext: Future.GetContext threads its context into the
+// forced evaluation.
+func TestFutureGetContext(t *testing.T) {
+	n := 32
+	a, b := seq(n), seq(n)
+	s := NewSession(Options{Workers: 2})
+	fut := s.Call(fnAddNew, saAddNew, a, b)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := fut.GetContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("GetContext(canceled) = %v, want context.Canceled in chain", err)
+	}
+}

@@ -1,5 +1,7 @@
 package core
 
+import "context"
+
 // Future is a lazy value handle, the Go analogue of the paper's C++
 // Future<T> and Python placeholder objects (§4). Accessing the value forces
 // evaluation of the session's pending dataflow graph.
@@ -10,8 +12,24 @@ type Future struct {
 
 // Get forces evaluation of the pending graph and returns the value.
 func (f *Future) Get() (any, error) {
-	if err := f.sess.Evaluate(); err != nil {
-		return nil, err
+	return f.GetContext(context.Background())
+}
+
+// GetContext is Get under a caller-controlled context (see
+// Session.EvaluateContext). When evaluation fails, a binding materialized
+// by an earlier successful evaluation still returns its (final) value;
+// a binding the failed evaluation should have produced is poisoned and
+// returns ErrNotEvaluated with the failure as its cause — never a stale or
+// partial value.
+func (f *Future) GetContext(ctx context.Context) (any, error) {
+	if err := f.sess.EvaluateContext(ctx); err != nil {
+		if f.b.ready && !f.b.discarded {
+			return f.b.val, nil
+		}
+		if f.b.discarded {
+			return nil, ErrDiscarded
+		}
+		return nil, &notEvaluatedError{cause: err}
 	}
 	return f.sess.read(f.b)
 }

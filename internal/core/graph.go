@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"time"
@@ -38,18 +39,23 @@ type node struct {
 // accessed (or Evaluate is called explicitly). A Session is not safe for
 // concurrent use; the runtime it spawns is internally parallel.
 type Session struct {
-	opts      Options
-	nodes     []*node // pending, un-evaluated calls in program order
-	bindings  []*binding
-	byPointer map[uintptr]*binding
-	stats     Stats
-	nextID    int
-	broken    error // sticky evaluation error
+	opts        Options
+	nodes       []*node // pending, un-evaluated calls in program order
+	bindings    []*binding
+	byPointer   map[uintptr]*binding
+	stats       Stats
+	nextID      int
+	broken      error           // sticky evaluation error
+	quarantined map[string]bool // annotations forced whole by FallbackQuarantine
 }
 
 // NewSession creates a session with the given options.
 func NewSession(opts Options) *Session {
-	return &Session{opts: opts.withDefaults(), byPointer: map[uintptr]*binding{}}
+	return &Session{
+		opts:        opts.withDefaults(),
+		byPointer:   map[uintptr]*binding{},
+		quarantined: map[string]bool{},
+	}
 }
 
 // Options returns the session's effective options.
@@ -199,24 +205,38 @@ func (s *Session) Call(fn Func, sa *Annotation, args ...any) *Future {
 	return fut
 }
 
-// read returns the materialized value behind a binding.
+// read returns the materialized value behind a binding. A binding that is
+// not ready in a broken session is poisoned: it surfaces ErrNotEvaluated
+// with the evaluation failure as its cause, never a stale value.
 func (s *Session) read(b *binding) (any, error) {
 	if b.discarded {
 		return nil, ErrDiscarded
 	}
 	if !b.ready {
 		if s.broken != nil {
-			return nil, s.broken
+			return nil, &notEvaluatedError{cause: s.broken}
 		}
 		return nil, ErrNotEvaluated
 	}
 	return b.val, nil
 }
 
+// Err returns the sticky error that broke the session, or nil. A broken
+// session refuses further evaluation; values materialized before the
+// failure remain readable.
+func (s *Session) Err() error { return s.broken }
+
 // Evaluate runs the pending dataflow graph: plan into stages, execute each
 // stage with splitting, pipelining, and parallelism, then merge results.
 // It is a no-op when nothing is pending.
-func (s *Session) Evaluate() error {
+func (s *Session) Evaluate() error { return s.EvaluateContext(context.Background()) }
+
+// EvaluateContext is Evaluate under a caller-controlled context: canceling
+// ctx (or its deadline passing) stops workers at their next batch boundary
+// and fails the evaluation with a StageError wrapping the context's error.
+// In-flight library calls run to completion first — unmodified library code
+// cannot be preempted.
+func (s *Session) EvaluateContext(ctx context.Context) error {
 	if s.broken != nil {
 		return s.broken
 	}
@@ -251,7 +271,7 @@ func (s *Session) Evaluate() error {
 		return err
 	}
 
-	if err := s.execute(plan); err != nil {
+	if err := s.execute(ctx, plan); err != nil {
 		s.broken = err
 		return err
 	}

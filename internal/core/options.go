@@ -1,6 +1,31 @@
 package core
 
-import "runtime"
+import (
+	"runtime"
+	"time"
+)
+
+// FallbackPolicy selects how the runtime reacts when a stage fails because
+// of an annotation fault (a Split/Merge/Info error or a recovered panic —
+// see StageError.AnnotationFault). Splitting is an optimization over an
+// unmodified library, so the always-correct degraded path is to run the
+// stage's calls whole, unsplit and unpipelined, exactly as the plain
+// library would.
+type FallbackPolicy int
+
+const (
+	// FallbackOff (the default) fails Evaluate with a StageError.
+	FallbackOff FallbackPolicy = iota
+	// FallbackWholeCall re-executes an annotation-faulted stage via the
+	// whole-call path: in-place-mutated inputs are restored from a
+	// pre-stage snapshot and every call runs once over full values.
+	FallbackWholeCall
+	// FallbackQuarantine is FallbackWholeCall plus quarantining: the
+	// faulty annotation (the failing call when known, otherwise every call
+	// in the stage) is planned as a whole, unsplit stage for the rest of
+	// the session, so later evaluations never touch its splitters again.
+	FallbackQuarantine
+)
 
 // Options configure a Session (the paper's runtime knobs: worker count is
 // user-configured, batch size is derived from the L2 cache size, §5.2).
@@ -32,6 +57,19 @@ type Options struct {
 	// guarded memory per evaluation (simulating the paper's mprotect-based
 	// laziness; §8.5 reports ~3.5ms/GB). Zero disables the accounting.
 	UnprotectNSPerByte float64
+	// StageTimeout, when non-zero, bounds the wall-clock time of each
+	// stage. A stage that exceeds it is canceled: workers stop claiming
+	// batches (in-flight library calls run to completion first, since
+	// unmodified library code cannot be preempted) and Evaluate returns a
+	// StageError wrapping context.DeadlineExceeded.
+	StageTimeout time.Duration
+	// FallbackPolicy controls graceful degradation when an annotation
+	// fault (Split/Merge/Info error or recovered panic) breaks a stage:
+	// off (fail), whole-call re-execution, or re-execution plus
+	// quarantining the faulty annotation for the session. See the
+	// FallbackPolicy constants. Library-function errors, Pedantic-mode
+	// errors, timeouts, and cancellations never fall back.
+	FallbackPolicy FallbackPolicy
 	// Pedantic enables the §7.1 debugging mode: evaluation fails with a
 	// descriptive error if a function receives splits with differing
 	// element counts, receives no elements, or receives nil data.

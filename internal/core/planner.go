@@ -200,6 +200,18 @@ func (s *Session) buildPlan() (*plan, error) {
 	}
 
 	for _, n := range s.nodes {
+		// Quarantined annotations (FallbackQuarantine) are never split
+		// again this session: each runs whole, in its own stage, exactly
+		// like a function Mozart cannot split.
+		if s.quarantined[n.sa.FuncName] {
+			flush()
+			args := make([]resolved, len(n.args))
+			for i := range args {
+				args[i] = resolved{broadcast: true}
+			}
+			p.stages = append(p.stages, planStage{calls: []planCall{{n: n, args: args, ret: resolved{broadcast: true}}}})
+			continue
+		}
 		if s.opts.DisablePipelining {
 			// Table 4's Mozart(-pipe): every call is its own stage, so
 			// data is split and parallelized but never pipelined.

@@ -20,6 +20,11 @@ type Stats struct {
 	Stages      int64 // stages executed
 	Batches     int64 // batches executed
 	Calls       int64 // function invocations on split pieces
+
+	// Fault-tolerance counters.
+	RecoveredPanics  int64 // panics recovered from splitters and library calls
+	FallbackStages   int64 // stages re-executed whole after an annotation fault
+	QuarantinedCalls int64 // annotations quarantined for the session
 }
 
 // Total returns the sum of all phase times.
@@ -40,11 +45,16 @@ func (s *Stats) String() string {
 		return "no time recorded"
 	}
 	pct := func(ns int64) float64 { return 100 * float64(ns) / tot }
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"client %.2f%% | unprotect %.2f%% | planner %.2f%% | split %.2f%% | task %.2f%% | merge %.2f%% (total %v, %d stages, %d batches, %d calls)",
 		pct(s.ClientNS), pct(s.UnprotectNS), pct(s.PlannerNS),
 		pct(s.SplitNS), pct(s.TaskNS), pct(s.MergeNS),
 		s.Total(), s.Stages, s.Batches, s.Calls)
+	if s.RecoveredPanics > 0 || s.FallbackStages > 0 || s.QuarantinedCalls > 0 {
+		out += fmt.Sprintf(" [%d recovered panics, %d fallback stages, %d quarantined]",
+			s.RecoveredPanics, s.FallbackStages, s.QuarantinedCalls)
+	}
+	return out
 }
 
 // Snapshot returns a copy of the statistics safe to read while workers are
@@ -61,5 +71,9 @@ func (s *Stats) Snapshot() Stats {
 		Stages:      atomic.LoadInt64(&s.Stages),
 		Batches:     atomic.LoadInt64(&s.Batches),
 		Calls:       atomic.LoadInt64(&s.Calls),
+
+		RecoveredPanics:  atomic.LoadInt64(&s.RecoveredPanics),
+		FallbackStages:   atomic.LoadInt64(&s.FallbackStages),
+		QuarantinedCalls: atomic.LoadInt64(&s.QuarantinedCalls),
 	}
 }

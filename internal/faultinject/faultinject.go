@@ -1,0 +1,274 @@
+// Package faultinject is a deterministic, seedable fault injector for the
+// Mozart runtime's fault-tolerance paths. It wraps the two surfaces the
+// runtime calls into — library functions (core.Func) and splitting code
+// (core.Splitter) — and arms faults that fire on a chosen invocation:
+// panic-on-Nth-batch, error-on-split, slow-call, corrupt-merge, and the
+// other combinations of aspect × kind.
+//
+// Counters are atomic, so a fault armed for the Nth invocation fires
+// exactly once even when workers race for batches; the seed drives the
+// "random invocation" helpers so concurrent test runs stay reproducible.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mozart/internal/core"
+)
+
+// Aspect names the runtime surface a fault intercepts.
+type Aspect string
+
+const (
+	AspectCall  Aspect = "call"  // the library function itself
+	AspectInfo  Aspect = "info"  // Splitter.Info
+	AspectSplit Aspect = "split" // Splitter.Split
+	AspectMerge Aspect = "merge" // Splitter.Merge
+)
+
+// Kind is what the fault does when it fires.
+type Kind int
+
+const (
+	// KindPanic panics with a descriptive value.
+	KindPanic Kind = iota
+	// KindError returns an injected error.
+	KindError
+	// KindSlow sleeps Delay, then proceeds normally (for cancellation and
+	// timeout tests).
+	KindSlow
+	// KindCorrupt perturbs the operation's result (merge only): the first
+	// element of a []float64 result is shifted by 1e9. Other result types
+	// pass through unchanged.
+	KindCorrupt
+)
+
+// Fault is one armed fault at a site.
+type Fault struct {
+	Aspect Aspect
+	Kind   Kind
+	N      int64         // fire on the Nth invocation (1-based); 0 = every invocation
+	Delay  time.Duration // KindSlow
+	Msg    string        // optional message override
+}
+
+// Injector arms faults per site name and intercepts wrapped functions and
+// splitters. A zero site list means everything passes through untouched.
+type Injector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	faults map[string][]Fault
+	counts map[string]*atomic.Int64
+}
+
+// New creates an injector whose random helpers draw from seed.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:    rand.New(rand.NewSource(seed)),
+		faults: map[string][]Fault{},
+		counts: map[string]*atomic.Int64{},
+	}
+}
+
+// Add arms a fault at site.
+func (in *Injector) Add(site string, f Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.faults[site] = append(in.faults[site], f)
+}
+
+// Count reports how many invocations of the given aspect the site has seen.
+func (in *Injector) Count(site string, a Aspect) int64 {
+	return in.counter(site, a).Load()
+}
+
+// Reset zeroes every invocation counter (armed faults stay armed).
+func (in *Injector) Reset() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, c := range in.counts {
+		c.Store(0)
+	}
+}
+
+// PanicOnNthCall arms a panic on the site's Nth library-function call.
+func (in *Injector) PanicOnNthCall(site string, n int64) {
+	in.Add(site, Fault{Aspect: AspectCall, Kind: KindPanic, N: n})
+}
+
+// ErrorOnNthCall arms an error return on the Nth library-function call.
+func (in *Injector) ErrorOnNthCall(site string, n int64) {
+	in.Add(site, Fault{Aspect: AspectCall, Kind: KindError, N: n})
+}
+
+// SlowCalls makes every library-function call at site sleep d first.
+func (in *Injector) SlowCalls(site string, d time.Duration) {
+	in.Add(site, Fault{Aspect: AspectCall, Kind: KindSlow, Delay: d})
+}
+
+// PanicOnNthSplit arms a panic on the site's Nth Split invocation.
+func (in *Injector) PanicOnNthSplit(site string, n int64) {
+	in.Add(site, Fault{Aspect: AspectSplit, Kind: KindPanic, N: n})
+}
+
+// ErrorOnNthSplit arms an error return on the Nth Split invocation.
+func (in *Injector) ErrorOnNthSplit(site string, n int64) {
+	in.Add(site, Fault{Aspect: AspectSplit, Kind: KindError, N: n})
+}
+
+// ErrorOnNthMerge arms an error return on the Nth Merge invocation.
+func (in *Injector) ErrorOnNthMerge(site string, n int64) {
+	in.Add(site, Fault{Aspect: AspectMerge, Kind: KindError, N: n})
+}
+
+// CorruptNthMerge perturbs the result of the Nth Merge invocation.
+func (in *Injector) CorruptNthMerge(site string, n int64) {
+	in.Add(site, Fault{Aspect: AspectMerge, Kind: KindCorrupt, N: n})
+}
+
+// ErrorOnNthInfo arms an error return on the Nth Info invocation.
+func (in *Injector) ErrorOnNthInfo(site string, n int64) {
+	in.Add(site, Fault{Aspect: AspectInfo, Kind: KindError, N: n})
+}
+
+// PanicOnRandomCall arms a panic on an invocation drawn uniformly from
+// [1, outOf] using the injector's seed, and returns the chosen invocation
+// so tests can log it.
+func (in *Injector) PanicOnRandomCall(site string, outOf int64) int64 {
+	in.mu.Lock()
+	n := 1 + in.rng.Int63n(outOf)
+	in.mu.Unlock()
+	in.PanicOnNthCall(site, n)
+	return n
+}
+
+func (in *Injector) counter(site string, a Aspect) *atomic.Int64 {
+	key := site + "/" + string(a)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	c, ok := in.counts[key]
+	if !ok {
+		c = &atomic.Int64{}
+		in.counts[key] = c
+	}
+	return c
+}
+
+// fire advances the site's counter for aspect a and reports the armed fault
+// that matches this invocation, if any.
+func (in *Injector) fire(site string, a Aspect) (Fault, bool) {
+	n := in.counter(site, a).Add(1)
+	in.mu.Lock()
+	faults := in.faults[site]
+	var hit Fault
+	var ok bool
+	for _, f := range faults {
+		if f.Aspect != a {
+			continue
+		}
+		if f.N == 0 || f.N == n {
+			hit, ok = f, true
+			break
+		}
+	}
+	in.mu.Unlock()
+	return hit, ok
+}
+
+func (in *Injector) act(f Fault, site string, a Aspect) error {
+	msg := f.Msg
+	if msg == "" {
+		msg = fmt.Sprintf("faultinject: injected %s fault at %s", a, site)
+	}
+	switch f.Kind {
+	case KindSlow:
+		time.Sleep(f.Delay)
+		return nil
+	case KindPanic:
+		panic(msg)
+	case KindError:
+		return fmt.Errorf("%s", msg)
+	}
+	return nil
+}
+
+// WrapFunc intercepts a library function registered with Session.Call.
+func (in *Injector) WrapFunc(site string, fn core.Func) core.Func {
+	return func(args []any) (any, error) {
+		if f, ok := in.fire(site, AspectCall); ok {
+			if err := in.act(f, site, AspectCall); err != nil {
+				return nil, err
+			}
+		}
+		return fn(args)
+	}
+}
+
+// WrapSplitter intercepts a splitter's Info/Split/Merge. The wrapper
+// preserves the underlying splitter's in-place declaration.
+func (in *Injector) WrapSplitter(site string, sp core.Splitter) core.Splitter {
+	return &faultSplitter{in: in, site: site, sp: sp}
+}
+
+type faultSplitter struct {
+	in   *Injector
+	site string
+	sp   core.Splitter
+}
+
+func (fs *faultSplitter) InPlace() bool {
+	if ip, ok := fs.sp.(core.InPlacer); ok {
+		return ip.InPlace()
+	}
+	return false
+}
+
+func (fs *faultSplitter) Info(v any, t core.SplitType) (core.RuntimeInfo, error) {
+	if f, ok := fs.in.fire(fs.site, AspectInfo); ok {
+		if err := fs.in.act(f, fs.site, AspectInfo); err != nil {
+			return core.RuntimeInfo{}, err
+		}
+	}
+	return fs.sp.Info(v, t)
+}
+
+func (fs *faultSplitter) Split(v any, t core.SplitType, start, end int64) (any, error) {
+	if f, ok := fs.in.fire(fs.site, AspectSplit); ok {
+		if err := fs.in.act(f, fs.site, AspectSplit); err != nil {
+			return nil, err
+		}
+	}
+	return fs.sp.Split(v, t, start, end)
+}
+
+func (fs *faultSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
+	f, armed := fs.in.fire(fs.site, AspectMerge)
+	if armed && f.Kind != KindCorrupt {
+		if err := fs.in.act(f, fs.site, AspectMerge); err != nil {
+			return nil, err
+		}
+	}
+	merged, err := fs.sp.Merge(pieces, t)
+	if err != nil {
+		return nil, err
+	}
+	if armed && f.Kind == KindCorrupt {
+		merged = corrupt(merged)
+	}
+	return merged, nil
+}
+
+// corrupt deterministically perturbs a merged value: []float64 results get
+// their first element shifted; other types pass through unchanged.
+func corrupt(v any) any {
+	if fs, ok := v.([]float64); ok && len(fs) > 0 {
+		out := append([]float64(nil), fs...)
+		out[0] += 1e9
+		return out
+	}
+	return v
+}

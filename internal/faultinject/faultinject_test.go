@@ -1,0 +1,209 @@
+package faultinject_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mozart/internal/core"
+	"mozart/internal/faultinject"
+)
+
+// chunkSplitter is a minimal []float64 splitter for exercising the wrapper.
+type chunkSplitter struct{}
+
+func (chunkSplitter) InPlace() bool { return true }
+
+func (chunkSplitter) Info(v any, t core.SplitType) (core.RuntimeInfo, error) {
+	return core.RuntimeInfo{Elems: int64(len(v.([]float64))), ElemBytes: 8}, nil
+}
+
+func (chunkSplitter) Split(v any, t core.SplitType, start, end int64) (any, error) {
+	return v.([]float64)[start:end], nil
+}
+
+func (chunkSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
+	var out []float64
+	for _, p := range pieces {
+		out = append(out, p.([]float64)...)
+	}
+	return out, nil
+}
+
+func okFn(args []any) (any, error) { return args[0], nil }
+
+func TestNthCallFiresExactlyOnce(t *testing.T) {
+	inj := faultinject.New(0)
+	inj.ErrorOnNthCall("f", 3)
+	fn := inj.WrapFunc("f", okFn)
+	for i := 1; i <= 5; i++ {
+		_, err := fn([]any{i})
+		if (i == 3) != (err != nil) {
+			t.Errorf("call %d: err = %v", i, err)
+		}
+	}
+	if got := inj.Count("f", faultinject.AspectCall); got != 5 {
+		t.Errorf("Count = %d, want 5", got)
+	}
+}
+
+func TestEveryCallFault(t *testing.T) {
+	inj := faultinject.New(0)
+	inj.Add("f", faultinject.Fault{Aspect: faultinject.AspectCall, Kind: faultinject.KindError, Msg: "always"})
+	fn := inj.WrapFunc("f", okFn)
+	for i := 0; i < 3; i++ {
+		if _, err := fn(nil); err == nil || err.Error() != "always" {
+			t.Fatalf("call %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	inj := faultinject.New(0)
+	inj.PanicOnNthCall("f", 1)
+	fn := inj.WrapFunc("f", okFn)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("want panic")
+		}
+		if !strings.Contains(r.(string), "injected call fault at f") {
+			t.Errorf("panic value %v", r)
+		}
+	}()
+	_, _ = fn(nil)
+}
+
+func TestSlowKind(t *testing.T) {
+	inj := faultinject.New(0)
+	inj.SlowCalls("f", 5*time.Millisecond)
+	fn := inj.WrapFunc("f", okFn)
+	t0 := time.Now()
+	if _, err := fn([]any{1}); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(t0) < 5*time.Millisecond {
+		t.Error("slow fault did not delay the call")
+	}
+}
+
+func TestWrapSplitterPreservesInPlace(t *testing.T) {
+	inj := faultinject.New(0)
+	wrapped := inj.WrapSplitter("s", chunkSplitter{})
+	ip, ok := wrapped.(core.InPlacer)
+	if !ok || !ip.InPlace() {
+		t.Error("wrapper must preserve the underlying InPlace declaration")
+	}
+}
+
+func TestSplitAndInfoFaults(t *testing.T) {
+	inj := faultinject.New(0)
+	inj.ErrorOnNthInfo("s", 1)
+	inj.ErrorOnNthSplit("s", 2)
+	sp := inj.WrapSplitter("s", chunkSplitter{})
+	data := []float64{1, 2, 3, 4}
+
+	if _, err := sp.Info(data, core.SplitType{}); err == nil {
+		t.Error("want injected Info error")
+	}
+	if _, err := sp.Info(data, core.SplitType{}); err != nil {
+		t.Errorf("second Info: %v", err)
+	}
+	if _, err := sp.Split(data, core.SplitType{}, 0, 2); err != nil {
+		t.Errorf("first Split: %v", err)
+	}
+	if _, err := sp.Split(data, core.SplitType{}, 2, 4); err == nil {
+		t.Error("want injected Split error on second invocation")
+	}
+}
+
+func TestCorruptMerge(t *testing.T) {
+	inj := faultinject.New(0)
+	inj.CorruptNthMerge("s", 1)
+	sp := inj.WrapSplitter("s", chunkSplitter{})
+	merged, err := sp.Merge([]any{[]float64{1, 2}, []float64{3}}, core.SplitType{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := merged.([]float64)
+	if out[0] <= 1e8 {
+		t.Errorf("merge was not corrupted: %v", out)
+	}
+	if out[1] != 2 || out[2] != 3 {
+		t.Errorf("corruption touched more than the first element: %v", out)
+	}
+
+	merged, err = sp.Merge([]any{[]float64{1, 2}}, core.SplitType{})
+	if err != nil || merged.([]float64)[0] != 1 {
+		t.Errorf("second merge should be clean: %v, %v", merged, err)
+	}
+}
+
+func TestErrorOnMerge(t *testing.T) {
+	inj := faultinject.New(0)
+	inj.ErrorOnNthMerge("s", 1)
+	sp := inj.WrapSplitter("s", chunkSplitter{})
+	if _, err := sp.Merge([]any{[]float64{1}}, core.SplitType{}); err == nil {
+		t.Error("want injected Merge error")
+	}
+}
+
+func TestSeededRandomIsDeterministic(t *testing.T) {
+	a := faultinject.New(99).PanicOnRandomCall("f", 1000)
+	b := faultinject.New(99).PanicOnRandomCall("f", 1000)
+	if a != b {
+		t.Errorf("same seed chose different invocations: %d vs %d", a, b)
+	}
+	if a < 1 || a > 1000 {
+		t.Errorf("chosen invocation %d out of range", a)
+	}
+}
+
+func TestReset(t *testing.T) {
+	inj := faultinject.New(0)
+	fn := inj.WrapFunc("f", okFn)
+	_, _ = fn([]any{1})
+	inj.Reset()
+	if got := inj.Count("f", faultinject.AspectCall); got != 0 {
+		t.Errorf("Count after Reset = %d, want 0", got)
+	}
+}
+
+// TestInjectorDrivesRuntimeFallback closes the loop: an injector-armed
+// panic inside a real session is recovered and degraded by the runtime.
+func TestInjectorDrivesRuntimeFallback(t *testing.T) {
+	inj := faultinject.New(0)
+	inj.PanicOnNthCall("lib", 2)
+	double := inj.WrapFunc("lib", func(args []any) (any, error) {
+		in := args[0].([]float64)
+		out := make([]float64, len(in))
+		for i, x := range in {
+			out[i] = 2 * x
+		}
+		return out, nil
+	})
+	sexpr := core.Concrete("Chunk", inj.WrapSplitter("lib", chunkSplitter{}), func(args []any) (core.SplitType, error) {
+		return core.NewSplitType("Chunk", int64(len(args[0].([]float64)))), nil
+	})
+	ret := sexpr
+	sa := &core.Annotation{FuncName: "lib", Params: []core.Param{{Name: "a", Type: sexpr}}, Ret: &ret}
+
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	s := core.NewSession(core.Options{Workers: 2, BatchElems: 8, FallbackPolicy: core.FallbackWholeCall})
+	v, err := s.Call(double, sa, data).Get()
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	out := v.([]float64)
+	for i := range data {
+		if out[i] != 2*data[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, out[i], 2*data[i])
+		}
+	}
+	if st := s.Stats(); st.RecoveredPanics < 1 || st.FallbackStages != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
