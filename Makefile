@@ -1,12 +1,14 @@
 # Developer and CI entry points. `make ci` is what the GitHub Actions
-# workflow runs: vet, build, plain tests, then the race detector over the
-# runtime-heavy packages.
+# workflow runs: vet (fail fast), build, plain tests, the race detector
+# over the runtime-heavy packages, the flakiness gate (the fault-tolerance
+# suites twice under -race, so a nondeterministic retry/breaker/admission
+# test cannot land green), and the faults-experiment smoke.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race flaky smoke-faults bench
 
-ci: vet build test race
+ci: vet build test race flaky smoke-faults
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +21,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Flakiness gate: the resilience machinery (retry, breakers, admission,
+# fault injection) is timing-sensitive by nature; run its suites twice
+# under the race detector to shake out order dependence.
+flaky:
+	$(GO) test -race -count=2 ./internal/core ./internal/faultinject
+
+# Smoke-run the fault-tolerance ablation end to end.
+smoke-faults:
+	$(GO) run ./cmd/sabench -experiment faults
 
 # Regenerate the paper's figures/tables (see cmd/sabench).
 bench:

@@ -107,14 +107,14 @@ func faults(scaleDiv int) {
 		return "matches library"
 	}
 
-	runPipeline := func(inj *faultinject.Injector, policy core.FallbackPolicy, rounds int) (float64, core.Stats, []float64) {
+	runPipeline := func(inj *faultinject.Injector, opts core.Options, rounds int) (float64, core.Stats, []float64) {
 		calls := faultCalls(inj)
 		d1, tmp, vol := mkInputs()
 		var s *core.Session
 		start := time.Now()
 		for r := 0; r < rounds; r++ {
 			if r == 0 {
-				s = core.NewSession(core.Options{FallbackPolicy: policy})
+				s = core.NewSession(opts)
 			}
 			s.Call(calls["log1p"].fn, calls["log1p"].sa, n, d1, d1)
 			s.Call(calls["add"].fn, calls["add"].sa, n, d1, tmp, d1)
@@ -136,7 +136,7 @@ func faults(scaleDiv int) {
 	var rows []row
 
 	// Clean annotated run.
-	sec, st, d1 := runPipeline(faultinject.New(0), core.FallbackOff, 1)
+	sec, st, d1 := runPipeline(faultinject.New(0), core.Options{}, 1)
 	clean := sec
 	rows = append(rows, row{"mozart clean", sec, st, match(d1)})
 
@@ -144,25 +144,56 @@ func faults(scaleDiv int) {
 	// stage unsplit after restoring the in-place-mutated inputs.
 	inj := faultinject.New(0)
 	inj.PanicOnNthCall("vdLog1p", 2)
-	sec, st, d1 = runPipeline(inj, core.FallbackWholeCall, 1)
+	sec, st, d1 = runPipeline(inj, core.Options{FallbackPolicy: core.FallbackWholeCall}, 1)
 	rows = append(rows, row{"panic -> whole-call fallback", sec, st, match(d1)})
 
 	// Splitter error with quarantine: round 1 falls back and quarantines
 	// vdLog1p; round 2 plans it whole without consulting the splitter.
 	inj = faultinject.New(0)
 	inj.ErrorOnNthSplit("vdLog1p", 1)
-	sec, st, d1 = runPipeline(inj, core.FallbackQuarantine, 2)
+	sec, st, d1 = runPipeline(inj, core.Options{FallbackPolicy: core.FallbackQuarantine}, 2)
 	// Round 2 recomputes over the round-1 output, so skip the value check.
 	rows = append(rows, row{"split error -> quarantine (2 rounds)", sec, st, "n/a (iterated)"})
 
+	// Transient library outage on one vdAdd batch. Without a retry policy
+	// the evaluation aborts (the seed's behavior); with MaxAttempts 3 the
+	// runtime replays just that batch and the run completes exactly.
+	inj = faultinject.New(0)
+	inj.TransientErrorOnCalls("vdAdd", 2, 2)
+	sec, st, d1 = runPipeline(inj, core.Options{
+		RetryPolicy: core.RetryPolicy{MaxAttempts: 3},
+	}, 1)
+	rows = append(rows, row{"transient call error -> batch retry", sec, st, match(d1)})
+
+	// The same transient splitter outage, but with a breaker that cools
+	// down: round 1 trips it, round 2 runs whole (open), round 3's probe
+	// splits again and closes it — quarantine that heals.
+	inj = faultinject.New(0)
+	inj.TransientErrorOnSplits("vdLog1p", 1, 1)
+	sec, st, d1 = runPipeline(inj, core.Options{
+		FallbackPolicy: core.FallbackQuarantine,
+		Breaker:        core.BreakerPolicy{Threshold: 1, Cooldown: time.Millisecond},
+	}, 3)
+	rows = append(rows, row{"split outage -> breaker heals (3 rounds)", sec, st, "n/a (iterated)"})
+
+	// Memory-budget admission: the governor caps the modeled working set at
+	// a quarter of the arrays, so stages shrink their batches to fit.
+	sec, st, d1 = runPipeline(faultinject.New(0), core.Options{
+		MemoryBudgetBytes: int64(n) * 8,
+	}, 1)
+	rows = append(rows, row{"admission (budget = n*8 bytes)", sec, st, match(d1)})
+
 	w := tw()
-	fmt.Fprintln(w, "variant\ttime\tvs clean\trecovered panics\tfallback stages\tquarantined\tresult")
-	fmt.Fprintf(w, "library (whole calls)\t%.3fs\t%.2fx\t-\t-\t-\treference\n", libTime, libTime/clean)
+	fmt.Fprintln(w, "variant\ttime\tvs clean\tpanics\tfallbacks\tquarantined\tretried\ttrips\tadm wait\tresult")
+	fmt.Fprintf(w, "library (whole calls)\t%.3fs\t%.2fx\t-\t-\t-\t-\t-\t-\treference\n", libTime, libTime/clean)
 	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%.3fs\t%.2fx\t%d\t%d\t%d\t%s\n", r.name, r.seconds, r.seconds/clean,
-			r.stats.RecoveredPanics, r.stats.FallbackStages, r.stats.QuarantinedCalls, r.check)
+		fmt.Fprintf(w, "%s\t%.3fs\t%.2fx\t%d\t%d\t%d\t%d\t%d\t%v\t%s\n", r.name, r.seconds, r.seconds/clean,
+			r.stats.RecoveredPanics, r.stats.FallbackStages, r.stats.QuarantinedCalls,
+			r.stats.RetriedBatches, r.stats.BreakerTrips,
+			time.Duration(r.stats.AdmissionWaitNS), r.check)
 	}
 	w.Flush()
 	fmt.Println("(fallback pays for the wasted split attempt plus one unsplit re-execution;")
-	fmt.Println(" quarantine amortizes that to whole-call speed on later evaluations)")
+	fmt.Println(" quarantine amortizes that to whole-call speed on later evaluations; batch")
+	fmt.Println(" retry and breaker recovery keep split-speed execution after transient faults)")
 }

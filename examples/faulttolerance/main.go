@@ -4,14 +4,19 @@
 // StageError instead of crashing the process; with a fallback policy set,
 // the runtime restores the in-place-mutated inputs and re-executes the
 // stage whole, exactly as the unannotated library would have run, and can
-// quarantine the faulty annotation for the rest of the session.
+// quarantine the faulty annotation for the rest of the session. On top of
+// that, transient errors replay a single batch (RetryPolicy), tripped
+// quarantines heal through a circuit-breaker cooldown (BreakerPolicy), and
+// concurrent sessions can share a memory budget (Governor).
 package main
 
 import (
 	"errors"
 	"fmt"
 	"log"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"mozart"
 	"mozart/internal/annotations/vmathsa"
@@ -37,6 +42,76 @@ func flakyPlus1() (mozart.Func, *mozart.Annotation) {
 		{Name: "out", Mut: true, Type: vmathsa.ArraySplit(0)},
 	}}
 	return fn, sa
+}
+
+// plus1Annotation builds the plus1 SA over the given array type expression.
+func plus1Annotation(arr mozart.TypeExpr) *mozart.Annotation {
+	return &mozart.Annotation{FuncName: "plus1", Params: []mozart.Param{
+		{Name: "size", Type: vmathsa.SizeSplit(0)},
+		{Name: "a", Type: arr},
+		{Name: "out", Mut: true, Type: arr},
+	}}
+}
+
+// plus1 is the healthy annotated out[i] = a[i] + 1.
+func plus1() (mozart.Func, *mozart.Annotation) {
+	fn := func(args []any) (any, error) {
+		a, out := args[1].([]float64), args[2].([]float64)
+		for i := range a {
+			out[i] = a[i] + 1
+		}
+		return nil, nil
+	}
+	return fn, plus1Annotation(vmathsa.ArraySplit(0))
+}
+
+// transientPlus1 is plus1 whose second batch fails once with an error
+// wrapping mozart.ErrTransient — a recoverable outage, not a bug.
+func transientPlus1() (mozart.Func, *mozart.Annotation) {
+	var calls atomic.Int64
+	fn := func(args []any) (any, error) {
+		if calls.Add(1) == 2 {
+			return nil, fmt.Errorf("backend briefly unavailable: %w", mozart.ErrTransient)
+		}
+		a, out := args[1].([]float64), args[2].([]float64)
+		for i := range a {
+			out[i] = a[i] + 1
+		}
+		return nil, nil
+	}
+	return fn, plus1Annotation(vmathsa.ArraySplit(0))
+}
+
+// flakySplitter fails its first Split invocation, then behaves normally.
+type flakySplitter struct {
+	splits atomic.Int64
+	inner  vmathsa.ArraySplitter
+}
+
+func (f *flakySplitter) InPlace() bool { return true }
+func (f *flakySplitter) Info(v any, t mozart.SplitType) (mozart.RuntimeInfo, error) {
+	return f.inner.Info(v, t)
+}
+func (f *flakySplitter) Split(v any, t mozart.SplitType, start, end int64) (any, error) {
+	if f.splits.Add(1) == 1 {
+		return nil, fmt.Errorf("split outage: %w", mozart.ErrTransient)
+	}
+	return f.inner.Split(v, t, start, end)
+}
+func (f *flakySplitter) Merge(pieces []any, t mozart.SplitType) (any, error) {
+	return f.inner.Merge(pieces, t)
+}
+
+// oneShotSplitFault is plus1 under an annotation whose splitter fails its
+// very first Split and then heals — the shape a circuit breaker recovers
+// from.
+func oneShotSplitFault() (mozart.Func, *mozart.Annotation) {
+	fn, _ := plus1()
+	sp := &flakySplitter{}
+	arr := mozart.Concrete("ArraySplit", sp, func(args []any) (mozart.SplitType, error) {
+		return mozart.NewSplitType("ArraySplit", int64(args[0].(int))), nil
+	})
+	return fn, plus1Annotation(arr)
 }
 
 func inputs(n int) ([]float64, []float64) {
@@ -102,6 +177,67 @@ func main() {
 	if err := s.Evaluate(); err != nil {
 		log.Fatalf("second evaluation failed: %v", err)
 	}
-	fmt.Printf("  second evaluation (planned whole): out2[1]=%v, fallbacks still %d\n",
+	fmt.Printf("  second evaluation (planned whole): out2[1]=%v, fallbacks still %d\n\n",
 		out2[1], s.Stats().FallbackStages)
+
+	// 4. RetryPolicy: a transient library error (wrapping ErrTransient) on
+	// one batch is replayed in place — no fallback, no quarantine, and the
+	// result is identical to a fault-free run.
+	fn, sa = transientPlus1()
+	a, out = inputs(n)
+	s = mozart.NewSession(mozart.Options{Workers: 4, BatchElems: 1 << 13,
+		RetryPolicy: mozart.RetryPolicy{MaxAttempts: 3}})
+	s.Call(fn, sa, n, a, out)
+	if err := s.Evaluate(); err != nil {
+		log.Fatalf("retry run failed: %v", err)
+	}
+	st = s.Stats()
+	fmt.Printf("batch retry:\n  out[1]=%v (exact), retried batches=%d, fallbacks=%d\n\n",
+		out[1], st.RetriedBatches, st.FallbackStages)
+
+	// 5. BreakerPolicy: quarantine with a cooldown. The first fault trips
+	// the breaker; after the cooldown the next plan is a half-open probe
+	// that splits again, and on success the annotation returns to full
+	// split execution.
+	fn, sa = oneShotSplitFault()
+	a, out = inputs(n)
+	s = mozart.NewSession(mozart.Options{Workers: 4, BatchElems: 1 << 13,
+		FallbackPolicy: mozart.FallbackQuarantine,
+		Breaker:        mozart.BreakerPolicy{Threshold: 1, Cooldown: time.Millisecond}})
+	s.Call(fn, sa, n, a, out)
+	if err := s.Evaluate(); err != nil {
+		log.Fatalf("breaker run failed: %v", err)
+	}
+	fmt.Printf("circuit breaker:\n  after fault: quarantined=%v\n", s.Quarantined())
+	time.Sleep(5 * time.Millisecond) // let the breaker cool down
+	out2 = make([]float64, n)
+	s.Call(fn, sa, n, a, out2)
+	if err := s.Evaluate(); err != nil {
+		log.Fatalf("probe evaluation failed: %v", err)
+	}
+	st = s.Stats()
+	fmt.Printf("  after cooldown probe: quarantined=%v, trips=%d, recoveries=%d\n\n",
+		s.Quarantined(), st.BreakerTrips, st.BreakerRecoveries)
+
+	// 6. Governor: two sessions share one memory budget, so their combined
+	// modeled working set (workers x batch x elem bytes) never exceeds it —
+	// stages shrink their batches or wait instead of thrashing the cache.
+	g := mozart.NewGovernor(1 << 16)
+	var wg sync.WaitGroup
+	for k := 0; k < 2; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fnOK, saOK := plus1()
+			a, out := inputs(n)
+			sess := mozart.NewSession(mozart.Options{Workers: 4, BatchElems: 1 << 13, Governor: g})
+			sess.Call(fnOK, saOK, n, a, out)
+			if err := sess.Evaluate(); err != nil {
+				log.Fatalf("governed run failed: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("shared governor:\n  budget=%d high water=%d (never above budget), waits=%d\n",
+		g.Budget(), g.HighWater(), g.Waits())
 }

@@ -1,0 +1,56 @@
+// Package checksuite defines the shared shape of §7.1 soundness-check
+// cases. Each annotation package exports CheckCases() []checksuite.Case
+// from inside the package (the Func/Annotation pairs are unexported), and
+// the suite's single table-driven test runs core.CheckAnnotation over every
+// case of every registered package — the repository-wide answer to the
+// paper's "we also fuzz tested our annotated functions".
+package checksuite
+
+import (
+	"math"
+
+	"mozart/internal/core"
+)
+
+// Case is one annotated function under soundness check: the raw
+// Func/Annotation pair (not the session wrapper), a deterministic argument
+// generator, and an equality predicate for results and mut arguments.
+type Case struct {
+	Name string
+	Fn   core.Func
+	SA   *core.Annotation
+	// Gen must return an independent but identical argument list when
+	// called twice with the same seed (CheckAnnotation's contract).
+	Gen func(seed int64) []any
+	Eq  func(got, want any) bool
+	Cfg core.CheckConfig
+}
+
+// FloatsEq compares float64 scalars and []float64 slices with a relative
+// tolerance, the equality most numeric cases need.
+func FloatsEq(got, want any) bool {
+	switch w := want.(type) {
+	case float64:
+		g, ok := got.(float64)
+		return ok && close64(g, w)
+	case []float64:
+		g, ok := got.([]float64)
+		if !ok || len(g) != len(w) {
+			return false
+		}
+		for i := range g {
+			if !close64(g[i], w[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func close64(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(b))
+}

@@ -1,0 +1,50 @@
+package checksuite_test
+
+import (
+	"testing"
+
+	"mozart/internal/annotations/checksuite"
+	"mozart/internal/annotations/framesa"
+	"mozart/internal/annotations/gensa"
+	"mozart/internal/annotations/imagesa"
+	"mozart/internal/annotations/nlpsa"
+	"mozart/internal/annotations/tensorsa"
+	"mozart/internal/annotations/vmathsa"
+	"mozart/internal/core"
+)
+
+// TestEveryAnnotationPackagePassesCheckAnnotation fuzz-checks the §3.4
+// soundness condition for every registered annotation package in one
+// table: each package contributes its Func/Annotation pairs via
+// CheckCases(), and a package exporting no cases is itself a failure so a
+// new integration cannot silently opt out of the suite.
+func TestEveryAnnotationPackagePassesCheckAnnotation(t *testing.T) {
+	groups := []struct {
+		pkg   string
+		cases []checksuite.Case
+	}{
+		{"vmathsa", vmathsa.CheckCases()},
+		{"tensorsa", tensorsa.CheckCases()},
+		{"framesa", framesa.CheckCases()},
+		{"nlpsa", nlpsa.CheckCases()},
+		{"imagesa", imagesa.CheckCases()},
+		{"gensa", gensa.CheckCases()},
+	}
+	for _, g := range groups {
+		if len(g.cases) == 0 {
+			t.Errorf("%s: no check cases exported", g.pkg)
+			continue
+		}
+		for _, c := range g.cases {
+			t.Run(g.pkg+"/"+c.Name, func(t *testing.T) {
+				cfg := c.Cfg
+				if cfg.Seed == 0 {
+					cfg.Seed = int64(len(c.Name)) * 1031
+				}
+				if err := core.CheckAnnotation(c.Fn, c.SA, c.Gen, c.Eq, cfg); err != nil {
+					t.Errorf("%s: %v", c.Name, err)
+				}
+			})
+		}
+	}
+}

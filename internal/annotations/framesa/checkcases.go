@@ -1,0 +1,75 @@
+package framesa
+
+import (
+	"math"
+	"math/rand"
+
+	"mozart/internal/annotations/checksuite"
+	"mozart/internal/core"
+	"mozart/internal/frame"
+)
+
+// CheckCases exposes representative annotation/function pairs — binary,
+// unary, and scalar series shapes, including null handling — for the
+// repository-wide soundness suite in internal/annotations/checksuite.
+func CheckCases() []checksuite.Case {
+	series := func(name string, n int, seed int64) *frame.Series {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]float64, n)
+		valid := make([]bool, n)
+		for i := range vals {
+			vals[i] = rng.Float64() * 100
+			valid[i] = rng.Intn(10) != 0
+		}
+		s := frame.NewFloat(name, vals)
+		s.Valid = valid
+		return s
+	}
+	genBinary := func(seed int64) []any {
+		return []any{series("a", 219, seed), series("b", 219, seed+1)}
+	}
+	genUnary := func(seed int64) []any { return []any{series("a", 173, seed)} }
+	genScalar := func(seed int64) []any { return []any{series("a", 147, seed), 3.5} }
+	eq := func(got, want any) bool {
+		g, ok1 := got.(*frame.Series)
+		w, ok2 := want.(*frame.Series)
+		if !ok1 || !ok2 || g.Dtype != w.Dtype || g.Len() != w.Len() {
+			return false
+		}
+		for i := 0; i < g.Len(); i++ {
+			if g.IsValid(i) != w.IsValid(i) {
+				return false
+			}
+			if !g.IsValid(i) {
+				continue
+			}
+			switch g.Dtype {
+			case frame.Float:
+				if g.F[i] != w.F[i] && !(math.IsNaN(g.F[i]) && math.IsNaN(w.F[i])) {
+					return false
+				}
+			case frame.Int:
+				if g.I[i] != w.I[i] {
+					return false
+				}
+			case frame.String:
+				if g.S[i] != w.S[i] {
+					return false
+				}
+			case frame.Bool:
+				if g.B[i] != w.B[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := core.CheckConfig{Trials: 6, MaxBatch: 64}
+	return []checksuite.Case{
+		{Name: "sr.add", Fn: addFn, SA: addSA, Gen: genBinary, Eq: eq, Cfg: cfg},
+		{Name: "sr.div", Fn: divFn, SA: divSA, Gen: genBinary, Eq: eq, Cfg: cfg},
+		{Name: "sr.isnull", Fn: isNullFn, SA: isNullSA, Gen: genUnary, Eq: eq, Cfg: cfg},
+		{Name: "sr.gt", Fn: gtFn, SA: gtSA, Gen: genScalar, Eq: eq, Cfg: cfg},
+		{Name: "sr.fillna", Fn: fillNaFn, SA: fillNaSA, Gen: genScalar, Eq: eq, Cfg: cfg},
+	}
+}

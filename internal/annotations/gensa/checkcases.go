@@ -1,0 +1,47 @@
+package gensa
+
+import (
+	"math/rand"
+
+	"mozart/internal/annotations/checksuite"
+	"mozart/internal/core"
+)
+
+// CheckCases exposes the generated annotation/function pairs (one per DSL
+// shape in vmath.sa) for the repository-wide soundness suite in
+// internal/annotations/checksuite — the generated wrappers get the same
+// fuzz coverage as the hand-written ones.
+func CheckCases() []checksuite.Case {
+	vec := func(n int, seed int64) []float64 {
+		rng := rand.New(rand.NewSource(seed))
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.Float64()*2 + 0.5
+		}
+		return v
+	}
+	genUnary := func(seed int64) []any {
+		const n = 201
+		return []any{n, vec(n, seed), make([]float64, n)}
+	}
+	genBinary := func(seed int64) []any {
+		const n = 255
+		return []any{n, vec(n, seed), vec(n, seed+1), make([]float64, n)}
+	}
+	genReduce2 := func(seed int64) []any {
+		const n = 289
+		return []any{n, vec(n, seed), vec(n, seed+1)}
+	}
+	genReduce1 := func(seed int64) []any {
+		const n = 289
+		return []any{n, vec(n, seed)}
+	}
+	cfg := core.CheckConfig{Trials: 6, MaxBatch: 64}
+	return []checksuite.Case{
+		{Name: "Log1p", Fn: fnLog1p, SA: saLog1p, Gen: genUnary, Eq: checksuite.FloatsEq, Cfg: cfg},
+		{Name: "Add", Fn: fnAdd, SA: saAdd, Gen: genBinary, Eq: checksuite.FloatsEq, Cfg: cfg},
+		{Name: "Div", Fn: fnDiv, SA: saDiv, Gen: genBinary, Eq: checksuite.FloatsEq, Cfg: cfg},
+		{Name: "Dot", Fn: fnDot, SA: saDot, Gen: genReduce2, Eq: checksuite.FloatsEq, Cfg: cfg},
+		{Name: "Sum", Fn: fnSum, SA: saSum, Gen: genReduce1, Eq: checksuite.FloatsEq, Cfg: cfg},
+	}
+}

@@ -1,0 +1,43 @@
+package imagesa
+
+import (
+	"math/rand"
+
+	"mozart/internal/annotations/checksuite"
+	"mozart/internal/core"
+	"mozart/internal/imagelib"
+)
+
+// CheckCases exposes representative pixel-local annotations for the
+// repository-wide soundness suite in internal/annotations/checksuite. All
+// of these operate row-locally, so the row split is sound; the unsound
+// counter-example (a row-split Blur) lives in this package's tests.
+func CheckCases() []checksuite.Case {
+	img := func(seed int64) *imagelib.Image {
+		m := imagelib.NewImage(24, 40)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < len(m.Pix); i += 4 {
+			m.Pix[i] = uint8(rng.Intn(256))
+			m.Pix[i+1] = uint8(rng.Intn(256))
+			m.Pix[i+2] = uint8(rng.Intn(256))
+			m.Pix[i+3] = 255
+		}
+		return m
+	}
+	eq := func(got, want any) bool {
+		g, ok1 := got.(*imagelib.Image)
+		w, ok2 := want.(*imagelib.Image)
+		return ok1 && ok2 && g.Equal(w)
+	}
+	cfg := core.CheckConfig{Trials: 4, MaxBatch: 16}
+	return []checksuite.Case{
+		{Name: "MagickGammaImage", Fn: gammaFn, SA: gammaSA,
+			Gen: func(seed int64) []any { return []any{img(seed), 0.8} }, Eq: eq, Cfg: cfg},
+		{Name: "MagickLevelImage", Fn: levelFn, SA: levelSA,
+			Gen: func(seed int64) []any { return []any{img(seed), 0.1, 0.9} }, Eq: eq, Cfg: cfg},
+		{Name: "MagickModulateImage", Fn: modulateFn, SA: modulateSA,
+			Gen: func(seed int64) []any { return []any{img(seed), 1.1, 0.9, 0.2} }, Eq: eq, Cfg: cfg},
+		{Name: "MagickGrayscaleImage", Fn: grayFn, SA: graySA,
+			Gen: func(seed int64) []any { return []any{img(seed)} }, Eq: eq, Cfg: cfg},
+	}
+}

@@ -1,0 +1,42 @@
+package nlpsa
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+
+	"mozart/internal/annotations/checksuite"
+	"mozart/internal/core"
+	"mozart/internal/nlp"
+)
+
+// CheckCases exposes the tagging and featurization annotations for the
+// repository-wide soundness suite in internal/annotations/checksuite. The
+// tagger is stateless across documents, so document order is the only thing
+// splitting could corrupt — exactly what DeepEqual over the docs catches.
+func CheckCases() []checksuite.Case {
+	corpus := func(n int, seed int64) []string {
+		rng := rand.New(rand.NewSource(seed))
+		subjects := []string{"film", "plot", "cast", "score", "ending"}
+		verbs := []string{"was", "seemed", "felt"}
+		adjs := []string{"great", "dull", "surprising", "uneven"}
+		out := make([]string, n)
+		for i := range out {
+			out[i] = fmt.Sprintf("Review %d: the %s %s %s.", i,
+				subjects[rng.Intn(len(subjects))], verbs[rng.Intn(len(verbs))], adjs[rng.Intn(len(adjs))])
+		}
+		return out
+	}
+	genPipe := func(seed int64) []any {
+		return []any{nlp.NewTagger(), corpus(83, seed)}
+	}
+	genPOS := func(seed int64) []any {
+		return []any{nlp.NewTagger().Pipe(corpus(67, seed))}
+	}
+	eq := func(got, want any) bool { return reflect.DeepEqual(got, want) }
+	cfg := core.CheckConfig{Trials: 4, MaxBatch: 32}
+	return []checksuite.Case{
+		{Name: "nlp.pipe", Fn: pipeFn, SA: pipeSA, Gen: genPipe, Eq: eq, Cfg: cfg},
+		{Name: "nlp.posCounts", Fn: posFn, SA: posSA, Gen: genPOS, Eq: eq, Cfg: cfg},
+	}
+}

@@ -1,0 +1,39 @@
+package tensorsa
+
+import (
+	"math/rand"
+
+	"mozart/internal/annotations/checksuite"
+	"mozart/internal/core"
+	"mozart/internal/tensor"
+)
+
+// CheckCases exposes representative annotation/function pairs — binary,
+// unary, and scalar elementwise shapes — for the repository-wide soundness
+// suite in internal/annotations/checksuite.
+func CheckCases() []checksuite.Case {
+	arr := func(seed int64, n int) *tensor.NDArray {
+		a := tensor.New(n)
+		rng := rand.New(rand.NewSource(seed))
+		for i := range a.Data {
+			a.Data[i] = rng.Float64()*4 + 0.25
+		}
+		return a
+	}
+	genBinary := func(seed int64) []any { return []any{arr(seed, 301), arr(seed+1, 301)} }
+	genUnary := func(seed int64) []any { return []any{arr(seed, 233)} }
+	genScalar := func(seed int64) []any { return []any{arr(seed, 173), 1.75} }
+	eq := func(got, want any) bool {
+		g, ok1 := got.(*tensor.NDArray)
+		w, ok2 := want.(*tensor.NDArray)
+		return ok1 && ok2 && g.Size() == w.Size() && checksuite.FloatsEq(g.Data, w.Data)
+	}
+	cfg := core.CheckConfig{Trials: 6, MaxBatch: 64}
+	return []checksuite.Case{
+		{Name: "np.add", Fn: addFn, SA: addSA, Gen: genBinary, Eq: eq, Cfg: cfg},
+		{Name: "np.divide", Fn: divFn, SA: divSA, Gen: genBinary, Eq: eq, Cfg: cfg},
+		{Name: "np.sqrt", Fn: sqrtFn, SA: sqrtSA, Gen: genUnary, Eq: eq, Cfg: cfg},
+		{Name: "np.log1p", Fn: log1pFn, SA: log1pSA, Gen: genUnary, Eq: eq, Cfg: cfg},
+		{Name: "np.multiply.s", Fn: mulsFn, SA: mulsSA, Gen: genScalar, Eq: eq, Cfg: cfg},
+	}
+}

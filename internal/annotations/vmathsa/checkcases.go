@@ -1,0 +1,62 @@
+package vmathsa
+
+import (
+	"math/rand"
+
+	"mozart/internal/annotations/checksuite"
+	"mozart/internal/core"
+	"mozart/internal/vmath"
+)
+
+// CheckCases exposes representative annotation/function pairs — one per
+// wrapper shape (binary, unary, scalar, reduction, matrix) — for the
+// repository-wide soundness suite in internal/annotations/checksuite.
+func CheckCases() []checksuite.Case {
+	vec := func(n int, seed int64) []float64 {
+		rng := rand.New(rand.NewSource(seed))
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.Float64()*3 + 0.5
+		}
+		return v
+	}
+	genBinary := func(seed int64) []any {
+		const n = 257
+		return []any{n, vec(n, seed), vec(n, seed+1), make([]float64, n)}
+	}
+	genUnary := func(seed int64) []any {
+		const n = 193
+		return []any{n, vec(n, seed), make([]float64, n)}
+	}
+	genScalar := func(seed int64) []any {
+		const n = 161
+		return []any{n, vec(n, seed), 2.25, make([]float64, n)}
+	}
+	genReduce := func(seed int64) []any {
+		const n = 311
+		return []any{n, vec(n, seed)}
+	}
+	genMat := func(seed int64) []any {
+		const rows, cols = 37, 5
+		a := vmath.MatrixFrom(rows, cols, vec(rows*cols, seed))
+		b := vmath.MatrixFrom(rows, cols, vec(rows*cols, seed+1))
+		return []any{a, b, vmath.NewMatrix(rows, cols)}
+	}
+	matEq := func(got, want any) bool {
+		g, ok1 := got.(*vmath.Matrix)
+		w, ok2 := want.(*vmath.Matrix)
+		return ok1 && ok2 && g.Rows == w.Rows && g.Cols == w.Cols &&
+			checksuite.FloatsEq(g.Data, w.Data)
+	}
+	cfg := core.CheckConfig{Trials: 6, MaxBatch: 64}
+	return []checksuite.Case{
+		{Name: "vdAdd", Fn: addFn, SA: addSA, Gen: genBinary, Eq: checksuite.FloatsEq, Cfg: cfg},
+		{Name: "vdDiv", Fn: divFn, SA: divSA, Gen: genBinary, Eq: checksuite.FloatsEq, Cfg: cfg},
+		{Name: "vdSqrt", Fn: sqrtFn, SA: sqrtSA, Gen: genUnary, Eq: checksuite.FloatsEq, Cfg: cfg},
+		{Name: "vdLog1p", Fn: log1pFn, SA: log1pSA, Gen: genUnary, Eq: checksuite.FloatsEq, Cfg: cfg},
+		{Name: "vdAddC", Fn: addcFn, SA: addcSA, Gen: genScalar, Eq: checksuite.FloatsEq, Cfg: cfg},
+		{Name: "vdSum", Fn: sumFn, SA: sumSA, Gen: genReduce, Eq: checksuite.FloatsEq, Cfg: cfg},
+		{Name: "vdMaxReduce", Fn: maxFn, SA: maxSA, Gen: genReduce, Eq: checksuite.FloatsEq, Cfg: cfg},
+		{Name: "matAdd", Fn: matAddFn, SA: matAddSA, Gen: genMat, Eq: matEq, Cfg: cfg},
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Governor is a memory-budget admission controller: a weighted semaphore
+// keyed on modeled bytes. Each stage's footprint is the §5.2 batching model
+// — workers × batch × Σ elemBytes, the working set the batch heuristic sizes
+// against the L2 cache — and a stage only starts once that footprint fits
+// under the budget. A Governor can be shared by any number of sessions
+// (Options.Governor) to bound the process-wide working set of concurrent
+// Evaluates; Options.MemoryBudgetBytes creates a session-private one.
+type Governor struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	budget    int64
+	inUse     int64
+	highWater int64
+	waits     int64
+}
+
+// NewGovernor creates a governor with the given byte budget. A budget of
+// zero or less admits everything (the governor is inert).
+func NewGovernor(budgetBytes int64) *Governor {
+	g := &Governor{budget: budgetBytes}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Budget returns the configured byte budget.
+func (g *Governor) Budget() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.budget
+}
+
+// InUse returns the bytes currently admitted.
+func (g *Governor) InUse() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inUse
+}
+
+// Available returns the bytes not currently admitted.
+func (g *Governor) Available() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.budget - g.inUse
+}
+
+// HighWater returns the maximum bytes ever admitted at once — by
+// construction never above the budget, which is what the budget guarantee
+// tests probe.
+func (g *Governor) HighWater() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.highWater
+}
+
+// Waits returns how many admissions had to block for capacity.
+func (g *Governor) Waits() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.waits
+}
+
+// admit blocks until bytes fit under the budget, then reserves them.
+// Requests above the whole budget are clamped to it (a stage larger than
+// the budget runs alone rather than deadlocking). Canceling ctx abandons
+// the wait.
+func (g *Governor) admit(ctx context.Context, bytes int64) error {
+	if g == nil || bytes <= 0 {
+		return nil
+	}
+	// Wake waiters when the context dies so cond.Wait cannot hang.
+	stop := context.AfterFunc(ctx, func() {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		g.cond.Broadcast()
+	})
+	defer stop()
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.budget <= 0 {
+		return nil
+	}
+	if bytes > g.budget {
+		bytes = g.budget
+	}
+	waited := false
+	for g.inUse+bytes > g.budget {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !waited {
+			waited = true
+			g.waits++
+		}
+		g.cond.Wait()
+	}
+	g.inUse += bytes
+	if g.inUse > g.highWater {
+		g.highWater = g.inUse
+	}
+	return nil
+}
+
+// release returns admitted bytes to the budget and wakes waiters. bytes
+// must match the (possibly clamped) amount admit reserved; the helper
+// returned by Session.admitStage guarantees that.
+func (g *Governor) release(bytes int64) {
+	if g == nil || bytes <= 0 {
+		return
+	}
+	g.mu.Lock()
+	g.inUse -= bytes
+	if g.inUse < 0 {
+		g.inUse = 0
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// admitStage gates a stage's split execution on the session's governor.
+// Under pressure it degrades before queueing — first shrinking the batch
+// toward what is currently available (smaller working set, same
+// parallelism), then shedding workers — and only blocks when even the
+// shrunken footprint does not fit. Wait time lands in Stats.AdmissionWaitNS.
+// It returns the possibly-adjusted batch and worker count plus a release
+// closure for the reserved bytes.
+func (s *Session) admitStage(ctx context.Context, st *planStage, sumElemBytes, total, batch int64, workers int) (int64, int, func(), error) {
+	g := s.opts.Governor
+	noop := func() {}
+	if g == nil || g.Budget() <= 0 {
+		return batch, workers, noop, nil
+	}
+	if sumElemBytes <= 0 {
+		sumElemBytes = 1
+	}
+	footprint := func(b int64, w int) int64 { return b * int64(w) * sumElemBytes }
+
+	// Shrink toward what is currently available (avoiding a wait when
+	// possible), or toward the whole budget when nothing is free — the
+	// reservation must cover the footprint the stage actually runs with,
+	// otherwise concurrent stages could exceed the budget.
+	target := g.Available()
+	if target <= 0 || target > g.Budget() {
+		target = g.Budget()
+	}
+	if footprint(batch, workers) > target {
+		if nb := target / (int64(workers) * sumElemBytes); nb < batch {
+			batch = clamp64(nb, 1, total)
+		}
+		if footprint(batch, workers) > target {
+			if nw := target / (batch * sumElemBytes); nw < int64(workers) {
+				workers = int(clamp64(nw, 1, int64(workers)))
+			}
+		}
+	}
+	req := footprint(batch, workers)
+	if b := g.Budget(); req > b {
+		// Even one worker on a one-element batch models over the whole
+		// budget: admit the stage alone at full reservation instead of
+		// deadlocking.
+		req = b
+	}
+	t0 := time.Now()
+	err := g.admit(ctx, req)
+	s.stats.add(&s.stats.AdmissionWaitNS, time.Since(t0))
+	if err != nil {
+		return batch, workers, noop, s.stageErr(st, originFromContext(err), err)
+	}
+	return batch, workers, func() { g.release(req) }, nil
+}

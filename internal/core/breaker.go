@@ -1,0 +1,160 @@
+package core
+
+import (
+	"sort"
+	"time"
+)
+
+// BreakerPolicy tunes the per-annotation circuit breakers behind
+// FallbackQuarantine. Each annotation name gets a breaker with the classic
+// three states:
+//
+//   - closed: the annotation plans split, as usual. Annotation faults
+//     accumulate; Threshold consecutive faults trip the breaker open.
+//   - open: the annotation plans whole, in its own stage, exactly like a
+//     function Mozart cannot split. After Cooldown the breaker moves to
+//     half-open.
+//   - half-open: the next plan is a probe — the annotation plans split
+//     once. Success closes the breaker (full parallelism restored); another
+//     annotation fault re-opens it and restarts the cooldown.
+//
+// The zero value reproduces the pre-breaker quarantine exactly: one fault
+// quarantines the annotation for the rest of the session.
+type BreakerPolicy struct {
+	// Threshold is how many annotation faults trip the breaker while
+	// closed. Defaults to 1.
+	Threshold int
+	// Cooldown is how long a tripped breaker stays open before a
+	// half-open probe re-tries splitting. Zero means forever: the
+	// session-permanent quarantine.
+	Cooldown time.Duration
+	// Now is the breaker clock, injectable so tests drive the cooldown
+	// deterministically. Defaults to time.Now.
+	Now func() time.Time
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+type breaker struct {
+	state    breakerState
+	faults   int // consecutive annotation faults observed while closed
+	openedAt time.Time
+}
+
+// breakerSet tracks one breaker per annotation name. Sessions are
+// single-threaded on the planning path (the runtime they spawn is what is
+// parallel), so no locking is needed; stats mutation still goes through the
+// atomic helpers because Stats readers may be concurrent.
+type breakerSet struct {
+	pol BreakerPolicy
+	m   map[string]*breaker
+}
+
+func newBreakerSet(pol BreakerPolicy) *breakerSet {
+	if pol.Threshold <= 0 {
+		pol.Threshold = 1
+	}
+	return &breakerSet{pol: pol, m: map[string]*breaker{}}
+}
+
+func (bs *breakerSet) now() time.Time {
+	if bs.pol.Now != nil {
+		return bs.pol.Now()
+	}
+	return time.Now()
+}
+
+func (bs *breakerSet) state(name string) breakerState {
+	if b := bs.m[name]; b != nil {
+		return b.state
+	}
+	return breakerClosed
+}
+
+func (bs *breakerSet) empty() bool { return len(bs.m) == 0 }
+
+// planWhole reports whether the planner must run the annotation whole. It
+// also performs the open → half-open transition once the cooldown has
+// elapsed, in which case it returns false: the upcoming split plan is the
+// probe.
+func (bs *breakerSet) planWhole(name string) bool {
+	b := bs.m[name]
+	if b == nil {
+		return false
+	}
+	switch b.state {
+	case breakerOpen:
+		if bs.pol.Cooldown > 0 && bs.now().Sub(b.openedAt) >= bs.pol.Cooldown {
+			b.state = breakerHalfOpen
+			return false
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// recordFault notes an annotation fault against name and returns the state
+// transition: tripped is true when the breaker (re-)opened now, and
+// wasClosed distinguishes a first trip (new quarantine) from a failed
+// half-open probe re-opening.
+func (bs *breakerSet) recordFault(name string) (tripped, wasClosed bool) {
+	b := bs.m[name]
+	if b == nil {
+		b = &breaker{}
+		bs.m[name] = b
+	}
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = bs.now()
+		return true, false
+	case breakerClosed:
+		b.faults++
+		if b.faults >= bs.pol.Threshold {
+			b.state = breakerOpen
+			b.openedAt = bs.now()
+			return true, true
+		}
+	}
+	return false, false
+}
+
+// recordSuccess notes that a stage containing name ran split and succeeded.
+// A half-open breaker closes (the probe passed) and reports recovered; a
+// closed breaker forgets accumulated faults — Threshold counts consecutive
+// faults, not faults over the session's lifetime.
+func (bs *breakerSet) recordSuccess(name string) (recovered bool) {
+	b := bs.m[name]
+	if b == nil {
+		return false
+	}
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerClosed
+		b.faults = 0
+		return true
+	case breakerClosed:
+		b.faults = 0
+	}
+	return false
+}
+
+// openNames returns the annotations whose breakers are open or half-open
+// (i.e. currently degraded), sorted.
+func (bs *breakerSet) openNames() []string {
+	var names []string
+	for n, b := range bs.m {
+		if b.state != breakerClosed {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

@@ -21,7 +21,7 @@ func (s *Session) execute(ctx context.Context, p *plan) error {
 		if err := s.executeStage(ctx, si, &p.stages[si]); err != nil {
 			return err
 		}
-		s.stats.Stages++
+		s.stats.add(&s.stats.Stages, 1)
 	}
 	return nil
 }
@@ -48,6 +48,9 @@ func (s *Session) executeStage(ctx context.Context, si int, st *planStage) error
 
 	err := s.executeStageSplit(ctx, st)
 	if err == nil {
+		// A split stage that ran clean closes half-open breakers on its
+		// annotations (the cooldown probe passed).
+		s.recordStageSuccess(st)
 		return nil
 	}
 	err = s.stampStage(err, si, st)
@@ -64,7 +67,7 @@ func (s *Session) executeStage(ctx context.Context, si int, st *planStage) error
 	if ferr := s.executeWhole(st); ferr != nil {
 		return fmt.Errorf("mozart: stage %d: whole-call fallback failed: %w (after %v)", si, ferr, err)
 	}
-	s.stats.FallbackStages++
+	s.stats.add(&s.stats.FallbackStages, 1)
 	if s.opts.FallbackPolicy == FallbackQuarantine {
 		s.quarantineStage(st, serr)
 	}
@@ -148,6 +151,38 @@ type resolvedInput struct {
 	info RuntimeInfo
 }
 
+// stageExec bundles a stage with its resolved inputs for the worker loops.
+// mutInPlace lists the inputs whose storage the stage's calls mutate
+// through aliasing in-place splits — the pieces batch-granular retry must
+// snapshot before an attempt so a replay is idempotent.
+type stageExec struct {
+	st         *planStage
+	inputs     []resolvedInput
+	mutInPlace []resolvedInput
+}
+
+// mutInPlaceInputs selects the resolved inputs some call mutates through an
+// in-place splitter. Inputs with copying splitters need no batch snapshot:
+// their mutation lands in merged output pieces, which a failed batch never
+// publishes.
+func mutInPlaceInputs(st *planStage, inputs []resolvedInput) []resolvedInput {
+	mut := map[int]bool{}
+	for _, c := range st.calls {
+		for i, p := range c.n.sa.Params {
+			if p.Mut && !c.args[i].broadcast {
+				mut[c.n.args[i].id] = true
+			}
+		}
+	}
+	var out []resolvedInput
+	for _, in := range inputs {
+		if mut[in.b.id] && in.r.splitter != nil && splitterIsInPlace(in.r.splitter) {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
 func (s *Session) executeStageSplit(ctx context.Context, st *planStage) error {
 	// Resolve inputs against materialized values.
 	inputs := make([]resolvedInput, 0, len(st.inputs))
@@ -208,8 +243,22 @@ func (s *Session) executeStageSplit(ctx context.Context, st *planStage) error {
 		workers = 1
 	}
 
+	// Memory-budget admission: under a Governor the stage may start with a
+	// smaller batch or fewer workers, or block until its modeled footprint
+	// fits under the byte budget.
+	batch, workers, release, aerr := s.admitStage(ctx, st, sumElemBytes, total, batch, workers)
+	if aerr != nil {
+		return aerr
+	}
+	defer release()
+
+	ex := &stageExec{st: st, inputs: inputs}
+	if s.opts.RetryPolicy.enabled() {
+		ex.mutInPlace = mutInPlaceInputs(st, inputs)
+	}
+
 	if s.opts.DynamicScheduling {
-		return s.executeDynamic(ctx, st, inputs, total, batch, workers)
+		return s.executeDynamic(ctx, ex, total, batch, workers)
 	}
 
 	// Static partitioning: workers take contiguous, near-equal element
@@ -231,7 +280,7 @@ func (s *Session) executeStageSplit(ctx context.Context, st *planStage) error {
 		wg.Add(1)
 		go func(w int, lo, hi int64) {
 			defer wg.Done()
-			results[w] = s.runWorker(wctx, st, inputs, lo, hi, batch)
+			results[w] = s.runWorker(wctx, ex, lo, hi, batch)
 			if results[w].err != nil {
 				cancel()
 			}
@@ -332,7 +381,8 @@ func (s *Session) finishStageBindings(st *planStage) {
 // stop claiming as soon as any worker records an error (the stage context
 // is canceled). Output pieces are collected per batch index so merges see
 // them in order and results match static scheduling exactly.
-func (s *Session) executeDynamic(ctx context.Context, st *planStage, inputs []resolvedInput, total, batch int64, workers int) error {
+func (s *Session) executeDynamic(ctx context.Context, ex *stageExec, total, batch int64, workers int) error {
+	st := ex.st
 	nBatches := (total + batch - 1) / batch
 	pieces := map[int][]any{} // output binding id -> piece per batch index
 	for _, o := range st.outputs {
@@ -362,7 +412,7 @@ func (s *Session) executeDynamic(ctx context.Context, st *planStage, inputs []re
 				if end > total {
 					end = total
 				}
-				out, err := s.runBatch(st, inputs, env, start, end)
+				out, err := s.runBatchResilient(wctx, ex, env, start, end)
 				if err != nil {
 					errs[w] = err
 					cancel()
@@ -406,7 +456,8 @@ func (s *Session) executeDynamic(ctx context.Context, st *planStage, inputs []re
 // per-worker scratch map. It is the single batch body for both static and
 // dynamic scheduling, so panic isolation and Pedantic checks behave
 // identically under either scheduler.
-func (s *Session) runBatch(st *planStage, inputs []resolvedInput, env map[int]any, start, end int64) (map[int]any, error) {
+func (s *Session) runBatch(ex *stageExec, env map[int]any, start, end int64) (map[int]any, error) {
+	st, inputs := ex.st, ex.inputs
 	batchErr := func(origin FaultOrigin, call string, err error) *StageError {
 		se := s.stageErr(st, origin, err)
 		se.Call = call
@@ -479,7 +530,8 @@ type workerOut struct {
 // pieces of stage outputs; at the end the worker pre-merges its own partial
 // lists. The worker checks the stage context between batches and aborts
 // promptly once a sibling has failed or the stage deadline passed.
-func (s *Session) runWorker(ctx context.Context, st *planStage, inputs []resolvedInput, lo, hi, batch int64) workerOut {
+func (s *Session) runWorker(ctx context.Context, ex *stageExec, lo, hi, batch int64) workerOut {
+	st := ex.st
 	raw := map[int][]any{} // output binding id -> pieces
 	env := map[int]any{}   // binding id -> current piece within a batch
 
@@ -491,7 +543,7 @@ func (s *Session) runWorker(ctx context.Context, st *planStage, inputs []resolve
 		if end > hi {
 			end = hi
 		}
-		out, err := s.runBatch(st, inputs, env, start, end)
+		out, err := s.runBatchResilient(ctx, ex, env, start, end)
 		if err != nil {
 			return workerOut{err: err}
 		}
@@ -538,7 +590,7 @@ func (s *Session) executeWhole(st *planStage) error {
 		t0 := time.Now()
 		ret, err := s.safeCall(c.n.fn, args)
 		s.stats.add(&s.stats.TaskNS, time.Since(t0))
-		s.stats.Calls++
+		s.stats.add(&s.stats.Calls, 1)
 		if err != nil {
 			se := s.stageErr(st, OriginCall, fmt.Errorf("%s: %w", c.n.name, err))
 			se.Call = c.n.name

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"reflect"
-	"sort"
 	"sync"
 )
 
@@ -109,11 +108,12 @@ func (s *Session) snapshotStage(st *planStage) (*stageSnapshot, error) {
 	return snap, nil
 }
 
-// quarantineStage marks the faulty annotation so the planner runs it whole
-// for the rest of the session. When the fault identifies a call, only that
-// call is quarantined; faults in shared splitting code (Info/Split/Merge)
-// quarantine every call in the stage, since any of their annotations may
-// have supplied the faulty splitter.
+// quarantineStage records an annotation fault against the faulty
+// annotation's circuit breaker so the planner runs it whole while the
+// breaker is open. When the fault identifies a call, only that call's
+// breaker is charged; faults in shared splitting code (Info/Split/Merge)
+// charge every call in the stage, since any of their annotations may have
+// supplied the faulty splitter.
 func (s *Session) quarantineStage(st *planStage, serr *StageError) {
 	var names []string
 	if serr.Call != "" {
@@ -122,20 +122,38 @@ func (s *Session) quarantineStage(st *planStage, serr *StageError) {
 		names = callNames(st)
 	}
 	for _, n := range names {
-		if !s.quarantined[n] {
-			s.quarantined[n] = true
-			s.stats.QuarantinedCalls++
+		tripped, wasClosed := s.breakers.recordFault(n)
+		if !tripped {
+			continue
+		}
+		s.stats.add(&s.stats.BreakerTrips, 1)
+		if wasClosed {
+			// A failed half-open probe re-opens a breaker that is still
+			// counted as quarantined; only first trips add to the gauge.
+			s.stats.add(&s.stats.QuarantinedCalls, 1)
 		}
 	}
 }
 
-// Quarantined returns the names of annotations quarantined by the
-// FallbackQuarantine policy in this session, sorted.
-func (s *Session) Quarantined() []string {
-	names := make([]string, 0, len(s.quarantined))
-	for n := range s.quarantined {
-		names = append(names, n)
+// recordStageSuccess reports a successfully split-executed stage to the
+// breakers: a half-open probe that just passed closes its breaker and
+// restores split planning for the annotation.
+func (s *Session) recordStageSuccess(st *planStage) {
+	if len(st.inputs) == 0 || s.breakers.empty() {
+		return
 	}
-	sort.Strings(names)
-	return names
+	for _, c := range st.calls {
+		if s.breakers.recordSuccess(c.n.name) {
+			s.stats.add(&s.stats.BreakerRecoveries, 1)
+			s.stats.add(&s.stats.QuarantinedCalls, -1)
+		}
+	}
+}
+
+// Quarantined returns the names of annotations whose circuit breakers are
+// currently open or half-open (planned whole or probing), sorted. With the
+// default BreakerPolicy this matches the pre-breaker semantics: every
+// annotation ever faulted under FallbackQuarantine, permanently.
+func (s *Session) Quarantined() []string {
+	return s.breakers.openNames()
 }

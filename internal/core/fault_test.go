@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -622,4 +623,504 @@ func TestFutureGetContext(t *testing.T) {
 	if _, err := fut.GetContext(ctx); !errors.Is(err, context.Canceled) {
 		t.Errorf("GetContext(canceled) = %v, want context.Canceled in chain", err)
 	}
+}
+
+// ---- resilience: batch retry, circuit breakers, admission control --------
+
+// transientSplitter delegates to arraySplitter but fails Split with an
+// ErrTransient-wrapped error on invocations from..to (1-based, inclusive);
+// to < 0 means every invocation from `from` on.
+type transientSplitter struct {
+	calls    *atomic.Int64
+	from, to int64
+}
+
+func (transientSplitter) InPlace() bool { return true }
+
+func (ts transientSplitter) Info(v any, t SplitType) (RuntimeInfo, error) {
+	return arraySplitter{}.Info(v, t)
+}
+
+func (ts transientSplitter) Split(v any, t SplitType, start, end int64) (any, error) {
+	if n := ts.calls.Add(1); n >= ts.from && (ts.to < 0 || n <= ts.to) {
+		return nil, fmt.Errorf("transient split outage: %w", ErrTransient)
+	}
+	return arraySplitter{}.Split(v, t, start, end)
+}
+
+func (ts transientSplitter) Merge(pieces []any, t SplitType) (any, error) {
+	return arraySplitter{}.Merge(pieces, t)
+}
+
+// accumulateOnce is out[i] += a[i], the in-place call whose replay is only
+// correct when the runtime restores the batch's pieces first: replaying
+// without the snapshot double-adds.
+func accumulateOnce(failOnCall int64, calls *atomic.Int64) Func {
+	return func(args []any) (any, error) {
+		a, out := args[1].([]float64), args[2].([]float64)
+		for i := range a {
+			out[i] += a[i]
+		}
+		if failOnCall > 0 && calls.Add(1) == failOnCall {
+			return nil, fmt.Errorf("injected blip: %w", ErrTransient)
+		}
+		return nil, nil
+	}
+}
+
+// noSleep makes retry backoff a no-op so tests do not wait.
+func noSleep(time.Duration) {}
+
+// TestRetryTransientCallReplaysBatch: a library call that mutates in place
+// and then fails transiently on call K must, under RetryPolicy{MaxAttempts:
+// 3}, produce results identical to the fault-free run — the failed batch's
+// pieces are restored from the pre-attempt snapshot before the replay, so
+// the accumulate applies exactly once. With retries disabled the same run
+// fails.
+func TestRetryTransientCallReplaysBatch(t *testing.T) {
+	schedulerVariants(t, func(t *testing.T, dynamic bool) {
+		const n = 64
+		const failOn = 3
+
+		run := func(retry RetryPolicy) ([]float64, Stats, error) {
+			var calls atomic.Int64
+			a, out := seq(n), make([]float64, n)
+			s := NewSession(Options{Workers: 2, BatchElems: 8,
+				DynamicScheduling: dynamic, RetryPolicy: retry})
+			s.Call(accumulateOnce(failOn, &calls), saUnary("acc"), n, a, out)
+			err := s.Evaluate()
+			return out, s.Stats(), err
+		}
+
+		want, _, err := run(RetryPolicy{}) // fault-free reference shape
+		_ = want
+		if err == nil {
+			t.Fatal("retries disabled: want the transient fault to fail Evaluate")
+		}
+		var serr *StageError
+		if !errors.As(err, &serr) || serr.Origin != OriginCall {
+			t.Fatalf("want call-origin StageError, got %v", err)
+		}
+		if !errors.Is(err, ErrTransient) {
+			t.Errorf("the StageError should wrap ErrTransient, got %v", err)
+		}
+
+		out, st, err := run(RetryPolicy{MaxAttempts: 3, Sleep: noSleep})
+		if err != nil {
+			t.Fatalf("with retry: %v", err)
+		}
+		for i := range out {
+			want := float64(i%17) + 0.5 // fault-free accumulate over zeros = seq
+			if out[i] != want {
+				t.Fatalf("out[%d] = %v, want %v (replay was not idempotent)", i, out[i], want)
+			}
+		}
+		if st.RetriedBatches != 1 {
+			t.Errorf("RetriedBatches = %d, want 1", st.RetriedBatches)
+		}
+		if st.RetryBackoffNS <= 0 {
+			t.Errorf("RetryBackoffNS = %d, want > 0", st.RetryBackoffNS)
+		}
+		if st.FallbackStages != 0 {
+			t.Errorf("FallbackStages = %d, want 0 (retry handled it)", st.FallbackStages)
+		}
+	})
+}
+
+// TestRetryExhaustedEscalatesToFallback: a splitter whose Split fails
+// transiently on every invocation exhausts the retry budget, and the final
+// split-origin StageError escalates to the PR 1 fallback path: the stage
+// re-executes whole and the result is still correct.
+func TestRetryExhaustedEscalatesToFallback(t *testing.T) {
+	schedulerVariants(t, func(t *testing.T, dynamic bool) {
+		const n = 48
+		var splits atomic.Int64
+		sp := transientSplitter{calls: &splits, from: 1, to: -1}
+		arr := func() TypeExpr {
+			return Concrete("ArraySplit", sp, func(args []any) (SplitType, error) {
+				return NewSplitType("ArraySplit", int64(args[0].(int))), nil
+			})
+		}
+		sa := &Annotation{FuncName: "plus1new", Params: []Param{
+			{Name: "size", Type: sizeSplitOf(0)},
+			{Name: "a", Type: arr()},
+		}, Ret: func() *TypeExpr { t := arr(); return &t }()}
+		fn := func(args []any) (any, error) {
+			a := args[1].([]float64)
+			out := make([]float64, len(a))
+			for i := range a {
+				out[i] = a[i] + 1
+			}
+			return out, nil
+		}
+
+		a := seq(n)
+		s := NewSession(Options{Workers: 2, BatchElems: 8,
+			DynamicScheduling: dynamic,
+			FallbackPolicy:    FallbackWholeCall,
+			RetryPolicy:       RetryPolicy{MaxAttempts: 2, Sleep: noSleep}})
+		f := s.Call(fn, sa, n, a)
+		if err := s.Evaluate(); err != nil {
+			t.Fatalf("fallback should absorb the exhausted retries: %v", err)
+		}
+		v, err := f.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := v.([]float64)
+		for i := range out {
+			want := float64(i%17) + 1.5 // seq + 1
+			if out[i] != want {
+				t.Fatalf("out[%d] = %v, want %v", i, out[i], want)
+			}
+		}
+		st := s.Stats()
+		if st.RetriedBatches < 1 {
+			t.Errorf("RetriedBatches = %d, want >= 1", st.RetriedBatches)
+		}
+		if st.FallbackStages != 1 {
+			t.Errorf("FallbackStages = %d, want 1", st.FallbackStages)
+		}
+	})
+}
+
+// TestRetryPermanentErrorNotRetried: an error the classifier rejects fails
+// on the first attempt; no batch is replayed.
+func TestRetryPermanentErrorNotRetried(t *testing.T) {
+	const n = 32
+	a, out := seq(n), make([]float64, n)
+	s := NewSession(Options{Workers: 1, BatchElems: 8,
+		RetryPolicy: RetryPolicy{MaxAttempts: 5, Sleep: noSleep}})
+	s.Call(errorOnNth(testLog1p, 2, "permanent library error"), saUnary("log1p"), n, a, out)
+	if err := s.Evaluate(); err == nil {
+		t.Fatal("want the permanent error to fail Evaluate")
+	}
+	if got := s.Stats().RetriedBatches; got != 0 {
+		t.Errorf("RetriedBatches = %d, want 0", got)
+	}
+}
+
+// switchableSplitter delegates to arraySplitter but fails Split whenever
+// broken is set, counting invocations so tests can observe whether the
+// planner consulted the splitter at all.
+type switchableSplitter struct {
+	broken *atomic.Bool
+	splits *atomic.Int64
+}
+
+func (switchableSplitter) InPlace() bool { return true }
+
+func (ss switchableSplitter) Info(v any, t SplitType) (RuntimeInfo, error) {
+	return arraySplitter{}.Info(v, t)
+}
+
+func (ss switchableSplitter) Split(v any, t SplitType, start, end int64) (any, error) {
+	ss.splits.Add(1)
+	if ss.broken.Load() {
+		return nil, errors.New("splitter outage")
+	}
+	return arraySplitter{}.Split(v, t, start, end)
+}
+
+func (ss switchableSplitter) Merge(pieces []any, t SplitType) (any, error) {
+	return arraySplitter{}.Merge(pieces, t)
+}
+
+// TestBreakerHalfOpenRecovery: under FallbackQuarantine with a cooldown, a
+// tripped annotation plans whole until the cooldown elapses, then a
+// half-open probe re-tries splitting; a successful probe closes the breaker
+// and restores split execution.
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	const n = 32
+	var broken atomic.Bool
+	var splits atomic.Int64
+	sp := switchableSplitter{broken: &broken, splits: &splits}
+
+	now := time.Unix(0, 0)
+	s := NewSession(Options{Workers: 2, BatchElems: 8,
+		FallbackPolicy: FallbackQuarantine,
+		Breaker: BreakerPolicy{Threshold: 1, Cooldown: time.Minute,
+			Now: func() time.Time { return now }}})
+
+	eval := func() {
+		t.Helper()
+		a, out := seq(n), make([]float64, n)
+		s.Call(testLog1p, saFlakyUnary("flaky", sp), n, a, out)
+		if err := s.Evaluate(); err != nil {
+			t.Fatalf("evaluate: %v", err)
+		}
+		for i := range out {
+			if out[i] != math.Log1p(a[i]) {
+				t.Fatalf("out[%d] wrong after degraded execution", i)
+			}
+		}
+	}
+
+	// 1. Faulty splitter: fallback runs the stage whole and trips the
+	// breaker.
+	broken.Store(true)
+	eval()
+	st := s.Stats()
+	if got := s.Quarantined(); len(got) != 1 || got[0] != "flaky" {
+		t.Fatalf("Quarantined() = %v, want [flaky]", got)
+	}
+	if st.BreakerTrips != 1 || st.QuarantinedCalls != 1 || st.FallbackStages != 1 {
+		t.Fatalf("trips=%d quarantined=%d fallbacks=%d, want 1/1/1",
+			st.BreakerTrips, st.QuarantinedCalls, st.FallbackStages)
+	}
+
+	// 2. Before the cooldown the annotation plans whole: the splitter is
+	// not consulted even though it has healed.
+	broken.Store(false)
+	preSplits := splits.Load()
+	now = now.Add(30 * time.Second)
+	eval()
+	if splits.Load() != preSplits {
+		t.Fatalf("splitter consulted while the breaker is open")
+	}
+
+	// 3. After the cooldown the next plan is a half-open probe: the
+	// annotation splits again, succeeds, and the breaker closes.
+	now = now.Add(time.Minute)
+	eval()
+	if splits.Load() == preSplits {
+		t.Fatal("cooldown elapsed but the probe did not re-try splitting")
+	}
+	st = s.Stats()
+	if len(s.Quarantined()) != 0 {
+		t.Fatalf("Quarantined() = %v, want empty after recovery", s.Quarantined())
+	}
+	if st.BreakerRecoveries != 1 || st.QuarantinedCalls != 0 {
+		t.Fatalf("recoveries=%d quarantined=%d, want 1/0", st.BreakerRecoveries, st.QuarantinedCalls)
+	}
+
+	// 4. Still closed: split execution is back for good.
+	preSplits = splits.Load()
+	eval()
+	if splits.Load() == preSplits {
+		t.Fatal("breaker should stay closed after a successful probe")
+	}
+	if got := s.Stats().BreakerTrips; got != 1 {
+		t.Errorf("BreakerTrips = %d, want 1", got)
+	}
+}
+
+// TestBreakerFailedProbeReopens: a half-open probe that faults again
+// re-opens the breaker and restarts the cooldown; the annotation stays
+// quarantined and the gauge does not double-count.
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	const n = 32
+	var broken atomic.Bool
+	var splits atomic.Int64
+	sp := switchableSplitter{broken: &broken, splits: &splits}
+
+	now := time.Unix(0, 0)
+	s := NewSession(Options{Workers: 2, BatchElems: 8,
+		FallbackPolicy: FallbackQuarantine,
+		Breaker: BreakerPolicy{Threshold: 1, Cooldown: time.Minute,
+			Now: func() time.Time { return now }}})
+
+	eval := func() {
+		t.Helper()
+		a, out := seq(n), make([]float64, n)
+		s.Call(testLog1p, saFlakyUnary("flaky", sp), n, a, out)
+		if err := s.Evaluate(); err != nil {
+			t.Fatalf("evaluate: %v", err)
+		}
+	}
+
+	broken.Store(true)
+	eval() // trips
+	now = now.Add(2 * time.Minute)
+	eval() // half-open probe fails, re-opens
+	st := s.Stats()
+	if st.BreakerTrips != 2 {
+		t.Errorf("BreakerTrips = %d, want 2 (initial trip + failed probe)", st.BreakerTrips)
+	}
+	if st.QuarantinedCalls != 1 {
+		t.Errorf("QuarantinedCalls = %d, want 1 (no double count)", st.QuarantinedCalls)
+	}
+	if got := s.Quarantined(); len(got) != 1 {
+		t.Fatalf("Quarantined() = %v, want [flaky]", got)
+	}
+
+	// The re-opened breaker plans whole again until the next cooldown.
+	preSplits := splits.Load()
+	now = now.Add(30 * time.Second)
+	eval()
+	if splits.Load() != preSplits {
+		t.Fatal("failed probe should restart the cooldown")
+	}
+
+	// Healed + cooled down: the next probe closes it.
+	broken.Store(false)
+	now = now.Add(2 * time.Minute)
+	eval()
+	if len(s.Quarantined()) != 0 {
+		t.Fatalf("Quarantined() = %v, want empty", s.Quarantined())
+	}
+}
+
+// TestGovernorAdmitBlocks: admissions over the remaining budget block until
+// a release frees capacity; canceled waiters abandon; oversized requests
+// are clamped to the whole budget instead of deadlocking.
+func TestGovernorAdmitBlocks(t *testing.T) {
+	g := NewGovernor(100)
+	ctx := context.Background()
+	if err := g.admit(ctx, 60); err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan struct{})
+	go func() {
+		if err := g.admit(ctx, 70); err != nil {
+			t.Errorf("blocked admit: %v", err)
+		}
+		close(admitted)
+	}()
+	select {
+	case <-admitted:
+		t.Fatal("admit(70) should block while 60/100 is in use")
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.release(60)
+	select {
+	case <-admitted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("admit(70) did not unblock after release")
+	}
+	if got := g.InUse(); got != 70 {
+		t.Errorf("InUse = %d, want 70", got)
+	}
+	if hw := g.HighWater(); hw > g.Budget() {
+		t.Errorf("HighWater %d exceeds budget %d", hw, g.Budget())
+	}
+	if g.Waits() < 1 {
+		t.Errorf("Waits = %d, want >= 1", g.Waits())
+	}
+
+	// Oversized request: clamped to the budget, admitted once alone.
+	g.release(70)
+	if err := g.admit(ctx, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.InUse(); got != 100 {
+		t.Errorf("oversized request reserved %d, want the full budget 100", got)
+	}
+	g.release(100)
+
+	// A canceled waiter returns the context error.
+	if err := g.admit(ctx, 100); err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	errc := make(chan error, 1)
+	go func() { errc <- g.admit(cctx, 1) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("canceled admit returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled admit never returned")
+	}
+	g.release(100)
+}
+
+// TestGovernorSharedBudgetTwoSessions: two sessions evaluating concurrently
+// under one Governor never model more bytes in flight than the budget. The
+// probe tracks actual live batch bytes inside the library calls: at no
+// instant may the concurrently-processed footprint exceed the budget.
+func TestGovernorSharedBudgetTwoSessions(t *testing.T) {
+	const n = 1 << 10
+	const budget = int64(4096)
+	// Footprint model for saUnary: size (0 bytes) + a (8) + out (8).
+	const elemBytes = 16
+
+	g := NewGovernor(budget)
+	var live, liveHW atomic.Int64
+
+	probed := func(args []any) (any, error) {
+		a, out := args[1].([]float64), args[2].([]float64)
+		cur := live.Add(int64(len(a)) * elemBytes)
+		for {
+			hw := liveHW.Load()
+			if cur <= hw || liveHW.CompareAndSwap(hw, cur) {
+				break
+			}
+		}
+		for i := range a {
+			out[i] += a[i]
+		}
+		live.Add(int64(-len(a)) * elemBytes)
+		return nil, nil
+	}
+
+	run := func(dynamic bool) ([]float64, error) {
+		a, out := seq(n), make([]float64, n)
+		s := NewSession(Options{Workers: 2, Governor: g, DynamicScheduling: dynamic})
+		for round := 0; round < 2; round++ {
+			s.Call(probed, saUnary("acc"), n, a, out)
+			if err := s.Evaluate(); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
+	type result struct {
+		out []float64
+		err error
+	}
+	results := make(chan result, 2)
+	go func() { out, err := run(false); results <- result{out, err} }()
+	go func() { out, err := run(true); results <- result{out, err} }()
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		for j := range r.out {
+			want := 2 * (float64(j%17) + 0.5) // two accumulate rounds over seq
+			if r.out[j] != want {
+				t.Fatalf("out[%d] = %v, want %v", j, r.out[j], want)
+			}
+		}
+	}
+	if hw := g.HighWater(); hw > budget {
+		t.Errorf("governor high-water %d exceeds budget %d", hw, budget)
+	}
+	if hw := liveHW.Load(); hw > budget {
+		t.Errorf("live batch bytes high-water %d exceeds budget %d", hw, budget)
+	}
+	if g.InUse() != 0 {
+		t.Errorf("InUse = %d after all stages released, want 0", g.InUse())
+	}
+	if g.HighWater() == 0 {
+		t.Error("governor never admitted anything")
+	}
+}
+
+// TestStatsReadDuringEvaluation: Stats.String and Stats.Total must be safe
+// to call while workers are mutating the counters (they read via atomic
+// loads). Run under -race this test fails on the pre-fix direct reads.
+func TestStatsReadDuringEvaluation(t *testing.T) {
+	const n = 1 << 14
+	a, out := seq(n), make([]float64, n)
+	s := NewSession(Options{Workers: 4, BatchElems: 64})
+	s.Call(testLog1p, saUnary("log1p"), n, a, out)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			_ = s.stats.String()
+			_ = s.stats.Total()
+		}
+	}()
+	if err := s.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
 }

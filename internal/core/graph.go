@@ -39,22 +39,23 @@ type node struct {
 // accessed (or Evaluate is called explicitly). A Session is not safe for
 // concurrent use; the runtime it spawns is internally parallel.
 type Session struct {
-	opts        Options
-	nodes       []*node // pending, un-evaluated calls in program order
-	bindings    []*binding
-	byPointer   map[uintptr]*binding
-	stats       Stats
-	nextID      int
-	broken      error           // sticky evaluation error
-	quarantined map[string]bool // annotations forced whole by FallbackQuarantine
+	opts      Options
+	nodes     []*node // pending, un-evaluated calls in program order
+	bindings  []*binding
+	byPointer map[uintptr]*binding
+	stats     Stats
+	nextID    int
+	broken    error       // sticky evaluation error
+	breakers  *breakerSet // per-annotation circuit breakers (FallbackQuarantine)
 }
 
 // NewSession creates a session with the given options.
 func NewSession(opts Options) *Session {
+	o := opts.withDefaults()
 	return &Session{
-		opts:        opts.withDefaults(),
-		byPointer:   map[uintptr]*binding{},
-		quarantined: map[string]bool{},
+		opts:      o,
+		byPointer: map[uintptr]*binding{},
+		breakers:  newBreakerSet(o.Breaker),
 	}
 }
 
@@ -243,7 +244,7 @@ func (s *Session) EvaluateContext(ctx context.Context) error {
 	if len(s.nodes) == 0 {
 		return nil
 	}
-	s.stats.Evaluations++
+	s.stats.add(&s.stats.Evaluations, 1)
 
 	// Simulated memory unprotection of guarded buffers (§8.5): the paper
 	// measured ~3.5ms per GB with mprotect. We account the modeled cost so

@@ -74,6 +74,28 @@ type Options struct {
 	// descriptive error if a function receives splits with differing
 	// element counts, receives no elements, or receives nil data.
 	Pedantic bool
+	// RetryPolicy enables batch-granular retry of transient faults: a
+	// Split or library-call error the policy classifies as transient
+	// (default: wrapping ErrTransient) replays only the failed batch,
+	// with its in-place-mutated pieces restored from a pre-attempt
+	// snapshot, instead of failing the stage. See RetryPolicy.
+	RetryPolicy RetryPolicy
+	// MemoryBudgetBytes, when non-zero and Governor is nil, creates a
+	// session-private Governor with this byte budget: the session's
+	// stages are admitted against the §5.2 footprint model
+	// (workers × batch × Σ elemBytes) and shrink their batches under
+	// pressure. To bound several sessions together, share a Governor.
+	MemoryBudgetBytes int64
+	// Governor, when set, gates this session's stages against a byte
+	// budget shared with every other session holding the same Governor.
+	// Takes precedence over MemoryBudgetBytes.
+	Governor *Governor
+	// Breaker tunes the per-annotation circuit breakers used by
+	// FallbackQuarantine. The zero value reproduces the PR 1 semantics:
+	// one annotation fault quarantines the annotation for the rest of
+	// the session. A non-zero Cooldown lets tripped annotations heal via
+	// half-open probes. See BreakerPolicy.
+	Breaker BreakerPolicy
 	// Logf, when set, receives a log line per function call per split
 	// piece (the §7.1 call log). Signature matches testing.T.Logf.
 	Logf func(format string, args ...any)
@@ -88,6 +110,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BatchConstant <= 0 {
 		o.BatchConstant = 4
+	}
+	if o.Governor == nil && o.MemoryBudgetBytes > 0 {
+		o.Governor = NewGovernor(o.MemoryBudgetBytes)
 	}
 	return o
 }

@@ -200,10 +200,12 @@ func (s *Session) buildPlan() (*plan, error) {
 	}
 
 	for _, n := range s.nodes {
-		// Quarantined annotations (FallbackQuarantine) are never split
-		// again this session: each runs whole, in its own stage, exactly
-		// like a function Mozart cannot split.
-		if s.quarantined[n.sa.FuncName] {
+		// Annotations with an open circuit breaker (FallbackQuarantine)
+		// are not split: each runs whole, in its own stage, exactly like
+		// a function Mozart cannot split. planWhole also moves a cooled-
+		// down breaker to half-open, in which case this plan is the probe
+		// and the annotation is split below.
+		if s.breakers.planWhole(n.sa.FuncName) {
 			flush()
 			args := make([]resolved, len(n.args))
 			for i := range args {

@@ -24,12 +24,21 @@ type Stats struct {
 	// Fault-tolerance counters.
 	RecoveredPanics  int64 // panics recovered from splitters and library calls
 	FallbackStages   int64 // stages re-executed whole after an annotation fault
-	QuarantinedCalls int64 // annotations quarantined for the session
+	QuarantinedCalls int64 // annotations with a currently open/half-open breaker
+
+	// Resilience counters (retry, circuit breakers, admission control).
+	RetriedBatches    int64 // batch replays after a transient fault
+	RetryBackoffNS    int64 // time spent in retry backoff sleeps
+	BreakerTrips      int64 // breaker transitions into the open state
+	BreakerRecoveries int64 // half-open probes that closed a breaker
+	AdmissionWaitNS   int64 // time spent waiting on the memory Governor
 }
 
-// Total returns the sum of all phase times.
+// Total returns the sum of all phase times. Safe to call while workers are
+// running: fields are read with atomic loads.
 func (s *Stats) Total() time.Duration {
-	return time.Duration(s.ClientNS + s.UnprotectNS + s.PlannerNS + s.SplitNS + s.TaskNS + s.MergeNS)
+	sn := s.Snapshot()
+	return time.Duration(sn.ClientNS + sn.UnprotectNS + sn.PlannerNS + sn.SplitNS + sn.TaskNS + sn.MergeNS)
 }
 
 // add accumulates o into s (atomically; workers report concurrently).
@@ -38,27 +47,34 @@ func (s *Stats) add(field *int64, d time.Duration) {
 }
 
 // String renders the breakdown as percentages of total, the way Figure 5
-// reports it.
+// reports it. Safe to call while workers are running: it formats a
+// Snapshot, never the live fields.
 func (s *Stats) String() string {
-	tot := float64(s.Total())
+	sn := s.Snapshot()
+	tot := float64(sn.Total())
 	if tot == 0 {
 		return "no time recorded"
 	}
 	pct := func(ns int64) float64 { return 100 * float64(ns) / tot }
 	out := fmt.Sprintf(
 		"client %.2f%% | unprotect %.2f%% | planner %.2f%% | split %.2f%% | task %.2f%% | merge %.2f%% (total %v, %d stages, %d batches, %d calls)",
-		pct(s.ClientNS), pct(s.UnprotectNS), pct(s.PlannerNS),
-		pct(s.SplitNS), pct(s.TaskNS), pct(s.MergeNS),
-		s.Total(), s.Stages, s.Batches, s.Calls)
-	if s.RecoveredPanics > 0 || s.FallbackStages > 0 || s.QuarantinedCalls > 0 {
+		pct(sn.ClientNS), pct(sn.UnprotectNS), pct(sn.PlannerNS),
+		pct(sn.SplitNS), pct(sn.TaskNS), pct(sn.MergeNS),
+		sn.Total(), sn.Stages, sn.Batches, sn.Calls)
+	if sn.RecoveredPanics > 0 || sn.FallbackStages > 0 || sn.QuarantinedCalls > 0 {
 		out += fmt.Sprintf(" [%d recovered panics, %d fallback stages, %d quarantined]",
-			s.RecoveredPanics, s.FallbackStages, s.QuarantinedCalls)
+			sn.RecoveredPanics, sn.FallbackStages, sn.QuarantinedCalls)
+	}
+	if sn.RetriedBatches > 0 || sn.BreakerTrips > 0 || sn.AdmissionWaitNS > 0 {
+		out += fmt.Sprintf(" [%d retried batches (backoff %v), %d breaker trips, %d recoveries, admission wait %v]",
+			sn.RetriedBatches, time.Duration(sn.RetryBackoffNS),
+			sn.BreakerTrips, sn.BreakerRecoveries, time.Duration(sn.AdmissionWaitNS))
 	}
 	return out
 }
 
-// Snapshot returns a copy of the statistics safe to read while workers are
-// idle.
+// Snapshot returns a consistent-enough copy of the statistics, read with
+// atomic loads so it is safe to take while workers are still running.
 func (s *Stats) Snapshot() Stats {
 	return Stats{
 		ClientNS:    atomic.LoadInt64(&s.ClientNS),
@@ -75,5 +91,11 @@ func (s *Stats) Snapshot() Stats {
 		RecoveredPanics:  atomic.LoadInt64(&s.RecoveredPanics),
 		FallbackStages:   atomic.LoadInt64(&s.FallbackStages),
 		QuarantinedCalls: atomic.LoadInt64(&s.QuarantinedCalls),
+
+		RetriedBatches:    atomic.LoadInt64(&s.RetriedBatches),
+		RetryBackoffNS:    atomic.LoadInt64(&s.RetryBackoffNS),
+		BreakerTrips:      atomic.LoadInt64(&s.BreakerTrips),
+		BreakerRecoveries: atomic.LoadInt64(&s.BreakerRecoveries),
+		AdmissionWaitNS:   atomic.LoadInt64(&s.AdmissionWaitNS),
 	}
 }

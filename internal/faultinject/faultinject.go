@@ -51,9 +51,16 @@ const (
 type Fault struct {
 	Aspect Aspect
 	Kind   Kind
-	N      int64         // fire on the Nth invocation (1-based); 0 = every invocation
-	Delay  time.Duration // KindSlow
-	Msg    string        // optional message override
+	N      int64 // fire on the Nth invocation (1-based); 0 = every invocation
+	// M, when >= N, makes the fault transient-by-occurrence: it fires on
+	// invocations N..M inclusive and the site succeeds again afterwards —
+	// the recoverable-outage shape retry and breaker half-open tests
+	// script. Zero keeps the single-invocation (or every-invocation)
+	// behavior of N alone.
+	M         int64
+	Delay     time.Duration // KindSlow
+	Msg       string        // optional message override
+	Transient bool          // KindError errors wrap core.ErrTransient
 }
 
 // Injector arms faults per site name and intercepts wrapped functions and
@@ -135,6 +142,25 @@ func (in *Injector) ErrorOnNthInfo(site string, n int64) {
 	in.Add(site, Fault{Aspect: AspectInfo, Kind: KindError, N: n})
 }
 
+// TransientErrorOnCalls arms errors wrapping core.ErrTransient on the
+// site's library-function calls from..to (1-based, inclusive); later calls
+// succeed. This is the "outage that heals" retry tests replay.
+func (in *Injector) TransientErrorOnCalls(site string, from, to int64) {
+	in.Add(site, Fault{Aspect: AspectCall, Kind: KindError, N: from, M: to, Transient: true})
+}
+
+// TransientErrorOnSplits arms transient errors on Split invocations
+// from..to, after which the splitter succeeds again.
+func (in *Injector) TransientErrorOnSplits(site string, from, to int64) {
+	in.Add(site, Fault{Aspect: AspectSplit, Kind: KindError, N: from, M: to, Transient: true})
+}
+
+// TransientErrorOnMerges arms transient errors on Merge invocations
+// from..to, after which the splitter succeeds again.
+func (in *Injector) TransientErrorOnMerges(site string, from, to int64) {
+	in.Add(site, Fault{Aspect: AspectMerge, Kind: KindError, N: from, M: to, Transient: true})
+}
+
 // PanicOnRandomCall arms a panic on an invocation drawn uniformly from
 // [1, outOf] using the injector's seed, and returns the chosen invocation
 // so tests can log it.
@@ -170,7 +196,11 @@ func (in *Injector) fire(site string, a Aspect) (Fault, bool) {
 		if f.Aspect != a {
 			continue
 		}
-		if f.N == 0 || f.N == n {
+		match := f.N == 0 || f.N == n
+		if f.M >= f.N && f.N > 0 {
+			match = n >= f.N && n <= f.M
+		}
+		if match {
 			hit, ok = f, true
 			break
 		}
@@ -191,6 +221,9 @@ func (in *Injector) act(f Fault, site string, a Aspect) error {
 	case KindPanic:
 		panic(msg)
 	case KindError:
+		if f.Transient {
+			return fmt.Errorf("%s: %w", msg, core.ErrTransient)
+		}
 		return fmt.Errorf("%s", msg)
 	}
 	return nil

@@ -1,6 +1,7 @@
 package faultinject_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -205,5 +206,100 @@ func TestInjectorDrivesRuntimeFallback(t *testing.T) {
 	}
 	if st := s.Stats(); st.RecoveredPanics < 1 || st.FallbackStages != 1 {
 		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestTransientRangeFiresThenHeals: a fault armed for occurrences 2..4
+// fires exactly there and the site succeeds again from occurrence 5 on.
+func TestTransientRangeFiresThenHeals(t *testing.T) {
+	inj := faultinject.New(0)
+	inj.TransientErrorOnCalls("f", 2, 4)
+	fn := inj.WrapFunc("f", okFn)
+	for i := int64(1); i <= 7; i++ {
+		_, err := fn([]any{1})
+		wantErr := i >= 2 && i <= 4
+		if wantErr != (err != nil) {
+			t.Errorf("call %d: err = %v, want error: %v", i, err, wantErr)
+		}
+		if err != nil && !errors.Is(err, core.ErrTransient) {
+			t.Errorf("call %d: error %v does not wrap core.ErrTransient", i, err)
+		}
+	}
+}
+
+// TestTransientSplitRange: the same range semantics on the Split aspect.
+func TestTransientSplitRange(t *testing.T) {
+	inj := faultinject.New(0)
+	inj.TransientErrorOnSplits("arr", 1, 2)
+	sp := inj.WrapSplitter("arr", chunkSplitter{})
+	v := []float64{1, 2, 3, 4}
+	for i := int64(1); i <= 4; i++ {
+		_, err := sp.Split(v, core.SplitType{}, 0, 2)
+		wantErr := i <= 2
+		if wantErr != (err != nil) {
+			t.Errorf("split %d: err = %v, want error: %v", i, err, wantErr)
+		}
+		if err != nil && !errors.Is(err, core.ErrTransient) {
+			t.Errorf("split %d: error %v does not wrap core.ErrTransient", i, err)
+		}
+	}
+	if got := inj.Count("arr", faultinject.AspectSplit); got != 4 {
+		t.Errorf("Count = %d, want 4", got)
+	}
+}
+
+// TestTransientRetryEndToEnd: an injected fail-once-then-succeed library
+// error is absorbed by RetryPolicy and the result matches the fault-free
+// run; the wrapper preserves the splitter's in-place declaration so the
+// batch snapshot machinery engages.
+func TestTransientRetryEndToEnd(t *testing.T) {
+	run := func(retry core.RetryPolicy, inj *faultinject.Injector) ([]float64, core.Stats, error) {
+		n := 32
+		a := make([]float64, n)
+		out := make([]float64, n)
+		for i := range a {
+			a[i] = float64(i) + 0.5
+		}
+		arr := core.Concrete("ChunkSplit", inj.WrapSplitter("arr", chunkSplitter{}),
+			core.FixedCtor(core.NewSplitType("ChunkSplit")))
+		sa := &core.Annotation{FuncName: "copy", Params: []core.Param{
+			{Name: "a", Type: arr},
+			{Name: "out", Mut: true, Type: arr},
+		}}
+		fn := inj.WrapFunc("copy", func(args []any) (any, error) {
+			src, dst := args[0].([]float64), args[1].([]float64)
+			for i := range src {
+				dst[i] += src[i]
+			}
+			return nil, nil
+		})
+		s := core.NewSession(core.Options{Workers: 2, BatchElems: 8, RetryPolicy: retry})
+		s.Call(fn, sa, a, out)
+		err := s.Evaluate()
+		return out, s.Stats(), err
+	}
+
+	// Retries disabled: the transient error aborts the evaluation.
+	inj := faultinject.New(0)
+	inj.TransientErrorOnCalls("copy", 2, 2)
+	if _, _, err := run(core.RetryPolicy{}, inj); err == nil {
+		t.Fatal("retries disabled: want the injected transient error to fail Evaluate")
+	}
+
+	// MaxAttempts 3: the replay succeeds and the accumulate applies once.
+	inj = faultinject.New(0)
+	inj.TransientErrorOnCalls("copy", 2, 2)
+	out, st, err := run(core.RetryPolicy{MaxAttempts: 3, Sleep: func(time.Duration) {}}, inj)
+	if err != nil {
+		t.Fatalf("with retry: %v", err)
+	}
+	for i := range out {
+		want := float64(i) + 0.5
+		if out[i] != want {
+			t.Fatalf("out[%d] = %v, want %v (batch replay not idempotent)", i, out[i], want)
+		}
+	}
+	if st.RetriedBatches != 1 {
+		t.Errorf("RetriedBatches = %d, want 1", st.RetriedBatches)
 	}
 }
