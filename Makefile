@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race flaky smoke-faults bench
+.PHONY: ci vet build test race flaky smoke-faults trace-smoke bench
 
-ci: vet build test race flaky smoke-faults
+ci: vet build test race flaky smoke-faults trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +31,12 @@ flaky:
 # Smoke-run the fault-tolerance ablation end to end.
 smoke-faults:
 	$(GO) run ./cmd/sabench -experiment faults
+
+# Smoke-run the observability layer: trace two workloads, write Chrome
+# trace JSON, and re-parse it (the experiment exits non-zero on malformed
+# or empty traces).
+trace-smoke:
+	$(GO) run ./cmd/sabench -experiment trace -scalediv 8
 
 # Regenerate the paper's figures/tables (see cmd/sabench).
 bench:

@@ -7,13 +7,13 @@ import (
 
 // runWithBreakdown executes a workload's Mozart variant while observing the
 // sessions it creates, and returns the summed phase statistics (Fig. 5).
-func runWithBreakdown(spec workloads.Spec, cfg workloads.Config) (core.Stats, error) {
+func runWithBreakdown(spec workloads.Spec, cfg workloads.Config) (core.StatsSnapshot, error) {
 	var sessions []*core.Session
 	cfg.OnSession = func(s *core.Session) { sessions = append(sessions, s) }
 	if _, err := spec.Run(workloads.Mozart, cfg); err != nil {
-		return core.Stats{}, err
+		return core.StatsSnapshot{}, err
 	}
-	var total core.Stats
+	var total core.StatsSnapshot
 	for _, s := range sessions {
 		st := s.Stats()
 		total.ClientNS += st.ClientNS

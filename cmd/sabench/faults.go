@@ -107,7 +107,7 @@ func faults(scaleDiv int) {
 		return "matches library"
 	}
 
-	runPipeline := func(inj *faultinject.Injector, opts core.Options, rounds int) (float64, core.Stats, []float64) {
+	runPipeline := func(inj *faultinject.Injector, opts core.Options, rounds int) (float64, core.StatsSnapshot, []float64) {
 		calls := faultCalls(inj)
 		d1, tmp, vol := mkInputs()
 		var s *core.Session
@@ -130,7 +130,7 @@ func faults(scaleDiv int) {
 	type row struct {
 		name    string
 		seconds float64
-		stats   core.Stats
+		stats   core.StatsSnapshot
 		check   string
 	}
 	var rows []row

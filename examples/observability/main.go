@@ -1,0 +1,63 @@
+// Observability: trace and meter a pipelined evaluation.
+//
+// The quickstart pipeline runs again, this time with the runtime
+// instrumented: a ChromeTrace sink records one timeline lane per worker
+// (plus a runtime lane for planning, admission, and the final merge), and a
+// Metrics sink aggregates per-stage batch counts, bytes moved under the
+// paper's §5.2 model, and cache-batch utilization. Both sinks share the
+// event stream via MultiTracer; pprof profiles additionally carry
+// mozart_stage/mozart_split labels because ProfileLabels is set.
+//
+// Run it, then load mozart-trace.json in https://ui.perfetto.dev (or
+// chrome://tracing) to see each worker pulling cache-sized batches through
+// the fused three-call stage.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"mozart"
+	"mozart/internal/annotations/vmathsa"
+)
+
+func main() {
+	const n = 1 << 20
+	d1 := make([]float64, n)
+	tmp := make([]float64, n)
+	vol := make([]float64, n)
+	for i := range d1 {
+		d1[i] = float64(i%100)/100 + 0.5
+		tmp[i] = 1.0
+		vol[i] = 2.0
+	}
+
+	trace := mozart.NewChromeTrace()
+	metrics := mozart.NewMetrics()
+	opts := mozart.WithTracer(mozart.Options{Workers: 4, ProfileLabels: true},
+		mozart.MultiTracer(trace, metrics))
+	s := mozart.NewSession(opts)
+
+	// d1 = (log1p(d1) + tmp) / vol, then reduce.
+	vmathsa.Log1p(s, n, d1, d1)
+	vmathsa.Add(s, n, d1, tmp, d1)
+	vmathsa.Div(s, n, d1, vol, d1)
+	mean := vmathsa.Sum(s, n, d1)
+
+	if err := s.EvaluateContext(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	total, err := mean.Float64()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mean = %.6f\n", total/n)
+
+	if err := trace.WriteFile("mozart-trace.json"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote mozart-trace.json (%d events) — open in https://ui.perfetto.dev\n\n",
+		trace.Events())
+	fmt.Print(metrics.String())
+}

@@ -12,18 +12,13 @@ import (
 	"mozart/internal/core"
 )
 
-// Case is one annotated function under soundness check: the raw
-// Func/Annotation pair (not the session wrapper), a deterministic argument
-// generator, and an equality predicate for results and mut arguments.
+// Case is one annotated function under soundness check: a name for the
+// subtest plus the embedded core.CheckSpec (the raw Func/Annotation pair —
+// not the session wrapper — argument generator, equality predicate, and
+// check configuration).
 type Case struct {
 	Name string
-	Fn   core.Func
-	SA   *core.Annotation
-	// Gen must return an independent but identical argument list when
-	// called twice with the same seed (CheckAnnotation's contract).
-	Gen func(seed int64) []any
-	Eq  func(got, want any) bool
-	Cfg core.CheckConfig
+	core.CheckSpec
 }
 
 // FloatsEq compares float64 scalars and []float64 slices with a relative

@@ -37,11 +37,11 @@ func TestEveryAnnotationPackagePassesCheckAnnotation(t *testing.T) {
 		}
 		for _, c := range g.cases {
 			t.Run(g.pkg+"/"+c.Name, func(t *testing.T) {
-				cfg := c.Cfg
-				if cfg.Seed == 0 {
-					cfg.Seed = int64(len(c.Name)) * 1031
+				spec := c.CheckSpec
+				if spec.Config.Seed == 0 {
+					spec.Config.Seed = int64(len(c.Name)) * 1031
 				}
-				if err := core.CheckAnnotation(c.Fn, c.SA, c.Gen, c.Eq, cfg); err != nil {
+				if err := core.CheckAnnotation(spec); err != nil {
 					t.Errorf("%s: %v", c.Name, err)
 				}
 			})

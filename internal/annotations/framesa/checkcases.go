@@ -66,10 +66,10 @@ func CheckCases() []checksuite.Case {
 	}
 	cfg := core.CheckConfig{Trials: 6, MaxBatch: 64}
 	return []checksuite.Case{
-		{Name: "sr.add", Fn: addFn, SA: addSA, Gen: genBinary, Eq: eq, Cfg: cfg},
-		{Name: "sr.div", Fn: divFn, SA: divSA, Gen: genBinary, Eq: eq, Cfg: cfg},
-		{Name: "sr.isnull", Fn: isNullFn, SA: isNullSA, Gen: genUnary, Eq: eq, Cfg: cfg},
-		{Name: "sr.gt", Fn: gtFn, SA: gtSA, Gen: genScalar, Eq: eq, Cfg: cfg},
-		{Name: "sr.fillna", Fn: fillNaFn, SA: fillNaSA, Gen: genScalar, Eq: eq, Cfg: cfg},
+		{Name: "sr.add", CheckSpec: core.CheckSpec{Fn: addFn, Annotation: addSA, Gen: genBinary, Eq: eq, Config: cfg}},
+		{Name: "sr.div", CheckSpec: core.CheckSpec{Fn: divFn, Annotation: divSA, Gen: genBinary, Eq: eq, Config: cfg}},
+		{Name: "sr.isnull", CheckSpec: core.CheckSpec{Fn: isNullFn, Annotation: isNullSA, Gen: genUnary, Eq: eq, Config: cfg}},
+		{Name: "sr.gt", CheckSpec: core.CheckSpec{Fn: gtFn, Annotation: gtSA, Gen: genScalar, Eq: eq, Config: cfg}},
+		{Name: "sr.fillna", CheckSpec: core.CheckSpec{Fn: fillNaFn, Annotation: fillNaSA, Gen: genScalar, Eq: eq, Config: cfg}},
 	}
 }

@@ -38,10 +38,10 @@ func CheckCases() []checksuite.Case {
 	}
 	cfg := core.CheckConfig{Trials: 6, MaxBatch: 64}
 	return []checksuite.Case{
-		{Name: "Log1p", Fn: fnLog1p, SA: saLog1p, Gen: genUnary, Eq: checksuite.FloatsEq, Cfg: cfg},
-		{Name: "Add", Fn: fnAdd, SA: saAdd, Gen: genBinary, Eq: checksuite.FloatsEq, Cfg: cfg},
-		{Name: "Div", Fn: fnDiv, SA: saDiv, Gen: genBinary, Eq: checksuite.FloatsEq, Cfg: cfg},
-		{Name: "Dot", Fn: fnDot, SA: saDot, Gen: genReduce2, Eq: checksuite.FloatsEq, Cfg: cfg},
-		{Name: "Sum", Fn: fnSum, SA: saSum, Gen: genReduce1, Eq: checksuite.FloatsEq, Cfg: cfg},
+		{Name: "Log1p", CheckSpec: core.CheckSpec{Fn: fnLog1p, Annotation: saLog1p, Gen: genUnary, Eq: checksuite.FloatsEq, Config: cfg}},
+		{Name: "Add", CheckSpec: core.CheckSpec{Fn: fnAdd, Annotation: saAdd, Gen: genBinary, Eq: checksuite.FloatsEq, Config: cfg}},
+		{Name: "Div", CheckSpec: core.CheckSpec{Fn: fnDiv, Annotation: saDiv, Gen: genBinary, Eq: checksuite.FloatsEq, Config: cfg}},
+		{Name: "Dot", CheckSpec: core.CheckSpec{Fn: fnDot, Annotation: saDot, Gen: genReduce2, Eq: checksuite.FloatsEq, Config: cfg}},
+		{Name: "Sum", CheckSpec: core.CheckSpec{Fn: fnSum, Annotation: saSum, Gen: genReduce1, Eq: checksuite.FloatsEq, Config: cfg}},
 	}
 }

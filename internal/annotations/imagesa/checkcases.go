@@ -31,13 +31,13 @@ func CheckCases() []checksuite.Case {
 	}
 	cfg := core.CheckConfig{Trials: 4, MaxBatch: 16}
 	return []checksuite.Case{
-		{Name: "MagickGammaImage", Fn: gammaFn, SA: gammaSA,
-			Gen: func(seed int64) []any { return []any{img(seed), 0.8} }, Eq: eq, Cfg: cfg},
-		{Name: "MagickLevelImage", Fn: levelFn, SA: levelSA,
-			Gen: func(seed int64) []any { return []any{img(seed), 0.1, 0.9} }, Eq: eq, Cfg: cfg},
-		{Name: "MagickModulateImage", Fn: modulateFn, SA: modulateSA,
-			Gen: func(seed int64) []any { return []any{img(seed), 1.1, 0.9, 0.2} }, Eq: eq, Cfg: cfg},
-		{Name: "MagickGrayscaleImage", Fn: grayFn, SA: graySA,
-			Gen: func(seed int64) []any { return []any{img(seed)} }, Eq: eq, Cfg: cfg},
+		{Name: "MagickGammaImage", CheckSpec: core.CheckSpec{Fn: gammaFn, Annotation: gammaSA,
+			Gen: func(seed int64) []any { return []any{img(seed), 0.8} }, Eq: eq, Config: cfg}},
+		{Name: "MagickLevelImage", CheckSpec: core.CheckSpec{Fn: levelFn, Annotation: levelSA,
+			Gen: func(seed int64) []any { return []any{img(seed), 0.1, 0.9} }, Eq: eq, Config: cfg}},
+		{Name: "MagickModulateImage", CheckSpec: core.CheckSpec{Fn: modulateFn, Annotation: modulateSA,
+			Gen: func(seed int64) []any { return []any{img(seed), 1.1, 0.9, 0.2} }, Eq: eq, Config: cfg}},
+		{Name: "MagickGrayscaleImage", CheckSpec: core.CheckSpec{Fn: grayFn, Annotation: graySA,
+			Gen: func(seed int64) []any { return []any{img(seed)} }, Eq: eq, Config: cfg}},
 	}
 }

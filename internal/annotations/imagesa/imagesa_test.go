@@ -162,7 +162,7 @@ func TestCheckAnnotationOnImageOps(t *testing.T) {
 		imagelib.Gamma(args[0].(*imagelib.Image), args[1].(float64))
 		return nil, nil
 	}
-	if err := core.CheckAnnotation(gammaFn, gammaSA, gen, eq, core.CheckConfig{Seed: 9, MaxBatch: 16}); err != nil {
+	if err := core.CheckAnnotation(core.CheckSpec{Fn: gammaFn, Annotation: gammaSA, Gen: gen, Eq: eq, Config: core.CheckConfig{Seed: 9, MaxBatch: 16}}); err != nil {
 		t.Fatalf("gamma should be soundly splittable: %v", err)
 	}
 
@@ -176,7 +176,7 @@ func TestCheckAnnotationOnImageOps(t *testing.T) {
 		return nil, nil
 	}
 	genBlur := func(seed int64) []any { return []any{randImage(24, 40, seed), 1.5} }
-	if err := core.CheckAnnotation(blurFn, blurSA, genBlur, eq, core.CheckConfig{Seed: 10, MaxBatch: 16}); err == nil {
+	if err := core.CheckAnnotation(core.CheckSpec{Fn: blurFn, Annotation: blurSA, Gen: genBlur, Eq: eq, Config: core.CheckConfig{Seed: 10, MaxBatch: 16}}); err == nil {
 		t.Fatal("a splittable Blur annotation must be rejected by the checker (§7.1)")
 	}
 }

@@ -36,7 +36,7 @@ func CheckCases() []checksuite.Case {
 	eq := func(got, want any) bool { return reflect.DeepEqual(got, want) }
 	cfg := core.CheckConfig{Trials: 4, MaxBatch: 32}
 	return []checksuite.Case{
-		{Name: "nlp.pipe", Fn: pipeFn, SA: pipeSA, Gen: genPipe, Eq: eq, Cfg: cfg},
-		{Name: "nlp.posCounts", Fn: posFn, SA: posSA, Gen: genPOS, Eq: eq, Cfg: cfg},
+		{Name: "nlp.pipe", CheckSpec: core.CheckSpec{Fn: pipeFn, Annotation: pipeSA, Gen: genPipe, Eq: eq, Config: cfg}},
+		{Name: "nlp.posCounts", CheckSpec: core.CheckSpec{Fn: posFn, Annotation: posSA, Gen: genPOS, Eq: eq, Config: cfg}},
 	}
 }

@@ -30,10 +30,10 @@ func CheckCases() []checksuite.Case {
 	}
 	cfg := core.CheckConfig{Trials: 6, MaxBatch: 64}
 	return []checksuite.Case{
-		{Name: "np.add", Fn: addFn, SA: addSA, Gen: genBinary, Eq: eq, Cfg: cfg},
-		{Name: "np.divide", Fn: divFn, SA: divSA, Gen: genBinary, Eq: eq, Cfg: cfg},
-		{Name: "np.sqrt", Fn: sqrtFn, SA: sqrtSA, Gen: genUnary, Eq: eq, Cfg: cfg},
-		{Name: "np.log1p", Fn: log1pFn, SA: log1pSA, Gen: genUnary, Eq: eq, Cfg: cfg},
-		{Name: "np.multiply.s", Fn: mulsFn, SA: mulsSA, Gen: genScalar, Eq: eq, Cfg: cfg},
+		{Name: "np.add", CheckSpec: core.CheckSpec{Fn: addFn, Annotation: addSA, Gen: genBinary, Eq: eq, Config: cfg}},
+		{Name: "np.divide", CheckSpec: core.CheckSpec{Fn: divFn, Annotation: divSA, Gen: genBinary, Eq: eq, Config: cfg}},
+		{Name: "np.sqrt", CheckSpec: core.CheckSpec{Fn: sqrtFn, Annotation: sqrtSA, Gen: genUnary, Eq: eq, Config: cfg}},
+		{Name: "np.log1p", CheckSpec: core.CheckSpec{Fn: log1pFn, Annotation: log1pSA, Gen: genUnary, Eq: eq, Config: cfg}},
+		{Name: "np.multiply.s", CheckSpec: core.CheckSpec{Fn: mulsFn, Annotation: mulsSA, Gen: genScalar, Eq: eq, Config: cfg}},
 	}
 }

@@ -50,13 +50,13 @@ func CheckCases() []checksuite.Case {
 	}
 	cfg := core.CheckConfig{Trials: 6, MaxBatch: 64}
 	return []checksuite.Case{
-		{Name: "vdAdd", Fn: addFn, SA: addSA, Gen: genBinary, Eq: checksuite.FloatsEq, Cfg: cfg},
-		{Name: "vdDiv", Fn: divFn, SA: divSA, Gen: genBinary, Eq: checksuite.FloatsEq, Cfg: cfg},
-		{Name: "vdSqrt", Fn: sqrtFn, SA: sqrtSA, Gen: genUnary, Eq: checksuite.FloatsEq, Cfg: cfg},
-		{Name: "vdLog1p", Fn: log1pFn, SA: log1pSA, Gen: genUnary, Eq: checksuite.FloatsEq, Cfg: cfg},
-		{Name: "vdAddC", Fn: addcFn, SA: addcSA, Gen: genScalar, Eq: checksuite.FloatsEq, Cfg: cfg},
-		{Name: "vdSum", Fn: sumFn, SA: sumSA, Gen: genReduce, Eq: checksuite.FloatsEq, Cfg: cfg},
-		{Name: "vdMaxReduce", Fn: maxFn, SA: maxSA, Gen: genReduce, Eq: checksuite.FloatsEq, Cfg: cfg},
-		{Name: "matAdd", Fn: matAddFn, SA: matAddSA, Gen: genMat, Eq: matEq, Cfg: cfg},
+		{Name: "vdAdd", CheckSpec: core.CheckSpec{Fn: addFn, Annotation: addSA, Gen: genBinary, Eq: checksuite.FloatsEq, Config: cfg}},
+		{Name: "vdDiv", CheckSpec: core.CheckSpec{Fn: divFn, Annotation: divSA, Gen: genBinary, Eq: checksuite.FloatsEq, Config: cfg}},
+		{Name: "vdSqrt", CheckSpec: core.CheckSpec{Fn: sqrtFn, Annotation: sqrtSA, Gen: genUnary, Eq: checksuite.FloatsEq, Config: cfg}},
+		{Name: "vdLog1p", CheckSpec: core.CheckSpec{Fn: log1pFn, Annotation: log1pSA, Gen: genUnary, Eq: checksuite.FloatsEq, Config: cfg}},
+		{Name: "vdAddC", CheckSpec: core.CheckSpec{Fn: addcFn, Annotation: addcSA, Gen: genScalar, Eq: checksuite.FloatsEq, Config: cfg}},
+		{Name: "vdSum", CheckSpec: core.CheckSpec{Fn: sumFn, Annotation: sumSA, Gen: genReduce, Eq: checksuite.FloatsEq, Config: cfg}},
+		{Name: "vdMaxReduce", CheckSpec: core.CheckSpec{Fn: maxFn, Annotation: maxSA, Gen: genReduce, Eq: checksuite.FloatsEq, Config: cfg}},
+		{Name: "matAdd", CheckSpec: core.CheckSpec{Fn: matAddFn, Annotation: matAddSA, Gen: genMat, Eq: matEq, Config: cfg}},
 	}
 }

@@ -470,7 +470,7 @@ func TestCheckVmathAnnotations(t *testing.T) {
 		vmath.Sqrt(args[0].(int), args[1].([]float64), args[2].([]float64))
 		return nil, nil
 	}
-	if err := core.CheckAnnotation(fn, sa, gen, eq, core.CheckConfig{Seed: 11}); err != nil {
+	if err := core.CheckAnnotation(core.CheckSpec{Fn: fn, Annotation: sa, Gen: gen, Eq: eq, Config: core.CheckConfig{Seed: 11}}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"mozart/internal/obs"
 )
 
 // Governor is a memory-budget admission controller: a weighted semaphore
@@ -132,7 +134,7 @@ func (g *Governor) release(bytes int64) {
 // shrunken footprint does not fit. Wait time lands in Stats.AdmissionWaitNS.
 // It returns the possibly-adjusted batch and worker count plus a release
 // closure for the reserved bytes.
-func (s *Session) admitStage(ctx context.Context, st *planStage, sumElemBytes, total, batch int64, workers int) (int64, int, func(), error) {
+func (s *Session) admitStage(ctx context.Context, si int, st *planStage, sumElemBytes, total, batch int64, workers int) (int64, int, func(), error) {
 	g := s.opts.Governor
 	noop := func() {}
 	if g == nil || g.Budget() <= 0 {
@@ -170,9 +172,15 @@ func (s *Session) admitStage(ctx context.Context, st *planStage, sumElemBytes, t
 	}
 	t0 := time.Now()
 	err := g.admit(ctx, req)
-	s.stats.add(&s.stats.AdmissionWaitNS, time.Since(t0))
+	wait := time.Since(t0)
+	s.stats.add(&s.stats.AdmissionWaitNS, wait)
 	if err != nil {
 		return batch, workers, noop, s.stageErr(st, originFromContext(err), err)
+	}
+	if tr := s.opts.Tracer; tr != nil {
+		tr.Emit(obs.Event{Kind: obs.EvAdmission, Time: time.Now(), Dur: wait,
+			Stage: si, Worker: obs.RuntimeLane, Calls: stageCalls(st),
+			Bytes: req, BatchElems: batch, Workers: workers})
 	}
 	return batch, workers, func() { g.release(req) }, nil
 }

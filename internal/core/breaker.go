@@ -81,22 +81,22 @@ func (bs *breakerSet) empty() bool { return len(bs.m) == 0 }
 
 // planWhole reports whether the planner must run the annotation whole. It
 // also performs the open → half-open transition once the cooldown has
-// elapsed, in which case it returns false: the upcoming split plan is the
-// probe.
-func (bs *breakerSet) planWhole(name string) bool {
+// elapsed, in which case it returns whole=false and probing=true: the
+// upcoming split plan is the probe.
+func (bs *breakerSet) planWhole(name string) (whole, probing bool) {
 	b := bs.m[name]
 	if b == nil {
-		return false
+		return false, false
 	}
 	switch b.state {
 	case breakerOpen:
 		if bs.pol.Cooldown > 0 && bs.now().Sub(b.openedAt) >= bs.pol.Cooldown {
 			b.state = breakerHalfOpen
-			return false
+			return false, true
 		}
-		return true
+		return true, false
 	default:
-		return false
+		return false, false
 	}
 }
 

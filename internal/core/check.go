@@ -30,27 +30,48 @@ func (c CheckConfig) withDefaults() CheckConfig {
 	return c
 }
 
+// CheckSpec names everything CheckAnnotation needs: the annotated function,
+// its annotation, a deterministic argument generator, an equality predicate,
+// and the check configuration. A struct (rather than positional parameters)
+// keeps call sites self-describing and lets future knobs ride along without
+// breaking them.
+type CheckSpec struct {
+	// Fn is the function under check.
+	Fn Func
+	// Annotation is Fn's split annotation.
+	Annotation *Annotation
+	// Gen generates one argument list per seed. It must return an
+	// independent but identical list when called twice with the same seed,
+	// so the whole and split runs see equal inputs.
+	Gen func(seed int64) []any
+	// Eq compares a split-run result (return value or mut argument) against
+	// the whole-run reference.
+	Eq func(got, want any) bool
+	// Config tunes trials, randomization bounds, and the seed.
+	Config CheckConfig
+}
+
 // CheckAnnotation fuzz-checks the §3.4 soundness condition of a split
 // annotation:
 //
 //	F(a, b, ...) = Merge(F(a1, b1, ...), F(a2, b2, ...), ...)
 //
-// It repeatedly generates arguments with gen (which must return an
-// independent but identical argument list when called twice with the same
-// seed), runs the function whole, runs it again under the runtime with a
-// randomized worker count and batch size, and compares the results — the
-// return value and every mut argument — with eq.
+// It repeatedly generates arguments with spec.Gen, runs the function whole,
+// runs it again under the runtime with a randomized worker count and batch
+// size, and compares the results — the return value and every mut argument —
+// with spec.Eq.
 //
 // This is the tooling the paper's §7.1 calls for ("tools that could
 // formally prove an SA's compatibility with a function would be helpful...
 // we also fuzz tested our annotated functions"): it cannot prove
 // soundness, but it reliably catches annotations like a row-split over a
 // function with cross-row behaviour (see the imagesa Blur tests).
-func CheckAnnotation(fn Func, sa *Annotation, gen func(seed int64) []any, eq func(got, want any) bool, cfg CheckConfig) error {
+func CheckAnnotation(spec CheckSpec) error {
+	fn, sa, gen, eq := spec.Fn, spec.Annotation, spec.Gen, spec.Eq
 	if err := sa.Validate(); err != nil {
 		return err
 	}
-	cfg = cfg.withDefaults()
+	cfg := spec.Config.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	for trial := 0; trial < cfg.Trials; trial++ {
 		seed := cfg.Seed + int64(trial)*7919

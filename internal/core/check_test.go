@@ -44,7 +44,7 @@ func eqAny(got, want any) bool {
 // TestCheckAnnotationSound: a correctly annotated elementwise function
 // passes the fuzz check.
 func TestCheckAnnotationSound(t *testing.T) {
-	if err := CheckAnnotation(testLog1p, saUnary("vdLog1p"), genVecArgs(777), eqAny, CheckConfig{Seed: 1}); err != nil {
+	if err := CheckAnnotation(CheckSpec{Fn: testLog1p, Annotation: saUnary("vdLog1p"), Gen: genVecArgs(777), Eq: eqAny, Config: CheckConfig{Seed: 1}}); err != nil {
 		t.Fatal(err)
 	}
 	// A sound reduction.
@@ -56,7 +56,7 @@ func TestCheckAnnotationSound(t *testing.T) {
 		}
 		return []any{a}
 	}
-	if err := CheckAnnotation(fnSum, saSum, genSum, eqAny, CheckConfig{Seed: 2}); err != nil {
+	if err := CheckAnnotation(CheckSpec{Fn: fnSum, Annotation: saSum, Gen: genSum, Eq: eqAny, Config: CheckConfig{Seed: 2}}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -73,7 +73,7 @@ func TestCheckAnnotationCatchesUnsound(t *testing.T) {
 		}
 		return nil, nil
 	}
-	err := CheckAnnotation(prefixSum, saUnary("prefixSum"), genVecArgs(300), eqAny, CheckConfig{Seed: 3})
+	err := CheckAnnotation(CheckSpec{Fn: prefixSum, Annotation: saUnary("prefixSum"), Gen: genVecArgs(300), Eq: eqAny, Config: CheckConfig{Seed: 3}})
 	if err == nil {
 		t.Fatal("the unsound prefix-sum annotation should be caught")
 	}
@@ -100,7 +100,7 @@ func TestCheckAnnotationCatchesUnsoundReduction(t *testing.T) {
 		}
 		return []any{a}
 	}
-	if err := CheckAnnotation(sub, saSum, gen, eqAny, CheckConfig{Seed: 4}); err == nil {
+	if err := CheckAnnotation(CheckSpec{Fn: sub, Annotation: saSum, Gen: gen, Eq: eqAny, Config: CheckConfig{Seed: 4}}); err == nil {
 		t.Fatal("the non-associative reduction should be caught")
 	}
 }
@@ -108,7 +108,7 @@ func TestCheckAnnotationCatchesUnsoundReduction(t *testing.T) {
 // TestCheckAnnotationArgMismatch: gen arity errors are reported.
 func TestCheckAnnotationArgMismatch(t *testing.T) {
 	gen := func(int64) []any { return []any{1} }
-	if err := CheckAnnotation(testLog1p, saUnary("f"), gen, eqAny, CheckConfig{}); err == nil {
+	if err := CheckAnnotation(CheckSpec{Fn: testLog1p, Annotation: saUnary("f"), Gen: gen, Eq: eqAny, Config: CheckConfig{}}); err == nil {
 		t.Fatal("want arity error")
 	}
 }
@@ -116,7 +116,7 @@ func TestCheckAnnotationArgMismatch(t *testing.T) {
 // TestCheckAnnotationWholeError: failures of the function itself surface.
 func TestCheckAnnotationWholeError(t *testing.T) {
 	boom := func([]any) (any, error) { return nil, errBoom }
-	if err := CheckAnnotation(boom, saSum, func(int64) []any { return []any{[]float64{1}} }, eqAny, CheckConfig{Trials: 1}); err == nil {
+	if err := CheckAnnotation(CheckSpec{Fn: boom, Annotation: saSum, Gen: func(int64) []any { return []any{[]float64{1}} }, Eq: eqAny, Config: CheckConfig{Trials: 1}}); err == nil {
 		t.Fatal("want whole-run error")
 	}
 }

@@ -5,9 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mozart/internal/obs"
 )
 
 // execute runs every stage of the plan in order (§5.2).
@@ -46,11 +50,14 @@ func (s *Session) executeStage(ctx context.Context, si int, st *planStage) error
 		snap, snapErr = s.snapshotStage(st)
 	}
 
-	err := s.executeStageSplit(ctx, st)
+	tr := s.opts.Tracer
+	stageStart := time.Now()
+	err := s.executeStageSplit(ctx, si, st)
 	if err == nil {
 		// A split stage that ran clean closes half-open breakers on its
 		// annotations (the cooldown probe passed).
 		s.recordStageSuccess(st)
+		s.emitStageEnd(tr, si, st, stageStart, nil)
 		return nil
 	}
 	err = s.stampStage(err, si, st)
@@ -58,20 +65,47 @@ func (s *Session) executeStage(ctx context.Context, si int, st *planStage) error
 	var serr *StageError
 	if s.opts.FallbackPolicy == FallbackOff || len(st.inputs) == 0 ||
 		!errors.As(err, &serr) || !serr.AnnotationFault() {
+		s.emitStageEnd(tr, si, st, stageStart, err)
 		return err
 	}
 	if snapErr != nil {
-		return fmt.Errorf("%w (whole-call fallback skipped: %v)", err, snapErr)
+		err = fmt.Errorf("%w (whole-call fallback skipped: %v)", err, snapErr)
+		s.emitStageEnd(tr, si, st, stageStart, err)
+		return err
 	}
 	snap.restore()
+	fbStart := time.Now()
 	if ferr := s.executeWhole(st); ferr != nil {
-		return fmt.Errorf("mozart: stage %d: whole-call fallback failed: %w (after %v)", si, ferr, err)
+		err = fmt.Errorf("mozart: stage %d: whole-call fallback failed: %w (after %v)", si, ferr, err)
+		s.emitStageEnd(tr, si, st, stageStart, err)
+		return err
 	}
 	s.stats.add(&s.stats.FallbackStages, 1)
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: obs.EvFallback, Time: time.Now(), Dur: time.Since(fbStart),
+			Stage: si, Worker: obs.RuntimeLane, Calls: stageCalls(st), Detail: err.Error()})
+	}
 	if s.opts.FallbackPolicy == FallbackQuarantine {
 		s.quarantineStage(st, serr)
 	}
+	// The stage recovered: its end event reports success, the fallback span
+	// carries the original fault.
+	s.emitStageEnd(tr, si, st, stageStart, nil)
 	return nil
+}
+
+// emitStageEnd closes a stage's span on the runtime lane, covering split
+// execution plus any whole-call fallback re-execution.
+func (s *Session) emitStageEnd(tr obs.Tracer, si int, st *planStage, start time.Time, err error) {
+	if tr == nil {
+		return
+	}
+	e := obs.Event{Kind: obs.EvStageEnd, Time: time.Now(), Dur: time.Since(start),
+		Stage: si, Worker: obs.RuntimeLane, Calls: stageCalls(st)}
+	if err != nil {
+		e.Detail = err.Error()
+	}
+	tr.Emit(e)
 }
 
 // stampStage fills in the stage index on StageErrors produced deep inside
@@ -159,6 +193,13 @@ type stageExec struct {
 	st         *planStage
 	inputs     []resolvedInput
 	mutInPlace []resolvedInput
+
+	// Per-stage observability detail, computed once so the per-batch hot
+	// loop emits events without building strings or re-deriving sizes.
+	si        int    // stage index within the plan
+	calls     string // "a -> b -> c" pipeline rendering
+	split     string // split type rendering
+	elemBytes int64  // Σ element bytes across split inputs (§5.2 model)
 }
 
 // mutInPlaceInputs selects the resolved inputs some call mutates through an
@@ -183,7 +224,7 @@ func mutInPlaceInputs(st *planStage, inputs []resolvedInput) []resolvedInput {
 	return out
 }
 
-func (s *Session) executeStageSplit(ctx context.Context, st *planStage) error {
+func (s *Session) executeStageSplit(ctx context.Context, si int, st *planStage) error {
 	// Resolve inputs against materialized values.
 	inputs := make([]resolvedInput, 0, len(st.inputs))
 	var sumElemBytes int64
@@ -219,6 +260,10 @@ func (s *Session) executeStageSplit(ctx context.Context, st *planStage) error {
 
 	// A stage with nothing to split executes each call once, whole.
 	if len(inputs) == 0 {
+		if tr := s.opts.Tracer; tr != nil {
+			tr.Emit(obs.Event{Kind: obs.EvStageBegin, Time: time.Now(), Stage: si,
+				Worker: obs.RuntimeLane, Calls: stageCalls(st), Split: "whole", Workers: 1})
+		}
 		return s.executeWhole(st)
 	}
 
@@ -246,15 +291,25 @@ func (s *Session) executeStageSplit(ctx context.Context, st *planStage) error {
 	// Memory-budget admission: under a Governor the stage may start with a
 	// smaller batch or fewer workers, or block until its modeled footprint
 	// fits under the byte budget.
-	batch, workers, release, aerr := s.admitStage(ctx, st, sumElemBytes, total, batch, workers)
+	batch, workers, release, aerr := s.admitStage(ctx, si, st, sumElemBytes, total, batch, workers)
 	if aerr != nil {
 		return aerr
 	}
 	defer release()
 
-	ex := &stageExec{st: st, inputs: inputs}
+	ex := &stageExec{
+		st: st, inputs: inputs,
+		si: si, calls: stageCalls(st), split: inputs[0].r.t.String(), elemBytes: sumElemBytes,
+	}
 	if s.opts.RetryPolicy.enabled() {
 		ex.mutInPlace = mutInPlaceInputs(st, inputs)
+	}
+
+	if tr := s.opts.Tracer; tr != nil {
+		tr.Emit(obs.Event{Kind: obs.EvStageBegin, Time: time.Now(), Stage: si,
+			Worker: obs.RuntimeLane, Calls: ex.calls, Split: ex.split,
+			Elems: total, Bytes: sumElemBytes, BatchElems: batch, Workers: workers,
+			CacheBytes: s.opts.cacheTargetBytes()})
 	}
 
 	if s.opts.DynamicScheduling {
@@ -280,7 +335,9 @@ func (s *Session) executeStageSplit(ctx context.Context, st *planStage) error {
 		wg.Add(1)
 		go func(w int, lo, hi int64) {
 			defer wg.Done()
-			results[w] = s.runWorker(wctx, ex, lo, hi, batch)
+			s.workerLoop(wctx, ex, func() {
+				results[w] = s.runWorker(wctx, ex, w, lo, hi, batch)
+			})
 			if results[w].err != nil {
 				cancel()
 			}
@@ -314,10 +371,32 @@ func (s *Session) executeStageSplit(ctx context.Context, st *planStage) error {
 		out.b.discarded = false
 	}
 	s.stats.add(&s.stats.MergeNS, time.Since(t0))
+	s.emitMerge(ex, obs.RuntimeLane, t0)
 
 	// In-place mutated bindings are already up to date; mark them ready.
 	s.finishStageBindings(st)
 	return nil
+}
+
+// workerLoop runs body, optionally under pprof labels so CPU profiles
+// attribute worker samples to the stage and split type
+// (go tool pprof -tagfocus mozart_stage=N).
+func (s *Session) workerLoop(ctx context.Context, ex *stageExec, body func()) {
+	if !s.opts.ProfileLabels {
+		body()
+		return
+	}
+	labels := pprof.Labels("mozart_stage", strconv.Itoa(ex.si), "mozart_split", ex.split)
+	pprof.Do(ctx, labels, func(context.Context) { body() })
+}
+
+// emitMerge reports a merge span (per-worker pre-merge or the final merge on
+// the runtime lane) started at t0.
+func (s *Session) emitMerge(ex *stageExec, worker int, t0 time.Time) {
+	if tr := s.opts.Tracer; tr != nil {
+		tr.Emit(obs.Event{Kind: obs.EvMerge, Time: time.Now(), Dur: time.Since(t0),
+			Stage: ex.si, Worker: worker, Calls: ex.calls, Split: ex.split})
+	}
 }
 
 // firstWorkerError picks the stage's result from per-worker errors: a real
@@ -397,31 +476,33 @@ func (s *Session) executeDynamic(ctx context.Context, ex *stageExec, total, batc
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			env := map[int]any{}
-			for {
-				if err := wctx.Err(); err != nil {
-					errs[w] = err
-					return
+			s.workerLoop(wctx, ex, func() {
+				env := map[int]any{}
+				for {
+					if err := wctx.Err(); err != nil {
+						errs[w] = err
+						return
+					}
+					idx := next.Add(1) - 1
+					if idx >= nBatches {
+						return
+					}
+					start := idx * batch
+					end := start + batch
+					if end > total {
+						end = total
+					}
+					out, err := s.runBatchResilient(wctx, ex, env, w, start, end)
+					if err != nil {
+						errs[w] = err
+						cancel()
+						return
+					}
+					for id, piece := range out {
+						pieces[id][idx] = piece
+					}
 				}
-				idx := next.Add(1) - 1
-				if idx >= nBatches {
-					return
-				}
-				start := idx * batch
-				end := start + batch
-				if end > total {
-					end = total
-				}
-				out, err := s.runBatchResilient(wctx, ex, env, start, end)
-				if err != nil {
-					errs[w] = err
-					cancel()
-					return
-				}
-				for id, piece := range out {
-					pieces[id][idx] = piece
-				}
-			}
+			})
 		}(w)
 	}
 	wg.Wait()
@@ -447,6 +528,7 @@ func (s *Session) executeDynamic(ctx context.Context, ex *stageExec, total, batc
 		out.b.discarded = false
 	}
 	s.stats.add(&s.stats.MergeNS, time.Since(t0))
+	s.emitMerge(ex, obs.RuntimeLane, t0)
 	s.finishStageBindings(st)
 	return nil
 }
@@ -455,8 +537,9 @@ func (s *Session) executeDynamic(ctx context.Context, ex *stageExec, total, batc
 // stage's calls, and returns the pieces of stage outputs. env is a reusable
 // per-worker scratch map. It is the single batch body for both static and
 // dynamic scheduling, so panic isolation and Pedantic checks behave
-// identically under either scheduler.
-func (s *Session) runBatch(ex *stageExec, env map[int]any, start, end int64) (map[int]any, error) {
+// identically under either scheduler. w is the worker lane and attempt the
+// retry attempt number, both only used for the batch span event.
+func (s *Session) runBatch(ex *stageExec, env map[int]any, w int, start, end int64, attempt int) (map[int]any, error) {
 	st, inputs := ex.st, ex.inputs
 	batchErr := func(origin FaultOrigin, call string, err error) *StageError {
 		se := s.stageErr(st, origin, err)
@@ -477,9 +560,11 @@ func (s *Session) runBatch(ex *stageExec, env map[int]any, start, end int64) (ma
 		}
 		env[in.b.id] = piece
 	}
-	s.stats.add(&s.stats.SplitNS, time.Since(t0))
+	splitDur := time.Since(t0)
+	s.stats.add(&s.stats.SplitNS, splitDur)
 	s.stats.add(&s.stats.Batches, 1)
 
+	var taskDur time.Duration
 	for _, c := range st.calls {
 		args := make([]any, len(c.n.args))
 		for i, r := range c.args {
@@ -502,7 +587,9 @@ func (s *Session) runBatch(ex *stageExec, env map[int]any, start, end int64) (ma
 		}
 		t1 := time.Now()
 		ret, err := s.safeCall(c.n.fn, args)
-		s.stats.add(&s.stats.TaskNS, time.Since(t1))
+		d := time.Since(t1)
+		taskDur += d
+		s.stats.add(&s.stats.TaskNS, d)
 		s.stats.add(&s.stats.Calls, 1)
 		if err != nil {
 			return nil, batchErr(OriginCall, c.n.name, fmt.Errorf("%s: %w", c.n.name, err))
@@ -517,6 +604,13 @@ func (s *Session) runBatch(ex *stageExec, env map[int]any, start, end int64) (ma
 			out[o.b.id] = piece
 		}
 	}
+	if tr := s.opts.Tracer; tr != nil {
+		tr.Emit(obs.Event{Kind: obs.EvBatch, Time: time.Now(), Dur: time.Since(t0),
+			Stage: ex.si, Worker: w, Start: start, End: end,
+			Calls: ex.calls, Split: ex.split,
+			SplitNS: int64(splitDur), TaskNS: int64(taskDur),
+			Bytes: (end - start) * ex.elemBytes, Attempt: attempt})
+	}
 	return out, nil
 }
 
@@ -530,7 +624,7 @@ type workerOut struct {
 // pieces of stage outputs; at the end the worker pre-merges its own partial
 // lists. The worker checks the stage context between batches and aborts
 // promptly once a sibling has failed or the stage deadline passed.
-func (s *Session) runWorker(ctx context.Context, ex *stageExec, lo, hi, batch int64) workerOut {
+func (s *Session) runWorker(ctx context.Context, ex *stageExec, w int, lo, hi, batch int64) workerOut {
 	st := ex.st
 	raw := map[int][]any{} // output binding id -> pieces
 	env := map[int]any{}   // binding id -> current piece within a batch
@@ -543,7 +637,7 @@ func (s *Session) runWorker(ctx context.Context, ex *stageExec, lo, hi, batch in
 		if end > hi {
 			end = hi
 		}
-		out, err := s.runBatchResilient(ctx, ex, env, start, end)
+		out, err := s.runBatchResilient(ctx, ex, env, w, start, end)
 		if err != nil {
 			return workerOut{err: err}
 		}
@@ -556,6 +650,7 @@ func (s *Session) runWorker(ctx context.Context, ex *stageExec, lo, hi, batch in
 	// and is valid because Merge is associative.
 	partials := map[int][]any{}
 	t2 := time.Now()
+	merges := 0
 	for _, o := range st.outputs {
 		pieces := raw[o.b.id]
 		if len(pieces) == 0 {
@@ -566,8 +661,12 @@ func (s *Session) runWorker(ctx context.Context, ex *stageExec, lo, hi, batch in
 			return workerOut{err: s.stageErr(st, OriginMerge, fmt.Errorf("worker merge: %w", err))}
 		}
 		partials[o.b.id] = []any{merged}
+		merges++
 	}
 	s.stats.add(&s.stats.MergeNS, time.Since(t2))
+	if merges > 0 {
+		s.emitMerge(ex, w, t2)
+	}
 	return workerOut{partials: partials}
 }
 
@@ -617,6 +716,11 @@ func callNames(st *planStage) []string {
 		names = append(names, c.n.name)
 	}
 	return names
+}
+
+// stageCalls renders a stage's pipeline as "a -> b -> c" for events.
+func stageCalls(st *planStage) string {
+	return join(callNames(st), " -> ")
 }
 
 func describeStage(st *planStage) string {

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+	"time"
+
+	"mozart/internal/obs"
 )
 
 // Snapshotter lets a mutable data type participate in whole-call fallback.
@@ -127,11 +130,22 @@ func (s *Session) quarantineStage(st *planStage, serr *StageError) {
 			continue
 		}
 		s.stats.add(&s.stats.BreakerTrips, 1)
+		state := "reopened"
 		if wasClosed {
 			// A failed half-open probe re-opens a breaker that is still
 			// counted as quarantined; only first trips add to the gauge.
 			s.stats.add(&s.stats.QuarantinedCalls, 1)
+			state = "open"
 		}
+		s.emitBreaker(n, state)
+	}
+}
+
+// emitBreaker reports a circuit-breaker state transition for annotation name.
+func (s *Session) emitBreaker(name, state string) {
+	if tr := s.opts.Tracer; tr != nil {
+		tr.Emit(obs.Event{Kind: obs.EvBreaker, Time: time.Now(), Stage: -1,
+			Worker: obs.RuntimeLane, Calls: name, Detail: state})
 	}
 }
 
@@ -146,6 +160,7 @@ func (s *Session) recordStageSuccess(st *planStage) {
 		if s.breakers.recordSuccess(c.n.name) {
 			s.stats.add(&s.stats.BreakerRecoveries, 1)
 			s.stats.add(&s.stats.QuarantinedCalls, -1)
+			s.emitBreaker(c.n.name, "closed")
 		}
 	}
 }

@@ -682,7 +682,7 @@ func TestRetryTransientCallReplaysBatch(t *testing.T) {
 		const n = 64
 		const failOn = 3
 
-		run := func(retry RetryPolicy) ([]float64, Stats, error) {
+		run := func(retry RetryPolicy) ([]float64, StatsSnapshot, error) {
 			var calls atomic.Int64
 			a, out := seq(n), make([]float64, n)
 			s := NewSession(Options{Workers: 2, BatchElems: 8,

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"reflect"
 	"time"
+
+	"mozart/internal/obs"
 )
 
 // binding is one value slot in the dataflow graph. Bindings are created for
@@ -62,8 +64,10 @@ func NewSession(opts Options) *Session {
 // Options returns the session's effective options.
 func (s *Session) Options() Options { return s.opts }
 
-// Stats returns a snapshot of the runtime's phase timings.
-func (s *Session) Stats() Stats { return s.stats.Snapshot() }
+// Stats returns a snapshot of the runtime's phase timings and counters.
+// The returned StatsSnapshot is a plain value: it does not change as the
+// session keeps running, and two snapshots can be compared field by field.
+func (s *Session) Stats() StatsSnapshot { return s.stats.Snapshot() }
 
 // ResetStats zeroes the accumulated statistics.
 func (s *Session) ResetStats() { s.stats = Stats{} }
@@ -245,6 +249,12 @@ func (s *Session) EvaluateContext(ctx context.Context) error {
 		return nil
 	}
 	s.stats.add(&s.stats.Evaluations, 1)
+	tr := s.opts.Tracer
+	evalStart := time.Now()
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: obs.EvSessionBegin, Time: evalStart, Stage: -1,
+			Worker: obs.RuntimeLane, Elems: int64(len(s.nodes))})
+	}
 
 	// Simulated memory unprotection of guarded buffers (§8.5): the paper
 	// measured ~3.5ms per GB with mprotect. We account the modeled cost so
@@ -266,15 +276,21 @@ func (s *Session) EvaluateContext(ctx context.Context) error {
 
 	t1 := time.Now()
 	plan, err := s.buildPlan()
-	s.stats.add(&s.stats.PlannerNS, time.Since(t1))
+	plannerDur := time.Since(t1)
+	s.stats.add(&s.stats.PlannerNS, plannerDur)
 	if err != nil {
 		s.broken = err
-		return err
+		return s.finishEval(tr, evalStart, err)
+	}
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: obs.EvPlan, Time: time.Now(), Dur: plannerDur,
+			Stage: -1, Worker: obs.RuntimeLane, Stages: len(plan.stages),
+			Detail: describePlan(plan)})
 	}
 
 	if err := s.execute(ctx, plan); err != nil {
 		s.broken = err
-		return err
+		return s.finishEval(tr, evalStart, err)
 	}
 
 	// Graph consumed: clear pending nodes and producers.
@@ -287,5 +303,28 @@ func (s *Session) EvaluateContext(ctx context.Context) error {
 		}
 	}
 	s.nodes = s.nodes[:0]
-	return nil
+	return s.finishEval(tr, evalStart, nil)
+}
+
+// finishEval closes the evaluation span and passes err through.
+func (s *Session) finishEval(tr obs.Tracer, start time.Time, err error) error {
+	if tr != nil {
+		e := obs.Event{Kind: obs.EvSessionEnd, Time: time.Now(),
+			Dur: time.Since(start), Stage: -1, Worker: obs.RuntimeLane}
+		if err != nil {
+			e.Detail = err.Error()
+		}
+		tr.Emit(e)
+	}
+	return err
+}
+
+// describePlan renders the plan's stages ("stage[a -> b]; stage[c]") for
+// the plan event.
+func describePlan(p *plan) string {
+	parts := make([]string, len(p.stages))
+	for i := range p.stages {
+		parts[i] = describeStage(&p.stages[i])
+	}
+	return join(parts, "; ")
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"runtime"
 	"time"
+
+	"mozart/internal/obs"
 )
 
 // FallbackPolicy selects how the runtime reacts when a stage fails because
@@ -96,9 +98,28 @@ type Options struct {
 	// the session. A non-zero Cooldown lets tripped annotations heal via
 	// half-open probes. See BreakerPolicy.
 	Breaker BreakerPolicy
+	// Tracer, when set, receives structured execution events: session
+	// begin/end, the produced plan, stage begin/end with split-type and
+	// batch-size detail, per-batch spans with worker id and phase
+	// timings, retries, breaker transitions, admission waits, and
+	// fallback re-executions. See internal/obs for the taxonomy and the
+	// built-in Chrome-trace and metrics sinks. A nil Tracer (the
+	// default) is the fast path: every emission site is nil-guarded, so
+	// disabled tracing adds no allocations to the per-batch hot loop.
+	Tracer obs.Tracer
+	// ProfileLabels, when true, wraps each worker's batch loop in pprof
+	// labels (mozart_stage, mozart_split) so CPU profiles attribute
+	// samples to stages and split types (go tool pprof -tagfocus).
+	ProfileLabels bool
 	// Logf, when set, receives a log line per function call per split
 	// piece (the §7.1 call log). Signature matches testing.T.Logf.
 	Logf func(format string, args ...any)
+}
+
+// cacheTargetBytes is the batch heuristic's C×L2 working-set target, the
+// denominator of the cache-batch utilization metric.
+func (o Options) cacheTargetBytes() int64 {
+	return int64(o.BatchConstant * float64(o.L2CacheBytes))
 }
 
 func (o Options) withDefaults() Options {

@@ -205,7 +205,11 @@ func (s *Session) buildPlan() (*plan, error) {
 		// a function Mozart cannot split. planWhole also moves a cooled-
 		// down breaker to half-open, in which case this plan is the probe
 		// and the annotation is split below.
-		if s.breakers.planWhole(n.sa.FuncName) {
+		whole, probing := s.breakers.planWhole(n.sa.FuncName)
+		if probing {
+			s.emitBreaker(n.sa.FuncName, "half-open")
+		}
+		if whole {
 			flush()
 			args := make([]resolved, len(n.args))
 			for i := range args {

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"mozart/internal/obs"
 )
 
 // ErrTransient is the sentinel for recoverable faults. A library function or
@@ -144,14 +146,14 @@ func (s *Session) snapshotBatch(ex *stageExec, start, end int64) (func() error, 
 // pieces) with exponential, deterministically jittered backoff; permanent
 // faults, exhausted attempts, and canceled contexts return the last error to
 // the normal escalation path.
-func (s *Session) runBatchResilient(ctx context.Context, ex *stageExec, env map[int]any, start, end int64) (map[int]any, error) {
+func (s *Session) runBatchResilient(ctx context.Context, ex *stageExec, env map[int]any, w int, start, end int64) (map[int]any, error) {
 	pol := s.opts.RetryPolicy
 	if !pol.enabled() {
-		return s.runBatch(ex, env, start, end)
+		return s.runBatch(ex, env, w, start, end, 1)
 	}
 	restore, snapErr := s.snapshotBatch(ex, start, end)
 	for attempt := 1; ; attempt++ {
-		out, err := s.runBatch(ex, env, start, end)
+		out, err := s.runBatch(ex, env, w, start, end, attempt)
 		if err == nil {
 			return out, nil
 		}
@@ -169,6 +171,11 @@ func (s *Session) runBatchResilient(ctx context.Context, ex *stageExec, env map[
 			}
 		}
 		s.stats.add(&s.stats.RetriedBatches, 1)
+		if tr := s.opts.Tracer; tr != nil {
+			tr.Emit(obs.Event{Kind: obs.EvRetry, Time: time.Now(), Stage: ex.si,
+				Worker: w, Start: start, End: end, Calls: ex.calls,
+				Attempt: attempt, Detail: err.Error()})
+		}
 		d := pol.backoff(start, attempt)
 		s.stats.add(&s.stats.RetryBackoffNS, d)
 		pol.sleep(d)

@@ -6,10 +6,13 @@ import (
 	"time"
 )
 
-// Stats records where time goes inside the runtime, matching the breakdown
-// of Figure 5: client-library registration, unprotecting lazy values,
-// planning, splitting, task execution, and merging.
-type Stats struct {
+// StatsSnapshot is a plain value copy of the runtime statistics, matching
+// the breakdown of Figure 5: client-library registration, unprotecting lazy
+// values, planning, splitting, task execution, and merging, plus the
+// fault-tolerance and resilience counters. It is the type Session.Stats
+// returns: an atomic snapshot with no live fields, so callers can read,
+// copy, and compare it without data-race footguns.
+type StatsSnapshot struct {
 	ClientNS    int64 // registering calls with the dataflow graph
 	UnprotectNS int64 // simulated memory-(un)protection on guarded buffers
 	PlannerNS   int64 // converting the graph into stages
@@ -34,23 +37,16 @@ type Stats struct {
 	AdmissionWaitNS   int64 // time spent waiting on the memory Governor
 }
 
-// Total returns the sum of all phase times. Safe to call while workers are
-// running: fields are read with atomic loads.
-func (s *Stats) Total() time.Duration {
-	sn := s.Snapshot()
+// Total returns the sum of all phase times.
+func (sn StatsSnapshot) Total() time.Duration {
 	return time.Duration(sn.ClientNS + sn.UnprotectNS + sn.PlannerNS + sn.SplitNS + sn.TaskNS + sn.MergeNS)
 }
 
-// add accumulates o into s (atomically; workers report concurrently).
-func (s *Stats) add(field *int64, d time.Duration) {
-	atomic.AddInt64(field, int64(d))
-}
-
 // String renders the breakdown as percentages of total, the way Figure 5
-// reports it. Safe to call while workers are running: it formats a
-// Snapshot, never the live fields.
-func (s *Stats) String() string {
-	sn := s.Snapshot()
+// reports it, followed by the fault and resilience counters when any are
+// non-zero — so a fallback, retry, breaker trip, or admission wait is
+// always visible in the rendered stats.
+func (sn StatsSnapshot) String() string {
 	tot := float64(sn.Total())
 	if tot == 0 {
 		return "no time recorded"
@@ -73,10 +69,33 @@ func (s *Stats) String() string {
 	return out
 }
 
+// Stats is the live, atomically-updated accumulator behind a session's
+// statistics. Workers mutate it concurrently through add; readers must go
+// through Snapshot.
+//
+// Deprecated: the public surface is the value-type StatsSnapshot returned
+// by Session.Stats. Stats remains exported for one release so existing
+// code that names the type keeps compiling.
+type Stats struct {
+	StatsSnapshot
+}
+
+// Total returns the sum of all phase times. Safe to call while workers are
+// running: it totals a Snapshot, never the live fields.
+func (s *Stats) Total() time.Duration { return s.Snapshot().Total() }
+
+// String renders a Snapshot of the breakdown; safe under concurrency.
+func (s *Stats) String() string { return s.Snapshot().String() }
+
+// add accumulates o into s (atomically; workers report concurrently).
+func (s *Stats) add(field *int64, d time.Duration) {
+	atomic.AddInt64(field, int64(d))
+}
+
 // Snapshot returns a consistent-enough copy of the statistics, read with
 // atomic loads so it is safe to take while workers are still running.
-func (s *Stats) Snapshot() Stats {
-	return Stats{
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
 		ClientNS:    atomic.LoadInt64(&s.ClientNS),
 		UnprotectNS: atomic.LoadInt64(&s.UnprotectNS),
 		PlannerNS:   atomic.LoadInt64(&s.PlannerNS),

@@ -253,7 +253,7 @@ func TestTransientSplitRange(t *testing.T) {
 // run; the wrapper preserves the splitter's in-place declaration so the
 // batch snapshot machinery engages.
 func TestTransientRetryEndToEnd(t *testing.T) {
-	run := func(retry core.RetryPolicy, inj *faultinject.Injector) ([]float64, core.Stats, error) {
+	run := func(retry core.RetryPolicy, inj *faultinject.Injector) ([]float64, core.StatsSnapshot, error) {
 		n := 32
 		a := make([]float64, n)
 		out := make([]float64, n)

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+)
+
+// StageMetrics aggregates the counters of one plan stage (identified by
+// stage index and call pipeline, so repeated evaluations of the same
+// program accumulate into the same row).
+type StageMetrics struct {
+	Stage int    `json:"stage"`
+	Calls string `json:"calls"`
+	Split string `json:"split"`
+
+	Runs    int64 `json:"runs"`    // stage executions (one per evaluation)
+	Batches int64 `json:"batches"` // batches executed
+	Elems   int64 `json:"elems"`   // elements processed
+	Bytes   int64 `json:"bytes"`   // bytes moved under the §5.2 model
+
+	BatchElems int64 `json:"batch_elems"` // last chosen batch size
+	Workers    int   `json:"workers"`     // last worker count
+	// CacheUtilization is the batch working set (batch × Σ elem bytes)
+	// over the heuristic's C×L2 target: 1.0 means the batch exactly fills
+	// the budget; <1 means admission control or a small input shrank it.
+	CacheUtilization float64 `json:"cache_utilization"`
+
+	SplitNS int64 `json:"split_ns"`
+	TaskNS  int64 `json:"task_ns"`
+	MergeNS int64 `json:"merge_ns"`
+
+	Retries         int64 `json:"retries"`
+	Fallbacks       int64 `json:"fallbacks"`
+	AdmissionWaitNS int64 `json:"admission_wait_ns"`
+	Errors          int64 `json:"errors"`
+}
+
+// MetricsSnapshot is one consistent copy of everything a Metrics sink has
+// aggregated.
+type MetricsSnapshot struct {
+	Evaluations int64          `json:"evaluations"`
+	Breaker     map[string]int `json:"breaker_transitions,omitempty"` // state -> count
+	Stages      []StageMetrics `json:"stages"`
+}
+
+// Metrics is an aggregating sink: it folds the event stream into per-stage
+// counters. Emit is concurrency-safe and does constant work; read the
+// result with Snapshot, render it with String, or export it with Publish.
+type Metrics struct {
+	mu     sync.Mutex
+	evals  int64
+	brk    map[string]int
+	stages map[string]*StageMetrics
+}
+
+// NewMetrics returns an empty metrics sink.
+func NewMetrics() *Metrics {
+	return &Metrics{brk: map[string]int{}, stages: map[string]*StageMetrics{}}
+}
+
+func (m *Metrics) stage(e Event) *StageMetrics {
+	key := fmt.Sprintf("%d|%s", e.Stage, e.Calls)
+	sm := m.stages[key]
+	if sm == nil {
+		sm = &StageMetrics{Stage: e.Stage, Calls: e.Calls}
+		m.stages[key] = sm
+	}
+	return sm
+}
+
+// Emit folds one event into the aggregates.
+func (m *Metrics) Emit(e Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch e.Kind {
+	case EvSessionBegin:
+		m.evals++
+	case EvStageBegin:
+		sm := m.stage(e)
+		sm.Runs++
+		sm.Split = e.Split
+		sm.BatchElems = e.BatchElems
+		sm.Workers = e.Workers
+		if e.CacheBytes > 0 {
+			sm.CacheUtilization = float64(e.BatchElems*e.Bytes) / float64(e.CacheBytes)
+		}
+	case EvStageEnd:
+		if e.Detail != "" {
+			m.stage(e).Errors++
+		}
+	case EvBatch:
+		sm := m.stage(e)
+		sm.Batches++
+		sm.Elems += e.End - e.Start
+		sm.Bytes += e.Bytes
+		sm.SplitNS += e.SplitNS
+		sm.TaskNS += e.TaskNS
+	case EvMerge:
+		m.stage(e).MergeNS += int64(e.Dur)
+	case EvRetry:
+		m.stage(e).Retries++
+	case EvAdmission:
+		sm := m.stage(e)
+		sm.AdmissionWaitNS += int64(e.Dur)
+	case EvFallback:
+		m.stage(e).Fallbacks++
+	case EvBreaker:
+		m.brk[e.Detail]++
+	}
+}
+
+// Snapshot returns a copy of the aggregated metrics, stages sorted by
+// index then calls.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := MetricsSnapshot{Evaluations: m.evals}
+	if len(m.brk) > 0 {
+		out.Breaker = make(map[string]int, len(m.brk))
+		for k, v := range m.brk {
+			out.Breaker[k] = v
+		}
+	}
+	for _, sm := range m.stages {
+		out.Stages = append(out.Stages, *sm)
+	}
+	sort.Slice(out.Stages, func(i, j int) bool {
+		if out.Stages[i].Stage != out.Stages[j].Stage {
+			return out.Stages[i].Stage < out.Stages[j].Stage
+		}
+		return out.Stages[i].Calls < out.Stages[j].Calls
+	})
+	return out
+}
+
+// String renders the snapshot as a per-stage table.
+func (m *Metrics) String() string {
+	sn := m.Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "evaluations: %d\n", sn.Evaluations)
+	if len(sn.Breaker) > 0 {
+		states := make([]string, 0, len(sn.Breaker))
+		for k := range sn.Breaker {
+			states = append(states, k)
+		}
+		sort.Strings(states)
+		for _, k := range states {
+			fmt.Fprintf(&b, "breaker %s: %d\n", k, sn.Breaker[k])
+		}
+	}
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "stage\tcalls\tsplit\tbatches\telems\tbytes\tbatch\tworkers\tcache util\tsplit\ttask\tmerge\tretries\tfallbacks\tadm wait")
+	for _, s := range sn.Stages {
+		fmt.Fprintf(w, "%d\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%.2f\t%v\t%v\t%v\t%d\t%d\t%v\n",
+			s.Stage, s.Calls, s.Split, s.Batches, s.Elems, s.Bytes,
+			s.BatchElems, s.Workers, s.CacheUtilization,
+			time.Duration(s.SplitNS), time.Duration(s.TaskNS), time.Duration(s.MergeNS),
+			s.Retries, s.Fallbacks, time.Duration(s.AdmissionWaitNS))
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Publish exports the sink under the given expvar name (served on
+// /debug/vars by net/http when expvar is imported). Each name can be
+// published once per process; expvar panics on duplicates, so use a
+// process-unique name.
+func (m *Metrics) Publish(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+}

@@ -18,6 +18,7 @@ import (
 
 	"mozart/internal/core"
 	"mozart/internal/memsim"
+	"mozart/internal/obs"
 )
 
 // Variant selects an execution strategy.
@@ -42,10 +43,13 @@ type Config struct {
 	// Guard simulates memory-protected input buffers with the given
 	// modeled unprotect cost (§8.5); 0 disables.
 	UnprotectNSPerByte float64
+	// Tracer, when set, receives structured runtime events from every
+	// Mozart session a workload creates (sabench -experiment trace).
+	Tracer obs.Tracer
 }
 
 func (c Config) session() *core.Session {
-	s := core.NewSession(core.Options{Workers: c.Threads, BatchElems: c.Batch, UnprotectNSPerByte: c.UnprotectNSPerByte})
+	s := core.NewSession(core.Options{Workers: c.Threads, BatchElems: c.Batch, UnprotectNSPerByte: c.UnprotectNSPerByte, Tracer: c.Tracer})
 	if c.OnSession != nil {
 		c.OnSession(s)
 	}
@@ -53,7 +57,7 @@ func (c Config) session() *core.Session {
 }
 
 func (c Config) sessionNoPipe() *core.Session {
-	s := core.NewSession(core.Options{Workers: c.Threads, BatchElems: c.Batch, DisablePipelining: true, UnprotectNSPerByte: c.UnprotectNSPerByte})
+	s := core.NewSession(core.Options{Workers: c.Threads, BatchElems: c.Batch, DisablePipelining: true, UnprotectNSPerByte: c.UnprotectNSPerByte, Tracer: c.Tracer})
 	if c.OnSession != nil {
 		c.OnSession(s)
 	}

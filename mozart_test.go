@@ -159,7 +159,7 @@ func TestPublicAPICheckAnnotation(t *testing.T) {
 		w, ok2 := want.(int64)
 		return ok && ok2 && g == w
 	}
-	if err := mozart.CheckAnnotation(countFn, countSA, gen, eq, mozart.CheckConfig{Seed: 5}); err != nil {
+	if err := mozart.CheckAnnotation(mozart.CheckSpec{Fn: countFn, Annotation: countSA, Gen: gen, Eq: eq, Config: mozart.CheckConfig{Seed: 5}}); err != nil {
 		t.Fatal(err)
 	}
 }
