@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race flaky smoke-faults trace-smoke bench
+.PHONY: ci vet build test race flaky smoke-faults trace-smoke explain-smoke explain-golden bench
 
-ci: vet build test race flaky smoke-faults trace-smoke
+ci: vet build test race flaky smoke-faults trace-smoke explain-smoke
 
 vet:
 	$(GO) vet ./...
@@ -37,6 +37,17 @@ smoke-faults:
 # or empty traces).
 trace-smoke:
 	$(GO) run ./cmd/sabench -experiment trace -scalediv 8
+
+# Smoke-run the plan IR path: print the planner's real plan for every
+# workload and validate the rendering against the embedded golden file
+# (the experiment exits non-zero on a mismatch).
+explain-smoke:
+	$(GO) run ./cmd/sabench -experiment explain
+
+# Regenerate the explain golden file after an intentional planner change.
+explain-golden:
+	SABENCH_UPDATE_GOLDEN=cmd/sabench/testdata/explain.golden $(GO) run ./cmd/sabench -experiment explain
+	UPDATE_GOLDEN=1 $(GO) test -run TestExplainGolden .
 
 # Regenerate the paper's figures/tables (see cmd/sabench).
 bench:

@@ -11,6 +11,7 @@ import (
 	"mozart/internal/annotations/vmathsa"
 	"mozart/internal/core"
 	"mozart/internal/data"
+	"mozart/internal/plan"
 )
 
 func main() {
@@ -36,6 +37,15 @@ func main() {
 	total := vmathsa.Sum(s, *n, d1)       // reduction
 
 	fmt.Printf("pending calls before access: %d (nothing has executed)\n", s.Pending())
+
+	// Show the planner's output before anything runs: Session.Plan builds
+	// the plan IR read-only, so the evaluation below is unaffected.
+	p, err := s.Plan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan.Render(p))
+
 	v, err := total.Float64()
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,84 @@
+package main
+
+import (
+	_ "embed"
+	"fmt"
+	"os"
+	"strings"
+
+	"mozart/internal/plan"
+	"mozart/internal/workloads"
+)
+
+// explainGolden pins the rendered plans: the planner's output for every
+// workload is part of the repo's contract, and any planner change shows up
+// as a golden diff. Regenerate with
+//
+//	SABENCH_UPDATE_GOLDEN=cmd/sabench/testdata/explain.golden go run ./cmd/sabench -experiment explain
+//
+//go:embed testdata/explain.golden
+var explainGolden string
+
+// explain runs every workload's Mozart variant and prints the planner's
+// real plan IR rendered as an EXPLAIN tree — not a hand-written
+// description, but the same *plan.Plan the executor runs and planlower
+// compiles into the machine model. Iterative workloads evaluate several
+// times; identical plans are deduplicated so each distinct plan prints
+// once. The scale is fixed (scaleDiv is ignored) so the rendered split
+// sizes and batch counts are reproducible, and the combined output is
+// checked against an embedded golden file.
+func explain(int) {
+	var b strings.Builder
+	fmt.Fprintln(&b, "=== Explain: real planner output (plan IR) for all 15 workloads ===")
+	for _, spec := range workloads.All() {
+		var plans []*plan.Plan
+		cfg := workloads.Config{
+			Scale:   spec.DefaultScale / 16,
+			Threads: 4,
+			OnPlan:  func(p *plan.Plan) { plans = append(plans, p) },
+		}
+		if _, err := spec.Run(workloads.Mozart, cfg); err != nil {
+			fatalf("explain: %s: %v", spec.Name, err)
+		}
+		if len(plans) == 0 {
+			fatalf("explain: %s: no plan captured", spec.Name)
+		}
+		seen := map[string]bool{}
+		var distinct []string
+		for _, p := range plans {
+			r := plan.Render(p)
+			if !seen[r] {
+				seen[r] = true
+				distinct = append(distinct, r)
+			}
+		}
+		fmt.Fprintf(&b, "--- %s: %d evaluation%s, %d distinct plan%s ---\n",
+			spec.Name, len(plans), plural(len(plans)), len(distinct), plural(len(distinct)))
+		for _, r := range distinct {
+			fmt.Fprint(&b, r)
+		}
+	}
+	out := b.String()
+	fmt.Print(out)
+
+	if path := os.Getenv("SABENCH_UPDATE_GOLDEN"); path != "" {
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			fatalf("explain: writing golden: %v", err)
+		}
+		fmt.Printf("explain: wrote %d bytes to %s (rebuild to re-embed)\n", len(out), path)
+		return
+	}
+	if out != explainGolden {
+		fatalf("explain: output differs from the embedded golden file; the planner's " +
+			"plans changed.\nRegenerate with: SABENCH_UPDATE_GOLDEN=cmd/sabench/testdata/explain.golden " +
+			"go run ./cmd/sabench -experiment explain")
+	}
+	fmt.Println("explain: all plans match cmd/sabench/testdata/explain.golden")
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "s"
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -119,7 +120,7 @@ func faults(scaleDiv int) {
 			s.Call(calls["log1p"].fn, calls["log1p"].sa, n, d1, d1)
 			s.Call(calls["add"].fn, calls["add"].sa, n, d1, tmp, d1)
 			s.Call(calls["div"].fn, calls["div"].sa, n, d1, vol, d1)
-			if err := s.Evaluate(); err != nil {
+			if err := s.EvaluateContext(context.Background()); err != nil {
 				fmt.Printf("    evaluation error: %v\n", err)
 				return 0, s.Stats(), d1
 			}

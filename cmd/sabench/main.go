@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	sabench -experiment all|fig1|fig4|fig5|fig6|fig7|table2|table3|table4|wall|faults|trace
+//	sabench -experiment all|fig1|fig4|fig5|fig6|fig7|table2|table3|table4|wall|faults|trace|explain
 //
 // Multicore figures (1-16 threads) are produced on the memsim machine
 // model, which executes the workloads' actual execution plans (per-call
@@ -29,7 +29,7 @@ import (
 var threadSweep = []int{1, 2, 4, 8, 16}
 
 func main() {
-	exp := flag.String("experiment", "all", "fig1|fig4|fig5|fig6|fig7|table2|table3|table4|wall|faults|trace|all")
+	exp := flag.String("experiment", "all", "fig1|fig4|fig5|fig6|fig7|table2|table3|table4|wall|faults|trace|explain|all")
 	scaleDiv := flag.Int("scalediv", 1, "divide default workload scales by this factor (wall-clock experiments)")
 	flag.Parse()
 
@@ -50,6 +50,7 @@ func main() {
 	run("wall", wall)
 	run("faults", faults)
 	run("trace", trace)
+	run("explain", explain)
 }
 
 func tw() *tabwriter.Writer {

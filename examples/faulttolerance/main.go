@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -131,7 +132,7 @@ func main() {
 	a, out := inputs(n)
 	s := mozart.NewSession(mozart.Options{Workers: 4, BatchElems: 1 << 13})
 	s.Call(fn, sa, n, a, out)
-	err := s.Evaluate()
+	err := s.EvaluateContext(context.Background())
 	var serr *mozart.StageError
 	if !errors.As(err, &serr) {
 		log.Fatalf("expected a StageError, got %v", err)
@@ -148,7 +149,7 @@ func main() {
 	s = mozart.NewSession(mozart.Options{Workers: 4, BatchElems: 1 << 13,
 		FallbackPolicy: mozart.FallbackWholeCall})
 	s.Call(fn, sa, n, a, out)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		log.Fatalf("fallback run failed: %v", err)
 	}
 	ok := true
@@ -168,13 +169,13 @@ func main() {
 	s = mozart.NewSession(mozart.Options{Workers: 4, BatchElems: 1 << 13,
 		FallbackPolicy: mozart.FallbackQuarantine})
 	s.Call(fn, sa, n, a, out)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		log.Fatalf("quarantine run failed: %v", err)
 	}
 	fmt.Printf("fallback quarantine:\n  quarantined: %v\n", s.Quarantined())
 	out2 := make([]float64, n)
 	s.Call(fn, sa, n, a, out2)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		log.Fatalf("second evaluation failed: %v", err)
 	}
 	fmt.Printf("  second evaluation (planned whole): out2[1]=%v, fallbacks still %d\n\n",
@@ -188,7 +189,7 @@ func main() {
 	s = mozart.NewSession(mozart.Options{Workers: 4, BatchElems: 1 << 13,
 		RetryPolicy: mozart.RetryPolicy{MaxAttempts: 3}})
 	s.Call(fn, sa, n, a, out)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		log.Fatalf("retry run failed: %v", err)
 	}
 	st = s.Stats()
@@ -205,14 +206,14 @@ func main() {
 		FallbackPolicy: mozart.FallbackQuarantine,
 		Breaker:        mozart.BreakerPolicy{Threshold: 1, Cooldown: time.Millisecond}})
 	s.Call(fn, sa, n, a, out)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		log.Fatalf("breaker run failed: %v", err)
 	}
 	fmt.Printf("circuit breaker:\n  after fault: quarantined=%v\n", s.Quarantined())
 	time.Sleep(5 * time.Millisecond) // let the breaker cool down
 	out2 = make([]float64, n)
 	s.Call(fn, sa, n, a, out2)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		log.Fatalf("probe evaluation failed: %v", err)
 	}
 	st = s.Stats()
@@ -232,7 +233,7 @@ func main() {
 			a, out := inputs(n)
 			sess := mozart.NewSession(mozart.Options{Workers: 4, BatchElems: 1 << 13, Governor: g})
 			sess.Call(fnOK, saOK, n, a, out)
-			if err := sess.Evaluate(); err != nil {
+			if err := sess.EvaluateContext(context.Background()); err != nil {
 				log.Fatalf("governed run failed: %v", err)
 			}
 		}()

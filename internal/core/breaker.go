@@ -100,6 +100,22 @@ func (bs *breakerSet) planWhole(name string) (whole, probing bool) {
 	}
 }
 
+// peekWhole is planWhole without side effects, for read-only planning
+// (Session.Plan): it reports whether the annotation would plan whole right
+// now, never performing the open → half-open transition. An open breaker
+// whose cooldown has elapsed reports false — the next real plan would be a
+// split probe.
+func (bs *breakerSet) peekWhole(name string) bool {
+	b := bs.m[name]
+	if b == nil || b.state != breakerOpen {
+		return false
+	}
+	if bs.pol.Cooldown > 0 && bs.now().Sub(b.openedAt) >= bs.pol.Cooldown {
+		return false
+	}
+	return true
+}
+
 // recordFault notes an annotation fault against name and returns the state
 // transition: tripped is true when the breaker (re-)opened now, and
 // wasClosed distinguishes a first trip (new quarantine) from a failed

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 )
@@ -98,7 +99,7 @@ func CheckAnnotation(spec CheckSpec) error {
 		callArgs := make([]any, len(splitArgs))
 		copy(callArgs, splitArgs)
 		retFut := s.Call(fn, sa, callArgs...)
-		if err := s.Evaluate(); err != nil {
+		if err := s.EvaluateContext(context.Background()); err != nil {
 			return fmt.Errorf("mozart: check: trial %d (workers=%d batch=%d): %w", trial, workers, batch, err)
 		}
 

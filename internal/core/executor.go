@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mozart/internal/obs"
+	ir "mozart/internal/plan"
 )
 
 // execute runs every stage of the plan in order (§5.2).
@@ -227,7 +228,7 @@ func mutInPlaceInputs(st *planStage, inputs []resolvedInput) []resolvedInput {
 func (s *Session) executeStageSplit(ctx context.Context, si int, st *planStage) error {
 	// Resolve inputs against materialized values.
 	inputs := make([]resolvedInput, 0, len(st.inputs))
-	var sumElemBytes int64
+	widths := make([]int64, 0, len(st.inputs))
 	for _, in := range st.inputs {
 		if !in.b.hasVal {
 			return s.stageErr(st, OriginInternal, fmt.Errorf("input of %s is not materialized", describeStage(st)))
@@ -249,9 +250,18 @@ func (s *Session) executeStageSplit(ctx context.Context, si int, st *planStage) 
 			return s.stageErr(st, OriginInfo, fmt.Errorf("Info(%s): %w", ri.r.t, err))
 		}
 		ri.info = info
-		sumElemBytes += info.ElemBytes
+		widths = append(widths, info.ElemBytes)
 		inputs = append(inputs, ri)
 	}
+	// The §5.2 working set counts the split inputs plus the stage's live
+	// (non-reduced) produced values, each estimated at the mean input width
+	// — the shared byte model from the plan IR, identical to what Explain
+	// reports and what internal/planlower feeds into memsim.
+	var produced int
+	if st.ir != nil {
+		produced = len(st.ir.Live)
+	}
+	sumElemBytes := ir.StageBytes(widths, produced, 0)
 	for _, b := range st.broadcast {
 		if !b.hasVal {
 			return s.stageErr(st, OriginInternal, fmt.Errorf("broadcast value is not materialized"))
@@ -297,9 +307,19 @@ func (s *Session) executeStageSplit(ctx context.Context, si int, st *planStage) 
 	}
 	defer release()
 
+	// Stage split label: the first input with a real element width (a
+	// SizeSplit-style zero-width input doesn't name the stage's data),
+	// matching the IR's SplitLabel rule.
+	split := inputs[0].r.t.String()
+	for _, in := range inputs {
+		if in.info.ElemBytes != 0 {
+			split = in.r.t.String()
+			break
+		}
+	}
 	ex := &stageExec{
 		st: st, inputs: inputs,
-		si: si, calls: stageCalls(st), split: inputs[0].r.t.String(), elemBytes: sumElemBytes,
+		si: si, calls: stageCalls(st), split: split, elemBytes: sumElemBytes,
 	}
 	if s.opts.RetryPolicy.enabled() {
 		ex.mutInPlace = mutInPlaceInputs(st, inputs)
@@ -718,8 +738,12 @@ func callNames(st *planStage) []string {
 	return names
 }
 
-// stageCalls renders a stage's pipeline as "a -> b -> c" for events.
+// stageCalls renders a stage's pipeline as "a -> b -> c" for events,
+// preferring the IR's rendering so every consumer shows the same string.
 func stageCalls(st *planStage) string {
+	if st.ir != nil {
+		return st.ir.Pipeline()
+	}
 	return join(callNames(st), " -> ")
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mozart/internal/obs"
+	ir "mozart/internal/plan"
 )
 
 // binding is one value slot in the dataflow graph. Bindings are created for
@@ -234,6 +235,10 @@ func (s *Session) Err() error { return s.broken }
 // Evaluate runs the pending dataflow graph: plan into stages, execute each
 // stage with splitting, pipelining, and parallelism, then merge results.
 // It is a no-op when nothing is pending.
+//
+// Deprecated: use EvaluateContext, which is the primary entry point and
+// adds cancellation and deadlines. Evaluate is EvaluateContext with
+// context.Background() and is kept for existing callers.
 func (s *Session) Evaluate() error { return s.EvaluateContext(context.Background()) }
 
 // EvaluateContext is Evaluate under a caller-controlled context: canceling
@@ -275,7 +280,7 @@ func (s *Session) EvaluateContext(ctx context.Context) error {
 	s.stats.add(&s.stats.UnprotectNS, elapsed)
 
 	t1 := time.Now()
-	plan, err := s.buildPlan()
+	plan, err := s.buildPlan(false)
 	plannerDur := time.Since(t1)
 	s.stats.add(&s.stats.PlannerNS, plannerDur)
 	if err != nil {
@@ -285,7 +290,10 @@ func (s *Session) EvaluateContext(ctx context.Context) error {
 	if tr != nil {
 		tr.Emit(obs.Event{Kind: obs.EvPlan, Time: time.Now(), Dur: plannerDur,
 			Stage: -1, Worker: obs.RuntimeLane, Stages: len(plan.stages),
-			Detail: describePlan(plan)})
+			Detail: plan.ir.Describe()})
+	}
+	if s.opts.OnPlan != nil {
+		s.opts.OnPlan(plan.ir)
 	}
 
 	if err := s.execute(ctx, plan); err != nil {
@@ -319,12 +327,18 @@ func (s *Session) finishEval(tr obs.Tracer, start time.Time, err error) error {
 	return err
 }
 
-// describePlan renders the plan's stages ("stage[a -> b]; stage[c]") for
-// the plan event.
-func describePlan(p *plan) string {
-	parts := make([]string, len(p.stages))
-	for i := range p.stages {
-		parts[i] = describeStage(&p.stages[i])
+// Plan builds and returns the plan IR for the pending dataflow graph without
+// evaluating it. Planning is read-only (peek mode): circuit breakers are
+// consulted but never transitioned, and no binding is marked discarded, so
+// calling Plan never changes what a later Evaluate does. An empty graph
+// yields an empty plan.
+func (s *Session) Plan() (*ir.Plan, error) {
+	if s.broken != nil {
+		return nil, s.broken
 	}
-	return join(parts, "; ")
+	p, err := s.buildPlan(true)
+	if err != nil {
+		return nil, err
+	}
+	return p.ir, nil
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mozart/internal/obs"
+	ir "mozart/internal/plan"
 )
 
 // FallbackPolicy selects how the runtime reacts when a stage fails because
@@ -114,12 +115,25 @@ type Options struct {
 	// Logf, when set, receives a log line per function call per split
 	// piece (the §7.1 call log). Signature matches testing.T.Logf.
 	Logf func(format string, args ...any)
+	// OnPlan, when set, receives the plan IR produced for each evaluation
+	// just before execution starts (after the plan event is emitted). The
+	// IR is a snapshot — mutating it does not affect execution. For a
+	// plan without evaluating, use Session.Plan.
+	OnPlan func(*ir.Plan)
+}
+
+// batchPolicy is the §5.2 batch rule these options denote, as recorded in
+// the plan IR. It is the single implementation of the batch heuristic,
+// shared with the modeled workloads (internal/workloads) so the two can
+// never silently fork.
+func (o Options) batchPolicy() ir.BatchPolicy {
+	return ir.BatchPolicy{FixedElems: o.BatchElems, Constant: o.BatchConstant, L2CacheBytes: o.L2CacheBytes}
 }
 
 // cacheTargetBytes is the batch heuristic's C×L2 working-set target, the
 // denominator of the cache-batch utilization metric.
 func (o Options) cacheTargetBytes() int64 {
-	return int64(o.BatchConstant * float64(o.L2CacheBytes))
+	return o.batchPolicy().CacheTargetBytes()
 }
 
 func (o Options) withDefaults() Options {
@@ -127,10 +141,10 @@ func (o Options) withDefaults() Options {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	if o.L2CacheBytes <= 0 {
-		o.L2CacheBytes = 256 << 10
+		o.L2CacheBytes = ir.DefaultL2CacheBytes
 	}
 	if o.BatchConstant <= 0 {
-		o.BatchConstant = 4
+		o.BatchConstant = ir.DefaultBatchConstant
 	}
 	if o.Governor == nil && o.MemoryBudgetBytes > 0 {
 		o.Governor = NewGovernor(o.MemoryBudgetBytes)
@@ -141,14 +155,7 @@ func (o Options) withDefaults() Options {
 // batchSize implements the §5.2 heuristic: C * L2CacheSize / sum of element
 // sizes, clamped to [1, total].
 func (o Options) batchSize(sumElemBytes, total int64) int64 {
-	if o.BatchElems > 0 {
-		return clamp64(o.BatchElems, 1, total)
-	}
-	if sumElemBytes <= 0 {
-		sumElemBytes = 1
-	}
-	b := int64(o.BatchConstant * float64(o.L2CacheBytes) / float64(sumElemBytes))
-	return clamp64(b, 1, total)
+	return clamp64(o.batchPolicy().Elems(sumElemBytes, total), 1, total)
 }
 
 func clamp64(v, lo, hi int64) int64 {

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"sort"
+
+	ir "mozart/internal/plan"
+)
+
+// This file converts the planner's private structures (planStage, resolved)
+// into the exported plan IR (internal/plan). The IR is the single plan
+// datum consumed by the executor (batch byte model, event strings), by
+// internal/planlower (memsim models), and by Session.Plan / mozart.Explain
+// (EXPLAIN rendering) — one plan, three consumers.
+
+// renderResolved renders a resolution the way the IR records split types:
+// "_" for broadcast, "deferred" when the splitter is resolved from the
+// default registry at execution time (never the process-global unknown#N
+// counter, which would make renderings nondeterministic), and the concrete
+// split type otherwise.
+func renderResolved(r resolved) string {
+	switch {
+	case r.broadcast:
+		return "_"
+	case r.deferred:
+		return "deferred"
+	default:
+		return r.t.String()
+	}
+}
+
+// buildIR mirrors a built (and classified) plan into the exported IR and
+// links each planStage to its IR stage. It only reads session state: Info
+// probes for input dimensions go through the panic-isolating wrapper and
+// failures degrade to unknown (-1) dimensions.
+func (s *Session) buildIR(p *plan) *ir.Plan {
+	out := &ir.Plan{
+		Batch:      s.opts.batchPolicy(),
+		Pipelining: !s.opts.DisablePipelining,
+	}
+	if s.opts.DynamicScheduling {
+		out.Mode = ir.ScheduleDynamic
+	}
+	out.Stages = make([]ir.Stage, len(p.stages))
+	for si := range p.stages {
+		out.Stages[si] = s.stageIR(&p.stages[si])
+	}
+	for si := range p.stages {
+		p.stages[si].ir = &out.Stages[si]
+	}
+	p.ir = out
+	return out
+}
+
+func (s *Session) stageIR(st *planStage) ir.Stage {
+	outSet := map[int]bool{}
+	for _, o := range st.outputs {
+		outSet[o.b.id] = true
+	}
+
+	kind := ir.StageWhole
+	var live []int
+	liveSeen := map[int]bool{}
+	calls := make([]ir.Call, len(st.calls))
+	for ci, c := range st.calls {
+		ic := ir.Call{Name: c.n.name, Args: make([]ir.Arg, len(c.args))}
+		for i, r := range c.args {
+			ic.Args[i] = ir.Arg{
+				Binding:   c.n.args[i].id,
+				Name:      c.n.sa.Params[i].Name,
+				Broadcast: r.broadcast,
+				Mut:       c.n.sa.Params[i].Mut,
+				Split:     renderResolved(r),
+				Deferred:  r.deferred,
+			}
+			if !r.broadcast {
+				kind = ir.StageSplit
+			}
+		}
+		if c.n.ret != nil {
+			ic.Ret = &ir.Arg{
+				Binding:   c.n.ret.id,
+				Name:      "ret",
+				Broadcast: c.ret.broadcast,
+				Split:     renderResolved(c.ret),
+				Deferred:  c.ret.deferred,
+			}
+			ic.RetDiscarded = !outSet[c.n.ret.id]
+			if !c.ret.broadcast {
+				ic.RetReduced = retIsReduced(c)
+				if !ic.RetReduced && !liveSeen[c.n.ret.id] {
+					liveSeen[c.n.ret.id] = true
+					live = append(live, c.n.ret.id)
+				}
+			}
+		}
+		calls[ci] = ic
+	}
+	if kind == ir.StageWhole {
+		live = nil // whole stages do not batch; no §5.2 working set
+	}
+	sort.Ints(live)
+
+	ins := make([]ir.Value, len(st.inputs))
+	for i, in := range st.inputs {
+		ins[i] = s.inputIR(in)
+	}
+	outs := make([]ir.Value, len(st.outputs))
+	for i, o := range st.outputs {
+		outs[i] = ir.Value{Binding: o.b.id, Split: renderResolved(o.r), Elems: -1, ElemBytes: -1}
+	}
+	bcs := make([]int, len(st.broadcast))
+	for i, b := range st.broadcast {
+		bcs[i] = b.id
+	}
+	sort.Ints(bcs)
+
+	return ir.Stage{
+		Kind:      kind,
+		Calls:     calls,
+		Inputs:    ins,
+		Outputs:   outs,
+		Broadcast: bcs,
+		Live:      live,
+	}
+}
+
+// inputIR records a stage input, probing the splitter's Info for element
+// count and width when the value is already materialized (deferred splits
+// resolve against the default registry, exactly as the executor will).
+func (s *Session) inputIR(in stageInput) ir.Value {
+	v := ir.Value{Binding: in.b.id, Split: renderResolved(in.r), Elems: -1, ElemBytes: -1}
+	if !in.b.hasVal {
+		return v
+	}
+	r := in.r
+	if r.deferred || r.splitter == nil {
+		d, ok := lookupDefaultSplit(in.b.val)
+		if !ok {
+			return v
+		}
+		t, err := d.ctor(in.b.val)
+		if err != nil {
+			return v
+		}
+		r.splitter, r.t, r.deferred = d.splitter, t, false
+	}
+	if info, err := s.safeInfo(r.splitter, in.b.val, r.t); err == nil {
+		v.Elems, v.ElemBytes = info.Elems, info.ElemBytes
+	}
+	return v
+}
+
+// retIsReduced reports whether a call's return value is a reduction or
+// type-changing result: its split type matches no split argument of the
+// call. Element-wise results (ret type equal to an argument's — including
+// a generic bound to an argument) stay live per batch and count toward the
+// §5.2 working set; reduced results (AddReduce, GroupSplit, fresh unknowns
+// from filters and joins) do not.
+func retIsReduced(c planCall) bool {
+	for _, r := range c.args {
+		if !r.broadcast && r.t.Equal(c.ret.t) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	ir "mozart/internal/plan"
+)
 
 // resolved is the planner's resolution of one argument or return value: how
 // (and whether) the value is split within the current stage.
@@ -49,10 +53,14 @@ type planStage struct {
 	inputs    []stageInput
 	outputs   []stageOutput
 	broadcast []*binding // bindings used whole within the stage
+	ir        *ir.Stage  // exported-IR mirror (set by buildIR)
 }
 
+// plan pairs the planner's live structures (bindings, splitters) with the
+// exported IR snapshot the executor, the lowering pass, and Explain share.
 type plan struct {
 	stages []planStage
+	ir     *ir.Plan
 }
 
 // errStageBreak signals that a node cannot join the current stage and a new
@@ -186,7 +194,13 @@ func resolveNode(n *node, ctx map[int]resolved) (args []resolved, ret resolved, 
 // buildPlan converts the pending dataflow graph into stages per §5.1: two
 // adjacent calls share a stage iff every value passed between them has
 // matching split types; otherwise the data is merged and a new stage begins.
-func (s *Session) buildPlan() (*plan, error) {
+// It also mirrors the result into the exported plan IR (internal/plan).
+//
+// peek makes planning read-only for Session.Plan: circuit breakers are
+// consulted without the open → half-open transition (no probe is scheduled)
+// and no binding is marked discarded, so a peeked plan never perturbs a
+// later evaluation.
+func (s *Session) buildPlan(peek bool) (*plan, error) {
 	p := &plan{}
 	ctx := map[int]resolved{}
 	var cur []planCall
@@ -205,9 +219,15 @@ func (s *Session) buildPlan() (*plan, error) {
 		// a function Mozart cannot split. planWhole also moves a cooled-
 		// down breaker to half-open, in which case this plan is the probe
 		// and the annotation is split below.
-		whole, probing := s.breakers.planWhole(n.sa.FuncName)
-		if probing {
-			s.emitBreaker(n.sa.FuncName, "half-open")
+		var whole bool
+		if peek {
+			whole = s.breakers.peekWhole(n.sa.FuncName)
+		} else {
+			var probing bool
+			whole, probing = s.breakers.planWhole(n.sa.FuncName)
+			if probing {
+				s.emitBreaker(n.sa.FuncName, "half-open")
+			}
 		}
 		if whole {
 			flush()
@@ -256,13 +276,15 @@ func (s *Session) buildPlan() (*plan, error) {
 	}
 	flush()
 
-	s.classifyStages(p)
+	s.classifyStages(p, peek)
+	s.buildIR(p)
 	return p, nil
 }
 
 // classifyStages computes, per stage, which bindings are split inputs, which
-// must be merged at stage exit, and which are broadcast.
-func (s *Session) classifyStages(p *plan) {
+// must be merged at stage exit, and which are broadcast. Under peek, the
+// discarded flag of pipelined-away bindings is left untouched.
+func (s *Session) classifyStages(p *plan, peek bool) {
 	// lastConsumed[bid] = index of the last stage whose calls read binding
 	// bid; used to decide which produced values must be materialized.
 	lastConsumed := map[int]int{}
@@ -316,7 +338,7 @@ func (s *Session) classifyStages(p *plan) {
 				if need && !seenOut[rb.id] {
 					seenOut[rb.id] = true
 					st.outputs = append(st.outputs, stageOutput{b: rb, r: c.ret})
-				} else if !need {
+				} else if !need && !peek {
 					rb.discarded = true
 				}
 			}
@@ -324,23 +346,3 @@ func (s *Session) classifyStages(p *plan) {
 	}
 }
 
-// consumedInStage reports whether binding b is read by a call after producer
-// within stage st.
-func consumedInStage(st *planStage, b *binding, producer *node) bool {
-	past := false
-	for _, c := range st.calls {
-		if c.n == producer {
-			past = true
-			continue
-		}
-		if !past {
-			continue
-		}
-		for _, ab := range c.n.args {
-			if ab == b {
-				return true
-			}
-		}
-	}
-	return false
-}

@@ -1,0 +1,151 @@
+// Package planlower compiles a plan IR (internal/plan) plus per-call cost
+// specs into a memsim.Workload, so the modeled Table 4 / Figure 4 numbers
+// derive from the planner's actual output instead of hand-maintained
+// parallel models. The hand models in internal/workloads remain as an
+// independent cross-check: a consistency test lowers the real planner's IR
+// and asserts stage structure and batch sizes match them.
+//
+// Lowering rules:
+//
+//   - Dataflow bindings become dense memsim array ids in first-touch order.
+//     Zero-width inputs (SizeSplit-style size arguments), broadcast values,
+//     and Reduced results (reductions, type-changing calls) are not arrays:
+//     they carry no per-element storage that streams with the batch.
+//   - A call's Reads are its non-broadcast, non-mut array arguments; its
+//     Writes are its mut arguments plus its (non-reduced) result.
+//   - Discarded non-reduced results (pipelined away, never materialized)
+//     become Scratch arrays: their batch pieces die in cache.
+//   - A split stage batches by the plan's §5.2 BatchPolicy over
+//     plan.StageBytes — the same shared byte model the real executor uses —
+//     with unknown input widths defaulted to Options.ElemBytes. A whole
+//     stage lowers un-batched (each op streams the full range).
+package planlower
+
+import (
+	"mozart/internal/memsim"
+	"mozart/internal/plan"
+)
+
+// CallCost is the per-call cost spec for lowering: the memsim op name (hand
+// models use short names like "div" for the annotated "vdDiv") and the
+// per-element compute cost on the modeled backend.
+type CallCost struct {
+	Name          string
+	CyclesPerElem float64
+}
+
+// Options parameterize a lowering.
+type Options struct {
+	// Name names the produced workload.
+	Name string
+	// Elems is the workload element count (per array).
+	Elems int64
+	// ElemBytes is the element width of every lowered array, and the
+	// fallback width for stage inputs whose width the planner could not
+	// probe.
+	ElemBytes int64
+	// Costs maps annotated function names (plan Call.Name) to cost specs.
+	Costs map[string]CallCost
+	// DefaultCyclesPerElem is used for calls missing from Costs.
+	DefaultCyclesPerElem float64
+	// SplitCopies marks stages whose splitters copy (ImageMagick-style),
+	// adding the entry/exit copy pass to each split stage.
+	SplitCopies bool
+}
+
+// Lower compiles p into a memsim workload under o.
+func Lower(p *plan.Plan, o Options) *memsim.Workload {
+	w := &memsim.Workload{Name: o.Name, Elems: o.Elems}
+	for i := range p.Stages {
+		w.Stages = append(w.Stages, lowerStage(&p.Stages[i], p.Batch, o))
+	}
+	return w
+}
+
+func lowerStage(st *plan.Stage, batch plan.BatchPolicy, o Options) memsim.Stage {
+	// Bindings that never lower to arrays: zero-width inputs and reduced
+	// results.
+	skip := map[int]bool{}
+	for _, in := range st.Inputs {
+		if in.ElemBytes == 0 {
+			skip[in.Binding] = true
+		}
+	}
+	for _, c := range st.Calls {
+		if c.Ret != nil && c.RetReduced {
+			skip[c.Ret.Binding] = true
+		}
+	}
+
+	arrays := map[int]int{} // binding id -> dense array id, first-touch order
+	arrayOf := func(binding int) (int, bool) {
+		if skip[binding] {
+			return 0, false
+		}
+		id, ok := arrays[binding]
+		if !ok {
+			id = len(arrays)
+			arrays[binding] = id
+		}
+		return id, true
+	}
+
+	out := memsim.Stage{ElemBytes: o.ElemBytes}
+	var scratch []int
+	for _, c := range st.Calls {
+		cost, ok := o.Costs[c.Name]
+		if !ok {
+			cost = CallCost{Name: c.Name, CyclesPerElem: o.DefaultCyclesPerElem}
+		} else if cost.Name == "" {
+			cost.Name = c.Name
+		}
+		op := memsim.Op{Name: cost.Name, CyclesPerElem: cost.CyclesPerElem}
+		for _, a := range c.Args {
+			if a.Broadcast {
+				continue
+			}
+			id, ok := arrayOf(a.Binding)
+			if !ok {
+				continue
+			}
+			if a.Mut {
+				op.Writes = append(op.Writes, id)
+			} else {
+				op.Reads = append(op.Reads, id)
+			}
+		}
+		if c.Ret != nil && !c.Ret.Broadcast {
+			if id, ok := arrayOf(c.Ret.Binding); ok {
+				op.Writes = append(op.Writes, id)
+				if c.RetDiscarded {
+					scratch = append(scratch, id)
+				}
+			}
+		}
+		out.Ops = append(out.Ops, op)
+	}
+
+	if st.Kind == plan.StageWhole {
+		return out
+	}
+
+	// §5.2 batching over the shared byte model, defaulting widths the
+	// planner could not probe to the lowering's element width.
+	widths := st.InputWidths()
+	for i, w := range widths {
+		if w < 0 {
+			widths[i] = o.ElemBytes
+		}
+	}
+	total := st.Elems()
+	if total < 0 {
+		total = o.Elems
+	}
+	out.BatchElems = batch.Elems(plan.StageBytes(widths, len(st.Live), o.ElemBytes), total)
+	out.Scratch = scratch
+	out.SplitCopies = o.SplitCopies
+	if total != o.Elems && total >= 0 {
+		out.Elems = total
+	}
+	return out
+}

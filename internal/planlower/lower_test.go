@@ -1,0 +1,115 @@
+package planlower
+
+import (
+	"reflect"
+	"testing"
+
+	"mozart/internal/plan"
+)
+
+// chainPlan models a datacleaning-shaped stage: one 24-byte split input,
+// a chain of out-of-place calls whose results pipeline away, and a final
+// reduction. Binding 0 is the source, 1..3 intermediate results, 4 the
+// reduced count, 10 a zero-width size input, 20 a broadcast value.
+func chainPlan() *plan.Plan {
+	ret := func(b int, reduced bool) *plan.Arg {
+		return &plan.Arg{Binding: b, Name: "ret", Split: "SeriesSplit"}
+	}
+	return &plan.Plan{
+		Pipelining: true,
+		Stages: []plan.Stage{{
+			Kind: plan.StageSplit,
+			Calls: []plan.Call{
+				{Name: "sr.str.slice", Args: []plan.Arg{
+					{Binding: 10, Split: "SizeSplit<32768>"},
+					{Binding: 0, Split: "SeriesSplit"},
+				}, Ret: ret(1, false), RetDiscarded: true},
+				{Name: "sr.isin", Args: []plan.Arg{
+					{Binding: 1, Split: "SeriesSplit"},
+					{Binding: 20, Broadcast: true, Split: "_"},
+				}, Ret: ret(2, false), RetDiscarded: true},
+				{Name: "sr.fix", Args: []plan.Arg{
+					{Binding: 2, Split: "SeriesSplit"},
+					{Binding: 3, Mut: true, Split: "SeriesSplit"},
+				}},
+				{Name: "sr.count", Args: []plan.Arg{
+					{Binding: 3, Split: "SeriesSplit"},
+				}, Ret: &plan.Arg{Binding: 4, Name: "ret", Split: "AddReduce"}, RetReduced: true},
+			},
+			Inputs: []plan.Value{
+				{Binding: 10, Split: "SizeSplit<32768>", Elems: 32768, ElemBytes: 0},
+				{Binding: 0, Split: "SeriesSplit", Elems: 32768, ElemBytes: 24},
+				{Binding: 3, Split: "SeriesSplit", Elems: 32768, ElemBytes: 24},
+			},
+			Outputs:   []plan.Value{{Binding: 4, Split: "AddReduce", Elems: -1, ElemBytes: -1}},
+			Broadcast: []int{20},
+			Live:      []int{1, 2},
+		}},
+	}
+}
+
+func TestLowerChain(t *testing.T) {
+	p := chainPlan()
+	w := Lower(p, Options{
+		Name: "dc", Elems: 32768, ElemBytes: 24,
+		Costs: map[string]CallCost{
+			"sr.str.slice": {Name: "str.slice", CyclesPerElem: 1.6},
+			"sr.isin":      {Name: "isin", CyclesPerElem: 1.2},
+			"sr.count":     {Name: "count", CyclesPerElem: 0.35},
+		},
+		DefaultCyclesPerElem: 0.4,
+	})
+	if w.Name != "dc" || w.Elems != 32768 || len(w.Stages) != 1 {
+		t.Fatalf("workload shape: %+v", w)
+	}
+	st := w.Stages[0]
+	if st.ElemBytes != 24 {
+		t.Errorf("ElemBytes = %d, want 24", st.ElemBytes)
+	}
+	// Working set: inputs 24+24 (size input excluded) + 2 live x mean 24
+	// = 96B -> batch 4*256KiB/96 = 10922.
+	if want := (plan.BatchPolicy{}).Elems(96, 32768); st.BatchElems != want {
+		t.Errorf("BatchElems = %d, want %d", st.BatchElems, want)
+	}
+	// First-touch arrays: 0->0, 1->1, 2->2, 3->3; size, broadcast, and the
+	// reduced count never become arrays.
+	wantOps := []struct {
+		name          string
+		reads, writes []int
+	}{
+		{"str.slice", []int{0}, []int{1}},
+		{"isin", []int{1}, []int{2}},
+		{"sr.fix", []int{2}, []int{3}},
+		{"count", []int{3}, nil},
+	}
+	if len(st.Ops) != len(wantOps) {
+		t.Fatalf("got %d ops, want %d", len(st.Ops), len(wantOps))
+	}
+	for i, want := range wantOps {
+		got := st.Ops[i]
+		if got.Name != want.name || !reflect.DeepEqual(got.Reads, want.reads) || !reflect.DeepEqual(got.Writes, want.writes) {
+			t.Errorf("op %d = %q r%v w%v, want %q r%v w%v", i, got.Name, got.Reads, got.Writes, want.name, want.reads, want.writes)
+		}
+	}
+	if !reflect.DeepEqual(st.Scratch, []int{1, 2}) {
+		t.Errorf("Scratch = %v, want [1 2]", st.Scratch)
+	}
+	if st.Ops[3].CyclesPerElem != 0.35 || st.Ops[2].CyclesPerElem != 0.4 {
+		t.Errorf("cycle costs not applied: %+v", st.Ops)
+	}
+}
+
+func TestLowerWholeStage(t *testing.T) {
+	p := &plan.Plan{Stages: []plan.Stage{{
+		Kind:  plan.StageWhole,
+		Calls: []plan.Call{{Name: "df.join", Args: []plan.Arg{{Binding: 0, Broadcast: true, Split: "_"}}}},
+	}}}
+	w := Lower(p, Options{Name: "join", Elems: 1024, ElemBytes: 8, DefaultCyclesPerElem: 2})
+	st := w.Stages[0]
+	if st.BatchElems != 0 || st.Scratch != nil || st.SplitCopies {
+		t.Errorf("whole stage must not batch: %+v", st)
+	}
+	if len(st.Ops) != 1 || st.Ops[0].Name != "df.join" || st.Ops[0].Reads != nil || st.Ops[0].Writes != nil {
+		t.Errorf("whole-stage op: %+v", st.Ops)
+	}
+}

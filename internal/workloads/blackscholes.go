@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"math"
 
 	"mozart/internal/annotations/tensorsa"
@@ -141,7 +142,7 @@ func runBSVmath(v Variant, cfg Config) (float64, error) {
 			s = cfg.sessionNoPipe()
 		}
 		call, put, vega, gamma := bsVmathProgram(mozartVmathBackend(s), price, strike, tt)
-		if err := s.Evaluate(); err != nil {
+		if err := s.EvaluateContext(context.Background()); err != nil {
 			return 0, err
 		}
 		return bsChecksum(call, put, vega, gamma), nil
@@ -299,7 +300,15 @@ func init() {
 		Run:          runBSVmath,
 		DefaultScale: 1 << 22,
 		Model: func(v Variant, cfg Config) *memsim.Workload {
-			return chainModel("blackscholes-mkl", bsModelOps(), int64(cfg.Scale), 8, v, cfg.Batch)
+			ops := bsModelOps()
+			if v == Mozart || v == MozartNoPipe {
+				// The Mozart backend fills the zeros buffer eagerly,
+				// outside the session (vmath.Fill is not annotated), so
+				// the real plan has 31 calls; zeros still streams with
+				// the batch via the fmax reads.
+				ops = ops[1:]
+			}
+			return chainModel("blackscholes-mkl", ops, int64(cfg.Scale), 8, v, cfg.Batch)
 		},
 	})
 }

@@ -1,0 +1,47 @@
+package workloads
+
+import "mozart/internal/planlower"
+
+// Cost tables for lowering real planner output (the plan IR) into memsim
+// workloads via internal/planlower. They map annotated function names to
+// the hand-model op names and the shared per-element cycle constants, so a
+// lowered model and the corresponding hand model in this package are
+// directly comparable op by op — the plan-to-model consistency test holds
+// them identical.
+
+// vmathCosts covers the vmathsa (MKL-style) annotations used by the vector
+// chain workloads.
+var vmathCosts = map[string]planlower.CallCost{
+	"vdAdd":       {Name: "add", CyclesPerElem: cycAdd},
+	"vdSub":       {Name: "sub", CyclesPerElem: cycAdd},
+	"vdMul":       {Name: "mul", CyclesPerElem: cycMul},
+	"vdDiv":       {Name: "div", CyclesPerElem: cycDiv},
+	"vdFmax":      {Name: "fmax", CyclesPerElem: cycCmp},
+	"vdSqrt":      {Name: "sqrt", CyclesPerElem: cycSqrt},
+	"vdSqr":       {Name: "sqr", CyclesPerElem: cycMul},
+	"vdExp":       {Name: "exp", CyclesPerElem: cycExp},
+	"vdLn":        {Name: "ln", CyclesPerElem: cycLn},
+	"vdCdfNorm":   {Name: "cdfnorm", CyclesPerElem: cycErf},
+	"vdSin":       {Name: "sin", CyclesPerElem: cycErf}, // trig ~ erf intensity
+	"vdCos":       {Name: "cos", CyclesPerElem: cycErf},
+	"vdAtan2":     {Name: "atan2", CyclesPerElem: cycExp},
+	"vdAddC":      {Name: "addc", CyclesPerElem: cycAdd},
+	"vdSubC":      {Name: "subc", CyclesPerElem: cycAdd},
+	"vdSubCRev":   {Name: "subcrev", CyclesPerElem: cycAdd},
+	"vdMulC":      {Name: "mulc", CyclesPerElem: cycMul},
+	"vdSum":       {Name: "sum", CyclesPerElem: cycAdd},
+	"vdMaxReduce": {Name: "max", CyclesPerElem: cycCmp},
+}
+
+// framesaCosts covers the framesa (Pandas-style) annotations used by the
+// data cleaning workload.
+var framesaCosts = map[string]planlower.CallCost{
+	"sr.str.slice":  {Name: "str.slice", CyclesPerElem: 4 * cycMul},
+	"sr.isin":       {Name: "isin", CyclesPerElem: 3 * cycMul},
+	"sr.eq":         {Name: "eq", CyclesPerElem: 2 * cycMul},
+	"sr.or":         {Name: "or", CyclesPerElem: cycAdd},
+	"sr.maskToNull": {Name: "maskToNull", CyclesPerElem: 2 * cycMul},
+	"sr.str.len.gt": {Name: "len.gt", CyclesPerElem: cycMul},
+	"sr.isnull":     {Name: "isnull", CyclesPerElem: cycMul},
+	"sr.count":      {Name: "count", CyclesPerElem: cycAdd},
+}

@@ -1,6 +1,9 @@
 package workloads
 
-import "mozart/internal/memsim"
+import (
+	"mozart/internal/memsim"
+	"mozart/internal/plan"
+)
 
 // opSpec describes one library call for the memsim plan models: its
 // per-element cost on a hand-optimized (SIMD) backend, its cost on the
@@ -42,12 +45,14 @@ func op(name string, cycles float64, reads, writes []int) opSpec {
 }
 
 // defaultBatch is the C*L2/sum(elemBytes) heuristic over the live arrays of
-// a stage.
+// a stage, delegating to the shared §5.2 rule in internal/plan — the same
+// BatchPolicy the real runtime records in its plan IR — so the models can
+// never drift from the executor's batch sizes.
 func defaultBatch(liveArrays int, elemBytes int64) int64 {
 	if liveArrays < 1 {
 		liveArrays = 1
 	}
-	return 4 * (256 << 10) / (int64(liveArrays) * elemBytes)
+	return (plan.BatchPolicy{}).Elems(int64(liveArrays)*elemBytes, 0)
 }
 
 // chainModel builds the memsim plan for an elementwise-chain workload.

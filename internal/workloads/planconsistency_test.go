@@ -1,0 +1,171 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"mozart/internal/memsim"
+	"mozart/internal/plan"
+	"mozart/internal/planlower"
+)
+
+// The plan-to-model consistency tests: run a workload's Mozart variant for
+// real, capture the planner's plan IR, lower it through internal/planlower
+// with the shared cost tables, and assert the result is structurally
+// identical to the hand-written memsim model — stage count, op order and
+// costs, reads/writes/scratch shape, batch size. This pins the hand models
+// (which regenerate the paper's figures) to actual planner output.
+
+// canonOp is an op with arrays renumbered canonically for comparison.
+type canonOp struct {
+	Name   string
+	Cycles float64
+	Reads  []int
+	Writes []int
+}
+
+// canonStage renumbers a stage's arrays densely by first appearance in op
+// order (reads before writes within an op), so two stages built with
+// different array numbering compare equal iff their dataflow shapes match.
+func canonStage(st memsim.Stage) (ops []canonOp, scratch []int, batch, elemBytes int64) {
+	remap := map[int]int{}
+	ren := func(ids []int) []int {
+		if ids == nil {
+			return nil
+		}
+		out := make([]int, len(ids))
+		for i, id := range ids {
+			c, ok := remap[id]
+			if !ok {
+				c = len(remap)
+				remap[id] = c
+			}
+			out[i] = c
+		}
+		return out
+	}
+	for _, o := range st.Ops {
+		ops = append(ops, canonOp{Name: o.Name, Cycles: o.CyclesPerElem,
+			Reads: ren(o.Reads), Writes: ren(o.Writes)})
+	}
+	for _, a := range st.Scratch {
+		if c, ok := remap[a]; ok {
+			scratch = append(scratch, c)
+		} else {
+			scratch = append(scratch, -1) // scratch array no op touches
+		}
+	}
+	sort.Ints(scratch)
+	return ops, scratch, st.BatchElems, st.ElemBytes
+}
+
+func fmtOps(ops []canonOp) string {
+	s := ""
+	for i, o := range ops {
+		s += fmt.Sprintf("  %2d %-12s c=%.2f r%v w%v\n", i, o.Name, o.Cycles, o.Reads, o.Writes)
+	}
+	return s
+}
+
+// capturePlan runs the workload's Mozart variant and returns the captured
+// plan IRs, one per evaluation.
+func capturePlan(t *testing.T, spec Spec, cfg Config) []*plan.Plan {
+	t.Helper()
+	var plans []*plan.Plan
+	cfg.OnPlan = func(p *plan.Plan) { plans = append(plans, p) }
+	if _, err := spec.Run(Mozart, cfg); err != nil {
+		t.Fatalf("%s mozart run: %v", spec.Name, err)
+	}
+	if len(plans) == 0 {
+		t.Fatalf("%s: no plan captured", spec.Name)
+	}
+	return plans
+}
+
+// TestLoweredPlanMatchesHandModel is the §5.2 consistency check for the
+// single-stage chain workloads: the real planner's lowered plan and the
+// hand model agree exactly.
+func TestLoweredPlanMatchesHandModel(t *testing.T) {
+	cases := []struct {
+		workload  string
+		elemBytes int64
+		costs     map[string]planlower.CallCost
+	}{
+		{"blackscholes-mkl", 8, vmathCosts},
+		{"haversine-mkl", 8, vmathCosts},
+		{"datacleaning-pandas", 24, framesaCosts},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.workload, func(t *testing.T) {
+			spec, err := ByName(tc.workload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := Config{Scale: 1 << 15, Threads: 4}
+			plans := capturePlan(t, spec, cfg)
+			p := plans[0]
+
+			lowered := planlower.Lower(p, planlower.Options{
+				Name:      tc.workload,
+				Elems:     int64(cfg.Scale),
+				ElemBytes: tc.elemBytes,
+				Costs:     tc.costs,
+			})
+			hand := spec.Model(Mozart, cfg)
+
+			if len(lowered.Stages) != len(hand.Stages) {
+				t.Fatalf("stage count: lowered %d, hand model %d\nplan: %s",
+					len(lowered.Stages), len(hand.Stages), p.Describe())
+			}
+			for si := range hand.Stages {
+				lo, ls, lb, lw := canonStage(lowered.Stages[si])
+				ho, hs, hb, hw := canonStage(hand.Stages[si])
+				if lb != hb {
+					t.Errorf("stage %d batch: lowered %d, hand model %d", si, lb, hb)
+				}
+				if lw != hw {
+					t.Errorf("stage %d elemBytes: lowered %d, hand model %d", si, lw, hw)
+				}
+				if len(lo) != len(ho) {
+					t.Fatalf("stage %d op count: lowered %d, hand %d\nlowered:\n%shand:\n%s",
+						si, len(lo), len(ho), fmtOps(lo), fmtOps(ho))
+				}
+				for oi := range ho {
+					if fmt.Sprint(lo[oi]) != fmt.Sprint(ho[oi]) {
+						t.Errorf("stage %d op %d:\n  lowered %+v\n  hand    %+v", si, oi, lo[oi], ho[oi])
+					}
+				}
+				if fmt.Sprint(ls) != fmt.Sprint(hs) {
+					t.Errorf("stage %d scratch: lowered %v, hand model %v", si, ls, hs)
+				}
+			}
+		})
+	}
+}
+
+// TestPlanBatchMatchesExecutor: the batch the plan IR predicts for the
+// entry stage equals what Options.batchSize-driven execution uses — i.e.
+// the stage-begin event's BatchElems. Uses the working-set model from the
+// IR itself, closing the loop between Plan(), the executor, and the
+// models.
+func TestPlanWorkingSetMatchesHandLiveArrays(t *testing.T) {
+	// datacleaning: 1 input of 24B + 7 live produced values = the hand
+	// model's 8 live arrays x 24B.
+	spec, err := ByName("datacleaning-pandas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Scale: 1 << 15, Threads: 4}
+	p := capturePlan(t, spec, cfg)[0]
+	if len(p.Stages) != 1 {
+		t.Fatalf("datacleaning should plan one stage, got %s", p.Describe())
+	}
+	if got, want := p.Stages[0].WorkingSetBytes(), int64(8*24); got != want {
+		t.Errorf("working set = %dB, want %dB (8 live arrays x 24B)", got, want)
+	}
+	if got, want := p.Batch.Elems(p.Stages[0].WorkingSetBytes(), int64(cfg.Scale)), defaultBatch(8, 24); got != want {
+		t.Errorf("plan batch = %d, hand defaultBatch = %d", got, want)
+	}
+}

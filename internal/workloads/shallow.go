@@ -1,6 +1,8 @@
 package workloads
 
 import (
+	"context"
+
 	"mozart/internal/annotations/tensorsa"
 	"mozart/internal/annotations/vmathsa"
 	"mozart/internal/core"
@@ -145,7 +147,7 @@ func runSWVmath(v Variant, cfg Config) (float64, error) {
 		vmathsa.MatSub(s, hy1, hy2, t2)
 		vmathsa.MatScale(s, t2, swG*swDt/2, t2)
 		vmathsa.MatSub(s, vv, t2, vn)
-		if err := s.Evaluate(); err != nil {
+		if err := s.EvaluateContext(context.Background()); err != nil {
 			return 0, err
 		}
 		return swChecksum(hn.Data, un.Data, vn.Data), nil

@@ -19,6 +19,7 @@ import (
 	"mozart/internal/core"
 	"mozart/internal/memsim"
 	"mozart/internal/obs"
+	"mozart/internal/plan"
 )
 
 // Variant selects an execution strategy.
@@ -46,10 +47,14 @@ type Config struct {
 	// Tracer, when set, receives structured runtime events from every
 	// Mozart session a workload creates (sabench -experiment trace).
 	Tracer obs.Tracer
+	// OnPlan, when set, receives the plan IR of every evaluation in every
+	// Mozart session a workload creates (the plan-to-model consistency
+	// tests and sabench -experiment explain).
+	OnPlan func(*plan.Plan)
 }
 
 func (c Config) session() *core.Session {
-	s := core.NewSession(core.Options{Workers: c.Threads, BatchElems: c.Batch, UnprotectNSPerByte: c.UnprotectNSPerByte, Tracer: c.Tracer})
+	s := core.NewSession(core.Options{Workers: c.Threads, BatchElems: c.Batch, UnprotectNSPerByte: c.UnprotectNSPerByte, Tracer: c.Tracer, OnPlan: c.OnPlan})
 	if c.OnSession != nil {
 		c.OnSession(s)
 	}
@@ -57,7 +62,7 @@ func (c Config) session() *core.Session {
 }
 
 func (c Config) sessionNoPipe() *core.Session {
-	s := core.NewSession(core.Options{Workers: c.Threads, BatchElems: c.Batch, DisablePipelining: true, UnprotectNSPerByte: c.UnprotectNSPerByte, Tracer: c.Tracer})
+	s := core.NewSession(core.Options{Workers: c.Threads, BatchElems: c.Batch, DisablePipelining: true, UnprotectNSPerByte: c.UnprotectNSPerByte, Tracer: c.Tracer, OnPlan: c.OnPlan})
 	if c.OnSession != nil {
 		c.OnSession(s)
 	}
