@@ -1,17 +1,30 @@
 # Developer and CI entry points. `make ci` is what the GitHub Actions
-# workflow runs: vet (fail fast), build, plain tests, the race detector
-# over the runtime-heavy packages, the flakiness gate (the fault-tolerance
-# suites twice under -race, so a nondeterministic retry/breaker/admission
-# test cannot land green), and the faults-experiment smoke.
+# workflow runs: vet (fail fast), the deprecation gate, build, plain tests,
+# the race detector over the runtime-heavy packages, the flakiness gate (the
+# fault-tolerance suites twice under -race, so a nondeterministic
+# retry/breaker/admission test cannot land green), the faults-experiment
+# smoke, and the telemetry smokes (trace, explain, Prometheus golden, bench
+# snapshot).
 
 GO ?= go
 
-.PHONY: ci vet build test race flaky smoke-faults trace-smoke explain-smoke explain-golden bench
+.PHONY: ci vet deprecations build test race flaky smoke-faults trace-smoke explain-smoke explain-golden prom-golden bench-smoke bench-snapshot bench
 
-ci: vet build test race flaky smoke-faults trace-smoke explain-smoke
+ci: vet deprecations build test race flaky smoke-faults trace-smoke explain-smoke prom-golden bench-smoke
 
 vet:
 	$(GO) vet ./...
+
+# Deprecation gate: new uses of deprecated APIs (Session.Evaluate, the
+# Stats type alias) fail CI. Prefers staticcheck's SA1019 when installed;
+# falls back to the repo's dependency-free AST checker otherwise.
+deprecations:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "deprecations: staticcheck -checks SA1019 ./..."; \
+		staticcheck -checks SA1019 ./... ; \
+	else \
+		$(GO) run ./cmd/depcheck ; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -48,6 +61,23 @@ explain-smoke:
 explain-golden:
 	SABENCH_UPDATE_GOLDEN=cmd/sabench/testdata/explain.golden $(GO) run ./cmd/sabench -experiment explain
 	UPDATE_GOLDEN=1 $(GO) test -run TestExplainGolden .
+
+# The Prometheus exposition contract: the golden rendering and the
+# snapshot-consistency test (every /metrics sample accounted for by
+# Metrics.Snapshot and vice versa).
+prom-golden:
+	$(GO) test ./internal/obs -run 'TestPrometheus' -count=1
+
+# Smoke-run the BENCH trajectory emitter into a throwaway directory: all 15
+# workloads through the real planner and the counter simulation, snapshot
+# written and schema-validated (the experiment exits non-zero otherwise).
+bench-smoke:
+	$(GO) run ./cmd/sabench -experiment bench -benchdir "$$(mktemp -d)"
+
+# Emit (and regression-compare) a real BENCH_<git-sha>.json snapshot in the
+# repo root; commit it to extend the performance trajectory.
+bench-snapshot:
+	$(GO) run ./cmd/sabench -experiment bench -benchdir .
 
 # Regenerate the paper's figures/tables (see cmd/sabench).
 bench:

@@ -1,0 +1,136 @@
+// Command depcheck is the repo's dependency-free deprecation gate: it walks
+// the module's Go sources and flags uses of APIs this repo has deprecated,
+// so new call sites fail `make ci` even on machines without staticcheck
+// installed (the Makefile prefers staticcheck's SA1019 when present and
+// falls back to this checker).
+//
+// Checked patterns:
+//
+//   - zero-argument calls of a method named Evaluate — the deprecated
+//     Session.Evaluate shim; use EvaluateContext.
+//   - the type names mozart.Stats / core.Stats — deprecated aliases of
+//     StatsSnapshot.
+//
+// A use that must stay (compat tests, the shim's own definition) is
+// sanctioned by putting "deprecated-ok" in a comment on the same line.
+//
+// Usage: depcheck [root]   (root defaults to ".")
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 && os.Args[1] != "./..." {
+		root = os.Args[1]
+	}
+	findings, err := check(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "depcheck: %v\n", err)
+		os.Exit(2)
+	}
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		fmt.Fprintf(os.Stderr, "depcheck: %d use(s) of deprecated APIs (annotate intentional ones with deprecated-ok)\n", len(findings))
+		os.Exit(1)
+	}
+	fmt.Println("depcheck: no uses of deprecated APIs")
+}
+
+// check walks root and returns one finding line per deprecated use.
+func check(root string) ([]string, error) {
+	var findings []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || name == "vendor" ||
+				(strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		fs, err := checkFile(path)
+		if err != nil {
+			return err
+		}
+		findings = append(findings, fs...)
+		return nil
+	})
+	sort.Strings(findings)
+	return findings, err
+}
+
+// checkFile parses one file and reports deprecated uses not sanctioned by a
+// same-line "deprecated-ok" comment.
+func checkFile(path string) ([]string, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(string(src), "\n")
+	sanctioned := func(pos token.Pos) bool {
+		line := fset.Position(pos).Line
+		return line-1 < len(lines) && strings.Contains(lines[line-1], "deprecated-ok")
+	}
+	// Calls' Fun nodes, so plain selector checks can skip method calls:
+	// s.Stats() is fine, the type name core.Stats is not.
+	callFuns := map[ast.Expr]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			callFuns[c.Fun] = true
+		}
+		return true
+	})
+
+	var findings []string
+	report := func(pos token.Pos, what string) {
+		if sanctioned(pos) {
+			return
+		}
+		p := fset.Position(pos)
+		findings = append(findings, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, what))
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok &&
+				sel.Sel.Name == "Evaluate" && len(x.Args) == 0 {
+				// The shim's own definition lives in a declaration, not a
+				// call, so every zero-arg .Evaluate() call is a use.
+				report(sel.Sel.Pos(), "deprecated Session.Evaluate: use EvaluateContext")
+			}
+		case *ast.SelectorExpr:
+			if x.Sel.Name != "Stats" || callFuns[ast.Expr(x)] {
+				return true
+			}
+			if id, ok := x.X.(*ast.Ident); ok && (id.Name == "mozart" || id.Name == "core") {
+				report(x.Sel.Pos(), "deprecated "+id.Name+".Stats type: use StatsSnapshot")
+			}
+		}
+		return true
+	})
+	return findings, nil
+}

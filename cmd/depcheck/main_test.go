@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCheckFindsDeprecatedUses runs the checker over the fixture tree:
+// both deprecated patterns are flagged, method calls named Stats and
+// deprecated-ok-annotated lines are not.
+func TestCheckFindsDeprecatedUses(t *testing.T) {
+	findings, err := check("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 3 {
+		t.Fatalf("findings = %v, want 3", findings)
+	}
+	wantSubstr := []string{
+		"bad.go:11: deprecated mozart.Stats",
+		"bad.go:13: deprecated core.Stats",
+		"bad.go:17: deprecated Session.Evaluate",
+	}
+	for i, want := range wantSubstr {
+		if !strings.Contains(findings[i], want) {
+			t.Errorf("finding %d = %q, want substring %q", i, findings[i], want)
+		}
+	}
+}
+
+// TestCheckCleanRepo: the repo itself must stay gate-clean — this is the
+// same assertion `make ci` runs via `go run ./cmd/depcheck`, kept here so
+// plain `go test ./...` catches new deprecated call sites too.
+func TestCheckCleanRepo(t *testing.T) {
+	findings, err := check("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("deprecated API uses in repo:\n%s", strings.Join(findings, "\n"))
+	}
+}

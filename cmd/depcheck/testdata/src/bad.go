@@ -1,0 +1,24 @@
+package bad
+
+import (
+	"context"
+
+	mozart "mozart"
+	"mozart/internal/core"
+)
+
+func uses(s *mozart.Session) error {
+	var st mozart.Stats // line 11: deprecated type
+	_ = st
+	var st2 core.Stats // line 13: deprecated type
+	_ = st2
+	snap := s.Stats() // fine: method call returning StatsSnapshot
+	_ = snap
+	if err := s.Evaluate(); err != nil { // line 17: deprecated shim
+		return err
+	}
+	if err := s.Evaluate(); err != nil { // deprecated-ok: sanctioned
+		return err
+	}
+	return s.EvaluateContext(context.Background()) // fine
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	sabench -experiment all|fig1|fig4|fig5|fig6|fig7|table2|table3|table4|wall|faults|trace|explain
+//	sabench -experiment all|fig1|fig4|fig5|fig6|fig7|table2|table3|table4|wall|faults|trace|explain|bench
 //
 // Multicore figures (1-16 threads) are produced on the memsim machine
 // model, which executes the workloads' actual execution plans (per-call
@@ -29,7 +29,7 @@ import (
 var threadSweep = []int{1, 2, 4, 8, 16}
 
 func main() {
-	exp := flag.String("experiment", "all", "fig1|fig4|fig5|fig6|fig7|table2|table3|table4|wall|faults|trace|explain|all")
+	exp := flag.String("experiment", "all", "fig1|fig4|fig5|fig6|fig7|table2|table3|table4|wall|faults|trace|explain|bench|all")
 	scaleDiv := flag.Int("scalediv", 1, "divide default workload scales by this factor (wall-clock experiments)")
 	flag.Parse()
 
@@ -51,6 +51,7 @@ func main() {
 	run("faults", faults)
 	run("trace", trace)
 	run("explain", explain)
+	run("bench", bench)
 }
 
 func tw() *tabwriter.Writer {

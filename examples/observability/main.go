@@ -1,28 +1,42 @@
-// Observability: trace and meter a pipelined evaluation.
+// Observability: trace, meter, and serve a pipelined evaluation.
 //
-// The quickstart pipeline runs again, this time with the runtime
+// The quickstart pipeline runs again, this time with the runtime fully
 // instrumented: a ChromeTrace sink records one timeline lane per worker
-// (plus a runtime lane for planning, admission, and the final merge), and a
+// (plus a runtime lane for planning, admission, and the final merge), a
 // Metrics sink aggregates per-stage batch counts, bytes moved under the
-// paper's §5.2 model, and cache-batch utilization. Both sinks share the
-// event stream via MultiTracer; pprof profiles additionally carry
-// mozart_stage/mozart_split labels because ProfileLabels is set.
+// paper's §5.2 model, and cache-batch utilization, and a FlightRecorder
+// keeps the last evaluations' full event streams (plus the rendered plan)
+// for post-mortem dumps. SimulateCounters additionally lowers each
+// evaluation's real plan into the memsim cache model and folds simulated
+// L1/L2/LLC hit/miss counts and DRAM traffic into the same metrics rows.
 //
 // Run it, then load mozart-trace.json in https://ui.perfetto.dev (or
 // chrome://tracing) to see each worker pulling cache-sized batches through
-// the fused three-call stage.
+// the fused three-call stage. Pass -serve :8080 to keep the process alive
+// serving the debug surfaces:
+//
+//	curl localhost:8080/metrics              # Prometheus text exposition
+//	curl localhost:8080/debug/mozart/plans   # recent EXPLAIN trees
+//	curl localhost:8080/debug/mozart/trace   # Chrome trace JSON
+//	curl localhost:8080/debug/mozart/flight  # flight-recorder ring
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
+	"net/http"
 
 	"mozart"
 	"mozart/internal/annotations/vmathsa"
+	"mozart/internal/obs/httpdebug"
 )
 
 func main() {
+	serve := flag.String("serve", "", "address to serve /metrics and /debug/mozart/* on (e.g. :8080); empty = run once and print")
+	flag.Parse()
+
 	const n = 1 << 20
 	d1 := make([]float64, n)
 	tmp := make([]float64, n)
@@ -35,8 +49,17 @@ func main() {
 
 	trace := mozart.NewChromeTrace()
 	metrics := mozart.NewMetrics()
-	opts := mozart.WithTracer(mozart.Options{Workers: 4, ProfileLabels: true},
+	recorder := mozart.NewFlightRecorder(4)
+	plans := httpdebug.NewPlanLog(4)
+	opts := mozart.WithTracer(
+		mozart.Options{Workers: 4, ProfileLabels: true, SimulateCounters: true},
 		mozart.MultiTracer(trace, metrics))
+	opts = mozart.WithFlightRecorder(opts, recorder)
+	prevOnPlan := opts.OnPlan
+	opts.OnPlan = func(p *mozart.Plan) {
+		prevOnPlan(p)
+		plans.OnPlan(p)
+	}
 	s := mozart.NewSession(opts)
 
 	// d1 = (log1p(d1) + tmp) / vol, then reduce.
@@ -60,4 +83,16 @@ func main() {
 	fmt.Printf("wrote mozart-trace.json (%d events) — open in https://ui.perfetto.dev\n\n",
 		trace.Events())
 	fmt.Print(metrics.String())
+
+	if *serve == "" {
+		fmt.Println("\n--- /metrics (Prometheus text exposition; -serve :8080 to scrape live) ---")
+		fmt.Print(metrics.PrometheusText())
+		return
+	}
+	mux := http.NewServeMux()
+	httpdebug.Mount(mux, httpdebug.Options{
+		Metrics: metrics, Plans: plans, Trace: trace, Recorder: recorder,
+	})
+	fmt.Printf("\nserving /metrics and /debug/mozart/{plans,trace,flight} on %s\n", *serve)
+	log.Fatal(http.ListenAndServe(*serve, mux))
 }

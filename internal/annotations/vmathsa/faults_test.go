@@ -1,6 +1,7 @@
 package vmathsa_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -47,7 +48,7 @@ func TestInjectedPanicFallback(t *testing.T) {
 	out := make([]float64, n)
 	s := core.NewSession(core.Options{Workers: 4, BatchElems: 128, FallbackPolicy: core.FallbackWholeCall})
 	s.Call(fn, sa, n, a, out)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatalf("Evaluate: %v", err)
 	}
 	almost(out, ref, t, "log1p under injected panic")
@@ -79,7 +80,7 @@ func TestInjectedSplitErrorQuarantine(t *testing.T) {
 	out := make([]float64, n)
 	s := core.NewSession(core.Options{Workers: 4, BatchElems: 128, FallbackPolicy: core.FallbackQuarantine})
 	s.Call(fn, sa, n, a, out)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatalf("first Evaluate: %v", err)
 	}
 	almost(out, ref, t, "log1p after split-error fallback")
@@ -90,7 +91,7 @@ func TestInjectedSplitErrorQuarantine(t *testing.T) {
 	splitsBefore := inj.Count("vdLog1p", faultinject.AspectSplit)
 	out2 := make([]float64, n)
 	s.Call(fn, sa, n, a, out2)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatalf("second Evaluate: %v", err)
 	}
 	almost(out2, ref, t, "log1p while quarantined")
@@ -114,7 +115,7 @@ func TestInjectedCallErrorNoFallback(t *testing.T) {
 	a, out := randVec(n, 9), make([]float64, n)
 	s := core.NewSession(core.Options{Workers: 4, BatchElems: 128, FallbackPolicy: core.FallbackWholeCall})
 	s.Call(fn, sa, n, a, out)
-	err := s.Evaluate()
+	err := s.EvaluateContext(context.Background())
 	if err == nil {
 		t.Fatal("want injected library error to propagate")
 	}

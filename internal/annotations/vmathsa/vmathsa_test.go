@@ -1,6 +1,7 @@
 package vmathsa_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -49,7 +50,7 @@ func TestVectorPipelineMatchesLibrary(t *testing.T) {
 	vmathsa.Log1p(s, n, d1, d1)
 	vmathsa.Add(s, n, d1, tmp, d1)
 	vmathsa.Div(s, n, d1, vol, d1)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	almost(d1, ref, t, "pipeline")
@@ -153,7 +154,7 @@ func TestAllVectorWrappers(t *testing.T) {
 
 		s := sess()
 		c.moz(s, a, b, m, out)
-		if err := s.Evaluate(); err != nil {
+		if err := s.EvaluateContext(context.Background()); err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}
 		c.ref(refA, b, m, refOut)
@@ -217,7 +218,7 @@ func TestMatrixPipeline(t *testing.T) {
 	vmathsa.MatSqrt(s, out, out)
 	vmathsa.ShiftRows(s, out, 1, shifted)
 	vmathsa.MatMulElem(s, shifted, b, final)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	almost(final.Data, refFinal.Data, t, "matrix pipeline")
@@ -260,7 +261,7 @@ func TestRowSumsAndGemv(t *testing.T) {
 	s := core.NewSession(core.Options{Workers: 4, BatchElems: 11})
 	vmathsa.RowSums(s, m, rs)
 	vmathsa.Gemv(s, 2.0, m, x, 0.5, y)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	almost(rs, refRS, t, "RowSums")
@@ -283,21 +284,21 @@ func TestMatVecBroadcastOps(t *testing.T) {
 
 	s := core.NewSession(core.Options{Workers: 2, BatchElems: 8})
 	vmathsa.MulRowVec(s, m, rv, out)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	vmath.MulRowVec(m, rv, ref)
 	almost(out.Data, ref.Data, t, "MulRowVec")
 
 	vmathsa.AddRowVec(s, m, rv, out)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	vmath.AddRowVec(m, rv, ref)
 	almost(out.Data, ref.Data, t, "AddRowVec")
 
 	vmathsa.MulColVec(s, m, cv, out)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	vmath.MulColVec(m, cv, ref)
@@ -307,7 +308,7 @@ func TestMatVecBroadcastOps(t *testing.T) {
 	vmathsa.MatScale(s, out, 2, out)
 	vmathsa.MatAddC(s, out, 1, out)
 	vmathsa.MatPowC(s, out, 2, out)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for _, x := range out.Data {
@@ -331,7 +332,7 @@ func TestOuterDiffWhole(t *testing.T) {
 	s := core.NewSession(core.Options{Workers: 2, BatchElems: 4})
 	vmathsa.OuterDiff(s, x, dx)
 	vmathsa.MatMulElem(s, dx, dx, out)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	almost(out.Data, refOut.Data, t, "OuterDiff+MatMulElem")
@@ -356,7 +357,7 @@ func TestShiftColsPipelines(t *testing.T) {
 	s := core.NewSession(core.Options{Workers: 4, BatchElems: 16})
 	vmathsa.ShiftCols(s, m, 3, sh)
 	vmathsa.MatSub(s, sh, m, out)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	almost(out.Data, refOut.Data, t, "ShiftCols+MatSub")
@@ -378,21 +379,21 @@ func TestRemainingMatrixWrappers(t *testing.T) {
 
 	s := core.NewSession(core.Options{Workers: 3, BatchElems: 7})
 	vmathsa.MatDivElem(s, a, b, out)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	vmath.MatDivElem(a, b, ref)
 	almost(out.Data, ref.Data, t, "MatDivElem")
 
 	vmathsa.MatExp(s, a, out)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	vmath.MatExp(a, ref)
 	almost(out.Data, ref.Data, t, "MatExp")
 
 	vmathsa.MatCopy(s, a, out)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	almost(out.Data, a.Data, t, "MatCopy")

@@ -98,7 +98,7 @@ func TestPanicIsolation(t *testing.T) {
 		a, out := seq(n), make([]float64, n)
 		s.Call(panicOnNth(testLog1p, 2, "boom in annotated call"), saUnary("log1p"), n, a, out)
 
-		err := s.Evaluate()
+		err := s.EvaluateContext(context.Background())
 		if err == nil {
 			t.Fatal("want error from panicking call")
 		}
@@ -158,7 +158,7 @@ func TestFallbackWholeCall(t *testing.T) {
 		s.Call(fnScale, saScale, a, 2.0)
 		// Panic mid-stage, after some batches already scaled a in place.
 		s.Call(panicOnNth(fnUnary(func(x float64) float64 { return x + 1 }), 3, "late panic"), saUnary("plus1"), n, a, out)
-		if err := s.Evaluate(); err != nil {
+		if err := s.EvaluateContext(context.Background()); err != nil {
 			t.Fatalf("Evaluate with fallback: %v", err)
 		}
 		if !almostEqual(a, wantA) {
@@ -188,7 +188,7 @@ func TestFallbackOnSplitError(t *testing.T) {
 
 		s := NewSession(Options{Workers: 2, BatchElems: 8, DynamicScheduling: dynamic, FallbackPolicy: FallbackWholeCall})
 		s.Call(fnUnary(func(x float64) float64 { return x * x }), saFlakyUnary("square", sp), n, a, out)
-		if err := s.Evaluate(); err != nil {
+		if err := s.EvaluateContext(context.Background()); err != nil {
 			t.Fatalf("Evaluate with fallback: %v", err)
 		}
 		for i, x := range seq(n) {
@@ -210,7 +210,7 @@ func TestNoFallbackForLibraryError(t *testing.T) {
 		a, out := seq(n), make([]float64, n)
 		s := NewSession(Options{Workers: 2, BatchElems: 8, DynamicScheduling: dynamic, FallbackPolicy: FallbackWholeCall})
 		s.Call(errorOnNth(testLog1p, 2, "library says no"), saUnary("log1p"), n, a, out)
-		err := s.Evaluate()
+		err := s.EvaluateContext(context.Background())
 		if err == nil {
 			t.Fatal("want library error to propagate despite fallback policy")
 		}
@@ -244,7 +244,7 @@ func TestQuarantine(t *testing.T) {
 	fn := fnUnary(func(x float64) float64 { return x + 10 })
 
 	s.Call(fn, sa, n, a, out)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatalf("first Evaluate: %v", err)
 	}
 	for i, x := range seq(n) {
@@ -268,7 +268,7 @@ func TestQuarantine(t *testing.T) {
 	before := calls.Load()
 	out2 := make([]float64, n)
 	s.Call(fn, sa, n, a, out2)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatalf("second Evaluate: %v", err)
 	}
 	if calls.Load() != before {
@@ -303,7 +303,7 @@ func TestCancellationStopsSiblings(t *testing.T) {
 		}
 		s := NewSession(Options{Workers: 4, BatchElems: 1, DynamicScheduling: dynamic})
 		s.Call(slowThenFail(), saUnary("slow"), n, a, out)
-		err := s.Evaluate()
+		err := s.EvaluateContext(context.Background())
 		if err == nil {
 			t.Fatal("want error")
 		}
@@ -329,7 +329,7 @@ func TestStageTimeout(t *testing.T) {
 	}
 	s := NewSession(Options{Workers: 2, BatchElems: 1, StageTimeout: 20 * time.Millisecond})
 	s.Call(slow, saUnary("slow"), n, a, out)
-	err := s.Evaluate()
+	err := s.EvaluateContext(context.Background())
 	if err == nil {
 		t.Fatal("want timeout error")
 	}
@@ -389,14 +389,14 @@ func TestPoisonedFutures(t *testing.T) {
 	s := NewSession(Options{Workers: 2})
 
 	okFut := s.Call(fnAddNew, saAddNew, a, b)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatalf("first Evaluate: %v", err)
 	}
 
 	badFut := s.Call(func(args []any) (any, error) {
 		return nil, errors.New("round two fails")
 	}, saAddNew, a, b)
-	err := s.Evaluate()
+	err := s.EvaluateContext(context.Background())
 	if err == nil {
 		t.Fatal("want second Evaluate to fail")
 	}
@@ -425,7 +425,7 @@ func TestPoisonedFutures(t *testing.T) {
 		t.Errorf("poisoned error should unwrap to the StageError cause: %v", gerr)
 	}
 	// Further evaluation attempts keep failing with the sticky error.
-	if err2 := s.Evaluate(); err2 == nil {
+	if err2 := s.EvaluateContext(context.Background()); err2 == nil {
 		t.Error("broken session accepted another Evaluate")
 	}
 }
@@ -466,7 +466,7 @@ func TestPedantic(t *testing.T) {
 			a, b, out := seq(n), seq(n/2), make([]float64, n)
 			s := NewSession(Options{Workers: 2, Pedantic: true, DynamicScheduling: dynamic})
 			s.Call(testAdd, saBinary("add"), n, a, b, out)
-			err := s.Evaluate()
+			err := s.EvaluateContext(context.Background())
 			if err == nil {
 				t.Fatal("want element-count mismatch error")
 			}
@@ -483,7 +483,7 @@ func TestPedantic(t *testing.T) {
 		t.Run("zero elements", func(t *testing.T) {
 			s := NewSession(Options{Workers: 2, Pedantic: true, DynamicScheduling: dynamic})
 			s.Call(testLog1p, saUnary("log1p"), 0, []float64{}, []float64{})
-			err := s.Evaluate()
+			err := s.EvaluateContext(context.Background())
 			if err == nil {
 				t.Fatal("want zero-elements error in pedantic mode")
 			}
@@ -509,7 +509,7 @@ func TestPedantic(t *testing.T) {
 			}
 			s := NewSession(Options{Workers: 2, Pedantic: true, DynamicScheduling: dynamic})
 			s.Call(func(args []any) (any, error) { return nil, nil }, sa, 16, seq(16))
-			err := s.Evaluate()
+			err := s.EvaluateContext(context.Background())
 			if err == nil {
 				t.Fatal("want nil-piece error in pedantic mode")
 			}
@@ -524,7 +524,7 @@ func TestPedantic(t *testing.T) {
 			s := NewSession(Options{Workers: 2, Pedantic: true, DynamicScheduling: dynamic})
 			mid := s.Call(func(args []any) (any, error) { return nil, nil }, saRetNil, a)
 			s.Call(fnAddNew, saAddNew, mid, a).Keep()
-			err := s.Evaluate()
+			err := s.EvaluateContext(context.Background())
 			if err == nil {
 				t.Fatal("want nil-piece error for downstream call argument")
 			}
@@ -536,7 +536,7 @@ func TestPedantic(t *testing.T) {
 		t.Run("pedantic errors never fall back", func(t *testing.T) {
 			s := NewSession(Options{Workers: 2, Pedantic: true, DynamicScheduling: dynamic, FallbackPolicy: FallbackWholeCall})
 			s.Call(testLog1p, saUnary("log1p"), 0, []float64{}, []float64{})
-			if err := s.Evaluate(); err == nil {
+			if err := s.EvaluateContext(context.Background()); err == nil {
 				t.Fatal("fallback policy masked a pedantic error")
 			}
 			if got := s.Stats().FallbackStages; got != 0 {
@@ -568,7 +568,7 @@ var saWholePanic = &Annotation{
 func TestWholeCallPanicIsolatedNoFallback(t *testing.T) {
 	s := NewSession(Options{Workers: 2, FallbackPolicy: FallbackWholeCall})
 	s.Call(func(args []any) (any, error) { panic("whole-call panic") }, saWholePanic, seq(8))
-	err := s.Evaluate()
+	err := s.EvaluateContext(context.Background())
 	if err == nil {
 		t.Fatal("want error from whole-call panic")
 	}
@@ -597,7 +597,7 @@ func TestFallbackPanicInSplitter(t *testing.T) {
 	sp := flakySplitter{calls: &calls, failN: 2, mode: "panic"}
 	s := NewSession(Options{Workers: 2, BatchElems: 8, FallbackPolicy: FallbackWholeCall})
 	s.Call(fnUnary(func(x float64) float64 { return x - 1 }), saFlakyUnary("minus1", sp), n, a, out)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatalf("Evaluate: %v", err)
 	}
 	for i, x := range seq(n) {
@@ -688,7 +688,7 @@ func TestRetryTransientCallReplaysBatch(t *testing.T) {
 			s := NewSession(Options{Workers: 2, BatchElems: 8,
 				DynamicScheduling: dynamic, RetryPolicy: retry})
 			s.Call(accumulateOnce(failOn, &calls), saUnary("acc"), n, a, out)
-			err := s.Evaluate()
+			err := s.EvaluateContext(context.Background())
 			return out, s.Stats(), err
 		}
 
@@ -760,7 +760,7 @@ func TestRetryExhaustedEscalatesToFallback(t *testing.T) {
 			FallbackPolicy:    FallbackWholeCall,
 			RetryPolicy:       RetryPolicy{MaxAttempts: 2, Sleep: noSleep}})
 		f := s.Call(fn, sa, n, a)
-		if err := s.Evaluate(); err != nil {
+		if err := s.EvaluateContext(context.Background()); err != nil {
 			t.Fatalf("fallback should absorb the exhausted retries: %v", err)
 		}
 		v, err := f.Get()
@@ -792,7 +792,7 @@ func TestRetryPermanentErrorNotRetried(t *testing.T) {
 	s := NewSession(Options{Workers: 1, BatchElems: 8,
 		RetryPolicy: RetryPolicy{MaxAttempts: 5, Sleep: noSleep}})
 	s.Call(errorOnNth(testLog1p, 2, "permanent library error"), saUnary("log1p"), n, a, out)
-	if err := s.Evaluate(); err == nil {
+	if err := s.EvaluateContext(context.Background()); err == nil {
 		t.Fatal("want the permanent error to fail Evaluate")
 	}
 	if got := s.Stats().RetriedBatches; got != 0 {
@@ -846,7 +846,7 @@ func TestBreakerHalfOpenRecovery(t *testing.T) {
 		t.Helper()
 		a, out := seq(n), make([]float64, n)
 		s.Call(testLog1p, saFlakyUnary("flaky", sp), n, a, out)
-		if err := s.Evaluate(); err != nil {
+		if err := s.EvaluateContext(context.Background()); err != nil {
 			t.Fatalf("evaluate: %v", err)
 		}
 		for i := range out {
@@ -924,7 +924,7 @@ func TestBreakerFailedProbeReopens(t *testing.T) {
 		t.Helper()
 		a, out := seq(n), make([]float64, n)
 		s.Call(testLog1p, saFlakyUnary("flaky", sp), n, a, out)
-		if err := s.Evaluate(); err != nil {
+		if err := s.EvaluateContext(context.Background()); err != nil {
 			t.Fatalf("evaluate: %v", err)
 		}
 	}
@@ -1062,7 +1062,7 @@ func TestGovernorSharedBudgetTwoSessions(t *testing.T) {
 		s := NewSession(Options{Workers: 2, Governor: g, DynamicScheduling: dynamic})
 		for round := 0; round < 2; round++ {
 			s.Call(probed, saUnary("acc"), n, a, out)
-			if err := s.Evaluate(); err != nil {
+			if err := s.EvaluateContext(context.Background()); err != nil {
 				return nil, err
 			}
 		}
@@ -1119,7 +1119,7 @@ func TestStatsReadDuringEvaluation(t *testing.T) {
 			_ = s.stats.Total()
 		}
 	}()
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	<-done

@@ -50,6 +50,7 @@ type Session struct {
 	nextID    int
 	broken    error       // sticky evaluation error
 	breakers  *breakerSet // per-annotation circuit breakers (FallbackQuarantine)
+	sim       simCounters // plan-signature cache for simulated counters
 }
 
 // NewSession creates a session with the given options.
@@ -294,6 +295,9 @@ func (s *Session) EvaluateContext(ctx context.Context) error {
 	}
 	if s.opts.OnPlan != nil {
 		s.opts.OnPlan(plan.ir)
+	}
+	if s.opts.SimulateCounters && tr != nil {
+		s.emitSimCounters(tr, plan.ir)
 	}
 
 	if err := s.execute(ctx, plan); err != nil {

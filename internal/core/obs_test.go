@@ -54,7 +54,7 @@ func TestTracerStageOrder(t *testing.T) {
 			DynamicScheduling: dynamic, Tracer: tr})
 		s.Call(testLog1p, saUnary("log1p"), n, a, out)
 		s.Call(testLog1p, saUnary("log1p"), n, out, out)
-		if err := s.Evaluate(); err != nil {
+		if err := s.EvaluateContext(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 
@@ -132,7 +132,7 @@ func TestTracerWorkerLanesDisjoint(t *testing.T) {
 	a, out := seq(n), make([]float64, n)
 	s := NewSession(Options{Workers: 3, BatchElems: 8, Tracer: tr})
 	s.Call(testLog1p, saUnary("log1p"), n, a, out)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -179,7 +179,7 @@ func TestNilTracerInert(t *testing.T) {
 		a, out := seq(n), make([]float64, n)
 		s := NewSession(Options{Workers: 2, BatchElems: 8, Tracer: tr})
 		s.Call(testLog1p, saUnary("log1p"), n, a, out)
-		if err := s.Evaluate(); err != nil {
+		if err := s.EvaluateContext(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		return out, s.Stats()
@@ -211,7 +211,7 @@ func TestTracerRetryEvents(t *testing.T) {
 	s := NewSession(Options{Workers: 2, BatchElems: 8, Tracer: tr,
 		RetryPolicy: RetryPolicy{MaxAttempts: 3, Sleep: noSleep}})
 	s.Call(accumulateOnce(3, &calls), saUnary("acc"), n, a, out)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -246,7 +246,7 @@ func TestTracerFallbackEvent(t *testing.T) {
 	s := NewSession(Options{Workers: 2, BatchElems: 8, Tracer: tr,
 		FallbackPolicy: FallbackWholeCall})
 	s.Call(testLog1p, saFlakyUnary("flaky", sp), n, a, out)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for i := range out {
@@ -288,7 +288,7 @@ func TestTracerBreakerEvents(t *testing.T) {
 		t.Helper()
 		a, out := seq(n), make([]float64, n)
 		s.Call(testLog1p, saFlakyUnary("flaky", sp), n, a, out)
-		if err := s.Evaluate(); err != nil {
+		if err := s.EvaluateContext(context.Background()); err != nil {
 			t.Fatalf("evaluate: %v", err)
 		}
 	}
@@ -326,7 +326,7 @@ func TestTracerAdmissionEvent(t *testing.T) {
 	s := NewSession(Options{Workers: 2, BatchElems: 8, Tracer: tr,
 		Governor: NewGovernor(1 << 30)})
 	s.Call(testLog1p, saUnary("log1p"), n, a, out)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	adm := tr.ofKind(obs.EvAdmission)
@@ -387,6 +387,77 @@ func TestEvaluateContextCancelMidStage(t *testing.T) {
 	})
 }
 
+// TestSimulateCountersEvents: under Options.SimulateCounters every traced
+// evaluation emits one stage-counters event per plan stage, carrying a
+// non-trivial memsim replay of the real plan, keyed so metric sinks fold
+// it into the executed stage's row. The second identical evaluation hits
+// the plan-signature cache and emits identical counters.
+func TestSimulateCountersEvents(t *testing.T) {
+	const n = 4096
+	tr := &recordingTracer{}
+	metrics := obs.NewMetrics()
+	a, out := seq(n), make([]float64, n)
+	s := NewSession(Options{Workers: 2, BatchElems: 512,
+		Tracer: obs.Multi(tr, metrics), SimulateCounters: true})
+	eval := func() {
+		t.Helper()
+		s.Call(testLog1p, saUnary("log1p"), n, a, out)
+		s.Call(testLog1p, saUnary("log1p"), n, out, out)
+		if err := s.EvaluateContext(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eval()
+
+	evs := tr.ofKind(obs.EvStageCounters)
+	if len(evs) != 1 {
+		t.Fatalf("stage-counters events = %d, want 1 (one pipelined stage)", len(evs))
+	}
+	e := evs[0]
+	if e.Stage != 0 || e.Worker != obs.RuntimeLane {
+		t.Errorf("event placement %+v", e)
+	}
+	if e.Calls != "log1p -> log1p" {
+		t.Errorf("event calls = %q, want the executed pipeline", e.Calls)
+	}
+	c := e.Counters
+	if c.Zero() {
+		t.Fatal("counters are all zero")
+	}
+	if c.L1Hits+c.L1Misses == 0 || c.DRAMBytes <= 0 || c.ModelNS <= 0 {
+		t.Errorf("counters not populated: %+v", c)
+	}
+	// Accesses flow down the hierarchy: L2 sees at most L1's misses.
+	if c.L2Hits+c.L2Misses > c.L1Misses {
+		t.Errorf("L2 accesses (%d) exceed L1 misses (%d)", c.L2Hits+c.L2Misses, c.L1Misses)
+	}
+
+	// The metrics sink folded the counters into the executed stage's row.
+	sn := metrics.Snapshot()
+	if len(sn.Stages) != 1 {
+		t.Fatalf("metrics stages = %d, want 1 (sim row merged with executed row)", len(sn.Stages))
+	}
+	if sn.Stages[0].Sim != c {
+		t.Errorf("metrics sim row %+v != emitted counters %+v", sn.Stages[0].Sim, c)
+	}
+	if sn.Stages[0].Batches == 0 {
+		t.Error("the merged row lost the measured counters")
+	}
+
+	// Second identical evaluation: cached simulation, identical counters.
+	eval()
+	evs = tr.ofKind(obs.EvStageCounters)
+	if len(evs) != 2 {
+		t.Fatalf("stage-counters events after second eval = %d, want 2", len(evs))
+	}
+	if evs[1].Counters != c {
+		t.Errorf("cached replay differs: %+v vs %+v", evs[1].Counters, c)
+	}
+	if got := len(s.sim.cache); got != 1 {
+		t.Errorf("plan-signature cache entries = %d, want 1", got)
+	}
+}
+
 // BenchmarkEvaluatePipeline measures a three-call pipelined evaluation with
 // tracing disabled (the nil-tracer fast path) and with both shipped sinks
 // attached, so the per-batch tracing overhead is visible in benchstat.
@@ -400,7 +471,7 @@ func BenchmarkEvaluatePipeline(b *testing.B) {
 			s := NewSession(Options{Workers: 2, BatchElems: 4096, Tracer: mk()})
 			s.Call(testLog1p, saUnary("log1p"), n, a, out)
 			s.Call(testLog1p, saUnary("log1p"), n, out, out)
-			if err := s.Evaluate(); err != nil {
+			if err := s.EvaluateContext(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 		}

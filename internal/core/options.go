@@ -120,6 +120,14 @@ type Options struct {
 	// IR is a snapshot — mutating it does not affect execution. For a
 	// plan without evaluating, use Session.Plan.
 	OnPlan func(*ir.Plan)
+	// SimulateCounters, with a Tracer set, lowers each evaluation's plan
+	// IR into the memsim machine model and emits per-stage simulated
+	// hardware counters (L1/L2/LLC hits and misses, DRAM bytes, modeled
+	// runtime) as stage-counters events before execution. Metric sinks
+	// fold them into the same per-stage rows as the measured counters.
+	// Results are cached by plan rendering, so iterative workloads
+	// simulate each distinct plan shape once. No effect without a Tracer.
+	SimulateCounters bool
 }
 
 // batchPolicy is the §5.2 batch rule these options denote, as recorded in

@@ -345,4 +345,3 @@ func (s *Session) classifyStages(p *plan, peek bool) {
 		}
 	}
 }
-

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -282,7 +283,7 @@ func TestPedanticNilPiece(t *testing.T) {
 	sa := &Annotation{FuncName: "f", Params: []Param{{Name: "a", Type: nilSplit}}}
 	s := NewSession(Options{Workers: 1, Pedantic: true})
 	s.Call(func(args []any) (any, error) { return nil, nil }, sa, seq(8))
-	if err := s.Evaluate(); err == nil {
+	if err := s.EvaluateContext(context.Background()); err == nil {
 		t.Fatal("pedantic mode should reject nil pieces")
 	}
 }
@@ -345,7 +346,7 @@ func TestMismatchedElementCounts(t *testing.T) {
 	a, b := seq(100), seq(50)
 	s := NewSession(Options{Workers: 2})
 	s.Call(fnAddNew, saAddNew, a, b)
-	if err := s.Evaluate(); err == nil {
+	if err := s.EvaluateContext(context.Background()); err == nil {
 		t.Fatal("mismatched element counts must fail")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -53,7 +54,7 @@ func TestQuickPipelineEquivalence(t *testing.T) {
 				}
 			}
 		}
-		if err := s.Evaluate(); err != nil {
+		if err := s.EvaluateContext(context.Background()); err != nil {
 			t.Logf("evaluate: %v", err)
 			return false
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"strings"
@@ -31,7 +32,7 @@ func TestInPlacePipeline(t *testing.T) {
 	s.Call(testLog1p, saUnary("vdLog1p"), n, d1, d1)
 	s.Call(testAdd, saBinary("vdAdd"), n, d1, tmp, d1)
 	s.Call(testDiv, saBinary("vdDiv"), n, d1, vol, d1)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if !almostEqual(d1, want) {
@@ -105,7 +106,7 @@ func TestBroadcastScalar(t *testing.T) {
 	}
 	s := newTestSession(4)
 	s.Call(fnScale, saScale, a, 3.0)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if !almostEqual(a, want) {
@@ -220,7 +221,7 @@ func TestDisablePipelining(t *testing.T) {
 	s := NewSession(Options{Workers: 4, BatchElems: 64, DisablePipelining: true})
 	s.Call(testLog1p, saUnary("vdLog1p"), n, d1, d1)
 	s.Call(testAdd, saBinary("vdAdd"), n, d1, tmp, d1)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if !almostEqual(d1, want) {
@@ -236,12 +237,12 @@ func TestSessionReuse(t *testing.T) {
 	a := seq(128)
 	s := newTestSession(2)
 	s.Call(fnScale, saScale, a, 2.0)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	first := append([]float64(nil), a...)
 	s.Call(fnScale, saScale, a, 0.5)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for i := range a {
@@ -316,7 +317,7 @@ func TestMutAfterRead(t *testing.T) {
 // TestEvaluateNoPending is a no-op.
 func TestEvaluateNoPending(t *testing.T) {
 	s := newTestSession(1)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -351,7 +352,7 @@ func TestFunctionErrorPropagates(t *testing.T) {
 		t.Fatalf("want boom, got %v", err)
 	}
 	// The session is broken; further evaluation reports the same error.
-	if err := s.Evaluate(); err == nil {
+	if err := s.EvaluateContext(context.Background()); err == nil {
 		t.Fatal("broken session should keep failing")
 	}
 }
@@ -369,7 +370,7 @@ func TestMutMissingRejectedInSplitStage(t *testing.T) {
 	}
 	s := newTestSession(1)
 	s.Call(func(args []any) (any, error) { return nil, nil }, bad, seq(4), seq(1))
-	if err := s.Evaluate(); err == nil {
+	if err := s.EvaluateContext(context.Background()); err == nil {
 		t.Fatal("mut + missing in a split stage should be rejected")
 	}
 }
@@ -392,7 +393,7 @@ func TestMutMissingAllowedWhole(t *testing.T) {
 		}
 		return nil, nil
 	}, whole, a)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for _, x := range a {
@@ -432,7 +433,7 @@ func TestUnknownParamRejected(t *testing.T) {
 	}
 	s := newTestSession(1)
 	s.Call(func(args []any) (any, error) { return nil, nil }, bad, seq(4))
-	if err := s.Evaluate(); err == nil {
+	if err := s.EvaluateContext(context.Background()); err == nil {
 		t.Fatal("unknown parameter type should be rejected")
 	}
 }
@@ -464,7 +465,7 @@ func TestStatsString(t *testing.T) {
 		t.Error("empty stats string")
 	}
 	s.Call(fnScale, saScale, seq(10), 1.0)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	st := s.Stats()
@@ -481,7 +482,7 @@ func TestLogging(t *testing.T) {
 	var lines int
 	s := NewSession(Options{Workers: 1, BatchElems: 25, Logf: func(string, ...any) { lines++ }})
 	s.Call(fnScale, saScale, seq(100), 2.0)
-	if err := s.Evaluate(); err != nil {
+	if err := s.EvaluateContext(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if lines != 4 {
@@ -556,5 +557,26 @@ func TestDynamicSchedulingErrors(t *testing.T) {
 	f := s.Call(bad, saFilterPos, seq(100))
 	if _, err := f.Get(); err == nil || !strings.Contains(err.Error(), "dyn boom") {
 		t.Fatalf("want dyn boom, got %v", err)
+	}
+}
+
+// TestDeprecatedEvaluateCompat pins the deprecated zero-argument Evaluate
+// shim: it must keep behaving exactly like EvaluateContext(Background) for
+// existing callers until the alias is removed. This is the one sanctioned
+// use in the tree; everything else goes through the deprecation gate
+// (cmd/depcheck / staticcheck in make ci).
+func TestDeprecatedEvaluateCompat(t *testing.T) {
+	a := seq(64)
+	want := make([]float64, len(a))
+	for i := range want {
+		want[i] = a[i] * 2
+	}
+	s := newTestSession(2)
+	s.Call(fnScale, saScale, a, 2.0)
+	if err := s.Evaluate(); err != nil { // deprecated-ok: compat coverage
+		t.Fatal(err)
+	}
+	if !almostEqual(a, want) {
+		t.Fatalf("deprecated Evaluate produced wrong result")
 	}
 }

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mozart/internal/memsim"
+	"mozart/internal/obs"
+	ir "mozart/internal/plan"
+	"mozart/internal/planlower"
+)
+
+// Simulated hardware counters (Options.SimulateCounters): each
+// evaluation's plan IR is lowered into the memsim machine model
+// (internal/planlower) and replayed through the simulated cache
+// hierarchy, and the per-stage L1/L2/LLC hit/miss counts, DRAM traffic,
+// and modeled runtime are emitted as EvStageCounters events on the
+// session's tracer. Metric sinks fold them into the same per-stage rows
+// as the measured counters, so a /metrics scrape shows measured and
+// modeled behaviour side by side.
+//
+// Simulation cost is bounded two ways: the machine model caps the traced
+// element count (Machine.SimMaxElems), and the session caches results by
+// plan rendering — iterative workloads that evaluate the same shape every
+// round (the paper's haversine/CRIME loops) simulate once and replay the
+// cached counters thereafter.
+
+// simCounters is the session's per-plan-signature cache.
+type simCounters struct {
+	cache map[string][]obs.CacheCounters
+}
+
+// planSignature is the cache key: everything the counter simulation
+// depends on — stage pipelines, split labels, element counts and widths,
+// the batch policy — but not binding ids, which shift between otherwise
+// identical evaluations (plan.Render is therefore NOT a usable key).
+func planSignature(p *ir.Plan, workers int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "w%d|b%d/%g/%d|pipe%v", workers,
+		p.Batch.FixedElems, p.Batch.Constant, p.Batch.L2CacheBytes, p.Pipelining)
+	for i := range p.Stages {
+		st := &p.Stages[i]
+		fmt.Fprintf(&b, ";%v[%s|%s|e%d|%v]", st.Kind, st.Pipeline(),
+			st.SplitLabel(), st.Elems(), st.InputWidths())
+	}
+	return b.String()
+}
+
+// emitSimCounters simulates (or recalls) the plan's per-stage counters
+// and emits one EvStageCounters event per stage. Called between the plan
+// event and execution; never fails the evaluation — a plan the lowering
+// cannot size (unknown element counts) simply emits nothing.
+func (s *Session) emitSimCounters(tr obs.Tracer, p *ir.Plan) {
+	key := planSignature(p, s.opts.Workers)
+	counters, ok := s.sim.cache[key]
+	if !ok {
+		per := planlower.SimulateCounters(p, planlower.Options{Name: "live"},
+			memsim.DefaultMachine(), s.opts.Workers)
+		counters = make([]obs.CacheCounters, len(per))
+		for i, c := range per {
+			counters[i] = obs.CacheCounters{
+				L1Hits: c.L1Hits, L1Misses: c.L1Misses,
+				L2Hits: c.L2Hits, L2Misses: c.L2Misses,
+				LLCHits: c.LLCHits, LLCMisses: c.LLCMisses,
+				DRAMBytes: c.DRAMBytes,
+				ModelNS:   int64(c.Seconds * 1e9),
+			}
+		}
+		if s.sim.cache == nil {
+			s.sim.cache = map[string][]obs.CacheCounters{}
+		}
+		s.sim.cache[key] = counters
+	}
+	now := time.Now()
+	for i, c := range counters {
+		if i >= len(p.Stages) {
+			break
+		}
+		tr.Emit(obs.Event{Kind: obs.EvStageCounters, Time: now, Stage: i,
+			Worker: obs.RuntimeLane, Calls: p.Stages[i].Pipeline(),
+			Split: p.Stages[i].SplitLabel(), Counters: c})
+	}
+}

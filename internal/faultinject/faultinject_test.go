@@ -1,6 +1,7 @@
 package faultinject_test
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -275,7 +276,7 @@ func TestTransientRetryEndToEnd(t *testing.T) {
 		})
 		s := core.NewSession(core.Options{Workers: 2, BatchElems: 8, RetryPolicy: retry})
 		s.Call(fn, sa, a, out)
-		err := s.Evaluate()
+		err := s.EvaluateContext(context.Background())
 		return out, s.Stats(), err
 	}
 

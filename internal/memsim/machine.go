@@ -69,6 +69,30 @@ type Workload struct {
 	Stages []Stage
 }
 
+// StageCounters are the simulated hardware counters of one workload stage:
+// per-level cache hits and misses from the representative thread's access
+// trace, plus the full-size, all-thread DRAM traffic and the stage's modeled
+// runtime. They are the per-stage analogue of the Table 4 columns, and the
+// payload the runtime's telemetry exports per stage (obs.EvStageCounters).
+type StageCounters struct {
+	L1Hits    int64   `json:"l1_hits"`
+	L1Misses  int64   `json:"l1_misses"`
+	L2Hits    int64   `json:"l2_hits"`
+	L2Misses  int64   `json:"l2_misses"`
+	LLCHits   int64   `json:"llc_hits"`
+	LLCMisses int64   `json:"llc_misses"`
+	DRAMBytes int64   `json:"dram_bytes"` // full size, all threads
+	Seconds   float64 `json:"seconds"`    // modeled stage runtime
+}
+
+// LLCMissRate returns LLC misses over LLC accesses (0 when idle).
+func (c StageCounters) LLCMissRate() float64 {
+	if acc := c.LLCHits + c.LLCMisses; acc > 0 {
+		return float64(c.LLCMisses) / float64(acc)
+	}
+	return 0
+}
+
 // Result reports the modeled execution.
 type Result struct {
 	Seconds        float64
@@ -81,6 +105,8 @@ type Result struct {
 	IPC            float64
 	Instructions   float64
 	Cycles         float64
+	// PerStage holds one counter set per workload stage, in stage order.
+	PerStage []StageCounters
 }
 
 // MemoryBound reports whether the modeled run was limited by DRAM
@@ -226,6 +252,21 @@ func Run(m Machine, w Workload, threads int) Result {
 		res.LLCAccesses += h.LLC.Accesses
 		llcAccTotal += h.LLC.Accesses
 		llcMissTotal += h.LLC.Misses
+
+		// Per-stage counters: hit/miss counts come from the representative
+		// thread's (possibly scaled-down) trace — their ratios are the
+		// meaningful signal — while DRAM bytes are scaled back to full size
+		// and all threads, matching the aggregate accounting above.
+		res.PerStage = append(res.PerStage, StageCounters{
+			L1Hits:    h.L1.Accesses - h.L1.Misses,
+			L1Misses:  h.L1.Misses,
+			L2Hits:    h.L2.Accesses - h.L2.Misses,
+			L2Misses:  h.L2.Misses,
+			LLCHits:   h.LLC.Accesses - h.LLC.Misses,
+			LLCMisses: h.LLC.Misses,
+			DRAMBytes: int64(dramTotal),
+			Seconds:   stageSecs,
+		})
 
 		// Instruction model: MaxIPC instructions per modeled cycle.
 		res.Instructions += cycles * m.MaxIPC

@@ -38,24 +38,74 @@ type StageMetrics struct {
 	Fallbacks       int64 `json:"fallbacks"`
 	AdmissionWaitNS int64 `json:"admission_wait_ns"`
 	Errors          int64 `json:"errors"`
+
+	// Sim accumulates the stage's simulated hardware counters
+	// (EvStageCounters): the plan IR lowered into the memsim machine model.
+	// All-zero when the session does not simulate counters.
+	Sim CacheCounters `json:"sim"`
+}
+
+// evalLatencyBucketsLE are the upper bounds, in seconds, of the evaluate
+// latency histogram (Prometheus-style cumulative buckets; the implicit
+// +Inf bucket is LatencyHistogram.Count).
+var evalLatencyBucketsLE = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// LatencyHistogram is a fixed-bucket latency distribution. Counts[i] holds
+// the observations with latency <= BucketsLE[i] seconds that exceeded
+// BucketsLE[i-1]; observations above the last bound are only in Count.
+type LatencyHistogram struct {
+	BucketsLE  []float64 `json:"buckets_le"`
+	Counts     []int64   `json:"counts"`
+	Count      int64     `json:"count"`
+	SumSeconds float64   `json:"sum_seconds"`
+}
+
+func (h *LatencyHistogram) observe(seconds float64) {
+	if h.BucketsLE == nil {
+		h.BucketsLE = evalLatencyBucketsLE
+		h.Counts = make([]int64, len(evalLatencyBucketsLE))
+	}
+	h.Count++
+	h.SumSeconds += seconds
+	for i, le := range h.BucketsLE {
+		if seconds <= le {
+			h.Counts[i]++
+			break
+		}
+	}
+}
+
+// clone returns a deep copy safe to hand out of the sink's lock.
+func (h LatencyHistogram) clone() LatencyHistogram {
+	h.BucketsLE = append([]float64(nil), h.BucketsLE...)
+	h.Counts = append([]int64(nil), h.Counts...)
+	return h
 }
 
 // MetricsSnapshot is one consistent copy of everything a Metrics sink has
 // aggregated.
 type MetricsSnapshot struct {
 	Evaluations int64          `json:"evaluations"`
+	Errors      int64          `json:"errors"`                        // evaluations that ended in an error
 	Breaker     map[string]int `json:"breaker_transitions,omitempty"` // state -> count
-	Stages      []StageMetrics `json:"stages"`
+	// EvalLatency is the evaluate-duration distribution (session-end spans).
+	EvalLatency LatencyHistogram `json:"eval_latency"`
+	Stages      []StageMetrics   `json:"stages"`
 }
 
 // Metrics is an aggregating sink: it folds the event stream into per-stage
 // counters. Emit is concurrency-safe and does constant work; read the
 // result with Snapshot, render it with String, or export it with Publish.
 type Metrics struct {
-	mu     sync.Mutex
-	evals  int64
-	brk    map[string]int
-	stages map[string]*StageMetrics
+	mu      sync.Mutex
+	evals   int64
+	errors  int64
+	brk     map[string]int
+	stages  map[string]*StageMetrics
+	latency LatencyHistogram
 }
 
 // NewMetrics returns an empty metrics sink.
@@ -80,6 +130,11 @@ func (m *Metrics) Emit(e Event) {
 	switch e.Kind {
 	case EvSessionBegin:
 		m.evals++
+	case EvSessionEnd:
+		m.latency.observe(e.Dur.Seconds())
+		if e.Detail != "" {
+			m.errors++
+		}
 	case EvStageBegin:
 		sm := m.stage(e)
 		sm.Runs++
@@ -111,6 +166,8 @@ func (m *Metrics) Emit(e Event) {
 		m.stage(e).Fallbacks++
 	case EvBreaker:
 		m.brk[e.Detail]++
+	case EvStageCounters:
+		m.stage(e).Sim.add(e.Counters)
 	}
 }
 
@@ -119,7 +176,7 @@ func (m *Metrics) Emit(e Event) {
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := MetricsSnapshot{Evaluations: m.evals}
+	out := MetricsSnapshot{Evaluations: m.evals, Errors: m.errors, EvalLatency: m.latency.clone()}
 	if len(m.brk) > 0 {
 		out.Breaker = make(map[string]int, len(m.brk))
 		for k, v := range m.brk {
@@ -163,13 +220,55 @@ func (m *Metrics) String() string {
 			s.Retries, s.Fallbacks, time.Duration(s.AdmissionWaitNS))
 	}
 	w.Flush()
+
+	// Simulated hardware counters, when any stage carries them.
+	var anySim bool
+	for _, s := range sn.Stages {
+		if !s.Sim.Zero() {
+			anySim = true
+			break
+		}
+	}
+	if anySim {
+		w = tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "stage\tcalls\tsim L1 miss\tsim L2 miss\tsim LLC miss\tsim DRAM bytes\tsim time")
+		missPct := func(hits, misses int64) string {
+			if hits+misses == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1f%%", 100*float64(misses)/float64(hits+misses))
+		}
+		for _, s := range sn.Stages {
+			if s.Sim.Zero() {
+				continue
+			}
+			fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%s\t%d\t%v\n",
+				s.Stage, s.Calls,
+				missPct(s.Sim.L1Hits, s.Sim.L1Misses),
+				missPct(s.Sim.L2Hits, s.Sim.L2Misses),
+				missPct(s.Sim.LLCHits, s.Sim.LLCMisses),
+				s.Sim.DRAMBytes, time.Duration(s.Sim.ModelNS))
+		}
+		w.Flush()
+	}
 	return b.String()
 }
 
+// publishMu serializes Publish calls so the exists-check and the
+// expvar.Publish are atomic with respect to each other.
+var publishMu sync.Mutex
+
 // Publish exports the sink under the given expvar name (served on
-// /debug/vars by net/http when expvar is imported). Each name can be
-// published once per process; expvar panics on duplicates, so use a
-// process-unique name.
+// /debug/vars by net/http when expvar is imported). Publish is idempotent:
+// expvar panics on duplicate names, so a name that is already taken —
+// whether by this sink or another variable — makes Publish a guarded
+// no-op instead of crashing the process (two sessions publishing under the
+// same default name is the common case).
 func (m *Metrics) Publish(name string) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
 	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
 }

@@ -70,6 +70,15 @@ const (
 	// EvFallback is a whole-call re-execution after an annotation fault;
 	// Dur spans the re-execution, Detail carries the original fault.
 	EvFallback
+	// EvStageCounters reports a stage's simulated hardware counters: the
+	// evaluation's plan IR lowered into the memsim machine model
+	// (internal/planlower) and replayed through the cache hierarchy.
+	// Counters carries the L1/L2/LLC hit/miss counts and DRAM bytes;
+	// Stage/Calls/Split identify the stage the same way EvStageBegin does,
+	// so metric sinks fold both into the same row. Emitted on the runtime
+	// lane, once per stage per evaluation, only under
+	// Options.SimulateCounters.
+	EvStageCounters
 )
 
 // String returns the kind's stable lowercase name.
@@ -97,6 +106,8 @@ func (k EventKind) String() string {
 		return "admission"
 	case EvFallback:
 		return "fallback"
+	case EvStageCounters:
+		return "stage-counters"
 	}
 	return "unknown"
 }
@@ -134,6 +145,41 @@ type Event struct {
 	Attempt    int   // retry attempt number
 
 	Detail string // human-readable extra: error text, breaker state, plan summary
+
+	// Counters is the simulated hardware-counter payload of
+	// EvStageCounters; zero for every other kind.
+	Counters CacheCounters
+}
+
+// CacheCounters are simulated per-stage hardware counters, produced by
+// lowering the evaluation's plan IR into the memsim machine model. Hit and
+// miss counts come from the representative thread's access trace (their
+// ratios are the signal); DRAMBytes is scaled to full size and all
+// threads; ModelNS is the stage's modeled runtime.
+type CacheCounters struct {
+	L1Hits    int64 `json:"l1_hits"`
+	L1Misses  int64 `json:"l1_misses"`
+	L2Hits    int64 `json:"l2_hits"`
+	L2Misses  int64 `json:"l2_misses"`
+	LLCHits   int64 `json:"llc_hits"`
+	LLCMisses int64 `json:"llc_misses"`
+	DRAMBytes int64 `json:"dram_bytes"`
+	ModelNS   int64 `json:"model_ns"`
+}
+
+// Zero reports whether no counter was recorded.
+func (c CacheCounters) Zero() bool { return c == CacheCounters{} }
+
+// add accumulates o into c.
+func (c *CacheCounters) add(o CacheCounters) {
+	c.L1Hits += o.L1Hits
+	c.L1Misses += o.L1Misses
+	c.L2Hits += o.L2Hits
+	c.L2Misses += o.L2Misses
+	c.LLCHits += o.LLCHits
+	c.LLCMisses += o.LLCMisses
+	c.DRAMBytes += o.DRAMBytes
+	c.ModelNS += o.ModelNS
 }
 
 // Tracer receives runtime events. Implementations must be safe for

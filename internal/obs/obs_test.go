@@ -188,7 +188,8 @@ func TestMetricsPublishExpvar(t *testing.T) {
 
 func TestEventKindString(t *testing.T) {
 	kinds := []EventKind{EvSessionBegin, EvSessionEnd, EvPlan, EvStageBegin,
-		EvStageEnd, EvBatch, EvMerge, EvRetry, EvBreaker, EvAdmission, EvFallback}
+		EvStageEnd, EvBatch, EvMerge, EvRetry, EvBreaker, EvAdmission, EvFallback,
+		EvStageCounters}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()

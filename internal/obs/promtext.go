@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) over a Metrics sink. The
+// renderer is dependency-free on purpose: the repo cannot vendor a client
+// library, and the text format is small enough to emit directly. Every
+// value is rendered straight from one MetricsSnapshot, so a scrape is
+// internally consistent and a test can hold the output value-for-value
+// equal to Snapshot().
+//
+// Naming follows Prometheus conventions: monotonically accumulating
+// fields are `_total` counters, last-observed shape fields (batch size,
+// workers, cache utilization) are gauges, and the evaluate latency is a
+// classic cumulative histogram. Per-stage series are labeled by
+// {stage, calls, split} — the same identity Metrics aggregates rows by.
+
+// promStageCounters lists the per-stage counter fields in render order:
+// name suffix, help text, and the value accessor.
+var promStageCounters = []struct {
+	name string
+	help string
+	val  func(*StageMetrics) float64
+}{
+	{"stage_runs_total", "Stage executions (one per evaluation).", func(s *StageMetrics) float64 { return float64(s.Runs) }},
+	{"stage_batches_total", "Batches executed.", func(s *StageMetrics) float64 { return float64(s.Batches) }},
+	{"stage_elems_total", "Elements processed.", func(s *StageMetrics) float64 { return float64(s.Elems) }},
+	{"stage_bytes_total", "Bytes moved under the paper's 5.2 model.", func(s *StageMetrics) float64 { return float64(s.Bytes) }},
+	{"stage_split_seconds_total", "Time in splitters' Split.", func(s *StageMetrics) float64 { return ns(s.SplitNS) }},
+	{"stage_task_seconds_total", "Time in library calls.", func(s *StageMetrics) float64 { return ns(s.TaskNS) }},
+	{"stage_merge_seconds_total", "Time in splitters' Merge.", func(s *StageMetrics) float64 { return ns(s.MergeNS) }},
+	{"stage_retries_total", "Batch replays after transient faults.", func(s *StageMetrics) float64 { return float64(s.Retries) }},
+	{"stage_fallbacks_total", "Whole-call fallback re-executions.", func(s *StageMetrics) float64 { return float64(s.Fallbacks) }},
+	{"stage_admission_wait_seconds_total", "Time waiting on the memory governor.", func(s *StageMetrics) float64 { return ns(s.AdmissionWaitNS) }},
+	{"stage_errors_total", "Stage executions that ended in an error.", func(s *StageMetrics) float64 { return float64(s.Errors) }},
+}
+
+// promStageGauges lists the last-observed per-stage shape fields.
+var promStageGauges = []struct {
+	name string
+	help string
+	val  func(*StageMetrics) float64
+}{
+	{"stage_batch_elems", "Last chosen batch size in elements.", func(s *StageMetrics) float64 { return float64(s.BatchElems) }},
+	{"stage_workers", "Last worker count.", func(s *StageMetrics) float64 { return float64(s.Workers) }},
+	{"stage_cache_utilization", "Batch working set over the C*L2 target.", func(s *StageMetrics) float64 { return s.CacheUtilization }},
+}
+
+// promStageSim lists the simulated hardware counters (memsim via
+// planlower; see EvStageCounters). Rendered only when a stage carries
+// non-zero counters, so sessions without SimulateCounters emit no sim
+// series.
+var promStageSim = []struct {
+	name string
+	help string
+	val  func(*StageMetrics) float64
+}{
+	{"stage_sim_l1_hits_total", "Simulated L1 cache hits (memsim trace).", func(s *StageMetrics) float64 { return float64(s.Sim.L1Hits) }},
+	{"stage_sim_l1_misses_total", "Simulated L1 cache misses (memsim trace).", func(s *StageMetrics) float64 { return float64(s.Sim.L1Misses) }},
+	{"stage_sim_l2_hits_total", "Simulated L2 cache hits (memsim trace).", func(s *StageMetrics) float64 { return float64(s.Sim.L2Hits) }},
+	{"stage_sim_l2_misses_total", "Simulated L2 cache misses (memsim trace).", func(s *StageMetrics) float64 { return float64(s.Sim.L2Misses) }},
+	{"stage_sim_llc_hits_total", "Simulated LLC hits (memsim trace).", func(s *StageMetrics) float64 { return float64(s.Sim.LLCHits) }},
+	{"stage_sim_llc_misses_total", "Simulated LLC misses (memsim trace).", func(s *StageMetrics) float64 { return float64(s.Sim.LLCMisses) }},
+	{"stage_sim_dram_bytes_total", "Simulated DRAM traffic, full size, all threads.", func(s *StageMetrics) float64 { return float64(s.Sim.DRAMBytes) }},
+	{"stage_sim_model_seconds_total", "Modeled stage runtime on the machine model.", func(s *StageMetrics) float64 { return ns(s.Sim.ModelNS) }},
+}
+
+func ns(v int64) float64 { return float64(v) / 1e9 }
+
+// WritePrometheus renders one consistent snapshot of the sink in the
+// Prometheus text exposition format. Mount it on an HTTP mux via
+// internal/obs/httpdebug, or call it directly from a custom handler.
+func (m *Metrics) WritePrometheus(w io.Writer) (int64, error) {
+	return m.Snapshot().WritePrometheus(w)
+}
+
+// PrometheusText renders the snapshot to a string (tests, debugging).
+func (m *Metrics) PrometheusText() string {
+	var b strings.Builder
+	m.WritePrometheus(&b)
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text format.
+func (sn MetricsSnapshot) WritePrometheus(w io.Writer) (int64, error) {
+	var b strings.Builder
+
+	header := func(name, typ, help string) {
+		fmt.Fprintf(&b, "# HELP mozart_%s %s\n# TYPE mozart_%s %s\n", name, help, name, typ)
+	}
+
+	header("evaluations_total", "counter", "Evaluate rounds observed.")
+	fmt.Fprintf(&b, "mozart_evaluations_total %s\n", promFloat(float64(sn.Evaluations)))
+	header("evaluation_errors_total", "counter", "Evaluate rounds that ended in an error.")
+	fmt.Fprintf(&b, "mozart_evaluation_errors_total %s\n", promFloat(float64(sn.Errors)))
+
+	if len(sn.Breaker) > 0 {
+		header("breaker_transitions_total", "counter", "Circuit-breaker state transitions by new state.")
+		states := make([]string, 0, len(sn.Breaker))
+		for s := range sn.Breaker {
+			states = append(states, s)
+		}
+		sort.Strings(states)
+		for _, s := range states {
+			fmt.Fprintf(&b, "mozart_breaker_transitions_total{state=%q} %s\n", s, promFloat(float64(sn.Breaker[s])))
+		}
+	}
+
+	// Evaluate latency histogram (cumulative, Prometheus convention).
+	h := sn.EvalLatency
+	if h.Count > 0 {
+		header("evaluate_duration_seconds", "histogram", "Wall-clock duration of Evaluate rounds.")
+		var cum int64
+		for i, le := range h.BucketsLE {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "mozart_evaluate_duration_seconds_bucket{le=%q} %d\n", promFloat(le), cum)
+		}
+		fmt.Fprintf(&b, "mozart_evaluate_duration_seconds_bucket{le=\"+Inf\"} %d\n", h.Count)
+		fmt.Fprintf(&b, "mozart_evaluate_duration_seconds_sum %s\n", promFloat(h.SumSeconds))
+		fmt.Fprintf(&b, "mozart_evaluate_duration_seconds_count %d\n", h.Count)
+	}
+
+	// Per-stage series, one metric family at a time (the exposition format
+	// requires all samples of a family to be consecutive).
+	stageSeries := func(fams []struct {
+		name string
+		help string
+		val  func(*StageMetrics) float64
+	}, typ string, include func(*StageMetrics) bool) {
+		for _, fam := range fams {
+			wrote := false
+			for i := range sn.Stages {
+				s := &sn.Stages[i]
+				if include != nil && !include(s) {
+					continue
+				}
+				if !wrote {
+					header(fam.name, typ, fam.help)
+					wrote = true
+				}
+				fmt.Fprintf(&b, "mozart_%s{stage=\"%d\",calls=%q,split=%q} %s\n",
+					fam.name, s.Stage, s.Calls, s.Split, promFloat(fam.val(s)))
+			}
+		}
+	}
+	stageSeries(promStageCounters, "counter", nil)
+	stageSeries(promStageGauges, "gauge", nil)
+	stageSeries(promStageSim, "counter", func(s *StageMetrics) bool { return !s.Sim.Zero() })
+
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// promFloat renders a sample value: integers without an exponent, other
+// values via the shortest round-trip representation (%g-style), matching
+// what Prometheus' own text parser accepts.
+func promFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

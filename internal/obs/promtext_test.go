@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promFeed extends the canonical event feed with the telemetry-only kinds:
+// simulated hardware counters for the stage, and a second evaluation that
+// ends in an error (so the errors counter and a second histogram
+// observation are exercised).
+func promFeed(base time.Time) []Event {
+	at := func(ms int) time.Time { return base.Add(time.Duration(ms) * time.Millisecond) }
+	feed := fixedFeed(base)
+	feed = append(feed,
+		Event{Kind: EvStageCounters, Time: at(12), Stage: 0, Worker: RuntimeLane,
+			Calls: "a -> b", Split: "SizeSplit<100>",
+			Counters: CacheCounters{
+				L1Hits: 900, L1Misses: 100,
+				L2Hits: 60, L2Misses: 40,
+				LLCHits: 30, LLCMisses: 10,
+				DRAMBytes: 64000, ModelNS: 1500000,
+			}},
+		Event{Kind: EvSessionBegin, Time: at(20), Stage: -1, Worker: RuntimeLane, Elems: 1},
+		Event{Kind: EvSessionEnd, Time: at(31), Dur: 11 * time.Millisecond, Stage: -1,
+			Worker: RuntimeLane, Detail: "stage 0: injected fault"},
+	)
+	return feed
+}
+
+// TestPrometheusGolden locks the exact text-exposition rendering.
+// Regenerate with `go test ./internal/obs -update` after an intentional
+// format change.
+func TestPrometheusGolden(t *testing.T) {
+	m := NewMetrics()
+	for _, e := range promFeed(time.Unix(0, 0)) {
+		m.Emit(e)
+	}
+	got := []byte(m.PrometheusText())
+
+	golden := filepath.Join("testdata", "promtext.golden")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("prometheus text differs from %s;\ngot:\n%s", golden, got)
+	}
+}
+
+// parseProm parses the text exposition format into sample name (including
+// the label block, verbatim) -> value.
+func parseProm(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable sample line: %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		key := line[:sp]
+		if _, dup := samples[key]; dup {
+			t.Fatalf("duplicate sample %q", key)
+		}
+		samples[key] = v
+	}
+	return samples
+}
+
+// TestPrometheusMatchesSnapshot holds the /metrics rendering value-for-value
+// equal to Metrics.Snapshot, including the simulated hardware-counter
+// fields. Every snapshot field with a Prometheus series must round-trip
+// exactly; every rendered sample must be accounted for.
+func TestPrometheusMatchesSnapshot(t *testing.T) {
+	m := NewMetrics()
+	for _, e := range promFeed(time.Unix(0, 0)) {
+		m.Emit(e)
+	}
+	sn := m.Snapshot()
+	samples := parseProm(t, m.PrometheusText())
+
+	want := map[string]float64{
+		"mozart_evaluations_total":       float64(sn.Evaluations),
+		"mozart_evaluation_errors_total": float64(sn.Errors),
+	}
+	for state, n := range sn.Breaker {
+		want[fmt.Sprintf("mozart_breaker_transitions_total{state=%q}", state)] = float64(n)
+	}
+
+	h := sn.EvalLatency
+	var cum int64
+	for i, le := range h.BucketsLE {
+		cum += h.Counts[i]
+		want[fmt.Sprintf("mozart_evaluate_duration_seconds_bucket{le=%q}", promFloat(le))] = float64(cum)
+	}
+	want[`mozart_evaluate_duration_seconds_bucket{le="+Inf"}`] = float64(h.Count)
+	want["mozart_evaluate_duration_seconds_sum"] = h.SumSeconds
+	want["mozart_evaluate_duration_seconds_count"] = float64(h.Count)
+
+	for i := range sn.Stages {
+		s := &sn.Stages[i]
+		labels := fmt.Sprintf("{stage=\"%d\",calls=%q,split=%q}", s.Stage, s.Calls, s.Split)
+		for _, fam := range promStageCounters {
+			want["mozart_"+fam.name+labels] = fam.val(s)
+		}
+		for _, fam := range promStageGauges {
+			want["mozart_"+fam.name+labels] = fam.val(s)
+		}
+		if !s.Sim.Zero() {
+			for _, fam := range promStageSim {
+				want["mozart_"+fam.name+labels] = fam.val(s)
+			}
+		}
+	}
+
+	for key, wv := range want {
+		gv, ok := samples[key]
+		if !ok {
+			t.Errorf("missing sample %s", key)
+			continue
+		}
+		if gv != wv && math.Abs(gv-wv) > 1e-12 {
+			t.Errorf("%s = %v, want %v (snapshot)", key, gv, wv)
+		}
+		delete(samples, key)
+	}
+	for key, v := range samples {
+		t.Errorf("unaccounted sample %s = %v", key, v)
+	}
+}
+
+// TestPrometheusSimGatedOnCounters: a sink that never saw EvStageCounters
+// must not emit sim series (scrapers should not see all-zero hardware
+// counters for sessions that do not simulate them).
+func TestPrometheusSimGatedOnCounters(t *testing.T) {
+	m := NewMetrics()
+	for _, e := range fixedFeed(time.Unix(0, 0)) {
+		m.Emit(e)
+	}
+	if text := m.PrometheusText(); strings.Contains(text, "_sim_") {
+		t.Errorf("sim series rendered without counter events:\n%s", text)
+	}
+}
+
+// TestPublishIdempotent: expvar panics on duplicate names; Publish must be
+// a guarded no-op the second time — including when a different variable
+// already owns the name.
+func TestPublishIdempotent(t *testing.T) {
+	m := NewMetrics()
+	m.Publish("mozart_obs_test_publish_idempotent")
+	m.Publish("mozart_obs_test_publish_idempotent") // must not panic
+
+	m2 := NewMetrics()
+	m2.Publish("mozart_obs_test_publish_idempotent") // name taken: no-op
+}
+
+func TestLatencyHistogramObserve(t *testing.T) {
+	var h LatencyHistogram
+	h.observe(0.0002) // bucket le=0.00025
+	h.observe(0.003)  // bucket le=0.005
+	h.observe(99)     // above every bound: only Count/Sum
+	if h.Count != 3 {
+		t.Errorf("count = %d, want 3", h.Count)
+	}
+	if got := h.SumSeconds; math.Abs(got-99.0032) > 1e-9 {
+		t.Errorf("sum = %v, want 99.0032", got)
+	}
+	var inBuckets int64
+	for _, c := range h.Counts {
+		inBuckets += c
+	}
+	if inBuckets != 2 {
+		t.Errorf("bucketed observations = %d, want 2 (one above all bounds)", inBuckets)
+	}
+}

@@ -33,6 +33,39 @@ var vmathCosts = map[string]planlower.CallCost{
 	"vdMaxReduce": {Name: "max", CyclesPerElem: cycCmp},
 }
 
+// Costs returns the merged cost table covering every annotation family the
+// workloads use, for callers (sabench -experiment bench, the live counters
+// path) that lower arbitrary planner output without knowing which library
+// produced it. Calls absent from the table fall back to planlower's nominal
+// per-element cost; cache traffic — the benchmark's main signal — depends on
+// the access pattern, which the plan itself carries.
+func Costs() map[string]planlower.CallCost {
+	out := make(map[string]planlower.CallCost, len(vmathCosts)+len(framesaCosts))
+	for k, v := range vmathCosts {
+		out[k] = v
+	}
+	for k, v := range framesaCosts {
+		out[k] = v
+	}
+	return out
+}
+
+// Lowering returns the planlower options for lowering a spec's real plan IR
+// into the machine model: the merged cost table plus the per-library element
+// width and splitter behaviour the plan-to-model consistency tests pin
+// (8-byte float64 elements for the vector libraries, 24-byte rows for
+// Pandas frames, copying splitters for ImageMagick wands).
+func Lowering(spec Spec) planlower.Options {
+	o := planlower.Options{Name: spec.Name, ElemBytes: 8, Costs: Costs()}
+	switch spec.Library {
+	case "Pandas":
+		o.ElemBytes = 24
+	case "ImageMagick":
+		o.SplitCopies = true
+	}
+	return o
+}
+
 // framesaCosts covers the framesa (Pandas-style) annotations used by the
 // data cleaning workload.
 var framesaCosts = map[string]planlower.CallCost{
