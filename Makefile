@@ -3,14 +3,14 @@
 # the race detector over the runtime-heavy packages, the flakiness gate (the
 # fault-tolerance suites twice under -race, so a nondeterministic
 # retry/breaker/admission test cannot land green), the faults-experiment
-# smoke, and the telemetry smokes (trace, explain, Prometheus golden, bench
-# snapshot).
+# smoke, the telemetry smokes (trace, explain, Prometheus golden, bench
+# snapshot), and the mozartd serve smoke (boot, shed, SIGTERM drain).
 
 GO ?= go
 
-.PHONY: ci vet deprecations build test race flaky smoke-faults trace-smoke explain-smoke explain-golden prom-golden bench-smoke bench-snapshot bench
+.PHONY: ci vet deprecations build test race flaky smoke-faults trace-smoke explain-smoke explain-golden prom-golden bench-smoke bench-snapshot bench serve-smoke soak
 
-ci: vet deprecations build test race flaky smoke-faults trace-smoke explain-smoke prom-golden bench-smoke
+ci: vet deprecations build test race flaky smoke-faults trace-smoke explain-smoke prom-golden bench-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -36,10 +36,22 @@ race:
 	$(GO) test -race ./...
 
 # Flakiness gate: the resilience machinery (retry, breakers, admission,
-# fault injection) is timing-sensitive by nature; run its suites twice
-# under the race detector to shake out order dependence.
+# fault injection, the serving layer) is timing-sensitive by nature; run
+# its suites twice under the race detector to shake out order dependence.
 flaky:
-	$(GO) test -race -count=2 ./internal/core ./internal/faultinject
+	$(GO) test -race -count=2 ./internal/core ./internal/faultinject ./internal/serve
+
+# mozartd's end-to-end smoke: boot on an ephemeral port, evaluate for a
+# well-provisioned tenant, assert the over-budget tenant sheds with 429,
+# SIGTERM, and assert the drain returned every carved byte (the binary
+# exits non-zero on any violation).
+serve-smoke:
+	$(GO) run ./cmd/mozartd -smoke
+
+# The multi-tenant chaos soak on its own: concurrent tenants through fault
+# injection (transient faults + seeded latency) under the race detector.
+soak:
+	$(GO) test -race -count=2 -run TestChaosSoak ./internal/serve
 
 # Smoke-run the fault-tolerance ablation end to end.
 smoke-faults:

@@ -111,6 +111,37 @@ func (g *Governor) admit(ctx context.Context, bytes int64) error {
 	return nil
 }
 
+// TryAdmit reserves bytes if they fit under the budget right now and
+// returns an idempotent release closure; ok=false means the reservation
+// would have had to wait. This is the fast-path load-shedding probe a
+// server runs at request admission: shed (429) instead of queueing.
+//
+// Unlike admit, TryAdmit does not clamp oversized requests: a request that
+// could never fit reports ok=false rather than being silently shrunk —
+// a caller shedding load wants the refusal, not a partial reservation. A
+// nil or inert (budget <= 0) governor admits everything with a no-op
+// release.
+func (g *Governor) TryAdmit(bytes int64) (release func(), ok bool) {
+	noop := func() {}
+	if g == nil || bytes <= 0 {
+		return noop, true
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.budget <= 0 {
+		return noop, true
+	}
+	if g.inUse+bytes > g.budget {
+		return noop, false
+	}
+	g.inUse += bytes
+	if g.inUse > g.highWater {
+		g.highWater = g.inUse
+	}
+	var once sync.Once
+	return func() { once.Do(func() { g.release(bytes) }) }, true
+}
+
 // release returns admitted bytes to the budget and wakes waiters. bytes
 // must match the (possibly clamped) amount admit reserved; the helper
 // returned by Session.admitStage guarantees that.

@@ -2,6 +2,8 @@ package core
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -47,13 +49,15 @@ type breaker struct {
 	openedAt time.Time
 }
 
-// breakerSet tracks one breaker per annotation name. Sessions are
-// single-threaded on the planning path (the runtime they spawn is what is
-// parallel), so no locking is needed; stats mutation still goes through the
-// atomic helpers because Stats readers may be concurrent.
+// breakerSet tracks one breaker per annotation name. A session-private set
+// is only touched from the session's single-threaded planning path, but a
+// set shared across sessions via a BreakerGroup is transitioned by
+// concurrently-evaluating sessions, so every method takes the mutex.
 type breakerSet struct {
-	pol BreakerPolicy
-	m   map[string]*breaker
+	mu    sync.Mutex
+	pol   BreakerPolicy
+	m     map[string]*breaker
+	trips atomic.Int64 // breaker (re-)opens, for isolation assertions
 }
 
 func newBreakerSet(pol BreakerPolicy) *breakerSet {
@@ -71,19 +75,27 @@ func (bs *breakerSet) now() time.Time {
 }
 
 func (bs *breakerSet) state(name string) breakerState {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
 	if b := bs.m[name]; b != nil {
 		return b.state
 	}
 	return breakerClosed
 }
 
-func (bs *breakerSet) empty() bool { return len(bs.m) == 0 }
+func (bs *breakerSet) empty() bool {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	return len(bs.m) == 0
+}
 
 // planWhole reports whether the planner must run the annotation whole. It
 // also performs the open → half-open transition once the cooldown has
 // elapsed, in which case it returns whole=false and probing=true: the
 // upcoming split plan is the probe.
 func (bs *breakerSet) planWhole(name string) (whole, probing bool) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
 	b := bs.m[name]
 	if b == nil {
 		return false, false
@@ -106,6 +118,8 @@ func (bs *breakerSet) planWhole(name string) (whole, probing bool) {
 // whose cooldown has elapsed reports false — the next real plan would be a
 // split probe.
 func (bs *breakerSet) peekWhole(name string) bool {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
 	b := bs.m[name]
 	if b == nil || b.state != breakerOpen {
 		return false
@@ -121,6 +135,8 @@ func (bs *breakerSet) peekWhole(name string) bool {
 // wasClosed distinguishes a first trip (new quarantine) from a failed
 // half-open probe re-opening.
 func (bs *breakerSet) recordFault(name string) (tripped, wasClosed bool) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
 	b := bs.m[name]
 	if b == nil {
 		b = &breaker{}
@@ -130,12 +146,14 @@ func (bs *breakerSet) recordFault(name string) (tripped, wasClosed bool) {
 	case breakerHalfOpen:
 		b.state = breakerOpen
 		b.openedAt = bs.now()
+		bs.trips.Add(1)
 		return true, false
 	case breakerClosed:
 		b.faults++
 		if b.faults >= bs.pol.Threshold {
 			b.state = breakerOpen
 			b.openedAt = bs.now()
+			bs.trips.Add(1)
 			return true, true
 		}
 	}
@@ -147,6 +165,8 @@ func (bs *breakerSet) recordFault(name string) (tripped, wasClosed bool) {
 // closed breaker forgets accumulated faults — Threshold counts consecutive
 // faults, not faults over the session's lifetime.
 func (bs *breakerSet) recordSuccess(name string) (recovered bool) {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
 	b := bs.m[name]
 	if b == nil {
 		return false
@@ -165,6 +185,8 @@ func (bs *breakerSet) recordSuccess(name string) (recovered bool) {
 // openNames returns the annotations whose breakers are open or half-open
 // (i.e. currently degraded), sorted.
 func (bs *breakerSet) openNames() []string {
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
 	var names []string
 	for n, b := range bs.m {
 		if b.state != breakerClosed {
@@ -174,3 +196,27 @@ func (bs *breakerSet) openNames() []string {
 	sort.Strings(names)
 	return names
 }
+
+// BreakerGroup shares one set of per-annotation circuit breakers across
+// any number of sessions (Options.Breakers): every session holding the
+// group consults and transitions the same breakers, so a quarantine earned
+// by one evaluation is still in force in the next session built for the
+// same owner — warm resilience state for serving setups where each request
+// constructs a fresh Session. Two groups are fully independent, which is
+// what gives a multi-tenant server per-tenant breaker isolation: one
+// tenant's faulting annotation cannot quarantine another tenant's.
+type BreakerGroup struct{ set *breakerSet }
+
+// NewBreakerGroup creates a group with the given policy. The zero policy
+// behaves like the session default: one fault quarantines an annotation
+// until the group is discarded.
+func NewBreakerGroup(pol BreakerPolicy) *BreakerGroup {
+	return &BreakerGroup{set: newBreakerSet(pol)}
+}
+
+// OpenNames returns the annotations currently degraded (open or half-open
+// breakers), sorted.
+func (g *BreakerGroup) OpenNames() []string { return g.set.openNames() }
+
+// Trips returns how many times any breaker in the group (re-)opened.
+func (g *BreakerGroup) Trips() int64 { return g.set.trips.Load() }

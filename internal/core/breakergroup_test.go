@@ -1,0 +1,105 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBreakerGroupSharedAcrossSessions: a fault recorded through one
+// session trips the shared breaker, and a second session built over the
+// same group plans the annotation whole — quarantine state stays warm
+// across session teardown.
+func TestBreakerGroupSharedAcrossSessions(t *testing.T) {
+	g := NewBreakerGroup(BreakerPolicy{Threshold: 1})
+	s1 := NewSession(Options{Breakers: g})
+	s2 := NewSession(Options{Breakers: g})
+	if s1.breakers != g.set || s2.breakers != g.set {
+		t.Fatalf("sessions did not adopt the shared breaker set")
+	}
+
+	if tripped, wasClosed := s1.breakers.recordFault("vdLog1p"); !tripped || !wasClosed {
+		t.Fatalf("recordFault = (%v, %v), want first trip", tripped, wasClosed)
+	}
+	if whole, _ := s2.breakers.planWhole("vdLog1p"); !whole {
+		t.Fatalf("second session does not see the shared trip")
+	}
+	if got := g.Trips(); got != 1 {
+		t.Fatalf("Trips = %d, want 1", got)
+	}
+	if names := g.OpenNames(); len(names) != 1 || names[0] != "vdLog1p" {
+		t.Fatalf("OpenNames = %v, want [vdLog1p]", names)
+	}
+}
+
+// TestBreakerGroupIsolation: trips in one group are invisible to another —
+// the property a multi-tenant server leans on.
+func TestBreakerGroupIsolation(t *testing.T) {
+	a := NewBreakerGroup(BreakerPolicy{Threshold: 1})
+	b := NewBreakerGroup(BreakerPolicy{Threshold: 1})
+	a.set.recordFault("vdDiv")
+	if got := b.Trips(); got != 0 {
+		t.Fatalf("group b saw %d trips from group a", got)
+	}
+	if names := b.OpenNames(); len(names) != 0 {
+		t.Fatalf("group b OpenNames = %v, want none", names)
+	}
+	sb := NewSession(Options{Breakers: b})
+	if whole, _ := sb.breakers.planWhole("vdDiv"); whole {
+		t.Fatalf("tenant b's planner degraded by tenant a's fault")
+	}
+}
+
+// TestBreakerGroupCooldownHeals: the shared breaker performs the
+// open -> half-open -> closed cycle across distinct sessions.
+func TestBreakerGroupCooldownHeals(t *testing.T) {
+	now := time.Unix(0, 0)
+	g := NewBreakerGroup(BreakerPolicy{Threshold: 1, Cooldown: time.Second,
+		Now: func() time.Time { return now }})
+	g.set.recordFault("vdAdd")
+	if whole, _ := g.set.planWhole("vdAdd"); !whole {
+		t.Fatalf("freshly tripped breaker not open")
+	}
+	now = now.Add(2 * time.Second)
+	whole, probing := g.set.planWhole("vdAdd")
+	if whole || !probing {
+		t.Fatalf("after cooldown planWhole = (%v, %v), want half-open probe", whole, probing)
+	}
+	if rec := g.set.recordSuccess("vdAdd"); !rec {
+		t.Fatalf("successful probe did not close the breaker")
+	}
+	if names := g.OpenNames(); len(names) != 0 {
+		t.Fatalf("OpenNames after heal = %v, want none", names)
+	}
+}
+
+// TestBreakerGroupConcurrent hammers one group from many goroutines under
+// -race: the mutex-guarded set must tolerate concurrent sessions
+// transitioning the same breakers.
+func TestBreakerGroupConcurrent(t *testing.T) {
+	g := NewBreakerGroup(BreakerPolicy{Threshold: 1, Cooldown: time.Nanosecond})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := []string{"a", "b", "c"}[i%3]
+			for j := 0; j < 200; j++ {
+				switch j % 4 {
+				case 0:
+					g.set.recordFault(name)
+				case 1:
+					g.set.recordSuccess(name)
+				case 2:
+					g.set.planWhole(name)
+				case 3:
+					g.OpenNames()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if g.Trips() < 1 {
+		t.Fatalf("expected at least one trip under concurrent faulting")
+	}
+}

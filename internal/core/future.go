@@ -10,9 +10,12 @@ type Future struct {
 	b    *binding
 }
 
-// Get forces evaluation of the pending graph and returns the value.
+// Get forces evaluation of the pending graph and returns the value, under
+// the session's base context (Options.BaseContext, default
+// context.Background()) — a request-scoped deadline installed there bounds
+// lazy reads too.
 func (f *Future) Get() (any, error) {
-	return f.GetContext(context.Background())
+	return f.GetContext(f.sess.baseContext())
 }
 
 // GetContext is Get under a caller-controlled context (see

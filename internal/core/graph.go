@@ -56,11 +56,26 @@ type Session struct {
 // NewSession creates a session with the given options.
 func NewSession(opts Options) *Session {
 	o := opts.withDefaults()
+	breakers := newBreakerSet(o.Breaker)
+	if o.Breakers != nil {
+		breakers = o.Breakers.set
+	}
 	return &Session{
 		opts:      o,
 		byPointer: map[uintptr]*binding{},
-		breakers:  newBreakerSet(o.Breaker),
+		breakers:  breakers,
 	}
+}
+
+// baseContext resolves the context used by evaluations forced without an
+// explicit one (Options.BaseContext).
+func (s *Session) baseContext() context.Context {
+	if s.opts.BaseContext != nil {
+		if ctx := s.opts.BaseContext(); ctx != nil {
+			return ctx
+		}
+	}
+	return context.Background()
 }
 
 // Options returns the session's effective options.
@@ -238,9 +253,10 @@ func (s *Session) Err() error { return s.broken }
 // It is a no-op when nothing is pending.
 //
 // Deprecated: use EvaluateContext, which is the primary entry point and
-// adds cancellation and deadlines. Evaluate is EvaluateContext with
-// context.Background() and is kept for existing callers.
-func (s *Session) Evaluate() error { return s.EvaluateContext(context.Background()) }
+// adds cancellation and deadlines. Evaluate is EvaluateContext with the
+// session's base context (Options.BaseContext, default
+// context.Background()) and is kept for existing callers.
+func (s *Session) Evaluate() error { return s.EvaluateContext(s.baseContext()) }
 
 // EvaluateContext is Evaluate under a caller-controlled context: canceling
 // ctx (or its deadline passing) stops workers at their next batch boundary

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"time"
 
@@ -93,6 +94,14 @@ type Options struct {
 	// budget shared with every other session holding the same Governor.
 	// Takes precedence over MemoryBudgetBytes.
 	Governor *Governor
+	// Breakers, when set, makes the session consult and transition a
+	// shared BreakerGroup instead of a session-private breaker set: the
+	// group's quarantine state outlives any one session, so serving
+	// setups that build a fresh Session per request keep breaker
+	// dispositions warm across requests, scoped to whoever owns the
+	// group (one group per tenant). Takes precedence over Breaker, whose
+	// policy is fixed at the group's construction.
+	Breakers *BreakerGroup
 	// Breaker tunes the per-annotation circuit breakers used by
 	// FallbackQuarantine. The zero value reproduces the PR 1 semantics:
 	// one annotation fault quarantines the annotation for the rest of
@@ -120,6 +129,14 @@ type Options struct {
 	// IR is a snapshot — mutating it does not affect execution. For a
 	// plan without evaluating, use Session.Plan.
 	OnPlan func(*ir.Plan)
+	// BaseContext, when set, supplies the context for evaluations forced
+	// without an explicit one — Future.Get/Value/Float64s and the
+	// deprecated Session.Evaluate. Serving setups use it to propagate a
+	// request's deadline and disconnect-cancellation into lazy reads deep
+	// inside library wrappers that never see a context parameter. A nil
+	// function (the default) or a nil returned context means
+	// context.Background(); EvaluateContext and GetContext ignore it.
+	BaseContext func() context.Context
 	// SimulateCounters, with a Tracer set, lowers each evaluation's plan
 	// IR into the memsim machine model and emits per-stage simulated
 	// hardware counters (L1/L2/LLC hits and misses, DRAM bytes, modeled

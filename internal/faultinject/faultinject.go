@@ -57,10 +57,16 @@ type Fault struct {
 	// the recoverable-outage shape retry and breaker half-open tests
 	// script. Zero keeps the single-invocation (or every-invocation)
 	// behavior of N alone.
-	M         int64
-	Delay     time.Duration // KindSlow
-	Msg       string        // optional message override
-	Transient bool          // KindError errors wrap core.ErrTransient
+	M     int64
+	Delay time.Duration // KindSlow: the delay, or the lower bound when DelayMax is set
+	// DelayMax, when above Delay, turns KindSlow into latency injection:
+	// each firing sleeps a duration drawn uniformly from [Delay, DelayMax]
+	// with the injector's seeded RNG, so a given seed replays the same
+	// latency schedule. This is the jittery-slow-dependency shape the
+	// deadline and load-shedding tests exercise.
+	DelayMax  time.Duration
+	Msg       string // optional message override
+	Transient bool   // KindError errors wrap core.ErrTransient
 }
 
 // Injector arms faults per site name and intercepts wrapped functions and
@@ -115,6 +121,20 @@ func (in *Injector) ErrorOnNthCall(site string, n int64) {
 // SlowCalls makes every library-function call at site sleep d first.
 func (in *Injector) SlowCalls(site string, d time.Duration) {
 	in.Add(site, Fault{Aspect: AspectCall, Kind: KindSlow, Delay: d})
+}
+
+// LatencyOnCalls arms seeded latency injection on every library-function
+// call at site: each invocation sleeps a duration drawn uniformly from
+// [min, max] using the injector's seed, so concurrent runs with the same
+// seed replay the same schedule of delays.
+func (in *Injector) LatencyOnCalls(site string, min, max time.Duration) {
+	in.Add(site, Fault{Aspect: AspectCall, Kind: KindSlow, Delay: min, DelayMax: max})
+}
+
+// LatencyOnSplits is LatencyOnCalls for the splitter's Split invocations,
+// delaying batches before the library function even runs.
+func (in *Injector) LatencyOnSplits(site string, min, max time.Duration) {
+	in.Add(site, Fault{Aspect: AspectSplit, Kind: KindSlow, Delay: min, DelayMax: max})
 }
 
 // PanicOnNthSplit arms a panic on the site's Nth Split invocation.
@@ -216,7 +236,7 @@ func (in *Injector) act(f Fault, site string, a Aspect) error {
 	}
 	switch f.Kind {
 	case KindSlow:
-		time.Sleep(f.Delay)
+		time.Sleep(in.delayFor(f))
 		return nil
 	case KindPanic:
 		panic(msg)
@@ -227,6 +247,21 @@ func (in *Injector) act(f Fault, site string, a Aspect) error {
 		return fmt.Errorf("%s", msg)
 	}
 	return nil
+}
+
+// delayFor resolves a KindSlow fault's sleep: the fixed Delay, or a draw
+// from [Delay, DelayMax] on the injector's seeded RNG when DelayMax is the
+// larger — the draw order is the interleaving-dependent part, which is why
+// tests assert bounds and determinism of the sequence, not a per-batch
+// schedule.
+func (in *Injector) delayFor(f Fault) time.Duration {
+	if f.DelayMax <= f.Delay {
+		return f.Delay
+	}
+	in.mu.Lock()
+	d := f.Delay + time.Duration(in.rng.Int63n(int64(f.DelayMax-f.Delay)+1))
+	in.mu.Unlock()
+	return d
 }
 
 // WrapFunc intercepts a library function registered with Session.Call.

@@ -304,3 +304,21 @@ func TestTransientRetryEndToEnd(t *testing.T) {
 		t.Errorf("RetriedBatches = %d, want 1", st.RetriedBatches)
 	}
 }
+
+func TestLatencyInjectionDelaysCalls(t *testing.T) {
+	inj := faultinject.New(3)
+	inj.LatencyOnCalls("slowsite", 5*time.Millisecond, 15*time.Millisecond)
+	fn := inj.WrapFunc("slowsite", func(args []any) (any, error) { return nil, nil })
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if _, err := fn(nil); err != nil {
+			t.Fatalf("wrapped func: %v", err)
+		}
+		if el := time.Since(start); el < 5*time.Millisecond {
+			t.Fatalf("call %d returned after %v, want >= 5ms of injected latency", i, el)
+		}
+	}
+	if got := inj.Count("slowsite", faultinject.AspectCall); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+}

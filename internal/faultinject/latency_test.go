@@ -1,0 +1,68 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDelayForBounds: every draw of a ranged KindSlow fault lands inside
+// [Delay, DelayMax], inclusive.
+func TestDelayForBounds(t *testing.T) {
+	in := New(7)
+	f := Fault{Kind: KindSlow, Delay: 2 * time.Millisecond, DelayMax: 9 * time.Millisecond}
+	for i := 0; i < 1000; i++ {
+		d := in.delayFor(f)
+		if d < f.Delay || d > f.DelayMax {
+			t.Fatalf("draw %d: delay %v outside [%v, %v]", i, d, f.Delay, f.DelayMax)
+		}
+	}
+}
+
+// TestDelayForSeedDeterminism: the same seed replays the same sequence of
+// latency draws, and a different seed produces a different one.
+func TestDelayForSeedDeterminism(t *testing.T) {
+	f := Fault{Kind: KindSlow, Delay: time.Millisecond, DelayMax: 50 * time.Millisecond}
+	draw := func(seed int64) []time.Duration {
+		in := New(seed)
+		out := make([]time.Duration, 64)
+		for i := range out {
+			out[i] = in.delayFor(f)
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := draw(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced an identical 64-draw latency schedule")
+	}
+}
+
+// TestDelayForFixed: without a DelayMax the sleep is exactly Delay and the
+// RNG is never consulted (a fixed slow fault must not perturb seeded draws
+// elsewhere).
+func TestDelayForFixed(t *testing.T) {
+	in := New(1)
+	want := in.rng.Int63() // next value the shared RNG would yield
+	in2 := New(1)
+	f := Fault{Kind: KindSlow, Delay: 3 * time.Millisecond}
+	for i := 0; i < 10; i++ {
+		if d := in2.delayFor(f); d != 3*time.Millisecond {
+			t.Fatalf("fixed delay draw %d = %v, want 3ms", i, d)
+		}
+	}
+	if got := in2.rng.Int63(); got != want {
+		t.Fatalf("fixed-delay path consumed the seeded RNG")
+	}
+}

@@ -1,0 +1,138 @@
+package httpdebug_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"mozart/internal/core"
+	"mozart/internal/obs"
+	"mozart/internal/obs/httpdebug"
+	"mozart/internal/plan"
+)
+
+// TestDebugEndpointsUnderConcurrentEvaluation is the -race regression net
+// for the telemetry surface in a serving process: sessions evaluate (and
+// mutate the metrics sink, plan log, and flight recorder) while HTTP
+// clients concurrently scrape /metrics and dump /debug/mozart/flight and
+// /debug/mozart/plans. Any unsynchronized access between the runtime's
+// write path and the handlers' read path fails the race detector here.
+func TestDebugEndpointsUnderConcurrentEvaluation(t *testing.T) {
+	metrics := obs.NewMetrics()
+	rec := obs.NewFlightRecorder(4)
+	plans := httpdebug.NewPlanLog(4)
+
+	mux := http.NewServeMux()
+	httpdebug.Mount(mux, httpdebug.Options{Metrics: metrics, Plans: plans, Recorder: rec})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	sexpr := core.Concrete("Chunk", chunkSplitter{}, func(args []any) (core.SplitType, error) {
+		return core.NewSplitType("Chunk", int64(len(args[0].([]float64)))), nil
+	})
+	ret := sexpr
+	sa := &core.Annotation{FuncName: "scale", Params: []core.Param{{Name: "a", Type: sexpr}}, Ret: &ret}
+	scale := func(args []any) (any, error) {
+		in := args[0].([]float64)
+		out := make([]float64, len(in))
+		for i, x := range in {
+			out[i] = 3 * x
+		}
+		return out, nil
+	}
+
+	const (
+		evaluators = 4
+		evalsEach  = 8
+		scrapers   = 4
+	)
+	var wg sync.WaitGroup
+
+	// Writers: sessions evaluating with every sink attached.
+	for g := 0; g < evaluators; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data := make([]float64, 64)
+			for i := range data {
+				data[i] = float64(i)
+			}
+			for e := 0; e < evalsEach; e++ {
+				h := rec.Session()
+				s := core.NewSession(core.Options{Workers: 2, BatchElems: 8,
+					Tracer: obs.Multi(metrics, h),
+					OnPlan: func(p *plan.Plan) { plans.OnPlan(p); h.OnPlan(p) }})
+				s.Call(scale, sa, data)
+				if err := s.EvaluateContext(context.Background()); err != nil {
+					t.Errorf("evaluate: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Readers: concurrent scrapes of every mounted endpoint.
+	for g := 0; g < scrapers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				for _, path := range []string{"/metrics", "/debug/mozart/flight", "/debug/mozart/plans"} {
+					resp, err := http.Get(srv.URL + path)
+					if err != nil {
+						t.Errorf("GET %s: %v", path, err)
+						return
+					}
+					if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+						t.Errorf("read %s: %v", path, err)
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The sinks converged on the full evaluation count once writers stop.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	want := "mozart_evaluations_total 32"
+	if !containsLine(string(body), want) {
+		t.Errorf("final /metrics missing %q:\n%s", want, body)
+	}
+}
+
+func containsLine(body, want string) bool {
+	for _, line := range splitLines(body) {
+		if line == want {
+			return true
+		}
+	}
+	return false
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

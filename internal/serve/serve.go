@@ -1,0 +1,635 @@
+// Package serve is mozartd's engine: a long-lived, multi-tenant HTTP
+// front end over the Mozart runtime that is robust by construction.
+//
+// Every request names a workload, a tenant, and a logical session. The
+// admission path never queues without bound: a request is either admitted
+// — against a global in-flight cap, the tenant's in-flight cap, and a
+// byte reservation on the tenant's memory budget — or shed immediately
+// with 429 and a Retry-After. Budgets are carved per tenant out of one
+// shared core.Governor at registration, so the process-wide working set
+// stays bounded while no tenant can starve another's carve. Deadlines are
+// first-class: the client-supplied timeout is clamped by a server maximum
+// and propagated through context into EvaluateContext (and lazy Future
+// reads via Options.BaseContext), so partial work is cancelled on client
+// disconnect, deadline expiry, or forced drain. Each tenant gets its own
+// circuit-breaker group, metrics sink, and flight recorder — one tenant's
+// faulting annotation degrades only that tenant. Lifecycle: /healthz
+// (liveness), /readyz (admission state), and a drain state machine —
+// serving → draining (stop admitting, finish in-flight within a deadline,
+// then force-cancel) → stopped (budgets returned, Quiesced verifiable).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mozart/internal/core"
+	"mozart/internal/obs"
+	"mozart/internal/obs/httpdebug"
+	"mozart/internal/plan"
+)
+
+// Server states (State / readyz).
+const (
+	StateServing  = "serving"
+	StateDraining = "draining"
+	StateStopped  = "stopped"
+)
+
+// statusClientClosedRequest is the de-facto (nginx) status for "client
+// disconnected before the response": the evaluation was cancelled, nobody
+// is listening, but access logs should not count it as a server fault.
+const statusClientClosedRequest = 499
+
+// Config configures a Server.
+type Config struct {
+	// GlobalBudgetBytes is the shared Governor's budget from which every
+	// tenant's BudgetBytes is carved. Defaults to 1 GiB.
+	GlobalBudgetBytes int64
+	// MaxInFlight caps concurrent evaluations across all tenants; excess
+	// requests shed with 429. Defaults to 32.
+	MaxInFlight int
+	// DefaultTimeout applies when a request carries no timeout_ms.
+	// Defaults to 2s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-supplied timeouts. Defaults to 10s.
+	MaxTimeout time.Duration
+	// DrainTimeout bounds graceful drain: in-flight evaluations get this
+	// long to finish after SIGTERM before their contexts are force-
+	// cancelled. Defaults to 5s.
+	DrainTimeout time.Duration
+	// DefaultScale substitutes for a request without a scale. Defaults to
+	// 65536 elements.
+	DefaultScale int
+	// MaxWorkers clamps a request's threads field. Defaults to 8.
+	MaxWorkers int
+	// Tenants declares the tenants. Empty declares a single "default"
+	// tenant owning the whole global budget.
+	Tenants []TenantConfig
+	// Registry maps workload names to implementations. Nil selects
+	// WorkloadRegistry() (the paper's 15 workloads).
+	Registry map[string]EvalFunc
+	// Fallback, Retry, and Breaker are the resilience policies applied to
+	// every evaluation. The zero Fallback is upgraded to
+	// FallbackQuarantine so tenant breaker groups engage.
+	Fallback core.FallbackPolicy
+	Retry    core.RetryPolicy
+	Breaker  core.BreakerPolicy
+	// Logf receives server lifecycle lines (nil discards).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.GlobalBudgetBytes <= 0 {
+		c.GlobalBudgetBytes = 1 << 30
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 32
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	if c.DefaultScale <= 0 {
+		c.DefaultScale = 1 << 16
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = 8
+	}
+	if c.Fallback == core.FallbackOff {
+		c.Fallback = core.FallbackQuarantine
+	}
+	if len(c.Tenants) == 0 {
+		c.Tenants = []TenantConfig{{Name: "default", BudgetBytes: c.GlobalBudgetBytes}}
+	}
+	if c.Registry == nil {
+		c.Registry = WorkloadRegistry()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the multi-tenant evaluation server. Build with New, serve
+// Handler() on a listener the caller owns, and stop with Drain.
+type Server struct {
+	cfg     Config
+	global  *core.Governor
+	tenants map[string]*Tenant
+	order   []string // tenant names, registration order
+
+	metrics *obs.Metrics      // server-wide sink behind /metrics
+	plans   *httpdebug.PlanLog
+	mux     *http.ServeMux
+
+	stateMu  sync.RWMutex // guards state transitions vs request admission
+	state    atomic.Int32 // 0 serving, 1 draining, 2 stopped
+	inFlight atomic.Int64 // global in-flight evaluations
+	wg       sync.WaitGroup
+
+	hardCtx    context.Context // cancelled when the drain deadline passes
+	hardCancel context.CancelFunc
+}
+
+const (
+	stServing int32 = iota
+	stDraining
+	stStopped
+)
+
+// New builds a server: carves each tenant's budget out of the shared
+// Governor and mounts the API plus the httpdebug telemetry mux.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		global:  core.NewGovernor(cfg.GlobalBudgetBytes),
+		tenants: map[string]*Tenant{},
+		metrics: obs.NewMetrics(),
+		plans:   httpdebug.NewPlanLog(16),
+		mux:     http.NewServeMux(),
+	}
+	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
+	for _, tc := range cfg.Tenants {
+		if _, dup := s.tenants[tc.Name]; dup {
+			s.closeTenants()
+			return nil, fmt.Errorf("serve: duplicate tenant %q", tc.Name)
+		}
+		t, err := newTenant(tc, s.global, cfg.Breaker)
+		if err != nil {
+			s.closeTenants()
+			return nil, err
+		}
+		s.tenants[tc.Name] = t
+		s.order = append(s.order, tc.Name)
+	}
+	s.routes()
+	return s, nil
+}
+
+func (s *Server) closeTenants() {
+	for _, t := range s.tenants {
+		t.close()
+	}
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("/v1/eval", s.protect(s.handleEval))
+	s.mux.HandleFunc("/v1/tenants", s.protect(s.handleTenants))
+	s.mux.HandleFunc("/healthz", s.protect(s.handleHealthz))
+	s.mux.HandleFunc("/readyz", s.protect(s.handleReadyz))
+	// The live-telemetry mux: server-wide /metrics and the retained plan
+	// renderings. The flight recorders are per tenant, so they mount on
+	// per-tenant paths below rather than through httpdebug.Options.
+	httpdebug.Mount(s.mux, httpdebug.Options{Metrics: s.metrics, Plans: s.plans})
+	s.mux.HandleFunc("/debug/mozart/flight", s.protect(s.handleFlightIndex))
+	for name, t := range s.tenants {
+		t := t
+		s.mux.HandleFunc("/debug/mozart/flight/"+name, s.protect(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = t.recorder.Dump(w)
+		}))
+	}
+}
+
+// Handler returns the server's HTTP handler; the caller owns the listener
+// (mozartd wires it into an http.Server, tests into httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Tenant returns the named tenant, or nil.
+func (s *Server) Tenant(name string) *Tenant { return s.tenants[name] }
+
+// TenantNames returns the tenants in registration order.
+func (s *Server) TenantNames() []string { return append([]string(nil), s.order...) }
+
+// Metrics returns the server-wide metrics sink behind /metrics.
+func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
+// GlobalGovernor returns the shared Governor tenant budgets are carved
+// from.
+func (s *Server) GlobalGovernor() *core.Governor { return s.global }
+
+// InFlight returns the number of currently-running evaluations.
+func (s *Server) InFlight() int64 { return s.inFlight.Load() }
+
+// State reports the lifecycle state: serving, draining, or stopped.
+func (s *Server) State() string {
+	switch s.state.Load() {
+	case stDraining:
+		return StateDraining
+	case stStopped:
+		return StateStopped
+	default:
+		return StateServing
+	}
+}
+
+// ---- lifecycle -------------------------------------------------------------
+
+// BeginDrain flips the server to draining: /readyz turns 503 and new
+// evaluations are refused, while in-flight ones keep running.
+func (s *Server) BeginDrain() {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	s.state.CompareAndSwap(stServing, stDraining)
+}
+
+// Drain runs the graceful-shutdown state machine: stop admitting, wait up
+// to Config.DrainTimeout for in-flight evaluations, force-cancel the
+// stragglers (workers stop at their next batch boundary), return every
+// tenant's carve to the shared Governor, and verify quiescence. Safe to
+// call once; returns the result of Quiesced.
+func (s *Server) Drain() error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(s.cfg.DrainTimeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+	case <-timer.C:
+		s.cfg.Logf("serve: drain deadline (%v) passed with %d in flight; force-cancelling",
+			s.cfg.DrainTimeout, s.inFlight.Load())
+		s.hardCancel()
+		<-done // cancellation stops workers at batch boundaries; bounded
+	}
+	s.closeTenants()
+	s.state.Store(stStopped)
+	return s.Quiesced()
+}
+
+// Quiesced verifies the post-drain invariants: nothing in flight, every
+// tenant governor empty, and the shared Governor's carves all returned.
+func (s *Server) Quiesced() error {
+	if n := s.inFlight.Load(); n != 0 {
+		return fmt.Errorf("serve: %d evaluations still in flight", n)
+	}
+	for _, name := range s.order {
+		if in := s.tenants[name].gov.InUse(); in != 0 {
+			return fmt.Errorf("serve: tenant %q governor holds %d bytes after drain", name, in)
+		}
+	}
+	if s.state.Load() == stStopped {
+		if in := s.global.InUse(); in != 0 {
+			return fmt.Errorf("serve: shared governor holds %d bytes after tenant close", in)
+		}
+	}
+	return nil
+}
+
+// ---- request plumbing ------------------------------------------------------
+
+// admit takes the global in-flight slot and registers with the drain
+// WaitGroup, under the state read-lock so BeginDrain serializes against
+// in-progress admissions. The returned release undoes both.
+func (s *Server) admit() (release func(), ok bool) {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	if s.state.Load() != stServing {
+		return nil, false
+	}
+	for {
+		n := s.inFlight.Load()
+		if n >= int64(s.cfg.MaxInFlight) {
+			return nil, false
+		}
+		if s.inFlight.CompareAndSwap(n, n+1) {
+			break
+		}
+	}
+	s.wg.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.inFlight.Add(-1)
+			s.wg.Done()
+		})
+	}, true
+}
+
+// protect panic-isolates a handler: a panic in the serving path (e.g. a
+// malformed capture-phase call that panics before evaluation starts)
+// becomes a structured 500 instead of a torn connection.
+func (s *Server) protect(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.cfg.Logf("serve: panic in %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				writeError(w, http.StatusInternalServerError, errorDetail{
+					Origin:  "panic",
+					Message: fmt.Sprint(v),
+				})
+			}
+		}()
+		h(w, r)
+	}
+}
+
+// ---- request/response shapes -----------------------------------------------
+
+type evalRequest struct {
+	Workload  string `json:"workload"`
+	Variant   string `json:"variant,omitempty"`
+	Scale     int    `json:"scale,omitempty"`
+	Threads   int    `json:"threads,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	Session   string `json:"session,omitempty"`
+	Tenant    string `json:"tenant,omitempty"` // alternative to X-Mozart-Tenant
+}
+
+type evalResponse struct {
+	Tenant       string   `json:"tenant"`
+	Session      string   `json:"session"`
+	Workload     string   `json:"workload"`
+	Variant      string   `json:"variant"`
+	Checksum     float64  `json:"checksum"`
+	ElapsedMS    float64  `json:"elapsed_ms"`
+	SessionEvals int64    `json:"session_evals"`
+	Degraded     []string `json:"degraded,omitempty"` // open breakers after the run
+}
+
+type errorDetail struct {
+	Origin  string `json:"origin,omitempty"` // timeout | canceled | shed | panic | a FaultOrigin
+	Stage   int    `json:"stage,omitempty"`
+	Call    string `json:"call,omitempty"`
+	Message string `json:"message"`
+	Flight  string `json:"flight,omitempty"` // flight-recorder dump path for post-mortems
+}
+
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, d errorDetail) {
+	writeJSON(w, status, errorBody{Error: d})
+}
+
+// shed writes the load-shedding response: 429 plus Retry-After, the
+// "come back, don't queue" contract.
+func shed(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests, errorDetail{Origin: "shed", Message: msg})
+}
+
+// ---- handlers --------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Liveness: the process is up, even while draining.
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	state := s.State()
+	status := http.StatusOK
+	if state != StateServing {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"state":     state,
+		"in_flight": s.inFlight.Load(),
+	})
+}
+
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	out := make([]TenantStatus, 0, len(s.order))
+	for _, name := range s.order {
+		out = append(out, s.tenants[name].status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleFlightIndex(w http.ResponseWriter, r *http.Request) {
+	names := append([]string(nil), s.order...)
+	sort.Strings(names)
+	links := make([]string, len(names))
+	for i, n := range names {
+		links[i] = "/debug/mozart/flight/" + n
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": links})
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeError(w, http.StatusMethodNotAllowed, errorDetail{Message: "POST only"})
+		return
+	}
+	var req evalRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, errorDetail{Message: "bad request body: " + err.Error()})
+		return
+	}
+	tenantName := r.Header.Get("X-Mozart-Tenant")
+	if tenantName == "" {
+		tenantName = req.Tenant
+	}
+	if tenantName == "" && len(s.order) == 1 {
+		tenantName = s.order[0]
+	}
+	t := s.tenants[tenantName]
+	if t == nil {
+		writeError(w, http.StatusNotFound, errorDetail{Message: fmt.Sprintf("unknown tenant %q", tenantName)})
+		return
+	}
+	registry := t.registry
+	if registry == nil {
+		registry = s.cfg.Registry
+	}
+	fn := registry[req.Workload]
+	if fn == nil {
+		writeError(w, http.StatusNotFound, errorDetail{Message: fmt.Sprintf("unknown workload %q", req.Workload)})
+		return
+	}
+
+	// Defaults and clamps before any admission math, so the byte estimate
+	// prices the run the evaluation will actually do.
+	if req.Scale <= 0 {
+		req.Scale = s.cfg.DefaultScale
+	}
+	if req.Threads <= 0 {
+		req.Threads = 2
+	}
+	if req.Threads > s.cfg.MaxWorkers {
+		req.Threads = s.cfg.MaxWorkers
+	}
+
+	// Admission. Order: global cap, tenant cap, tenant byte reservation.
+	// Every refusal is an immediate 429 — the server never queues requests.
+	releaseGlobal, ok := s.admit()
+	if !ok {
+		if s.State() != StateServing {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, errorDetail{Origin: "draining", Message: "server is draining"})
+			return
+		}
+		t.shed.Add(1)
+		shed(w, fmt.Sprintf("global in-flight cap (%d) exhausted", s.cfg.MaxInFlight))
+		return
+	}
+	defer releaseGlobal()
+	if !t.acquire() {
+		t.shed.Add(1)
+		shed(w, fmt.Sprintf("tenant %q in-flight cap (%d) exhausted", tenantName, t.maxInFlight))
+		return
+	}
+	defer t.release()
+	demand := estimateRequestBytes(req.Scale)
+	releaseHold, ok := t.gov.TryAdmit(t.requestHold(demand))
+	if !ok {
+		t.shed.Add(1)
+		shed(w, fmt.Sprintf("tenant %q memory budget exhausted (%d of %d bytes in use, request models %d)",
+			tenantName, t.gov.InUse(), t.gov.Budget(), demand))
+		return
+	}
+	defer releaseHold()
+
+	// Deadline: client ask, clamped by the server, rooted in the request
+	// context so client disconnects cancel partial work; forced drain
+	// cancels it too.
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	stopHard := context.AfterFunc(s.hardCtx, cancel)
+	defer stopHard()
+
+	// Tenant-scoped session options: the per-request flight handle, the
+	// tenant metrics and breaker group, and the server-wide sinks.
+	flight := t.recorder.Session()
+	opts := core.Options{
+		Workers:        req.Threads,
+		Governor:       t.gov,
+		Breakers:       t.breakers,
+		FallbackPolicy: s.cfg.Fallback,
+		RetryPolicy:    s.cfg.Retry,
+		Tracer:         obs.Multi(s.metrics, t.metrics, flight),
+		OnPlan: func(p *plan.Plan) {
+			s.plans.OnPlan(p)
+			flight.OnPlan(p)
+		},
+		BaseContext: func() context.Context { return ctx },
+	}
+	p := EvalParams{
+		Workload: req.Workload,
+		Variant:  req.Variant,
+		Scale:    req.Scale,
+		Threads:  req.Threads,
+		Session:  req.Session,
+	}
+	start := time.Now()
+	checksum, err := fn(ctx, p, opts)
+	elapsed := time.Since(start)
+	evals := t.touchSession(req.Session, err)
+	if err != nil {
+		s.writeEvalError(w, r, t, tenantName, err)
+		return
+	}
+	t.served.Add(1)
+	writeJSON(w, http.StatusOK, evalResponse{
+		Tenant:       tenantName,
+		Session:      sessionKeyOrDefault(req.Session),
+		Workload:     req.Workload,
+		Variant:      variantOrDefault(req.Variant),
+		Checksum:     checksum,
+		ElapsedMS:    float64(elapsed.Microseconds()) / 1e3,
+		SessionEvals: evals,
+		Degraded:     t.breakers.OpenNames(),
+	})
+}
+
+func sessionKeyOrDefault(k string) string {
+	if k == "" {
+		return "default"
+	}
+	return k
+}
+
+func variantOrDefault(v string) string {
+	if v == "" {
+		return "mozart"
+	}
+	return v
+}
+
+// writeEvalError maps an evaluation failure onto the wire: deadline → 504,
+// client disconnect / forced drain → 499, StageError → structured 500 with
+// a flight-recorder reference, anything else → plain 500.
+func (s *Server) writeEvalError(w http.ResponseWriter, r *http.Request, t *Tenant, tenantName string, err error) {
+	flightRef := "/debug/mozart/flight/" + tenantName
+	var st *core.StageError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		t.timedOut.Add(1)
+		d := errorDetail{Origin: "timeout", Message: err.Error(), Flight: flightRef}
+		if errors.As(err, &st) {
+			d.Stage, d.Call = st.Stage, st.Call
+		}
+		writeError(w, http.StatusGatewayTimeout, d)
+	case errors.Is(err, context.Canceled):
+		t.failed.Add(1)
+		// Either the client went away or the drain deadline force-
+		// cancelled us; the status is best-effort in the former case.
+		writeError(w, statusClientClosedRequest, errorDetail{Origin: "canceled", Message: err.Error(), Flight: flightRef})
+	case errors.As(err, &st):
+		t.failed.Add(1)
+		writeError(w, http.StatusInternalServerError, errorDetail{
+			Origin:  st.Origin.String(),
+			Stage:   st.Stage,
+			Call:    st.Call,
+			Message: err.Error(),
+			Flight:  flightRef,
+		})
+	default:
+		t.failed.Add(1)
+		writeError(w, http.StatusInternalServerError, errorDetail{Message: err.Error(), Flight: flightRef})
+	}
+}
+
+// estimateRequestBytes is the nominal demand model priced at admission:
+// scale elements flowing through a pipeline touches an input and an output
+// array of float64s (the same first-order shape as the §5.2 working-set
+// model; stage admission later charges the precise per-stage footprint).
+func estimateRequestBytes(scale int) int64 {
+	return int64(scale) * 8 * 2
+}
+
+// RetryAfter parses a response's Retry-After seconds (helper for load
+// drivers; 0 when absent or malformed).
+func RetryAfter(h http.Header) int {
+	n, _ := strconv.Atoi(h.Get("Retry-After"))
+	return n
+}

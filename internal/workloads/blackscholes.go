@@ -1,7 +1,6 @@
 package workloads
 
 import (
-	"context"
 	"math"
 
 	"mozart/internal/annotations/tensorsa"
@@ -142,7 +141,7 @@ func runBSVmath(v Variant, cfg Config) (float64, error) {
 			s = cfg.sessionNoPipe()
 		}
 		call, put, vega, gamma := bsVmathProgram(mozartVmathBackend(s), price, strike, tt)
-		if err := s.EvaluateContext(context.Background()); err != nil {
+		if err := s.EvaluateContext(cfg.ctx()); err != nil {
 			return 0, err
 		}
 		return bsChecksum(call, put, vega, gamma), nil

@@ -1,7 +1,6 @@
 package workloads
 
 import (
-	"context"
 	"math"
 
 	"mozart/internal/annotations/tensorsa"
@@ -80,7 +79,7 @@ func runHavVmath(v Variant, cfg Config) (float64, error) {
 		vmathsa.Atan2(s, n, b, a, d)
 		vmathsa.MulC(s, n, d, 2, d)
 		vmathsa.MulC(s, n, d, havRadius, d)
-		if err := s.EvaluateContext(context.Background()); err != nil {
+		if err := s.EvaluateContext(cfg.ctx()); err != nil {
 			return 0, err
 		}
 		return sumOf(d), nil

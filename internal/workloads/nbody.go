@@ -1,7 +1,6 @@
 package workloads
 
 import (
-	"context"
 
 	"mozart/internal/annotations/tensorsa"
 	"mozart/internal/annotations/vmathsa"
@@ -99,7 +98,7 @@ func runNBodyVmath(v Variant, cfg Config) (float64, error) {
 			vmathsa.MulC(s, n, upd[0], nbDt, tmp)
 			vmathsa.Add(s, n, upd[1], tmp, upd[1])
 		}
-		if err := s.EvaluateContext(context.Background()); err != nil {
+		if err := s.EvaluateContext(cfg.ctx()); err != nil {
 			return 0, err
 		}
 		return sumOf(x) + sumOf(y) + sumOf(z) + sumOf(vx) + sumOf(vy) + sumOf(vz), nil

@@ -1,7 +1,6 @@
 package workloads
 
 import (
-	"context"
 
 	"mozart/internal/annotations/tensorsa"
 	"mozart/internal/annotations/vmathsa"
@@ -147,7 +146,7 @@ func runSWVmath(v Variant, cfg Config) (float64, error) {
 		vmathsa.MatSub(s, hy1, hy2, t2)
 		vmathsa.MatScale(s, t2, swG*swDt/2, t2)
 		vmathsa.MatSub(s, vv, t2, vn)
-		if err := s.EvaluateContext(context.Background()); err != nil {
+		if err := s.EvaluateContext(cfg.ctx()); err != nil {
 			return 0, err
 		}
 		return swChecksum(hn.Data, un.Data, vn.Data), nil

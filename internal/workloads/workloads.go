@@ -13,8 +13,10 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"mozart/internal/core"
 	"mozart/internal/memsim"
@@ -51,10 +53,54 @@ type Config struct {
 	// Mozart session a workload creates (the plan-to-model consistency
 	// tests and sabench -experiment explain).
 	OnPlan func(*plan.Plan)
+	// Ctx, when set, bounds every Mozart evaluation the workload runs:
+	// its deadline and cancellation reach explicit EvaluateContext calls
+	// and — via core.Options.BaseContext — the lazy Future reads inside
+	// frame/nlp/image workloads that never see a context parameter. Nil
+	// means context.Background(). This is how mozartd propagates a
+	// request's deadline (and client disconnects) into a running
+	// workload.
+	Ctx context.Context
+	// The remaining fields are the tenant-scoped resilience knobs mozartd
+	// plumbs per request; zero values leave each mechanism off, exactly
+	// as before.
+	Governor     *core.Governor     // stage-admission byte budget, shareable
+	Breakers     *core.BreakerGroup // shared per-annotation circuit breakers
+	Fallback     core.FallbackPolicy
+	Retry        core.RetryPolicy
+	StageTimeout time.Duration
+}
+
+// ctx resolves the evaluation context (Config.Ctx or Background).
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
+func (c Config) options() core.Options {
+	o := core.Options{
+		Workers:            c.Threads,
+		BatchElems:         c.Batch,
+		UnprotectNSPerByte: c.UnprotectNSPerByte,
+		Tracer:             c.Tracer,
+		OnPlan:             c.OnPlan,
+		Governor:           c.Governor,
+		Breakers:           c.Breakers,
+		FallbackPolicy:     c.Fallback,
+		RetryPolicy:        c.Retry,
+		StageTimeout:       c.StageTimeout,
+	}
+	if c.Ctx != nil {
+		ctx := c.Ctx
+		o.BaseContext = func() context.Context { return ctx }
+	}
+	return o
 }
 
 func (c Config) session() *core.Session {
-	s := core.NewSession(core.Options{Workers: c.Threads, BatchElems: c.Batch, UnprotectNSPerByte: c.UnprotectNSPerByte, Tracer: c.Tracer, OnPlan: c.OnPlan})
+	s := core.NewSession(c.options())
 	if c.OnSession != nil {
 		c.OnSession(s)
 	}
@@ -62,7 +108,9 @@ func (c Config) session() *core.Session {
 }
 
 func (c Config) sessionNoPipe() *core.Session {
-	s := core.NewSession(core.Options{Workers: c.Threads, BatchElems: c.Batch, DisablePipelining: true, UnprotectNSPerByte: c.UnprotectNSPerByte, Tracer: c.Tracer, OnPlan: c.OnPlan})
+	o := c.options()
+	o.DisablePipelining = true
+	s := core.NewSession(o)
 	if c.OnSession != nil {
 		c.OnSession(s)
 	}
