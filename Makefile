@@ -4,13 +4,14 @@
 # fault-tolerance suites twice under -race, so a nondeterministic
 # retry/breaker/admission test cannot land green), the faults-experiment
 # smoke, the telemetry smokes (trace, explain, Prometheus golden, bench
-# snapshot), and the mozartd serve smoke (boot, shed, SIGTERM drain).
+# snapshot), the out-of-core spill smoke, and the mozartd serve smoke
+# (boot, shed, SIGTERM drain).
 
 GO ?= go
 
-.PHONY: ci vet deprecations build test race flaky smoke-faults trace-smoke explain-smoke explain-golden prom-golden bench-smoke bench-snapshot bench serve-smoke soak
+.PHONY: ci vet deprecations build test race flaky smoke-faults trace-smoke explain-smoke explain-golden prom-golden bench-smoke bench-snapshot bench serve-smoke spill-smoke soak
 
-ci: vet deprecations build test race flaky smoke-faults trace-smoke explain-smoke prom-golden bench-smoke serve-smoke
+ci: vet deprecations build test race flaky smoke-faults trace-smoke explain-smoke prom-golden bench-smoke spill-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -36,10 +37,11 @@ race:
 	$(GO) test -race ./...
 
 # Flakiness gate: the resilience machinery (retry, breakers, admission,
-# fault injection, the serving layer) is timing-sensitive by nature; run
-# its suites twice under the race detector to shake out order dependence.
+# fault injection, the spill store, the streaming path, the serving layer)
+# is timing-sensitive by nature; run its suites twice under the race
+# detector to shake out order dependence.
 flaky:
-	$(GO) test -race -count=2 ./internal/core ./internal/faultinject ./internal/serve
+	$(GO) test -race -count=2 ./internal/core ./internal/faultinject ./internal/serve ./internal/spill
 
 # mozartd's end-to-end smoke: boot on an ephemeral port, evaluate for a
 # well-provisioned tenant, assert the over-budget tenant sheds with 429,
@@ -80,7 +82,14 @@ explain-golden:
 prom-golden:
 	$(GO) test ./internal/obs -run 'TestPrometheus' -count=1
 
-# Smoke-run the BENCH trajectory emitter into a throwaway directory: all 15
+# Smoke-run the out-of-core ladder end to end: blackscholes-ooc against a
+# 4x-undersized Governor budget must finish in streaming mode with exact
+# checksums, CRC-checked spill traffic, and zero spill residue (the
+# experiment exits non-zero on any violated invariant).
+spill-smoke:
+	$(GO) run ./cmd/sabench -experiment spill
+
+# Smoke-run the BENCH trajectory emitter into a throwaway directory: all 16
 # workloads through the real planner and the counter simulation, snapshot
 # written and schema-validated (the experiment exits non-zero otherwise).
 bench-smoke:

@@ -11,12 +11,16 @@
 //	curl -s -X POST localhost:8080/v1/eval -H 'X-Mozart-Tenant: alpha' \
 //	  -d '{"workload":"blackscholes-numpy","scale":65536,"timeout_ms":500}'
 //
-// Overloaded tenants are shed with 429 + Retry-After (never queued),
-// expired deadlines surface as 504 with the partial work cancelled, and
+// Overloaded tenants are shed with 429 + Retry-After (never queued) —
+// unless the request opts in with "degrade": true, in which case an
+// over-budget evaluation runs out of core instead: streamed in
+// admission-sized windows with merge partials spilled under -spill-dir,
+// reported back as "mode" and "spill_bytes" in the response. Expired
+// deadlines surface as 504 with the partial work cancelled, and
 // SIGTERM/SIGINT triggers a graceful drain: admission stops (readyz flips
 // 503), in-flight evaluations get -drain to finish, stragglers are force-
 // cancelled at batch boundaries, and the process exits 0 only if every
-// budget byte was returned.
+// budget byte was returned and every spill file reclaimed.
 //
 // The telemetry mux rides on the same listener: GET /metrics,
 // /debug/mozart/plans, /debug/mozart/trace, and per-tenant flight
@@ -58,6 +62,7 @@ func main() {
 		maxTimeout = flag.Duration("max-timeout", 10*time.Second, "clamp on client-supplied timeout_ms")
 		drain      = flag.Duration("drain", 5*time.Second, "graceful-drain deadline after SIGTERM before force-cancel")
 		maxWorkers = flag.Int("max-workers", 8, "clamp on per-request worker threads")
+		spillDir   = flag.String("spill-dir", "", "directory for out-of-core spill stores (empty: the OS temp dir)")
 		smoke      = flag.Bool("smoke", false, "run the boot/shed/drain smoke scenario on an ephemeral port and exit")
 	)
 	flag.Parse()
@@ -84,6 +89,7 @@ func main() {
 		MaxTimeout:        *maxTimeout,
 		DrainTimeout:      *drain,
 		MaxWorkers:        *maxWorkers,
+		SpillDir:          *spillDir,
 		Tenants:           tenants,
 		Logf:              logf,
 	}
@@ -250,6 +256,28 @@ func runSmoke(logf func(string, ...any)) error {
 		return fmt.Errorf("tiny eval: 429 without Retry-After")
 	}
 	logf("smoke: tiny shed with 429 Retry-After=%s", resp.Header.Get("Retry-After"))
+
+	// 3b. The same tenant, opting into degradation: an evaluation whose
+	// working set dwarfs the 4 KiB carve completes out of core instead of
+	// shedding, and reports the pressure episode and spill volume.
+	resp, body, err = post("tiny", `{"workload":"blackscholes-ooc","scale":65536,"degrade":true}`)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("tiny degrade eval: got %d (%s), want 200", resp.StatusCode, body)
+	}
+	var dg struct {
+		Mode       string `json:"mode"`
+		SpillBytes int64  `json:"spill_bytes"`
+	}
+	if err := json.Unmarshal(body, &dg); err != nil {
+		return fmt.Errorf("tiny degrade eval: bad body %s: %w", body, err)
+	}
+	if dg.Mode != "out-of-core" || dg.SpillBytes <= 0 {
+		return fmt.Errorf("tiny degrade eval: mode %q spill_bytes %d, want out-of-core with spill", dg.Mode, dg.SpillBytes)
+	}
+	logf("smoke: tiny degraded to out-of-core, spilled %d bytes", dg.SpillBytes)
 
 	// 4. Tenant accounting shows up on the status endpoint.
 	resp, err = http.Get(base + "/v1/tenants")

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mozart/internal/core"
+	"mozart/internal/obs"
+	"mozart/internal/spill"
+	"mozart/internal/workloads"
+)
+
+// spillSmoke drives the out-of-core pressure ladder end to end on the host:
+// the blackscholes-ooc workload, sized to several times a deliberately tiny
+// Governor budget, must complete in streaming mode — splitting its generator
+// window by window and spilling CRC-checked merge partials — and still
+// produce the Base variant's exact checksum, with the budget never exceeded
+// and no spill stores or files left behind. Any violated invariant fails the
+// run, so `make spill-smoke` is a CI gate, not a demo.
+func spillSmoke(scaleDiv int) {
+	fmt.Println("=== Spill smoke: out-of-core streaming vs a 4x-undersized budget (measured) ===")
+
+	scale := (1 << 18) / scaleDiv // 32 B/elem modeled: price+strike+tt in, result out
+	workingSet := int64(scale) * 32
+	budget := workingSet / 4
+
+	spec, err := workloads.ByName("blackscholes-ooc")
+	if err != nil {
+		fatalf("spill: %v", err)
+	}
+
+	base, err := spec.Run(workloads.Base, workloads.Config{Scale: scale, Threads: 1})
+	if err != nil {
+		fatalf("spill: base run: %v", err)
+	}
+
+	dir, err := os.MkdirTemp("", "sabench-spill-")
+	if err != nil {
+		fatalf("spill: %v", err)
+	}
+	defer os.RemoveAll(dir)
+
+	tally := &spillTally{}
+	g := core.NewGovernor(budget)
+	got, err := spec.Run(workloads.Mozart, workloads.Config{
+		Scale:     scale,
+		Threads:   4,
+		Governor:  g,
+		OutOfCore: true,
+		SpillDir:  dir,
+		Tracer:    tally,
+	})
+	if err != nil {
+		fatalf("spill: out-of-core run: %v", err)
+	}
+
+	w := tw()
+	fmt.Fprintln(w, "working set\tbudget\thigh water\tpeak level\ttransitions\tspill frames\tspill bytes\tchecksum match")
+	frames, bytes := tally.totals()
+	fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%d\t%d\t%s\t%v\n",
+		mib(workingSet), mib(budget), mib(g.HighWater()), g.MaxLevel(),
+		g.PressureTransitions(), frames, mib(bytes), got == base)
+	w.Flush()
+
+	if rel := math.Abs(got-base) / (1 + math.Abs(base)); rel > 1e-9 {
+		fatalf("spill: checksum diverged: out-of-core %v vs base %v", got, base)
+	}
+	if g.MaxLevel() != core.PressureOutOfCore {
+		fatalf("spill: peak pressure %v, want %v", g.MaxLevel(), core.PressureOutOfCore)
+	}
+	if frames == 0 || bytes == 0 {
+		fatalf("spill: no merge partials spilled (%d frames, %d bytes)", frames, bytes)
+	}
+	if hw := g.HighWater(); hw > budget {
+		fatalf("spill: high water %d exceeded the %d-byte budget", hw, budget)
+	}
+	if inUse := g.InUse(); inUse != 0 {
+		fatalf("spill: governor still holds %d bytes", inUse)
+	}
+	if n := spill.OpenStores(); n != 0 {
+		fatalf("spill: %d spill stores still open", n)
+	}
+	leftovers, err := filepath.Glob(filepath.Join(dir, "mozart-spill-*"))
+	if err != nil {
+		fatalf("spill: %v", err)
+	}
+	if len(leftovers) != 0 {
+		fatalf("spill: %d orphaned spill stores in %s", len(leftovers), dir)
+	}
+	fmt.Println("spill: completed out of core within budget, checksum exact, zero spill residue")
+}
+
+// spillTally counts spilled frames and payload bytes off the event stream.
+type spillTally struct {
+	mu     sync.Mutex
+	frames int64
+	bytes  int64
+}
+
+func (s *spillTally) Emit(e obs.Event) {
+	if e.Kind != obs.EvSpill || e.Detail != "append" {
+		return
+	}
+	s.mu.Lock()
+	s.frames++
+	s.bytes += e.Bytes
+	s.mu.Unlock()
+}
+
+func (s *spillTally) totals() (int64, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.frames, s.bytes
+}

@@ -7,7 +7,9 @@
 package vmathsa
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 
 	"mozart/internal/core"
 	"mozart/internal/vmath"
@@ -44,6 +46,39 @@ func (ArraySplitter) Merge(pieces []any, t core.SplitType) (any, error) {
 	var out []float64
 	for _, p := range pieces {
 		out = append(out, p.([]float64)...)
+	}
+	return out, nil
+}
+
+// SplitAt returns the window view [start, end) for out-of-core streaming
+// (core.SplitterAt). For slices a window view is just the sub-slice; the
+// streaming executor then drives Split/Info over it window-locally.
+func (ArraySplitter) SplitAt(v any, t core.SplitType, start, end int64) (any, error) {
+	return ArraySplitter{}.Split(v, t, start, end)
+}
+
+// EncodePiece serializes a merged []float64 partial into a spill frame
+// (core.PieceCodec): little-endian float64 bits, 8 bytes per element.
+func (ArraySplitter) EncodePiece(piece any, t core.SplitType) ([]byte, error) {
+	a, ok := piece.([]float64)
+	if !ok {
+		return nil, fmt.Errorf("vmathsa: encode %T as ArraySplit piece", piece)
+	}
+	buf := make([]byte, 8*len(a))
+	for i, x := range a {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
+	}
+	return buf, nil
+}
+
+// DecodePiece deserializes a spill frame back into a []float64 partial.
+func (ArraySplitter) DecodePiece(frame []byte, t core.SplitType) (any, error) {
+	if len(frame)%8 != 0 {
+		return nil, fmt.Errorf("vmathsa: spill frame length %d not a multiple of 8", len(frame))
+	}
+	out := make([]float64, len(frame)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(frame[8*i:]))
 	}
 	return out, nil
 }

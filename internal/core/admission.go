@@ -8,6 +8,34 @@ import (
 	"mozart/internal/obs"
 )
 
+// PressureLevel is the Governor's graceful-degradation ladder. Memory
+// pressure is a mode change, not a failure: Normal stages run with the
+// heuristic batch and full parallelism; Constrained stages shrank their
+// batch or shed workers to fit the remaining budget; OutOfCore stages could
+// not fit their §5.2 working set at all and execute in streaming windows
+// (see Options.OutOfCore), spilling merge-side partials to disk when the
+// merge order is not foldable.
+type PressureLevel int32
+
+// The pressure ladder, in escalation order.
+const (
+	PressureNormal PressureLevel = iota
+	PressureConstrained
+	PressureOutOfCore
+)
+
+// String returns the level's stable lowercase name (the Detail of pressure
+// events and the level label of the Prometheus transition counter).
+func (l PressureLevel) String() string {
+	switch l {
+	case PressureConstrained:
+		return "constrained"
+	case PressureOutOfCore:
+		return "out-of-core"
+	}
+	return "normal"
+}
+
 // Governor is a memory-budget admission controller: a weighted semaphore
 // keyed on modeled bytes. Each stage's footprint is the §5.2 batching model
 // — workers × batch × Σ elemBytes, the working set the batch heuristic sizes
@@ -22,6 +50,13 @@ type Governor struct {
 	inUse     int64
 	highWater int64
 	waits     int64
+
+	// Pressure-ladder telemetry: the current level (last stage admission
+	// wins under sharing), the highest level ever reached, and how many
+	// times the level changed.
+	level       PressureLevel
+	maxLevel    PressureLevel
+	transitions int64
 }
 
 // NewGovernor creates a governor with the given byte budget. A budget of
@@ -69,13 +104,79 @@ func (g *Governor) Waits() int64 {
 	return g.waits
 }
 
-// admit blocks until bytes fit under the budget, then reserves them.
-// Requests above the whole budget are clamped to it (a stage larger than
-// the budget runs alone rather than deadlocking). Canceling ctx abandons
-// the wait.
-func (g *Governor) admit(ctx context.Context, bytes int64) error {
+// SetBudget changes the byte budget at runtime and wakes every waiter so
+// blocked admissions re-evaluate (and re-clamp) against the new budget.
+// Shrinking below the current inUse does not evict admitted stages — they
+// finish and release — but new admissions see the squeeze immediately.
+// This is the seam the faultinject budget-squeeze fault drives.
+func (g *Governor) SetBudget(bytes int64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.budget = bytes
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// Level returns the governor's current pressure level.
+func (g *Governor) Level() PressureLevel {
+	if g == nil {
+		return PressureNormal
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.level
+}
+
+// MaxLevel returns the highest pressure level ever reached.
+func (g *Governor) MaxLevel() PressureLevel {
+	if g == nil {
+		return PressureNormal
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.maxLevel
+}
+
+// PressureTransitions returns how many times the pressure level changed.
+func (g *Governor) PressureTransitions() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.transitions
+}
+
+// notePressure records the level the most recent stage admission ran at
+// and reports whether that changed the current level.
+func (g *Governor) notePressure(l PressureLevel) bool {
+	if g == nil {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if l == g.level {
+		return false
+	}
+	g.level = l
+	if l > g.maxLevel {
+		g.maxLevel = l
+	}
+	g.transitions++
+	return true
+}
+
+// admit blocks until bytes fit under the budget, then reserves them and
+// returns the amount actually reserved. Requests above the whole budget
+// are clamped to it (a stage larger than the budget runs alone rather
+// than deadlocking); the clamp is re-evaluated on every wakeup so a
+// mid-wait SetBudget shrink cannot strand a waiter asking for more than
+// the new budget. Canceling ctx abandons the wait.
+func (g *Governor) admit(ctx context.Context, bytes int64) (int64, error) {
 	if g == nil || bytes <= 0 {
-		return nil
+		return 0, nil
 	}
 	// Wake waiters when the context dies so cond.Wait cannot hang.
 	stop := context.AfterFunc(ctx, func() {
@@ -87,16 +188,24 @@ func (g *Governor) admit(ctx context.Context, bytes int64) error {
 
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if g.budget <= 0 {
-		return nil
-	}
-	if bytes > g.budget {
-		bytes = g.budget
-	}
 	waited := false
-	for g.inUse+bytes > g.budget {
+	for {
+		if g.budget <= 0 {
+			return 0, nil
+		}
+		req := bytes
+		if req > g.budget {
+			req = g.budget
+		}
+		if g.inUse+req <= g.budget {
+			g.inUse += req
+			if g.inUse > g.highWater {
+				g.highWater = g.inUse
+			}
+			return req, nil
+		}
 		if err := ctx.Err(); err != nil {
-			return err
+			return 0, err
 		}
 		if !waited {
 			waited = true
@@ -104,11 +213,6 @@ func (g *Governor) admit(ctx context.Context, bytes int64) error {
 		}
 		g.cond.Wait()
 	}
-	g.inUse += bytes
-	if g.inUse > g.highWater {
-		g.highWater = g.inUse
-	}
-	return nil
 }
 
 // TryAdmit reserves bytes if they fit under the budget right now and
@@ -174,6 +278,7 @@ func (s *Session) admitStage(ctx context.Context, si int, st *planStage, sumElem
 	if sumElemBytes <= 0 {
 		sumElemBytes = 1
 	}
+	batch0, workers0 := batch, workers
 	footprint := func(b int64, w int) int64 { return b * int64(w) * sumElemBytes }
 
 	// Shrink toward what is currently available (avoiding a wait when
@@ -202,7 +307,7 @@ func (s *Session) admitStage(ctx context.Context, si int, st *planStage, sumElem
 		req = b
 	}
 	t0 := time.Now()
-	err := g.admit(ctx, req)
+	admitted, err := g.admit(ctx, req)
 	wait := time.Since(t0)
 	s.stats.add(&s.stats.AdmissionWaitNS, wait)
 	if err != nil {
@@ -211,7 +316,25 @@ func (s *Session) admitStage(ctx context.Context, si int, st *planStage, sumElem
 	if tr := s.opts.Tracer; tr != nil {
 		tr.Emit(obs.Event{Kind: obs.EvAdmission, Time: time.Now(), Dur: wait,
 			Stage: si, Worker: obs.RuntimeLane, Calls: stageCalls(st),
-			Bytes: req, BatchElems: batch, Workers: workers})
+			Bytes: admitted, BatchElems: batch, Workers: workers})
 	}
-	return batch, workers, func() { g.release(req) }, nil
+	level := PressureNormal
+	if batch < batch0 || workers < workers0 {
+		level = PressureConstrained
+	}
+	s.notePressure(g, si, stageCalls(st), level)
+	return batch, workers, func() { g.release(admitted) }, nil
+}
+
+// notePressure records a pressure-level observation on the governor and
+// emits an EvPressure event when the level actually changed.
+func (s *Session) notePressure(g *Governor, si int, calls string, level PressureLevel) {
+	if !g.notePressure(level) {
+		return
+	}
+	if tr := s.opts.Tracer; tr != nil {
+		tr.Emit(obs.Event{Kind: obs.EvPressure, Time: time.Now(),
+			Stage: si, Worker: obs.RuntimeLane, Calls: calls,
+			Bytes: g.InUse(), Detail: level.String()})
+	}
 }

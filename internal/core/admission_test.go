@@ -81,7 +81,7 @@ func TestGovernorTryAdmitInert(t *testing.T) {
 // inflate Available past the budget and let later admissions overshoot.
 func TestGovernorReleaseUnderflowGuard(t *testing.T) {
 	g := NewGovernor(1000)
-	if err := g.admit(context.Background(), 300); err != nil {
+	if _, err := g.admit(context.Background(), 300); err != nil {
 		t.Fatalf("admit: %v", err)
 	}
 	g.release(500) // buggy caller: releases more than admitted

@@ -298,6 +298,14 @@ func (s *Session) executeStageSplit(ctx context.Context, si int, st *planStage) 
 		workers = 1
 	}
 
+	// Out-of-core streaming: when the stage's whole §5.2 working set
+	// exceeds the Governor's budget and the session opted in, execute in
+	// admission-bounded element windows instead of blocking on an
+	// admission that can never fully fit.
+	if s.shouldStream(total, sumElemBytes) {
+		return s.executeStreaming(ctx, si, st, inputs, sumElemBytes, total, batch, workers)
+	}
+
 	// Memory-budget admission: under a Governor the stage may start with a
 	// smaller batch or fewer workers, or block until its modeled footprint
 	// fits under the byte budget.

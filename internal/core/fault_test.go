@@ -967,12 +967,12 @@ func TestBreakerFailedProbeReopens(t *testing.T) {
 func TestGovernorAdmitBlocks(t *testing.T) {
 	g := NewGovernor(100)
 	ctx := context.Background()
-	if err := g.admit(ctx, 60); err != nil {
+	if _, err := g.admit(ctx, 60); err != nil {
 		t.Fatal(err)
 	}
 	admitted := make(chan struct{})
 	go func() {
-		if err := g.admit(ctx, 70); err != nil {
+		if _, err := g.admit(ctx, 70); err != nil {
 			t.Errorf("blocked admit: %v", err)
 		}
 		close(admitted)
@@ -1000,7 +1000,7 @@ func TestGovernorAdmitBlocks(t *testing.T) {
 
 	// Oversized request: clamped to the budget, admitted once alone.
 	g.release(70)
-	if err := g.admit(ctx, 1000); err != nil {
+	if _, err := g.admit(ctx, 1000); err != nil {
 		t.Fatal(err)
 	}
 	if got := g.InUse(); got != 100 {
@@ -1009,12 +1009,12 @@ func TestGovernorAdmitBlocks(t *testing.T) {
 	g.release(100)
 
 	// A canceled waiter returns the context error.
-	if err := g.admit(ctx, 100); err != nil {
+	if _, err := g.admit(ctx, 100); err != nil {
 		t.Fatal(err)
 	}
 	cctx, cancel := context.WithCancel(ctx)
 	errc := make(chan error, 1)
-	go func() { errc <- g.admit(cctx, 1) }()
+	go func() { _, err := g.admit(cctx, 1); errc <- err }()
 	time.Sleep(10 * time.Millisecond)
 	cancel()
 	select {

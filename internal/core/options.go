@@ -137,6 +137,22 @@ type Options struct {
 	// function (the default) or a nil returned context means
 	// context.Background(); EvaluateContext and GetContext ignore it.
 	BaseContext func() context.Context
+	// OutOfCore enables the streaming degradation mode: when a stage's
+	// §5.2 working set (total × Σ elemBytes) exceeds the Governor's whole
+	// budget, the stage executes in admission-bounded element windows
+	// instead of blocking — each window is split, executed, and eagerly
+	// merged before its bytes are released back to the Governor, and
+	// merge-side partials spill to a CRC-framed temp-file store when the
+	// stage's output splitters implement PieceCodec. Requires a Governor
+	// (or MemoryBudgetBytes); without one the option is inert. Inputs
+	// whose splitters implement SplitterAt stream as window views; other
+	// inputs stay materialized and only their split windows are driven
+	// incrementally.
+	OutOfCore bool
+	// SpillDir is the directory for out-of-core spill files. Empty means
+	// the OS temp dir. Spill files are CRC-checked, crash-safe (orphans
+	// from dead processes are sweepable), and removed at stage finale.
+	SpillDir string
 	// SimulateCounters, with a Tracer set, lowers each evaluation's plan
 	// IR into the memsim machine model and emits per-stage simulated
 	// hardware counters (L1/L2/LLC hits and misses, DRAM bytes, modeled

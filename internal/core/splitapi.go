@@ -42,6 +42,32 @@ type InPlacer interface {
 	InPlace() bool
 }
 
+// SplitterAt is the chunked-split extension of Splitter for out-of-core
+// streaming (the Governor's OutOfCore pressure level). SplitAt returns a
+// window view of v covering element range [start, end): a value of the same
+// logical kind as v that the runtime can Split/Info like any full input,
+// but whose materialized footprint is bounded by the window — either an
+// alias of v's storage or, for generator-backed inputs, a sub-generator
+// that synthesizes only its own window. When every split input of a stage
+// implements SplitterAt, the streaming executor drives the stage one
+// window at a time, so only the in-flight window's pieces ever exist.
+type SplitterAt interface {
+	Splitter
+	SplitAt(v any, t SplitType, start, end int64) (any, error)
+}
+
+// PieceCodec is the optional spill extension of Splitter. When a stage
+// output's merge order is not foldable in bounded memory — or the runtime
+// prefers to keep merge-side partials off the heap — the streaming
+// executor encodes each window's merged partial into a byte frame, spills
+// it to the CRC-checked temp-file store (internal/spill), and decodes the
+// frames back in order at stage finale. Encode/Decode must round-trip:
+// Decode(Encode(p)) merges equal to p.
+type PieceCodec interface {
+	EncodePiece(piece any, t SplitType) ([]byte, error)
+	DecodePiece(frame []byte, t SplitType) (any, error)
+}
+
 // Ctor is a split type constructor (§3.2, "Split Type Constructors"): it
 // maps the values of a call's arguments to the split type's parameters.
 // args holds the captured argument values in positional order; entries for

@@ -35,6 +35,11 @@ type StatsSnapshot struct {
 	BreakerTrips      int64 // breaker transitions into the open state
 	BreakerRecoveries int64 // half-open probes that closed a breaker
 	AdmissionWaitNS   int64 // time spent waiting on the memory Governor
+
+	// Out-of-core streaming counters (Options.OutOfCore).
+	StreamedStages int64 // stages executed in windowed streaming mode
+	SpilledBytes   int64 // merge-partial payload bytes written to the spill store
+	SpilledFrames  int64 // merge-partial frames written to the spill store
 }
 
 // Total returns the sum of all phase times.
@@ -65,6 +70,10 @@ func (sn StatsSnapshot) String() string {
 		out += fmt.Sprintf(" [%d retried batches (backoff %v), %d breaker trips, %d recoveries, admission wait %v]",
 			sn.RetriedBatches, time.Duration(sn.RetryBackoffNS),
 			sn.BreakerTrips, sn.BreakerRecoveries, time.Duration(sn.AdmissionWaitNS))
+	}
+	if sn.StreamedStages > 0 {
+		out += fmt.Sprintf(" [%d streamed stages, %d spill frames, %d spilled bytes]",
+			sn.StreamedStages, sn.SpilledFrames, sn.SpilledBytes)
 	}
 	return out
 }
@@ -116,5 +125,9 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		BreakerTrips:      atomic.LoadInt64(&s.BreakerTrips),
 		BreakerRecoveries: atomic.LoadInt64(&s.BreakerRecoveries),
 		AdmissionWaitNS:   atomic.LoadInt64(&s.AdmissionWaitNS),
+
+		StreamedStages: atomic.LoadInt64(&s.StreamedStages),
+		SpilledBytes:   atomic.LoadInt64(&s.SpilledBytes),
+		SpilledFrames:  atomic.LoadInt64(&s.SpilledFrames),
 	}
 }

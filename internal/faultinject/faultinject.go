@@ -45,6 +45,11 @@ const (
 	// element of a []float64 result is shifted by 1e9. Other result types
 	// pass through unchanged.
 	KindCorrupt
+	// KindHook runs the fault's Hook function and proceeds normally: an
+	// environment mutation on the Nth invocation rather than a failure —
+	// the budget-squeeze fault shrinks a Governor's budget mid-evaluation
+	// this way.
+	KindHook
 )
 
 // Fault is one armed fault at a site.
@@ -67,6 +72,10 @@ type Fault struct {
 	DelayMax  time.Duration
 	Msg       string // optional message override
 	Transient bool   // KindError errors wrap core.ErrTransient
+	// Hook runs when a KindHook fault fires; the intercepted operation then
+	// proceeds normally. Hooks run on the invoking goroutine (a worker or
+	// the runtime lane) and must be safe for concurrent use.
+	Hook func()
 }
 
 // Injector arms faults per site name and intercepts wrapped functions and
@@ -181,6 +190,21 @@ func (in *Injector) TransientErrorOnMerges(site string, from, to int64) {
 	in.Add(site, Fault{Aspect: AspectMerge, Kind: KindError, N: from, M: to, Transient: true})
 }
 
+// HookOnNthCall arms an environment-mutation hook on the site's Nth
+// library-function call: hook runs, then the call proceeds normally.
+func (in *Injector) HookOnNthCall(site string, n int64, hook func()) {
+	in.Add(site, Fault{Aspect: AspectCall, Kind: KindHook, N: n, Hook: hook})
+}
+
+// SqueezeBudgetOnNthCall arms the budget-squeeze fault: on the site's Nth
+// library-function call, the Governor's budget shrinks to newBudget (waking
+// any blocked admissions so they re-clamp), and the call proceeds. This is
+// the mid-evaluation memory-pressure shape the out-of-core chaos tests
+// drive.
+func (in *Injector) SqueezeBudgetOnNthCall(site string, n int64, g *core.Governor, newBudget int64) {
+	in.HookOnNthCall(site, n, func() { g.SetBudget(newBudget) })
+}
+
 // PanicOnRandomCall arms a panic on an invocation drawn uniformly from
 // [1, outOf] using the injector's seed, and returns the chosen invocation
 // so tests can log it.
@@ -237,6 +261,11 @@ func (in *Injector) act(f Fault, site string, a Aspect) error {
 	switch f.Kind {
 	case KindSlow:
 		time.Sleep(in.delayFor(f))
+		return nil
+	case KindHook:
+		if f.Hook != nil {
+			f.Hook()
+		}
 		return nil
 	case KindPanic:
 		panic(msg)

@@ -322,3 +322,51 @@ func TestLatencyInjectionDelaysCalls(t *testing.T) {
 		t.Fatalf("Count = %d, want 3", got)
 	}
 }
+
+// TestHookOnNthCall: a KindHook fault runs its hook on exactly the Nth
+// invocation and never perturbs the call's own result.
+func TestHookOnNthCall(t *testing.T) {
+	inj := faultinject.New(0)
+	var fired int
+	inj.HookOnNthCall("f", 3, func() { fired++ })
+	fn := inj.WrapFunc("f", okFn)
+	for i := 0; i < 5; i++ {
+		got, err := fn([]any{i})
+		if err != nil {
+			t.Fatalf("call %d errored: %v", i, err)
+		}
+		if got != i {
+			t.Fatalf("call %d returned %v, want %v", i, got, i)
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("hook fired %d times, want 1", fired)
+	}
+}
+
+// TestSqueezeBudgetOnNthCall: the budget-squeeze fault shrinks the Governor
+// mid-sequence; calls before the squeeze see the original budget, calls
+// after it see the shrunken one.
+func TestSqueezeBudgetOnNthCall(t *testing.T) {
+	g := core.NewGovernor(1 << 20)
+	inj := faultinject.New(0)
+	inj.SqueezeBudgetOnNthCall("f", 2, g, 4096)
+	fn := inj.WrapFunc("f", okFn)
+
+	if _, err := fn([]any{0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Budget(); got != 1<<20 {
+		t.Fatalf("budget before squeeze = %d, want %d", got, 1<<20)
+	}
+	if _, err := fn([]any{1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Budget(); got != 4096 {
+		t.Fatalf("budget after squeeze = %d, want 4096", got)
+	}
+	// The shrunken budget gates admission immediately.
+	if _, ok := g.TryAdmit(8192); ok {
+		t.Fatal("TryAdmit above the squeezed budget succeeded")
+	}
+}

@@ -85,12 +85,31 @@ func (h LatencyHistogram) clone() LatencyHistogram {
 	return h
 }
 
+// GaugeSample is one evaluated registered gauge (RegisterGauge): a live
+// value read at snapshot time, e.g. a Governor's reserved bytes.
+type GaugeSample struct {
+	Name   string  `json:"name"`
+	Help   string  `json:"help,omitempty"`
+	Labels string  `json:"labels,omitempty"` // rendered label block, `{k="v",...}` or ""
+	Value  float64 `json:"value"`
+}
+
 // MetricsSnapshot is one consistent copy of everything a Metrics sink has
 // aggregated.
 type MetricsSnapshot struct {
 	Evaluations int64          `json:"evaluations"`
 	Errors      int64          `json:"errors"`                        // evaluations that ended in an error
 	Breaker     map[string]int `json:"breaker_transitions,omitempty"` // state -> count
+	// Pressure counts Governor pressure-level transitions by the level
+	// entered ("normal", "constrained", "out-of-core").
+	Pressure map[string]int `json:"pressure_transitions,omitempty"`
+	// SpillBytes/SpillFrames count out-of-core merge partials written to
+	// the spill store (EvSpill append events).
+	SpillBytes  int64 `json:"spill_bytes,omitempty"`
+	SpillFrames int64 `json:"spill_frames,omitempty"`
+	// Gauges are the registered live gauges, evaluated at snapshot time
+	// and sorted by name then labels.
+	Gauges []GaugeSample `json:"gauges,omitempty"`
 	// EvalLatency is the evaluate-duration distribution (session-end spans).
 	EvalLatency LatencyHistogram `json:"eval_latency"`
 	Stages      []StageMetrics   `json:"stages"`
@@ -100,17 +119,67 @@ type MetricsSnapshot struct {
 // counters. Emit is concurrency-safe and does constant work; read the
 // result with Snapshot, render it with String, or export it with Publish.
 type Metrics struct {
-	mu      sync.Mutex
-	evals   int64
-	errors  int64
-	brk     map[string]int
-	stages  map[string]*StageMetrics
-	latency LatencyHistogram
+	mu          sync.Mutex
+	evals       int64
+	errors      int64
+	brk         map[string]int
+	pressure    map[string]int
+	spillBytes  int64
+	spillFrames int64
+	gauges      []registeredGauge
+	stages      map[string]*StageMetrics
+	latency     LatencyHistogram
+}
+
+type registeredGauge struct {
+	name, help, labels string
+	fn                 func() float64
 }
 
 // NewMetrics returns an empty metrics sink.
 func NewMetrics() *Metrics {
-	return &Metrics{brk: map[string]int{}, stages: map[string]*StageMetrics{}}
+	return &Metrics{brk: map[string]int{}, pressure: map[string]int{}, stages: map[string]*StageMetrics{}}
+}
+
+// RegisterGauge registers a live gauge evaluated on every Snapshot (and so
+// on every /metrics scrape): fn is called outside the sink's lock and must
+// be safe for concurrent use. labels (may be nil) become the sample's label
+// block with keys rendered in sorted order. Registering the same
+// name+labels twice replaces the previous function.
+func (m *Metrics) RegisterGauge(name, help string, labels map[string]string, fn func() float64) {
+	lb := renderLabels(labels)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.gauges {
+		if m.gauges[i].name == name && m.gauges[i].labels == lb {
+			m.gauges[i] = registeredGauge{name: name, help: help, labels: lb, fn: fn}
+			return
+		}
+	}
+	m.gauges = append(m.gauges, registeredGauge{name: name, help: help, labels: lb, fn: fn})
+}
+
+// renderLabels renders a label map as `{k="v",...}` with sorted keys, or ""
+// for an empty map.
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 func (m *Metrics) stage(e Event) *StageMetrics {
@@ -168,6 +237,17 @@ func (m *Metrics) Emit(e Event) {
 		m.brk[e.Detail]++
 	case EvStageCounters:
 		m.stage(e).Sim.add(e.Counters)
+	case EvPressure:
+		if m.pressure == nil {
+			m.pressure = map[string]int{}
+		}
+		m.pressure[e.Detail]++
+	case EvSpill:
+		// Count written frames once; replay events re-read the same bytes.
+		if e.Detail == "append" {
+			m.spillBytes += e.Bytes
+			m.spillFrames++
+		}
 	}
 }
 
@@ -175,17 +255,37 @@ func (m *Metrics) Emit(e Event) {
 // index then calls.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := MetricsSnapshot{Evaluations: m.evals, Errors: m.errors, EvalLatency: m.latency.clone()}
+	out := MetricsSnapshot{Evaluations: m.evals, Errors: m.errors, EvalLatency: m.latency.clone(),
+		SpillBytes: m.spillBytes, SpillFrames: m.spillFrames}
 	if len(m.brk) > 0 {
 		out.Breaker = make(map[string]int, len(m.brk))
 		for k, v := range m.brk {
 			out.Breaker[k] = v
 		}
 	}
+	if len(m.pressure) > 0 {
+		out.Pressure = make(map[string]int, len(m.pressure))
+		for k, v := range m.pressure {
+			out.Pressure[k] = v
+		}
+	}
+	gauges := append([]registeredGauge(nil), m.gauges...)
 	for _, sm := range m.stages {
 		out.Stages = append(out.Stages, *sm)
 	}
+	m.mu.Unlock()
+
+	// Evaluate registered gauges outside the lock: a gauge function may
+	// itself take locks (Governor.InUse) and must not order against Emit.
+	for _, g := range gauges {
+		out.Gauges = append(out.Gauges, GaugeSample{Name: g.name, Help: g.help, Labels: g.labels, Value: g.fn()})
+	}
+	sort.Slice(out.Gauges, func(i, j int) bool {
+		if out.Gauges[i].Name != out.Gauges[j].Name {
+			return out.Gauges[i].Name < out.Gauges[j].Name
+		}
+		return out.Gauges[i].Labels < out.Gauges[j].Labels
+	})
 	sort.Slice(out.Stages, func(i, j int) bool {
 		if out.Stages[i].Stage != out.Stages[j].Stage {
 			return out.Stages[i].Stage < out.Stages[j].Stage

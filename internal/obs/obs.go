@@ -79,6 +79,17 @@ const (
 	// lane, once per stage per evaluation, only under
 	// Options.SimulateCounters.
 	EvStageCounters
+	// EvPressure is a Governor pressure-level transition: Detail carries
+	// the new level ("normal", "constrained", "out-of-core"), Bytes the
+	// reserved bytes at the transition, Stage/Calls the stage whose
+	// admission triggered it. Emitted on the runtime lane, only when the
+	// level actually changed.
+	EvPressure
+	// EvSpill is one merge-side partial written to (or replayed from) the
+	// out-of-core spill store: Bytes is the frame payload size, Start/End
+	// the element window it covers, Detail "append" or "replay". Emitted
+	// on the runtime lane by the streaming executor.
+	EvSpill
 )
 
 // String returns the kind's stable lowercase name.
@@ -108,6 +119,10 @@ func (k EventKind) String() string {
 		return "fallback"
 	case EvStageCounters:
 		return "stage-counters"
+	case EvPressure:
+		return "pressure"
+	case EvSpill:
+		return "spill"
 	}
 	return "unknown"
 }

@@ -112,6 +112,35 @@ func (sn MetricsSnapshot) WritePrometheus(w io.Writer) (int64, error) {
 		}
 	}
 
+	if len(sn.Pressure) > 0 {
+		header("pressure_transitions_total", "counter", "Governor pressure-level transitions by level entered.")
+		levels := make([]string, 0, len(sn.Pressure))
+		for l := range sn.Pressure {
+			levels = append(levels, l)
+		}
+		sort.Strings(levels)
+		for _, l := range levels {
+			fmt.Fprintf(&b, "mozart_pressure_transitions_total{level=%q} %s\n", l, promFloat(float64(sn.Pressure[l])))
+		}
+	}
+
+	if sn.SpillFrames > 0 {
+		header("spill_bytes_total", "counter", "Out-of-core merge-partial payload bytes written to the spill store.")
+		fmt.Fprintf(&b, "mozart_spill_bytes_total %s\n", promFloat(float64(sn.SpillBytes)))
+		header("spill_frames_total", "counter", "Out-of-core merge-partial frames written to the spill store.")
+		fmt.Fprintf(&b, "mozart_spill_frames_total %s\n", promFloat(float64(sn.SpillFrames)))
+	}
+
+	// Registered live gauges (Governor reserved bytes and the like),
+	// grouped by family name so samples of one family stay consecutive.
+	for i := 0; i < len(sn.Gauges); {
+		g := sn.Gauges[i]
+		header(g.Name, "gauge", g.Help)
+		for ; i < len(sn.Gauges) && sn.Gauges[i].Name == g.Name; i++ {
+			fmt.Fprintf(&b, "mozart_%s%s %s\n", sn.Gauges[i].Name, sn.Gauges[i].Labels, promFloat(sn.Gauges[i].Value))
+		}
+	}
+
 	// Evaluate latency histogram (cumulative, Prometheus convention).
 	h := sn.EvalLatency
 	if h.Count > 0 {

@@ -31,18 +31,41 @@ func promFeed(base time.Time) []Event {
 		Event{Kind: EvSessionBegin, Time: at(20), Stage: -1, Worker: RuntimeLane, Elems: 1},
 		Event{Kind: EvSessionEnd, Time: at(31), Dur: 11 * time.Millisecond, Stage: -1,
 			Worker: RuntimeLane, Detail: "stage 0: injected fault"},
+		// Out-of-core pressure episode: enter out-of-core, spill two window
+		// partials (plus a replay, which must not double-count), recover.
+		Event{Kind: EvPressure, Time: at(32), Stage: 0, Worker: RuntimeLane,
+			Calls: "a -> b", Bytes: 4096, Detail: "out-of-core"},
+		Event{Kind: EvSpill, Time: at(33), Stage: 0, Worker: RuntimeLane,
+			Calls: "a -> b", Split: "SizeSplit<100>", Start: 0, End: 50, Bytes: 400, Detail: "append"},
+		Event{Kind: EvSpill, Time: at(34), Stage: 0, Worker: RuntimeLane,
+			Calls: "a -> b", Split: "SizeSplit<100>", Start: 50, End: 100, Bytes: 400, Detail: "append"},
+		Event{Kind: EvSpill, Time: at(35), Stage: 0, Worker: RuntimeLane,
+			Calls: "a -> b", Split: "SizeSplit<100>", Bytes: 800, Elems: 2, Detail: "replay"},
+		Event{Kind: EvPressure, Time: at(36), Stage: 0, Worker: RuntimeLane,
+			Calls: "a -> b", Bytes: 0, Detail: "normal"},
 	)
 	return feed
+}
+
+// promSinkWithGauges builds the canonical prom test sink: the promFeed
+// events plus two registered governor gauges (global and per-tenant carve).
+func promSinkWithGauges() *Metrics {
+	m := NewMetrics()
+	m.RegisterGauge("governor_reserved_bytes", "Bytes currently reserved against the governor budget.",
+		map[string]string{"scope": "global"}, func() float64 { return 4096 })
+	m.RegisterGauge("governor_reserved_bytes", "Bytes currently reserved against the governor budget.",
+		map[string]string{"scope": "tenant", "tenant": "alpha"}, func() float64 { return 1024 })
+	for _, e := range promFeed(time.Unix(0, 0)) {
+		m.Emit(e)
+	}
+	return m
 }
 
 // TestPrometheusGolden locks the exact text-exposition rendering.
 // Regenerate with `go test ./internal/obs -update` after an intentional
 // format change.
 func TestPrometheusGolden(t *testing.T) {
-	m := NewMetrics()
-	for _, e := range promFeed(time.Unix(0, 0)) {
-		m.Emit(e)
-	}
+	m := promSinkWithGauges()
 	got := []byte(m.PrometheusText())
 
 	golden := filepath.Join("testdata", "promtext.golden")
@@ -91,10 +114,7 @@ func parseProm(t *testing.T, text string) map[string]float64 {
 // fields. Every snapshot field with a Prometheus series must round-trip
 // exactly; every rendered sample must be accounted for.
 func TestPrometheusMatchesSnapshot(t *testing.T) {
-	m := NewMetrics()
-	for _, e := range promFeed(time.Unix(0, 0)) {
-		m.Emit(e)
-	}
+	m := promSinkWithGauges()
 	sn := m.Snapshot()
 	samples := parseProm(t, m.PrometheusText())
 
@@ -104,6 +124,16 @@ func TestPrometheusMatchesSnapshot(t *testing.T) {
 	}
 	for state, n := range sn.Breaker {
 		want[fmt.Sprintf("mozart_breaker_transitions_total{state=%q}", state)] = float64(n)
+	}
+	for level, n := range sn.Pressure {
+		want[fmt.Sprintf("mozart_pressure_transitions_total{level=%q}", level)] = float64(n)
+	}
+	if sn.SpillFrames > 0 {
+		want["mozart_spill_bytes_total"] = float64(sn.SpillBytes)
+		want["mozart_spill_frames_total"] = float64(sn.SpillFrames)
+	}
+	for _, g := range sn.Gauges {
+		want["mozart_"+g.Name+g.Labels] = g.Value
 	}
 
 	h := sn.EvalLatency

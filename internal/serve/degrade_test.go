@@ -1,0 +1,123 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mozart/internal/serve"
+	"mozart/internal/spill"
+)
+
+// degradeResult decodes the out-of-core fields of a 200 eval response.
+type degradeResult struct {
+	Checksum   float64 `json:"checksum"`
+	Mode       string  `json:"mode"`
+	SpillBytes int64   `json:"spill_bytes"`
+}
+
+// TestShedRetryAfterJitter: 429 Retry-After hints are jittered across [1, 3]
+// seconds so a synchronized client cohort does not retry in lockstep.
+func TestShedRetryAfterJitter(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{
+		Registry:        echoRegistry(1),
+		Tenants:         []serve.TenantConfig{{Name: "tiny", BudgetBytes: 4 << 10}},
+		RetryJitterSeed: 7,
+	})
+	seen := map[int]int{}
+	for i := 0; i < 30; i++ {
+		resp, body := postEval(t, ts, "tiny", `{"workload":"echo","scale":65536}`)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("request %d: status %d (%s), want 429", i, resp.StatusCode, body)
+		}
+		ra := serve.RetryAfter(resp.Header)
+		if ra < 1 || ra > 3 {
+			t.Fatalf("request %d: Retry-After %d outside jitter window [1, 3]", i, ra)
+		}
+		seen[ra]++
+	}
+	if len(seen) < 2 {
+		t.Fatalf("30 sheds produced a single Retry-After value %v; hints are not jittered", seen)
+	}
+}
+
+// TestDegradeRunsOutOfCore is the serve-layer tentpole check: a request whose
+// modeled demand exceeds the tenant budget is shed by default, but with
+// "degrade": true it runs to completion in out-of-core streaming mode —
+// reporting the pressure episode and spill volume in the response — and the
+// drained server leaves no spill files behind.
+func TestDegradeRunsOutOfCore(t *testing.T) {
+	spillDir := t.TempDir()
+	srv, ts := newTestServer(t, serve.Config{
+		Tenants:  []serve.TenantConfig{{Name: "ooc", BudgetBytes: 256 << 10}},
+		SpillDir: spillDir,
+	})
+
+	// Without opting in, the oversized request sheds: scale 65536 models
+	// 1 MiB of arrays against a 256 KiB carve.
+	req := `{"workload":"blackscholes-ooc","scale":65536}`
+	resp, body := postEval(t, ts, "ooc", req)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("without degrade: status %d (%s), want 429", resp.StatusCode, body)
+	}
+
+	// With degrade, the same request completes out of core.
+	resp, body = postEval(t, ts, "ooc", `{"workload":"blackscholes-ooc","scale":65536,"degrade":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("with degrade: status %d (%s), want 200", resp.StatusCode, body)
+	}
+	var dr degradeResult
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatalf("bad body %s: %v", body, err)
+	}
+	if dr.Mode != "out-of-core" {
+		t.Fatalf("mode %q, want out-of-core (working set 2 MiB is 8x the 256 KiB budget)", dr.Mode)
+	}
+	if dr.SpillBytes <= 0 {
+		t.Fatalf("spill_bytes %d, want > 0: out-of-core run should spill merge partials", dr.SpillBytes)
+	}
+	if dr.Checksum == 0 {
+		t.Fatal("degraded run returned zero checksum")
+	}
+	tn := srv.Tenant("ooc")
+	if got := tn.DegradedRuns(); got != 1 {
+		t.Fatalf("degraded_runs = %d, want 1", got)
+	}
+	if got := tn.Shed(); got != 1 {
+		t.Fatalf("shed = %d, want 1 (only the non-degrade attempt)", got)
+	}
+	if got := tn.Governor().InUse(); got != 0 {
+		t.Fatalf("tenant governor holds %d bytes after degraded run", got)
+	}
+
+	if err := srv.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := srv.Quiesced(); err != nil {
+		t.Fatalf("quiesced: %v", err)
+	}
+	if n := spill.OpenStores(); n != 0 {
+		t.Fatalf("%d spill stores still open after drain", n)
+	}
+	assertNoSpillFiles(t, spillDir)
+}
+
+// assertNoSpillFiles fails if any spill store directory survives in dir.
+func assertNoSpillFiles(t *testing.T, dir string) {
+	t.Helper()
+	leftovers, err := filepath.Glob(filepath.Join(dir, "mozart-spill-*"))
+	if err != nil {
+		t.Fatalf("glob spill dir: %v", err)
+	}
+	if len(leftovers) != 0 {
+		var detail string
+		for _, d := range leftovers {
+			ents, _ := os.ReadDir(d)
+			detail += fmt.Sprintf(" %s(%d files)", filepath.Base(d), len(ents))
+		}
+		t.Fatalf("orphaned spill stores after drain:%s", detail)
+	}
+}

@@ -53,6 +53,8 @@ func WorkloadRegistry() map[string]EvalFunc {
 				Fallback:     opts.FallbackPolicy,
 				Retry:        opts.RetryPolicy,
 				StageTimeout: opts.StageTimeout,
+				OutOfCore:    opts.OutOfCore,
+				SpillDir:     opts.SpillDir,
 			}
 			if cfg.Scale <= 0 {
 				cfg.Scale = spec.DefaultScale

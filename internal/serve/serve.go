@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"runtime/debug"
 	"sort"
@@ -36,6 +37,7 @@ import (
 	"mozart/internal/obs"
 	"mozart/internal/obs/httpdebug"
 	"mozart/internal/plan"
+	"mozart/internal/spill"
 )
 
 // Server states (State / readyz).
@@ -84,6 +86,12 @@ type Config struct {
 	Fallback core.FallbackPolicy
 	Retry    core.RetryPolicy
 	Breaker  core.BreakerPolicy
+	// SpillDir is where degraded (out-of-core) evaluations place their
+	// spill stores; empty selects the OS temp directory.
+	SpillDir string
+	// RetryJitterSeed seeds the 429 Retry-After jitter so tests can pin
+	// the sequence; 0 seeds from the clock.
+	RetryJitterSeed int64
 	// Logf receives server lifecycle lines (nil discards).
 	Logf func(format string, args ...any)
 }
@@ -142,6 +150,9 @@ type Server struct {
 	inFlight atomic.Int64 // global in-flight evaluations
 	wg       sync.WaitGroup
 
+	rngMu sync.Mutex // guards rng (Retry-After jitter)
+	rng   *rand.Rand
+
 	hardCtx    context.Context // cancelled when the drain deadline passes
 	hardCancel context.CancelFunc
 }
@@ -165,6 +176,11 @@ func New(cfg Config) (*Server, error) {
 		mux:     http.NewServeMux(),
 	}
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
+	seed := cfg.RetryJitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	s.rng = rand.New(rand.NewSource(seed))
 	for _, tc := range cfg.Tenants {
 		if _, dup := s.tenants[tc.Name]; dup {
 			s.closeTenants()
@@ -177,6 +193,18 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.tenants[tc.Name] = t
 		s.order = append(s.order, tc.Name)
+	}
+	// Reserved-bytes gauges: the shared Governor plus every tenant carve,
+	// sampled live at each /metrics scrape.
+	const reservedHelp = "Bytes currently reserved against the governor budget."
+	s.metrics.RegisterGauge("governor_reserved_bytes", reservedHelp,
+		map[string]string{"scope": "global"},
+		func() float64 { return float64(s.global.InUse()) })
+	for _, name := range s.order {
+		t := s.tenants[name]
+		s.metrics.RegisterGauge("governor_reserved_bytes", reservedHelp,
+			map[string]string{"scope": "tenant", "tenant": name},
+			func() float64 { return float64(t.gov.InUse()) })
 	}
 	s.routes()
 	return s, nil
@@ -291,6 +319,11 @@ func (s *Server) Quiesced() error {
 		if in := s.global.InUse(); in != 0 {
 			return fmt.Errorf("serve: shared governor holds %d bytes after tenant close", in)
 		}
+		// Byte-clean also means disk-clean: every out-of-core evaluation's
+		// spill store must have been removed with its session.
+		if open := spill.OpenStores(); open != 0 {
+			return fmt.Errorf("serve: %d spill stores still open after drain", open)
+		}
 	}
 	return nil
 }
@@ -353,6 +386,10 @@ type evalRequest struct {
 	TimeoutMS int64  `json:"timeout_ms,omitempty"`
 	Session   string `json:"session,omitempty"`
 	Tenant    string `json:"tenant,omitempty"` // alternative to X-Mozart-Tenant
+	// Degrade opts the request into graceful degradation: when the
+	// tenant's byte budget cannot cover it, the evaluation runs out of
+	// core (streaming windows, spilled partials) instead of shedding 429.
+	Degrade bool `json:"degrade,omitempty"`
 }
 
 type evalResponse struct {
@@ -363,7 +400,9 @@ type evalResponse struct {
 	Checksum     float64  `json:"checksum"`
 	ElapsedMS    float64  `json:"elapsed_ms"`
 	SessionEvals int64    `json:"session_evals"`
-	Degraded     []string `json:"degraded,omitempty"` // open breakers after the run
+	Mode         string   `json:"mode"`                  // highest pressure level: normal | constrained | out-of-core
+	SpillBytes   int64    `json:"spill_bytes,omitempty"` // payload bytes spilled while out of core
+	Degraded     []string `json:"degraded,omitempty"`    // open breakers after the run
 }
 
 type errorDetail struct {
@@ -390,11 +429,56 @@ func writeError(w http.ResponseWriter, status int, d errorDetail) {
 	writeJSON(w, status, errorBody{Error: d})
 }
 
-// shed writes the load-shedding response: 429 plus Retry-After, the
-// "come back, don't queue" contract.
-func shed(w http.ResponseWriter, msg string) {
-	w.Header().Set("Retry-After", "1")
+// shed writes the load-shedding response: 429 plus a jittered Retry-After
+// in [1, 3] seconds, the "come back, don't queue" contract. The jitter
+// desynchronizes retry storms — shedding a burst with a constant delay
+// just reschedules the same burst.
+func (s *Server) shed(w http.ResponseWriter, msg string) {
+	s.rngMu.Lock()
+	retry := 1 + s.rng.Intn(3)
+	s.rngMu.Unlock()
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
 	writeError(w, http.StatusTooManyRequests, errorDetail{Origin: "shed", Message: msg})
+}
+
+// pressureWatch distills one request's pressure episode from its event
+// stream: the highest level entered and the bytes spilled, reported back
+// to the client in the response.
+type pressureWatch struct {
+	mu    sync.Mutex
+	level core.PressureLevel
+	spill int64
+}
+
+func (p *pressureWatch) Emit(e obs.Event) {
+	switch e.Kind {
+	case obs.EvPressure:
+		var l core.PressureLevel
+		switch e.Detail {
+		case core.PressureConstrained.String():
+			l = core.PressureConstrained
+		case core.PressureOutOfCore.String():
+			l = core.PressureOutOfCore
+		}
+		p.mu.Lock()
+		if l > p.level {
+			p.level = l
+		}
+		p.mu.Unlock()
+	case obs.EvSpill:
+		if e.Detail == "append" {
+			p.mu.Lock()
+			p.spill += e.Bytes
+			p.mu.Unlock()
+		}
+	}
+}
+
+// snapshot returns the episode's peak level and spilled bytes.
+func (p *pressureWatch) snapshot() (core.PressureLevel, int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.level, p.spill
 }
 
 // ---- handlers --------------------------------------------------------------
@@ -492,23 +576,31 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		t.shed.Add(1)
-		shed(w, fmt.Sprintf("global in-flight cap (%d) exhausted", s.cfg.MaxInFlight))
+		s.shed(w, fmt.Sprintf("global in-flight cap (%d) exhausted", s.cfg.MaxInFlight))
 		return
 	}
 	defer releaseGlobal()
 	if !t.acquire() {
 		t.shed.Add(1)
-		shed(w, fmt.Sprintf("tenant %q in-flight cap (%d) exhausted", tenantName, t.maxInFlight))
+		s.shed(w, fmt.Sprintf("tenant %q in-flight cap (%d) exhausted", tenantName, t.maxInFlight))
 		return
 	}
 	defer t.release()
 	demand := estimateRequestBytes(req.Scale)
 	releaseHold, ok := t.gov.TryAdmit(t.requestHold(demand))
 	if !ok {
-		t.shed.Add(1)
-		shed(w, fmt.Sprintf("tenant %q memory budget exhausted (%d of %d bytes in use, request models %d)",
-			tenantName, t.gov.InUse(), t.gov.Budget(), demand))
-		return
+		if !req.Degrade {
+			t.shed.Add(1)
+			s.shed(w, fmt.Sprintf("tenant %q memory budget exhausted (%d of %d bytes in use, request models %d)",
+				tenantName, t.gov.InUse(), t.gov.Budget(), demand))
+			return
+		}
+		// Degradation preferred over 429: run without a request-level hold.
+		// The streaming executor admits window by window against the tenant
+		// governor, so actual reservations stay bounded by the budget even
+		// though the nominal demand did not fit.
+		releaseHold = func() {}
+		t.degraded.Add(1)
 	}
 	defer releaseHold()
 
@@ -530,13 +622,16 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	// Tenant-scoped session options: the per-request flight handle, the
 	// tenant metrics and breaker group, and the server-wide sinks.
 	flight := t.recorder.Session()
+	watch := &pressureWatch{}
 	opts := core.Options{
 		Workers:        req.Threads,
 		Governor:       t.gov,
 		Breakers:       t.breakers,
 		FallbackPolicy: s.cfg.Fallback,
 		RetryPolicy:    s.cfg.Retry,
-		Tracer:         obs.Multi(s.metrics, t.metrics, flight),
+		OutOfCore:      req.Degrade,
+		SpillDir:       s.cfg.SpillDir,
+		Tracer:         obs.Multi(s.metrics, t.metrics, flight, watch),
 		OnPlan: func(p *plan.Plan) {
 			s.plans.OnPlan(p)
 			flight.OnPlan(p)
@@ -559,6 +654,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t.served.Add(1)
+	mode, spilled := watch.snapshot()
 	writeJSON(w, http.StatusOK, evalResponse{
 		Tenant:       tenantName,
 		Session:      sessionKeyOrDefault(req.Session),
@@ -567,6 +663,8 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		Checksum:     checksum,
 		ElapsedMS:    float64(elapsed.Microseconds()) / 1e3,
 		SessionEvals: evals,
+		Mode:         mode.String(),
+		SpillBytes:   spilled,
 		Degraded:     t.breakers.OpenNames(),
 	})
 }

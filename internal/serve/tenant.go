@@ -53,6 +53,7 @@ type Tenant struct {
 	shed     atomic.Int64 // 429s
 	timedOut atomic.Int64 // 504s
 	failed   atomic.Int64 // 5xx evaluation failures
+	degraded atomic.Int64 // requests run out-of-core instead of shedding
 
 	mu       sync.Mutex
 	sessions map[string]*sessionState
@@ -121,6 +122,11 @@ func (t *Tenant) InFlight() int64 { return t.inFlight.Load() }
 
 // Shed returns how many of the tenant's requests were load-shed (429).
 func (t *Tenant) Shed() int64 { return t.shed.Load() }
+
+// DegradedRuns returns how many of the tenant's requests opted into
+// out-of-core degradation and ran without a request-level hold after their
+// modeled demand was refused.
+func (t *Tenant) DegradedRuns() int64 { return t.degraded.Load() }
 
 // acquire claims one of the tenant's in-flight slots; refusal means the
 // request must shed, never queue.
@@ -195,6 +201,7 @@ type TenantStatus struct {
 	MaxInFlight    int64    `json:"max_in_flight"`
 	Served         int64    `json:"served"`
 	Shed           int64    `json:"shed"`
+	DegradedRuns   int64    `json:"degraded_runs"`
 	TimedOut       int64    `json:"timed_out"`
 	Failed         int64    `json:"failed"`
 	BreakerTrips   int64    `json:"breaker_trips"`
@@ -215,6 +222,7 @@ func (t *Tenant) status() TenantStatus {
 		MaxInFlight:    t.maxInFlight,
 		Served:         t.served.Load(),
 		Shed:           t.shed.Load(),
+		DegradedRuns:   t.degraded.Load(),
 		TimedOut:       t.timedOut.Load(),
 		Failed:         t.failed.Load(),
 		BreakerTrips:   t.breakers.Trips(),

@@ -1,0 +1,172 @@
+package spill
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	st, err := s.Stream("out0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 20; i++ {
+		p := []byte(fmt.Sprintf("frame-%d-%s", i, string(make([]byte, i*7))))
+		want = append(want, append([]byte(nil), p...))
+		seq, err := st.Append(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint32(i) {
+			t.Fatalf("Append seq = %d, want %d", seq, i)
+		}
+	}
+	if st.Frames() != 20 {
+		t.Fatalf("Frames = %d, want 20", st.Frames())
+	}
+	var got int
+	err = st.Replay(func(seq uint32, payload []byte) error {
+		if string(payload) != string(want[seq]) {
+			t.Fatalf("frame %d payload mismatch", seq)
+		}
+		got++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 20 {
+		t.Fatalf("replayed %d frames, want 20", got)
+	}
+	// Append after a replay still works and replays again from the start.
+	if _, err := st.Append([]byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	var last []byte
+	if err := st.Replay(func(_ uint32, p []byte) error { last = append(last[:0], p...); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if string(last) != "late" {
+		t.Fatalf("last replayed frame = %q, want %q", last, "late")
+	}
+}
+
+func TestReplayDetectsCorruption(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	st, err := s.Stream("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append([]byte("hello spill frame")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte on disk, behind the Stream's back.
+	if _, err := st.f.WriteAt([]byte{'X'}, headerLen+2); err != nil {
+		t.Fatal(err)
+	}
+	err = st.Replay(func(uint32, []byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Replay after bitflip = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReplayDetectsTruncation(t *testing.T) {
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	st, err := s.Stream("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.f.Truncate(headerLen + 4); err != nil {
+		t.Fatal(err)
+	}
+	err = st.Replay(func(uint32, []byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Replay after truncation = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCloseRemovesDirAndCounts(t *testing.T) {
+	base := OpenStores()
+	s, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := OpenStores(); got != base+1 {
+		t.Fatalf("OpenStores after NewStore = %d, want %d", got, base+1)
+	}
+	st, err := s.Stream("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	dir := s.Dir()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("spill dir %s survived Close (stat err %v)", dir, err)
+	}
+	if got := OpenStores(); got != base {
+		t.Fatalf("OpenStores after Close = %d, want %d", got, base)
+	}
+	// Idempotent: a second Close neither errors nor double-decrements.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := OpenStores(); got != base {
+		t.Fatalf("OpenStores after double Close = %d, want %d", got, base)
+	}
+	if _, err := s.Stream("z"); err == nil {
+		t.Fatal("Stream on closed store succeeded")
+	}
+}
+
+func TestSweepOrphans(t *testing.T) {
+	root := t.TempDir()
+	// A dead process's leftover (PID 1<<30 cannot exist) and a live one
+	// (our own PID).
+	dead := filepath.Join(root, fmt.Sprintf("mozart-spill-%d-abc", 1<<30))
+	live := filepath.Join(root, fmt.Sprintf("mozart-spill-%d-def", os.Getpid()))
+	other := filepath.Join(root, "unrelated-dir")
+	for _, d := range []string{dead, live, other} {
+		if err := os.Mkdir(d, 0o700); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := SweepOrphans(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != dead {
+		t.Fatalf("SweepOrphans removed %v, want only %s", removed, dead)
+	}
+	if _, err := os.Stat(live); err != nil {
+		t.Fatalf("live store swept: %v", err)
+	}
+	if _, err := os.Stat(other); err != nil {
+		t.Fatalf("unrelated dir swept: %v", err)
+	}
+}

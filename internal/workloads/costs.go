@@ -31,6 +31,9 @@ var vmathCosts = map[string]planlower.CallCost{
 	"vdMulC":      {Name: "mulc", CyclesPerElem: cycMul},
 	"vdSum":       {Name: "sum", CyclesPerElem: cycAdd},
 	"vdMaxReduce": {Name: "max", CyclesPerElem: cycCmp},
+	// bsChunk is the out-of-core workload's fused scalar kernel: one erf,
+	// exp, ln, and sqrt pair per option dominates its per-element cost.
+	"bsChunk": {Name: "bschunk", CyclesPerElem: 2*cycErf + 2*cycExp + cycLn + cycSqrt},
 }
 
 // Costs returns the merged cost table covering every annotation family the

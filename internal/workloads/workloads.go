@@ -69,6 +69,13 @@ type Config struct {
 	Fallback     core.FallbackPolicy
 	Retry        core.RetryPolicy
 	StageTimeout time.Duration
+	// OutOfCore opts the workload's sessions into streaming degradation:
+	// stages whose working set exceeds the Governor budget execute in
+	// admission-bounded windows (spilling merge partials) instead of
+	// blocking. SpillDir overrides the spill directory (OS temp dir when
+	// empty).
+	OutOfCore bool
+	SpillDir  string
 }
 
 // ctx resolves the evaluation context (Config.Ctx or Background).
@@ -91,6 +98,8 @@ func (c Config) options() core.Options {
 		FallbackPolicy:     c.Fallback,
 		RetryPolicy:        c.Retry,
 		StageTimeout:       c.StageTimeout,
+		OutOfCore:          c.OutOfCore,
+		SpillDir:           c.SpillDir,
 	}
 	if c.Ctx != nil {
 		ctx := c.Ctx
@@ -148,6 +157,7 @@ var figOrder = []string{
 	"speechtag-spacy",
 	"blackscholes-mkl", "haversine-mkl", "nbody-mkl", "shallowwater-mkl",
 	"nashville-imagemagick", "gotham-imagemagick",
+	"blackscholes-ooc",
 }
 
 // All returns every workload spec, in Figure 4 order.
