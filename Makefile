@@ -2,16 +2,17 @@
 # workflow runs: vet (fail fast), the deprecation gate, build, plain tests,
 # the race detector over the runtime-heavy packages, the flakiness gate (the
 # fault-tolerance suites twice under -race, so a nondeterministic
-# retry/breaker/admission test cannot land green), the faults-experiment
+# retry/breaker/admission test cannot land green), the zero-copy pool
+# smoke (AllocsPerRun, alias checks, leak suite), the faults-experiment
 # smoke, the telemetry smokes (trace, explain, Prometheus golden, bench
 # snapshot), the out-of-core spill smoke, and the mozartd serve smoke
 # (boot, shed, SIGTERM drain).
 
 GO ?= go
 
-.PHONY: ci vet deprecations build test race flaky smoke-faults trace-smoke explain-smoke explain-golden prom-golden bench-smoke bench-snapshot bench serve-smoke spill-smoke soak
+.PHONY: ci vet deprecations build test race flaky pool-smoke smoke-faults trace-smoke explain-smoke explain-golden prom-golden bench-smoke bench-snapshot bench serve-smoke spill-smoke soak
 
-ci: vet deprecations build test race flaky smoke-faults trace-smoke explain-smoke prom-golden bench-smoke spill-smoke serve-smoke
+ci: vet deprecations build test race flaky pool-smoke smoke-faults trace-smoke explain-smoke prom-golden bench-smoke spill-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -41,7 +42,17 @@ race:
 # is timing-sensitive by nature; run its suites twice under the race
 # detector to shake out order dependence.
 flaky:
-	$(GO) test -race -count=2 ./internal/core ./internal/faultinject ./internal/serve ./internal/spill
+	$(GO) test -race -count=2 ./internal/core ./internal/faultinject ./internal/serve ./internal/spill ./internal/annotations/imagesa
+
+# Zero-copy hot-path gate: the AllocsPerRun == 0 assertions on the warm
+# view-split loops, the pointer-identity alias and stitch checks, the
+# pooled-buffer leak suite (poison mode) and steady-state zero-spawn proof,
+# and the aliasing recovery regressions (retry/fallback restoring storage
+# that pieces alias).
+pool-smoke:
+	$(GO) test -count=1 -run 'ZeroAllocs|Stitch|MergeFallback|ViewSplitsCounted' ./internal/annotations/vmathsa
+	$(GO) test -count=1 -run 'TestWorkerPool|TestSteadyState|TestSharedWorkerPool|TestDisableWorkerPool|TestPoison' ./internal/core
+	$(GO) test -count=1 -run 'TestRetryRestoresAliasedBands|TestFallbackRestoresAliasedBands|TestWriteBackAliasesValue|TestCopySplitterKeepsCopySemantics' ./internal/annotations/imagesa
 
 # mozartd's end-to-end smoke: boot on an ephemeral port, evaluate for a
 # well-provisioned tenant, assert the over-budget tenant sheds with 429,

@@ -38,10 +38,33 @@ func (DfSplitter) Split(v any, t core.SplitType, start, end int64) (any, error) 
 	return v.(*frame.DataFrame).Slice(int(start), int(end)), nil
 }
 
+// SplitView is the zero-allocation split (core.ViewSplitter): the reuse
+// frame's column Series headers are retargeted at the requested row range in
+// place, so the steady-state batch loop allocates no frame, no Series, and no
+// interface boxes.
+func (DfSplitter) SplitView(v any, t core.SplitType, start, end int64, reuse any) (any, error) {
+	df := v.(*frame.DataFrame)
+	r, ok := reuse.(*frame.DataFrame)
+	if !ok || r == df || len(r.Cols) != len(df.Cols) {
+		return df.Slice(int(start), int(end)), nil
+	}
+	for i, c := range df.Cols {
+		if r.Cols[i] == c {
+			return df.Slice(int(start), int(end)), nil
+		}
+	}
+	for i, c := range df.Cols {
+		sliceSeriesInto(r.Cols[i], c, int(start), int(end))
+	}
+	return reuse, nil
+}
+
 // Merge concatenates row chunks. Functions annotated (df: S) -> S, such as
 // column extraction, produce Series pieces under a DfSplit-typed value, so
 // the merger accepts both frames and series (the annotator owns this
-// decision, §3.3).
+// decision, §3.3). Pieces whose column buffers are contiguous views of one
+// backing array (the view-split hot path) are stitched back by reslicing —
+// no row data is copied.
 func (DfSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
 	if len(pieces) > 0 {
 		if _, isSeries := pieces[0].(*frame.Series); isSeries {
@@ -52,7 +75,36 @@ func (DfSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
 	for i, p := range pieces {
 		dfs[i] = p.(*frame.DataFrame)
 	}
+	if out, ok := stitchDF(dfs); ok {
+		return out, nil
+	}
 	return frame.ConcatDF(dfs...), nil
+}
+
+// stitchDF reslices frames whose columns are in-order contiguous views of one
+// backing array back into a single frame sharing that storage. Reports false
+// (caller copies via ConcatDF) on schema mismatch or any discontinuity.
+func stitchDF(dfs []*frame.DataFrame) (*frame.DataFrame, bool) {
+	if len(dfs) == 0 {
+		return nil, false
+	}
+	first := dfs[0]
+	cols := make([]*frame.Series, len(first.Cols))
+	parts := make([]*frame.Series, len(dfs))
+	for ci, c := range first.Cols {
+		for pi, p := range dfs {
+			if len(p.Cols) != len(first.Cols) || p.Cols[ci].Name != c.Name {
+				return nil, false
+			}
+			parts[pi] = p.Cols[ci]
+		}
+		s, ok := stitchSeries(parts)
+		if !ok {
+			return nil, false
+		}
+		cols[ci] = s
+	}
+	return &frame.DataFrame{Cols: cols}, true
 }
 
 func dfCtor(v any) (core.SplitType, error) {
@@ -84,13 +136,105 @@ func (SeriesSplitter) Split(v any, t core.SplitType, start, end int64) (any, err
 	return v.(*frame.Series).Slice(int(start), int(end)), nil
 }
 
-// Merge concatenates row chunks.
+// SplitView is the zero-allocation split (core.ViewSplitter): the reuse
+// Series header is retargeted at the requested row range in place.
+func (SeriesSplitter) SplitView(v any, t core.SplitType, start, end int64, reuse any) (any, error) {
+	s := v.(*frame.Series)
+	r, ok := reuse.(*frame.Series)
+	if !ok || r == s {
+		return s.Slice(int(start), int(end)), nil
+	}
+	sliceSeriesInto(r, s, int(start), int(end))
+	return reuse, nil
+}
+
+// sliceSeriesInto retargets dst's buffers at src[r0:r1] without allocating,
+// the in-place equivalent of src.Slice(r0, r1).
+func sliceSeriesInto(dst, src *frame.Series, r0, r1 int) {
+	dst.Name, dst.Dtype = src.Name, src.Dtype
+	dst.F, dst.I, dst.S, dst.B, dst.Valid = nil, nil, nil, nil, nil
+	switch src.Dtype {
+	case frame.Float:
+		dst.F = src.F[r0:r1]
+	case frame.Int:
+		dst.I = src.I[r0:r1]
+	case frame.String:
+		dst.S = src.S[r0:r1]
+	case frame.Bool:
+		dst.B = src.B[r0:r1]
+	}
+	if src.Valid != nil {
+		dst.Valid = src.Valid[r0:r1]
+	}
+}
+
+// Merge concatenates row chunks. Pieces whose buffers are contiguous views of
+// one backing array are stitched back by reslicing (zero copy); otherwise
+// ConcatSeries copies into fresh storage.
 func (SeriesSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
 	ss := make([]*frame.Series, len(pieces))
 	for i, p := range pieces {
 		ss[i] = p.(*frame.Series)
 	}
+	if out, ok := stitchSeries(ss); ok {
+		return out, nil
+	}
 	return frame.ConcatSeries(ss...), nil
+}
+
+// stitchSeries reslices in-order contiguous row-range views of one backing
+// series back into a single Series sharing that storage. All parts must agree
+// on dtype and on whether a validity mask is present; any buffer
+// discontinuity reports false so the caller copies instead.
+func stitchSeries(parts []*frame.Series) (*frame.Series, bool) {
+	if len(parts) == 0 {
+		return nil, false
+	}
+	first := parts[0]
+	out := &frame.Series{Name: first.Name, Dtype: first.Dtype,
+		F: first.F, I: first.I, S: first.S, B: first.B, Valid: first.Valid}
+	for _, p := range parts[1:] {
+		if p.Dtype != out.Dtype || (p.Valid == nil) != (out.Valid == nil) {
+			return nil, false
+		}
+		var ok bool
+		if out.F, ok = extendView(out.F, p.F); !ok {
+			return nil, false
+		}
+		if out.I, ok = extendView(out.I, p.I); !ok {
+			return nil, false
+		}
+		if out.S, ok = extendView(out.S, p.S); !ok {
+			return nil, false
+		}
+		if out.B, ok = extendView(out.B, p.B); !ok {
+			return nil, false
+		}
+		if out.Valid, ok = extendView(out.Valid, p.Valid); !ok {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// extendView reslices a to cover b when b starts exactly where a's view ends
+// within the same backing array. The cap check makes the adjacency probe
+// (&ext[len(a)] == &b[0]) legal; any mismatch reports false.
+func extendView[T any](a, b []T) ([]T, bool) {
+	if len(b) == 0 {
+		return a, true
+	}
+	if len(a) == 0 {
+		return b, true
+	}
+	if cap(a) < len(a)+len(b) {
+		return nil, false
+	}
+	ext := a[:len(a)+len(b)]
+	if &ext[len(a)] != &b[0] {
+		return nil, false
+	}
+	return ext, true
 }
 
 func seriesCtor(v any) (core.SplitType, error) {

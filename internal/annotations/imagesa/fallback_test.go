@@ -1,0 +1,108 @@
+package imagesa_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mozart/internal/annotations/imagesa"
+	"mozart/internal/core"
+	"mozart/internal/imagelib"
+)
+
+// These tests pin the recovery paths against the zero-copy conversion: image
+// pieces are now row-band views that alias the tracked value, so both batch
+// retry and whole-call fallback are only correct if their pre-attempt /
+// pre-stage snapshots (the registered *imagelib.Image snapshot) restore the
+// aliased storage before re-execution. Without the restore, the failed
+// batch's in-place gamma would apply twice and the pixel comparison below
+// would catch it.
+
+func gammaAnnotation() *core.Annotation {
+	return &core.Annotation{FuncName: "gammaOnce", Params: []core.Param{
+		{Name: "img", Mut: true, Type: imagesa.ImageSplit(0)},
+		{Name: "g", Type: core.Missing()},
+	}}
+}
+
+func noSleep(time.Duration) {}
+
+// TestRetryRestoresAliasedBands: a call that gammas its band in place and
+// then fails transiently must, under RetryPolicy, replay only that batch —
+// and because the band aliases the source image, the replay is correct only
+// when the pre-attempt snapshot rolled the band back first.
+func TestRetryRestoresAliasedBands(t *testing.T) {
+	img := randImage(16, 64, 21)
+	ref := img.Clone()
+	imagelib.Gamma(ref, 0.5)
+
+	var calls atomic.Int64
+	fn := func(args []any) (any, error) {
+		imagelib.Gamma(args[0].(*imagelib.Image), args[1].(float64))
+		if calls.Add(1) == 2 {
+			return nil, fmt.Errorf("injected blip: %w", core.ErrTransient)
+		}
+		return nil, nil
+	}
+
+	s := core.NewSession(core.Options{Workers: 2, BatchElems: 8,
+		RetryPolicy: core.RetryPolicy{MaxAttempts: 3, Sleep: noSleep}})
+	fut := s.Track(img)
+	s.Call(fn, gammaAnnotation(), img, 0.5)
+	v, err := fut.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.(*imagelib.Image)
+	if got != img {
+		t.Fatal("future should still resolve to the original allocation")
+	}
+	if !got.Equal(ref) {
+		t.Fatal("retry replayed an aliased band without restoring it (gamma applied twice)")
+	}
+	if rb := s.Stats().RetriedBatches; rb != 1 {
+		t.Errorf("RetriedBatches = %d, want 1", rb)
+	}
+}
+
+// TestFallbackRestoresAliasedBands: a panic mid-stage (an annotation fault)
+// escalates to FallbackWholeCall after some bands were already mutated
+// through their views. The whole-call re-execution must start from the
+// pre-stage snapshot of the tracked image, not the partially-gammaed bytes.
+func TestFallbackRestoresAliasedBands(t *testing.T) {
+	img := randImage(16, 64, 22)
+	ref := img.Clone()
+	imagelib.Gamma(ref, 0.5)
+
+	var calls atomic.Int64
+	fn := func(args []any) (any, error) {
+		imagelib.Gamma(args[0].(*imagelib.Image), args[1].(float64))
+		// Panic after mutating, and only while running over split bands (the
+		// whole-call fallback passes the full image, which has more rows).
+		if args[0].(*imagelib.Image).H <= 8 && calls.Add(1) == 2 {
+			panic("injected annotation fault")
+		}
+		return nil, nil
+	}
+
+	s := core.NewSession(core.Options{Workers: 2, BatchElems: 8,
+		FallbackPolicy: core.FallbackWholeCall})
+	fut := s.Track(img)
+	s.Call(fn, gammaAnnotation(), img, 0.5)
+	v, err := fut.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.(*imagelib.Image)
+	if !got.Equal(ref) {
+		t.Fatal("fallback re-ran over partially-mutated storage (snapshot restore missing)")
+	}
+	st := s.Stats()
+	if st.FallbackStages != 1 {
+		t.Errorf("FallbackStages = %d, want 1", st.FallbackStages)
+	}
+	if st.RecoveredPanics < 1 {
+		t.Errorf("RecoveredPanics = %d, want >= 1", st.RecoveredPanics)
+	}
+}

@@ -1,10 +1,15 @@
 // Package imagesa contains the split annotations and splitting API for the
 // imagelib library (the repository's ImageMagick stand-in), following the
-// paper's §7 integration: one split type for the image handle whose split
-// function crops full-width row bands (a copy) and whose merge appends the
-// bands back together (another copy). Because split and merge both copy,
-// this integration exhibits the split/merge overhead the paper reports for
-// the Nashville and Gotham workloads (§8.2, §8.5).
+// paper's §7 integration: one split type for the image handle over full-width
+// row bands. The default ImageSplitter now produces aliasing views (zero
+// copy, CapInPlace|CapView): a band is just a sub-slice of the pixel buffer,
+// so mutations land in the original allocation and no merge is needed for
+// mut arguments. The paper's original copying integration — Crop out, append
+// back — is preserved as BandCopySplitter/ImageCopySplit; it is the §8.2
+// split/merge-overhead baseline and the right choice when pieces must not
+// alias the source. GaussianBlur stays on the copying/whole-call path: its
+// boundary condition reads rows outside any band, so it cannot be split at
+// all (§7.1).
 package imagesa
 
 import (
@@ -14,10 +19,14 @@ import (
 	"mozart/internal/imagelib"
 )
 
-// ImageSplitter splits an image into cropped row bands and merges them by
-// vertical append. Pieces are copies, so mutated bands are written back
-// through the merged value (use Session.Track to observe the result).
+// ImageSplitter splits an image into full-width row-band views. Pieces alias
+// the source pixel buffer, so mutations are in place and mut arguments need
+// no merge; merges of returned values stitch contiguous bands back without
+// copying.
 type ImageSplitter struct{}
+
+// InPlace reports that row bands alias the original pixel buffer.
+func (ImageSplitter) InPlace() bool { return true }
 
 // Info reports one element per pixel row.
 func (ImageSplitter) Info(v any, t core.SplitType) (core.RuntimeInfo, error) {
@@ -28,13 +37,122 @@ func (ImageSplitter) Info(v any, t core.SplitType) (core.RuntimeInfo, error) {
 	return core.RuntimeInfo{Elems: int64(m.H), ElemBytes: int64(m.W) * 4}, nil
 }
 
-// Split crops rows [start, end).
+// bandView returns the aliasing full-width row band [start, end).
+func bandView(m *imagelib.Image, start, end int64) (*imagelib.Image, error) {
+	if start < 0 || end < start || end > int64(m.H) {
+		return nil, fmt.Errorf("imagesa: split [%d,%d) beyond height %d", start, end, m.H)
+	}
+	stride := int64(m.W) * 4
+	return &imagelib.Image{W: m.W, H: int(end - start), Pix: m.Pix[start*stride : end*stride]}, nil
+}
+
+// Split returns the row-band view [start, end).
 func (ImageSplitter) Split(v any, t core.SplitType, start, end int64) (any, error) {
+	return bandView(v.(*imagelib.Image), start, end)
+}
+
+// SplitView is the zero-allocation split (core.ViewSplitter): the reuse
+// image's header is retargeted at the requested band in place.
+func (ImageSplitter) SplitView(v any, t core.SplitType, start, end int64, reuse any) (any, error) {
+	m := v.(*imagelib.Image)
+	if start < 0 || end < start || end > int64(m.H) {
+		return nil, fmt.Errorf("imagesa: split [%d,%d) beyond height %d", start, end, m.H)
+	}
+	stride := int64(m.W) * 4
+	pix := m.Pix[start*stride : end*stride]
+	if r, ok := reuse.(*imagelib.Image); ok && r != m {
+		r.W, r.H, r.Pix = m.W, int(end-start), pix
+		return reuse, nil
+	}
+	return &imagelib.Image{W: m.W, H: int(end - start), Pix: pix}, nil
+}
+
+// SplitAt returns the window view [start, end) for out-of-core streaming
+// (core.SplitterAt); for view bands the window is the band itself.
+func (ImageSplitter) SplitAt(v any, t core.SplitType, start, end int64) (any, error) {
+	return bandView(v.(*imagelib.Image), start, end)
+}
+
+// Merge stacks row bands back into one image. Bands that are contiguous
+// views of one pixel buffer are stitched by reslicing (zero copy, no scratch
+// slice); otherwise the pixels are copied once into a fresh buffer — never
+// appended into a band's own backing, which the bands may alias.
+func (ImageSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
+	if len(pieces) == 0 {
+		return &imagelib.Image{}, nil
+	}
+	if out, ok := stitchImages(pieces); ok {
+		return out, nil
+	}
+	first := pieces[0].(*imagelib.Image)
+	h, n := 0, 0
+	for _, p := range pieces {
+		m := p.(*imagelib.Image)
+		if m.W != first.W {
+			return nil, fmt.Errorf("imagesa: merge width mismatch %d vs %d", m.W, first.W)
+		}
+		h += m.H
+		n += len(m.Pix)
+	}
+	out := &imagelib.Image{W: first.W, H: h, Pix: make([]uint8, 0, n)}
+	for _, p := range pieces {
+		out.Pix = append(out.Pix, p.(*imagelib.Image).Pix...)
+	}
+	return out, nil
+}
+
+// stitchImages reslices in-order contiguous row-band views of one pixel
+// buffer back into a single image sharing that storage. Reports false
+// (caller copies) on width mismatch or any physical discontinuity.
+func stitchImages(pieces []any) (*imagelib.Image, bool) {
+	first, ok := pieces[0].(*imagelib.Image)
+	if !ok {
+		return nil, false
+	}
+	w, h, pix := first.W, first.H, first.Pix
+	for _, p := range pieces[1:] {
+		m, ok := p.(*imagelib.Image)
+		if !ok || m.W != w {
+			return nil, false
+		}
+		h += m.H
+		if len(m.Pix) == 0 {
+			continue
+		}
+		if len(pix) == 0 {
+			pix = m.Pix
+			continue
+		}
+		if cap(pix) < len(pix)+len(m.Pix) {
+			return nil, false
+		}
+		ext := pix[:len(pix)+len(m.Pix)]
+		if &ext[len(pix)] != &m.Pix[0] {
+			return nil, false
+		}
+		pix = ext
+	}
+	return &imagelib.Image{W: w, H: h, Pix: pix}, true
+}
+
+// BandCopySplitter is the paper's original copying ImageMagick integration:
+// Split crops the band out (a copy) and Merge appends the bands back
+// together (another copy). It is kept as the split/merge-overhead baseline
+// (§8.2, §8.5) and for callers whose pieces must not alias the source image.
+type BandCopySplitter struct{}
+
+// Info reports one element per pixel row.
+func (BandCopySplitter) Info(v any, t core.SplitType) (core.RuntimeInfo, error) {
+	return ImageSplitter{}.Info(v, t)
+}
+
+// Split crops rows [start, end) into a fresh image.
+func (BandCopySplitter) Split(v any, t core.SplitType, start, end int64) (any, error) {
 	return v.(*imagelib.Image).Crop(int(start), int(end)), nil
 }
 
-// Merge appends the bands vertically.
-func (ImageSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
+// Merge appends the bands vertically into a fresh image.
+func (BandCopySplitter) Merge(pieces []any, t core.SplitType) (any, error) {
 	imgs := make([]*imagelib.Image, len(pieces))
 	for i, p := range pieces {
 		imgs[i] = p.(*imagelib.Image)
@@ -51,15 +169,36 @@ func imageCtor(v any) (core.SplitType, error) {
 }
 
 // ImageSplit is the ImageSplit(img) type expression for the argument at
-// imgIdx.
+// imgIdx, using the view-based splitter.
 func ImageSplit(imgIdx int) core.TypeExpr {
 	return core.Concrete("ImageSplit", ImageSplitter{}, func(args []any) (core.SplitType, error) {
 		return imageCtor(args[imgIdx])
 	})
 }
 
+// ImageCopySplit is ImageSplit on the copying splitter: pieces are cropped
+// copies and merges rebuild a fresh image, exactly as the paper's §7
+// ImageMagick integration does.
+func ImageCopySplit(imgIdx int) core.TypeExpr {
+	return core.Concrete("ImageSplit", BandCopySplitter{}, func(args []any) (core.SplitType, error) {
+		return imageCtor(args[imgIdx])
+	})
+}
+
 func init() {
 	core.RegisterDefaultSplit((*imagelib.Image)(nil), ImageSplitter{}, imageCtor)
+
+	// Snapshot support for whole-call fallback and batch retry: images are
+	// now mutated in place through row-band views, so the runtime must be
+	// able to restore the pixel buffer before re-executing.
+	core.RegisterSnapshot((*imagelib.Image)(nil), func(v any) (func() error, error) {
+		m := v.(*imagelib.Image)
+		saved := append([]uint8(nil), m.Pix...)
+		return func() error {
+			copy(m.Pix, saved)
+			return nil
+		}, nil
+	})
 }
 
 // Modulate registers brightness/saturation/hue modulation.

@@ -50,11 +50,13 @@ func TestFilterPipelineMatchesLibrary(t *testing.T) {
 	}
 }
 
-// TestWriteBackReplacesValue: image splits copy, so results arrive through
-// the tracked future, not the original allocation.
-func TestWriteBackReplacesValue(t *testing.T) {
+// TestWriteBackAliasesValue: image splits are views now, so the tracked
+// future resolves to the original allocation, mutated in place through the
+// aliasing row bands.
+func TestWriteBackAliasesValue(t *testing.T) {
 	img := randImage(8, 20, 2)
-	orig := img.Clone()
+	ref := img.Clone()
+	imagelib.Grayscale(ref)
 	s := core.NewSession(core.Options{Workers: 2, BatchElems: 4})
 	fut := s.Track(img)
 	imagesa.Grayscale(s, img)
@@ -63,16 +65,47 @@ func TestWriteBackReplacesValue(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := v.(*imagelib.Image)
+	if got != img {
+		t.Fatal("future should resolve to the original allocation (bands alias)")
+	}
+	if !got.Equal(ref) {
+		t.Fatal("grayscale mismatch")
+	}
+}
+
+// TestCopySplitterKeepsCopySemantics: the BandCopySplitter preserves the
+// paper's original copy-out/copy-back behaviour — the merged result is a new
+// image and the original allocation stays untouched.
+func TestCopySplitterKeepsCopySemantics(t *testing.T) {
+	img := randImage(8, 20, 7)
+	orig := img.Clone()
+	ref := img.Clone()
+	imagelib.Gamma(ref, 0.5)
+
+	sa := &core.Annotation{FuncName: "gammaCopy", Params: []core.Param{
+		{Name: "img", Mut: true, Type: imagesa.ImageCopySplit(0)},
+		{Name: "g", Type: core.Missing()},
+	}}
+	fn := func(args []any) (any, error) {
+		imagelib.Gamma(args[0].(*imagelib.Image), args[1].(float64))
+		return nil, nil
+	}
+	s := core.NewSession(core.Options{Workers: 2, BatchElems: 4})
+	fut := s.Track(img)
+	s.Call(fn, sa, img, 0.5)
+	v, err := fut.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.(*imagelib.Image)
 	if got == img {
-		t.Fatal("merged image should be a new value")
+		t.Fatal("copy splitter must produce a fresh merged image")
 	}
 	if !img.Equal(orig) {
 		t.Fatal("original allocation should be untouched (crop copies)")
 	}
-	refImg := orig.Clone()
-	imagelib.Grayscale(refImg)
-	if !got.Equal(refImg) {
-		t.Fatal("grayscale mismatch")
+	if !got.Equal(ref) {
+		t.Fatal("gamma mismatch")
 	}
 }
 

@@ -41,13 +41,80 @@ func (ArraySplitter) Split(v any, t core.SplitType, start, end int64) (any, erro
 	return a[start:end], nil
 }
 
-// Merge concatenates pieces.
+// SplitView is the zero-allocation split (core.ViewSplitter): when the reuse
+// slot already holds the identical sub-slice view, it is returned unchanged so
+// the runtime skips even the interface re-boxing; otherwise the view is
+// resliced fresh.
+func (ArraySplitter) SplitView(v any, t core.SplitType, start, end int64, reuse any) (any, error) {
+	a := v.([]float64)
+	if end > int64(len(a)) {
+		return nil, fmt.Errorf("vmathsa: split [%d,%d) beyond len %d", start, end, len(a))
+	}
+	if r, ok := reuse.([]float64); ok && int64(len(r)) == end-start {
+		if end == start || &r[0] == &a[start] {
+			return reuse, nil
+		}
+	}
+	return a[start:end], nil
+}
+
+// Merge concatenates pieces. Pieces that are contiguous views of one backing
+// array (the view-split hot path) are stitched back by reslicing — no copy,
+// no allocation beyond the result header. Otherwise pieces are copied into a
+// fresh slice; the fallback never appends into a piece's backing array, which
+// would clobber source data the pieces alias.
 func (ArraySplitter) Merge(pieces []any, t core.SplitType) (any, error) {
-	var out []float64
+	if out, ok := stitchFloats(pieces); ok {
+		return out, nil
+	}
+	n := 0
+	for _, p := range pieces {
+		n += len(p.([]float64))
+	}
+	if n == 0 {
+		return []float64(nil), nil
+	}
+	out := make([]float64, 0, n)
 	for _, p := range pieces {
 		out = append(out, p.([]float64)...)
 	}
 	return out, nil
+}
+
+// stitchFloats reslices in-order contiguous views of a single backing array
+// back into one slice. It reports false when any adjacent pair is not
+// physically adjacent (&ext[len(a)] == &b[0] is the adjacency probe — legal
+// because cap is checked first) so the caller copies instead.
+func stitchFloats(pieces []any) ([]float64, bool) {
+	if len(pieces) == 0 {
+		return nil, false
+	}
+	out, ok := pieces[0].([]float64)
+	if !ok {
+		return nil, false
+	}
+	for _, p := range pieces[1:] {
+		next, ok := p.([]float64)
+		if !ok {
+			return nil, false
+		}
+		if len(next) == 0 {
+			continue
+		}
+		if len(out) == 0 {
+			out = next
+			continue
+		}
+		if cap(out) < len(out)+len(next) {
+			return nil, false
+		}
+		ext := out[:len(out)+len(next)]
+		if &ext[len(out)] != &next[0] {
+			return nil, false
+		}
+		out = ext
+	}
+	return out, true
 }
 
 // SplitAt returns the window view [start, end) for out-of-core streaming
@@ -152,19 +219,81 @@ func (MatrixSplitter) Split(v any, t core.SplitType, start, end int64) (any, err
 	return v.(*vmath.Matrix).RowBand(int(start), int(end)), nil
 }
 
-// Merge stacks row bands back into one matrix.
+// SplitView is the zero-allocation split (core.ViewSplitter): the reuse slot's
+// *Matrix header is retargeted at the requested row band in place, so the
+// steady-state batch loop allocates neither the header nor the interface box.
+func (MatrixSplitter) SplitView(v any, t core.SplitType, start, end int64, reuse any) (any, error) {
+	m := v.(*vmath.Matrix)
+	if start < 0 || end < start || end > int64(m.Rows) {
+		return nil, fmt.Errorf("vmathsa: matrix split [%d,%d) beyond rows %d", start, end, m.Rows)
+	}
+	band := m.Data[start*int64(m.Cols) : end*int64(m.Cols)]
+	if r, ok := reuse.(*vmath.Matrix); ok && r != m {
+		r.Rows = int(end - start)
+		r.Cols = m.Cols
+		r.Data = band
+		return reuse, nil
+	}
+	return &vmath.Matrix{Rows: int(end - start), Cols: m.Cols, Data: band}, nil
+}
+
+// Merge stacks row bands back into one matrix. Bands that are contiguous
+// views of one backing array are stitched by reslicing (zero copy); otherwise
+// the data is copied into a fresh backing array — never appended into a
+// piece's own backing, which the pieces may alias.
 func (MatrixSplitter) Merge(pieces []any, t core.SplitType) (any, error) {
 	if len(pieces) == 0 {
 		return &vmath.Matrix{}, nil
 	}
+	if out, ok := stitchMatrices(pieces); ok {
+		return out, nil
+	}
 	first := pieces[0].(*vmath.Matrix)
-	out := &vmath.Matrix{Cols: first.Cols}
+	rows, n := 0, 0
 	for _, p := range pieces {
 		m := p.(*vmath.Matrix)
-		out.Rows += m.Rows
-		out.Data = append(out.Data, m.Data...)
+		rows += m.Rows
+		n += len(m.Data)
+	}
+	out := &vmath.Matrix{Rows: rows, Cols: first.Cols, Data: make([]float64, 0, n)}
+	for _, p := range pieces {
+		out.Data = append(out.Data, p.(*vmath.Matrix).Data...)
 	}
 	return out, nil
+}
+
+// stitchMatrices reslices in-order contiguous row-band views of one backing
+// array back into a single matrix sharing that storage. Reports false (caller
+// copies) on any column mismatch or physical discontinuity.
+func stitchMatrices(pieces []any) (*vmath.Matrix, bool) {
+	first, ok := pieces[0].(*vmath.Matrix)
+	if !ok {
+		return nil, false
+	}
+	data, rows, cols := first.Data, first.Rows, first.Cols
+	for _, p := range pieces[1:] {
+		m, ok := p.(*vmath.Matrix)
+		if !ok || m.Cols != cols {
+			return nil, false
+		}
+		rows += m.Rows
+		if len(m.Data) == 0 {
+			continue
+		}
+		if len(data) == 0 {
+			data = m.Data
+			continue
+		}
+		if cap(data) < len(data)+len(m.Data) {
+			return nil, false
+		}
+		ext := data[:len(data)+len(m.Data)]
+		if &ext[len(data)] != &m.Data[0] {
+			return nil, false
+		}
+		data = ext
+	}
+	return &vmath.Matrix{Rows: rows, Cols: cols, Data: data}, true
 }
 
 // MatrixSplit is the MatrixSplit(m) constructor: parameters are the matrix

@@ -1,0 +1,168 @@
+package vmathsa_test
+
+import (
+	"context"
+	"testing"
+
+	"mozart/internal/annotations/vmathsa"
+	"mozart/internal/core"
+	"mozart/internal/vmath"
+)
+
+// TestArraySplitViewZeroAllocs pins the acceptance criterion for the
+// zero-copy hot path: once the reuse slots are warm (AllocsPerRun's warm-up
+// call), repeatedly re-splitting the same array into the same batch ranges
+// through SplitView performs zero heap allocations — the identical-view fast
+// path returns the reuse slot unchanged, skipping even the interface re-box.
+func TestArraySplitViewZeroAllocs(t *testing.T) {
+	const n, batch = 4096, 512
+	sp := vmathsa.ArraySplitter{}
+	st := core.NewSplitType("ArraySplit", n)
+	a := randVec(n, 11)
+	views := make([]any, n/batch)
+	var err error
+	run := func() {
+		for i := range views {
+			lo, hi := int64(i*batch), int64((i+1)*batch)
+			var v any
+			v, err = sp.SplitView(a, st, lo, hi, views[i])
+			if err != nil {
+				return
+			}
+			views[i] = v
+		}
+	}
+	allocs := testing.AllocsPerRun(100, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("warm SplitView loop allocates %.1f objects/run, want 0", allocs)
+	}
+	for i, v := range views {
+		piece := v.([]float64)
+		if &piece[0] != &a[i*batch] {
+			t.Fatalf("view %d does not alias the source", i)
+		}
+	}
+}
+
+// TestMatrixSplitViewZeroAllocs: the matrix path retargets the reuse piece's
+// header in place, so steady-state row-band splits are also allocation-free.
+func TestMatrixSplitViewZeroAllocs(t *testing.T) {
+	const rows, cols, band = 256, 16, 32
+	sp := vmathsa.MatrixSplitter{}
+	st := core.NewSplitType("MatrixSplit", rows, cols)
+	m := &vmath.Matrix{Rows: rows, Cols: cols, Data: randVec(rows*cols, 13)}
+	views := make([]any, rows/band)
+	var err error
+	run := func() {
+		for i := range views {
+			lo, hi := int64(i*band), int64((i+1)*band)
+			var v any
+			v, err = sp.SplitView(m, st, lo, hi, views[i])
+			if err != nil {
+				return
+			}
+			views[i] = v
+		}
+	}
+	allocs := testing.AllocsPerRun(100, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("warm matrix SplitView loop allocates %.1f objects/run, want 0", allocs)
+	}
+	for i, v := range views {
+		piece := v.(*vmath.Matrix)
+		if &piece.Data[0] != &m.Data[i*band*cols] {
+			t.Fatalf("band %d does not alias the source", i)
+		}
+	}
+}
+
+// TestStitchMergeSharesStorage: merging in-order contiguous views reslices
+// the original backing array instead of copying.
+func TestStitchMergeSharesStorage(t *testing.T) {
+	sp := vmathsa.ArraySplitter{}
+	st := core.NewSplitType("ArraySplit", 100)
+	a := randVec(100, 17)
+	var pieces []any
+	for lo := int64(0); lo < 100; lo += 30 {
+		hi := lo + 30
+		if hi > 100 {
+			hi = 100
+		}
+		p, err := sp.SplitView(a, st, lo, hi, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pieces = append(pieces, p)
+	}
+	merged, err := sp.Merge(pieces, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := merged.([]float64)
+	if len(out) != len(a) || &out[0] != &a[0] {
+		t.Fatal("stitched merge should alias the original storage")
+	}
+}
+
+// TestMergeFallbackCopies: pieces from unrelated arrays cannot stitch; the
+// fallback must copy into fresh storage rather than append into a piece's
+// backing array (which the piece may alias and appending would clobber).
+func TestMergeFallbackCopies(t *testing.T) {
+	sp := vmathsa.ArraySplitter{}
+	st := core.NewSplitType("ArraySplit", 8)
+	a := []float64{1, 2, 3, 4}
+	b := []float64{5, 6, 7, 8}
+	aCopy := append([]float64(nil), a...)
+	bCopy := append([]float64(nil), b...)
+	merged, err := sp.Merge([]any{a, b}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := merged.([]float64)
+	want := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	almost(out, want, t, "fallback merge")
+	if &out[0] == &a[0] {
+		t.Fatal("fallback merge must not reuse a piece's backing array")
+	}
+	almost(a, aCopy, t, "piece a untouched")
+	almost(b, bCopy, t, "piece b untouched")
+}
+
+// TestViewSplitsCounted: an evaluation over view-capable splitters serves
+// its input splits through SplitView and counts them, and a second
+// evaluation of the same shape reuses the session's warm view slots.
+func TestViewSplitsCounted(t *testing.T) {
+	const n = 2048
+	a, b := randVec(n, 19), randVec(n, 23)
+	s := core.NewSession(core.Options{Workers: 2, BatchElems: 256})
+	ref := append([]float64(nil), a...)
+	vmath.Add(n, ref, b, ref)
+	vmath.Mul(n, ref, b, ref)
+
+	vmathsa.Add(s, n, a, b, a)
+	vmathsa.Mul(s, n, a, b, a)
+	if err := s.EvaluateContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	almost(a, ref, t, "first evaluation")
+	first := s.Stats().ViewSplits
+	if first == 0 {
+		t.Fatal("view-capable inputs should be split via SplitView")
+	}
+
+	vmath.Add(n, ref, b, ref)
+	vmathsa.Add(s, n, a, b, a)
+	if err := s.EvaluateContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	almost(a, ref, t, "second evaluation")
+	if got := s.Stats().ViewSplits; got <= first {
+		t.Errorf("ViewSplits = %d after second evaluation, want > %d", got, first)
+	}
+}

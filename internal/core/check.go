@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"reflect"
 )
 
 // CheckConfig configures CheckAnnotation.
@@ -73,6 +74,9 @@ func CheckAnnotation(spec CheckSpec) error {
 		return err
 	}
 	cfg := spec.Config.withDefaults()
+	if err := checkViewCaps(spec, cfg); err != nil {
+		return err
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	for trial := 0; trial < cfg.Trials; trial++ {
 		seed := cfg.Seed + int64(trial)*7919
@@ -126,4 +130,211 @@ func CheckAnnotation(spec CheckSpec) error {
 		}
 	}
 	return nil
+}
+
+// checkViewCaps verifies the CapView contract for every concrete parameter
+// whose splitter declares it: SplitView pieces must alias the source's
+// storage (pointer containment of every backing array), must agree with the
+// plain Split over the same range, and the reuse slot must round-trip — a
+// retargeted reuse piece still aliases the source, and mutating through a
+// view is visible in the source. An aliasing violation is an annotation bug
+// the executor cannot detect at run time (it would silently decay zero-copy
+// to copies, or worse, drop writes), so the checker rejects it up front.
+func checkViewCaps(spec CheckSpec, cfg CheckConfig) error {
+	sa := spec.Annotation
+	args := spec.Gen(cfg.Seed + 104729)
+	if len(args) != len(sa.Params) {
+		return nil // the trial loop reports the arity mismatch
+	}
+	for i, p := range sa.Params {
+		if p.Type.Kind != KindConcrete {
+			continue
+		}
+		sp := p.Type.Splitter
+		if !CapabilitiesOf(sp).Has(CapView) {
+			continue
+		}
+		vs, ok := sp.(ViewSplitter)
+		if !ok {
+			return fmt.Errorf("mozart: check: %s: param %s: splitter declares CapView but implements no SplitView", sa.FuncName, p.Name)
+		}
+		t, err := p.Type.Ctor(args)
+		if err != nil {
+			continue
+		}
+		v := args[i]
+		info, err := sp.Info(v, t)
+		if err != nil || info.Elems < 2 {
+			continue
+		}
+		mid := info.Elems / 2
+		fail := func(detail string, err error) error {
+			if err != nil {
+				return fmt.Errorf("mozart: check: %s: param %s: %s: %w", sa.FuncName, p.Name, detail, err)
+			}
+			return fmt.Errorf("mozart: check: %s: param %s: %s", sa.FuncName, p.Name, detail)
+		}
+
+		// A fresh view must alias the source and match the plain split.
+		a, err := vs.SplitView(v, t, 0, mid, nil)
+		if err != nil {
+			return fail("SplitView failed", err)
+		}
+		if !viewAliases(a, v) {
+			return fail("SplitView piece does not alias the source (CapView requires aliasing views)", nil)
+		}
+		ref, err := sp.Split(v, t, 0, mid)
+		if err != nil {
+			return fail("Split failed", err)
+		}
+		if !reflect.DeepEqual(a, ref) {
+			return fail("SplitView piece differs from Split over the same range", nil)
+		}
+
+		// Retargeting the reuse slot at a different range must still alias
+		// and still match the plain split.
+		b, err := vs.SplitView(v, t, mid, info.Elems, a)
+		if err != nil {
+			return fail("SplitView with reuse failed", err)
+		}
+		if !viewAliases(b, v) {
+			return fail("reused SplitView piece does not alias the source", nil)
+		}
+		ref2, err := sp.Split(v, t, mid, info.Elems)
+		if err != nil {
+			return fail("Split failed", err)
+		}
+		if !reflect.DeepEqual(b, ref2) {
+			return fail("reused SplitView piece differs from Split over the same range", nil)
+		}
+
+		// Identical-range reuse must be stable (the zero-alloc fast path).
+		c, err := vs.SplitView(v, t, mid, info.Elems, b)
+		if err != nil {
+			return fail("identical-range SplitView with reuse failed", err)
+		}
+		if !reflect.DeepEqual(c, ref2) {
+			return fail("identical-range SplitView reuse corrupted the piece", nil)
+		}
+
+		// Writes through a view must land in the source (the round-trip
+		// under mutation the in-place write-back path depends on).
+		if !mutationVisible(c, v) {
+			return fail("mutation through a SplitView piece is not visible in the source", nil)
+		}
+	}
+	return nil
+}
+
+// bufferRange is one backing array reachable from a value: the slice itself
+// plus its [base, base+n*size) address range.
+type bufferRange struct {
+	val  reflect.Value
+	base uintptr
+	size uintptr
+	n    int
+}
+
+// collectBuffers gathers the backing arrays of every non-empty slice
+// reachable through pointers, exported struct fields, interfaces, and
+// pointer/struct slice elements, to a bounded depth.
+func collectBuffers(rv reflect.Value, depth int, out *[]bufferRange) {
+	if depth > 6 || !rv.IsValid() {
+		return
+	}
+	switch rv.Kind() {
+	case reflect.Pointer, reflect.Interface:
+		if !rv.IsNil() {
+			collectBuffers(rv.Elem(), depth+1, out)
+		}
+	case reflect.Struct:
+		for i := 0; i < rv.NumField(); i++ {
+			if rv.Type().Field(i).IsExported() {
+				collectBuffers(rv.Field(i), depth+1, out)
+			}
+		}
+	case reflect.Slice:
+		if rv.Len() == 0 {
+			return
+		}
+		*out = append(*out, bufferRange{val: rv, base: rv.Pointer(), size: rv.Type().Elem().Size(), n: rv.Len()})
+		switch rv.Type().Elem().Kind() {
+		case reflect.Pointer, reflect.Struct, reflect.Interface:
+			for i := 0; i < rv.Len(); i++ {
+				collectBuffers(rv.Index(i), depth+1, out)
+			}
+		}
+	}
+}
+
+// contains reports whether p's address range lies within s's.
+func (s bufferRange) contains(p bufferRange) bool {
+	return p.size == s.size && p.base >= s.base &&
+		p.base+uintptr(p.n)*p.size <= s.base+uintptr(s.n)*s.size
+}
+
+// viewAliases reports whether every backing array of piece lies within one
+// of src's backing arrays — the pointer-identity aliasing check for CapView.
+func viewAliases(piece, src any) bool {
+	var pb, sb []bufferRange
+	collectBuffers(reflect.ValueOf(piece), 0, &pb)
+	collectBuffers(reflect.ValueOf(src), 0, &sb)
+	if len(pb) == 0 {
+		return false
+	}
+	for _, p := range pb {
+		ok := false
+		for _, s := range sb {
+			if s.contains(p) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// mutationVisible pokes the first scalar buffer of piece and reads the same
+// memory back through src's containing buffer, restoring the original value
+// afterwards. True when the write is observed (or when piece exposes no
+// scalar buffer to probe — the aliasing check has already passed).
+func mutationVisible(piece, src any) bool {
+	var pb, sb []bufferRange
+	collectBuffers(reflect.ValueOf(piece), 0, &pb)
+	collectBuffers(reflect.ValueOf(src), 0, &sb)
+	for _, p := range pb {
+		k := p.val.Type().Elem().Kind()
+		switch k {
+		case reflect.Float64, reflect.Float32, reflect.Int64, reflect.Int32, reflect.Int,
+			reflect.Uint64, reflect.Uint32, reflect.Uint8, reflect.Bool:
+		default:
+			continue
+		}
+		for _, s := range sb {
+			if !s.contains(p) {
+				continue
+			}
+			idx := int((p.base - s.base) / p.size)
+			pe := p.val.Index(0)
+			se := s.val.Index(idx)
+			old := reflect.ValueOf(pe.Interface())
+			switch k {
+			case reflect.Bool:
+				pe.SetBool(!pe.Bool())
+			case reflect.Float64, reflect.Float32:
+				pe.SetFloat(pe.Float() + 1)
+			case reflect.Uint64, reflect.Uint32, reflect.Uint8:
+				pe.SetUint(pe.Uint() ^ 1)
+			default:
+				pe.SetInt(pe.Int() + 1)
+			}
+			visible := reflect.DeepEqual(se.Interface(), pe.Interface())
+			pe.Set(old)
+			return visible
+		}
+	}
+	return true
 }

@@ -171,6 +171,11 @@ func (s *Session) safeSplit(sp Splitter, v any, t SplitType, start, end int64) (
 	return sp.Split(v, t, start, end)
 }
 
+func (s *Session) safeSplitView(sp ViewSplitter, v any, t SplitType, start, end int64, reuse any) (piece any, err error) {
+	defer s.recoverPanic(&err)
+	return sp.SplitView(v, t, start, end, reuse)
+}
+
 func (s *Session) safeMerge(sp Splitter, pieces []any, t SplitType) (v any, err error) {
 	defer s.recoverPanic(&err)
 	return sp.Merge(pieces, t)
@@ -195,6 +200,14 @@ type stageExec struct {
 	inputs     []resolvedInput
 	mutInPlace []resolvedInput
 
+	// viewers[i] is inputs[i]'s splitter as a ViewSplitter when its
+	// capability set includes CapView (nil otherwise), resolved once per
+	// stage so the per-batch loop never type-asserts. View-capable inputs
+	// split through SplitView with a per-worker reuse slot: in steady
+	// state the previous evaluation's piece is still the right view and
+	// comes back unboxed — zero allocations.
+	viewers []ViewSplitter
+
 	// Per-stage observability detail, computed once so the per-batch hot
 	// loop emits events without building strings or re-deriving sizes.
 	si        int    // stage index within the plan
@@ -218,11 +231,32 @@ func mutInPlaceInputs(st *planStage, inputs []resolvedInput) []resolvedInput {
 	}
 	var out []resolvedInput
 	for _, in := range inputs {
-		if mut[in.b.id] && in.r.splitter != nil && splitterIsInPlace(in.r.splitter) {
+		if mut[in.b.id] && CapabilitiesOf(in.r.splitter).Has(CapInPlace) {
 			out = append(out, in)
 		}
 	}
 	return out
+}
+
+// resolveViewers builds the per-input ViewSplitter table for a stage: only
+// splitters whose capability set declares CapView are consulted, and only
+// then asserted to the concrete interface (the CapabilitiesOf contract).
+func resolveViewers(inputs []resolvedInput) []ViewSplitter {
+	var viewers []ViewSplitter
+	for i, in := range inputs {
+		if !CapabilitiesOf(in.r.splitter).Has(CapView) {
+			continue
+		}
+		vs, ok := in.r.splitter.(ViewSplitter)
+		if !ok {
+			continue // declared but not callable: stay on the Split path
+		}
+		if viewers == nil {
+			viewers = make([]ViewSplitter, len(inputs))
+		}
+		viewers[i] = vs
+	}
+	return viewers
 }
 
 func (s *Session) executeStageSplit(ctx context.Context, si int, st *planStage) error {
@@ -326,7 +360,7 @@ func (s *Session) executeStageSplit(ctx context.Context, si int, st *planStage) 
 		}
 	}
 	ex := &stageExec{
-		st: st, inputs: inputs,
+		st: st, inputs: inputs, viewers: resolveViewers(inputs),
 		si: si, calls: stageCalls(st), split: split, elemBytes: sumElemBytes,
 	}
 	if s.opts.RetryPolicy.enabled() {
@@ -352,7 +386,7 @@ func (s *Session) executeStageSplit(ctx context.Context, si int, st *planStage) 
 
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	results := make([]workerOut, workers)
+	results := s.pools.getOuts(workers)
 	var wg sync.WaitGroup
 	lo := int64(0)
 	for w := 0; w < workers; w++ {
@@ -361,15 +395,16 @@ func (s *Session) executeStageSplit(ctx context.Context, si int, st *planStage) 
 			hi++
 		}
 		wg.Add(1)
-		go func(w int, lo, hi int64) {
+		w, wlo, whi := w, lo, hi
+		s.spawn(func() {
 			defer wg.Done()
 			s.workerLoop(wctx, ex, func() {
-				results[w] = s.runWorker(wctx, ex, w, lo, hi, batch)
+				results[w] = s.runWorker(wctx, ex, w, wlo, whi, batch)
 			})
 			if results[w].err != nil {
 				cancel()
 			}
-		}(w, lo, hi)
+		})
 		lo = hi
 	}
 	wg.Wait()
@@ -385,11 +420,17 @@ func (s *Session) executeStageSplit(ctx context.Context, si int, st *planStage) 
 	// Final merge on the main thread (§5.2 Step 3), then write back.
 	t0 := time.Now()
 	for oi, out := range st.outputs {
-		var pieces []any
+		nPieces := 0
+		for _, r := range results {
+			nPieces += len(r.partials[out.b.id])
+		}
+		pieces := s.pools.getAnys(nPieces)
+		pieces = pieces[:0]
 		for _, r := range results {
 			pieces = append(pieces, r.partials[out.b.id]...)
 		}
 		merged, err := s.mergePieces(out.r, pieces)
+		s.pools.putAnys(pieces[:cap(pieces)])
 		if err != nil {
 			return s.stageErr(st, OriginMerge, fmt.Errorf("merge output %d: %w", oi, err))
 		}
@@ -400,6 +441,10 @@ func (s *Session) executeStageSplit(ctx context.Context, si int, st *planStage) 
 	}
 	s.stats.add(&s.stats.MergeNS, time.Since(t0))
 	s.emitMerge(ex, obs.RuntimeLane, t0)
+	for i := range results {
+		s.pools.putRaw(results[i].partials)
+	}
+	s.pools.putOuts(results)
 
 	// In-place mutated bindings are already up to date; mark them ready.
 	s.finishStageBindings(st)
@@ -493,7 +538,7 @@ func (s *Session) executeDynamic(ctx context.Context, ex *stageExec, total, batc
 	nBatches := (total + batch - 1) / batch
 	pieces := map[int][]any{} // output binding id -> piece per batch index
 	for _, o := range st.outputs {
-		pieces[o.b.id] = make([]any, nBatches)
+		pieces[o.b.id] = s.pools.getAnys(int(nBatches))
 	}
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -502,10 +547,12 @@ func (s *Session) executeDynamic(ctx context.Context, ex *stageExec, total, batc
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		w := w
+		s.spawn(func() {
 			defer wg.Done()
 			s.workerLoop(wctx, ex, func() {
-				env := map[int]any{}
+				sc := s.pools.getScratch()
+				defer s.pools.putScratch(sc)
 				for {
 					if err := wctx.Err(); err != nil {
 						errs[w] = err
@@ -520,7 +567,7 @@ func (s *Session) executeDynamic(ctx context.Context, ex *stageExec, total, batc
 					if end > total {
 						end = total
 					}
-					out, err := s.runBatchResilient(wctx, ex, env, w, start, end)
+					out, err := s.runBatchResilient(wctx, ex, sc, w, start, end)
 					if err != nil {
 						errs[w] = err
 						cancel()
@@ -531,7 +578,7 @@ func (s *Session) executeDynamic(ctx context.Context, ex *stageExec, total, batc
 					}
 				}
 			})
-		}(w)
+		})
 	}
 	wg.Wait()
 	if err := s.firstWorkerError(st, errs); err != nil {
@@ -540,13 +587,17 @@ func (s *Session) executeDynamic(ctx context.Context, ex *stageExec, total, batc
 
 	t0 := time.Now()
 	for oi, out := range st.outputs {
-		var ps []any
-		for _, p := range pieces[out.b.id] {
+		all := pieces[out.b.id]
+		ps := s.pools.getAnys(len(all))
+		ps = ps[:0]
+		for _, p := range all {
 			if p != nil {
 				ps = append(ps, p)
 			}
 		}
 		merged, err := s.mergePieces(out.r, ps)
+		s.pools.putAnys(ps[:cap(ps)])
+		s.pools.putAnys(all)
 		if err != nil {
 			return s.stageErr(st, OriginMerge, fmt.Errorf("merge output %d: %w", oi, err))
 		}
@@ -562,12 +613,14 @@ func (s *Session) executeDynamic(ctx context.Context, ex *stageExec, total, batc
 }
 
 // runBatch splits inputs for [start, end), pipelines the batch through the
-// stage's calls, and returns the pieces of stage outputs. env is a reusable
-// per-worker scratch map. It is the single batch body for both static and
-// dynamic scheduling, so panic isolation and Pedantic checks behave
-// identically under either scheduler. w is the worker lane and attempt the
-// retry attempt number, both only used for the batch span event.
-func (s *Session) runBatch(ex *stageExec, env map[int]any, w int, start, end int64, attempt int) (map[int]any, error) {
+// stage's calls, and returns the pieces of stage outputs. sc is the pooled
+// per-worker scratch (env map, argument buffers, SplitView reuse slots).
+// It is the single batch body for both static and dynamic scheduling, so
+// panic isolation and Pedantic checks behave identically under either
+// scheduler. w is the worker lane and attempt the retry attempt number,
+// both only used for the batch span event. The returned output map is
+// scratch-owned: callers must consume it before the worker's next batch.
+func (s *Session) runBatch(ex *stageExec, sc *workerScratch, w int, start, end int64, attempt int) (map[int]any, error) {
 	st, inputs := ex.st, ex.inputs
 	batchErr := func(origin FaultOrigin, call string, err error) *StageError {
 		se := s.stageErr(st, origin, err)
@@ -576,10 +629,27 @@ func (s *Session) runBatch(ex *stageExec, env map[int]any, w int, start, end int
 		return se
 	}
 
+	env := sc.env
 	clear(env)
 	t0 := time.Now()
-	for _, in := range inputs {
-		piece, err := s.safeSplit(in.r.splitter, in.val, in.r.t, start, end)
+	views := 0
+	for ii, in := range inputs {
+		var piece any
+		var err error
+		if ex.viewers != nil && ex.viewers[ii] != nil {
+			// Zero-copy path: hand the splitter the reuse slot from the
+			// last batch at these coordinates. In steady state the slot
+			// already holds the right view of the right storage and comes
+			// back unchanged — no copy, no boxing, no allocation.
+			key := viewKey{in: ii, start: start, end: end}
+			piece, err = s.safeSplitView(ex.viewers[ii], in.val, in.r.t, start, end, sc.views[key])
+			if err == nil {
+				sc.views[key] = piece
+				views++
+			}
+		} else {
+			piece, err = s.safeSplit(in.r.splitter, in.val, in.r.t, start, end)
+		}
 		if err != nil {
 			return nil, batchErr(OriginSplit, "", fmt.Errorf("split of %s: %w", in.r.t, err))
 		}
@@ -591,10 +661,13 @@ func (s *Session) runBatch(ex *stageExec, env map[int]any, w int, start, end int
 	splitDur := time.Since(t0)
 	s.stats.add(&s.stats.SplitNS, splitDur)
 	s.stats.add(&s.stats.Batches, 1)
+	if views > 0 {
+		s.stats.add(&s.stats.ViewSplits, time.Duration(views))
+	}
 
 	var taskDur time.Duration
-	for _, c := range st.calls {
-		args := make([]any, len(c.n.args))
+	for ci, c := range st.calls {
+		args := sc.argsFor(ci, len(c.n.args))
 		for i, r := range c.args {
 			b := c.n.args[i]
 			if r.broadcast {
@@ -626,10 +699,14 @@ func (s *Session) runBatch(ex *stageExec, env map[int]any, w int, start, end int
 			env[c.n.ret.id] = ret
 		}
 	}
-	out := map[int]any{}
-	for _, o := range st.outputs {
-		if piece, ok := env[o.b.id]; ok {
-			out[o.b.id] = piece
+	var out map[int]any
+	if len(st.outputs) > 0 {
+		out = sc.out
+		clear(out)
+		for _, o := range st.outputs {
+			if piece, ok := env[o.b.id]; ok {
+				out[o.b.id] = piece
+			}
 		}
 	}
 	if tr := s.opts.Tracer; tr != nil {
@@ -654,19 +731,22 @@ type workerOut struct {
 // promptly once a sibling has failed or the stage deadline passed.
 func (s *Session) runWorker(ctx context.Context, ex *stageExec, w int, lo, hi, batch int64) workerOut {
 	st := ex.st
-	raw := map[int][]any{} // output binding id -> pieces
-	env := map[int]any{}   // binding id -> current piece within a batch
+	sc := s.pools.getScratch()
+	defer s.pools.putScratch(sc)
+	raw := s.pools.getRaw() // output binding id -> pieces
 
 	for start := lo; start < hi; start += batch {
 		if err := ctx.Err(); err != nil {
+			s.pools.putRaw(raw)
 			return workerOut{err: err}
 		}
 		end := start + batch
 		if end > hi {
 			end = hi
 		}
-		out, err := s.runBatchResilient(ctx, ex, env, w, start, end)
+		out, err := s.runBatchResilient(ctx, ex, sc, w, start, end)
 		if err != nil {
+			s.pools.putRaw(raw)
 			return workerOut{err: err}
 		}
 		for id, piece := range out {
@@ -675,8 +755,9 @@ func (s *Session) runWorker(ctx context.Context, ex *stageExec, w int, lo, hi, b
 	}
 
 	// Per-worker pre-merge (§5.2 Step 3) keeps the main-thread merge cheap
-	// and is valid because Merge is associative.
-	partials := map[int][]any{}
+	// and is valid because Merge is associative. The partials map (and its
+	// piece slices) go back to the pool after the main-thread final merge.
+	partials := s.pools.getRaw()
 	t2 := time.Now()
 	merges := 0
 	for _, o := range st.outputs {
@@ -686,11 +767,14 @@ func (s *Session) runWorker(ctx context.Context, ex *stageExec, w int, lo, hi, b
 		}
 		merged, err := s.mergePieces(o.r, pieces)
 		if err != nil {
+			s.pools.putRaw(raw)
+			s.pools.putRaw(partials)
 			return workerOut{err: s.stageErr(st, OriginMerge, fmt.Errorf("worker merge: %w", err))}
 		}
-		partials[o.b.id] = []any{merged}
+		partials[o.b.id] = append(partials[o.b.id], merged)
 		merges++
 	}
+	s.pools.putRaw(raw)
 	s.stats.add(&s.stats.MergeNS, time.Since(t2))
 	if merges > 0 {
 		s.emitMerge(ex, w, t2)

@@ -48,9 +48,10 @@ type Session struct {
 	byPointer map[uintptr]*binding
 	stats     Stats
 	nextID    int
-	broken    error       // sticky evaluation error
-	breakers  *breakerSet // per-annotation circuit breakers (FallbackQuarantine)
-	sim       simCounters // plan-signature cache for simulated counters
+	broken    error         // sticky evaluation error
+	breakers  *breakerSet   // per-annotation circuit breakers (FallbackQuarantine)
+	sim       simCounters   // plan-signature cache for simulated counters
+	pools     *sessionPools // hot-path buffer reuse (scratch, outs, pieces)
 }
 
 // NewSession creates a session with the given options.
@@ -64,7 +65,24 @@ func NewSession(opts Options) *Session {
 		opts:      o,
 		byPointer: map[uintptr]*binding{},
 		breakers:  breakers,
+		pools:     newSessionPools(o.PoisonPools),
 	}
+}
+
+// spawn dispatches a stage-worker task onto the session's worker pool, or a
+// fresh goroutine when the pool is disabled, accounting goroutine creation
+// in Stats.WorkerSpawns (zero across steady-state evaluations is the pool's
+// reuse proof).
+func (s *Session) spawn(task func()) {
+	if p := s.opts.WorkerPool; p != nil {
+		s.stats.add(&s.stats.PoolTasks, 1)
+		if p.Run(task) {
+			s.stats.add(&s.stats.WorkerSpawns, 1)
+		}
+		return
+	}
+	s.stats.add(&s.stats.WorkerSpawns, 1)
+	go task()
 }
 
 // baseContext resolves the context used by evaluations forced without an
@@ -161,8 +179,9 @@ func (s *Session) bindingFor(arg any) *binding {
 }
 
 // Track registers a source value with the session and returns a Future for
-// it, used for values whose splitter copies data (the merged result replaces
-// the tracked value rather than mutating it in place).
+// it. For values whose splitter copies data the merged result replaces the
+// tracked value; under an in-place/view splitter (CapInPlace) the future
+// resolves to the original value, mutated through its aliasing pieces.
 func (s *Session) Track(v any) *Future {
 	b := s.bindingFor(v)
 	return &Future{sess: s, b: b}

@@ -153,6 +153,23 @@ type Options struct {
 	// the OS temp dir. Spill files are CRC-checked, crash-safe (orphans
 	// from dead processes are sweepable), and removed at stage finale.
 	SpillDir string
+	// WorkerPool, when set, is the persistent worker pool the static,
+	// dynamic, and streaming executors dispatch stage work onto instead of
+	// spawning fresh goroutines per stage. Defaults to a session-private
+	// pool sized at Workers; share one pool across sessions to bound the
+	// process's total worker count. See WorkerPool and Stats.WorkerSpawns
+	// (zero spawns across steady-state evaluations is the reuse proof).
+	WorkerPool *WorkerPool
+	// DisableWorkerPool reverts to the pre-pool behaviour of spawning a
+	// fresh goroutine per stage worker. Mostly useful for A/B measurement;
+	// correctness is identical either way.
+	DisableWorkerPool bool
+	// PoisonPools is a debug mode for the session's buffer pools: every
+	// buffer returned to a pool has its slots overwritten with a sentinel
+	// before reuse, so any code path that retains a reference past the
+	// hand-back observes the sentinel instead of stale data and fails
+	// loudly. Used by the pool leak tests; off in production.
+	PoisonPools bool
 	// SimulateCounters, with a Tracer set, lowers each evaluation's plan
 	// IR into the memsim machine model and emits per-stage simulated
 	// hardware counters (L1/L2/LLC hits and misses, DRAM bytes, modeled
@@ -189,6 +206,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Governor == nil && o.MemoryBudgetBytes > 0 {
 		o.Governor = NewGovernor(o.MemoryBudgetBytes)
+	}
+	if o.WorkerPool == nil && !o.DisableWorkerPool {
+		o.WorkerPool = NewWorkerPool(o.Workers)
 	}
 	return o
 }

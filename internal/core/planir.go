@@ -126,9 +126,12 @@ func (s *Session) stageIR(st *planStage) ir.Stage {
 
 // inputIR records a stage input, probing the splitter's Info for element
 // count and width when the value is already materialized (deferred splits
-// resolve against the default registry, exactly as the executor will).
+// resolve against the default registry, exactly as the executor will). The
+// splitter's capability set is recorded too, so Explain shows which inputs
+// take the zero-copy view path.
 func (s *Session) inputIR(in stageInput) ir.Value {
 	v := ir.Value{Binding: in.b.id, Split: renderResolved(in.r), Elems: -1, ElemBytes: -1}
+	v.Caps = CapabilitiesOf(in.r.splitter).String()
 	if !in.b.hasVal {
 		return v
 	}
@@ -143,6 +146,7 @@ func (s *Session) inputIR(in stageInput) ir.Value {
 			return v
 		}
 		r.splitter, r.t, r.deferred = d.splitter, t, false
+		v.Caps = CapabilitiesOf(r.splitter).String()
 	}
 	if info, err := s.safeInfo(r.splitter, in.b.val, r.t); err == nil {
 		v.Elems, v.ElemBytes = info.Elems, info.ElemBytes

@@ -317,9 +317,10 @@ func (s *Session) classifyStages(p *plan, peek bool) {
 					st.inputs = append(st.inputs, stageInput{b: b, r: r})
 				}
 				// Mutated arguments: write back merged pieces unless the
-				// splitter mutates in place.
+				// splitter mutates in place (CapInPlace: the pieces alias
+				// the original storage, so it is already up to date).
 				if c.n.sa.Params[ai].Mut && !seenOut[b.id] {
-					if r.splitter == nil || !splitterIsInPlace(r.splitter) {
+					if !CapabilitiesOf(r.splitter).Has(CapInPlace) {
 						seenOut[b.id] = true
 						st.outputs = append(st.outputs, stageOutput{b: b, r: r})
 					}

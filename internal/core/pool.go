@@ -1,0 +1,162 @@
+package core
+
+import "sync"
+
+// sessionPools is the sync.Pool-backed scratch reuse layer for the hot
+// path. Every per-evaluation buffer the executor used to allocate fresh —
+// per-worker env/args scratch, piece-collection maps, workerOut result
+// slices, merge piece slices — cycles through these pools instead, so a
+// session's second and later evaluations run the split→call→merge loop
+// without heap growth. Pools are per-Session (created in NewSession), so
+// buffers can never migrate between concurrent sessions by construction;
+// the poison mode exists to prove no code path *retains* a buffer after
+// returning it.
+type sessionPools struct {
+	// poison, when true (Options.PoisonPools), overwrites the slots of
+	// every returned buffer with a sentinel value before pooling it. Any
+	// code path that kept a reference past the put sees poisonedBuffer{}
+	// instead of its data and fails loudly (type asserts miss, results
+	// corrupt deterministically). Debug mode for the leak tests.
+	poison bool
+
+	scratch sync.Pool // *workerScratch
+	outs    sync.Pool // *[]workerOut
+	anys    sync.Pool // *[]any
+	raws    sync.Pool // *map[int][]any
+}
+
+// poisonedBuffer is the sentinel written into returned buffers under
+// poison mode. No real piece ever has this type, so any consumer of a
+// leaked buffer trips an assertion or comparison failure immediately.
+type poisonedBuffer struct{}
+
+func newSessionPools(poison bool) *sessionPools {
+	return &sessionPools{poison: poison}
+}
+
+// viewKey identifies one SplitView reuse slot: the piece most recently
+// produced for input index in over element range [start, end). Keys recur
+// across evaluations of the same plan shape, which is exactly when the
+// previous piece is still the right view and can be returned unboxed.
+type viewKey struct {
+	in         int
+	start, end int64
+}
+
+// workerScratch is the reusable per-worker state for the batch hot loop:
+// the env map threading pieces between pipelined calls, the per-batch
+// output map, per-call argument buffers, and the SplitView reuse slots.
+// Scratches are pooled across stages and evaluations; the views map is
+// deliberately never cleared — stale entries are revalidated by the
+// splitter (a view of the wrong storage or range fails the alias check and
+// is rebuilt), and hits are what make the steady state allocation-free.
+type workerScratch struct {
+	env   map[int]any
+	out   map[int]any
+	args  [][]any
+	views map[viewKey]any
+}
+
+// argsFor returns the scratch argument slice for call index ci, sized n.
+func (sc *workerScratch) argsFor(ci, n int) []any {
+	for len(sc.args) <= ci {
+		sc.args = append(sc.args, nil)
+	}
+	if cap(sc.args[ci]) < n {
+		sc.args[ci] = make([]any, n)
+	}
+	sc.args[ci] = sc.args[ci][:n]
+	return sc.args[ci]
+}
+
+func (p *sessionPools) getScratch() *workerScratch {
+	if sc, ok := p.scratch.Get().(*workerScratch); ok {
+		return sc
+	}
+	return &workerScratch{
+		env:   map[int]any{},
+		out:   map[int]any{},
+		views: map[viewKey]any{},
+	}
+}
+
+func (p *sessionPools) putScratch(sc *workerScratch) {
+	clear(sc.env)
+	clear(sc.out)
+	for _, args := range sc.args {
+		for i := range args {
+			if p.poison {
+				args[i] = poisonedBuffer{}
+			} else {
+				args[i] = nil
+			}
+		}
+	}
+	// sc.views intentionally survives: entries are revalidated on reuse.
+	p.scratch.Put(sc)
+}
+
+// getOuts returns a zeroed []workerOut of length n.
+func (p *sessionPools) getOuts(n int) []workerOut {
+	if bp, ok := p.outs.Get().(*[]workerOut); ok && cap(*bp) >= n {
+		buf := (*bp)[:n]
+		for i := range buf {
+			buf[i] = workerOut{}
+		}
+		return buf
+	}
+	return make([]workerOut, n)
+}
+
+func (p *sessionPools) putOuts(buf []workerOut) {
+	for i := range buf {
+		buf[i] = workerOut{}
+	}
+	p.outs.Put(&buf)
+}
+
+// getAnys returns a zeroed []any of length n.
+func (p *sessionPools) getAnys(n int) []any {
+	if bp, ok := p.anys.Get().(*[]any); ok && cap(*bp) >= n {
+		buf := (*bp)[:n]
+		for i := range buf {
+			buf[i] = nil
+		}
+		return buf
+	}
+	return make([]any, n)
+}
+
+func (p *sessionPools) putAnys(buf []any) {
+	for i := range buf {
+		if p.poison {
+			buf[i] = poisonedBuffer{}
+		} else {
+			buf[i] = nil
+		}
+	}
+	p.anys.Put(&buf)
+}
+
+func (p *sessionPools) getRaw() map[int][]any {
+	if m, ok := p.raws.Get().(map[int][]any); ok {
+		return m
+	}
+	return map[int][]any{}
+}
+
+func (p *sessionPools) putRaw(m map[int][]any) {
+	if m == nil {
+		return
+	}
+	if p.poison {
+		for id, pieces := range m {
+			for i := range pieces {
+				pieces[i] = poisonedBuffer{}
+			}
+			m[id] = pieces
+		}
+	}
+	clear(m)
+	p.raws.Put(m)
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitParked blocks until at least n workers sit on p's idle stack. Workers
+// re-park themselves just after their task returns, so an evaluation can
+// complete an instant before its workers are observable as idle.
+func waitParked(t *testing.T, p *WorkerPool, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		p.mu.Lock()
+		idle := len(p.idle)
+		p.mu.Unlock()
+		if idle >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d workers parked, want >= %d", idle, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWorkerPoolReuse: sequential tasks separated by parking run on the same
+// worker — Tasks grows, Spawns does not.
+func TestWorkerPoolReuse(t *testing.T) {
+	p := NewWorkerPool(2)
+	for i := 0; i < 10; i++ {
+		done := make(chan struct{})
+		p.Run(func() { close(done) })
+		<-done
+		waitParked(t, p, 1)
+	}
+	if got := p.Tasks(); got != 10 {
+		t.Errorf("Tasks = %d, want 10", got)
+	}
+	if got := p.Spawns(); got != 1 {
+		t.Errorf("Spawns = %d, want 1 (one worker reused throughout)", got)
+	}
+}
+
+// TestWorkerPoolSaturationOverflow: a full pool never blocks Run; excess
+// tasks run on plain goroutines and are counted as spawns.
+func TestWorkerPoolSaturationOverflow(t *testing.T) {
+	p := NewWorkerPool(1)
+	var wg sync.WaitGroup
+	release := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		p.Run(func() {
+			<-release
+			wg.Done()
+		})
+	}
+	close(release) // if Run blocked on saturation we'd deadlock before this
+	wg.Wait()
+	if got := p.Spawns(); got != 4 {
+		t.Errorf("Spawns = %d, want 4 (1 pooled + 3 overflow)", got)
+	}
+	p.mu.Lock()
+	workers := p.workers
+	p.mu.Unlock()
+	if workers != 1 {
+		t.Errorf("resident workers = %d, want 1 (overflow goroutines are not retained)", workers)
+	}
+}
+
+// TestWorkerPoolIdleRetirement: a parked worker past its idle timeout exits
+// and is replaced (not revived) by the next Run.
+func TestWorkerPoolIdleRetirement(t *testing.T) {
+	p := &WorkerPool{max: 1, idleTimeout: 5 * time.Millisecond}
+	done := make(chan struct{})
+	p.Run(func() { close(done) })
+	<-done
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		p.mu.Lock()
+		workers := p.workers
+		p.mu.Unlock()
+		if workers == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("idle worker never retired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	done = make(chan struct{})
+	if spawned := p.Run(func() { close(done) }); !spawned {
+		t.Error("Run after retirement should report a fresh spawn")
+	}
+	<-done
+	if got := p.Spawns(); got != 2 {
+		t.Errorf("Spawns = %d, want 2 (original + post-retirement)", got)
+	}
+}
+
+// TestSteadyStateZeroSpawns is the tentpole's no-per-evaluation-goroutines
+// proof: after a warmup evaluation populates the session's pool, repeated
+// evaluations dispatch every stage worker onto parked goroutines and
+// Stats.WorkerSpawns stays flat.
+func TestSteadyStateZeroSpawns(t *testing.T) {
+	const workers = 4
+	a, b := seq(1000), seq(1000)
+	s := NewSession(Options{Workers: workers, BatchElems: 100})
+	run := func() {
+		c := s.Call(fnAddNew, saAddNew, a, b)
+		s.Call(fnAddNew, saAddNew, c, b)
+		if err := s.EvaluateContext(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warmup: spawns the pool's resident workers
+	waitParked(t, s.opts.WorkerPool, workers)
+	warm := s.Stats().WorkerSpawns
+	if warm == 0 {
+		t.Fatal("warmup evaluation should have spawned pool workers")
+	}
+	for i := 0; i < 5; i++ {
+		run()
+		waitParked(t, s.opts.WorkerPool, workers)
+	}
+	st := s.Stats()
+	if st.WorkerSpawns != warm {
+		t.Errorf("WorkerSpawns grew %d -> %d across steady-state evaluations, want flat", warm, st.WorkerSpawns)
+	}
+	if st.PoolTasks <= warm {
+		t.Errorf("PoolTasks = %d, want > %d (later evaluations dispatched onto the pool)", st.PoolTasks, warm)
+	}
+}
+
+// TestSharedWorkerPoolAcrossSessions: one pool bounds several sessions;
+// concurrent evaluations on it stay correct.
+func TestSharedWorkerPoolAcrossSessions(t *testing.T) {
+	pool := NewWorkerPool(4)
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a, b := seq(700), seq(700)
+			s := NewSession(Options{Workers: 2, BatchElems: 64, WorkerPool: pool})
+			c := s.Call(fnAddNew, saAddNew, a, b)
+			got, err := c.Float64s()
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := range got {
+				if got[i] != a[i]+b[i] {
+					t.Errorf("shared-pool result corrupt at %d", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if pool.Tasks() == 0 {
+		t.Error("shared pool saw no tasks")
+	}
+}
+
+// TestDisableWorkerPool: the pre-pool spawn-per-stage path remains available
+// and correct; nothing is dispatched onto a pool.
+func TestDisableWorkerPool(t *testing.T) {
+	a, b := seq(300), seq(300)
+	s := NewSession(Options{Workers: 3, BatchElems: 50, DisableWorkerPool: true})
+	c := s.Call(fnAddNew, saAddNew, a, b)
+	got, err := c.Float64s()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != a[i]+b[i] {
+			t.Fatalf("result mismatch at %d", i)
+		}
+	}
+	st := s.Stats()
+	if st.PoolTasks != 0 {
+		t.Errorf("PoolTasks = %d with the pool disabled, want 0", st.PoolTasks)
+	}
+	if st.WorkerSpawns == 0 {
+		t.Error("disabled pool should count every stage goroutine as a spawn")
+	}
+}
+
+// TestPoisonPoolsConcurrentSessions is the buffer-leak proof the issue asks
+// for, run under -race -count=2 by the flakiness gate: many sessions evaluate
+// concurrently with poison mode overwriting every pooled buffer slot on
+// hand-back. Any code path that retained a piece, argument table, or merge
+// scratch past its put would observe poisonedBuffer{} and corrupt a result
+// or trip an assertion; results staying exact across iterations proves the
+// pools never leak across evaluations or sessions.
+func TestPoisonPoolsConcurrentSessions(t *testing.T) {
+	const (
+		goroutines = 8
+		iters      = 8
+		n          = 512
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a, b := seq(n), seq(n)
+			opts := Options{Workers: 1 + g%4, BatchElems: 37, PoisonPools: true}
+			if g%2 == 1 {
+				opts.DynamicScheduling = true
+			}
+			s := NewSession(opts)
+			for it := 0; it < iters; it++ {
+				c := s.Call(fnAddNew, saAddNew, a, b)
+				d := s.Call(fnAddNew, saAddNew, c, b).Keep() // read below despite in-stage consumer
+				sum := s.Call(fnSum, saSum, d)
+				got, err := d.Float64s()
+				if err != nil {
+					t.Errorf("goroutine %d iter %d: %v", g, it, err)
+					return
+				}
+				var wantSum float64
+				for i := range got {
+					want := a[i] + 2*b[i]
+					if got[i] != want {
+						t.Errorf("goroutine %d iter %d: poisoned buffer leaked into result at %d: got %v want %v", g, it, i, got[i], want)
+						return
+					}
+					wantSum += want
+				}
+				gotSum, err := sum.Float64()
+				if err != nil {
+					t.Errorf("goroutine %d iter %d: %v", g, it, err)
+					return
+				}
+				if diff := gotSum - wantSum; diff > 1e-6 || diff < -1e-6 {
+					t.Errorf("goroutine %d iter %d: reduction corrupt: got %v want %v", g, it, gotSum, wantSum)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPoisonPoolsMutWriteBack covers the copying-splitter write-back path
+// under poison mode: the merge scratch that carries mutated pieces back must
+// be consumed before it is poisoned and pooled.
+func TestPoisonPoolsMutWriteBack(t *testing.T) {
+	for _, dyn := range []bool{false, true} {
+		m := newTestMatrix(24, 18)
+		ref := m.clone()
+		fnNormalizeAxis([]any{ref, 1})
+		s := NewSession(Options{Workers: 3, BatchElems: 5, PoisonPools: true, DynamicScheduling: dyn})
+		fut := s.Track(m)
+		s.Call(fnNormalizeAxis, saNormalizeAxis, m, 1)
+		v, err := fut.Get()
+		if err != nil {
+			t.Fatalf("dyn=%v: %v", dyn, err)
+		}
+		got := v.(*testMatrix)
+		for i := range got.data {
+			if got.data[i] != ref.data[i] {
+				t.Fatalf("dyn=%v: write-back corrupt at %d", dyn, i)
+			}
+		}
+	}
+}

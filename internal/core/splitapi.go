@@ -82,9 +82,12 @@ func FixedCtor(t SplitType) Ctor {
 }
 
 // splitterIsInPlace reports whether s declares its pieces alias the source.
+//
+// Deprecated: use CapabilitiesOf(s).Has(CapInPlace). The capability probe
+// also honors wrappers that declare their set via CapsDeclarer, which a
+// bare InPlacer assertion cannot.
 func splitterIsInPlace(s Splitter) bool {
-	ip, ok := s.(InPlacer)
-	return ok && ip.InPlace()
+	return CapabilitiesOf(s).Has(CapInPlace)
 }
 
 // defaultSplit describes the fallback split behaviour for one concrete data

@@ -40,6 +40,11 @@ type StatsSnapshot struct {
 	StreamedStages int64 // stages executed in windowed streaming mode
 	SpilledBytes   int64 // merge-partial payload bytes written to the spill store
 	SpilledFrames  int64 // merge-partial frames written to the spill store
+
+	// Zero-copy hot-path counters (Options.WorkerPool, ViewSplitter).
+	WorkerSpawns int64 // goroutines created for stage work (pool misses + overflow)
+	PoolTasks    int64 // stage-worker tasks dispatched onto the worker pool
+	ViewSplits   int64 // input splits served by SplitView (aliasing, reuse-slotted)
 }
 
 // Total returns the sum of all phase times.
@@ -74,6 +79,10 @@ func (sn StatsSnapshot) String() string {
 	if sn.StreamedStages > 0 {
 		out += fmt.Sprintf(" [%d streamed stages, %d spill frames, %d spilled bytes]",
 			sn.StreamedStages, sn.SpilledFrames, sn.SpilledBytes)
+	}
+	if sn.PoolTasks > 0 || sn.ViewSplits > 0 {
+		out += fmt.Sprintf(" [pool %d tasks / %d spawns, %d view splits]",
+			sn.PoolTasks, sn.WorkerSpawns, sn.ViewSplits)
 	}
 	return out
 }
@@ -129,5 +138,9 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		StreamedStages: atomic.LoadInt64(&s.StreamedStages),
 		SpilledBytes:   atomic.LoadInt64(&s.SpilledBytes),
 		SpilledFrames:  atomic.LoadInt64(&s.SpilledFrames),
+
+		WorkerSpawns: atomic.LoadInt64(&s.WorkerSpawns),
+		PoolTasks:    atomic.LoadInt64(&s.PoolTasks),
+		ViewSplits:   atomic.LoadInt64(&s.ViewSplits),
 	}
 }

@@ -83,21 +83,22 @@ func (s *Session) executeStreaming(ctx context.Context, si int, st *planStage, i
 		}
 	}
 	ex := &stageExec{
-		st: st, inputs: inputs,
+		st: st, inputs: inputs, viewers: resolveViewers(inputs),
 		si: si, calls: stageCalls(st), split: split, elemBytes: sumElemBytes,
 	}
 	if s.opts.RetryPolicy.enabled() {
 		ex.mutInPlace = mutInPlaceInputs(st, inputs)
 	}
 
-	// Views: when every split input's splitter can produce window views,
-	// each window executes over a windowed copy of the stage whose inputs
-	// cover only [wlo, whi) — generator-backed inputs synthesize just the
-	// window. Otherwise the originals stay materialized and the runtime
-	// drives absolute split coordinates.
+	// Views: when every split input's splitter can produce window views
+	// (CapWindow in its capability set), each window executes over a
+	// windowed copy of the stage whose inputs cover only [wlo, whi) —
+	// generator-backed inputs synthesize just the window. Otherwise the
+	// originals stay materialized and the runtime drives absolute split
+	// coordinates.
 	useViews := len(inputs) > 0
 	for _, in := range inputs {
-		if _, ok := in.r.splitter.(SplitterAt); !ok {
+		if !CapabilitiesOf(in.r.splitter).Has(CapWindow) {
 			useViews = false
 			break
 		}
@@ -128,7 +129,7 @@ func (s *Session) executeStreaming(ctx context.Context, si int, st *planStage, i
 	}()
 	for oi, out := range st.outputs {
 		a := &outAcc{}
-		if codec, ok := out.r.splitter.(PieceCodec); ok {
+		if codec, ok := out.r.splitter.(PieceCodec); ok && CapabilitiesOf(out.r.splitter).Has(CapCodec) {
 			if store == nil {
 				var err error
 				store, err = spill.NewStore(s.opts.SpillDir)
@@ -171,14 +172,18 @@ func (s *Session) executeStreaming(ctx context.Context, si int, st *planStage, i
 		if useViews {
 			winputs := make([]resolvedInput, len(inputs))
 			for i, in := range inputs {
-				view, err := s.safeSplitAt(in.r.splitter.(SplitterAt), in.val, in.r.t, wlo, whi)
+				sa, ok := in.r.splitter.(SplitterAt)
+				if !ok {
+					return s.stageErr(st, OriginInternal, fmt.Errorf("splitter for %s declares CapWindow but implements no SplitAt", in.r.t))
+				}
+				view, err := s.safeSplitAt(sa, in.val, in.r.t, wlo, whi)
 				if err != nil {
 					return s.stageErr(st, OriginSplit, fmt.Errorf("window split of %s [%d,%d): %w", in.r.t, wlo, whi, err))
 				}
 				winputs[i] = in
 				winputs[i].val = view
 			}
-			wex = &stageExec{st: st, inputs: winputs,
+			wex = &stageExec{st: st, inputs: winputs, viewers: resolveViewers(winputs),
 				si: si, calls: ex.calls, split: ex.split, elemBytes: sumElemBytes}
 			if s.opts.RetryPolicy.enabled() {
 				wex.mutInPlace = mutInPlaceInputs(st, winputs)
@@ -323,7 +328,7 @@ func (s *Session) runRange(ctx context.Context, ex *stageExec, lo, hi, batch int
 
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	results := make([]workerOut, workers)
+	results := s.pools.getOuts(workers)
 	var wg sync.WaitGroup
 	cur := lo
 	for w := 0; w < workers; w++ {
@@ -332,15 +337,16 @@ func (s *Session) runRange(ctx context.Context, ex *stageExec, lo, hi, batch int
 			chunkHi++
 		}
 		wg.Add(1)
-		go func(w int, lo, hi int64) {
+		w, wlo, whi := w, cur, chunkHi
+		s.spawn(func() {
 			defer wg.Done()
 			s.workerLoop(wctx, ex, func() {
-				results[w] = s.runWorker(wctx, ex, w, lo, hi, batch)
+				results[w] = s.runWorker(wctx, ex, w, wlo, whi, batch)
 			})
 			if results[w].err != nil {
 				cancel()
 			}
-		}(w, cur, chunkHi)
+		})
 		cur = chunkHi
 	}
 	wg.Wait()
@@ -358,5 +364,9 @@ func (s *Session) runRange(ctx context.Context, ex *stageExec, lo, hi, batch int
 			out[o.b.id] = append(out[o.b.id], r.partials[o.b.id]...)
 		}
 	}
+	for i := range results {
+		s.pools.putRaw(results[i].partials)
+	}
+	s.pools.putOuts(results)
 	return out, nil
 }

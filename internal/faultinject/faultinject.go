@@ -306,7 +306,9 @@ func (in *Injector) WrapFunc(site string, fn core.Func) core.Func {
 }
 
 // WrapSplitter intercepts a splitter's Info/Split/Merge. The wrapper
-// preserves the underlying splitter's in-place declaration.
+// declares the underlying splitter's capabilities (core.CapsDeclarer), so
+// in-place, view, window, and codec behavior all survive wrapping; view and
+// window splits are intercepted under the split aspect like plain splits.
 func (in *Injector) WrapSplitter(site string, sp core.Splitter) core.Splitter {
 	return &faultSplitter{in: in, site: site, sp: sp}
 }
@@ -315,6 +317,14 @@ type faultSplitter struct {
 	in   *Injector
 	site string
 	sp   core.Splitter
+}
+
+// SplitterCaps forwards the wrapped splitter's capability set. The wrapper
+// implements every optional interface, so without this declaration
+// core.CapabilitiesOf would report capabilities the underlying splitter
+// lacks.
+func (fs *faultSplitter) SplitterCaps() core.SplitterCaps {
+	return core.CapabilitiesOf(fs.sp)
 }
 
 func (fs *faultSplitter) InPlace() bool {
@@ -340,6 +350,54 @@ func (fs *faultSplitter) Split(v any, t core.SplitType, start, end int64) (any, 
 		}
 	}
 	return fs.sp.Split(v, t, start, end)
+}
+
+// SplitView delegates the zero-copy split, intercepted under the split
+// aspect so armed split faults fire on the view path too.
+func (fs *faultSplitter) SplitView(v any, t core.SplitType, start, end int64, reuse any) (any, error) {
+	vs, ok := fs.sp.(core.ViewSplitter)
+	if !ok {
+		return nil, fmt.Errorf("faultinject: %s: wrapped splitter %T has no SplitView", fs.site, fs.sp)
+	}
+	if f, ok := fs.in.fire(fs.site, AspectSplit); ok {
+		if err := fs.in.act(f, fs.site, AspectSplit); err != nil {
+			return nil, err
+		}
+	}
+	return vs.SplitView(v, t, start, end, reuse)
+}
+
+// SplitAt delegates streaming window views, intercepted under the split
+// aspect.
+func (fs *faultSplitter) SplitAt(v any, t core.SplitType, start, end int64) (any, error) {
+	sa, ok := fs.sp.(core.SplitterAt)
+	if !ok {
+		return nil, fmt.Errorf("faultinject: %s: wrapped splitter %T has no SplitAt", fs.site, fs.sp)
+	}
+	if f, ok := fs.in.fire(fs.site, AspectSplit); ok {
+		if err := fs.in.act(f, fs.site, AspectSplit); err != nil {
+			return nil, err
+		}
+	}
+	return sa.SplitAt(v, t, start, end)
+}
+
+// EncodePiece delegates spill-frame encoding untouched.
+func (fs *faultSplitter) EncodePiece(piece any, t core.SplitType) ([]byte, error) {
+	pc, ok := fs.sp.(core.PieceCodec)
+	if !ok {
+		return nil, fmt.Errorf("faultinject: %s: wrapped splitter %T has no EncodePiece", fs.site, fs.sp)
+	}
+	return pc.EncodePiece(piece, t)
+}
+
+// DecodePiece delegates spill-frame decoding untouched.
+func (fs *faultSplitter) DecodePiece(frame []byte, t core.SplitType) (any, error) {
+	pc, ok := fs.sp.(core.PieceCodec)
+	if !ok {
+		return nil, fmt.Errorf("faultinject: %s: wrapped splitter %T has no DecodePiece", fs.site, fs.sp)
+	}
+	return pc.DecodePiece(frame, t)
 }
 
 func (fs *faultSplitter) Merge(pieces []any, t core.SplitType) (any, error) {

@@ -192,6 +192,11 @@ type Value struct {
 	// planning time; -1 when unknown (lazy or deferred values, outputs).
 	Elems     int64
 	ElemBytes int64
+	// Caps is the rendered splitter capability set the executor will act on
+	// ("inplace|view|window|codec" joined for the declared subset); empty
+	// when the splitter has no optional capabilities or is unresolved at
+	// planning time.
+	Caps string
 }
 
 // Stage is an ordered pipeline of calls whose split types match (§5.1).

@@ -91,17 +91,18 @@ func renderCall(c Call) string {
 }
 
 // groupInputs compresses an input list into "2x SizeSplit<64>, 3x
-// ArraySplit<64> x8B" runs grouped by split type and width, in
-// first-appearance order.
+// ArraySplit<64> x8B [inplace|view|window|codec]" runs grouped by split
+// type, width, and splitter capabilities, in first-appearance order.
 func groupInputs(inputs []Value) string {
 	type key struct {
 		split string
 		width int64
+		caps  string
 	}
 	counts := map[key]int{}
 	var order []key
 	for _, in := range inputs {
-		k := key{in.Split, in.ElemBytes}
+		k := key{in.Split, in.ElemBytes, in.Caps}
 		if counts[k] == 0 {
 			order = append(order, k)
 		}
@@ -112,6 +113,9 @@ func groupInputs(inputs []Value) string {
 		s := fmt.Sprintf("%dx %s", counts[k], k.split)
 		if k.width > 0 {
 			s += fmt.Sprintf(" x%dB", k.width)
+		}
+		if k.caps != "" {
+			s += " [" + k.caps + "]"
 		}
 		parts[i] = s
 	}

@@ -55,16 +55,14 @@ func Costs() map[string]planlower.CallCost {
 
 // Lowering returns the planlower options for lowering a spec's real plan IR
 // into the machine model: the merged cost table plus the per-library element
-// width and splitter behaviour the plan-to-model consistency tests pin
-// (8-byte float64 elements for the vector libraries, 24-byte rows for
-// Pandas frames, copying splitters for ImageMagick wands).
+// width the plan-to-model consistency tests pin (8-byte float64 elements for
+// the vector libraries, 24-byte rows for Pandas frames). The ImageMagick
+// integration no longer sets SplitCopies: its splitter produces aliasing
+// row-band views (CapInPlace|CapView), so split and merge move no pixels.
 func Lowering(spec Spec) planlower.Options {
 	o := planlower.Options{Name: spec.Name, ElemBytes: 8, Costs: Costs()}
-	switch spec.Library {
-	case "Pandas":
+	if spec.Library == "Pandas" {
 		o.ElemBytes = 24
-	case "ImageMagick":
-		o.SplitCopies = true
 	}
 	return o
 }

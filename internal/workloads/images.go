@@ -152,14 +152,10 @@ func imgModel(steps func() []imgStep) func(v Variant, cfg Config) *memsim.Worklo
 			c := st.cycPx * float64(w) // cycles per row
 			ops = append(ops, opSpec{name: st.name, cycles: c, weldC: c, reads: []int{0}, writes: []int{0}})
 		}
-		m := chainModel("image", ops, int64(cfg.Scale), w*4, v, cfg.Batch)
-		if v == Mozart || v == MozartNoPipe {
-			// The image splitter's crop and merger's append copy pixels.
-			for i := range m.Stages {
-				m.Stages[i].SplitCopies = true
-			}
-		}
-		return m
+		// The image splitter produces aliasing row-band views now, so the
+		// Mozart variants no longer pay the §8.2 crop/append copy passes
+		// (SplitCopies) the paper's original integration exhibited.
+		return chainModel("image", ops, int64(cfg.Scale), w*4, v, cfg.Batch)
 	}
 }
 
