@@ -5,14 +5,15 @@
 # retry/breaker/admission test cannot land green), the zero-copy pool
 # smoke (AllocsPerRun, alias checks, leak suite), the faults-experiment
 # smoke, the telemetry smokes (trace, explain, Prometheus golden, bench
-# snapshot), the out-of-core spill smoke, and the mozartd serve smoke
-# (boot, shed, SIGTERM drain).
+# snapshot), the out-of-core spill smoke, the adaptive-planner tune smoke
+# (online batch calibration vs the static heuristic), and the mozartd
+# serve smoke (boot, shed, SIGTERM drain).
 
 GO ?= go
 
-.PHONY: ci vet deprecations build test race flaky pool-smoke smoke-faults trace-smoke explain-smoke explain-golden prom-golden bench-smoke bench-snapshot bench serve-smoke spill-smoke soak
+.PHONY: ci vet deprecations build test race flaky pool-smoke smoke-faults trace-smoke explain-smoke explain-golden prom-golden bench-smoke bench-snapshot bench serve-smoke spill-smoke tune-smoke soak
 
-ci: vet deprecations build test race flaky pool-smoke smoke-faults trace-smoke explain-smoke prom-golden bench-smoke spill-smoke serve-smoke
+ci: vet deprecations build test race flaky pool-smoke smoke-faults trace-smoke explain-smoke prom-golden bench-smoke spill-smoke tune-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -42,7 +43,7 @@ race:
 # is timing-sensitive by nature; run its suites twice under the race
 # detector to shake out order dependence.
 flaky:
-	$(GO) test -race -count=2 ./internal/core ./internal/faultinject ./internal/serve ./internal/spill ./internal/annotations/imagesa
+	$(GO) test -race -count=2 ./internal/core ./internal/faultinject ./internal/serve ./internal/spill ./internal/annotations/imagesa ./internal/tune
 
 # Zero-copy hot-path gate: the AllocsPerRun == 0 assertions on the warm
 # view-split loops, the pointer-identity alias and stitch checks, the
@@ -92,6 +93,13 @@ explain-golden:
 # Metrics.Snapshot and vice versa).
 prom-golden:
 	$(GO) test ./internal/obs -run 'TestPrometheus' -count=1
+
+# Smoke-run the adaptive planner loop on three workloads: the tuner's
+# online golden-section sweep against the memsim model, asserting the
+# calibrated choice never falls below 0.95x the static heuristic's modeled
+# throughput (the experiment exits non-zero otherwise).
+tune-smoke:
+	SABENCH_TUNE_WORKLOADS=blackscholes-numpy,datacleaning-pandas,crimeindex-pandas $(GO) run ./cmd/sabench -experiment autotune
 
 # Smoke-run the out-of-core ladder end to end: blackscholes-ooc against a
 # 4x-undersized Governor budget must finish in streaming mode with exact

@@ -63,6 +63,7 @@ func main() {
 		drain      = flag.Duration("drain", 5*time.Second, "graceful-drain deadline after SIGTERM before force-cancel")
 		maxWorkers = flag.Int("max-workers", 8, "clamp on per-request worker threads")
 		spillDir   = flag.String("spill-dir", "", "directory for out-of-core spill stores (empty: the OS temp dir)")
+		tuneOn     = flag.Bool("tune", false, "give each tenant a calibrating batch tuner: repeated plans sweep batch sizes online and pin the winner")
 		smoke      = flag.Bool("smoke", false, "run the boot/shed/drain smoke scenario on an ephemeral port and exit")
 	)
 	flag.Parse()
@@ -91,6 +92,7 @@ func main() {
 		MaxWorkers:        *maxWorkers,
 		SpillDir:          *spillDir,
 		Tenants:           tenants,
+		Tune:              *tuneOn,
 		Logf:              logf,
 	}
 	srv, err := serve.New(cfg)

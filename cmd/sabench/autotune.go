@@ -1,0 +1,173 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mozart/internal/memsim"
+	"mozart/internal/plan"
+	"mozart/internal/tune"
+	"mozart/internal/workloads"
+)
+
+// autotune closes the telemetry→plan loop offline: for every modeled
+// workload it captures the real planner's plan, keys a tune.Tuner by the
+// plan's structural signature, and drives the tuner's online golden-section
+// sweep (the paper's Fig. 6 batch ablation) against the memsim machine
+// model — PlanBatch proposes a batch, the model "runs" the evaluation, the
+// measured throughput feeds back through Observe. The table compares the
+// static §5.2 heuristic with the calibrated choice and the best fixed batch
+// on the probe grid.
+//
+// Assertions (the tune-smoke gate): the converged choice must never fall
+// below 0.95x the static heuristic's modeled throughput, and on a full run
+// at least 3 workloads must calibrate to within one grid step of the best
+// fixed batch. SABENCH_TUNE_WORKLOADS selects a comma-separated subset
+// (used by `make tune-smoke`).
+func autotune(int) {
+	fmt.Println("=== Autotune: online batch calibration vs the static 5.2 heuristic (modeled, 16 threads) ===")
+
+	only := map[string]bool{}
+	if env := os.Getenv("SABENCH_TUNE_WORKLOADS"); env != "" {
+		for _, n := range strings.Split(env, ",") {
+			only[strings.TrimSpace(n)] = true
+		}
+	}
+
+	const threads = 16
+	// A tight trace cap keeps 16 workloads' sweeps fast; memsim shrinks the
+	// cache hierarchy with the trace, preserving the batch:cache ratios that
+	// shape the Fig. 6 curve.
+	mach := memsim.DefaultMachine()
+	mach.SimMaxElems = 1 << 16
+
+	w := tw()
+	fmt.Fprintln(w, "workload\tstatic (elems/s)\tcalibrated batch\tcalibrated (elems/s)\tbest fixed\tsteps off\tphase\tvs static")
+	var rows, nearBest int
+	for _, spec := range workloads.All() {
+		if !spec.HasVariant(workloads.Mozart) || spec.Model == nil {
+			continue
+		}
+		if len(only) > 0 && !only[spec.Name] {
+			continue
+		}
+
+		// The real planner's plan, captured at a reduced scale, supplies the
+		// structural signature the tuner keys on.
+		var captured *plan.Plan
+		cfg := workloads.Config{
+			Scale:   spec.DefaultScale / 16,
+			Threads: 4,
+			OnPlan: func(p *plan.Plan) {
+				if captured == nil {
+					captured = p
+				}
+			},
+		}
+		if _, err := spec.Run(workloads.Mozart, cfg); err != nil {
+			fatalf("autotune: %s: %v", spec.Name, err)
+		}
+		if captured == nil {
+			fatalf("autotune: %s: no plan captured", spec.Name)
+		}
+		sig := plan.Signature(captured)
+
+		elems := int64(spec.DefaultScale)
+		memo := map[int64]float64{}
+		thrFor := func(batch int64) float64 { // batch 0 = the static heuristic
+			if thr, ok := memo[batch]; ok {
+				return thr
+			}
+			m := spec.Model(workloads.Mozart, workloads.Config{Scale: spec.DefaultScale, Batch: batch})
+			r := memsim.Run(mach, *m, threads)
+			memo[batch] = float64(elems) / r.Seconds
+			return memo[batch]
+		}
+		staticThr := thrFor(0)
+
+		clock := time.Unix(0, 0)
+		tu := tune.New(tune.Config{
+			Clock: func() time.Time { clock = clock.Add(time.Second); return clock },
+			Seed:  1,
+		})
+		var st tune.SignatureState
+		for round := 0; round < 40; round++ {
+			dec := tu.PlanBatch(plan.BatchRequest{Signature: sig, Workers: threads, Elems: elems})
+			thr := thrFor(dec.BatchElems)
+			tu.Observe(plan.Observation{
+				Signature:  sig,
+				BatchElems: dec.BatchElems,
+				Workers:    threads,
+				Elems:      elems,
+				Elapsed:    time.Duration(float64(elems) / thr * float64(time.Second)),
+			})
+			st = tu.States()[0]
+			if st.Phase == tune.PhaseCalibrated || st.Phase == tune.PhaseReverted {
+				break
+			}
+		}
+
+		// Best fixed batch over the tuner's own probe grid.
+		bestBatch, bestThr, bestIdx := int64(0), 0.0, -1
+		var grid []int64
+		for b := int64(512); b <= 4<<20; b *= 2 {
+			grid = append(grid, b)
+			if b >= elems {
+				break
+			}
+		}
+		for i, b := range grid {
+			if thr := thrFor(b); thr > bestThr {
+				bestBatch, bestThr, bestIdx = b, thr, i
+			}
+		}
+
+		chosenBatch, chosenThr := int64(0), staticThr // reverted: the heuristic stands
+		steps := "-"
+		if st.Phase == tune.PhaseCalibrated {
+			chosenBatch, chosenThr = st.BestBatch, thrFor(st.BestBatch)
+			for i, b := range grid {
+				if b == chosenBatch {
+					d := i - bestIdx
+					if d < 0 {
+						d = -d
+					}
+					steps = fmt.Sprintf("%d", d)
+					if d <= 1 {
+						nearBest++
+					}
+				}
+			}
+		} else if staticThr >= 0.95*bestThr {
+			// The sweep found no >5% win: the heuristic already sits within
+			// a step of the best fixed batch, which is the paper's Fig. 6
+			// conclusion for most workloads.
+			steps = "0*"
+			nearBest++
+		}
+
+		batchLabel := "heuristic"
+		if chosenBatch > 0 {
+			batchLabel = fmt.Sprintf("%d", chosenBatch)
+		}
+		fmt.Fprintf(w, "%s\t%.3e\t%s\t%.3e\t%d\t%s\t%s\t%.2fx\n",
+			spec.Name, staticThr, batchLabel, chosenThr, bestBatch, steps, st.Phase, chosenThr/staticThr)
+		rows++
+
+		if chosenThr < 0.95*staticThr {
+			fatalf("autotune: %s: calibrated throughput %.3e fell below 0.95x static %.3e",
+				spec.Name, chosenThr, staticThr)
+		}
+	}
+	w.Flush()
+	fmt.Printf("\n%d workloads, %d within one grid step of the best fixed batch (* = static heuristic already there)\n", rows, nearBest)
+	if rows == 0 {
+		fatalf("autotune: no workloads selected")
+	}
+	if want := 3; nearBest < want && rows >= want {
+		fatalf("autotune: only %d of %d workloads converged to within one step of the best fixed batch (want >= %d)",
+			nearBest, rows, want)
+	}
+}

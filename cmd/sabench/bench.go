@@ -60,7 +60,13 @@ type benchWorkload struct {
 	Scale         int          `json:"scale"`
 	Evaluations   int          `json:"evaluations"`
 	DistinctPlans int          `json:"distinct_plans"`
-	Points        []benchPoint `json:"points"`
+	// BatchSource records where the captured plans' batch policy came from
+	// (plan.BatchProvenance): "static" for the 5.2 heuristic, "sweeping" or
+	// "calibrated" when a tuner was attached. Bench runs untuned sessions,
+	// so current snapshots say "static"; readers tolerate it missing in
+	// snapshots written before the field existed.
+	BatchSource string       `json:"batch_source,omitempty"`
+	Points      []benchPoint `json:"points"`
 }
 
 type benchReport struct {
@@ -177,6 +183,7 @@ func benchWorkloadRun(spec workloads.Spec, machine memsim.Machine) (benchWorkloa
 		Scale:         cfg.Scale,
 		Evaluations:   len(plans),
 		DistinctPlans: len(distinct),
+		BatchSource:   plans[0].Provenance.String(),
 	}
 	lower := workloads.Lowering(spec)
 	for _, threads := range benchThreads {
@@ -226,6 +233,13 @@ func validateBench(r benchReport) error {
 			if p.Seconds <= 0 {
 				return fmt.Errorf("%s @%d threads: non-positive modeled runtime %g", bw.Name, p.Threads, p.Seconds)
 			}
+		}
+		// batch_source, when present, must be a known provenance; absent is
+		// fine (snapshots predating the field).
+		switch bw.BatchSource {
+		case "", "static", "sweeping", "calibrated":
+		default:
+			return fmt.Errorf("%s: unknown batch_source %q", bw.Name, bw.BatchSource)
 		}
 	}
 	return nil

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	sabench -experiment all|fig1|fig4|fig5|fig6|fig7|table2|table3|table4|wall|faults|trace|explain|bench|serveload|spill
+//	sabench -experiment all|fig1|fig4|fig5|fig6|fig7|table2|table3|table4|wall|faults|trace|explain|bench|serveload|spill|autotune
 //
 // Multicore figures (1-16 threads) are produced on the memsim machine
 // model, which executes the workloads' actual execution plans (per-call
@@ -29,7 +29,7 @@ import (
 var threadSweep = []int{1, 2, 4, 8, 16}
 
 func main() {
-	exp := flag.String("experiment", "all", "fig1|fig4|fig5|fig6|fig7|table2|table3|table4|wall|faults|trace|explain|bench|serveload|spill|all")
+	exp := flag.String("experiment", "all", "fig1|fig4|fig5|fig6|fig7|table2|table3|table4|wall|faults|trace|explain|bench|serveload|spill|autotune|all")
 	scaleDiv := flag.Int("scalediv", 1, "divide default workload scales by this factor (wall-clock experiments)")
 	flag.Parse()
 
@@ -54,6 +54,7 @@ func main() {
 	run("bench", bench)
 	run("serveload", serveload)
 	run("spill", spillSmoke)
+	run("autotune", autotune)
 }
 
 func tw() *tabwriter.Writer {

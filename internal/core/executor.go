@@ -23,7 +23,7 @@ func (s *Session) execute(ctx context.Context, p *plan) error {
 			se.Stage = si
 			return se
 		}
-		if err := s.executeStage(ctx, si, &p.stages[si]); err != nil {
+		if err := s.executeStage(ctx, p, si, &p.stages[si]); err != nil {
 			return err
 		}
 		s.stats.add(&s.stats.Stages, 1)
@@ -36,7 +36,7 @@ func (s *Session) execute(ctx context.Context, p *plan) error {
 // any in-place-mutated inputs from a pre-stage snapshot and re-execute the
 // stage's calls whole, unsplit and unpipelined, the way the plain library
 // would run them.
-func (s *Session) executeStage(ctx context.Context, si int, st *planStage) error {
+func (s *Session) executeStage(ctx context.Context, p *plan, si int, st *planStage) error {
 	if s.opts.StageTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.opts.StageTimeout)
@@ -53,7 +53,7 @@ func (s *Session) executeStage(ctx context.Context, si int, st *planStage) error
 
 	tr := s.opts.Tracer
 	stageStart := time.Now()
-	err := s.executeStageSplit(ctx, si, st)
+	err := s.executeStageSplit(ctx, p, si, st)
 	if err == nil {
 		// A split stage that ran clean closes half-open breakers on its
 		// annotations (the cooldown probe passed).
@@ -259,7 +259,7 @@ func resolveViewers(inputs []resolvedInput) []ViewSplitter {
 	return viewers
 }
 
-func (s *Session) executeStageSplit(ctx context.Context, si int, st *planStage) error {
+func (s *Session) executeStageSplit(ctx context.Context, p *plan, si int, st *planStage) error {
 	// Resolve inputs against materialized values.
 	inputs := make([]resolvedInput, 0, len(st.inputs))
 	widths := make([]int64, 0, len(st.inputs))
@@ -323,14 +323,20 @@ func (s *Session) executeStageSplit(ctx context.Context, si int, st *planStage) 
 		return s.stageErr(st, OriginPedantic, fmt.Errorf("pedantic: stage received zero elements"))
 	}
 
-	batch := s.opts.batchSize(sumElemBytes, total)
-	workers := s.opts.Workers
+	// Batch and worker count come from the plan IR, so a Tuner's overrides
+	// (plan.BatchSource) apply here exactly as Explain renders them.
+	batch := s.planBatchSize(p, sumElemBytes, total)
+	workers := s.planWorkers(p)
 	if int64(workers) > total && total > 0 {
 		workers = int(total)
 	}
 	if workers < 1 {
 		workers = 1
 	}
+	// Accumulate the split-stage actuals the post-evaluation tuner
+	// observation reports (stages run sequentially; no atomics needed).
+	p.obsElems += total
+	p.obsBytes += total * sumElemBytes
 
 	// Out-of-core streaming: when the stage's whole §5.2 working set
 	// exceeds the Governor's budget and the session opted in, execute in

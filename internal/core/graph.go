@@ -46,7 +46,7 @@ type Session struct {
 	nodes     []*node // pending, un-evaluated calls in program order
 	bindings  []*binding
 	byPointer map[uintptr]*binding
-	stats     Stats
+	stats     stats
 	nextID    int
 	broken    error         // sticky evaluation error
 	breakers  *breakerSet   // per-annotation circuit breakers (FallbackQuarantine)
@@ -105,7 +105,7 @@ func (s *Session) Options() Options { return s.opts }
 func (s *Session) Stats() StatsSnapshot { return s.stats.Snapshot() }
 
 // ResetStats zeroes the accumulated statistics.
-func (s *Session) ResetStats() { s.stats = Stats{} }
+func (s *Session) ResetStats() { s.stats = stats{} }
 
 // Pending returns the number of captured, not-yet-evaluated calls.
 func (s *Session) Pending() int { return len(s.nodes) }
@@ -335,10 +335,13 @@ func (s *Session) EvaluateContext(ctx context.Context) error {
 		s.emitSimCounters(tr, plan.ir)
 	}
 
+	execStart := time.Now()
 	if err := s.execute(ctx, plan); err != nil {
+		s.reportTuner(tr, plan, time.Since(execStart), err)
 		s.broken = err
 		return s.finishEval(tr, evalStart, err)
 	}
+	s.reportTuner(tr, plan, time.Since(execStart), nil)
 
 	// Graph consumed: clear pending nodes and producers.
 	for _, n := range s.nodes {

@@ -170,6 +170,17 @@ type Options struct {
 	// hand-back observes the sentinel instead of stale data and fails
 	// loudly. Used by the pool leak tests; off in production.
 	PoisonPools bool
+	// Tuner, when set, is consulted once per plan build for a batch-size
+	// and worker-count override (a plan.BatchSource — typically a
+	// *tune.Tuner). The decision is recorded in the plan IR (FixedElems,
+	// Workers, Provenance) so Explain, the counter simulation, and the
+	// executor all see the calibrated values; after each evaluation the
+	// session reports measured actuals back through plan.Calibrator.Observe
+	// and emits an EvTune event. A nil Tuner (the default) — or any source
+	// returning the zero decision — reproduces the static §5.2 heuristic
+	// exactly. Share one Tuner across sessions to keep calibration warm
+	// (it must then be concurrency-safe, as *tune.Tuner is).
+	Tuner ir.BatchSource
 	// SimulateCounters, with a Tracer set, lowers each evaluation's plan
 	// IR into the memsim machine model and emits per-stage simulated
 	// hardware counters (L1/L2/LLC hits and misses, DRAM bytes, modeled

@@ -61,6 +61,16 @@ type planStage struct {
 type plan struct {
 	stages []planStage
 	ir     *ir.Plan
+	// sig and tuned are set when the session has a Tuner: the structural
+	// signature the decision was keyed on, and the decision itself (already
+	// folded into ir.Batch/ir.Workers/ir.Provenance by applyTuner).
+	sig   string
+	tuned ir.BatchDecision
+	// obsElems and obsBytes accumulate the split-stage element and byte
+	// totals the executor actually processed, reported back to the Tuner
+	// post-evaluation. Stages run sequentially, so plain adds suffice.
+	obsElems int64
+	obsBytes int64
 }
 
 // errStageBreak signals that a node cannot join the current stage and a new
@@ -278,6 +288,7 @@ func (s *Session) buildPlan(peek bool) (*plan, error) {
 
 	s.classifyStages(p, peek)
 	s.buildIR(p)
+	s.applyTuner(p)
 	return p, nil
 }
 

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-	"strings"
 	"time"
 
 	"mozart/internal/memsim"
@@ -26,37 +24,43 @@ import (
 // round (the paper's haversine/CRIME loops) simulate once and replay the
 // cached counters thereafter.
 
-// simCounters is the session's per-plan-signature cache.
-type simCounters struct {
-	cache map[string][]obs.CacheCounters
+// simKey is the simulation cache key: the plan's structural signature
+// (plan.Signature — stage pipelines, split labels, element counts and
+// widths, pipelining; NOT binding ids, which shift between otherwise
+// identical evaluations, so plan.Render is not a usable key) composed with
+// the two execution knobs the simulation also depends on and a Tuner
+// varies between evaluations of the same shape: the worker count and the
+// batch policy.
+type simKey struct {
+	sig     string
+	workers int
+	batch   ir.BatchPolicy
 }
 
-// planSignature is the cache key: everything the counter simulation
-// depends on — stage pipelines, split labels, element counts and widths,
-// the batch policy — but not binding ids, which shift between otherwise
-// identical evaluations (plan.Render is therefore NOT a usable key).
-func planSignature(p *ir.Plan, workers int) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "w%d|b%d/%g/%d|pipe%v", workers,
-		p.Batch.FixedElems, p.Batch.Constant, p.Batch.L2CacheBytes, p.Pipelining)
-	for i := range p.Stages {
-		st := &p.Stages[i]
-		fmt.Fprintf(&b, ";%v[%s|%s|e%d|%v]", st.Kind, st.Pipeline(),
-			st.SplitLabel(), st.Elems(), st.InputWidths())
-	}
-	return b.String()
+// simCounters is the session's per-(signature, workers, batch) cache.
+type simCounters struct {
+	cache map[simKey][]obs.CacheCounters
 }
 
 // emitSimCounters simulates (or recalls) the plan's per-stage counters
 // and emits one EvStageCounters event per stage. Called between the plan
 // event and execution; never fails the evaluation — a plan the lowering
-// cannot size (unknown element counts) simply emits nothing.
+// cannot size (unknown element counts) simply emits nothing. Workers and
+// batch honor the plan's tuner overrides, so the simulated rows describe
+// the evaluation that actually runs.
 func (s *Session) emitSimCounters(tr obs.Tracer, p *ir.Plan) {
-	key := planSignature(p, s.opts.Workers)
+	workers := s.opts.Workers
+	if p.Workers > 0 && p.Workers < workers {
+		workers = p.Workers
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	key := simKey{sig: ir.Signature(p), workers: workers, batch: p.Batch}
 	counters, ok := s.sim.cache[key]
 	if !ok {
 		per := planlower.SimulateCounters(p, planlower.Options{Name: "live"},
-			memsim.DefaultMachine(), s.opts.Workers)
+			memsim.DefaultMachine(), workers)
 		counters = make([]obs.CacheCounters, len(per))
 		for i, c := range per {
 			counters[i] = obs.CacheCounters{
@@ -68,7 +72,7 @@ func (s *Session) emitSimCounters(tr obs.Tracer, p *ir.Plan) {
 			}
 		}
 		if s.sim.cache == nil {
-			s.sim.cache = map[string][]obs.CacheCounters{}
+			s.sim.cache = map[simKey][]obs.CacheCounters{}
 		}
 		s.sim.cache[key] = counters
 	}

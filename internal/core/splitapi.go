@@ -81,15 +81,6 @@ func FixedCtor(t SplitType) Ctor {
 	return func([]any) (SplitType, error) { return t, nil }
 }
 
-// splitterIsInPlace reports whether s declares its pieces alias the source.
-//
-// Deprecated: use CapabilitiesOf(s).Has(CapInPlace). The capability probe
-// also honors wrappers that declare their set via CapsDeclarer, which a
-// bare InPlacer assertion cannot.
-func splitterIsInPlace(s Splitter) bool {
-	return CapabilitiesOf(s).Has(CapInPlace)
-}
-
 // defaultSplit describes the fallback split behaviour for one concrete data
 // type, used when type inference cannot pin down a generic (§5.1: "Mozart
 // falls back to a default for the data type: annotators provide a default

@@ -87,32 +87,29 @@ func (sn StatsSnapshot) String() string {
 	return out
 }
 
-// Stats is the live, atomically-updated accumulator behind a session's
+// stats is the live, atomically-updated accumulator behind a session's
 // statistics. Workers mutate it concurrently through add; readers must go
-// through Snapshot.
-//
-// Deprecated: the public surface is the value-type StatsSnapshot returned
-// by Session.Stats. Stats remains exported for one release so existing
-// code that names the type keeps compiling.
-type Stats struct {
+// through Snapshot. The public surface is the value-type StatsSnapshot
+// returned by Session.Stats (the old exported alias is gone).
+type stats struct {
 	StatsSnapshot
 }
 
 // Total returns the sum of all phase times. Safe to call while workers are
 // running: it totals a Snapshot, never the live fields.
-func (s *Stats) Total() time.Duration { return s.Snapshot().Total() }
+func (s *stats) Total() time.Duration { return s.Snapshot().Total() }
 
 // String renders a Snapshot of the breakdown; safe under concurrency.
-func (s *Stats) String() string { return s.Snapshot().String() }
+func (s *stats) String() string { return s.Snapshot().String() }
 
 // add accumulates o into s (atomically; workers report concurrently).
-func (s *Stats) add(field *int64, d time.Duration) {
+func (s *stats) add(field *int64, d time.Duration) {
 	atomic.AddInt64(field, int64(d))
 }
 
 // Snapshot returns a consistent-enough copy of the statistics, read with
 // atomic loads so it is safe to take while workers are still running.
-func (s *Stats) Snapshot() StatsSnapshot {
+func (s *stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
 		ClientNS:    atomic.LoadInt64(&s.ClientNS),
 		UnprotectNS: atomic.LoadInt64(&s.UnprotectNS),

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"time"
+
+	"mozart/internal/obs"
+	ir "mozart/internal/plan"
+)
+
+// This file is the session side of the telemetry→plan loop: the planner
+// consults Options.Tuner (a plan.BatchSource) while building each plan, and
+// the evaluation reports measured actuals back through plan.Calibrator
+// after execution. With no Tuner configured both halves are no-ops and the
+// plan is exactly the static §5.2 heuristic.
+
+// applyTuner consults the session's BatchSource and folds its decision into
+// the plan IR: a positive BatchElems becomes the plan-wide fixed batch
+// (what the executor, Explain, and the counter simulation all read), a
+// positive Workers caps the stage worker count, and the provenance is
+// recorded for rendering. Called for peeked plans too — PlanBatch is
+// read-only by contract, so Session.Plan and Explain show exactly the
+// decision the next evaluation will run.
+func (s *Session) applyTuner(p *plan) {
+	src := s.opts.Tuner
+	if src == nil {
+		return
+	}
+	p.sig = ir.Signature(p.ir)
+	var sumBytes int64
+	elems := int64(-1)
+	for i := range p.ir.Stages {
+		st := &p.ir.Stages[i]
+		if st.Kind != ir.StageSplit {
+			continue
+		}
+		if b := st.WorkingSetBytes(); b > sumBytes {
+			sumBytes = b
+		}
+		if e := st.Elems(); e > elems {
+			elems = e
+		}
+	}
+	dec := src.PlanBatch(ir.BatchRequest{
+		Signature:    p.sig,
+		Static:       p.ir.Batch,
+		Workers:      s.opts.Workers,
+		SumElemBytes: sumBytes,
+		Elems:        elems,
+	})
+	p.tuned = dec
+	if dec.BatchElems > 0 {
+		p.ir.Batch.FixedElems = dec.BatchElems
+	}
+	if dec.Workers > 0 {
+		w := dec.Workers
+		if w > s.opts.Workers {
+			w = s.opts.Workers
+		}
+		p.ir.Workers = w
+	}
+	p.ir.Provenance = dec.Provenance
+}
+
+// planWorkers is the stage worker count after the tuner's cap: the
+// session's configured workers, reduced by a positive plan-level override.
+func (s *Session) planWorkers(p *plan) int {
+	w := s.opts.Workers
+	if p != nil && p.ir != nil && p.ir.Workers > 0 && p.ir.Workers < w {
+		w = p.ir.Workers
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// planBatchSize is the §5.2 batch size under the plan's (possibly
+// tuner-overridden) policy, clamped to [1, total].
+func (s *Session) planBatchSize(p *plan, sumElemBytes, total int64) int64 {
+	pol := s.opts.batchPolicy()
+	if p != nil && p.ir != nil {
+		pol = p.ir.Batch
+	}
+	return clamp64(pol.Elems(sumElemBytes, total), 1, total)
+}
+
+// reportTuner closes the loop after an evaluation: emit the EvTune event
+// and feed the measured actuals back into the Tuner when it calibrates.
+// Failed evaluations report Err so the calibrator discards their timing.
+func (s *Session) reportTuner(tr obs.Tracer, p *plan, elapsed time.Duration, err error) {
+	if s.opts.Tuner == nil {
+		return
+	}
+	workers := s.planWorkers(p)
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: obs.EvTune, Time: time.Now(), Dur: elapsed,
+			Stage: -1, Worker: obs.RuntimeLane,
+			Elems: p.obsElems, Bytes: p.obsBytes,
+			BatchElems: p.tuned.BatchElems, Workers: workers,
+			Detail: p.ir.Provenance.String()})
+	}
+	if c, ok := s.opts.Tuner.(ir.Calibrator); ok {
+		c.Observe(ir.Observation{
+			Signature:  p.sig,
+			BatchElems: p.tuned.BatchElems,
+			Workers:    workers,
+			Elems:      p.obsElems,
+			Bytes:      p.obsBytes,
+			Elapsed:    elapsed,
+			Err:        err != nil,
+		})
+	}
+}

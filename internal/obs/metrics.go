@@ -45,6 +45,31 @@ type StageMetrics struct {
 	Sim CacheCounters `json:"sim"`
 }
 
+// Throughput is the stage's measured processing rate in elements per
+// second: elements processed over the attributed split+task+merge time. 0
+// when the stage has recorded no timed work. This is the per-stage feedback
+// signal a batch tuner calibrates on.
+func (s StageMetrics) Throughput() float64 {
+	work := s.SplitNS + s.TaskNS + s.MergeNS
+	if work <= 0 || s.Elems <= 0 {
+		return 0
+	}
+	return float64(s.Elems) / (float64(work) / 1e9)
+}
+
+// StageThroughputs returns each stage's measured throughput (elems/s),
+// keyed "stage|calls" the way the sink itself keys rows; stages with no
+// timed work are omitted.
+func (sn MetricsSnapshot) StageThroughputs() map[string]float64 {
+	out := map[string]float64{}
+	for _, s := range sn.Stages {
+		if t := s.Throughput(); t > 0 {
+			out[fmt.Sprintf("%d|%s", s.Stage, s.Calls)] = t
+		}
+	}
+	return out
+}
+
 // evalLatencyBucketsLE are the upper bounds, in seconds, of the evaluate
 // latency histogram (Prometheus-style cumulative buckets; the implicit
 // +Inf bucket is LatencyHistogram.Count).
@@ -107,6 +132,15 @@ type MetricsSnapshot struct {
 	// the spill store (EvSpill append events).
 	SpillBytes  int64 `json:"spill_bytes,omitempty"`
 	SpillFrames int64 `json:"spill_frames,omitempty"`
+	// Tuner counts evaluations by batch provenance ("static", "sweeping",
+	// "calibrated") — the EvTune stream of a session with Options.Tuner.
+	// Empty without a tuner.
+	Tuner map[string]int64 `json:"tuner_evals,omitempty"`
+	// TunerBatchElems is the last tuner batch override (0 = static policy)
+	// and TunerElemsPerSec the last evaluation's measured throughput — the
+	// feedback signal the tuner calibrates on.
+	TunerBatchElems  int64   `json:"tuner_batch_elems,omitempty"`
+	TunerElemsPerSec float64 `json:"tuner_elems_per_sec,omitempty"`
 	// Gauges are the registered live gauges, evaluated at snapshot time
 	// and sorted by name then labels.
 	Gauges []GaugeSample `json:"gauges,omitempty"`
@@ -126,6 +160,9 @@ type Metrics struct {
 	pressure    map[string]int
 	spillBytes  int64
 	spillFrames int64
+	tune        map[string]int64
+	tuneBatch   int64
+	tuneThr     float64
 	gauges      []registeredGauge
 	stages      map[string]*StageMetrics
 	latency     LatencyHistogram
@@ -248,6 +285,15 @@ func (m *Metrics) Emit(e Event) {
 			m.spillBytes += e.Bytes
 			m.spillFrames++
 		}
+	case EvTune:
+		if m.tune == nil {
+			m.tune = map[string]int64{}
+		}
+		m.tune[e.Detail]++
+		m.tuneBatch = e.BatchElems
+		if e.Elems > 0 && e.Dur > 0 {
+			m.tuneThr = float64(e.Elems) / e.Dur.Seconds()
+		}
 	}
 }
 
@@ -256,7 +302,14 @@ func (m *Metrics) Emit(e Event) {
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	m.mu.Lock()
 	out := MetricsSnapshot{Evaluations: m.evals, Errors: m.errors, EvalLatency: m.latency.clone(),
-		SpillBytes: m.spillBytes, SpillFrames: m.spillFrames}
+		SpillBytes: m.spillBytes, SpillFrames: m.spillFrames,
+		TunerBatchElems: m.tuneBatch, TunerElemsPerSec: m.tuneThr}
+	if len(m.tune) > 0 {
+		out.Tuner = make(map[string]int64, len(m.tune))
+		for k, v := range m.tune {
+			out.Tuner[k] = v
+		}
+	}
 	if len(m.brk) > 0 {
 		out.Breaker = make(map[string]int, len(m.brk))
 		for k, v := range m.brk {

@@ -90,6 +90,15 @@ const (
 	// the element window it covers, Detail "append" or "replay". Emitted
 	// on the runtime lane by the streaming executor.
 	EvSpill
+	// EvTune closes the telemetry→plan loop: one per evaluation when a
+	// Tuner (Options.Tuner) is configured, after execution. Detail carries
+	// the batch provenance ("static", "sweeping", "calibrated"), BatchElems
+	// the tuner's batch override (0 under the static policy), Workers the
+	// worker count the evaluation ran with, Elems/Bytes the split-stage
+	// totals processed, and Dur the execution wall time — the measured
+	// throughput the tuner folds into its next decision. Emitted on the
+	// runtime lane.
+	EvTune
 )
 
 // String returns the kind's stable lowercase name.
@@ -123,6 +132,8 @@ func (k EventKind) String() string {
 		return "pressure"
 	case EvSpill:
 		return "spill"
+	case EvTune:
+		return "tune"
 	}
 	return "unknown"
 }

@@ -131,6 +131,24 @@ func (sn MetricsSnapshot) WritePrometheus(w io.Writer) (int64, error) {
 		fmt.Fprintf(&b, "mozart_spill_frames_total %s\n", promFloat(float64(sn.SpillFrames)))
 	}
 
+	// Tuner families (Options.Tuner): rendered only for sessions that
+	// closed the telemetry→plan loop, so untuned sessions emit nothing.
+	if len(sn.Tuner) > 0 {
+		header("tuner_evaluations_total", "counter", "Evaluations by batch provenance (static, sweeping, calibrated).")
+		provs := make([]string, 0, len(sn.Tuner))
+		for p := range sn.Tuner {
+			provs = append(provs, p)
+		}
+		sort.Strings(provs)
+		for _, p := range provs {
+			fmt.Fprintf(&b, "mozart_tuner_evaluations_total{provenance=%q} %s\n", p, promFloat(float64(sn.Tuner[p])))
+		}
+		header("tuner_batch_elems", "gauge", "Last tuner batch override in elements (0 = static policy).")
+		fmt.Fprintf(&b, "mozart_tuner_batch_elems %s\n", promFloat(float64(sn.TunerBatchElems)))
+		header("tuner_elems_per_second", "gauge", "Last evaluation's measured throughput fed back to the tuner.")
+		fmt.Fprintf(&b, "mozart_tuner_elems_per_second %s\n", promFloat(sn.TunerElemsPerSec))
+	}
+
 	// Registered live gauges (Governor reserved bytes and the like),
 	// grouped by family name so samples of one family stay consecutive.
 	for i := 0; i < len(sn.Gauges); {

@@ -43,6 +43,13 @@ func promFeed(base time.Time) []Event {
 			Calls: "a -> b", Split: "SizeSplit<100>", Bytes: 800, Elems: 2, Detail: "replay"},
 		Event{Kind: EvPressure, Time: at(36), Stage: 0, Worker: RuntimeLane,
 			Calls: "a -> b", Bytes: 0, Detail: "normal"},
+		// Tuner feedback: one static baseline evaluation and one sweep probe
+		// (so mozart_tuner_evaluations_total has two provenance series and
+		// the batch/throughput gauges carry the last observation).
+		Event{Kind: EvTune, Time: at(40), Dur: 10 * time.Millisecond, Stage: -1,
+			Worker: RuntimeLane, Elems: 1000, Bytes: 8000, Workers: 4, Detail: "static"},
+		Event{Kind: EvTune, Time: at(41), Dur: 5 * time.Millisecond, Stage: -1,
+			Worker: RuntimeLane, Elems: 1000, Bytes: 8000, BatchElems: 2048, Workers: 4, Detail: "sweeping"},
 	)
 	return feed
 }
@@ -131,6 +138,13 @@ func TestPrometheusMatchesSnapshot(t *testing.T) {
 	if sn.SpillFrames > 0 {
 		want["mozart_spill_bytes_total"] = float64(sn.SpillBytes)
 		want["mozart_spill_frames_total"] = float64(sn.SpillFrames)
+	}
+	for prov, n := range sn.Tuner {
+		want[fmt.Sprintf("mozart_tuner_evaluations_total{provenance=%q}", prov)] = float64(n)
+	}
+	if len(sn.Tuner) > 0 {
+		want["mozart_tuner_batch_elems"] = float64(sn.TunerBatchElems)
+		want["mozart_tuner_elems_per_second"] = sn.TunerElemsPerSec
 	}
 	for _, g := range sn.Gauges {
 		want["mozart_"+g.Name+g.Labels] = g.Value

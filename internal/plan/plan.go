@@ -227,6 +227,13 @@ type Plan struct {
 	// Pipelining is false under the Mozart(-pipe) ablation, where every
 	// call plans into its own stage.
 	Pipelining bool
+	// Provenance records where Batch came from: the static §5.2 heuristic
+	// (the zero value), or a BatchSource override mid-sweep or after
+	// calibration converged.
+	Provenance BatchProvenance
+	// Workers, when positive, is a BatchSource worker-count override for
+	// this evaluation; 0 means the session's configured worker count.
+	Workers int
 }
 
 // Pipeline renders the stage's call chain as "a -> b -> c".

@@ -1,0 +1,28 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Signature returns the plan's structural signature: a compact string
+// identifying the plan's shape — pipelining plus, per stage, the kind,
+// call chain, split label, element count, and input widths. It is the key
+// calibration and simulation caches are stored under.
+//
+// The signature deliberately excludes the batch policy and the worker
+// count: a tuner varies both across evaluations of the same plan shape,
+// and the whole point of the key is that those evaluations collide.
+// Callers whose cached payload depends on workers or batch (the
+// sim-counter cache) compose their own key from (Signature, workers,
+// batch).
+func Signature(p *Plan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipe%v", p.Pipelining)
+	for i := range p.Stages {
+		st := &p.Stages[i]
+		fmt.Fprintf(&b, ";%v[%s|%s|e%d|%v]",
+			st.Kind, st.Pipeline(), st.SplitLabel(), st.Elems(), st.InputWidths())
+	}
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package plan
+
+import "time"
+
+// BatchProvenance records where a plan's batch decision came from. It is
+// rendered by Explain in the plan header as [static|sweeping|calibrated].
+type BatchProvenance int
+
+const (
+	// BatchStatic is the paper's §5.2 C·L2/s heuristic (or a caller-fixed
+	// batch) with no feedback applied — the zero value and today's default.
+	BatchStatic BatchProvenance = iota
+	// BatchSweeping marks an evaluation running a probe batch mid-sweep:
+	// the BatchSource is still exploring the batch grid for this plan
+	// shape.
+	BatchSweeping
+	// BatchCalibrated marks a batch chosen by a converged sweep: measured
+	// throughput picked it over the static heuristic.
+	BatchCalibrated
+)
+
+func (p BatchProvenance) String() string {
+	switch p {
+	case BatchSweeping:
+		return "sweeping"
+	case BatchCalibrated:
+		return "calibrated"
+	default:
+		return "static"
+	}
+}
+
+// BatchRequest is what the planner tells a BatchSource about the plan it is
+// about to run. The request is a snapshot: mutating it after PlanBatch
+// returns has no effect.
+type BatchRequest struct {
+	// Signature is the plan's structural signature (see Signature) — the
+	// key calibration state is cached under.
+	Signature string
+	// Static is the batch policy the plan would use with no source
+	// consulted (the session's configured policy).
+	Static BatchPolicy
+	// Workers is the session's configured worker count.
+	Workers int
+	// SumElemBytes is the largest per-element working set across the
+	// plan's split stages (the s in batch = C·L2/s), 0 when unknown. It
+	// lets a source translate its byte-oriented grid into element counts.
+	SumElemBytes int64
+	// Elems is the largest split-stage element count, -1 when unknown; a
+	// source can use it to skip probing batches larger than the data.
+	Elems int64
+}
+
+// BatchDecision is a BatchSource's answer. The zero value means "keep the
+// static policy": no batch override, no worker override, static provenance.
+type BatchDecision struct {
+	// BatchElems, when positive, overrides the plan-wide batch size in
+	// elements (equivalent to BatchPolicy.FixedElems for this evaluation).
+	BatchElems int64
+	// Workers, when positive, overrides the worker count for this
+	// evaluation. The executor clamps it to [1, configured workers].
+	Workers int
+	// Provenance labels the decision for Explain and telemetry.
+	Provenance BatchProvenance
+}
+
+// BatchSource is the pluggable batch/worker selection seam. The planner
+// consults it once per plan build (including peeks via Session.Plan and
+// mozart.Explain), so PlanBatch must be read-only: it must not advance
+// sweep state or otherwise assume it is called exactly once per
+// evaluation. State advances only through Calibrator.Observe.
+//
+// A nil BatchSource (the default) and any source returning the zero
+// BatchDecision both reproduce today's static behavior exactly.
+type BatchSource interface {
+	PlanBatch(req BatchRequest) BatchDecision
+}
+
+// Observation is one completed evaluation's measured actuals, reported by
+// the executor to a Calibrator after a successful (or failed) evaluation.
+type Observation struct {
+	// Signature matches the BatchRequest the evaluation was planned with.
+	Signature string
+	// BatchElems is the batch override the evaluation ran with (0 when the
+	// static policy was in effect). A calibrator uses it to discard stale
+	// measurements when concurrent sessions interleave probes.
+	BatchElems int64
+	// Workers is the worker count the evaluation ran with.
+	Workers int
+	// Elems is the total number of elements processed across split stages.
+	Elems int64
+	// Bytes is the total bytes moved across split stages (Σ elems×width).
+	Bytes int64
+	// Elapsed is the evaluation's wall-clock execution time.
+	Elapsed time.Duration
+	// Err marks a failed evaluation; calibrators should ignore its timing.
+	Err bool
+}
+
+// Calibrator is a BatchSource that learns: the executor feeds measured
+// actuals back through Observe after each evaluation. Implementations must
+// be safe for concurrent use by multiple sessions.
+type Calibrator interface {
+	BatchSource
+	Observe(o Observation)
+}
+
+// Throughput is the calibration objective: elements per second, 0 when the
+// observation is unusable (no elements, no time, or an error).
+func (o Observation) Throughput() float64 {
+	if o.Err || o.Elems <= 0 || o.Elapsed <= 0 {
+		return 0
+	}
+	return float64(o.Elems) / o.Elapsed.Seconds()
+}

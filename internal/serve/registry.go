@@ -55,6 +55,7 @@ func WorkloadRegistry() map[string]EvalFunc {
 				StageTimeout: opts.StageTimeout,
 				OutOfCore:    opts.OutOfCore,
 				SpillDir:     opts.SpillDir,
+				Tuner:        opts.Tuner,
 			}
 			if cfg.Scale <= 0 {
 				cfg.Scale = spec.DefaultScale

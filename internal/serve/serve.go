@@ -38,6 +38,7 @@ import (
 	"mozart/internal/obs/httpdebug"
 	"mozart/internal/plan"
 	"mozart/internal/spill"
+	"mozart/internal/tune"
 )
 
 // Server states (State / readyz).
@@ -92,6 +93,14 @@ type Config struct {
 	// RetryJitterSeed seeds the 429 Retry-After jitter so tests can pin
 	// the sequence; 0 seeds from the clock.
 	RetryJitterSeed int64
+	// Tune gives every tenant a calibrating batch tuner in its warm
+	// ledger: evaluations sharing a structural plan signature sweep batch
+	// sizes online and pin the winner (see internal/tune). Off by default
+	// — plans then match the static §5.2 heuristic byte for byte.
+	Tune bool
+	// TuneConfig overrides the tuner parameters when Tune is set; the zero
+	// value selects the tune package defaults.
+	TuneConfig tune.Config
 	// Logf receives server lifecycle lines (nil discards).
 	Logf func(format string, args ...any)
 }
@@ -186,7 +195,12 @@ func New(cfg Config) (*Server, error) {
 			s.closeTenants()
 			return nil, fmt.Errorf("serve: duplicate tenant %q", tc.Name)
 		}
-		t, err := newTenant(tc, s.global, cfg.Breaker)
+		var tuneCfg *tune.Config
+		if cfg.Tune {
+			tcopy := cfg.TuneConfig
+			tuneCfg = &tcopy
+		}
+		t, err := newTenant(tc, s.global, cfg.Breaker, tuneCfg)
 		if err != nil {
 			s.closeTenants()
 			return nil, err
@@ -637,6 +651,12 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 			flight.OnPlan(p)
 		},
 		BaseContext: func() context.Context { return ctx },
+	}
+	if t.tuner != nil {
+		// The tenant's warm tuner: a typed-nil guard matters here — leaving
+		// the field unset for untuned tenants keeps their sessions on the
+		// exact static path (no EvTune telemetry, no signature hashing).
+		opts.Tuner = t.tuner
 	}
 	p := EvalParams{
 		Workload: req.Workload,

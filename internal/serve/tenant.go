@@ -8,6 +8,7 @@ import (
 
 	"mozart/internal/core"
 	"mozart/internal/obs"
+	"mozart/internal/tune"
 )
 
 // TenantConfig declares one tenant at server construction.
@@ -47,6 +48,12 @@ type Tenant struct {
 	metrics     *obs.Metrics
 	recorder    *obs.FlightRecorder
 	registry    map[string]EvalFunc
+	// tuner is the tenant's calibrating BatchSource (Config.Tune). It lives
+	// in the warm ledger — per-signature calibration state accumulates
+	// across requests even though each request builds a fresh core.Session
+	// — and is scoped per tenant so one tenant's traffic never perturbs
+	// another's batch choices. Nil when tuning is off.
+	tuner *tune.Tuner
 
 	inFlight atomic.Int64
 	served   atomic.Int64 // 200s
@@ -70,7 +77,7 @@ type sessionState struct {
 	lastUsed time.Time
 }
 
-func newTenant(tc TenantConfig, global *core.Governor, pol core.BreakerPolicy) (*Tenant, error) {
+func newTenant(tc TenantConfig, global *core.Governor, pol core.BreakerPolicy, tuneCfg *tune.Config) (*Tenant, error) {
 	if tc.Name == "" {
 		return nil, fmt.Errorf("serve: tenant with empty name")
 	}
@@ -86,7 +93,7 @@ func newTenant(tc TenantConfig, global *core.Governor, pol core.BreakerPolicy) (
 	if maxInFlight <= 0 {
 		maxInFlight = 4
 	}
-	return &Tenant{
+	t := &Tenant{
 		name:        tc.Name,
 		budget:      tc.BudgetBytes,
 		maxInFlight: int64(maxInFlight),
@@ -97,7 +104,11 @@ func newTenant(tc TenantConfig, global *core.Governor, pol core.BreakerPolicy) (
 		recorder:    obs.NewFlightRecorder(tc.FlightDepth),
 		registry:    tc.Registry,
 		sessions:    map[string]*sessionState{},
-	}, nil
+	}
+	if tuneCfg != nil {
+		t.tuner = tune.New(*tuneCfg)
+	}
+	return t, nil
 }
 
 // close returns the tenant's carved budget to the shared Governor. Called
@@ -116,6 +127,10 @@ func (t *Tenant) Metrics() *obs.Metrics { return t.metrics }
 
 // Recorder returns the tenant's flight recorder.
 func (t *Tenant) Recorder() *obs.FlightRecorder { return t.recorder }
+
+// Tuner returns the tenant's calibrating BatchSource (nil when Config.Tune
+// is off).
+func (t *Tenant) Tuner() *tune.Tuner { return t.tuner }
 
 // InFlight returns the tenant's currently-running evaluation count.
 func (t *Tenant) InFlight() int64 { return t.inFlight.Load() }
@@ -207,12 +222,24 @@ type TenantStatus struct {
 	BreakerTrips   int64    `json:"breaker_trips"`
 	OpenBreakers   []string `json:"open_breakers,omitempty"`
 	Sessions       int      `json:"sessions"`
+	// Tuner counters (zero / absent when Config.Tune is off): how many
+	// structural plan signatures the tenant's tuner tracks, and how many
+	// of them are currently pinned to a calibrated batch.
+	TunerSignatures int `json:"tuner_signatures,omitempty"`
+	TunerCalibrated int `json:"tuner_calibrated,omitempty"`
 }
 
 func (t *Tenant) status() TenantStatus {
 	t.mu.Lock()
 	nsess := len(t.sessions)
 	t.mu.Unlock()
+	var nsigs, ncal int
+	for _, ss := range t.tuner.States() {
+		nsigs++
+		if ss.Phase == tune.PhaseCalibrated {
+			ncal++
+		}
+	}
 	return TenantStatus{
 		Name:           t.name,
 		BudgetBytes:    t.budget,
@@ -228,5 +255,8 @@ func (t *Tenant) status() TenantStatus {
 		BreakerTrips:   t.breakers.Trips(),
 		OpenBreakers:   t.breakers.OpenNames(),
 		Sessions:       nsess,
+
+		TunerSignatures: nsigs,
+		TunerCalibrated: ncal,
 	}
 }

@@ -1,0 +1,117 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"mozart/internal/serve"
+	"mozart/internal/tune"
+)
+
+// TestTenantTunerWarmAcrossRequests: with Config.Tune on, the tenant's
+// tuner lives in the warm ledger — repeated requests for the same workload
+// advance one signature through the state machine even though every
+// request builds a fresh core.Session. A second, untuned comparison server
+// must report no tuner state at all.
+func TestTenantTunerWarmAcrossRequests(t *testing.T) {
+	clock := time.Unix(0, 0)
+	srv, ts := newTestServer(t, serve.Config{
+		Tenants: []serve.TenantConfig{{Name: "alpha", BudgetBytes: 64 << 20, MaxInFlight: 2}},
+		Tune:    true,
+		TuneConfig: tune.Config{
+			Clock:  func() time.Time { clock = clock.Add(time.Second); return clock },
+			Seed:   1,
+			Budget: 6,
+			// The real timings below are noise; adopt any sweep winner so
+			// the test deterministically leaves the static phase.
+			Hysteresis: 1e-9,
+		},
+		RetryJitterSeed: 1,
+	})
+
+	tn := srv.Tenant("alpha")
+	if tn.Tuner() == nil {
+		t.Fatal("Config.Tune did not give the tenant a tuner")
+	}
+
+	body := `{"workload": "blackscholes-mkl", "scale": 16384, "threads": 2, "session": "s1", "timeout_ms": 5000}`
+	var lastChecksum float64
+	for i := 0; i < 12; i++ {
+		resp, b := postEval(t, ts, "alpha", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, resp.StatusCode, b)
+		}
+		var res evalResult
+		if err := json.Unmarshal(b, &res); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if i > 0 && res.Checksum != lastChecksum {
+			t.Fatalf("request %d: checksum drifted under tuning: %v != %v", i, res.Checksum, lastChecksum)
+		}
+		lastChecksum = res.Checksum
+	}
+
+	sts := tn.Tuner().States()
+	if len(sts) == 0 {
+		t.Fatal("no calibration state after 12 requests")
+	}
+	for _, ss := range sts {
+		if ss.Phase == tune.PhaseStatic {
+			t.Errorf("signature %q still static after 12 requests", ss.Signature)
+		}
+	}
+
+	// The ledger state must be visible on /v1/tenants.
+	st := tn.Status()
+	if st.TunerSignatures != len(sts) {
+		t.Errorf("TunerSignatures = %d, want %d", st.TunerSignatures, len(sts))
+	}
+
+	// Untuned server: same traffic, no tuner, no state.
+	srv2, ts2 := newTestServer(t, serve.Config{
+		Tenants:         []serve.TenantConfig{{Name: "alpha", BudgetBytes: 64 << 20, MaxInFlight: 2}},
+		RetryJitterSeed: 1,
+	})
+	if srv2.Tenant("alpha").Tuner() != nil {
+		t.Fatal("tuner present without Config.Tune")
+	}
+	resp, b := postEval(t, ts2, "alpha", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("untuned request: status %d: %s", resp.StatusCode, b)
+	}
+	if st := srv2.Tenant("alpha").Status(); st.TunerSignatures != 0 {
+		t.Errorf("untuned tenant reports %d tuner signatures", st.TunerSignatures)
+	}
+}
+
+// TestTunerScopedPerTenant: two tenants running the same workload calibrate
+// independently — traffic on one must not create state on the other.
+func TestTunerScopedPerTenant(t *testing.T) {
+	srv, ts := newTestServer(t, serve.Config{
+		Tenants: []serve.TenantConfig{
+			{Name: "alpha", BudgetBytes: 32 << 20, MaxInFlight: 2},
+			{Name: "beta", BudgetBytes: 32 << 20, MaxInFlight: 2},
+		},
+		Tune:            true,
+		RetryJitterSeed: 1,
+	})
+	body := `{"workload": "blackscholes-mkl", "scale": 8192, "threads": 2, "timeout_ms": 5000}`
+	for i := 0; i < 2; i++ {
+		resp, b := postEval(t, ts, "alpha", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, b)
+		}
+	}
+	if n := len(srv.Tenant("alpha").Tuner().States()); n == 0 {
+		t.Error("alpha has no calibration state after its requests")
+	}
+	if n := len(srv.Tenant("beta").Tuner().States()); n != 0 {
+		t.Errorf("beta has %d signatures without any traffic", n)
+	}
+	// Distinct tuners entirely.
+	if srv.Tenant("alpha").Tuner() == srv.Tenant("beta").Tuner() {
+		t.Error("tenants share one tuner")
+	}
+}

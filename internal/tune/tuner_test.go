@@ -1,0 +1,328 @@
+package tune_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mozart/internal/memsim"
+	"mozart/internal/plan"
+	"mozart/internal/tune"
+	"mozart/internal/workloads"
+)
+
+// testClock is a deterministic Config.Clock: one second per call.
+func testClock() func() time.Time {
+	t := time.Unix(0, 0)
+	return func() time.Time {
+		t = t.Add(time.Second)
+		return t
+	}
+}
+
+// elapsedFor converts a throughput (elems/s) into the Elapsed an
+// Observation must carry for that many elements.
+func elapsedFor(elems int64, thr float64) time.Duration {
+	return time.Duration(float64(elems) / thr * float64(time.Second))
+}
+
+// driveModel runs the closed loop the executor runs — PlanBatch, evaluate,
+// Observe — against a modeled throughput function until the signature
+// leaves the sweep (or the round budget runs out). staticBatch is the batch
+// the session's own policy would pick when the decision is zero.
+func driveModel(t *testing.T, tu *tune.Tuner, sig string, elems int64, workers int,
+	staticBatch int64, thrFor func(batch int64) float64) tune.SignatureState {
+	t.Helper()
+	for round := 0; round < 64; round++ {
+		dec := tu.PlanBatch(plan.BatchRequest{Signature: sig, Workers: workers, Elems: elems})
+		eff := dec.BatchElems
+		if eff == 0 {
+			eff = staticBatch
+		}
+		tu.Observe(plan.Observation{
+			Signature:  sig,
+			BatchElems: dec.BatchElems,
+			Workers:    workers,
+			Elems:      elems,
+			Elapsed:    elapsedFor(elems, thrFor(eff)),
+		})
+		st := states(t, tu, sig)
+		if st.Phase == tune.PhaseCalibrated || st.Phase == tune.PhaseReverted {
+			return st
+		}
+	}
+	return states(t, tu, sig)
+}
+
+func states(t *testing.T, tu *tune.Tuner, sig string) tune.SignatureState {
+	t.Helper()
+	for _, st := range tu.States() {
+		if st.Signature == sig {
+			return st
+		}
+	}
+	t.Fatalf("signature %q has no state", sig)
+	return tune.SignatureState{}
+}
+
+// grid reproduces the tuner's probe ladder: powers of two from minBatch,
+// capped one rung at or above elems (and by maxBatch).
+func probeGrid(minBatch, maxBatch, elems int64) []int64 {
+	var g []int64
+	for b := minBatch; b <= maxBatch; b *= 2 {
+		g = append(g, b)
+		if elems > 0 && b >= elems {
+			break
+		}
+	}
+	return g
+}
+
+// TestSweepConvergesOnModel closes the loop against the memsim machine
+// model for a real workload (the paper's Fig. 6 ablation run online): a
+// session stuck with a deliberately unbatched static policy must calibrate
+// to within one grid step of the best fixed batch.
+func TestSweepConvergesOnModel(t *testing.T) {
+	for _, name := range []string{"blackscholes-numpy", "haversine-numpy", "blackscholes-mkl"} {
+		t.Run(name, func(t *testing.T) {
+			spec, err := workloads.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A tight trace cap keeps the model fast under -race; memsim
+			// shrinks the cache hierarchy with the trace, so the batch:cache
+			// ratios — and the Fig. 6 curve shape — are preserved.
+			const workers, scale = 4, 1 << 22
+			mach := memsim.DefaultMachine()
+			mach.SimMaxElems = 1 << 16
+			elems := int64(scale)
+			memo := map[int64]float64{}
+			thrFor := func(batch int64) float64 {
+				if thr, ok := memo[batch]; ok {
+					return thr
+				}
+				m := spec.Model(workloads.Mozart, workloads.Config{Scale: scale, Batch: batch})
+				r := memsim.Run(mach, *m, workers)
+				memo[batch] = float64(elems) / r.Seconds
+				return memo[batch]
+			}
+
+			tu := tune.New(tune.Config{Clock: testClock(), Seed: 1})
+			sig := "model:" + name
+			// Static policy: whole-input batches (no batching at all) — the
+			// regime the sweep exists to escape.
+			st := driveModel(t, tu, sig, elems, workers, elems, thrFor)
+			if st.Phase != tune.PhaseCalibrated {
+				t.Fatalf("phase = %v after sweep, want calibrated (baseline %.0f elems/s)", st.Phase, st.Baseline)
+			}
+
+			g := probeGrid(512, 4<<20, elems)
+			bestIdx, bestThr := -1, 0.0
+			chosenIdx := -1
+			for i, b := range g {
+				if thr := thrFor(b); thr > bestThr {
+					bestIdx, bestThr = i, thr
+				}
+				if b == st.BestBatch {
+					chosenIdx = i
+				}
+			}
+			if chosenIdx < 0 {
+				t.Fatalf("calibrated batch %d not on the probe grid %v", st.BestBatch, g)
+			}
+			if d := chosenIdx - bestIdx; d < -1 || d > 1 {
+				t.Errorf("calibrated to grid[%d]=%d, best fixed is grid[%d]=%d: more than one step apart",
+					chosenIdx, g[chosenIdx], bestIdx, g[bestIdx])
+			}
+			if st.BestThroughput < 0.95*bestThr {
+				t.Errorf("calibrated throughput %.0f < 0.95 x best fixed %.0f", st.BestThroughput, bestThr)
+			}
+		})
+	}
+}
+
+// synthThr is a unimodal synthetic throughput curve peaking at the given
+// batch (per-call overhead below, cache misses above — the Fig. 6 shape).
+func synthThr(peak int64) func(batch int64) float64 {
+	return func(batch int64) float64 {
+		x := float64(batch) / float64(peak)
+		return 1e6 / (x + 1/x)
+	}
+}
+
+// TestRegressionGuardReverts: a calibrated signature whose measured
+// throughput drops more than 10% below the sweep's best twice in a row
+// must revert to the static policy, permanently.
+func TestRegressionGuardReverts(t *testing.T) {
+	const elems = 1 << 20
+	tu := tune.New(tune.Config{Clock: testClock(), Seed: 0})
+	sig := "synth"
+	st := driveModel(t, tu, sig, elems, 4, elems, synthThr(8192))
+	if st.Phase != tune.PhaseCalibrated {
+		t.Fatalf("phase = %v, want calibrated", st.Phase)
+	}
+
+	// One bad run arms the guard but must not revert (transient noise).
+	bad := elapsedFor(elems, 0.8*st.BestThroughput)
+	obs := plan.Observation{Signature: sig, BatchElems: st.BestBatch, Workers: 4, Elems: elems, Elapsed: bad}
+	tu.Observe(obs)
+	if got := states(t, tu, sig).Phase; got != tune.PhaseCalibrated {
+		t.Fatalf("phase after one bad run = %v, want calibrated", got)
+	}
+	// A good run in between disarms it.
+	tu.Observe(plan.Observation{Signature: sig, BatchElems: st.BestBatch, Workers: 4, Elems: elems,
+		Elapsed: elapsedFor(elems, st.BestThroughput)})
+	tu.Observe(obs)
+	if got := states(t, tu, sig).Phase; got != tune.PhaseCalibrated {
+		t.Fatalf("phase after good-bad = %v, want calibrated (guard should re-arm)", got)
+	}
+	// Two consecutive bad runs revert.
+	tu.Observe(obs)
+	if got := states(t, tu, sig).Phase; got != tune.PhaseReverted {
+		t.Fatalf("phase after two bad runs = %v, want reverted", got)
+	}
+	// Reverted is terminal: the decision is static again and further
+	// observations change nothing.
+	if dec := tu.PlanBatch(plan.BatchRequest{Signature: sig, Workers: 4, Elems: elems}); dec != (plan.BatchDecision{}) {
+		t.Errorf("reverted decision = %+v, want zero (static)", dec)
+	}
+	tu.Observe(plan.Observation{Signature: sig, Elems: elems, Elapsed: elapsedFor(elems, 1)})
+	if got := states(t, tu, sig).Phase; got != tune.PhaseReverted {
+		t.Errorf("phase after post-revert observation = %v, want reverted", got)
+	}
+}
+
+// TestSweepRevertsWithoutWin: when the static baseline is already at the
+// curve's peak, the sweep must not adopt a probe that fails the hysteresis
+// gate — it reverts and leaves the static policy alone.
+func TestSweepRevertsWithoutWin(t *testing.T) {
+	const elems = 1 << 20
+	tu := tune.New(tune.Config{Clock: testClock(), Seed: 0})
+	thr := synthThr(8192)
+	st := driveModel(t, tu, "flat", elems, 4, 8192, thr)
+	if st.Phase != tune.PhaseReverted {
+		t.Fatalf("phase = %v, want reverted (static already optimal)", st.Phase)
+	}
+}
+
+// TestStaleProbeDiscarded: an observation carrying a batch other than the
+// pending probe (a concurrent session that planned one evaluation earlier)
+// must not advance the sweep or poison the memo.
+func TestStaleProbeDiscarded(t *testing.T) {
+	const elems = 1 << 20
+	tu := tune.New(tune.Config{Clock: testClock(), Seed: 0})
+	sig := "stale"
+	// Baseline observation starts the sweep.
+	tu.Observe(plan.Observation{Signature: sig, Elems: elems, Elapsed: elapsedFor(elems, 1000)})
+	st := states(t, tu, sig)
+	if st.Phase != tune.PhaseSweeping {
+		t.Fatalf("phase = %v, want sweeping", st.Phase)
+	}
+	dec := tu.PlanBatch(plan.BatchRequest{Signature: sig, Workers: 4, Elems: elems})
+	// A stale probe (wrong batch, absurdly fast) must be discarded...
+	tu.Observe(plan.Observation{Signature: sig, BatchElems: dec.BatchElems * 4096, Workers: 4,
+		Elems: elems, Elapsed: elapsedFor(elems, 1e12)})
+	if got := states(t, tu, sig).SweepEvals; got != 0 {
+		t.Fatalf("stale probe advanced the sweep (evals = %d)", got)
+	}
+	// ...while a static-batch observation folds into the baseline.
+	tu.Observe(plan.Observation{Signature: sig, Elems: elems, Elapsed: elapsedFor(elems, 2000)})
+	if got := states(t, tu, sig).Baseline; got < 1400 || got > 1600 {
+		t.Fatalf("baseline = %.0f, want the 1000/2000 running mean 1500", got)
+	}
+}
+
+// TestConcurrentSessionsShareTuner: many goroutines closing the loop on a
+// shared Tuner over a handful of signatures must be race-free (run under
+// -race) and every signature must still reach a terminal phase.
+func TestConcurrentSessionsShareTuner(t *testing.T) {
+	tu := tune.New(tune.Config{Clock: time.Now, Seed: 3})
+	const elems = 1 << 20
+	thr := synthThr(16384)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sig := fmt.Sprintf("shared-%d", g%3)
+			for i := 0; i < 50; i++ {
+				dec := tu.PlanBatch(plan.BatchRequest{Signature: sig, Workers: 4, Elems: elems})
+				eff := dec.BatchElems
+				if eff == 0 {
+					eff = elems
+				}
+				tu.Observe(plan.Observation{Signature: sig, BatchElems: dec.BatchElems,
+					Workers: 4, Elems: elems, Elapsed: elapsedFor(elems, thr(eff))})
+			}
+		}(g)
+	}
+	wg.Wait()
+	sts := tu.States()
+	if len(sts) != 3 {
+		t.Fatalf("got %d signatures, want 3", len(sts))
+	}
+	for _, st := range sts {
+		if st.Phase != tune.PhaseCalibrated && st.Phase != tune.PhaseReverted {
+			t.Errorf("%s phase = %v, want a terminal phase after 400 interleaved rounds", st.Signature, st.Phase)
+		}
+	}
+}
+
+// TestZeroValueInert: the zero value (and a nil pointer) must behave
+// exactly like no tuner at all — zero decisions, no state, no panics.
+func TestZeroValueInert(t *testing.T) {
+	var zero tune.Tuner
+	req := plan.BatchRequest{Signature: "x", Workers: 4, Elems: 1 << 20}
+	if dec := zero.PlanBatch(req); dec != (plan.BatchDecision{}) {
+		t.Errorf("zero-value decision = %+v, want zero", dec)
+	}
+	zero.Observe(plan.Observation{Signature: "x", Elems: 1, Elapsed: time.Second})
+	if sts := zero.States(); sts != nil {
+		t.Errorf("zero-value states = %v, want nil", sts)
+	}
+
+	var nilT *tune.Tuner
+	if dec := nilT.PlanBatch(req); dec != (plan.BatchDecision{}) {
+		t.Errorf("nil decision = %+v, want zero", dec)
+	}
+	nilT.Observe(plan.Observation{Signature: "x", Elems: 1, Elapsed: time.Second})
+	if sts := nilT.States(); sts != nil {
+		t.Errorf("nil states = %v, want nil", sts)
+	}
+}
+
+// TestPeekDoesNotCreateState: Session.Plan and Explain peek at the decision
+// without evaluating; PlanBatch must never create signature state, or a
+// peek would perturb the calibration loop.
+func TestPeekDoesNotCreateState(t *testing.T) {
+	tu := tune.New(tune.Config{Clock: testClock()})
+	for i := 0; i < 5; i++ {
+		tu.PlanBatch(plan.BatchRequest{Signature: "peeked", Workers: 4, Elems: 1 << 20})
+	}
+	if sts := tu.States(); len(sts) != 0 {
+		t.Fatalf("peeks created state: %v", sts)
+	}
+}
+
+// TestWorkerFold: the decision caps workers at the batch count — spreading
+// 3 batches over 8 workers only adds spawn and merge overhead.
+func TestWorkerFold(t *testing.T) {
+	tu := tune.New(tune.Config{Clock: testClock(), Seed: 0})
+	sig := "fold"
+	const elems = 2048
+	// Baseline, then the sweep's grid for 2048 elems is {512, 1024, 2048}.
+	tu.Observe(plan.Observation{Signature: sig, Elems: elems, Elapsed: elapsedFor(elems, 1000)})
+	dec := tu.PlanBatch(plan.BatchRequest{Signature: sig, Workers: 8, Elems: elems})
+	if dec.BatchElems == 0 {
+		t.Fatal("expected a sweep probe")
+	}
+	batches := (elems + dec.BatchElems - 1) / dec.BatchElems
+	if batches < 8 {
+		if dec.Workers != int(batches) {
+			t.Errorf("workers = %d, want folded to batch count %d", dec.Workers, batches)
+		}
+	} else if dec.Workers != 0 {
+		t.Errorf("workers = %d, want 0 (no override when batches >= workers)", dec.Workers)
+	}
+}

@@ -76,6 +76,12 @@ type Config struct {
 	// empty).
 	OutOfCore bool
 	SpillDir  string
+	// Tuner, when set, closes the telemetry→plan loop for every Mozart
+	// session the workload creates (core.Options.Tuner): the planner
+	// consults it for batch/worker overrides and the executor reports
+	// measured throughput back. Typically a *tune.Tuner shared across
+	// evaluations so calibration state accumulates.
+	Tuner plan.BatchSource
 }
 
 // ctx resolves the evaluation context (Config.Ctx or Background).
@@ -100,6 +106,7 @@ func (c Config) options() core.Options {
 		StageTimeout:       c.StageTimeout,
 		OutOfCore:          c.OutOfCore,
 		SpillDir:           c.SpillDir,
+		Tuner:              c.Tuner,
 	}
 	if c.Ctx != nil {
 		ctx := c.Ctx
