@@ -6,14 +6,16 @@
 # smoke (AllocsPerRun, alias checks, leak suite), the faults-experiment
 # smoke, the telemetry smokes (trace, explain, Prometheus golden, bench
 # snapshot), the out-of-core spill smoke, the adaptive-planner tune smoke
-# (online batch calibration vs the static heuristic), and the mozartd
-# serve smoke (boot, shed, SIGTERM drain).
+# (online batch calibration vs the static heuristic), the mozartd
+# serve smoke (boot, shed, SIGTERM drain), and the observability smoke
+# (traceparent echo, span trees, OpenMetrics exemplars, burn rates,
+# trace-keyed flight lookup).
 
 GO ?= go
 
-.PHONY: ci vet deprecations build test race flaky pool-smoke smoke-faults trace-smoke explain-smoke explain-golden prom-golden bench-smoke bench-snapshot bench serve-smoke spill-smoke tune-smoke soak
+.PHONY: ci vet deprecations build test race flaky pool-smoke smoke-faults trace-smoke explain-smoke explain-golden prom-golden bench-smoke bench-snapshot bench serve-smoke slo-smoke spill-smoke tune-smoke soak
 
-ci: vet deprecations build test race flaky pool-smoke smoke-faults trace-smoke explain-smoke prom-golden bench-smoke spill-smoke tune-smoke serve-smoke
+ci: vet deprecations build test race flaky pool-smoke smoke-faults trace-smoke explain-smoke prom-golden bench-smoke spill-smoke tune-smoke serve-smoke slo-smoke
 
 vet:
 	$(GO) vet ./...
@@ -41,9 +43,11 @@ race:
 # Flakiness gate: the resilience machinery (retry, breakers, admission,
 # fault injection, the spill store, the streaming path, the serving layer)
 # is timing-sensitive by nature; run its suites twice under the race
-# detector to shake out order dependence.
+# detector to shake out order dependence. The obs packages ride along for
+# the tracing/SLO surfaces (concurrent span recording, exemplar stamping,
+# burn-rate windows) exercised by the serve tests.
 flaky:
-	$(GO) test -race -count=2 ./internal/core ./internal/faultinject ./internal/serve ./internal/spill ./internal/annotations/imagesa ./internal/tune
+	$(GO) test -race -count=2 ./internal/core ./internal/faultinject ./internal/serve ./internal/spill ./internal/annotations/imagesa ./internal/tune ./internal/obs ./internal/obs/httpdebug
 
 # Zero-copy hot-path gate: the AllocsPerRun == 0 assertions on the warm
 # view-split loops, the pointer-identity alias and stitch checks, the
@@ -61,6 +65,15 @@ pool-smoke:
 # exits non-zero on any violation).
 serve-smoke:
 	$(GO) run ./cmd/mozartd -smoke
+
+# mozartd's observability smoke: a traced evaluation end to end — the
+# traceparent echoed, the span tree served (tree + OTLP/JSON), the latency
+# exemplar negotiated via OpenMetrics, a tenant with an unmeetable latency
+# objective burning error budget on both windows, a 504's trace id
+# resolving to its flight recording, and the structured request log naming
+# the trace (the binary exits non-zero on any violation).
+slo-smoke:
+	$(GO) run ./cmd/mozartd -slo-smoke
 
 # The multi-tenant chaos soak on its own: concurrent tenants through fault
 # injection (transient faults + seeded latency) under the race detector.

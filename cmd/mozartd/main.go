@@ -22,13 +22,25 @@
 // cancelled at batch boundaries, and the process exits 0 only if every
 // budget byte was returned and every spill file reclaimed.
 //
-// The telemetry mux rides on the same listener: GET /metrics,
-// /debug/mozart/plans, /debug/mozart/trace, and per-tenant flight
-// recorders under /debug/mozart/flight/<tenant>.
+// The telemetry mux rides on the same listener: GET /metrics (plain
+// Prometheus text, or OpenMetrics with exemplars under Accept:
+// application/openmetrics-text), /debug/mozart/plans, /debug/mozart/trace,
+// per-request span trees under /debug/mozart/spans/<trace-id>, and
+// per-tenant flight recorders under /debug/mozart/flight/<tenant>.
+//
+// Every /v1/eval request is traced end to end: a W3C traceparent header is
+// honoured (or one is minted), echoed back on the response, stamped into
+// the JSON body, and every runtime event of the evaluation becomes a span
+// in the request's tree. One structured log line summarizes each request
+// (-log-json switches it to JSON); per-tenant SLOs (-slo-latency,
+// -slo-availability) drive the mozart_slo_* burn-rate metric families.
 //
 // -smoke runs a self-contained boot → evaluate → shed → drain scenario on
 // an ephemeral port (including a real SIGTERM round-trip) and exits
 // non-zero on any violation; `make serve-smoke` wires it into CI.
+// -slo-smoke does the same for the observability contract: traced
+// requests, span trees, exemplars, burn rates, and trace→flight lookup;
+// `make slo-smoke` wires it into CI.
 package main
 
 import (
@@ -40,6 +52,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -65,6 +78,10 @@ func main() {
 		spillDir   = flag.String("spill-dir", "", "directory for out-of-core spill stores (empty: the OS temp dir)")
 		tuneOn     = flag.Bool("tune", false, "give each tenant a calibrating batch tuner: repeated plans sweep batch sizes online and pin the winner")
 		smoke      = flag.Bool("smoke", false, "run the boot/shed/drain smoke scenario on an ephemeral port and exit")
+		sloSmoke   = flag.Bool("slo-smoke", false, "run the tracing/SLO smoke scenario (span trees, exemplars, burn rates) on an ephemeral port and exit")
+		logJSON    = flag.Bool("log-json", false, "emit the per-request summary log lines as JSON (default: logfmt-style text)")
+		sloLatency = flag.Duration("slo-latency", 500*time.Millisecond, "per-tenant SLO latency objective: a 200 slower than this spends error budget")
+		sloAvail   = flag.Float64("slo-availability", 0.999, "per-tenant SLO availability objective in (0,1); 1-it is the error budget")
 	)
 	flag.Parse()
 
@@ -76,6 +93,21 @@ func main() {
 		}
 		logf("SMOKE PASS")
 		return
+	}
+	if *sloSmoke {
+		if err := runSLOSmoke(logf); err != nil {
+			logf("SLO-SMOKE FAIL: %v", err)
+			os.Exit(1)
+		}
+		logf("SLO-SMOKE PASS")
+		return
+	}
+
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
 	}
 
 	tenants, err := parseTenants(*tenantSpec)
@@ -93,6 +125,8 @@ func main() {
 		SpillDir:          *spillDir,
 		Tenants:           tenants,
 		Tune:              *tuneOn,
+		SLO:               serve.SLOConfig{LatencyObjective: *sloLatency, Availability: *sloAvail},
+		Logger:            slog.New(handler),
 		Logf:              logf,
 	}
 	srv, err := serve.New(cfg)

@@ -28,11 +28,17 @@ func serveload(scaleDiv int) {
 		DefaultTimeout:    10 * time.Second,
 		MaxTimeout:        10 * time.Second,
 		DrainTimeout:      5 * time.Second,
+		// Server-default SLO: 500ms latency objective at three nines. gold's
+		// 1ms-deadline shots land as 504s — SLO-bad — so its burn rates go
+		// non-zero; bronze's tight 5ms objective shows slow 200s spending
+		// error budget even though they succeeded.
+		SLO: serve.SLOConfig{LatencyObjective: 500 * time.Millisecond, Availability: 0.999},
 		Tenants: []serve.TenantConfig{
 			{Name: "gold", BudgetBytes: 128 << 20, MaxInFlight: 4},
 			// bronze's carve is one modeled mid-size request: big requests
 			// can never fit and shed deterministically.
-			{Name: "bronze", BudgetBytes: 512 << 10, MaxInFlight: 2},
+			{Name: "bronze", BudgetBytes: 512 << 10, MaxInFlight: 2,
+				SLO: &serve.SLOConfig{LatencyObjective: 5 * time.Millisecond, Availability: 0.999}},
 		},
 	})
 	if err != nil {
@@ -101,11 +107,19 @@ func serveload(scaleDiv int) {
 	elapsed := time.Since(start)
 
 	w := tw()
-	fmt.Fprintln(w, "tenant\tbudget\tserved\tshed (429)\ttimed out (504)\tfailed\thigh water\tbreaker trips")
+	fmt.Fprintln(w, "tenant\tbudget\tserved\tshed (429)\ttimed out (504)\tfailed\thigh water\tbreaker trips\tSLO good/bad\tburn 5m\tburn 1h\tworst trace")
 	for _, name := range srv.TenantNames() {
 		st := srv.Tenant(name).Status()
-		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%s\t%d\n", name, mib(st.BudgetBytes),
-			st.Served, st.Shed, st.TimedOut, st.Failed, mib(st.HighWaterBytes), st.BreakerTrips)
+		worst := st.SLOWorstTrace
+		if len(worst) > 8 {
+			worst = worst[:8] + "…"
+		}
+		if worst == "" {
+			worst = "-"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%s\t%d\t%d/%d\t%.1f\t%.1f\t%s\n", name, mib(st.BudgetBytes),
+			st.Served, st.Shed, st.TimedOut, st.Failed, mib(st.HighWaterBytes), st.BreakerTrips,
+			st.SLOGood, st.SLOBad, st.SLOBurnRate5m, st.SLOBurnRate1h, worst)
 	}
 	w.Flush()
 	fmt.Printf("%d requests over %d concurrent clients in %.2fs (%d transport errors)\n",
@@ -119,7 +133,10 @@ func serveload(scaleDiv int) {
 	fmt.Printf("drain: clean in %.0fms — in-flight 0, shared governor in-use %d bytes\n",
 		time.Since(drainStart).Seconds()*1e3, srv.GlobalGovernor().InUse())
 	fmt.Println("(bronze's over-budget requests shed immediately instead of queuing; gold's")
-	fmt.Println(" 1ms-deadline requests are cancelled mid-evaluation and surface as 504)")
+	fmt.Println(" 1ms-deadline requests are cancelled mid-evaluation and surface as 504.")
+	fmt.Println(" SLO good/bad classifies finished requests against each tenant's latency")
+	fmt.Println(" objective — sheds are uncounted — and burn = bad fraction / error budget;")
+	fmt.Println(" the worst trace keys /debug/mozart/spans/<id> for the slowest request)")
 }
 
 func mib(b int64) string {

@@ -294,7 +294,7 @@ func (s *Session) EvaluateContext(ctx context.Context) error {
 	evalStart := time.Now()
 	if tr != nil {
 		tr.Emit(obs.Event{Kind: obs.EvSessionBegin, Time: evalStart, Stage: -1,
-			Worker: obs.RuntimeLane, Elems: int64(len(s.nodes))})
+			Worker: obs.RuntimeLane, Elems: int64(len(s.nodes)), Trace: s.opts.Trace})
 	}
 
 	// Simulated memory unprotection of guarded buffers (§8.5): the paper
@@ -360,7 +360,8 @@ func (s *Session) EvaluateContext(ctx context.Context) error {
 func (s *Session) finishEval(tr obs.Tracer, start time.Time, err error) error {
 	if tr != nil {
 		e := obs.Event{Kind: obs.EvSessionEnd, Time: time.Now(),
-			Dur: time.Since(start), Stage: -1, Worker: obs.RuntimeLane}
+			Dur: time.Since(start), Stage: -1, Worker: obs.RuntimeLane,
+			Trace: s.opts.Trace}
 		if err != nil {
 			e.Detail = err.Error()
 		}

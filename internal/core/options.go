@@ -117,6 +117,15 @@ type Options struct {
 	// default) is the fast path: every emission site is nil-guarded, so
 	// disabled tracing adds no allocations to the per-batch hot loop.
 	Tracer obs.Tracer
+	// Trace, when set, is the request-scoped trace context the session is
+	// being evaluated under (a parsed or generated W3C traceparent). The
+	// runtime stamps it onto session-begin and session-end events — a
+	// shared pointer copy, so the stamp costs no allocation and the nil
+	// default costs nothing at all — letting shared sinks (latency
+	// exemplars, flight recordings) key what they retain by the
+	// originating request's trace id. Pair it with a per-request
+	// obs.SpanRecorder in Tracer to capture the full span tree.
+	Trace *obs.TraceContext
 	// ProfileLabels, when true, wraps each worker's batch loop in pprof
 	// labels (mozart_stage, mozart_split) so CPU profiles attribute
 	// samples to stages and split types (go tool pprof -tagfocus).

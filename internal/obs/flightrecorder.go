@@ -28,6 +28,11 @@ type Recording struct {
 	Plan    string    `json:"plan,omitempty"` // plan.Render of the evaluation's IR
 	Events  []Event   `json:"events"`
 	Dropped int       `json:"dropped,omitempty"` // events beyond the cap
+	// TraceID is the request trace the evaluation ran under (hex), taken
+	// from the session events' TraceContext stamp; empty for untraced
+	// sessions. A 500/504 response carrying a trace id resolves to its
+	// recording through FlightRecorder.Find.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // FlightRecorder retains the last N evaluations' full event streams in a
@@ -114,6 +119,22 @@ func (r *FlightRecorder) Len() int {
 	return len(r.ring)
 }
 
+// Find returns the newest retained recording whose evaluation ran under
+// the given trace id (lowercase hex).
+func (r *FlightRecorder) Find(traceID string) (Recording, bool) {
+	if traceID == "" {
+		return Recording{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(r.ring) - 1; i >= 0; i-- {
+		if r.ring[i].TraceID == traceID {
+			return r.ring[i], true
+		}
+	}
+	return Recording{}, false
+}
+
 // Dump writes every retained recording to w as indented JSON.
 func (r *FlightRecorder) Dump(w io.Writer) error {
 	enc := json.NewEncoder(w)
@@ -161,6 +182,9 @@ func (h *FlightHandle) Emit(e Event) {
 		h.eventCap = h.rec.eventCap
 		h.rec.mu.Unlock()
 		h.cur = &Recording{Begin: e.Time, Events: []Event{e}}
+		if e.Trace != nil && !e.Trace.TraceID.IsZero() {
+			h.cur.TraceID = e.Trace.TraceID.String()
+		}
 		h.mu.Unlock()
 		return
 	case EvSessionEnd:

@@ -1,8 +1,9 @@
 // Package httpdebug mounts the Mozart runtime's live telemetry on a
 // caller-provided *http.ServeMux: a Prometheus /metrics endpoint over a
 // Metrics sink, the last plan IRs under /debug/mozart/plans, the Chrome
-// trace buffer under /debug/mozart/trace, and the flight recorder's
-// retained evaluations under /debug/mozart/flight.
+// trace buffer under /debug/mozart/trace, the flight recorder's
+// retained evaluations under /debug/mozart/flight, and per-request span
+// trees under /debug/mozart/spans/<trace-id>.
 //
 // The package never starts a server and never touches
 // http.DefaultServeMux: the caller owns the listener, the mux, and any
@@ -17,6 +18,7 @@
 package httpdebug
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -42,6 +44,13 @@ type Options struct {
 	// Recorder serves GET /debug/mozart/flight: the flight recorder's
 	// retained recordings as JSON, newest last.
 	Recorder *obs.FlightRecorder
+	// Spans serves GET /debug/mozart/spans (a JSON index of retained
+	// traces) and GET /debug/mozart/spans/<trace-id> (one request's span
+	// tree — indented text by default, OTLP/JSON with ?format=otlp).
+	Spans *obs.SpanRing
+	// Service names the OTLP resource (service.name) on span exports;
+	// empty defaults to "mozart".
+	Service string
 }
 
 // Mount registers a handler per non-nil Options field on mux.
@@ -49,6 +58,15 @@ func Mount(mux *http.ServeMux, o Options) {
 	if o.Metrics != nil {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			if !allowGet(w, r) {
+				return
+			}
+			// Content negotiation per the Prometheus exposition-format
+			// contract: scrapers that understand OpenMetrics (and so
+			// exemplars) say so in Accept; everyone else gets the classic
+			// text format, byte-for-byte what this endpoint always served.
+			if wantsOpenMetrics(r.Header.Get("Accept")) {
+				w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+				o.Metrics.WriteOpenMetrics(w)
 				return
 			}
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -82,6 +100,54 @@ func Mount(mux *http.ServeMux, o Options) {
 			o.Recorder.Dump(w)
 		})
 	}
+	if o.Spans != nil {
+		service := o.Service
+		if service == "" {
+			service = "mozart"
+		}
+		mux.HandleFunc("/debug/mozart/spans", func(w http.ResponseWriter, r *http.Request) {
+			if !allowGet(w, r) {
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(o.Spans.Summaries())
+		})
+		mux.HandleFunc("/debug/mozart/spans/", func(w http.ResponseWriter, r *http.Request) {
+			if !allowGet(w, r) {
+				return
+			}
+			id := strings.TrimPrefix(r.URL.Path, "/debug/mozart/spans/")
+			tr, ok := o.Spans.Get(id)
+			if !ok {
+				http.Error(w, "trace not found", http.StatusNotFound)
+				return
+			}
+			switch r.URL.Query().Get("format") {
+			case "otlp":
+				w.Header().Set("Content-Type", "application/json")
+				tr.WriteOTLP(w, service)
+			case "", "tree":
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				tr.RenderTree(w)
+			default:
+				http.Error(w, "unknown format (want tree or otlp)", http.StatusBadRequest)
+			}
+		})
+	}
+}
+
+// wantsOpenMetrics reports whether an Accept header asks for the
+// OpenMetrics text exposition format.
+func wantsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mediaType, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(mediaType) == "application/openmetrics-text" {
+			return true
+		}
+	}
+	return false
 }
 
 func allowGet(w http.ResponseWriter, r *http.Request) bool {

@@ -78,28 +78,48 @@ var evalLatencyBucketsLE = []float64{
 	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// Exemplar ties one observed latency to the trace that produced it — the
+// OpenMetrics exemplar model: a scrape can jump from a histogram bucket
+// straight to the span tree of a request that landed in it.
+type Exemplar struct {
+	TraceID string    `json:"trace_id"`
+	Value   float64   `json:"value"`
+	Time    time.Time `json:"time"`
+}
+
 // LatencyHistogram is a fixed-bucket latency distribution. Counts[i] holds
 // the observations with latency <= BucketsLE[i] seconds that exceeded
 // BucketsLE[i-1]; observations above the last bound are only in Count.
+// Exemplars, when present, has len(BucketsLE)+1 entries — one per bucket
+// plus +Inf — each the last traced observation that landed there.
 type LatencyHistogram struct {
-	BucketsLE  []float64 `json:"buckets_le"`
-	Counts     []int64   `json:"counts"`
-	Count      int64     `json:"count"`
-	SumSeconds float64   `json:"sum_seconds"`
+	BucketsLE  []float64  `json:"buckets_le"`
+	Counts     []int64    `json:"counts"`
+	Count      int64      `json:"count"`
+	SumSeconds float64    `json:"sum_seconds"`
+	Exemplars  []Exemplar `json:"exemplars,omitempty"`
 }
 
-func (h *LatencyHistogram) observe(seconds float64) {
+func (h *LatencyHistogram) observe(seconds float64, trace *TraceContext) {
 	if h.BucketsLE == nil {
 		h.BucketsLE = evalLatencyBucketsLE
 		h.Counts = make([]int64, len(evalLatencyBucketsLE))
 	}
 	h.Count++
 	h.SumSeconds += seconds
+	bucket := len(h.BucketsLE) // +Inf
 	for i, le := range h.BucketsLE {
 		if seconds <= le {
 			h.Counts[i]++
+			bucket = i
 			break
 		}
+	}
+	if trace != nil && !trace.TraceID.IsZero() {
+		if h.Exemplars == nil {
+			h.Exemplars = make([]Exemplar, len(h.BucketsLE)+1)
+		}
+		h.Exemplars[bucket] = Exemplar{TraceID: trace.TraceID.String(), Value: seconds, Time: time.Now()}
 	}
 }
 
@@ -107,14 +127,17 @@ func (h *LatencyHistogram) observe(seconds float64) {
 func (h LatencyHistogram) clone() LatencyHistogram {
 	h.BucketsLE = append([]float64(nil), h.BucketsLE...)
 	h.Counts = append([]int64(nil), h.Counts...)
+	h.Exemplars = append([]Exemplar(nil), h.Exemplars...)
 	return h
 }
 
-// GaugeSample is one evaluated registered gauge (RegisterGauge): a live
-// value read at snapshot time, e.g. a Governor's reserved bytes.
+// GaugeSample is one evaluated registered function metric (RegisterGauge /
+// RegisterFunc): a live value read at snapshot time, e.g. a Governor's
+// reserved bytes or a tenant's SLO burn rate.
 type GaugeSample struct {
 	Name   string  `json:"name"`
 	Help   string  `json:"help,omitempty"`
+	Type   string  `json:"type,omitempty"`   // exposition type: "" means gauge
 	Labels string  `json:"labels,omitempty"` // rendered label block, `{k="v",...}` or ""
 	Value  float64 `json:"value"`
 }
@@ -170,6 +193,7 @@ type Metrics struct {
 
 type registeredGauge struct {
 	name, help, labels string
+	typ                string // exposition type; "" renders as gauge
 	fn                 func() float64
 }
 
@@ -184,16 +208,26 @@ func NewMetrics() *Metrics {
 // block with keys rendered in sorted order. Registering the same
 // name+labels twice replaces the previous function.
 func (m *Metrics) RegisterGauge(name, help string, labels map[string]string, fn func() float64) {
+	m.RegisterFunc(name, help, "gauge", labels, fn)
+}
+
+// RegisterFunc is RegisterGauge with an explicit exposition type: "counter"
+// for function metrics that only accumulate (their names should end in
+// _total by convention), "gauge" for everything else.
+func (m *Metrics) RegisterFunc(name, help, typ string, labels map[string]string, fn func() float64) {
+	if typ == "" {
+		typ = "gauge"
+	}
 	lb := renderLabels(labels)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for i := range m.gauges {
 		if m.gauges[i].name == name && m.gauges[i].labels == lb {
-			m.gauges[i] = registeredGauge{name: name, help: help, labels: lb, fn: fn}
+			m.gauges[i] = registeredGauge{name: name, help: help, labels: lb, typ: typ, fn: fn}
 			return
 		}
 	}
-	m.gauges = append(m.gauges, registeredGauge{name: name, help: help, labels: lb, fn: fn})
+	m.gauges = append(m.gauges, registeredGauge{name: name, help: help, labels: lb, typ: typ, fn: fn})
 }
 
 // renderLabels renders a label map as `{k="v",...}` with sorted keys, or ""
@@ -237,7 +271,7 @@ func (m *Metrics) Emit(e Event) {
 	case EvSessionBegin:
 		m.evals++
 	case EvSessionEnd:
-		m.latency.observe(e.Dur.Seconds())
+		m.latency.observe(e.Dur.Seconds(), e.Trace)
 		if e.Detail != "" {
 			m.errors++
 		}
@@ -331,7 +365,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	// Evaluate registered gauges outside the lock: a gauge function may
 	// itself take locks (Governor.InUse) and must not order against Emit.
 	for _, g := range gauges {
-		out.Gauges = append(out.Gauges, GaugeSample{Name: g.name, Help: g.help, Labels: g.labels, Value: g.fn()})
+		out.Gauges = append(out.Gauges, GaugeSample{Name: g.name, Help: g.help, Type: g.typ, Labels: g.labels, Value: g.fn()})
 	}
 	sort.Slice(out.Gauges, func(i, j int) bool {
 		if out.Gauges[i].Name != out.Gauges[j].Name {

@@ -175,6 +175,14 @@ type Event struct {
 	// Counters is the simulated hardware-counter payload of
 	// EvStageCounters; zero for every other kind.
 	Counters CacheCounters
+
+	// Trace, when non-nil, is the request-scoped trace context the session
+	// was evaluated under (core.Options.Trace). The runtime stamps it on
+	// session-begin and session-end events — a shared pointer, so stamping
+	// costs no allocation — letting shared sinks (latency exemplars, flight
+	// recordings) key what they retain by the originating request's trace
+	// id without a per-request sink.
+	Trace *TraceContext `json:"trace,omitempty"`
 }
 
 // CacheCounters are simulated per-stage hardware counters, produced by

@@ -80,6 +80,15 @@ func (m *Metrics) WritePrometheus(w io.Writer) (int64, error) {
 	return m.Snapshot().WritePrometheus(w)
 }
 
+// WriteOpenMetrics renders the snapshot in the OpenMetrics text format:
+// the same families, with counter family metadata stripped of the _total
+// suffix, histogram-bucket exemplars carrying trace ids, and the required
+// `# EOF` terminator. Serve it under the application/openmetrics-text
+// content type (internal/obs/httpdebug negotiates this on /metrics).
+func (m *Metrics) WriteOpenMetrics(w io.Writer) (int64, error) {
+	return m.Snapshot().WriteOpenMetrics(w)
+}
+
 // PrometheusText renders the snapshot to a string (tests, debugging).
 func (m *Metrics) PrometheusText() string {
 	var b strings.Builder
@@ -87,12 +96,34 @@ func (m *Metrics) PrometheusText() string {
 	return b.String()
 }
 
+// OpenMetricsText renders the OpenMetrics exposition to a string.
+func (m *Metrics) OpenMetricsText() string {
+	var b strings.Builder
+	m.WriteOpenMetrics(&b)
+	return b.String()
+}
+
 // WritePrometheus renders the snapshot in the Prometheus text format.
 func (sn MetricsSnapshot) WritePrometheus(w io.Writer) (int64, error) {
+	return sn.write(w, false)
+}
+
+// WriteOpenMetrics renders the snapshot in the OpenMetrics text format.
+func (sn MetricsSnapshot) WriteOpenMetrics(w io.Writer) (int64, error) {
+	return sn.write(w, true)
+}
+
+func (sn MetricsSnapshot) write(w io.Writer, openMetrics bool) (int64, error) {
 	var b strings.Builder
 
 	header := func(name, typ, help string) {
-		fmt.Fprintf(&b, "# HELP mozart_%s %s\n# TYPE mozart_%s %s\n", name, help, name, typ)
+		meta := name
+		// OpenMetrics family metadata names a counter without its _total
+		// sample suffix.
+		if openMetrics && typ == "counter" {
+			meta = strings.TrimSuffix(name, "_total")
+		}
+		fmt.Fprintf(&b, "# HELP mozart_%s %s\n# TYPE mozart_%s %s\n", meta, help, meta, typ)
 	}
 
 	header("evaluations_total", "counter", "Evaluate rounds observed.")
@@ -149,26 +180,43 @@ func (sn MetricsSnapshot) WritePrometheus(w io.Writer) (int64, error) {
 		fmt.Fprintf(&b, "mozart_tuner_elems_per_second %s\n", promFloat(sn.TunerElemsPerSec))
 	}
 
-	// Registered live gauges (Governor reserved bytes and the like),
-	// grouped by family name so samples of one family stay consecutive.
+	// Registered live function metrics (Governor reserved bytes, SLO burn
+	// rates and the like), grouped by family name so samples of one family
+	// stay consecutive.
 	for i := 0; i < len(sn.Gauges); {
 		g := sn.Gauges[i]
-		header(g.Name, "gauge", g.Help)
+		typ := g.Type
+		if typ == "" {
+			typ = "gauge"
+		}
+		header(g.Name, typ, g.Help)
 		for ; i < len(sn.Gauges) && sn.Gauges[i].Name == g.Name; i++ {
 			fmt.Fprintf(&b, "mozart_%s%s %s\n", sn.Gauges[i].Name, sn.Gauges[i].Labels, promFloat(sn.Gauges[i].Value))
 		}
 	}
 
-	// Evaluate latency histogram (cumulative, Prometheus convention).
+	// Evaluate latency histogram (cumulative, Prometheus convention). In
+	// OpenMetrics mode each bucket carries its last traced observation as
+	// an exemplar: `# {trace_id="..."} value timestamp`.
 	h := sn.EvalLatency
 	if h.Count > 0 {
 		header("evaluate_duration_seconds", "histogram", "Wall-clock duration of Evaluate rounds.")
+		exemplar := func(bucket int) string {
+			if !openMetrics || bucket >= len(h.Exemplars) {
+				return ""
+			}
+			ex := h.Exemplars[bucket]
+			if ex.TraceID == "" {
+				return ""
+			}
+			return fmt.Sprintf(" # {trace_id=%q} %s %.3f", ex.TraceID, promFloat(ex.Value), float64(ex.Time.UnixMilli())/1e3)
+		}
 		var cum int64
 		for i, le := range h.BucketsLE {
 			cum += h.Counts[i]
-			fmt.Fprintf(&b, "mozart_evaluate_duration_seconds_bucket{le=%q} %d\n", promFloat(le), cum)
+			fmt.Fprintf(&b, "mozart_evaluate_duration_seconds_bucket{le=%q} %d%s\n", promFloat(le), cum, exemplar(i))
 		}
-		fmt.Fprintf(&b, "mozart_evaluate_duration_seconds_bucket{le=\"+Inf\"} %d\n", h.Count)
+		fmt.Fprintf(&b, "mozart_evaluate_duration_seconds_bucket{le=\"+Inf\"} %d%s\n", h.Count, exemplar(len(h.BucketsLE)))
 		fmt.Fprintf(&b, "mozart_evaluate_duration_seconds_sum %s\n", promFloat(h.SumSeconds))
 		fmt.Fprintf(&b, "mozart_evaluate_duration_seconds_count %d\n", h.Count)
 	}
@@ -200,6 +248,9 @@ func (sn MetricsSnapshot) WritePrometheus(w io.Writer) (int64, error) {
 	stageSeries(promStageGauges, "gauge", nil)
 	stageSeries(promStageSim, "counter", func(s *StageMetrics) bool { return !s.Sim.Zero() })
 
+	if openMetrics {
+		b.WriteString("# EOF\n")
+	}
 	n, err := io.WriteString(w, b.String())
 	return int64(n), err
 }

@@ -219,9 +219,9 @@ func TestPublishIdempotent(t *testing.T) {
 
 func TestLatencyHistogramObserve(t *testing.T) {
 	var h LatencyHistogram
-	h.observe(0.0002) // bucket le=0.00025
-	h.observe(0.003)  // bucket le=0.005
-	h.observe(99)     // above every bound: only Count/Sum
+	h.observe(0.0002, nil) // bucket le=0.00025
+	h.observe(0.003, nil)  // bucket le=0.005
+	h.observe(99, nil)     // above every bound: only Count/Sum
 	if h.Count != 3 {
 		t.Errorf("count = %d, want 3", h.Count)
 	}

@@ -56,6 +56,7 @@ func WorkloadRegistry() map[string]EvalFunc {
 				OutOfCore:    opts.OutOfCore,
 				SpillDir:     opts.SpillDir,
 				Tuner:        opts.Tuner,
+				Trace:        opts.Trace,
 			}
 			if cfg.Scale <= 0 {
 				cfg.Scale = spec.DefaultScale

@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"runtime/debug"
@@ -101,6 +102,18 @@ type Config struct {
 	// TuneConfig overrides the tuner parameters when Tune is set; the zero
 	// value selects the tune package defaults.
 	TuneConfig tune.Config
+	// SLO is the default per-tenant service-level objective; tenants
+	// override it via TenantConfig.SLO. The zero value selects 500ms
+	// latency at 99.9% availability.
+	SLO SLOConfig
+	// Logger, when set, receives one structured summary line per /v1/eval
+	// request (trace id, tenant, workload, mode, status, outcome, latency)
+	// via log/slog. Nil logs nothing — tests and embedders that only want
+	// the lifecycle Logf stay quiet.
+	Logger *slog.Logger
+	// SpanDepth is how many completed request span trees the server
+	// retains behind /debug/mozart/spans (<= 0 selects 64).
+	SpanDepth int
 	// Logf receives server lifecycle lines (nil discards).
 	Logf func(format string, args ...any)
 }
@@ -150,8 +163,9 @@ type Server struct {
 	tenants map[string]*Tenant
 	order   []string // tenant names, registration order
 
-	metrics *obs.Metrics      // server-wide sink behind /metrics
+	metrics *obs.Metrics // server-wide sink behind /metrics
 	plans   *httpdebug.PlanLog
+	spans   *obs.SpanRing // completed request span trees behind /debug/mozart/spans
 	mux     *http.ServeMux
 
 	stateMu  sync.RWMutex // guards state transitions vs request admission
@@ -182,6 +196,7 @@ func New(cfg Config) (*Server, error) {
 		tenants: map[string]*Tenant{},
 		metrics: obs.NewMetrics(),
 		plans:   httpdebug.NewPlanLog(16),
+		spans:   obs.NewSpanRing(cfg.SpanDepth),
 		mux:     http.NewServeMux(),
 	}
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
@@ -200,7 +215,7 @@ func New(cfg Config) (*Server, error) {
 			tcopy := cfg.TuneConfig
 			tuneCfg = &tcopy
 		}
-		t, err := newTenant(tc, s.global, cfg.Breaker, tuneCfg)
+		t, err := newTenant(tc, s.global, cfg.Breaker, tuneCfg, cfg.SLO)
 		if err != nil {
 			s.closeTenants()
 			return nil, err
@@ -220,6 +235,42 @@ func New(cfg Config) (*Server, error) {
 			map[string]string{"scope": "tenant", "tenant": name},
 			func() float64 { return float64(t.gov.InUse()) })
 	}
+	// SLO families, sampled live per scrape: classified request counts,
+	// multi-window burn rates, remaining error budget over the hour, and
+	// the objective itself (so dashboards need no out-of-band config).
+	for _, name := range s.order {
+		t := s.tenants[name]
+		s.metrics.RegisterFunc("slo_requests_total",
+			"Requests classified against the tenant SLO, by outcome.", "counter",
+			map[string]string{"tenant": name, "outcome": "good"},
+			func() float64 { g, _ := t.slo.totals(); return float64(g) })
+		s.metrics.RegisterFunc("slo_requests_total",
+			"Requests classified against the tenant SLO, by outcome.", "counter",
+			map[string]string{"tenant": name, "outcome": "bad"},
+			func() float64 { _, b := t.slo.totals(); return float64(b) })
+		s.metrics.RegisterFunc("slo_burn_rate",
+			"Error-budget burn rate over the trailing window (1 = spending exactly at the objective).", "gauge",
+			map[string]string{"tenant": name, "window": "5m"},
+			func() float64 { return t.slo.burnRate(time.Now(), 5*time.Minute) })
+		s.metrics.RegisterFunc("slo_burn_rate",
+			"Error-budget burn rate over the trailing window (1 = spending exactly at the objective).", "gauge",
+			map[string]string{"tenant": name, "window": "1h"},
+			func() float64 { return t.slo.burnRate(time.Now(), time.Hour) })
+		s.metrics.RegisterFunc("slo_error_budget_remaining",
+			"Fraction of the hourly error budget left (clamped at 0).", "gauge",
+			map[string]string{"tenant": name},
+			func() float64 {
+				rem := 1 - t.slo.burnRate(time.Now(), time.Hour)
+				if rem < 0 {
+					rem = 0
+				}
+				return rem
+			})
+		s.metrics.RegisterFunc("slo_latency_objective_seconds",
+			"The tenant's good/bad latency threshold.", "gauge",
+			map[string]string{"tenant": name},
+			func() float64 { return t.slo.cfg.LatencyObjective.Seconds() })
+	}
 	s.routes()
 	return s, nil
 }
@@ -238,11 +289,24 @@ func (s *Server) routes() {
 	// The live-telemetry mux: server-wide /metrics and the retained plan
 	// renderings. The flight recorders are per tenant, so they mount on
 	// per-tenant paths below rather than through httpdebug.Options.
-	httpdebug.Mount(s.mux, httpdebug.Options{Metrics: s.metrics, Plans: s.plans})
+	httpdebug.Mount(s.mux, httpdebug.Options{Metrics: s.metrics, Plans: s.plans, Spans: s.spans, Service: "mozartd"})
 	s.mux.HandleFunc("/debug/mozart/flight", s.protect(s.handleFlightIndex))
 	for name, t := range s.tenants {
 		t := t
 		s.mux.HandleFunc("/debug/mozart/flight/"+name, s.protect(func(w http.ResponseWriter, r *http.Request) {
+			// ?trace=<id> resolves one recording by the trace id stamped on
+			// its session events — the link a 500/504 body's flight ref
+			// carries, so a failing request's post-mortem is one GET away.
+			if id := r.URL.Query().Get("trace"); id != "" {
+				rec, ok := t.recorder.Find(id)
+				if !ok {
+					writeError(w, http.StatusNotFound, errorDetail{
+						Message: fmt.Sprintf("no retained recording for trace %q", id), TraceID: id})
+					return
+				}
+				writeJSON(w, http.StatusOK, rec)
+				return
+			}
 			w.Header().Set("Content-Type", "application/json")
 			_ = t.recorder.Dump(w)
 		}))
@@ -417,6 +481,7 @@ type evalResponse struct {
 	Mode         string   `json:"mode"`                  // highest pressure level: normal | constrained | out-of-core
 	SpillBytes   int64    `json:"spill_bytes,omitempty"` // payload bytes spilled while out of core
 	Degraded     []string `json:"degraded,omitempty"`    // open breakers after the run
+	TraceID      string   `json:"trace_id"`              // key into /debug/mozart/spans/<id>
 }
 
 type errorDetail struct {
@@ -424,7 +489,8 @@ type errorDetail struct {
 	Stage   int    `json:"stage,omitempty"`
 	Call    string `json:"call,omitempty"`
 	Message string `json:"message"`
-	Flight  string `json:"flight,omitempty"` // flight-recorder dump path for post-mortems
+	Flight  string `json:"flight,omitempty"`   // flight-recorder lookup path for post-mortems
+	TraceID string `json:"trace_id,omitempty"` // the request's trace: key into /debug/mozart/spans/<id>
 }
 
 type errorBody struct {
@@ -446,13 +512,42 @@ func writeError(w http.ResponseWriter, status int, d errorDetail) {
 // shed writes the load-shedding response: 429 plus a jittered Retry-After
 // in [1, 3] seconds, the "come back, don't queue" contract. The jitter
 // desynchronizes retry storms — shedding a burst with a constant delay
-// just reschedules the same burst.
-func (s *Server) shed(w http.ResponseWriter, msg string) {
+// just reschedules the same burst. The body echoes the request's trace id
+// so even refused requests stay correlatable.
+func (s *Server) shed(w http.ResponseWriter, traceID, msg string) {
 	s.rngMu.Lock()
 	retry := 1 + s.rng.Intn(3)
 	s.rngMu.Unlock()
 	w.Header().Set("Retry-After", strconv.Itoa(retry))
-	writeError(w, http.StatusTooManyRequests, errorDetail{Origin: "shed", Message: msg})
+	writeError(w, http.StatusTooManyRequests, errorDetail{Origin: "shed", Message: msg, TraceID: traceID})
+}
+
+// statusWriter captures the response status so the request finalizer can
+// classify the outcome (SLO good/bad, log line) after the handler ran.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
 }
 
 // pressureWatch distills one request's pressure episode from its event
@@ -534,19 +629,57 @@ func (s *Server) handleFlightIndex(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	// Trace identity first, before any outcome is possible: parse the
+	// caller's W3C traceparent or mint one, so every response — success,
+	// shed, refused, failed — carries the trace id in header and body, and
+	// every request leaves a span tree in the ring.
+	tc, hadTraceparent := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	if !hadTraceparent {
+		tc = obs.NewTraceContext()
+	}
+	rec := obs.NewSpanRecorder(tc, "POST /v1/eval")
+	traceID := tc.TraceID.String()
+	sw := &statusWriter{ResponseWriter: w}
+	w = sw
+	w.Header().Set("traceparent", rec.Context().Traceparent())
+
+	var (
+		req        evalRequest
+		tenant     *Tenant
+		tenantName string
+		evalErr    string // the evaluation error, for the root span
+	)
+	watch := &pressureWatch{}
+	start := time.Now()
+	defer func() {
+		latency := time.Since(start)
+		status := sw.status()
+		outcome := outcomeForStatus(status)
+		level, _ := watch.snapshot()
+		rec.Annotate("tenant", tenantName)
+		rec.Annotate("outcome", outcome)
+		rec.AnnotateInt("http.status_code", int64(status))
+		s.spans.Add(rec.Finish(evalErr))
+		if tenant != nil {
+			if good, counted := tenant.slo.classify(status, latency); counted {
+				tenant.slo.record(time.Now(), good, latency, traceID)
+			}
+		}
+		s.logRequest(traceID, tenantName, req, level.String(), status, outcome, latency)
+	}()
+
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
-		writeError(w, http.StatusMethodNotAllowed, errorDetail{Message: "POST only"})
+		writeError(w, http.StatusMethodNotAllowed, errorDetail{Message: "POST only", TraceID: traceID})
 		return
 	}
-	var req evalRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, errorDetail{Message: "bad request body: " + err.Error()})
+		writeError(w, http.StatusBadRequest, errorDetail{Message: "bad request body: " + err.Error(), TraceID: traceID})
 		return
 	}
-	tenantName := r.Header.Get("X-Mozart-Tenant")
+	tenantName = r.Header.Get("X-Mozart-Tenant")
 	if tenantName == "" {
 		tenantName = req.Tenant
 	}
@@ -555,16 +688,19 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	}
 	t := s.tenants[tenantName]
 	if t == nil {
-		writeError(w, http.StatusNotFound, errorDetail{Message: fmt.Sprintf("unknown tenant %q", tenantName)})
+		writeError(w, http.StatusNotFound, errorDetail{Message: fmt.Sprintf("unknown tenant %q", tenantName), TraceID: traceID})
 		return
 	}
+	tenant = t
+	rec.Annotate("workload", req.Workload)
+	rec.Annotate("variant", variantOrDefault(req.Variant))
 	registry := t.registry
 	if registry == nil {
 		registry = s.cfg.Registry
 	}
 	fn := registry[req.Workload]
 	if fn == nil {
-		writeError(w, http.StatusNotFound, errorDetail{Message: fmt.Sprintf("unknown workload %q", req.Workload)})
+		writeError(w, http.StatusNotFound, errorDetail{Message: fmt.Sprintf("unknown workload %q", req.Workload), TraceID: traceID})
 		return
 	}
 
@@ -586,17 +722,17 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		if s.State() != StateServing {
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, errorDetail{Origin: "draining", Message: "server is draining"})
+			writeError(w, http.StatusServiceUnavailable, errorDetail{Origin: "draining", Message: "server is draining", TraceID: traceID})
 			return
 		}
 		t.shed.Add(1)
-		s.shed(w, fmt.Sprintf("global in-flight cap (%d) exhausted", s.cfg.MaxInFlight))
+		s.shed(w, traceID, fmt.Sprintf("global in-flight cap (%d) exhausted", s.cfg.MaxInFlight))
 		return
 	}
 	defer releaseGlobal()
 	if !t.acquire() {
 		t.shed.Add(1)
-		s.shed(w, fmt.Sprintf("tenant %q in-flight cap (%d) exhausted", tenantName, t.maxInFlight))
+		s.shed(w, traceID, fmt.Sprintf("tenant %q in-flight cap (%d) exhausted", tenantName, t.maxInFlight))
 		return
 	}
 	defer t.release()
@@ -605,7 +741,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		if !req.Degrade {
 			t.shed.Add(1)
-			s.shed(w, fmt.Sprintf("tenant %q memory budget exhausted (%d of %d bytes in use, request models %d)",
+			s.shed(w, traceID, fmt.Sprintf("tenant %q memory budget exhausted (%d of %d bytes in use, request models %d)",
 				tenantName, t.gov.InUse(), t.gov.Budget(), demand))
 			return
 		}
@@ -634,9 +770,12 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	defer stopHard()
 
 	// Tenant-scoped session options: the per-request flight handle, the
-	// tenant metrics and breaker group, and the server-wide sinks.
+	// tenant metrics and breaker group, the server-wide sinks, and the
+	// request's span recorder — one event stream, fanned out to all of
+	// them. The Trace stamp keys the shared sinks' retained state (latency
+	// exemplars, flight recordings) by this request's trace id.
+	evalTC := rec.Context()
 	flight := t.recorder.Session()
-	watch := &pressureWatch{}
 	opts := core.Options{
 		Workers:        req.Threads,
 		Governor:       t.gov,
@@ -645,7 +784,8 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		RetryPolicy:    s.cfg.Retry,
 		OutOfCore:      req.Degrade,
 		SpillDir:       s.cfg.SpillDir,
-		Tracer:         obs.Multi(s.metrics, t.metrics, flight, watch),
+		Trace:          &evalTC,
+		Tracer:         obs.Multi(s.metrics, t.metrics, flight, watch, rec),
 		OnPlan: func(p *plan.Plan) {
 			s.plans.OnPlan(p)
 			flight.OnPlan(p)
@@ -665,12 +805,13 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		Threads:  req.Threads,
 		Session:  req.Session,
 	}
-	start := time.Now()
+	evalStart := time.Now()
 	checksum, err := fn(ctx, p, opts)
-	elapsed := time.Since(start)
+	elapsed := time.Since(evalStart)
 	evals := t.touchSession(req.Session, err)
 	if err != nil {
-		s.writeEvalError(w, r, t, tenantName, err)
+		evalErr = err.Error()
+		s.writeEvalError(w, r, t, tenantName, traceID, err)
 		return
 	}
 	t.served.Add(1)
@@ -686,7 +827,56 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		Mode:         mode.String(),
 		SpillBytes:   spilled,
 		Degraded:     t.breakers.OpenNames(),
+		TraceID:      traceID,
 	})
+}
+
+// outcomeForStatus folds an HTTP status into the outcome vocabulary used
+// by the request log and the root span.
+func outcomeForStatus(status int) string {
+	switch {
+	case status == http.StatusOK:
+		return "ok"
+	case status == http.StatusTooManyRequests:
+		return "shed"
+	case status == http.StatusServiceUnavailable:
+		return "draining"
+	case status == http.StatusGatewayTimeout:
+		return "timeout"
+	case status == statusClientClosedRequest:
+		return "canceled"
+	case status >= 500:
+		return "failed"
+	default:
+		return "rejected"
+	}
+}
+
+// logRequest emits the one structured summary line per /v1/eval request
+// (Config.Logger; nil logs nothing). Level tracks severity: 2xx info,
+// client-side refusals warn, server faults error.
+func (s *Server) logRequest(traceID, tenant string, req evalRequest, mode string, status int, outcome string, latency time.Duration) {
+	if s.cfg.Logger == nil {
+		return
+	}
+	lvl := slog.LevelInfo
+	switch {
+	case status >= 500:
+		lvl = slog.LevelError
+	case status != http.StatusOK:
+		lvl = slog.LevelWarn
+	}
+	s.cfg.Logger.LogAttrs(context.Background(), lvl, "eval",
+		slog.String("trace_id", traceID),
+		slog.String("tenant", tenant),
+		slog.String("workload", req.Workload),
+		slog.String("variant", variantOrDefault(req.Variant)),
+		slog.Int("scale", req.Scale),
+		slog.String("mode", mode),
+		slog.Int("status", status),
+		slog.String("outcome", outcome),
+		slog.Duration("latency", latency),
+	)
 }
 
 func sessionKeyOrDefault(k string) string {
@@ -705,14 +895,17 @@ func variantOrDefault(v string) string {
 
 // writeEvalError maps an evaluation failure onto the wire: deadline → 504,
 // client disconnect / forced drain → 499, StageError → structured 500 with
-// a flight-recorder reference, anything else → plain 500.
-func (s *Server) writeEvalError(w http.ResponseWriter, r *http.Request, t *Tenant, tenantName string, err error) {
-	flightRef := "/debug/mozart/flight/" + tenantName
+// a flight-recorder reference, anything else → plain 500. Every body
+// carries the trace id, and the flight reference is keyed by it, so the
+// error, the flight recording, and the span tree all resolve to the same
+// request.
+func (s *Server) writeEvalError(w http.ResponseWriter, r *http.Request, t *Tenant, tenantName, traceID string, err error) {
+	flightRef := "/debug/mozart/flight/" + tenantName + "?trace=" + traceID
 	var st *core.StageError
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		t.timedOut.Add(1)
-		d := errorDetail{Origin: "timeout", Message: err.Error(), Flight: flightRef}
+		d := errorDetail{Origin: "timeout", Message: err.Error(), Flight: flightRef, TraceID: traceID}
 		if errors.As(err, &st) {
 			d.Stage, d.Call = st.Stage, st.Call
 		}
@@ -721,7 +914,7 @@ func (s *Server) writeEvalError(w http.ResponseWriter, r *http.Request, t *Tenan
 		t.failed.Add(1)
 		// Either the client went away or the drain deadline force-
 		// cancelled us; the status is best-effort in the former case.
-		writeError(w, statusClientClosedRequest, errorDetail{Origin: "canceled", Message: err.Error(), Flight: flightRef})
+		writeError(w, statusClientClosedRequest, errorDetail{Origin: "canceled", Message: err.Error(), Flight: flightRef, TraceID: traceID})
 	case errors.As(err, &st):
 		t.failed.Add(1)
 		writeError(w, http.StatusInternalServerError, errorDetail{
@@ -730,10 +923,11 @@ func (s *Server) writeEvalError(w http.ResponseWriter, r *http.Request, t *Tenan
 			Call:    st.Call,
 			Message: err.Error(),
 			Flight:  flightRef,
+			TraceID: traceID,
 		})
 	default:
 		t.failed.Add(1)
-		writeError(w, http.StatusInternalServerError, errorDetail{Message: err.Error(), Flight: flightRef})
+		writeError(w, http.StatusInternalServerError, errorDetail{Message: err.Error(), Flight: flightRef, TraceID: traceID})
 	}
 }
 

@@ -1,0 +1,181 @@
+package serve
+
+// Per-tenant SLO accounting in the SRE style: every finished request is
+// classified good or bad against the tenant's latency objective, counts
+// land in a sliding window of one-second buckets, and scrape-time queries
+// derive multi-window burn rates — the ratio of the observed bad fraction
+// to the error budget (1 − availability). A burn rate of 1.0 means the
+// tenant is spending its budget exactly at the rate the objective allows;
+// sustained values above ~14 on the short window are the classic page
+// threshold. The tracker is clock-explicit (every method takes now) so
+// tests pin hand-computed windows without sleeping.
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Default objectives when a tenant declares none.
+const (
+	defaultSLOLatency      = 500 * time.Millisecond
+	defaultSLOAvailability = 0.999
+)
+
+// sloWindowSeconds bounds the sliding window: one bucket per second, one
+// hour deep — enough for the 1h burn window; the 5m window reads a prefix.
+const sloWindowSeconds = 3600
+
+// SLOConfig declares a tenant's service-level objectives.
+type SLOConfig struct {
+	// LatencyObjective is the good/bad latency threshold: a 200 served
+	// within it is good, a slower 200 is bad (it spent error budget even
+	// though it succeeded). Defaults to 500ms.
+	LatencyObjective time.Duration
+	// Availability is the target good fraction, e.g. 0.999 for "three
+	// nines". 1 − Availability is the error budget the burn rates are
+	// measured against. Defaults to 0.999.
+	Availability float64
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.LatencyObjective <= 0 {
+		c.LatencyObjective = defaultSLOLatency
+	}
+	if c.Availability <= 0 || c.Availability >= 1 {
+		c.Availability = defaultSLOAvailability
+	}
+	return c
+}
+
+// sloBucket is one second of classified requests. worstNS/worstTrace track
+// the slowest counted request in the second, so a burn-rate alert links
+// straight to the span tree of a concrete offending request.
+type sloBucket struct {
+	sec        int64 // unix second this bucket currently represents
+	good, bad  int64
+	worstNS    int64
+	worstTrace string
+}
+
+// sloTracker is one tenant's sliding-window SLO state. Buckets are a
+// fixed ring indexed by unix second modulo the window; a bucket whose
+// stamp is stale is reset on first touch, so recording is O(1) and
+// queries are O(window seconds) with no background sweeper.
+type sloTracker struct {
+	cfg SLOConfig
+
+	mu      sync.Mutex
+	buckets [sloWindowSeconds]sloBucket
+	// Cumulative totals back the monotonic mozart_slo_requests_total
+	// counter (the window buckets forget, counters must not).
+	totalGood, totalBad int64
+}
+
+func newSLOTracker(cfg SLOConfig) *sloTracker {
+	return &sloTracker{cfg: cfg.withDefaults()}
+}
+
+// classify maps a finished request's HTTP status and latency onto the SLO
+// outcome. Only requests the tenant's evaluation path actually owned are
+// counted: a 200 is good iff it met the latency objective; 5xx (including
+// 504 deadline expiry) is bad. Shed (429), draining (503), unknown-target
+// (404), malformed (400), and client-abandoned (499) responses are outside
+// the SLO — they consume no error budget and bank no good count, matching
+// the shed-never-queue contract where a 429 is the server protecting the
+// objective, not violating it.
+func (s *sloTracker) classify(status int, latency time.Duration) (good, counted bool) {
+	switch {
+	case status == http.StatusOK:
+		return latency <= s.cfg.LatencyObjective, true
+	case status == http.StatusTooManyRequests,
+		status == http.StatusServiceUnavailable,
+		status == statusClientClosedRequest:
+		return false, false
+	case status >= 500:
+		return false, true
+	default:
+		return false, false
+	}
+}
+
+// record lands one classified request in the window and the cumulative
+// totals.
+func (s *sloTracker) record(now time.Time, good bool, latency time.Duration, traceID string) {
+	sec := now.Unix()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := &s.buckets[sloIdx(sec)]
+	if b.sec != sec {
+		*b = sloBucket{sec: sec}
+	}
+	if good {
+		b.good++
+		s.totalGood++
+	} else {
+		b.bad++
+		s.totalBad++
+	}
+	if ns := latency.Nanoseconds(); ns > b.worstNS {
+		b.worstNS = ns
+		b.worstTrace = traceID
+	}
+}
+
+// window tallies the counted requests over the dur ending at now, plus the
+// slowest request seen in it.
+func (s *sloTracker) window(now time.Time, dur time.Duration) (good, bad int64, worstNS int64, worstTrace string) {
+	secs := int64(dur / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > sloWindowSeconds {
+		secs = sloWindowSeconds
+	}
+	nowSec := now.Unix()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := int64(0); i < secs; i++ {
+		sec := nowSec - i
+		b := &s.buckets[sloIdx(sec)]
+		if b.sec != sec {
+			continue // bucket recycled by a different second: outside the window
+		}
+		good += b.good
+		bad += b.bad
+		if b.worstNS > worstNS {
+			worstNS = b.worstNS
+			worstTrace = b.worstTrace
+		}
+	}
+	return good, bad, worstNS, worstTrace
+}
+
+// burnRate is the burn rate over the dur ending at now: the bad fraction
+// divided by the error budget (1 − availability). 0 with no counted
+// traffic; 1/(1−availability) when everything is bad.
+func (s *sloTracker) burnRate(now time.Time, dur time.Duration) float64 {
+	good, bad, _, _ := s.window(now, dur)
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / (1 - s.cfg.Availability)
+}
+
+// totals returns the cumulative good/bad counts (monotonic).
+func (s *sloTracker) totals() (good, bad int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalGood, s.totalBad
+}
+
+// sloIdx maps a unix second onto its ring slot (non-negative even for
+// pre-epoch test clocks).
+func sloIdx(sec int64) int {
+	i := sec % sloWindowSeconds
+	if i < 0 {
+		i += sloWindowSeconds
+	}
+	return int(i)
+}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSLOConfigDefaults(t *testing.T) {
+	c := SLOConfig{}.withDefaults()
+	if c.LatencyObjective != defaultSLOLatency || c.Availability != defaultSLOAvailability {
+		t.Fatalf("zero config defaulted to %+v", c)
+	}
+	// Out-of-range availabilities fall back too.
+	if c := (SLOConfig{Availability: 1.5}).withDefaults(); c.Availability != defaultSLOAvailability {
+		t.Errorf("availability 1.5 -> %g", c.Availability)
+	}
+	if c := (SLOConfig{Availability: 1.0}).withDefaults(); c.Availability != defaultSLOAvailability {
+		t.Errorf("availability 1.0 (no error budget) -> %g", c.Availability)
+	}
+	// Explicit values survive.
+	c = SLOConfig{LatencyObjective: time.Second, Availability: 0.99}.withDefaults()
+	if c.LatencyObjective != time.Second || c.Availability != 0.99 {
+		t.Errorf("explicit config mangled: %+v", c)
+	}
+}
+
+func TestSLOClassify(t *testing.T) {
+	tr := newSLOTracker(SLOConfig{LatencyObjective: 100 * time.Millisecond})
+	cases := []struct {
+		status  int
+		latency time.Duration
+		good    bool
+		counted bool
+	}{
+		{200, 50 * time.Millisecond, true, true},   // fast success
+		{200, 100 * time.Millisecond, true, true},  // exactly at the objective: still good
+		{200, 101 * time.Millisecond, false, true}, // slow success spends budget
+		{500, time.Millisecond, false, true},       // server error
+		{504, 2 * time.Second, false, true},        // deadline expiry
+		{429, time.Millisecond, false, false},      // shed: outside the SLO
+		{503, time.Millisecond, false, false},      // draining
+		{499, time.Millisecond, false, false},      // client abandoned
+		{404, time.Millisecond, false, false},      // unknown target
+		{400, time.Millisecond, false, false},      // malformed
+		{405, time.Millisecond, false, false},      // wrong method
+	}
+	for _, c := range cases {
+		good, counted := tr.classify(c.status, c.latency)
+		if good != c.good || counted != c.counted {
+			t.Errorf("classify(%d, %v) = (%v, %v), want (%v, %v)",
+				c.status, c.latency, good, counted, c.good, c.counted)
+		}
+	}
+}
+
+// TestSLOBurnRateHandComputed pins the clock and checks the multi-window
+// burn rates against hand-computed values: 99.9%% availability means an
+// error budget of 0.001, so a bad fraction of f burns at f/0.001 = 1000f.
+func TestSLOBurnRateHandComputed(t *testing.T) {
+	tr := newSLOTracker(SLOConfig{LatencyObjective: 100 * time.Millisecond, Availability: 0.999})
+	base := time.Unix(1_700_000_000, 0)
+
+	// 40 minutes ago: 100 good. Inside 1h, outside 5m.
+	old := base.Add(-40 * time.Minute)
+	for i := 0; i < 100; i++ {
+		tr.record(old, true, 10*time.Millisecond, "")
+	}
+	// 2 minutes ago: 18 good + 2 bad. Inside both windows.
+	recent := base.Add(-2 * time.Minute)
+	for i := 0; i < 18; i++ {
+		tr.record(recent, true, 20*time.Millisecond, "")
+	}
+	tr.record(recent, false, 300*time.Millisecond, "trace-slow")
+	tr.record(recent, false, 250*time.Millisecond, "trace-slower")
+
+	// 5m window: 18 good, 2 bad -> bad fraction 0.1 -> burn 0.1/0.001 = 100.
+	if got, want := tr.burnRate(base, 5*time.Minute), 100.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("5m burn = %g, want %g", got, want)
+	}
+	// 1h window: 118 good, 2 bad -> 2/120/0.001 = 16.666...
+	if got, want := tr.burnRate(base, time.Hour), (2.0/120.0)/0.001; math.Abs(got-want) > 1e-9 {
+		t.Errorf("1h burn = %g, want %g", got, want)
+	}
+	// The worst counted request in the hour is the 300ms one, with its trace.
+	_, _, worstNS, worstTrace := tr.window(base, time.Hour)
+	if worstNS != (300*time.Millisecond).Nanoseconds() || worstTrace != "trace-slow" {
+		t.Errorf("worst = %dns %q, want 300ms trace-slow", worstNS, worstTrace)
+	}
+	// Cumulative totals are monotonic and window-independent.
+	if good, bad := tr.totals(); good != 118 || bad != 2 {
+		t.Errorf("totals = (%d, %d), want (118, 2)", good, bad)
+	}
+	// No traffic in the window at all: burn 0, not NaN.
+	if got := tr.burnRate(base.Add(2*time.Hour), 5*time.Minute); got != 0 {
+		t.Errorf("empty-window burn = %g, want 0", got)
+	}
+	// All-bad traffic saturates at 1/(1-availability).
+	sat := newSLOTracker(SLOConfig{Availability: 0.999})
+	sat.record(base, false, time.Second, "t")
+	if got, want := sat.burnRate(base, 5*time.Minute), 1000.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("all-bad burn = %g, want %g", got, want)
+	}
+}
+
+// TestSLOBucketExpiry: a bucket recycled by a second one full window later
+// forgets the old second's counts, and stale stamps never leak into
+// queries.
+func TestSLOBucketExpiry(t *testing.T) {
+	tr := newSLOTracker(SLOConfig{})
+	base := time.Unix(1_700_000_000, 0)
+	tr.record(base, false, time.Second, "old")
+
+	// One full ring later the same slot is touched by a new second: the
+	// old count must vanish, not accumulate.
+	later := base.Add(sloWindowSeconds * time.Second)
+	tr.record(later, true, time.Millisecond, "new")
+	good, bad, _, worstTrace := tr.window(later, time.Hour)
+	if good != 1 || bad != 0 {
+		t.Errorf("window after recycle = (%d good, %d bad), want (1, 0)", good, bad)
+	}
+	if worstTrace != "new" {
+		t.Errorf("worst trace %q, want new", worstTrace)
+	}
+
+	// A stale bucket that was never re-touched is skipped by queries: the
+	// old second's count is invisible from a much later now even though the
+	// slot still physically holds it.
+	tr2 := newSLOTracker(SLOConfig{})
+	tr2.record(base, true, time.Millisecond, "")
+	if good, bad, _, _ := tr2.window(base.Add(2*sloWindowSeconds*time.Second), time.Hour); good != 0 || bad != 0 {
+		t.Errorf("stale bucket leaked into the window: (%d, %d)", good, bad)
+	}
+	// But cumulative totals keep it.
+	if good, _ := tr2.totals(); good != 1 {
+		t.Errorf("totals lost the recycled request")
+	}
+
+	// Sub-second windows clamp to one bucket.
+	tr3 := newSLOTracker(SLOConfig{})
+	tr3.record(base, true, time.Millisecond, "")
+	tr3.record(base.Add(-time.Second), true, time.Millisecond, "")
+	if good, _, _, _ := tr3.window(base, 100*time.Millisecond); good != 1 {
+		t.Errorf("sub-second window counted %d, want just the current second", good)
+	}
+}
+
+// TestSLOIdxNonNegative: pre-epoch clocks must not panic the ring index.
+func TestSLOIdxNonNegative(t *testing.T) {
+	for _, sec := range []int64{0, 1, -1, -sloWindowSeconds, -sloWindowSeconds - 1, 1 << 40} {
+		if i := sloIdx(sec); i < 0 || i >= sloWindowSeconds {
+			t.Errorf("sloIdx(%d) = %d out of range", sec, i)
+		}
+	}
+}

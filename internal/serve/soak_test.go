@@ -123,7 +123,7 @@ func TestChaosSoak(t *testing.T) {
 		DrainTimeout:      3 * time.Second,
 		Fallback:          core.FallbackQuarantine,
 		Breaker:           core.BreakerPolicy{Threshold: 1, Cooldown: time.Minute},
-		SpillDir: spillDir,
+		SpillDir:          spillDir,
 		Tenants: []serve.TenantConfig{
 			{Name: "noisy", BudgetBytes: tenantBudget, MaxInFlight: 2, Registry: noisyReg},
 			{Name: "quiet", BudgetBytes: tenantBudget, MaxInFlight: 2, Registry: pipelineRegistry(quietInj)},
@@ -142,13 +142,28 @@ func TestChaosSoak(t *testing.T) {
 	defer hs.Close()
 	base := "http://" + ln.Addr().String()
 
-	post := func(tenant, body string) (int, []byte, error) {
+	postTraced := func(tenant, traceparent, body string) (int, []byte, error) {
 		req, err := http.NewRequest(http.MethodPost, base+"/v1/eval", strings.NewReader(body))
 		if err != nil {
 			return 0, nil, err
 		}
 		req.Header.Set("X-Mozart-Tenant", tenant)
+		if traceparent != "" {
+			req.Header.Set("traceparent", traceparent)
+		}
 		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b, nil
+	}
+	post := func(tenant, body string) (int, []byte, error) {
+		return postTraced(tenant, "", body)
+	}
+	get := func(path string) (int, []byte, error) {
+		resp, err := http.Get(base + path)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -196,8 +211,12 @@ func TestChaosSoak(t *testing.T) {
 	wg.Wait()
 
 	// Deterministic shed: a request modeling more bytes than the whole
-	// tenant carve can never be admitted.
-	status, body, err := post("noisy", `{"workload":"pipeline","scale":4194304}`)
+	// tenant carve can never be admitted. The shed path keeps the caller's
+	// trace identity — the 429 body names the inbound trace id and the
+	// request still leaves a (root-only) span in the ring.
+	const shedTraceparent = "00-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa1-0102030405060708-01"
+	const shedTraceID = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa1"
+	status, body, err := postTraced("noisy", shedTraceparent, `{"workload":"pipeline","scale":4194304}`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,10 +224,20 @@ func TestChaosSoak(t *testing.T) {
 		t.Fatalf("over-budget request: status %d (%s), want 429", status, body)
 	}
 	var shedBody struct {
-		Error struct{ Origin string }
+		Error struct {
+			Origin  string
+			TraceID string `json:"trace_id"`
+		}
 	}
 	if err := json.Unmarshal(body, &shedBody); err != nil || shedBody.Error.Origin != "shed" {
 		t.Fatalf("over-budget body %s (err %v), want origin shed", body, err)
+	}
+	if shedBody.Error.TraceID != shedTraceID {
+		t.Fatalf("shed body trace %q, want %s", shedBody.Error.TraceID, shedTraceID)
+	}
+	if status, body, err = get("/debug/mozart/spans/" + shedTraceID); err != nil || status != http.StatusOK ||
+		!strings.Contains(string(body), `outcome="shed"`) {
+		t.Fatalf("shed request left no span tree: %d %s (%v)", status, body, err)
 	}
 
 	// Deterministic deadline: a 1ms budget cannot cover the pipeline (the
@@ -224,10 +253,32 @@ func TestChaosSoak(t *testing.T) {
 		case http.StatusGatewayTimeout:
 			saw504 = true
 			var eb struct {
-				Error struct{ Origin string }
+				Error struct {
+					Origin  string
+					TraceID string `json:"trace_id"`
+					Flight  string `json:"flight"`
+				}
 			}
 			if err := json.Unmarshal(body, &eb); err != nil || eb.Error.Origin != "timeout" {
 				t.Fatalf("504 body %s (err %v), want origin timeout", body, err)
+			}
+			// The deadline-exceeded trace resolves to its flight recording:
+			// the body's flight ref is keyed by the minted trace id. The 1ms
+			// deadline can occasionally expire before the session opens (no
+			// recording retained); the trace-keyed contract only binds when
+			// the timeout landed mid-evaluation.
+			if eb.Error.TraceID == "" || !strings.Contains(eb.Error.Flight, "?trace="+eb.Error.TraceID) {
+				t.Fatalf("504 body lacks trace-keyed flight ref: %s", body)
+			}
+			if fstatus, fbody, ferr := get(eb.Error.Flight); ferr != nil {
+				t.Fatal(ferr)
+			} else if fstatus == http.StatusOK {
+				var frec struct {
+					TraceID string `json:"trace_id"`
+				}
+				if err := json.Unmarshal(fbody, &frec); err != nil || frec.TraceID != eb.Error.TraceID {
+					t.Fatalf("flight recording trace %q (err %v), want %s", frec.TraceID, err, eb.Error.TraceID)
+				}
 			}
 		case http.StatusTooManyRequests:
 			time.Sleep(5 * time.Millisecond) // shed by leftover in-flight; retry
@@ -305,7 +356,9 @@ func TestChaosSoak(t *testing.T) {
 	// partials go through the CRC-checked spill store (a corrupt frame
 	// would fail the replay and the request), and the response reports the
 	// pressure episode and the spilled volume.
-	status, body, err = post("noisy", `{"workload":"blackscholes-ooc","scale":65536,"timeout_ms":4000,"degrade":true}`)
+	const spillTraceparent = "00-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa2-0102030405060708-01"
+	const spillTraceID = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa2"
+	status, body, err = postTraced("noisy", spillTraceparent, `{"workload":"blackscholes-ooc","scale":65536,"timeout_ms":4000,"degrade":true}`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,6 +371,18 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if sr.Mode != "out-of-core" || sr.SpillBytes <= 0 {
 		t.Fatalf("spilling workload: mode %q spill_bytes %d, want out-of-core with spill", sr.Mode, sr.SpillBytes)
+	}
+	// The trace survives the degradation path end to end: the streaming
+	// run's span tree is retrievable by the inbound trace id and records
+	// the spill activity as spans.
+	if status, body, err = get("/debug/mozart/spans/" + spillTraceID); err != nil || status != http.StatusOK {
+		t.Fatalf("degraded request's span tree: %d (%v)", status, err)
+	}
+	spillTree := string(body)
+	for _, want := range []string{"trace " + spillTraceID, `outcome="ok"`, "spill "} {
+		if !strings.Contains(spillTree, want) {
+			t.Errorf("degraded span tree missing %q:\n%s", want, spillTree)
+		}
 	}
 
 	// Recovery: the squeeze clears and plain traffic returns to baseline —

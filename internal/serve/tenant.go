@@ -31,6 +31,9 @@ type TenantConfig struct {
 	// FlightDepth is how many evaluations the tenant's flight recorder
 	// retains (<= 0 selects 8).
 	FlightDepth int
+	// SLO, when non-nil, overrides the server-wide Config.SLO objectives
+	// for this tenant.
+	SLO *SLOConfig
 }
 
 // Tenant is the per-tenant slice of the server: a memory budget carved
@@ -54,6 +57,10 @@ type Tenant struct {
 	// — and is scoped per tenant so one tenant's traffic never perturbs
 	// another's batch choices. Nil when tuning is off.
 	tuner *tune.Tuner
+	// slo classifies every finished request against the tenant's latency
+	// and availability objectives and derives the multi-window burn rates
+	// surfaced on /metrics and /v1/tenants. Always non-nil.
+	slo *sloTracker
 
 	inFlight atomic.Int64
 	served   atomic.Int64 // 200s
@@ -77,7 +84,7 @@ type sessionState struct {
 	lastUsed time.Time
 }
 
-func newTenant(tc TenantConfig, global *core.Governor, pol core.BreakerPolicy, tuneCfg *tune.Config) (*Tenant, error) {
+func newTenant(tc TenantConfig, global *core.Governor, pol core.BreakerPolicy, tuneCfg *tune.Config, slo SLOConfig) (*Tenant, error) {
 	if tc.Name == "" {
 		return nil, fmt.Errorf("serve: tenant with empty name")
 	}
@@ -108,6 +115,10 @@ func newTenant(tc TenantConfig, global *core.Governor, pol core.BreakerPolicy, t
 	if tuneCfg != nil {
 		t.tuner = tune.New(*tuneCfg)
 	}
+	if tc.SLO != nil {
+		slo = *tc.SLO
+	}
+	t.slo = newSLOTracker(slo)
 	return t, nil
 }
 
@@ -227,6 +238,19 @@ type TenantStatus struct {
 	// of them are currently pinned to a calibrated batch.
 	TunerSignatures int `json:"tuner_signatures,omitempty"`
 	TunerCalibrated int `json:"tuner_calibrated,omitempty"`
+	// SLO fields: the tenant's objectives, the cumulative good/bad
+	// classification counts, the 5m/1h burn rates at snapshot time, and
+	// the slowest counted request in the last hour with its trace id (the
+	// direct link from a burn-rate alert to one request's span tree under
+	// /debug/mozart/spans/<trace-id>).
+	SLOLatencyObjectiveMS float64 `json:"slo_latency_objective_ms"`
+	SLOAvailability       float64 `json:"slo_availability"`
+	SLOGood               int64   `json:"slo_good"`
+	SLOBad                int64   `json:"slo_bad"`
+	SLOBurnRate5m         float64 `json:"slo_burn_rate_5m"`
+	SLOBurnRate1h         float64 `json:"slo_burn_rate_1h"`
+	SLOWorstLatencyMS     float64 `json:"slo_worst_latency_ms,omitempty"`
+	SLOWorstTrace         string  `json:"slo_worst_trace,omitempty"`
 }
 
 func (t *Tenant) status() TenantStatus {
@@ -240,6 +264,9 @@ func (t *Tenant) status() TenantStatus {
 			ncal++
 		}
 	}
+	now := time.Now()
+	sloGood, sloBad := t.slo.totals()
+	_, _, worstNS, worstTrace := t.slo.window(now, time.Hour)
 	return TenantStatus{
 		Name:           t.name,
 		BudgetBytes:    t.budget,
@@ -258,5 +285,17 @@ func (t *Tenant) status() TenantStatus {
 
 		TunerSignatures: nsigs,
 		TunerCalibrated: ncal,
+
+		SLOLatencyObjectiveMS: float64(t.slo.cfg.LatencyObjective.Microseconds()) / 1e3,
+		SLOAvailability:       t.slo.cfg.Availability,
+		SLOGood:               sloGood,
+		SLOBad:                sloBad,
+		SLOBurnRate5m:         t.slo.burnRate(now, 5*time.Minute),
+		SLOBurnRate1h:         t.slo.burnRate(now, time.Hour),
+		SLOWorstLatencyMS:     float64(worstNS) / 1e6,
+		SLOWorstTrace:         worstTrace,
 	}
 }
+
+// SLO returns the tenant's resolved objectives.
+func (t *Tenant) SLO() SLOConfig { return t.slo.cfg }

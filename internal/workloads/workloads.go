@@ -82,6 +82,11 @@ type Config struct {
 	// measured throughput back. Typically a *tune.Tuner shared across
 	// evaluations so calibration state accumulates.
 	Tuner plan.BatchSource
+	// Trace, when set, is the request-scoped trace context stamped onto
+	// the sessions' begin/end events (core.Options.Trace) — how mozartd
+	// keys flight recordings and latency exemplars by the originating
+	// request's trace id.
+	Trace *obs.TraceContext
 }
 
 // ctx resolves the evaluation context (Config.Ctx or Background).
@@ -107,6 +112,7 @@ func (c Config) options() core.Options {
 		OutOfCore:          c.OutOfCore,
 		SpillDir:           c.SpillDir,
 		Tuner:              c.Tuner,
+		Trace:              c.Trace,
 	}
 	if c.Ctx != nil {
 		ctx := c.Ctx
